@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of the hot paths under the simulator:
+//! datatype flattening, CPU packing, the simulation kernel itself and the
+//! GPU data plane. These guard the *real* performance of the library code
+//! (wall-clock), complementing the virtual-time experiment harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::Gpu;
+use hostmem::HostBuf;
+use mpi_sim::pack::PackCursor;
+use mpi_sim::Datatype;
+use sim_core::{Sim, SimDur};
+
+fn bench_flatten(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datatype_flatten");
+    for rows in [1usize << 10, 1 << 14, 1 << 17] {
+        g.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter(|| {
+                let dt = Datatype::vector(rows, 1, 4, &Datatype::float());
+                dt.commit();
+                std::hint::black_box(dt.flat().segments().len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_expand(c: &mut Criterion) {
+    let dt = Datatype::vector(1 << 16, 1, 4, &Datatype::float());
+    dt.commit();
+    let flat = dt.flat();
+    c.bench_function("expand_64k_segments", |b| {
+        b.iter(|| std::hint::black_box(flat.expanded(1).len()));
+    });
+}
+
+fn bench_cpu_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_pack");
+    let dt = Datatype::vector(1 << 16, 1, 4, &Datatype::float());
+    dt.commit();
+    let segs = dt.flat().expanded(1);
+    let buf = HostBuf::alloc(1 << 20);
+    g.throughput(Throughput::Bytes(256 << 10));
+    g.bench_function("gather_256k_over_64k_segments", |b| {
+        b.iter(|| {
+            let mut cursor = PackCursor::new(buf.base(), segs.clone());
+            std::hint::black_box(cursor.pack_all().len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    c.bench_function("sim_10k_timer_events", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            sim.spawn("p", || {
+                for _ in 0..10_000 {
+                    sim_core::sleep(SimDur::from_nanos(10));
+                }
+            });
+            std::hint::black_box(sim.run())
+        });
+    });
+    c.bench_function("sim_spawn_join_8_processes", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..8 {
+                sim.spawn(format!("p{i}"), move || {
+                    for _ in 0..100 {
+                        sim_core::sleep(SimDur::from_micros(1));
+                    }
+                });
+            }
+            std::hint::black_box(sim.run())
+        });
+    });
+}
+
+fn bench_gpu_data_plane(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_copy_data_plane");
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("strided_2d_copy_1mb", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            sim.spawn("p", || {
+                let gpu = Gpu::tesla_c2050(0);
+                let src = gpu.malloc(4 << 20);
+                let dst = gpu.malloc(1 << 20);
+                gpu.memcpy_2d(gpu_sim::Copy2d {
+                    dst: gpu_sim::Loc::Device(dst),
+                    dpitch: 4,
+                    src: gpu_sim::Loc::Device(src),
+                    spitch: 16,
+                    width: 4,
+                    height: 1 << 18,
+                });
+            });
+            sim.run()
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_flatten, bench_expand, bench_cpu_pack, bench_sim_kernel, bench_gpu_data_plane
+}
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Ablation: eager/rendezvous threshold for device messages.
+//!
+//! Small GPU messages take a staged eager path (pack + D2H + eager send);
+//! larger ones pay the RTS/CTS handshake but gain the chunked pipeline.
+//! This sweep locates the crossover and shows the threshold (a library
+//! tunable, like MVAPICH2's `MV2_IBA_EAGER_THRESHOLD`) is set sanely.
+//!
+//! Regenerate with: `cargo run --release -p bench --bin ablation_eager_limit`
+
+use bench::{emit_json, fmt_size, print_table, ExperimentRecord, HarnessArgs};
+use hostmem::HostBuf;
+use mpi_sim::{Datatype, MpiConfig};
+use mv2_gpu_nc::baselines::{fill_vector, recv_mv2, send_mv2, VectorXfer};
+use mv2_gpu_nc::GpuCluster;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn measure(total: usize, eager_limit: usize) -> f64 {
+    let out = Arc::new(AtomicU64::new(0));
+    let out2 = Arc::clone(&out);
+    let cfg = MpiConfig {
+        eager_limit,
+        ..MpiConfig::default()
+    };
+    GpuCluster::new(2).mpi_config(cfg).run(move |env| {
+        let x = VectorXfer::paper(total);
+        let dev = env.gpu.malloc(x.extent());
+        let me = env.comm.rank();
+        if me == 0 {
+            fill_vector(&env.gpu, dev, &x, 1);
+            send_mv2(&env.comm, dev, x, 1, 9); // warm-up
+        } else {
+            recv_mv2(&env.comm, dev, x, 0, 9);
+        }
+        env.comm.barrier();
+        let t0 = sim_core::now();
+        if me == 0 {
+            send_mv2(&env.comm, dev, x, 1, 0);
+        } else {
+            recv_mv2(&env.comm, dev, x, 0, 0);
+            out2.store((sim_core::now() - t0).as_nanos(), Ordering::SeqCst);
+        }
+    });
+    out.load(Ordering::SeqCst) as f64 / 1e3
+}
+
+fn measure_host(total: usize, eager_limit: usize) -> f64 {
+    let out = Arc::new(AtomicU64::new(0));
+    let out2 = Arc::clone(&out);
+    let cfg = MpiConfig {
+        eager_limit,
+        ..MpiConfig::default()
+    };
+    GpuCluster::new(2).mpi_config(cfg).run(move |env| {
+        let t = Datatype::byte();
+        t.commit();
+        let buf = HostBuf::alloc(total.max(1));
+        let me = env.comm.rank();
+        if me == 0 {
+            env.comm.send(buf.base(), total, &t, 1, 9); // warm-up (reg cache)
+        } else {
+            env.comm.recv(buf.base(), total, &t, 0, 9);
+        }
+        env.comm.barrier();
+        let t0 = sim_core::now();
+        if me == 0 {
+            env.comm.send(buf.base(), total, &t, 1, 0);
+        } else {
+            env.comm.recv(buf.base(), total, &t, 0, 0);
+            out2.store((sim_core::now() - t0).as_nanos(), Ordering::SeqCst);
+        }
+    });
+    out.load(Ordering::SeqCst) as f64 / 1e3
+}
+
+#[derive(Serialize)]
+struct Row {
+    bytes: usize,
+    eager_us: f64,
+    rendezvous_us: f64,
+    host_eager_us: f64,
+    host_rendezvous_us: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // Force each path by setting the threshold above / below the size.
+    let rows: Vec<Row> = (4..=14)
+        .map(|p| {
+            let bytes = 1usize << p;
+            Row {
+                bytes,
+                eager_us: measure(bytes, 64 << 10),
+                rendezvous_us: measure(bytes, 1),
+                host_eager_us: measure_host(bytes, 64 << 10),
+                host_rendezvous_us: measure_host(bytes, 1),
+            }
+        })
+        .collect();
+
+    if args.json {
+        emit_json(&ExperimentRecord {
+            id: "ablation_eager",
+            title: "Eager vs rendezvous for small device messages",
+            data: &rows,
+        });
+        return;
+    }
+
+    println!("Eager vs rendezvous (us): strided device and contiguous host\n");
+    print_table(
+        &[
+            "size",
+            "dev eager",
+            "dev rndv",
+            "host eager",
+            "host rndv (zero-copy)",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    fmt_size(r.bytes),
+                    format!("{:.1}", r.eager_us),
+                    format!("{:.1}", r.rendezvous_us),
+                    format!("{:.1}", r.host_eager_us),
+                    format!("{:.1}", r.host_rendezvous_us),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let host_cross = rows
+        .iter()
+        .find(|r| r.host_rendezvous_us < r.host_eager_us)
+        .map(|r| fmt_size(r.bytes))
+        .unwrap_or_else(|| "beyond sweep".into());
+    println!();
+    println!(
+        "host zero-copy rendezvous wins from: {host_cross} (default threshold: 8K)"
+    );
+    println!(
+        "device messages: both paths stage through the GPU pipeline, so the \
+         handshake is pure overhead — the threshold only bounds unexpected-\
+         message buffering, as in MVAPICH2's larger GPU eager threshold"
+    );
+}

@@ -1,0 +1,219 @@
+//! Shared harness utilities for the figure/table regeneration binaries.
+//!
+//! Every binary prints a human-readable table (the same rows/series the
+//! paper reports) and, with `--json`, a machine-readable record used to
+//! update `EXPERIMENTS.md`.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+/// Parsed command-line options shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Emit JSON instead of a table.
+    pub json: bool,
+    /// Matrix scale-down factor for the stencil experiments (1 = paper
+    /// size).
+    pub scale: usize,
+    /// Stencil iterations per run.
+    pub iters: usize,
+    /// Free-form key=value extras.
+    pub extra: BTreeMap<String, String>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            json: false,
+            scale: 1,
+            iters: 5,
+            extra: BTreeMap::new(),
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parse `std::env::args()`: `--json`, `--scale N`, `--iters N`,
+    /// `--key value`.
+    pub fn parse() -> Self {
+        let mut out = HarnessArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => out.json = true,
+                "--scale" => {
+                    out.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a positive integer");
+                }
+                "--iters" => {
+                    out.iters = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--iters needs a positive integer");
+                }
+                other => {
+                    let key = other.trim_start_matches("--").to_string();
+                    let val = args.next().unwrap_or_default();
+                    out.extra.insert(key, val);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One experiment's machine-readable result.
+#[derive(Serialize)]
+pub struct ExperimentRecord<T: Serialize> {
+    /// Experiment id ("fig2", "table2", ...).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The data series.
+    pub data: T,
+}
+
+/// Print a record as pretty JSON.
+pub fn emit_json<T: Serialize>(rec: &ExperimentRecord<T>) {
+    println!("{}", serde_json::to_string_pretty(rec).expect("serialize"));
+}
+
+/// Format a byte count the way the paper's axes do (16, 1K, 64K, 4M).
+pub fn fmt_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+/// The paper's message-size sweep: 16 B to 4 MB in 4x steps.
+pub fn paper_sizes() -> Vec<usize> {
+    (0..10).map(|i| 16 << (2 * i)).collect()
+}
+
+/// Render an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_size_uses_paper_units() {
+        assert_eq!(fmt_size(16), "16");
+        assert_eq!(fmt_size(1 << 10), "1K");
+        assert_eq!(fmt_size(64 << 10), "64K");
+        assert_eq!(fmt_size(4 << 20), "4M");
+        assert_eq!(fmt_size(100), "100");
+    }
+
+    #[test]
+    fn paper_sizes_span_16b_to_4mb() {
+        let s = paper_sizes();
+        assert_eq!(s.first(), Some(&16));
+        assert_eq!(s.last(), Some(&(4 << 20)));
+        assert_eq!(s.len(), 10);
+    }
+}
+
+/// Shared driver for the Table II / Table III stencil experiments.
+pub mod stencil_tables {
+    use super::{print_table, HarnessArgs};
+    use serde::Serialize;
+    use stencil2d::{run_stencil, Real, RunOptions, StencilParams, Variant};
+
+    /// One process-grid row of Table II/III.
+    #[derive(Serialize)]
+    pub struct GridRow {
+        /// Grid label, e.g. "2x4 (8192x8192/proc)".
+        pub grid: String,
+        /// Stencil2D-Def execution time (virtual seconds).
+        pub def_secs: f64,
+        /// Stencil2D-MV2-GPU-NC execution time (virtual seconds).
+        pub mv2_secs: f64,
+        /// Relative improvement in percent.
+        pub improvement_pct: f64,
+    }
+
+    /// Run all four paper grids in precision `T`.
+    pub fn run_tables<T: Real>(args: &HarnessArgs) -> Vec<GridRow> {
+        StencilParams::paper_grids(args.scale)
+            .into_iter()
+            .map(|mut p| {
+                p.iters = args.iters;
+                let def = run_stencil::<T>(p, Variant::Def, RunOptions::default());
+                let mv2 = run_stencil::<T>(p, Variant::Mv2, RunOptions::default());
+                assert_eq!(
+                    def.checksum(),
+                    mv2.checksum(),
+                    "variants must compute identical results ({})",
+                    p.label()
+                );
+                let (d, m) = (def.wall.as_secs_f64(), mv2.wall.as_secs_f64());
+                GridRow {
+                    grid: p.label(),
+                    def_secs: d,
+                    mv2_secs: m,
+                    improvement_pct: (1.0 - m / d) * 100.0,
+                }
+            })
+            .collect()
+    }
+
+    /// Print the table with the paper's improvement column for comparison.
+    pub fn print_report(title: &str, paper: [u32; 4], rows: &[GridRow]) {
+        println!("{title}\n");
+        print_table(
+            &[
+                "grid (matrix/proc)",
+                "Stencil2D-Def (s)",
+                "Stencil2D-MV2-GPU-NC (s)",
+                "improvement",
+                "paper",
+            ],
+            &rows
+                .iter()
+                .zip(paper)
+                .map(|(r, p)| {
+                    vec![
+                        r.grid.clone(),
+                        format!("{:.6}", r.def_secs),
+                        format!("{:.6}", r.mv2_secs),
+                        format!("{:.0}%", r.improvement_pct),
+                        format!("{p}%"),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+}

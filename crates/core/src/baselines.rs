@@ -1,0 +1,287 @@
+//! The user-level baselines of Figure 4, used by the Figure 5 benchmark.
+//!
+//! * [`send_cpy2d_blocking`] / [`recv_cpy2d_blocking`] — Figure 4(a),
+//!   "Cpy2D+Send": blocking `cudaMemcpy2D` staging plus host MPI with the
+//!   vector datatype. High productivity, poor performance.
+//! * [`send_manual_pipeline`] / [`recv_manual_pipeline`] — Figure 4(b),
+//!   "Cpy2DAsync+CpyAsync+Isend": a hand-written chunked pipeline of async
+//!   device packs, async PCIe copies and nonblocking MPI. Good performance,
+//!   ~40 lines of fragile code per side.
+//! * [`send_mv2`] / [`recv_mv2`] — Figure 4(c), MV2-GPU-NC: one MPI call on
+//!   the device buffer; the library pipelines internally.
+
+use gpu_sim::{Copy2d, DevPtr, Gpu, Loc};
+use hostmem::HostBuf;
+use mpi_sim::{Comm, Datatype};
+
+use crate::cluster::GpuRankEnv;
+
+/// Geometry of the benchmark vector: `total` data bytes in `elem`-byte rows
+/// spaced `stride` bytes apart in device memory.
+#[derive(Copy, Clone, Debug)]
+pub struct VectorXfer {
+    /// Total data bytes.
+    pub total: usize,
+    /// Row (block) size in bytes — the paper uses 4 (one float).
+    pub elem: usize,
+    /// Row pitch in bytes.
+    pub stride: usize,
+}
+
+impl VectorXfer {
+    /// The paper's Figure 5 configuration: 4-byte elements, 4x pitch.
+    pub fn paper(total: usize) -> Self {
+        VectorXfer {
+            total,
+            elem: 4,
+            stride: 16,
+        }
+    }
+
+    /// Number of rows.
+    pub fn height(&self) -> usize {
+        assert_eq!(self.total % self.elem, 0);
+        self.total / self.elem
+    }
+
+    /// Bytes of device memory the strided layout spans.
+    pub fn extent(&self) -> usize {
+        self.height() * self.stride
+    }
+
+    /// The committed MPI vector datatype for this geometry (element = one
+    /// `elem`-byte block, stride in bytes).
+    pub fn dtype(&self) -> Datatype {
+        let block = Datatype::contiguous(self.elem, &Datatype::byte());
+        let t = Datatype::hvector(self.height(), 1, self.stride as isize, &block);
+        t.commit();
+        t
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4(a): blocking copies + blocking MPI.
+// ---------------------------------------------------------------------------
+
+/// Figure 4(a) sender: `cudaMemcpy2D` D2H (layout preserved), then
+/// `MPI_Send` of the host vector datatype.
+pub fn send_cpy2d_blocking(env: &GpuRankEnv, buf: DevPtr, x: VectorXfer, dst: usize, tag: u32) {
+    let host = HostBuf::alloc(x.extent());
+    env.gpu.memcpy_2d(Copy2d {
+        dst: Loc::Host(host.base()),
+        dpitch: x.stride,
+        src: Loc::Device(buf),
+        spitch: x.stride,
+        width: x.elem,
+        height: x.height(),
+    });
+    env.comm.send(host.base(), 1, &x.dtype(), dst, tag);
+}
+
+/// Figure 4(a) receiver: `MPI_Recv` into a host vector layout, then
+/// `cudaMemcpy2D` H2D (layout preserved).
+pub fn recv_cpy2d_blocking(env: &GpuRankEnv, buf: DevPtr, x: VectorXfer, src: usize, tag: u32) {
+    let host = HostBuf::alloc(x.extent());
+    env.comm.recv(host.base(), 1, &x.dtype(), src, tag);
+    env.gpu.memcpy_2d(Copy2d {
+        dst: Loc::Device(buf),
+        dpitch: x.stride,
+        src: Loc::Host(host.base()),
+        spitch: x.stride,
+        width: x.elem,
+        height: x.height(),
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4(b): hand-written pipeline.
+// ---------------------------------------------------------------------------
+
+fn block_geometry(x: &VectorXfer, block: usize) -> (usize, usize) {
+    assert_eq!(
+        block % x.elem,
+        0,
+        "pipeline block must hold whole vector rows"
+    );
+    let nblocks = x.total.div_ceil(block);
+    (block / x.elem, nblocks)
+}
+
+/// Figure 4(b) sender: per block — `cudaMemcpy2DAsync` pack in the device,
+/// `cudaMemcpyAsync` D2H, `MPI_Isend`; everything overlapped by hand.
+pub fn send_manual_pipeline(
+    env: &GpuRankEnv,
+    buf: DevPtr,
+    x: VectorXfer,
+    dst: usize,
+    tag: u32,
+    block: usize,
+) {
+    let gpu = &env.gpu;
+    let (rows_per_block, nblocks) = block_geometry(&x, block);
+    let tbuf = gpu.malloc(x.total);
+    let host = HostBuf::alloc(x.total);
+    let byte = Datatype::byte();
+    byte.commit();
+    let pack_stream = gpu.create_stream();
+    let d2h_stream = gpu.create_stream();
+
+    // Enqueue every block's pack (the `for` loop at the top of Fig. 4(b)).
+    let mut packs = Vec::with_capacity(nblocks);
+    for i in 0..nblocks {
+        let off = i * block;
+        let len = block.min(x.total - off);
+        packs.push(gpu.memcpy_2d_async(
+            Copy2d {
+                dst: Loc::Device(tbuf.add(off)),
+                dpitch: x.elem,
+                src: Loc::Device(buf.add(i * rows_per_block * x.stride)),
+                spitch: x.stride,
+                width: x.elem,
+                height: len / x.elem,
+            },
+            &pack_stream,
+        ));
+    }
+    // Drain: as packs complete, start D2H; as D2H completes, isend.
+    let mut d2h: Vec<Option<sim_core::Completion>> = vec![None; nblocks];
+    let mut reqs = Vec::with_capacity(nblocks);
+    let mut next_d2h = 0;
+    let mut next_send = 0;
+    while next_send < nblocks {
+        let mut advanced = false;
+        if next_d2h < nblocks && packs[next_d2h].poll() {
+            let off = next_d2h * block;
+            let len = block.min(x.total - off);
+            d2h_stream.wait_event(&packs[next_d2h]);
+            d2h[next_d2h] = Some(gpu.memcpy_async(
+                Loc::Host(host.ptr(off)),
+                tbuf.add(off),
+                len,
+                &d2h_stream,
+            ));
+            next_d2h += 1;
+            advanced = true;
+        }
+        if next_send < next_d2h && d2h[next_send].as_ref().unwrap().poll() {
+            let off = next_send * block;
+            let len = block.min(x.total - off);
+            reqs.push(
+                env.comm
+                    .isend(host.ptr(off), len, &byte, dst, tag * 1000 + next_send as u32),
+            );
+            next_send += 1;
+            advanced = true;
+        }
+        if !advanced {
+            // Wait for the next device completion (the Fig. 4(b) loop's
+            // cudaStreamQuery polling, without busy-burning the CPU).
+            let next = d2h
+                .iter()
+                .flatten()
+                .chain(packs.iter())
+                .filter_map(sim_core::Completion::done_at)
+                .filter(|&t| t > sim_core::now())
+                .min();
+            match next {
+                Some(t) => sim_core::sleep_until(t),
+                None => break,
+            }
+        }
+    }
+    env.comm.waitall(reqs);
+    gpu.free(tbuf);
+}
+
+/// Figure 4(b) receiver: per block — `MPI_Irecv`, `cudaMemcpyAsync` H2D,
+/// `cudaMemcpy2DAsync` unpack.
+pub fn recv_manual_pipeline(
+    env: &GpuRankEnv,
+    buf: DevPtr,
+    x: VectorXfer,
+    src: usize,
+    tag: u32,
+    block: usize,
+) {
+    let gpu = &env.gpu;
+    let (rows_per_block, nblocks) = block_geometry(&x, block);
+    let tbuf = gpu.malloc(x.total);
+    let host = HostBuf::alloc(x.total);
+    let byte = Datatype::byte();
+    byte.commit();
+    let h2d_stream = gpu.create_stream();
+    let unpack_stream = gpu.create_stream();
+
+    let mut reqs = Vec::with_capacity(nblocks);
+    for i in 0..nblocks {
+        let off = i * block;
+        let len = block.min(x.total - off);
+        reqs.push(
+            env.comm
+                .irecv(host.ptr(off), len, &byte, src, tag * 1000 + i as u32),
+        );
+    }
+    let mut unpacks = Vec::with_capacity(nblocks);
+    for (i, req) in reqs.into_iter().enumerate() {
+        env.comm.wait(req);
+        let off = i * block;
+        let len = block.min(x.total - off);
+        let h2d = gpu.memcpy_async(tbuf.add(off), Loc::Host(host.ptr(off)), len, &h2d_stream);
+        unpack_stream.wait_event(&h2d);
+        unpacks.push(gpu.memcpy_2d_async(
+            Copy2d {
+                dst: Loc::Device(buf.add(i * rows_per_block * x.stride)),
+                dpitch: x.stride,
+                src: Loc::Device(tbuf.add(off)),
+                spitch: x.elem,
+                width: x.elem,
+                height: len / x.elem,
+            },
+            &unpack_stream,
+        ));
+    }
+    for u in &unpacks {
+        u.wait();
+    }
+    gpu.free(tbuf);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4(c): MV2-GPU-NC.
+// ---------------------------------------------------------------------------
+
+/// Figure 4(c) sender: one `MPI_Send` on the device buffer.
+pub fn send_mv2(comm: &Comm, buf: DevPtr, x: VectorXfer, dst: usize, tag: u32) {
+    comm.send(buf, 1, &x.dtype(), dst, tag);
+}
+
+/// Figure 4(c) receiver: one `MPI_Recv` on the device buffer.
+pub fn recv_mv2(comm: &Comm, buf: DevPtr, x: VectorXfer, src: usize, tag: u32) {
+    comm.recv(buf, 1, &x.dtype(), src, tag);
+}
+
+/// Fill the strided rows of a device vector layout with a pattern derived
+/// from `seed` (test/bench helper).
+pub fn fill_vector(gpu: &Gpu, buf: DevPtr, x: &VectorXfer, seed: u8) {
+    let mut bytes = vec![0u8; x.extent()];
+    for (i, b) in bytes.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_mul(31).wrapping_add(seed);
+    }
+    gpu.write_bytes(buf, &bytes);
+}
+
+/// Check that the receiver's strided rows equal the sender's pattern and
+/// that the holes were not touched (test/bench helper).
+pub fn verify_vector(gpu: &Gpu, buf: DevPtr, x: &VectorXfer, seed: u8) {
+    let bytes = gpu.read_bytes(buf, x.extent());
+    for r in 0..x.height() {
+        for c in 0..x.elem {
+            let i = r * x.stride + c;
+            assert_eq!(
+                bytes[i],
+                (i as u8).wrapping_mul(31).wrapping_add(seed),
+                "row {r} byte {c}"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! GPU cluster launcher: one GPU + one MPI rank per node, with MV2-GPU-NC
+//! staging installed.
+
+use std::sync::Arc;
+
+use gpu_sim::{CostModel, Gpu};
+use ib_sim::{Fabric, NetModel};
+use mpi_sim::staging::BufferStager;
+use mpi_sim::{Comm, MpiConfig};
+use sim_core::{Sim, SimTime};
+
+use crate::stager::{GpuStager, PipelineTrace};
+
+/// Everything one rank's program sees: its communicator (GPU-aware), its
+/// GPU, and the shared pipeline trace.
+pub struct GpuRankEnv {
+    /// GPU-aware communicator (device buffers allowed in MPI calls).
+    pub comm: Comm,
+    /// This node's GPU.
+    pub gpu: Gpu,
+    /// Pipeline stage trace (shared across ranks).
+    pub trace: PipelineTrace,
+}
+
+/// A simulated GPU cluster (the paper's testbed: one process per node, one
+/// GPU per process).
+pub struct GpuCluster {
+    n: usize,
+    mpi: MpiConfig,
+    net: NetModel,
+    gpu_cost: CostModel,
+    gpu_mem: usize,
+}
+
+impl GpuCluster {
+    /// `n` nodes with calibrated defaults (Tesla C2050 + QDR InfiniBand).
+    pub fn new(n: usize) -> Self {
+        GpuCluster {
+            n,
+            mpi: MpiConfig::default(),
+            net: NetModel::qdr(),
+            gpu_cost: CostModel::tesla_c2050(),
+            gpu_mem: 3 << 30,
+        }
+    }
+
+    /// Set the pipeline block size (the paper's `MV2_CUDA_BLOCK_SIZE`).
+    pub fn block_size(mut self, bytes: usize) -> Self {
+        self.mpi.chunk_size = bytes;
+        self
+    }
+
+    /// Override the MPI configuration.
+    pub fn mpi_config(mut self, cfg: MpiConfig) -> Self {
+        self.mpi = cfg;
+        self
+    }
+
+    /// Override the network model.
+    pub fn net(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Override the GPU cost model.
+    pub fn gpu_cost(mut self, cost: CostModel) -> Self {
+        self.gpu_cost = cost;
+        self
+    }
+
+    /// Override per-GPU device memory (default 3 GiB).
+    pub fn gpu_mem(mut self, bytes: usize) -> Self {
+        self.gpu_mem = bytes;
+        self
+    }
+
+    /// Run `f` on every rank; returns the virtual completion time.
+    pub fn run<F>(self, f: F) -> SimTime
+    where
+        F: Fn(&GpuRankEnv) + Send + Sync + 'static,
+    {
+        let sim = Sim::new();
+        let fabric = Fabric::new(self.n, self.net.clone());
+        let f = Arc::new(f);
+        let trace = PipelineTrace::new();
+        for rank in 0..self.n {
+            let fabric = fabric.clone();
+            let cfg = self.mpi.clone();
+            let f = Arc::clone(&f);
+            let n = self.n;
+            let gpu_cost = self.gpu_cost.clone();
+            let gpu_mem = self.gpu_mem;
+            let trace = trace.clone();
+            sim.spawn(format!("rank{rank}"), move || {
+                let gpu = Gpu::new(rank as u32, gpu_cost, gpu_mem);
+                let stager = GpuStager::new(gpu.clone(), rank, trace.clone());
+                let stagers: Arc<Vec<Box<dyn BufferStager>>> =
+                    Arc::new(vec![Box::new(stager) as Box<dyn BufferStager>]);
+                let comm = Comm::create(fabric.nic(rank), rank, n, cfg, stagers);
+                let env = GpuRankEnv { comm, gpu, trace };
+                f(&env);
+            });
+        }
+        sim.run()
+    }
+}

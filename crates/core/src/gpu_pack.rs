@@ -1,0 +1,391 @@
+//! GPU-offloaded datatype packing: turn flattened datatype segments into
+//! device-internal copy operations.
+//!
+//! This is the paper's first contribution (§IV-A): instead of moving each
+//! non-contiguous row across PCIe, the layout is packed *inside* device
+//! memory — ideally with a single strided `cudaMemcpy2D` — and then crosses
+//! PCIe as one contiguous block.
+//!
+//! [`SegmentMap`] slices a flattened layout into arbitrary packed-byte
+//! ranges (pipeline chunks); [`enqueue_gather`] / [`enqueue_scatter`] emit
+//! the cheapest device operation sequence for a range:
+//!
+//! * one contiguous `memcpy` when the range is a single run,
+//! * one strided 2-D copy when the runs are uniform (optionally with
+//!   trimmed head/tail runs from chunk boundaries),
+//! * a generic gather/scatter pack kernel for irregular layouts
+//!   (indexed/struct types — beyond what the paper evaluated, but what its
+//!   production descendants do).
+
+use gpu_sim::{Copy2d, DevPtr, Gpu, Loc, Stream};
+use mpi_sim::flat::Segment;
+use sim_core::Completion;
+
+/// A flattened layout with prefix sums for O(log n) chunk slicing.
+pub struct SegmentMap {
+    segs: Vec<Segment>,
+    /// prefix[i] = packed bytes before segs[i]; prefix[n] = total.
+    prefix: Vec<usize>,
+}
+
+/// One run of bytes in the user buffer: (byte offset relative to the buffer
+/// address, length).
+pub type Piece = (isize, usize);
+
+impl SegmentMap {
+    /// Build from expanded segments (see `FlatType::expanded`).
+    pub fn new(segs: Vec<Segment>) -> Self {
+        let mut prefix = Vec::with_capacity(segs.len() + 1);
+        let mut acc = 0usize;
+        prefix.push(0);
+        for s in &segs {
+            acc += s.len;
+            prefix.push(acc);
+        }
+        SegmentMap { segs, prefix }
+    }
+
+    /// Total packed bytes.
+    pub fn total(&self) -> usize {
+        *self.prefix.last().unwrap()
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// The user-buffer runs covering packed-byte range `[off, off+len)`.
+    pub fn pieces(&self, off: usize, len: usize) -> Vec<Piece> {
+        assert!(
+            off + len <= self.total(),
+            "range [{off}, +{len}) exceeds packed size {}",
+            self.total()
+        );
+        if len == 0 {
+            return Vec::new();
+        }
+        // First segment whose end is past `off`.
+        let mut i = self.prefix.partition_point(|&p| p <= off) - 1;
+        let mut out = Vec::new();
+        let mut pos = off;
+        let end = off + len;
+        while pos < end {
+            let seg = &self.segs[i];
+            let seg_start = self.prefix[i];
+            let within = pos - seg_start;
+            let take = (seg.len - within).min(end - pos);
+            out.push((seg.offset + within as isize, take));
+            pos += take;
+            i += 1;
+        }
+        out
+    }
+}
+
+/// If `pieces` form `height` equal-width runs at a constant pitch, return
+/// `(first_offset, pitch, width, height)`.
+fn uniform(pieces: &[Piece]) -> Option<(isize, usize, usize, usize)> {
+    match pieces {
+        [] => None,
+        &[(off, len)] => Some((off, len, len, 1)),
+        &[(o0, w0), (o1, w1), ref rest @ ..] => {
+            if w1 != w0 || o1 <= o0 {
+                return None;
+            }
+            let pitch = (o1 - o0) as usize;
+            let mut prev = o1;
+            for &(o, w) in rest {
+                if w != w0 || o - prev != pitch as isize {
+                    return None;
+                }
+                prev = o;
+            }
+            Some((o0, pitch, w0, pieces.len()))
+        }
+    }
+}
+
+fn dev_at(base: DevPtr, rel: isize) -> DevPtr {
+    base.add_signed(rel)
+}
+
+/// Enqueue the device ops that pack `pieces` of the user buffer at `user`
+/// into contiguous device memory at `dst`. Returns the completion of the
+/// last op.
+pub fn enqueue_gather(
+    gpu: &Gpu,
+    stream: &Stream,
+    user: DevPtr,
+    pieces: &[Piece],
+    dst: DevPtr,
+) -> Completion {
+    enqueue_strided(gpu, stream, user, pieces, dst, true)
+}
+
+/// Enqueue the device ops that scatter contiguous device memory at `src`
+/// into `pieces` of the user buffer at `user`.
+pub fn enqueue_scatter(
+    gpu: &Gpu,
+    stream: &Stream,
+    user: DevPtr,
+    pieces: &[Piece],
+    src: DevPtr,
+) -> Completion {
+    enqueue_strided(gpu, stream, user, pieces, src, false)
+}
+
+fn enqueue_strided(
+    gpu: &Gpu,
+    stream: &Stream,
+    user: DevPtr,
+    pieces: &[Piece],
+    contig: DevPtr,
+    gather: bool,
+) -> Completion {
+    assert!(!pieces.is_empty(), "empty piece list");
+    let total: usize = pieces.iter().map(|&(_, l)| l).sum();
+
+    let copy2d = |first: isize, pitch: usize, width: usize, height: usize, cbase: DevPtr| {
+        let strided = Loc::Device(dev_at(user, first));
+        let contig_loc = Loc::Device(cbase);
+        let p = if gather {
+            Copy2d {
+                dst: contig_loc,
+                dpitch: width,
+                src: strided,
+                spitch: pitch,
+                width,
+                height,
+            }
+        } else {
+            Copy2d {
+                dst: strided,
+                dpitch: pitch,
+                src: contig_loc,
+                spitch: width,
+                width,
+                height,
+            }
+        };
+        gpu.memcpy_2d_async(p, stream)
+    };
+
+    // Whole range uniform: one strided copy (or a plain memcpy for a single
+    // run).
+    if let Some((first, pitch, width, height)) = uniform(pieces) {
+        if height == 1 || pitch == width {
+            let (d, s) = if gather {
+                (contig, dev_at(user, first))
+            } else {
+                (dev_at(user, first), contig)
+            };
+            return gpu.memcpy_async(d, s, total, stream);
+        }
+        return copy2d(first, pitch, width, height, contig);
+    }
+
+    // Chunk boundaries often clip the first/last run of an otherwise
+    // uniform pattern: peel them off and 2-D-copy the middle.
+    if pieces.len() >= 3 {
+        if let Some((first, pitch, width, height)) = uniform(&pieces[1..pieces.len() - 1]) {
+            let head = pieces[0];
+            let tail = pieces[pieces.len() - 1];
+            if height >= 2 && head.1 <= width && tail.1 <= width {
+                let mut coff = contig;
+                let (hd, hs) = if gather {
+                    (coff, dev_at(user, head.0))
+                } else {
+                    (dev_at(user, head.0), coff)
+                };
+                gpu.memcpy_async(hd, hs, head.1, stream);
+                coff = coff.add(head.1);
+                copy2d(first, pitch, width, height, coff);
+                coff = coff.add(width * height);
+                let (td, ts) = if gather {
+                    (coff, dev_at(user, tail.0))
+                } else {
+                    (dev_at(user, tail.0), coff)
+                };
+                return gpu.memcpy_async(td, ts, tail.1, stream);
+            }
+        }
+    }
+
+    // Irregular: one generic gather/scatter kernel.
+    let cost = gpu.cost_model().pack_kernel(total as u64, pieces.len());
+    let pieces: Vec<Piece> = pieces.to_vec();
+    let user_c = user;
+    let contig_c = contig;
+    gpu.launch_kernel(
+        if gather { "pack_gather" } else { "unpack_scatter" },
+        cost,
+        stream,
+        move |g| {
+            let mut coff = contig_c;
+            for (rel, len) in pieces {
+                let u = dev_at(user_c, rel);
+                if gather {
+                    let bytes = g.read_bytes(u, len);
+                    g.write_bytes(coff, &bytes);
+                } else {
+                    let bytes = g.read_bytes(coff, len);
+                    g.write_bytes(u, &bytes);
+                }
+                coff = coff.add(len);
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_sim::Datatype;
+    use sim_core::Sim;
+
+    fn in_sim(f: impl FnOnce() + Send + 'static) {
+        let sim = Sim::new();
+        sim.spawn("t", f);
+        sim.run();
+    }
+
+    fn map_of(dt: &Datatype, count: usize) -> SegmentMap {
+        dt.commit();
+        SegmentMap::new(dt.flat().expanded(count))
+    }
+
+    #[test]
+    fn pieces_slices_ranges() {
+        let dt = Datatype::vector(4, 1, 4, &Datatype::float());
+        let m = map_of(&dt, 1); // runs of 4 at 0,16,32,48
+        assert_eq!(m.total(), 16);
+        assert_eq!(m.pieces(0, 16), vec![(0, 4), (16, 4), (32, 4), (48, 4)]);
+        assert_eq!(m.pieces(2, 4), vec![(2, 2), (16, 2)]);
+        assert_eq!(m.pieces(6, 6), vec![(18, 2), (32, 4)]);
+        assert!(m.pieces(16, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds packed size")]
+    fn pieces_out_of_range_panics() {
+        let dt = Datatype::float();
+        let m = map_of(&dt, 1);
+        let _ = m.pieces(0, 5);
+    }
+
+    #[test]
+    fn uniform_detection() {
+        assert_eq!(uniform(&[(0, 4), (16, 4), (32, 4)]), Some((0, 16, 4, 3)));
+        assert_eq!(uniform(&[(8, 4)]), Some((8, 4, 4, 1)));
+        assert_eq!(uniform(&[(0, 4), (16, 8)]), None);
+        assert_eq!(uniform(&[(0, 4), (16, 4), (30, 4)]), None);
+        assert_eq!(uniform(&[]), None);
+    }
+
+    #[test]
+    fn gather_uniform_uses_one_2d_copy() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            let user = gpu.malloc(256);
+            let tbuf = gpu.malloc(64);
+            gpu.write_bytes(user, &(0..=255).collect::<Vec<u8>>());
+            let s = gpu.create_stream();
+            let dt = Datatype::vector(8, 1, 8, &Datatype::float());
+            let m = map_of(&dt, 1);
+            let before = gpu.counters().get("cudaMemcpy2DAsync");
+            let c = enqueue_gather(&gpu, &s, user, &m.pieces(0, 32), tbuf);
+            c.wait();
+            assert_eq!(gpu.counters().get("cudaMemcpy2DAsync"), before + 1);
+            let got = gpu.read_bytes(tbuf, 32);
+            for r in 0..8 {
+                assert_eq!(&got[r * 4..r * 4 + 4], gpu.read_bytes(user.add(r * 32), 4));
+            }
+        });
+    }
+
+    #[test]
+    fn gather_with_clipped_head_tail() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            let user = gpu.malloc(1024);
+            let tbuf = gpu.malloc(256);
+            gpu.write_bytes(user, &(0..1024).map(|i| (i * 7 % 251) as u8).collect::<Vec<_>>());
+            let s = gpu.create_stream();
+            let dt = Datatype::vector(32, 1, 8, &Datatype::float());
+            let m = map_of(&dt, 1); // 32 runs of 4 bytes
+            // A range that starts and ends mid-run.
+            let pieces = m.pieces(2, 100);
+            let c = enqueue_gather(&gpu, &s, user, &pieces, tbuf);
+            c.wait();
+            // Reference: CPU-computed expected packed bytes.
+            let all: Vec<u8> = (0..32)
+                .flat_map(|r| gpu.read_bytes(user.add(r * 32), 4))
+                .collect();
+            assert_eq!(gpu.read_bytes(tbuf, 100), &all[2..102]);
+        });
+    }
+
+    #[test]
+    fn irregular_layout_uses_pack_kernel() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            let user = gpu.malloc(256);
+            let tbuf = gpu.malloc(64);
+            gpu.write_bytes(user, &(0..=255).collect::<Vec<u8>>());
+            let s = gpu.create_stream();
+            let dt = Datatype::indexed(&[(1, 0), (2, 9), (1, 30), (3, 40)], &Datatype::int());
+            let m = map_of(&dt, 1);
+            let before = gpu.counters().get("kernelLaunch");
+            let c = enqueue_gather(&gpu, &s, user, &m.pieces(0, m.total()), tbuf);
+            c.wait();
+            assert_eq!(gpu.counters().get("kernelLaunch"), before + 1);
+            let mut expect = Vec::new();
+            for (bl, disp) in [(1usize, 0usize), (2, 9), (1, 30), (3, 40)] {
+                expect.extend(gpu.read_bytes(user.add(disp * 4), bl * 4));
+            }
+            assert_eq!(gpu.read_bytes(tbuf, m.total()), expect);
+        });
+    }
+
+    #[test]
+    fn scatter_inverts_gather() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            let a = gpu.malloc(512);
+            let b = gpu.malloc(512);
+            let tbuf = gpu.malloc(128);
+            gpu.write_bytes(a, &(0..512).map(|i| (i % 241) as u8).collect::<Vec<_>>());
+            let s = gpu.create_stream();
+            let dt = Datatype::vector(16, 2, 8, &Datatype::float());
+            let m = map_of(&dt, 1); // 16 runs of 8 bytes, pitch 32
+            let pieces = m.pieces(0, m.total());
+            enqueue_gather(&gpu, &s, a, &pieces, tbuf).wait();
+            enqueue_scatter(&gpu, &s, b, &pieces, tbuf).wait();
+            for r in 0..16 {
+                assert_eq!(
+                    gpu.read_bytes(b.add(r * 32), 8),
+                    gpu.read_bytes(a.add(r * 32), 8),
+                    "run {r}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn contiguous_range_uses_1d_copy() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            let user = gpu.malloc(128);
+            let tbuf = gpu.malloc(128);
+            gpu.write_bytes(user, &(0..128).collect::<Vec<u8>>());
+            let s = gpu.create_stream();
+            let dt = Datatype::contiguous(32, &Datatype::float());
+            let m = map_of(&dt, 1);
+            let before2d = gpu.counters().get("cudaMemcpy2DAsync");
+            enqueue_gather(&gpu, &s, user, &m.pieces(0, 128), tbuf).wait();
+            assert_eq!(gpu.counters().get("cudaMemcpy2DAsync"), before2d);
+            assert_eq!(gpu.read_bytes(tbuf, 128), gpu.read_bytes(user, 128));
+        });
+    }
+}

@@ -1,0 +1,154 @@
+//! Device staging-buffer pool (`tbuf` pool).
+//!
+//! Each in-flight non-contiguous GPU transfer packs through a contiguous
+//! device temporary ("tbuf" in the paper). `cudaMalloc` synchronizes the
+//! device and costs tens of microseconds, so — like MVAPICH2 — allocation
+//! is amortized: freed tbufs are cached by size class and reused.
+
+use std::collections::BTreeMap;
+
+use gpu_sim::{DevPtr, Gpu};
+use parking_lot::Mutex;
+
+/// Size-classed cache of device temporaries.
+pub struct TbufPool {
+    gpu: Gpu,
+    free: Mutex<BTreeMap<usize, Vec<DevPtr>>>,
+}
+
+/// A pooled device buffer; return it with [`TbufPool::put`].
+pub struct Tbuf {
+    /// Base pointer of the temporary.
+    pub ptr: DevPtr,
+    size: usize,
+}
+
+impl Tbuf {
+    /// The size class this buffer belongs to.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+fn size_class(len: usize) -> usize {
+    // Round up to the next power of two (min 4 KiB) so reuse is likely even
+    // when message sizes vary slightly.
+    len.max(4096).next_power_of_two()
+}
+
+impl TbufPool {
+    /// A pool on `gpu`.
+    pub fn new(gpu: Gpu) -> Self {
+        TbufPool {
+            gpu,
+            free: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Take a device temporary of at least `len` bytes. Reuses a cached one
+    /// when available; otherwise pays the `cudaMalloc` cost.
+    pub fn take(&self, len: usize) -> Tbuf {
+        let class = size_class(len);
+        if let Some(ptr) = self
+            .free
+            .lock()
+            .get_mut(&class)
+            .and_then(|v| v.pop())
+        {
+            return Tbuf { ptr, size: class };
+        }
+        Tbuf {
+            ptr: self.gpu.malloc(class),
+            size: class,
+        }
+    }
+
+    /// Return a temporary to the pool.
+    pub fn put(&self, tbuf: Tbuf) {
+        self.free.lock().entry(tbuf.size).or_default().push(tbuf.ptr);
+    }
+
+    /// Free every cached temporary back to the device allocator.
+    pub fn drain(&self) {
+        let mut free = self.free.lock();
+        for (_, ptrs) in std::mem::take(&mut *free) {
+            for p in ptrs {
+                self.gpu.free(p);
+            }
+        }
+    }
+
+    /// Number of cached temporaries (all size classes).
+    pub fn cached(&self) -> usize {
+        self.free.lock().values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Sim;
+
+    fn in_sim(f: impl FnOnce() + Send + 'static) {
+        let sim = Sim::new();
+        sim.spawn("t", f);
+        sim.run();
+    }
+
+    #[test]
+    fn take_put_reuses_memory() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            let pool = TbufPool::new(gpu.clone());
+            let a = pool.take(100 << 10);
+            let ptr = a.ptr;
+            pool.put(a);
+            let b = pool.take(100 << 10);
+            assert_eq!(b.ptr.offset(), ptr.offset(), "same buffer reused");
+            pool.put(b);
+            assert_eq!(pool.cached(), 1);
+        });
+    }
+
+    #[test]
+    fn reuse_skips_malloc_cost() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            let pool = TbufPool::new(gpu.clone());
+            let a = pool.take(1 << 20);
+            pool.put(a);
+            let t0 = sim_core::now();
+            let b = pool.take(1 << 20);
+            assert_eq!(sim_core::now(), t0, "pooled take must be free");
+            pool.put(b);
+        });
+    }
+
+    #[test]
+    fn size_classes_round_up() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            let pool = TbufPool::new(gpu.clone());
+            let a = pool.take(70_000); // class 128 KiB
+            pool.put(a);
+            let b = pool.take(100_000); // also class 128 KiB — reuse
+            assert_eq!(pool.cached(), 0);
+            assert_eq!(b.size(), 128 << 10);
+            pool.put(b);
+        });
+    }
+
+    #[test]
+    fn drain_releases_device_memory() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            let pool = TbufPool::new(gpu.clone());
+            let before = gpu.mem_allocated();
+            let a = pool.take(1 << 20);
+            pool.put(a);
+            assert!(gpu.mem_allocated() > before);
+            pool.drain();
+            assert_eq!(gpu.mem_allocated(), before);
+        });
+    }
+}

@@ -1,0 +1,229 @@
+//! The three non-contiguous pack schemes of §I-A / Figure 2.
+//!
+//! * `D2hNc2Nc` — option (a): one `cudaMemcpy2D` device→host, host layout
+//!   stays non-contiguous.
+//! * `D2hNc2C`  — option (b): one `cudaMemcpy2D` device→host that packs
+//!   into contiguous host memory.
+//! * `D2d2hNc2C2C` — option (c): pack inside the device with an async
+//!   strided copy, then one contiguous async D2H — the paper's winner and
+//!   the building block of MV2-GPU-NC.
+
+use gpu_sim::{Copy2d, DevPtr, Gpu, Loc, Stream};
+use hostmem::HostBuf;
+use sim_core::SimDur;
+
+/// Which §I-A packing option to run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PackScheme {
+    /// Option (a): strided D2H, strided host destination.
+    D2hNc2Nc,
+    /// Option (b): strided D2H packing into contiguous host memory.
+    D2hNc2C,
+    /// Option (c): strided D2D pack + contiguous D2H, asynchronous.
+    D2d2hNc2C2C,
+}
+
+impl PackScheme {
+    /// All three schemes, in the paper's order.
+    pub const ALL: [PackScheme; 3] = [
+        PackScheme::D2hNc2Nc,
+        PackScheme::D2hNc2C,
+        PackScheme::D2d2hNc2C2C,
+    ];
+
+    /// The label used in Figure 2.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PackScheme::D2hNc2Nc => "D2H nc2nc",
+            PackScheme::D2hNc2C => "D2H nc2c",
+            PackScheme::D2d2hNc2C2C => "D2D2H nc2c2c",
+        }
+    }
+}
+
+/// Reusable benchmark state for one (total, elem, stride) configuration:
+/// a strided device source, a host destination and a device temporary.
+pub struct PackBench {
+    gpu: Gpu,
+    dev: DevPtr,
+    tbuf: DevPtr,
+    host: HostBuf,
+    elem: usize,
+    stride: usize,
+    height: usize,
+    stream: Stream,
+}
+
+impl PackBench {
+    /// Set up a vector of `total` data bytes in `elem`-byte rows spaced
+    /// `stride` bytes apart, filled with a checkable pattern.
+    pub fn new(gpu: &Gpu, total: usize, elem: usize, stride: usize) -> Self {
+        assert!(total.is_multiple_of(elem), "total must be a whole number of rows");
+        assert!(stride > elem, "a contiguous 'vector' is not non-contiguous");
+        let height = total / elem;
+        let dev = gpu.malloc(height * stride);
+        let tbuf = gpu.malloc(total);
+        let host = HostBuf::alloc(height * stride);
+        let pattern: Vec<u8> = (0..height * stride).map(|i| (i % 251) as u8).collect();
+        gpu.write_bytes(dev, &pattern);
+        let stream = gpu.create_stream();
+        PackBench {
+            gpu: gpu.clone(),
+            dev,
+            tbuf,
+            host,
+            elem,
+            stride,
+            height,
+            stream,
+        }
+    }
+
+    /// Run one scheme once; returns the elapsed virtual time.
+    pub fn run(&self, scheme: PackScheme) -> SimDur {
+        let t0 = sim_core::now();
+        match scheme {
+            PackScheme::D2hNc2Nc => {
+                self.gpu.memcpy_2d(Copy2d {
+                    dst: Loc::Host(self.host.base()),
+                    dpitch: self.stride,
+                    src: Loc::Device(self.dev),
+                    spitch: self.stride,
+                    width: self.elem,
+                    height: self.height,
+                });
+            }
+            PackScheme::D2hNc2C => {
+                self.gpu.memcpy_2d(Copy2d {
+                    dst: Loc::Host(self.host.base()),
+                    dpitch: self.elem,
+                    src: Loc::Device(self.dev),
+                    spitch: self.stride,
+                    width: self.elem,
+                    height: self.height,
+                });
+            }
+            PackScheme::D2d2hNc2C2C => {
+                // Offload the pack to the GPU, then one contiguous D2H;
+                // both asynchronous, ordered by the stream.
+                self.gpu.memcpy_2d_async(
+                    Copy2d {
+                        dst: Loc::Device(self.tbuf),
+                        dpitch: self.elem,
+                        src: Loc::Device(self.dev),
+                        spitch: self.stride,
+                        width: self.elem,
+                        height: self.height,
+                    },
+                    &self.stream,
+                );
+                self.gpu
+                    .memcpy_async(
+                        Loc::Host(self.host.base()),
+                        self.tbuf,
+                        self.elem * self.height,
+                        &self.stream,
+                    )
+                    .wait();
+            }
+        }
+        sim_core::now() - t0
+    }
+
+    /// Check that the packed/copied host bytes equal the device pattern
+    /// (layout depends on the scheme).
+    pub fn verify(&self, scheme: PackScheme) {
+        let dev_bytes = self.gpu.read_bytes(self.dev, self.height * self.stride);
+        for r in 0..self.height {
+            let src = &dev_bytes[r * self.stride..r * self.stride + self.elem];
+            let host_off = match scheme {
+                PackScheme::D2hNc2Nc => r * self.stride,
+                _ => r * self.elem,
+            };
+            assert_eq!(
+                self.host.read(host_off, self.elem),
+                src,
+                "row {r} mismatch for {}",
+                scheme.label()
+            );
+        }
+    }
+
+    /// Release device memory.
+    pub fn free(self) {
+        self.gpu.free(self.dev);
+        self.gpu.free(self.tbuf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::Sim;
+
+    fn in_sim(f: impl FnOnce() + Send + 'static) {
+        let sim = Sim::new();
+        sim.spawn("t", f);
+        sim.run();
+    }
+
+    #[test]
+    fn all_schemes_move_correct_bytes() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            let b = PackBench::new(&gpu, 4096, 4, 16);
+            for s in PackScheme::ALL {
+                b.run(s);
+                b.verify(s);
+            }
+            b.free();
+            assert_eq!(gpu.live_allocs(), 0);
+        });
+    }
+
+    /// The paper's §I-A anchor numbers at 4 KB: (a) 200 us, (b) 281 us,
+    /// (c) 35 us.
+    #[test]
+    fn motivating_numbers_match_paper() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            let b = PackBench::new(&gpu, 4096, 4, 16);
+            let a = b.run(PackScheme::D2hNc2Nc).as_micros_f64();
+            let bb = b.run(PackScheme::D2hNc2C).as_micros_f64();
+            let c = b.run(PackScheme::D2d2hNc2C2C).as_micros_f64();
+            assert!((a - 200.0).abs() < 10.0, "option (a) = {a} us, paper 200");
+            assert!((bb - 281.0).abs() < 10.0, "option (b) = {bb} us, paper 281");
+            assert!((c - 35.0).abs() < 8.0, "option (c) = {c} us, paper 35");
+        });
+    }
+
+    /// Fig. 2(b)'s headline: at 4 MB the offloaded scheme costs ~4.8% of
+    /// option (a).
+    #[test]
+    fn offload_ratio_at_4mb() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            let b = PackBench::new(&gpu, 4 << 20, 4, 16);
+            let a = b.run(PackScheme::D2hNc2Nc).as_secs_f64();
+            let c = b.run(PackScheme::D2d2hNc2C2C).as_secs_f64();
+            let ratio = c / a;
+            assert!(
+                (ratio - 0.048).abs() < 0.015,
+                "D2D2H / nc2nc = {ratio:.3}, paper 0.048"
+            );
+        });
+    }
+
+    #[test]
+    fn crossover_small_messages_favor_direct_copy() {
+        in_sim(|| {
+            let gpu = Gpu::tesla_c2050(0);
+            // 64 bytes: the fixed D2D overhead dominates; direct strided
+            // D2H wins (visible in Figure 2(a)'s left edge).
+            let b = PackBench::new(&gpu, 64, 4, 16);
+            let a = b.run(PackScheme::D2hNc2Nc);
+            let c = b.run(PackScheme::D2d2hNc2C2C);
+            assert!(a < c, "at 64 B direct copy must win: {a} vs {c}");
+        });
+    }
+}

@@ -1,0 +1,495 @@
+//! The GPU staging implementation: the paper's Figure 3 pipeline.
+//!
+//! `GpuSendSource` implements the sender half: on `begin` (triggered by the
+//! rendezvous CTS) it grabs a device temporary (`tbuf`) and enqueues **all**
+//! chunk packs as asynchronous strided device copies, exactly like the
+//! paper's `cudaMemcpy2DAsync` loop. As the MPI progress engine requests
+//! chunks, each one's D2H copy is enqueued to start no earlier than its
+//! pack (a `cudaStreamWaitEvent` dependency), so packing, D2H and the RDMA
+//! writes issued by the engine all overlap across chunks.
+//!
+//! `GpuRecvSink` is the mirrored receiver half: per arriving chunk, an H2D
+//! copy into `tbuf` (the staging vbuf is creditable as soon as that
+//! finishes) followed by a strided device unpack into the user buffer.
+//!
+//! Contiguous device buffers skip the tbuf entirely — they still get the
+//! chunked PCIe/RDMA pipeline (the paper's "8x1 grid" case, which benefits
+//! from pipelining alone).
+
+use std::sync::Arc;
+
+use gpu_sim::{DevPtr, Gpu, Loc, Stream};
+use hostmem::{HostBuf, HostPtr};
+use mpi_sim::flat::{FlatType, Layout};
+use mpi_sim::staging::{BufferStager, RecvSink, SendSource};
+use mpi_sim::Datatype;
+use parking_lot::Mutex;
+use sim_core::{Completion, SimTime};
+
+use crate::gpu_pack::{enqueue_gather, enqueue_scatter, SegmentMap};
+use crate::pools::{Tbuf, TbufPool};
+
+/// One recorded pipeline event (for the Figure 3 trace harness).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Rank that recorded the event.
+    pub rank: usize,
+    /// Pipeline stage: "pack", "d2h", "h2d" or "unpack".
+    pub stage: &'static str,
+    /// Chunk index within the transfer.
+    pub chunk: usize,
+    /// When the stage's device operation completes.
+    pub done_at: SimTime,
+}
+
+/// Shared log of pipeline stage completions.
+#[derive(Clone, Default)]
+pub struct PipelineTrace {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl PipelineTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&self, rank: usize, stage: &'static str, chunk: usize, done_at: SimTime) {
+        self.events.lock().push(TraceEvent {
+            rank,
+            stage,
+            chunk,
+            done_at,
+        });
+    }
+
+    /// Snapshot of all recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+fn classify(flat: &FlatType, count: usize, base: DevPtr) -> (SegmentMap, Option<DevPtr>) {
+    let segs = flat.expanded(count);
+    let contiguous = match FlatType::classify(&segs) {
+        Layout::Contiguous { offset, .. } => Some(base.add_signed(offset)),
+        _ => None,
+    };
+    (SegmentMap::new(segs), contiguous)
+}
+
+/// Sender half of the GPU pipeline (plugs into the rendezvous engine).
+pub struct GpuSendSource {
+    gpu: Gpu,
+    rank: usize,
+    pool: Arc<TbufPool>,
+    user: DevPtr,
+    map: SegmentMap,
+    total: usize,
+    contiguous: Option<DevPtr>,
+    tbuf: Option<Tbuf>,
+    pack_stream: Stream,
+    d2h_stream: Stream,
+    chunk_size: usize,
+    packs: Vec<Completion>,
+    d2h: Vec<Option<Completion>>,
+    trace: PipelineTrace,
+}
+
+impl GpuSendSource {
+    fn new(
+        gpu: Gpu,
+        rank: usize,
+        pool: Arc<TbufPool>,
+        user: DevPtr,
+        count: usize,
+        dtype: &Datatype,
+        trace: PipelineTrace,
+    ) -> Self {
+        let flat = dtype.flat();
+        let (map, contiguous) = classify(&flat, count, user);
+        let total = map.total();
+        let pack_stream = gpu.create_stream();
+        let d2h_stream = gpu.create_stream();
+        GpuSendSource {
+            gpu,
+            rank,
+            pool,
+            user,
+            map,
+            total,
+            contiguous,
+            tbuf: None,
+            pack_stream,
+            d2h_stream,
+            chunk_size: 0,
+            packs: Vec::new(),
+            d2h: Vec::new(),
+            trace,
+        }
+    }
+
+    fn ensure_tbuf(&mut self) -> DevPtr {
+        if self.tbuf.is_none() {
+            self.tbuf = Some(self.pool.take(self.total));
+        }
+        self.tbuf.as_ref().unwrap().ptr
+    }
+}
+
+impl SendSource for GpuSendSource {
+    fn total_bytes(&self) -> usize {
+        self.total
+    }
+
+    fn begin(&mut self, chunk_size: usize) {
+        self.chunk_size = chunk_size;
+        let nchunks = self.total.div_ceil(chunk_size).max(1);
+        self.d2h = (0..nchunks).map(|_| None).collect();
+        if self.contiguous.is_some() {
+            return; // no packing needed; D2H reads the user buffer directly
+        }
+        let tbuf = self.ensure_tbuf();
+        // Enqueue every chunk's pack up front (the paper's async 2D-copy
+        // loop): the device packs ahead while earlier chunks drain to the
+        // host and the wire.
+        for i in 0..nchunks {
+            let off = i * chunk_size;
+            let len = chunk_size.min(self.total - off);
+            let pieces = self.map.pieces(off, len);
+            let comp = enqueue_gather(&self.gpu, &self.pack_stream, self.user, &pieces, tbuf.add(off));
+            self.trace
+                .record(self.rank, "pack", i, comp.done_at().unwrap());
+            self.packs.push(comp);
+        }
+    }
+
+    fn request_chunk(&mut self, idx: usize, dst: HostPtr, len: usize) {
+        let off = idx * self.chunk_size;
+        let comp = match self.contiguous {
+            Some(cptr) => self
+                .gpu
+                .memcpy_async(Loc::Host(dst), cptr.add(off), len, &self.d2h_stream),
+            None => {
+                let tbuf = self.tbuf.as_ref().expect("begin not called").ptr;
+                // The D2H copy may start only after this chunk's pack.
+                self.d2h_stream.wait_event(&self.packs[idx]);
+                self.gpu
+                    .memcpy_async(Loc::Host(dst), tbuf.add(off), len, &self.d2h_stream)
+            }
+        };
+        self.trace
+            .record(self.rank, "d2h", idx, comp.done_at().unwrap());
+        self.d2h[idx] = Some(comp);
+    }
+
+    fn poll(&mut self) -> bool {
+        false // completion times are known; progress is purely time-driven
+    }
+
+    fn chunk_ready(&self, idx: usize) -> bool {
+        self.d2h[idx].as_ref().is_some_and(Completion::poll)
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        let now = sim_core::now();
+        self.d2h
+            .iter()
+            .flatten()
+            .filter_map(Completion::done_at)
+            .filter(|&t| t > now)
+            .min()
+    }
+
+    fn pack_eager(&mut self) -> Vec<u8> {
+        let host = HostBuf::alloc(self.total);
+        if self.total == 0 {
+            return Vec::new();
+        }
+        match self.contiguous {
+            Some(cptr) => {
+                self.gpu
+                    .memcpy_async(Loc::Host(host.base()), cptr, self.total, &self.d2h_stream)
+                    .wait();
+            }
+            None => {
+                let tbuf = self.ensure_tbuf();
+                let pieces = self.map.pieces(0, self.total);
+                let pack = enqueue_gather(&self.gpu, &self.pack_stream, self.user, &pieces, tbuf);
+                self.d2h_stream.wait_event(&pack);
+                self.gpu
+                    .memcpy_async(Loc::Host(host.base()), tbuf, self.total, &self.d2h_stream)
+                    .wait();
+            }
+        }
+        host.read(0, self.total)
+    }
+}
+
+impl Drop for GpuSendSource {
+    fn drop(&mut self) {
+        if let Some(t) = self.tbuf.take() {
+            self.pool.put(t);
+        }
+    }
+}
+
+/// Receiver half of the GPU pipeline.
+pub struct GpuRecvSink {
+    gpu: Gpu,
+    rank: usize,
+    pool: Arc<TbufPool>,
+    user: DevPtr,
+    map: SegmentMap,
+    capacity: usize,
+    contiguous: Option<DevPtr>,
+    tbuf: Option<Tbuf>,
+    h2d_stream: Stream,
+    unpack_stream: Stream,
+    chunk_size: usize,
+    nchunks: usize,
+    arrived: usize,
+    h2d: Vec<Option<Completion>>,
+    unpack: Vec<Option<Completion>>,
+    trace: PipelineTrace,
+}
+
+impl GpuRecvSink {
+    fn new(
+        gpu: Gpu,
+        rank: usize,
+        pool: Arc<TbufPool>,
+        user: DevPtr,
+        count: usize,
+        dtype: &Datatype,
+        trace: PipelineTrace,
+    ) -> Self {
+        let flat = dtype.flat();
+        let (map, contiguous) = classify(&flat, count, user);
+        let capacity = map.total();
+        let h2d_stream = gpu.create_stream();
+        let unpack_stream = gpu.create_stream();
+        GpuRecvSink {
+            gpu,
+            rank,
+            pool,
+            user,
+            map,
+            capacity,
+            contiguous,
+            tbuf: None,
+            h2d_stream,
+            unpack_stream,
+            chunk_size: 0,
+            nchunks: 0,
+            arrived: 0,
+            h2d: Vec::new(),
+            unpack: Vec::new(),
+            trace,
+        }
+    }
+}
+
+impl RecvSink for GpuRecvSink {
+    fn total_bytes(&self) -> usize {
+        self.capacity
+    }
+
+    fn begin(&mut self, chunk_size: usize, actual_total: usize) {
+        assert!(
+            actual_total <= self.capacity,
+            "message truncated: {actual_total} bytes into a {}-byte device layout",
+            self.capacity
+        );
+        self.chunk_size = chunk_size;
+        self.nchunks = actual_total.div_ceil(chunk_size).max(1);
+        self.h2d = (0..self.nchunks).map(|_| None).collect();
+        self.unpack = (0..self.nchunks).map(|_| None).collect();
+        if self.contiguous.is_none() && actual_total > 0 {
+            self.tbuf = Some(self.pool.take(actual_total));
+        }
+    }
+
+    fn chunk_arrived(&mut self, idx: usize, src: HostPtr, len: usize) {
+        let off = idx * self.chunk_size;
+        match self.contiguous {
+            Some(cptr) => {
+                let comp =
+                    self.gpu
+                        .memcpy_async(cptr.add(off), Loc::Host(src), len, &self.h2d_stream);
+                self.trace
+                    .record(self.rank, "h2d", idx, comp.done_at().unwrap());
+                self.h2d[idx] = Some(comp);
+            }
+            None => {
+                let tbuf = self.tbuf.as_ref().expect("begin not called").ptr;
+                let h2d =
+                    self.gpu
+                        .memcpy_async(tbuf.add(off), Loc::Host(src), len, &self.h2d_stream);
+                self.trace
+                    .record(self.rank, "h2d", idx, h2d.done_at().unwrap());
+                // Unpack after this chunk's H2D (stream-wait dependency).
+                self.unpack_stream.wait_event(&h2d);
+                let pieces = self.map.pieces(off, len);
+                let up = enqueue_scatter(
+                    &self.gpu,
+                    &self.unpack_stream,
+                    self.user,
+                    &pieces,
+                    tbuf.add(off),
+                );
+                self.trace
+                    .record(self.rank, "unpack", idx, up.done_at().unwrap());
+                self.h2d[idx] = Some(h2d);
+                self.unpack[idx] = Some(up);
+            }
+        }
+        self.arrived += 1;
+    }
+
+    fn poll(&mut self) -> bool {
+        false
+    }
+
+    fn chunk_absorbed(&self, idx: usize) -> bool {
+        // The staging vbuf is reusable as soon as its H2D copy has read it.
+        self.h2d[idx].as_ref().is_some_and(Completion::poll)
+    }
+
+    fn finished(&self) -> bool {
+        self.arrived == self.nchunks
+            && self
+                .h2d
+                .iter()
+                .chain(self.unpack.iter())
+                .flatten()
+                .all(Completion::poll)
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        let now = sim_core::now();
+        self.h2d
+            .iter()
+            .chain(self.unpack.iter())
+            .flatten()
+            .filter_map(Completion::done_at)
+            .filter(|&t| t > now)
+            .min()
+    }
+
+    fn unpack_eager(&mut self, data: &[u8]) {
+        assert!(
+            data.len() <= self.capacity,
+            "message truncated: {} bytes into a {}-byte device layout",
+            data.len(),
+            self.capacity
+        );
+        self.nchunks = 1;
+        self.arrived = 1;
+        self.h2d = vec![None];
+        self.unpack = vec![None];
+        if data.is_empty() {
+            return;
+        }
+        let host = HostBuf::from_vec(data.to_vec());
+        match self.contiguous {
+            Some(cptr) => {
+                self.gpu
+                    .memcpy_async(cptr, Loc::Host(host.base()), data.len(), &self.h2d_stream)
+                    .wait();
+            }
+            None => {
+                let tbuf = self.pool.take(data.len());
+                let h2d = self.gpu.memcpy_async(
+                    tbuf.ptr,
+                    Loc::Host(host.base()),
+                    data.len(),
+                    &self.h2d_stream,
+                );
+                self.unpack_stream.wait_event(&h2d);
+                let pieces = self.map.pieces(0, data.len());
+                enqueue_scatter(&self.gpu, &self.unpack_stream, self.user, &pieces, tbuf.ptr)
+                    .wait();
+                self.pool.put(tbuf);
+            }
+        }
+    }
+}
+
+impl Drop for GpuRecvSink {
+    fn drop(&mut self) {
+        if let Some(t) = self.tbuf.take() {
+            self.pool.put(t);
+        }
+    }
+}
+
+/// The MV2-GPU-NC staging provider: plugs GPU-offloaded datatype processing
+/// into the MPI rendezvous engine for device-resident buffers.
+pub struct GpuStager {
+    gpu: Gpu,
+    rank: usize,
+    pool: Arc<TbufPool>,
+    trace: PipelineTrace,
+}
+
+impl GpuStager {
+    /// A stager for `rank`'s device.
+    pub fn new(gpu: Gpu, rank: usize, trace: PipelineTrace) -> Self {
+        let pool = Arc::new(TbufPool::new(gpu.clone()));
+        GpuStager {
+            gpu,
+            rank,
+            pool,
+            trace,
+        }
+    }
+
+    /// The device temporary pool (exposed for tests/diagnostics).
+    pub fn pool(&self) -> &Arc<TbufPool> {
+        &self.pool
+    }
+}
+
+impl BufferStager for GpuStager {
+    fn source(&self, buf: &Loc, count: usize, dtype: &Datatype) -> Option<Box<dyn SendSource>> {
+        let Loc::Device(p) = buf else { return None };
+        assert_eq!(
+            p.gpu_id(),
+            self.gpu.id(),
+            "device buffer belongs to a different GPU than this rank's"
+        );
+        Some(Box::new(GpuSendSource::new(
+            self.gpu.clone(),
+            self.rank,
+            Arc::clone(&self.pool),
+            *p,
+            count,
+            dtype,
+            self.trace.clone(),
+        )))
+    }
+
+    fn sink(&self, buf: &Loc, count: usize, dtype: &Datatype) -> Option<Box<dyn RecvSink>> {
+        let Loc::Device(p) = buf else { return None };
+        assert_eq!(
+            p.gpu_id(),
+            self.gpu.id(),
+            "device buffer belongs to a different GPU than this rank's"
+        );
+        Some(Box::new(GpuRecvSink::new(
+            self.gpu.clone(),
+            self.rank,
+            Arc::clone(&self.pool),
+            *p,
+            count,
+            dtype,
+            self.trace.clone(),
+        )))
+    }
+}

@@ -1,0 +1,180 @@
+//! Pipeline timeline analysis: turn a [`PipelineTrace`] into per-stage
+//! throughput and overlap statistics.
+//!
+//! The paper argues its design works because the five stages overlap; this
+//! module quantifies that from a real (simulated) run — the kind of
+//! evidence Figure 3 sketches.
+
+use sim_core::SimTime;
+
+use crate::stager::{PipelineTrace, TraceEvent};
+
+/// Per-stage summary extracted from a trace.
+#[derive(Clone, Debug)]
+pub struct StageStats {
+    /// Stage name ("pack", "d2h", "h2d", "unpack").
+    pub stage: &'static str,
+    /// Number of chunk completions observed.
+    pub chunks: usize,
+    /// First completion instant.
+    pub first_done: SimTime,
+    /// Last completion instant.
+    pub last_done: SimTime,
+    /// Mean gap between consecutive completions (the stage's steady-state
+    /// period), in microseconds.
+    pub period_us: f64,
+}
+
+/// Whole-pipeline summary.
+#[derive(Clone, Debug)]
+pub struct PipelineStats {
+    /// Per-stage summaries in pipeline order.
+    pub stages: Vec<StageStats>,
+    /// Wall span from first to last completion, microseconds.
+    pub span_us: f64,
+    /// Overlap ratio: sum of stage spans divided by the wall span. A
+    /// perfectly serialized pipeline gives ~1.0; full overlap approaches
+    /// the number of active stages.
+    pub overlap: f64,
+}
+
+const STAGE_ORDER: [&str; 4] = ["pack", "d2h", "h2d", "unpack"];
+
+/// Analyze the events of one transfer.
+pub fn analyze(trace: &PipelineTrace) -> PipelineStats {
+    analyze_events(&trace.events())
+}
+
+/// Analyze an explicit event list.
+pub fn analyze_events(events: &[TraceEvent]) -> PipelineStats {
+    let mut stages = Vec::new();
+    let mut total_stage_span = 0.0;
+    let mut first = None::<SimTime>;
+    let mut last = None::<SimTime>;
+    for &stage in &STAGE_ORDER {
+        let mut times: Vec<SimTime> = events
+            .iter()
+            .filter(|e| e.stage == stage)
+            .map(|e| e.done_at)
+            .collect();
+        if times.is_empty() {
+            continue;
+        }
+        times.sort_unstable();
+        let (f, l) = (times[0], *times.last().unwrap());
+        let span = (l - f).as_micros_f64();
+        let period = if times.len() > 1 {
+            span / (times.len() - 1) as f64
+        } else {
+            0.0
+        };
+        total_stage_span += span;
+        first = Some(first.map_or(f, |x: SimTime| x.min(f)));
+        last = Some(last.map_or(l, |x: SimTime| x.max(l)));
+        stages.push(StageStats {
+            stage,
+            chunks: times.len(),
+            first_done: f,
+            last_done: l,
+            period_us: period,
+        });
+    }
+    let span_us = match (first, last) {
+        (Some(f), Some(l)) => (l - f).as_micros_f64(),
+        _ => 0.0,
+    };
+    PipelineStats {
+        stages,
+        span_us,
+        overlap: if span_us > 0.0 {
+            total_stage_span / span_us
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The slowest stage (largest steady-state period) — the pipeline's
+/// bottleneck, which §IV-B's model assumes is the device pack.
+pub fn bottleneck(stats: &PipelineStats) -> Option<&StageStats> {
+    stats
+        .stages
+        .iter()
+        .max_by(|a, b| a.period_us.total_cmp(&b.period_us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{fill_vector, recv_mv2, send_mv2, VectorXfer};
+    use crate::GpuCluster;
+    use std::sync::{Arc, Mutex};
+
+    fn traced_transfer(total: usize) -> Vec<TraceEvent> {
+        let out: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&out);
+        GpuCluster::new(2).run(move |env| {
+            let x = VectorXfer::paper(total);
+            let dev = env.gpu.malloc(x.extent());
+            if env.comm.rank() == 0 {
+                fill_vector(&env.gpu, dev, &x, 1);
+                send_mv2(&env.comm, dev, x, 1, 0);
+            } else {
+                recv_mv2(&env.comm, dev, x, 0, 0);
+                *sink.lock().unwrap() = env.trace.events();
+            }
+        });
+        Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+    }
+
+    #[test]
+    fn stages_overlap_for_multichunk_transfers() {
+        let events = traced_transfer(1 << 20); // 16 chunks
+        let stats = analyze_events(&events);
+        assert_eq!(stats.stages.len(), 4);
+        for s in &stats.stages {
+            assert_eq!(s.chunks, 16, "{}", s.stage);
+        }
+        assert!(
+            stats.overlap > 2.0,
+            "four stages should overlap substantially, got {:.2}",
+            stats.overlap
+        );
+    }
+
+    #[test]
+    fn pack_is_the_bottleneck_stage() {
+        let events = traced_transfer(1 << 20);
+        let stats = analyze_events(&events);
+        let b = bottleneck(&stats).unwrap();
+        // §IV-B: "latency of packing data in the GPU is always larger than
+        // the RDMA data transfer latency or time for contiguous data
+        // movement" — pack or unpack (same cost) must gate the pipeline.
+        assert!(
+            b.stage == "pack" || b.stage == "unpack",
+            "bottleneck was {}",
+            b.stage
+        );
+    }
+
+    #[test]
+    fn stage_periods_match_the_cost_model() {
+        let events = traced_transfer(1 << 20);
+        let stats = analyze_events(&events);
+        let pack = stats.stages.iter().find(|s| s.stage == "pack").unwrap();
+        // 64 KB chunks of 4-byte rows: 16 µs + 16384*8 ns + bw term ≈ 150 µs.
+        assert!(
+            (120.0..200.0).contains(&pack.period_us),
+            "pack period {:.1} µs",
+            pack.period_us
+        );
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_stats() {
+        let stats = analyze_events(&[]);
+        assert!(stats.stages.is_empty());
+        assert_eq!(stats.span_us, 0.0);
+        assert_eq!(stats.overlap, 0.0);
+    }
+}

@@ -1,0 +1,565 @@
+//! The CUDA-like device API: memory management, streams, 1-D/2-D copies
+//! (sync + async) and kernel launches.
+//!
+//! # Fidelity notes
+//!
+//! * **Bytes move eagerly, time settles later.** Enqueuing a copy performs
+//!   the byte movement immediately and returns a [`Completion`] for the
+//!   modeled finish instant. Because enqueue order equals program order and
+//!   simulated code only observes data after waiting/polling completions,
+//!   this is indistinguishable from deferred copying for race-free programs
+//!   (racy programs are undefined behaviour on real CUDA too).
+//! * **Engines.** Fermi exposes two PCIe copy engines (H2D and D2H) that
+//!   run concurrently with the compute engine; strided device-internal
+//!   copies get their own queue (they execute as small DMA/kernel programs).
+//!   An operation starts when both its stream's previous op and its engine
+//!   are free.
+//! * **Sync vs async.** Synchronous calls (`cudaMemcpy`, `cudaMemcpy2D`)
+//!   block the calling process until the engine finishes. Asynchronous calls
+//!   cost [`CostModel::async_submit_ns`] of CPU time and return immediately.
+
+use std::sync::Arc;
+
+use hostmem::{HostPtr, Scalar};
+use parking_lot::Mutex;
+use sim_core::{CallCounters, Completion, SimDur, SimTime};
+
+use crate::cost::{CopyDir, CostModel, Shape2D};
+use crate::mem::{DevPtr, DeviceMem, DeviceOom};
+
+/// Either side of a copy: host memory or device memory. This is the
+/// simulator's Unified Virtual Addressing: any API that accepts a `Loc` can
+/// discover where the buffer lives, exactly like `cuPointerGetAttribute`.
+#[derive(Clone, Debug)]
+pub enum Loc {
+    /// Host memory.
+    Host(HostPtr),
+    /// Device memory.
+    Device(DevPtr),
+}
+
+impl Loc {
+    /// True if the location is in device memory.
+    pub fn is_device(&self) -> bool {
+        matches!(self, Loc::Device(_))
+    }
+
+    /// A location `bytes` further along.
+    pub fn add(&self, bytes: usize) -> Loc {
+        match self {
+            Loc::Host(p) => Loc::Host(p.add(bytes)),
+            Loc::Device(p) => Loc::Device(p.add(bytes)),
+        }
+    }
+}
+
+impl From<HostPtr> for Loc {
+    fn from(p: HostPtr) -> Self {
+        Loc::Host(p)
+    }
+}
+
+impl From<DevPtr> for Loc {
+    fn from(p: DevPtr) -> Self {
+        Loc::Device(p)
+    }
+}
+
+/// Parameters of a 2-D (pitched) copy, mirroring `cudaMemcpy2D`:
+/// `height` rows of `width` bytes, rows `dpitch`/`spitch` bytes apart.
+#[derive(Clone, Debug)]
+pub struct Copy2d {
+    /// Destination base address.
+    pub dst: Loc,
+    /// Destination pitch (bytes between row starts); must be >= `width`.
+    pub dpitch: usize,
+    /// Source base address.
+    pub src: Loc,
+    /// Source pitch (bytes between row starts); must be >= `width`.
+    pub spitch: usize,
+    /// Row width in bytes.
+    pub width: usize,
+    /// Number of rows.
+    pub height: usize,
+}
+
+impl Copy2d {
+    fn validate(&self) {
+        assert!(
+            self.spitch >= self.width && self.dpitch >= self.width,
+            "Copy2d: pitch smaller than width ({} / {} < {})",
+            self.spitch,
+            self.dpitch,
+            self.width
+        );
+    }
+
+    fn dir(&self) -> CopyDir {
+        match (&self.src, &self.dst) {
+            (Loc::Host(_), Loc::Device(_)) => CopyDir::H2D,
+            (Loc::Device(_), Loc::Host(_)) => CopyDir::D2H,
+            (Loc::Device(_), Loc::Device(_)) => CopyDir::D2D,
+            (Loc::Host(_), Loc::Host(_)) => {
+                panic!("Copy2d: host-to-host copies do not involve the GPU")
+            }
+        }
+    }
+
+    fn shape(&self) -> Shape2D {
+        if self.height <= 1 {
+            return Shape2D::Contiguous;
+        }
+        match (self.spitch == self.width, self.dpitch == self.width) {
+            (true, true) => Shape2D::Contiguous,
+            (false, false) => Shape2D::BothStrided,
+            _ => Shape2D::OneStrided,
+        }
+    }
+}
+
+const ENGINES: usize = 4;
+const ENG_H2D: usize = 0;
+const ENG_D2H: usize = 1;
+const ENG_D2D: usize = 2;
+const ENG_COMPUTE: usize = 3;
+
+fn engine_for(dir: CopyDir) -> usize {
+    match dir {
+        CopyDir::H2D => ENG_H2D,
+        CopyDir::D2H => ENG_D2H,
+        CopyDir::D2D => ENG_D2D,
+    }
+}
+
+struct Sched {
+    engine_free: [SimTime; ENGINES],
+    stream_end: Vec<SimTime>,
+}
+
+struct GpuInner {
+    id: u32,
+    cost: CostModel,
+    mem: Mutex<DeviceMem>,
+    sched: Mutex<Sched>,
+    counters: CallCounters,
+}
+
+/// One simulated GPU. Clones are shallow handles to the same device.
+#[derive(Clone)]
+pub struct Gpu {
+    inner: Arc<GpuInner>,
+}
+
+/// An ordered operation queue on a [`Gpu`] (a CUDA stream). Operations on
+/// one stream serialize; operations on different streams overlap subject to
+/// engine availability.
+#[derive(Clone)]
+pub struct Stream {
+    gpu: Gpu,
+    idx: usize,
+}
+
+impl Gpu {
+    /// Create a device with `mem_bytes` of device memory.
+    pub fn new(id: u32, cost: CostModel, mem_bytes: usize) -> Self {
+        let gpu = Gpu {
+            inner: Arc::new(GpuInner {
+                id,
+                cost,
+                mem: Mutex::new(DeviceMem::new(mem_bytes)),
+                sched: Mutex::new(Sched {
+                    engine_free: [SimTime::ZERO; ENGINES],
+                    stream_end: Vec::new(),
+                }),
+                counters: CallCounters::new(),
+            }),
+        };
+        // Stream 0: used by the synchronous copy API.
+        gpu.create_stream();
+        gpu
+    }
+
+    /// A Tesla C2050-like device: calibrated cost model, 3 GB of memory.
+    pub fn tesla_c2050(id: u32) -> Self {
+        Gpu::new(id, CostModel::tesla_c2050(), 3 << 30)
+    }
+
+    /// Device id.
+    pub fn id(&self) -> u32 {
+        self.inner.id
+    }
+
+    /// This device's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// API call counters (for code-complexity instrumentation).
+    pub fn counters(&self) -> &CallCounters {
+        &self.inner.counters
+    }
+
+    // --- memory management -------------------------------------------------
+
+    /// Allocate `len` bytes of device memory (`cudaMalloc`). Panics on OOM.
+    pub fn malloc(&self, len: usize) -> DevPtr {
+        self.try_malloc(len).expect("cudaMalloc failed")
+    }
+
+    /// Allocate, reporting OOM as an error. `cudaMalloc` synchronizes with
+    /// the device and is expensive — which is why the MPI layer pools its
+    /// staging buffers instead of allocating per message.
+    pub fn try_malloc(&self, len: usize) -> Result<DevPtr, DeviceOom> {
+        self.inner.counters.record("cudaMalloc");
+        if sim_core::in_sim() {
+            sim_core::sleep(SimDur::from_nanos(self.inner.cost.malloc_ns));
+        }
+        let offset = self.inner.mem.lock().alloc(len)?;
+        Ok(DevPtr {
+            gpu_id: self.inner.id,
+            offset,
+        })
+    }
+
+    /// Free a device allocation (`cudaFree`).
+    pub fn free(&self, ptr: DevPtr) {
+        self.inner.counters.record("cudaFree");
+        self.check_owned(ptr);
+        self.inner.mem.lock().dealloc(ptr.offset);
+    }
+
+    /// Bytes currently allocated.
+    pub fn mem_allocated(&self) -> usize {
+        self.inner.mem.lock().bytes_allocated()
+    }
+
+    /// Total device memory.
+    pub fn mem_capacity(&self) -> usize {
+        self.inner.mem.lock().capacity()
+    }
+
+    /// Number of live allocations (leak checking).
+    pub fn live_allocs(&self) -> usize {
+        self.inner.mem.lock().live_allocs()
+    }
+
+    fn check_owned(&self, ptr: DevPtr) {
+        assert_eq!(
+            ptr.gpu_id, self.inner.id,
+            "device pointer belongs to gpu{}, used on gpu{}",
+            ptr.gpu_id, self.inner.id
+        );
+    }
+
+    // --- streams ------------------------------------------------------------
+
+    /// Create a new stream.
+    pub fn create_stream(&self) -> Stream {
+        let mut sched = self.inner.sched.lock();
+        let idx = sched.stream_end.len();
+        sched.stream_end.push(SimTime::ZERO);
+        Stream {
+            gpu: self.clone(),
+            idx,
+        }
+    }
+
+    fn sync_stream(&self) -> Stream {
+        Stream {
+            gpu: self.clone(),
+            idx: 0,
+        }
+    }
+
+    /// Block until every engine and stream is idle (`cudaDeviceSynchronize`).
+    pub fn synchronize(&self) {
+        self.inner.counters.record("cudaDeviceSynchronize");
+        let t = {
+            let sched = self.inner.sched.lock();
+            let mut t = SimTime::ZERO;
+            for &e in &sched.engine_free {
+                t = t.max(e);
+            }
+            for &s in &sched.stream_end {
+                t = t.max(s);
+            }
+            t
+        };
+        if sim_core::now() < t {
+            sim_core::sleep_until(t);
+        }
+    }
+
+    /// Reserve time on (stream, engine) and return the completion. The
+    /// operation starts when both the stream's previous op and the engine
+    /// are free.
+    fn schedule(&self, stream: &Stream, engine: usize, dur: SimDur) -> Completion {
+        assert!(
+            sim_core::in_sim(),
+            "GPU operations with timing must run inside a simulation process"
+        );
+        let now = sim_core::now();
+        let mut sched = self.inner.sched.lock();
+        let start = now
+            .max(sched.stream_end[stream.idx])
+            .max(sched.engine_free[engine]);
+        let end = start + dur;
+        sched.stream_end[stream.idx] = end;
+        sched.engine_free[engine] = end;
+        Completion::ready_at(end)
+    }
+
+    // --- data plane ----------------------------------------------------------
+
+    /// Move bytes for a 2-D copy right now (no virtual time involved).
+    fn do_copy2d_bytes(&self, p: &Copy2d) {
+        p.validate();
+        if p.width == 0 || p.height == 0 {
+            return;
+        }
+        let total = p.width * p.height;
+        let mut tmp = vec![0u8; total];
+        // Gather source rows into tmp.
+        match &p.src {
+            Loc::Host(hp) => {
+                let base = hp.offset();
+                hp.buf().with_slice(|s| {
+                    for r in 0..p.height {
+                        let off = base + r * p.spitch;
+                        tmp[r * p.width..(r + 1) * p.width]
+                            .copy_from_slice(&s[off..off + p.width]);
+                    }
+                });
+            }
+            Loc::Device(dp) => {
+                self.check_owned(*dp);
+                let mem = self.inner.mem.lock();
+                let extent = (p.height - 1) * p.spitch + p.width;
+                mem.check_access(dp.offset, extent);
+                for r in 0..p.height {
+                    let off = dp.offset + r * p.spitch;
+                    tmp[r * p.width..(r + 1) * p.width]
+                        .copy_from_slice(&mem.arena[off..off + p.width]);
+                }
+            }
+        }
+        // Scatter tmp into destination rows.
+        match &p.dst {
+            Loc::Host(hp) => {
+                let base = hp.offset();
+                hp.buf().with_slice(|s| {
+                    for r in 0..p.height {
+                        let off = base + r * p.dpitch;
+                        s[off..off + p.width].copy_from_slice(&tmp[r * p.width..(r + 1) * p.width]);
+                    }
+                });
+            }
+            Loc::Device(dp) => {
+                self.check_owned(*dp);
+                let mut mem = self.inner.mem.lock();
+                let extent = (p.height - 1) * p.dpitch + p.width;
+                mem.check_access(dp.offset, extent);
+                for r in 0..p.height {
+                    let off = dp.offset + r * p.dpitch;
+                    mem.arena[off..off + p.width]
+                        .copy_from_slice(&tmp[r * p.width..(r + 1) * p.width]);
+                }
+            }
+        }
+    }
+
+    fn copy1d_params(dst: Loc, src: Loc, len: usize) -> Copy2d {
+        Copy2d {
+            dst,
+            dpitch: len.max(1),
+            src,
+            spitch: len.max(1),
+            width: len,
+            height: 1,
+        }
+    }
+
+    // --- synchronous copies ---------------------------------------------------
+
+    /// `cudaMemcpy`: contiguous blocking copy. Direction is inferred from the
+    /// locations.
+    pub fn memcpy(&self, dst: impl Into<Loc>, src: impl Into<Loc>, len: usize) {
+        self.inner.counters.record("cudaMemcpy");
+        let p = Self::copy1d_params(dst.into(), src.into(), len);
+        let dur = self.inner.cost.copy1d(p.dir(), len as u64);
+        self.do_copy2d_bytes(&p);
+        self.schedule(&self.sync_stream(), engine_for(p.dir()), dur).wait();
+    }
+
+    /// `cudaMemcpy2D`: pitched blocking copy.
+    pub fn memcpy_2d(&self, p: Copy2d) {
+        self.inner.counters.record("cudaMemcpy2D");
+        let dur = self
+            .inner
+            .cost
+            .copy2d(p.dir(), p.shape(), p.width as u64, p.height as u64);
+        self.do_copy2d_bytes(&p);
+        self.schedule(&self.sync_stream(), engine_for(p.dir()), dur).wait();
+    }
+
+    // --- asynchronous copies ----------------------------------------------------
+
+    /// `cudaMemcpyAsync`: contiguous copy enqueued on `stream`.
+    pub fn memcpy_async(
+        &self,
+        dst: impl Into<Loc>,
+        src: impl Into<Loc>,
+        len: usize,
+        stream: &Stream,
+    ) -> Completion {
+        self.inner.counters.record("cudaMemcpyAsync");
+        sim_core::sleep(SimDur::from_nanos(self.inner.cost.async_submit_ns));
+        let p = Self::copy1d_params(dst.into(), src.into(), len);
+        let dur = self.inner.cost.copy1d(p.dir(), len as u64);
+        self.do_copy2d_bytes(&p);
+        self.schedule(stream, engine_for(p.dir()), dur)
+    }
+
+    /// `cudaMemcpy2DAsync`: pitched copy enqueued on `stream`.
+    pub fn memcpy_2d_async(&self, p: Copy2d, stream: &Stream) -> Completion {
+        self.inner.counters.record("cudaMemcpy2DAsync");
+        sim_core::sleep(SimDur::from_nanos(self.inner.cost.async_submit_ns));
+        let dur = self
+            .inner
+            .cost
+            .copy2d(p.dir(), p.shape(), p.width as u64, p.height as u64);
+        self.do_copy2d_bytes(&p);
+        self.schedule(stream, engine_for(p.dir()), dur)
+    }
+
+    /// `cudaMemset`: blocking fill of device memory.
+    pub fn memset(&self, dst: DevPtr, value: u8, len: usize) {
+        self.inner.counters.record("cudaMemset");
+        self.check_owned(dst);
+        {
+            let mut mem = self.inner.mem.lock();
+            mem.check_access(dst.offset, len);
+            mem.arena[dst.offset..dst.offset + len].fill(value);
+        }
+        // Memset runs on the device-internal engine at contiguous rate.
+        let dur = self.inner.cost.copy1d(CopyDir::D2D, len as u64);
+        self.schedule(&self.sync_stream(), ENG_D2D, dur).wait();
+    }
+
+    /// `cudaMemsetAsync`: fill enqueued on `stream`.
+    pub fn memset_async(&self, dst: DevPtr, value: u8, len: usize, stream: &Stream) -> Completion {
+        self.inner.counters.record("cudaMemsetAsync");
+        sim_core::sleep(SimDur::from_nanos(self.inner.cost.async_submit_ns));
+        self.check_owned(dst);
+        {
+            let mut mem = self.inner.mem.lock();
+            mem.check_access(dst.offset, len);
+            mem.arena[dst.offset..dst.offset + len].fill(value);
+        }
+        let dur = self.inner.cost.copy1d(CopyDir::D2D, len as u64);
+        self.schedule(stream, ENG_D2D, dur)
+    }
+
+    // --- kernels ---------------------------------------------------------------
+
+    /// Launch a kernel on `stream`. `work` runs the kernel's *computation*
+    /// (against device memory, via this handle) immediately; the returned
+    /// completion fires after the modeled execution time `cost` plus launch
+    /// overhead, once the compute engine and the stream are free.
+    pub fn launch_kernel(
+        &self,
+        name: &'static str,
+        cost: SimDur,
+        stream: &Stream,
+        work: impl FnOnce(&Gpu),
+    ) -> Completion {
+        self.inner.counters.record("kernelLaunch");
+        let _ = name;
+        sim_core::sleep(SimDur::from_nanos(self.inner.cost.async_submit_ns));
+        work(self);
+        let dur = SimDur::from_nanos(self.inner.cost.kernel_launch_ns) + cost;
+        self.schedule(stream, ENG_COMPUTE, dur)
+    }
+
+    // --- untimed access (test setup / verification) ------------------------------
+
+    /// Write bytes directly into device memory (no virtual time; for setup
+    /// and verification only).
+    pub fn write_bytes(&self, ptr: DevPtr, data: &[u8]) {
+        self.check_owned(ptr);
+        let mut mem = self.inner.mem.lock();
+        mem.check_access(ptr.offset, data.len());
+        mem.arena[ptr.offset..ptr.offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Read bytes directly from device memory (no virtual time).
+    pub fn read_bytes(&self, ptr: DevPtr, len: usize) -> Vec<u8> {
+        self.check_owned(ptr);
+        let mem = self.inner.mem.lock();
+        mem.check_access(ptr.offset, len);
+        mem.arena[ptr.offset..ptr.offset + len].to_vec()
+    }
+
+    /// Write a slice of scalars directly into device memory.
+    pub fn write_scalars<T: Scalar>(&self, ptr: DevPtr, vals: &[T]) {
+        self.write_bytes(ptr, &hostmem::scalars_to_bytes(vals));
+    }
+
+    /// Read a slice of scalars directly from device memory.
+    pub fn read_scalars<T: Scalar>(&self, ptr: DevPtr, count: usize) -> Vec<T> {
+        hostmem::bytes_to_scalars(&self.read_bytes(ptr, count * T::SIZE))
+    }
+
+    /// Run `f` with mutable access to the raw device arena (kernel bodies).
+    /// The access range is validated like any device access.
+    pub fn with_arena<R>(&self, ptr: DevPtr, len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        self.check_owned(ptr);
+        let mut mem = self.inner.mem.lock();
+        mem.check_access(ptr.offset, len);
+        let off = ptr.offset;
+        f(&mut mem.arena[off..off + len])
+    }
+}
+
+impl Stream {
+    /// The owning device.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// `cudaStreamQuery`: true if every operation enqueued so far has
+    /// finished. Costs a sliver of CPU time.
+    pub fn query(&self) -> bool {
+        self.gpu.inner.counters.record("cudaStreamQuery");
+        sim_core::sleep(SimDur::from_nanos(self.gpu.inner.cost.query_ns));
+        let end = self.gpu.inner.sched.lock().stream_end[self.idx];
+        end <= sim_core::now()
+    }
+
+    /// `cudaStreamSynchronize`: block until all enqueued work finishes.
+    pub fn synchronize(&self) {
+        self.gpu.inner.counters.record("cudaStreamSynchronize");
+        let end = self.gpu.inner.sched.lock().stream_end[self.idx];
+        if sim_core::now() < end {
+            sim_core::sleep_until(end);
+        }
+    }
+
+    /// Record an event capturing all work enqueued so far.
+    pub fn record_event(&self) -> Completion {
+        let end = self.gpu.inner.sched.lock().stream_end[self.idx];
+        Completion::ready_at(end)
+    }
+
+    /// `cudaStreamWaitEvent`: future work on this stream starts no earlier
+    /// than `event`'s completion. The event must have a known finish time
+    /// (all simulated device events do).
+    pub fn wait_event(&self, event: &Completion) {
+        let at = event
+            .done_at()
+            .expect("Stream::wait_event requires an event with an assigned finish time");
+        let mut sched = self.gpu.inner.sched.lock();
+        let end = &mut sched.stream_end[self.idx];
+        *end = (*end).max(at);
+    }
+}

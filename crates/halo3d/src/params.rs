@@ -1,0 +1,159 @@
+//! 3-D decomposition parameters and topology.
+
+/// The three axes of the domain.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Axis {
+    /// Slowest-varying dimension.
+    I = 0,
+    /// Middle dimension.
+    J = 1,
+    /// Fastest-varying (contiguous) dimension.
+    K = 2,
+}
+
+impl Axis {
+    /// All axes.
+    pub const ALL: [Axis; 3] = [Axis::I, Axis::J, Axis::K];
+}
+
+/// Which side of an axis a face is on.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Side {
+    /// Towards index 0.
+    Low = 0,
+    /// Towards the last index.
+    High = 1,
+}
+
+impl Side {
+    /// Both sides.
+    pub const ALL: [Side; 2] = [Side::Low, Side::High];
+
+    /// The opposite side.
+    pub fn opposite(&self) -> Side {
+        match self {
+            Side::Low => Side::High,
+            Side::High => Side::Low,
+        }
+    }
+}
+
+/// Which exchange implementation to run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Host-staged blocking copies + host MPI.
+    Def,
+    /// Device buffers + subarray datatypes (MV2-GPU-NC).
+    Mv2,
+}
+
+/// One configuration: a `grid` of ranks, each owning a `local` block,
+/// iterated `iters` times.
+#[derive(Copy, Clone, Debug)]
+pub struct Halo3dParams {
+    /// Ranks per axis.
+    pub grid: (usize, usize, usize),
+    /// Interior cells per rank per axis.
+    pub local: (usize, usize, usize),
+    /// Jacobi iterations.
+    pub iters: usize,
+}
+
+impl Halo3dParams {
+    /// Total ranks.
+    pub fn nranks(&self) -> usize {
+        self.grid.0 * self.grid.1 * self.grid.2
+    }
+
+    /// Rank -> grid coordinates (i-major, k fastest).
+    pub fn coords(&self, rank: usize) -> (usize, usize, usize) {
+        let (gi, gj, gk) = self.grid;
+        let _ = gi;
+        let k = rank % gk;
+        let j = (rank / gk) % gj;
+        let i = rank / (gj * gk);
+        (i, j, k)
+    }
+
+    /// Grid coordinates -> rank.
+    pub fn rank_of(&self, c: (usize, usize, usize)) -> usize {
+        (c.0 * self.grid.1 + c.1) * self.grid.2 + c.2
+    }
+
+    /// The neighboring rank across (axis, side), if any.
+    pub fn neighbor(&self, rank: usize, axis: Axis, side: Side) -> Option<usize> {
+        let mut c = self.coords(rank);
+        let (axis_len, coord) = match axis {
+            Axis::I => (self.grid.0, &mut c.0),
+            Axis::J => (self.grid.1, &mut c.1),
+            Axis::K => (self.grid.2, &mut c.2),
+        };
+        match side {
+            Side::Low => {
+                if *coord == 0 {
+                    return None;
+                }
+                *coord -= 1;
+            }
+            Side::High => {
+                if *coord + 1 >= axis_len {
+                    return None;
+                }
+                *coord += 1;
+            }
+        }
+        Some(self.rank_of(c))
+    }
+}
+
+/// Deterministic initial value of global cell `(i, j, k)`.
+pub fn initial_value(i: usize, j: usize, k: usize) -> f64 {
+    (((i.wrapping_mul(73) ^ j.wrapping_mul(179) ^ k.wrapping_mul(283)) % 613) as f64) / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Halo3dParams {
+        Halo3dParams {
+            grid: (2, 3, 2),
+            local: (4, 4, 4),
+            iters: 1,
+        }
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let p = p();
+        for r in 0..p.nranks() {
+            assert_eq!(p.rank_of(p.coords(r)), r);
+        }
+        assert_eq!(p.coords(0), (0, 0, 0));
+        assert_eq!(p.coords(1), (0, 0, 1));
+        assert_eq!(p.coords(2), (0, 1, 0));
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let p = p();
+        assert_eq!(p.neighbor(0, Axis::I, Side::Low), None);
+        assert_eq!(p.neighbor(0, Axis::I, Side::High), Some(6));
+        assert_eq!(p.neighbor(0, Axis::K, Side::High), Some(1));
+        assert_eq!(p.neighbor(1, Axis::K, Side::High), None);
+        // Symmetric: my High neighbor's Low neighbor is me.
+        for r in 0..p.nranks() {
+            for a in Axis::ALL {
+                if let Some(n) = p.neighbor(r, a, Side::High) {
+                    assert_eq!(p.neighbor(n, a, Side::Low), Some(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn side_opposite() {
+        assert_eq!(Side::Low.opposite(), Side::High);
+        assert_eq!(Side::High.opposite(), Side::Low);
+    }
+}

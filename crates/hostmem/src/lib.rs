@@ -1,0 +1,389 @@
+//! # hostmem — simulated host (CPU) memory regions
+//!
+//! In the simulated cluster every node's host memory lives in the test
+//! process's address space. A [`HostBuf`] is one allocation (a user buffer, a
+//! registered staging buffer, an MPI bounce buffer); a [`HostPtr`] is a
+//! cheap, cloneable "address" into one. Both the GPU simulator (PCIe DMA)
+//! and the InfiniBand simulator (NIC DMA) move bytes between these regions,
+//! so the crate sits below both.
+//!
+//! Buffers carry a process-global unique id used as a registration key by
+//! the verbs layer, and a *pinned* flag mirroring page-locked host memory:
+//! RDMA requires registration, and registration pins.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+struct Inner {
+    id: u64,
+    data: Mutex<Vec<u8>>,
+    pinned: AtomicBool,
+}
+
+/// One host memory allocation. Clones are shallow (same storage).
+#[derive(Clone)]
+pub struct HostBuf {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for HostBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HostBuf#{}[{}B]", self.inner.id, self.len())
+    }
+}
+
+impl HostBuf {
+    /// Allocate a zero-filled buffer of `len` bytes.
+    pub fn alloc(len: usize) -> Self {
+        Self::from_vec(vec![0u8; len])
+    }
+
+    /// Wrap an existing byte vector.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        HostBuf {
+            inner: Arc::new(Inner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                data: Mutex::new(v),
+                pinned: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The buffer's process-global unique id (registration key).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.data.lock().len()
+    }
+
+    /// True for zero-length buffers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mark as page-locked (done by memory registration).
+    pub fn pin(&self) {
+        self.inner.pinned.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the buffer is page-locked.
+    pub fn is_pinned(&self) -> bool {
+        self.inner.pinned.load(Ordering::Relaxed)
+    }
+
+    /// A pointer to byte `offset`.
+    pub fn ptr(&self, offset: usize) -> HostPtr {
+        assert!(
+            offset <= self.len(),
+            "HostBuf::ptr: offset {offset} out of bounds (len {})",
+            self.len()
+        );
+        HostPtr {
+            buf: self.clone(),
+            offset,
+        }
+    }
+
+    /// A pointer to the start of the buffer.
+    pub fn base(&self) -> HostPtr {
+        self.ptr(0)
+    }
+
+    /// Copy `out.len()` bytes starting at `offset` into `out`.
+    pub fn read_into(&self, offset: usize, out: &mut [u8]) {
+        let data = self.inner.data.lock();
+        let end = offset
+            .checked_add(out.len())
+            .filter(|&e| e <= data.len())
+            .unwrap_or_else(|| {
+                panic!(
+                    "HostBuf::read_into: range {offset}..+{} out of bounds (len {})",
+                    out.len(),
+                    data.len()
+                )
+            });
+        out.copy_from_slice(&data[offset..end]);
+    }
+
+    /// Read `len` bytes starting at `offset`.
+    pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.read_into(offset, &mut v);
+        v
+    }
+
+    /// Write `src` starting at `offset`.
+    pub fn write(&self, offset: usize, src: &[u8]) {
+        let mut data = self.inner.data.lock();
+        let end = offset
+            .checked_add(src.len())
+            .filter(|&e| e <= data.len())
+            .unwrap_or_else(|| {
+                panic!(
+                    "HostBuf::write: range {offset}..+{} out of bounds (len {})",
+                    src.len(),
+                    data.len()
+                )
+            });
+        data[offset..end].copy_from_slice(src);
+    }
+
+    /// Run `f` over the raw storage (single lock acquisition; used by bulk
+    /// operations like strided copies).
+    pub fn with_slice<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        f(&mut self.inner.data.lock())
+    }
+
+    /// Byte-for-byte copy between host buffers (may be the same buffer as
+    /// long as the ranges do not overlap).
+    pub fn copy(src: &HostPtr, dst: &HostPtr, len: usize) {
+        if Arc::ptr_eq(&src.buf.inner, &dst.buf.inner) {
+            let mut data = src.buf.inner.data.lock();
+            let (s, d, l) = (src.offset, dst.offset, len);
+            assert!(
+                s + l <= data.len() && d + l <= data.len(),
+                "HostBuf::copy: out of bounds"
+            );
+            assert!(
+                s + l <= d || d + l <= s || l == 0,
+                "HostBuf::copy: overlapping ranges within one buffer"
+            );
+            data.copy_within(s..s + l, d);
+        } else {
+            let tmp = src.buf.read(src.offset, len);
+            dst.buf.write(dst.offset, &tmp);
+        }
+    }
+}
+
+/// A cheap cloneable address inside a [`HostBuf`].
+#[derive(Clone)]
+pub struct HostPtr {
+    buf: HostBuf,
+    offset: usize,
+}
+
+impl fmt::Debug for HostPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HostPtr#{}+{}", self.buf.id(), self.offset)
+    }
+}
+
+impl HostPtr {
+    /// The underlying buffer.
+    pub fn buf(&self) -> &HostBuf {
+        &self.buf
+    }
+
+    /// Byte offset within the buffer.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// A pointer `bytes` further into the buffer.
+    pub fn add(&self, bytes: usize) -> HostPtr {
+        self.buf.ptr(self.offset + bytes)
+    }
+
+    /// Bytes remaining between this pointer and the end of the buffer.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.offset
+    }
+
+    /// Read `len` bytes at this address.
+    pub fn read(&self, len: usize) -> Vec<u8> {
+        self.buf.read(self.offset, len)
+    }
+
+    /// Write `src` at this address.
+    pub fn write(&self, src: &[u8]) {
+        self.buf.write(self.offset, src)
+    }
+}
+
+/// Fixed-size scalars that can live in simulated memory (host or device).
+///
+/// All storage is little-endian, matching the simulated homogeneous cluster.
+pub trait Scalar: Copy + PartialEq + fmt::Debug + Send + 'static {
+    /// Size of the encoded scalar in bytes.
+    const SIZE: usize;
+    /// Encode into `out` (exactly `SIZE` bytes).
+    fn write_le(self, out: &mut [u8]);
+    /// Decode from `inp` (exactly `SIZE` bytes).
+    fn read_le(inp: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            fn write_le(self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+            fn read_le(inp: &[u8]) -> Self {
+                <$t>::from_le_bytes(inp.try_into().expect("Scalar::read_le: wrong length"))
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Encode a slice of scalars into bytes.
+pub fn scalars_to_bytes<T: Scalar>(vals: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; vals.len() * T::SIZE];
+    for (i, v) in vals.iter().enumerate() {
+        v.write_le(&mut out[i * T::SIZE..(i + 1) * T::SIZE]);
+    }
+    out
+}
+
+/// Decode bytes into scalars. Panics if `bytes` is not a whole number of
+/// scalars.
+pub fn bytes_to_scalars<T: Scalar>(bytes: &[u8]) -> Vec<T> {
+    assert_eq!(
+        bytes.len() % T::SIZE,
+        0,
+        "bytes_to_scalars: {} is not a multiple of {}",
+        bytes.len(),
+        T::SIZE
+    );
+    bytes
+        .chunks_exact(T::SIZE)
+        .map(|c| T::read_le(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn alloc_is_zeroed() {
+        let b = HostBuf::alloc(16);
+        assert_eq!(b.read(0, 16), vec![0u8; 16]);
+        assert_eq!(b.len(), 16);
+        assert!(!b.is_empty());
+        assert!(HostBuf::alloc(0).is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = HostBuf::alloc(1);
+        let b = HostBuf::alloc(1);
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.id(), a.clone().id(), "clones share identity");
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let b = HostBuf::alloc(8);
+        b.write(2, &[1, 2, 3]);
+        assert_eq!(b.read(0, 8), vec![0, 0, 1, 2, 3, 0, 0, 0]);
+        assert_eq!(b.ptr(2).read(3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ptr_arithmetic() {
+        let b = HostBuf::alloc(10);
+        let p = b.ptr(4);
+        assert_eq!(p.offset(), 4);
+        assert_eq!(p.add(3).offset(), 7);
+        assert_eq!(p.remaining(), 6);
+        p.write(&[9]);
+        assert_eq!(b.read(4, 1), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_write_panics() {
+        HostBuf::alloc(4).write(2, &[0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_ptr_panics() {
+        let _ = HostBuf::alloc(4).ptr(5);
+    }
+
+    #[test]
+    fn copy_between_buffers() {
+        let a = HostBuf::from_vec(vec![1, 2, 3, 4]);
+        let b = HostBuf::alloc(4);
+        HostBuf::copy(&a.ptr(1), &b.ptr(2), 2);
+        assert_eq!(b.read(0, 4), vec![0, 0, 2, 3]);
+    }
+
+    #[test]
+    fn copy_within_one_buffer_disjoint() {
+        let a = HostBuf::from_vec(vec![1, 2, 3, 4, 5, 6]);
+        HostBuf::copy(&a.ptr(0), &a.ptr(3), 3);
+        assert_eq!(a.read(0, 6), vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn copy_overlap_panics() {
+        let a = HostBuf::alloc(8);
+        HostBuf::copy(&a.ptr(0), &a.ptr(2), 4);
+    }
+
+    #[test]
+    fn pinning() {
+        let b = HostBuf::alloc(1);
+        assert!(!b.is_pinned());
+        b.pin();
+        assert!(b.is_pinned());
+    }
+
+    #[test]
+    fn scalar_round_trip_f32() {
+        let vals = [1.5f32, -2.25, 0.0, f32::MAX];
+        let bytes = scalars_to_bytes(&vals);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(bytes_to_scalars::<f32>(&bytes), vals);
+    }
+
+    #[test]
+    fn scalar_round_trip_f64_u32() {
+        let vals = [1.5f64, -0.125];
+        assert_eq!(bytes_to_scalars::<f64>(&scalars_to_bytes(&vals)), vals);
+        let ints = [7u32, 0xdead_beef];
+        assert_eq!(bytes_to_scalars::<u32>(&scalars_to_bytes(&ints)), ints);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_write_then_read(data in proptest::collection::vec(any::<u8>(), 0..256),
+                                pad in 0usize..32) {
+            let b = HostBuf::alloc(data.len() + pad);
+            b.write(pad / 2, &data);
+            prop_assert_eq!(b.read(pad / 2, data.len()), data);
+        }
+
+        #[test]
+        fn prop_scalars_round_trip(vals in proptest::collection::vec(any::<i64>(), 0..64)) {
+            prop_assert_eq!(bytes_to_scalars::<i64>(&scalars_to_bytes(&vals)), vals);
+        }
+
+        #[test]
+        fn prop_copy_is_exact(src in proptest::collection::vec(any::<u8>(), 1..128),
+                              doff in 0usize..64) {
+            let a = HostBuf::from_vec(src.clone());
+            let b = HostBuf::alloc(src.len() + doff);
+            HostBuf::copy(&a.base(), &b.ptr(doff), src.len());
+            prop_assert_eq!(b.read(doff, src.len()), src);
+        }
+    }
+}

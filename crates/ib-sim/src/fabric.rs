@@ -1,0 +1,398 @@
+//! The fabric: HCAs, reliable-connected messaging and RDMA writes.
+//!
+//! What is modeled, and why it is enough for the paper's protocol:
+//!
+//! * **SEND/RECV** ([`Nic::send`]) — reliable, in-order delivery of typed
+//!   messages into the destination's mailbox. Used for MPI envelopes,
+//!   eager payloads and the RTS/CTS/FIN control traffic of rendezvous
+//!   protocols.
+//! * **RDMA WRITE** ([`Nic::rdma_write`]) — one-sided placement of bytes
+//!   into a *registered* remote host region, invisible to the remote CPU
+//!   (no completion is delivered there; the protocol above announces
+//!   completion with its own FIN message, exactly as MVAPICH2 does).
+//! * **Registration** ([`Nic::register`]) — RDMA targets and sources must
+//!   be registered (which pins them); unregistered access panics, which is
+//!   the simulator's equivalent of a protection fault on the HCA.
+//!
+//! Timing: each HCA has one transmit engine. An operation occupies the
+//! engine for `bytes/bw`, and the payload lands `wire_lat` after it leaves
+//! the engine. Because every message from one node serializes through that
+//! engine and latency is constant, delivery from any source is in posting
+//! order — the in-order guarantee of an IB reliable-connected QP.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hostmem::{HostBuf, HostPtr};
+use parking_lot::Mutex;
+use sim_core::{Completion, Mailbox, SimDur, SimTime};
+
+use crate::model::NetModel;
+
+/// A message delivered to a node's mailbox.
+pub struct Packet {
+    /// Sending node id.
+    pub src: usize,
+    /// Number of bytes this packet occupied on the wire (control header or
+    /// eager payload size).
+    pub wire_bytes: usize,
+    /// Opaque payload; the protocol layer downcasts it.
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Remote key of a registered memory region.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MrKey(u64);
+
+struct Mr {
+    buf: HostBuf,
+}
+
+struct NodeNet {
+    /// When this node's transmit engine is next free.
+    tx_free: SimTime,
+    /// Registered memory regions (keyed for remote access).
+    mrs: HashMap<MrKey, Mr>,
+}
+
+struct FabricInner {
+    model: NetModel,
+    nodes: Mutex<Vec<NodeNet>>,
+    /// One mailbox per node; outside the lock so receivers don't contend.
+    mailboxes: Vec<Mailbox<Packet>>,
+    next_key: AtomicU64,
+}
+
+/// The simulated cluster interconnect. Clones are shallow.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+/// A per-node HCA handle.
+#[derive(Clone)]
+pub struct Nic {
+    fabric: Fabric,
+    node: usize,
+}
+
+impl Fabric {
+    /// Create a fabric connecting `nodes` nodes.
+    pub fn new(nodes: usize, model: NetModel) -> Self {
+        Fabric {
+            inner: Arc::new(FabricInner {
+                model,
+                nodes: Mutex::new(
+                    (0..nodes)
+                        .map(|_| NodeNet {
+                            tx_free: SimTime::ZERO,
+                            mrs: HashMap::new(),
+                        })
+                        .collect(),
+                ),
+                mailboxes: (0..nodes).map(|_| Mailbox::new()).collect(),
+                next_key: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.inner.mailboxes.len()
+    }
+
+    /// The HCA of `node`.
+    pub fn nic(&self, node: usize) -> Nic {
+        assert!(node < self.num_nodes(), "no such node {node}");
+        Nic {
+            fabric: self.clone(),
+            node,
+        }
+    }
+
+    /// The network cost model.
+    pub fn model(&self) -> &NetModel {
+        &self.inner.model
+    }
+}
+
+impl Nic {
+    /// This HCA's node id.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The mailbox where this node's incoming packets land.
+    pub fn mailbox(&self) -> &Mailbox<Packet> {
+        &self.fabric.inner.mailboxes[self.node]
+    }
+
+    /// Occupy the transmit engine for `bytes` and return (engine release
+    /// time, payload arrival time).
+    fn tx_schedule(&self, bytes: usize) -> (SimTime, SimTime) {
+        let m = &self.fabric.inner.model;
+        let now = sim_core::now();
+        let mut nodes = self.fabric.inner.nodes.lock();
+        let start = now.max(nodes[self.node].tx_free);
+        let tx_done = start + m.serialize_time(bytes);
+        nodes[self.node].tx_free = tx_done;
+        (tx_done, tx_done + SimDur::from_nanos(m.wire_lat_ns))
+    }
+
+    fn post_overhead(&self) {
+        sim_core::sleep(SimDur::from_nanos(
+            self.fabric.inner.model.post_overhead_ns,
+        ));
+    }
+
+    /// Reliable two-sided send: delivers a [`Packet`] into `dst`'s mailbox.
+    /// `wire_bytes` is the size the message occupies on the wire (use
+    /// [`NetModel::ctrl_bytes`] for control messages, the payload length for
+    /// eager data). Returns the sender-side completion (ack'd delivery).
+    pub fn send(
+        &self,
+        dst: usize,
+        wire_bytes: usize,
+        payload: Box<dyn Any + Send>,
+    ) -> Completion {
+        assert!(dst < self.fabric.num_nodes(), "no such node {dst}");
+        self.post_overhead();
+        let (_, arrival) = self.tx_schedule(wire_bytes);
+        self.fabric.inner.mailboxes[dst].send_at(
+            arrival,
+            Packet {
+                src: self.node,
+                wire_bytes,
+                payload,
+            },
+        );
+        Completion::ready_at(arrival)
+    }
+
+    /// Convenience: send a control-sized message.
+    pub fn send_ctrl(&self, dst: usize, payload: Box<dyn Any + Send>) -> Completion {
+        let bytes = self.fabric.inner.model.ctrl_bytes;
+        self.send(dst, bytes, payload)
+    }
+
+    /// Register `buf` for remote access (pins it). Costs registration time.
+    pub fn register(&self, buf: &HostBuf) -> MrKey {
+        let m = &self.fabric.inner.model;
+        if sim_core::in_sim() {
+            sim_core::sleep(m.reg_time(buf.len()));
+        }
+        buf.pin();
+        let key = MrKey(self.fabric.inner.next_key.fetch_add(1, Ordering::Relaxed));
+        self.fabric.inner.nodes.lock()[self.node]
+            .mrs
+            .insert(key, Mr { buf: buf.clone() });
+        key
+    }
+
+    /// Remove a registration. The region stays pinned (as after
+    /// `ibv_dereg_mr` the pages may stay resident); remote access through
+    /// the key now faults.
+    pub fn deregister(&self, key: MrKey) {
+        let removed = self.fabric.inner.nodes.lock()[self.node].mrs.remove(&key);
+        assert!(removed.is_some(), "deregister of unknown MrKey {key:?}");
+    }
+
+    /// One-sided RDMA write: place `len` bytes from the local pinned region
+    /// at `src` into `(dst_node, key, dst_offset)`. The remote CPU sees no
+    /// event; the returned completion is the sender-side CQE.
+    ///
+    /// Panics (a simulated HCA protection fault) if the local source is not
+    /// pinned, the remote key is unknown, or the write is out of bounds.
+    pub fn rdma_write(
+        &self,
+        dst_node: usize,
+        key: MrKey,
+        dst_offset: usize,
+        src: &HostPtr,
+        len: usize,
+    ) -> Completion {
+        assert!(
+            src.buf().is_pinned(),
+            "RDMA write from unpinned local memory {:?}",
+            src.buf()
+        );
+        self.post_overhead();
+        // Validate and copy into the remote region. The copy is performed
+        // eagerly; remote visibility is ordered by the fabric because any
+        // notification of this write travels behind it on the same engine.
+        {
+            let nodes = self.fabric.inner.nodes.lock();
+            let mr = nodes[dst_node]
+                .mrs
+                .get(&key)
+                .unwrap_or_else(|| panic!("RDMA write to unknown MrKey {key:?} on node {dst_node}"));
+            assert!(
+                dst_offset + len <= mr.buf.len(),
+                "RDMA write out of bounds: {dst_offset}+{len} > {}",
+                mr.buf.len()
+            );
+            let data = src.read(len);
+            mr.buf.write(dst_offset, &data);
+        }
+        let (_, arrival) = self.tx_schedule(len);
+        Completion::ready_at(arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{now, Sim};
+
+    fn in_sim(f: impl FnOnce() + Send + 'static) {
+        let sim = Sim::new();
+        sim.spawn("test", f);
+        sim.run();
+    }
+
+    #[test]
+    fn send_delivers_after_wire_time() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(2, NetModel::qdr());
+        {
+            let nic = fabric.nic(0);
+            sim.spawn("sender", move || {
+                nic.send(1, 1 << 20, Box::new(42u32));
+            });
+        }
+        {
+            let nic = fabric.nic(1);
+            sim.spawn("receiver", move || {
+                let pkt = nic.mailbox().recv();
+                assert_eq!(pkt.src, 0);
+                assert_eq!(*pkt.payload.downcast::<u32>().unwrap(), 42);
+                // ~300 ns post + ~328 us serialize + 1.3 us latency.
+                let us = now().as_micros_f64();
+                assert!((us - 329.3).abs() < 2.0, "arrival at {us} us");
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn sends_from_one_node_are_in_order() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(2, NetModel::qdr());
+        {
+            let nic = fabric.nic(0);
+            sim.spawn("sender", move || {
+                // A large message posted first must arrive before a small
+                // one posted second (same QP ordering).
+                nic.send(1, 1 << 20, Box::new(1u32));
+                nic.send(1, 8, Box::new(2u32));
+            });
+        }
+        {
+            let nic = fabric.nic(1);
+            sim.spawn("receiver", move || {
+                let a = nic.mailbox().recv();
+                let b = nic.mailbox().recv();
+                assert_eq!(*a.payload.downcast::<u32>().unwrap(), 1);
+                assert_eq!(*b.payload.downcast::<u32>().unwrap(), 2);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn rdma_write_places_bytes_remotely() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(2, NetModel::qdr());
+        let target = HostBuf::alloc(64);
+        let key = fabric.nic(1).register(&target); // outside sim: no time cost
+        {
+            let nic = fabric.nic(0);
+            let t2 = target.clone();
+            sim.spawn("writer", move || {
+                let src = HostBuf::from_vec(vec![7u8; 16]);
+                nic.register(&src); // pin it
+                let c = nic.rdma_write(1, key, 8, &src.base(), 16);
+                c.wait();
+                assert_eq!(t2.read(8, 16), vec![7u8; 16]);
+                assert_eq!(t2.read(0, 8), vec![0u8; 8]);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "unpinned local memory")]
+    fn rdma_from_unpinned_faults() {
+        let fabric = Fabric::new(2, NetModel::qdr());
+        let target = HostBuf::alloc(64);
+        let key = fabric.nic(1).register(&target);
+        in_sim(move || {
+            let src = HostBuf::alloc(16);
+            fabric.nic(0).rdma_write(1, key, 0, &src.base(), 16);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rdma_out_of_bounds_faults() {
+        let fabric = Fabric::new(2, NetModel::qdr());
+        let target = HostBuf::alloc(64);
+        let key = fabric.nic(1).register(&target);
+        in_sim(move || {
+            let src = HostBuf::alloc(128);
+            fabric.nic(0).register(&src);
+            fabric.nic(0).rdma_write(1, key, 0, &src.base(), 128);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown MrKey")]
+    fn rdma_after_deregister_faults() {
+        let fabric = Fabric::new(2, NetModel::qdr());
+        let target = HostBuf::alloc(64);
+        let nic1 = fabric.nic(1);
+        let key = nic1.register(&target);
+        nic1.deregister(key);
+        in_sim(move || {
+            let src = HostBuf::alloc(16);
+            fabric.nic(0).register(&src);
+            fabric.nic(0).rdma_write(1, key, 0, &src.base(), 16);
+        });
+    }
+
+    #[test]
+    fn registration_costs_time_in_sim() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(1, NetModel::qdr());
+        sim.spawn("p", move || {
+            let buf = HostBuf::alloc(1 << 20);
+            let t0 = now();
+            fabric.nic(0).register(&buf);
+            assert!(now() > t0);
+            assert!(buf.is_pinned());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn control_messages_are_cheap() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(2, NetModel::qdr());
+        {
+            let nic = fabric.nic(0);
+            sim.spawn("sender", move || {
+                nic.send_ctrl(1, Box::new("rts"));
+            });
+        }
+        {
+            let nic = fabric.nic(1);
+            sim.spawn("receiver", move || {
+                let _ = nic.mailbox().recv();
+                assert!(now().as_micros_f64() < 2.0, "ctrl took {}", now());
+            });
+        }
+        sim.run();
+    }
+}

@@ -1,0 +1,72 @@
+//! Network cost model for the simulated InfiniBand fabric.
+
+use sim_core::SimDur;
+
+/// Analytic cost model of one HCA + switch fabric, calibrated to Mellanox
+/// QDR (MT26428) as used in the paper's testbed.
+#[derive(Clone, Debug)]
+pub struct NetModel {
+    /// One-way wire + switch latency (ns).
+    pub wire_lat_ns: u64,
+    /// Effective point-to-point bandwidth, bytes per second. QDR signals at
+    /// 40 Gb/s; 8b/10b encoding and protocol overheads leave ~3.2 GB/s.
+    pub bw_bps: f64,
+    /// CPU cost of posting one verb (ns).
+    pub post_overhead_ns: u64,
+    /// Modeled wire size of a control message (RTS/CTS/FIN), bytes.
+    pub ctrl_bytes: usize,
+    /// Base cost of registering a memory region (ns).
+    pub reg_base_ns: u64,
+    /// Additional registration cost per 4 KiB page (ns).
+    pub reg_per_page_ns: u64,
+}
+
+impl NetModel {
+    /// Calibrated model for the paper's QDR InfiniBand cluster.
+    pub fn qdr() -> Self {
+        NetModel {
+            wire_lat_ns: 1_300,
+            bw_bps: 3.2e9,
+            post_overhead_ns: 300,
+            ctrl_bytes: 64,
+            reg_base_ns: 10_000,
+            reg_per_page_ns: 150,
+        }
+    }
+
+    /// Time the wire is occupied by a `bytes`-sized transfer.
+    pub fn serialize_time(&self, bytes: usize) -> SimDur {
+        SimDur::from_nanos((bytes as f64 / self.bw_bps * 1e9).round() as u64)
+    }
+
+    /// Cost of registering `bytes` of host memory.
+    pub fn reg_time(&self, bytes: usize) -> SimDur {
+        let pages = bytes.div_ceil(4096) as u64;
+        SimDur::from_nanos(self.reg_base_ns + pages * self.reg_per_page_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qdr_numbers_are_sane() {
+        let m = NetModel::qdr();
+        // 1 MiB at 3.2 GB/s is ~328 us.
+        let t = m.serialize_time(1 << 20).as_micros_f64();
+        assert!((t - 327.7).abs() < 2.0, "got {t}");
+        // Small-message latency is dominated by wire latency.
+        assert!(m.serialize_time(64).as_nanos() < m.wire_lat_ns);
+    }
+
+    #[test]
+    fn reg_time_scales_with_pages() {
+        let m = NetModel::qdr();
+        assert!(m.reg_time(1 << 20) > m.reg_time(4096));
+        assert_eq!(
+            m.reg_time(1).as_nanos(),
+            m.reg_base_ns + m.reg_per_page_ns
+        );
+    }
+}

@@ -1,0 +1,756 @@
+//! Collective operations, built over point-to-point on each communicator's
+//! private collective context.
+//!
+//! The set real applications lean on: `barrier` (dissemination), `bcast`
+//! (binomial tree), `gather`, `scatter`, `allgather`, `alltoall`, `reduce`,
+//! `allreduce`, `sendrecv`. Collectives must be called in the same order by
+//! every member (the MPI rule); a per-communicator sequence number isolates
+//! consecutive collectives, and sub-communicators (from [`Comm::split`])
+//! get disjoint contexts so concurrent collectives on different
+//! communicators cannot interfere.
+//!
+//! `barrier`/`bcast`/`gather`/`scatter`/`allgather`/`alltoall` move data
+//! through the normal staging machinery, so they work on **device buffers
+//! too** — GPU-aware collectives, the natural extension of the paper's
+//! design (and where MVAPICH2 went next). Reductions need to read the data
+//! on the CPU and are defined for host buffers of primitive types.
+
+use gpu_sim::Loc;
+use hostmem::{HostBuf, Scalar};
+
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::engine::{Engine, SrcSel, TagSel};
+use crate::proto::ReqId;
+
+/// Predefined reduction operators.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ReduceOp {
+    /// MPI_SUM.
+    Sum,
+    /// MPI_PROD.
+    Prod,
+    /// MPI_MAX.
+    Max,
+    /// MPI_MIN.
+    Min,
+}
+
+impl ReduceOp {
+    fn fold<T: Scalar + PartialOrd + std::ops::Add<Output = T> + std::ops::Mul<Output = T>>(
+        &self,
+        a: T,
+        b: T,
+    ) -> T {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Prod => a * b,
+            ReduceOp::Max => {
+                if b > a {
+                    b
+                } else {
+                    a
+                }
+            }
+            ReduceOp::Min => {
+                if b < a {
+                    b
+                } else {
+                    a
+                }
+            }
+        }
+    }
+}
+
+fn coll_wait(eng: &mut Engine, ids: Vec<ReqId>) {
+    loop {
+        eng.progress();
+        let all = ids.iter().all(|&id| {
+            if eng.is_send(id) {
+                eng.send_done(id)
+            } else {
+                eng.recv_done(id).is_some()
+            }
+        });
+        if all {
+            break;
+        }
+        eng.idle_block();
+    }
+    for id in ids {
+        if eng.is_send(id) {
+            eng.reap_send(id);
+        } else {
+            eng.reap_recv(id);
+        }
+    }
+}
+
+fn combine_bytes(op: ReduceOp, dtype: &Datatype, acc: &mut [u8], inc: &[u8]) {
+    fn fold_slice<T>(op: ReduceOp, acc: &mut [u8], inc: &[u8])
+    where
+        T: Scalar + PartialOrd + std::ops::Add<Output = T> + std::ops::Mul<Output = T>,
+    {
+        for (a, b) in acc.chunks_exact_mut(T::SIZE).zip(inc.chunks_exact(T::SIZE)) {
+            let v = op.fold(T::read_le(a), T::read_le(b));
+            v.write_le(a);
+        }
+    }
+    match dtype
+        .primitive_name()
+        .expect("reductions are defined on primitive datatypes")
+    {
+        "MPI_FLOAT" => fold_slice::<f32>(op, acc, inc),
+        "MPI_DOUBLE" => fold_slice::<f64>(op, acc, inc),
+        "MPI_INT" => fold_slice::<i32>(op, acc, inc),
+        "MPI_LONG" => fold_slice::<i64>(op, acc, inc),
+        "MPI_BYTE" | "MPI_CHAR" => fold_slice::<u8>(op, acc, inc),
+        other => panic!("no reduction defined for {other}"),
+    }
+}
+
+impl Comm {
+    /// `MPI_Barrier` (dissemination algorithm).
+    pub fn barrier(&self) {
+        let (rank, size) = (self.rank(), self.size());
+        let base = self.next_coll_tag();
+        let ctx = self.coll_ctx();
+        let mut eng = self.engine().lock();
+        eng.counters.record("MPI_Barrier");
+        if size == 1 {
+            return;
+        }
+        let empty = HostBuf::alloc(0);
+        let byte = Datatype::byte();
+        byte.commit();
+        let mut k = 1;
+        let mut round = 0u32;
+        while k < size {
+            let dst = self.world_rank_of((rank + k) % size);
+            let src = self.world_rank_of((rank + size - k) % size);
+            let s = eng.isend(Loc::Host(empty.base()), 0, &byte, dst, base + round, ctx);
+            let r = eng.irecv(
+                Loc::Host(empty.base()),
+                0,
+                &byte,
+                SrcSel(Some(src)),
+                TagSel(Some(base + round)),
+                ctx,
+            );
+            coll_wait(&mut eng, vec![s, r]);
+            k *= 2;
+            round += 1;
+        }
+    }
+
+    /// `MPI_Bcast`: binomial tree from `root` (group rank). Works on host
+    /// and device buffers.
+    pub fn bcast(&self, buf: impl Into<Loc>, count: usize, dtype: &Datatype, root: usize) {
+        let buf = buf.into();
+        let (rank, size) = (self.rank(), self.size());
+        let tag = self.next_coll_tag();
+        let ctx = self.coll_ctx();
+        let mut eng = self.engine().lock();
+        eng.counters.record("MPI_Bcast");
+        if size == 1 {
+            return;
+        }
+        let vrank = (rank + size - root) % size;
+        let mut mask = 1usize;
+        while mask < size {
+            if vrank & mask != 0 {
+                let src = self.world_rank_of((vrank - mask + root) % size);
+                let id = eng.irecv(
+                    buf.clone(),
+                    count,
+                    dtype,
+                    SrcSel(Some(src)),
+                    TagSel(Some(tag)),
+                    ctx,
+                );
+                coll_wait(&mut eng, vec![id]);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vrank & mask == 0 && vrank + mask < size {
+                let dst = self.world_rank_of((vrank + mask + root) % size);
+                let id = eng.isend(buf.clone(), count, dtype, dst, tag, ctx);
+                coll_wait(&mut eng, vec![id]);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// `MPI_Gather`: every rank's `(sendbuf, count, dtype)` lands in
+    /// `recvbuf` at rank `root`, block `i` at byte offset
+    /// `i * count * extent`. `recvbuf` is only read on the root. Works on
+    /// host and device buffers (the root's own block travels as a
+    /// self-message through the same machinery).
+    pub fn gather(
+        &self,
+        sendbuf: impl Into<Loc>,
+        recvbuf: impl Into<Loc>,
+        count: usize,
+        dtype: &Datatype,
+        root: usize,
+    ) {
+        let (sendbuf, recvbuf) = (sendbuf.into(), recvbuf.into());
+        let (rank, size) = (self.rank(), self.size());
+        let tag = self.next_coll_tag();
+        let ctx = self.coll_ctx();
+        let root_world = self.world_rank_of(root);
+        let mut eng = self.engine().lock();
+        eng.counters.record("MPI_Gather");
+        let ext = dtype.extent();
+        assert!(ext > 0, "gather needs a positive-extent datatype");
+        let block = count * ext as usize;
+        let mut ids = vec![eng.isend(sendbuf, count, dtype, root_world, tag, ctx)];
+        if rank == root {
+            for i in 0..size {
+                ids.push(eng.irecv(
+                    recvbuf.add(i * block),
+                    count,
+                    dtype,
+                    SrcSel(Some(self.world_rank_of(i))),
+                    TagSel(Some(tag)),
+                    ctx,
+                ));
+            }
+        }
+        coll_wait(&mut eng, ids);
+    }
+
+    /// `MPI_Scatter`: block `i` of `sendbuf` on `root` (at byte offset
+    /// `i * count * extent`) lands in every rank `i`'s `recvbuf`.
+    pub fn scatter(
+        &self,
+        sendbuf: impl Into<Loc>,
+        recvbuf: impl Into<Loc>,
+        count: usize,
+        dtype: &Datatype,
+        root: usize,
+    ) {
+        let (sendbuf, recvbuf) = (sendbuf.into(), recvbuf.into());
+        let (rank, size) = (self.rank(), self.size());
+        let tag = self.next_coll_tag();
+        let ctx = self.coll_ctx();
+        let root_world = self.world_rank_of(root);
+        let mut eng = self.engine().lock();
+        eng.counters.record("MPI_Scatter");
+        let ext = dtype.extent();
+        assert!(ext > 0, "scatter needs a positive-extent datatype");
+        let block = count * ext as usize;
+        let mut ids = vec![eng.irecv(
+            recvbuf,
+            count,
+            dtype,
+            SrcSel(Some(root_world)),
+            TagSel(Some(tag)),
+            ctx,
+        )];
+        if rank == root {
+            for i in 0..size {
+                ids.push(eng.isend(
+                    sendbuf.add(i * block),
+                    count,
+                    dtype,
+                    self.world_rank_of(i),
+                    tag,
+                    ctx,
+                ));
+            }
+        }
+        coll_wait(&mut eng, ids);
+    }
+
+    /// `MPI_Allgather`: gather to rank 0, then broadcast the assembled
+    /// buffer.
+    pub fn allgather(
+        &self,
+        sendbuf: impl Into<Loc>,
+        recvbuf: impl Into<Loc>,
+        count: usize,
+        dtype: &Datatype,
+    ) {
+        let recvbuf = recvbuf.into();
+        let n = self.size();
+        self.gather(sendbuf, recvbuf.clone(), count, dtype, 0);
+        self.bcast(recvbuf, n * count, dtype, 0);
+    }
+
+    /// `MPI_Alltoall`: rank `i`'s block `j` lands in rank `j`'s block `i`.
+    /// All transfers are posted nonblocking and drained together, so the
+    /// schedule is deadlock-free for any communicator size.
+    pub fn alltoall(
+        &self,
+        sendbuf: impl Into<Loc>,
+        recvbuf: impl Into<Loc>,
+        count: usize,
+        dtype: &Datatype,
+    ) {
+        let (sendbuf, recvbuf) = (sendbuf.into(), recvbuf.into());
+        let size = self.size();
+        let tag = self.next_coll_tag();
+        let ctx = self.coll_ctx();
+        let mut eng = self.engine().lock();
+        eng.counters.record("MPI_Alltoall");
+        let ext = dtype.extent();
+        assert!(ext > 0, "alltoall needs a positive-extent datatype");
+        let block = count * ext as usize;
+        let mut ids = Vec::with_capacity(2 * size);
+        for peer in 0..size {
+            ids.push(eng.irecv(
+                recvbuf.add(peer * block),
+                count,
+                dtype,
+                SrcSel(Some(self.world_rank_of(peer))),
+                TagSel(Some(tag)),
+                ctx,
+            ));
+        }
+        for peer in 0..size {
+            ids.push(eng.isend(
+                sendbuf.add(peer * block),
+                count,
+                dtype,
+                self.world_rank_of(peer),
+                tag,
+                ctx,
+            ));
+        }
+        coll_wait(&mut eng, ids);
+    }
+
+    /// `MPI_Reduce` for host buffers of primitive types: elementwise `op`
+    /// into `recvbuf` on `root` (only read there).
+    pub fn reduce(
+        &self,
+        sendbuf: &hostmem::HostPtr,
+        recvbuf: &hostmem::HostPtr,
+        count: usize,
+        dtype: &Datatype,
+        op: ReduceOp,
+        root: usize,
+    ) {
+        assert!(
+            dtype.primitive_name().is_some(),
+            "reductions are defined on primitive datatypes"
+        );
+        let (rank, size) = (self.rank(), self.size());
+        let tag = self.next_coll_tag();
+        let ctx = self.coll_ctx();
+        let root_world = self.world_rank_of(root);
+        let mut eng = self.engine().lock();
+        eng.counters.record("MPI_Reduce");
+        let bytes = count * dtype.size();
+        if rank != root {
+            let id = eng.isend(
+                Loc::Host(sendbuf.clone()),
+                count,
+                dtype,
+                root_world,
+                tag,
+                ctx,
+            );
+            coll_wait(&mut eng, vec![id]);
+            return;
+        }
+        let mut acc = sendbuf.read(bytes);
+        let scratch = HostBuf::alloc(bytes);
+        for src in 0..size {
+            if src == root {
+                continue;
+            }
+            let id = eng.irecv(
+                Loc::Host(scratch.base()),
+                count,
+                dtype,
+                SrcSel(Some(self.world_rank_of(src))),
+                TagSel(Some(tag)),
+                ctx,
+            );
+            coll_wait(&mut eng, vec![id]);
+            combine_bytes(op, dtype, &mut acc, &scratch.read(0, bytes));
+        }
+        recvbuf.write(&acc);
+    }
+
+    /// `MPI_Allreduce`: reduce to rank 0, broadcast the result.
+    pub fn allreduce(
+        &self,
+        sendbuf: &hostmem::HostPtr,
+        recvbuf: &hostmem::HostPtr,
+        count: usize,
+        dtype: &Datatype,
+        op: ReduceOp,
+    ) {
+        self.reduce(sendbuf, recvbuf, count, dtype, op, 0);
+        self.bcast(Loc::Host(recvbuf.clone()), count, dtype, 0);
+    }
+
+    /// `MPI_Sendrecv`: simultaneous send and receive (deadlock-free).
+    /// Returns the receive status.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &self,
+        sendbuf: impl Into<Loc>,
+        sendcount: usize,
+        sendtype: &Datatype,
+        dst: usize,
+        sendtag: u32,
+        recvbuf: impl Into<Loc>,
+        recvcount: usize,
+        recvtype: &Datatype,
+        src: impl Into<SrcSel>,
+        recvtag: impl Into<TagSel>,
+    ) -> crate::engine::RecvStatus {
+        let r = self.irecv(recvbuf, recvcount, recvtype, src, recvtag);
+        let s = self.isend(sendbuf, sendcount, sendtype, dst, sendtag);
+        let stats = self.waitall(vec![r, s]);
+        stats[0].expect("sendrecv must produce a status")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::MpiWorld;
+    use hostmem::{bytes_to_scalars, scalars_to_bytes};
+
+    #[test]
+    fn bcast_reaches_every_rank() {
+        MpiWorld::new(6).run(|comm| {
+            let t = Datatype::int();
+            t.commit();
+            let buf = HostBuf::alloc(40);
+            if comm.rank() == 2 {
+                buf.write(0, &scalars_to_bytes(&(0..10).collect::<Vec<i32>>()));
+            }
+            comm.bcast(buf.base(), 10, &t, 2);
+            assert_eq!(
+                bytes_to_scalars::<i32>(&buf.read(0, 40)),
+                (0..10).collect::<Vec<_>>(),
+                "rank {}",
+                comm.rank()
+            );
+        });
+    }
+
+    #[test]
+    fn bcast_large_rendezvous_payload() {
+        MpiWorld::new(4).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            let n = 300 << 10;
+            let buf = HostBuf::alloc(n);
+            if comm.rank() == 0 {
+                buf.write(0, &vec![0xabu8; n]);
+            }
+            comm.bcast(buf.base(), n, &t, 0);
+            assert_eq!(buf.read(n - 16, 16), vec![0xabu8; 16]);
+        });
+    }
+
+    #[test]
+    fn gather_assembles_blocks_in_rank_order() {
+        MpiWorld::new(4).run(|comm| {
+            let t = Datatype::int();
+            t.commit();
+            let me = comm.rank() as i32;
+            let send = HostBuf::from_vec(scalars_to_bytes(&[me * 10, me * 10 + 1]));
+            let recv = HostBuf::alloc(4 * 8);
+            comm.gather(send.base(), recv.base(), 2, &t, 1);
+            if comm.rank() == 1 {
+                assert_eq!(
+                    bytes_to_scalars::<i32>(&recv.read(0, 32)),
+                    vec![0, 1, 10, 11, 20, 21, 30, 31]
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        MpiWorld::new(3).run(|comm| {
+            let t = Datatype::double();
+            t.commit();
+            let me = comm.rank() as f64;
+            let send = HostBuf::from_vec(scalars_to_bytes(&[me + 0.5]));
+            let recv = HostBuf::alloc(3 * 8);
+            comm.allgather(send.base(), recv.base(), 1, &t);
+            assert_eq!(
+                bytes_to_scalars::<f64>(&recv.read(0, 24)),
+                vec![0.5, 1.5, 2.5]
+            );
+        });
+    }
+
+    #[test]
+    fn reduce_sum_and_max() {
+        MpiWorld::new(5).run(|comm| {
+            let t = Datatype::int();
+            t.commit();
+            let me = comm.rank() as i32;
+            let send = HostBuf::from_vec(scalars_to_bytes(&[me, 100 - me]));
+            let recv = HostBuf::alloc(8);
+            comm.reduce(&send.base(), &recv.base(), 2, &t, ReduceOp::Sum, 0);
+            if comm.rank() == 0 {
+                assert_eq!(
+                    bytes_to_scalars::<i32>(&recv.read(0, 8)),
+                    vec![1 + 2 + 3 + 4, 100 + 99 + 98 + 97 + 96]
+                );
+            }
+            comm.reduce(&send.base(), &recv.base(), 2, &t, ReduceOp::Max, 3);
+            if comm.rank() == 3 {
+                assert_eq!(bytes_to_scalars::<i32>(&recv.read(0, 8)), vec![4, 100]);
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_min_on_doubles() {
+        MpiWorld::new(4).run(|comm| {
+            let t = Datatype::double();
+            t.commit();
+            let me = comm.rank() as f64;
+            let send = HostBuf::from_vec(scalars_to_bytes(&[me * 2.0 + 1.0]));
+            let recv = HostBuf::alloc(8);
+            comm.allreduce(&send.base(), &recv.base(), 1, &t, ReduceOp::Min);
+            assert_eq!(bytes_to_scalars::<f64>(&recv.read(0, 8)), vec![1.0]);
+        });
+    }
+
+    #[test]
+    fn scatter_distributes_root_blocks() {
+        MpiWorld::new(4).run(|comm| {
+            let t = Datatype::int();
+            t.commit();
+            let send = HostBuf::alloc(4 * 8);
+            if comm.rank() == 2 {
+                send.write(0, &scalars_to_bytes(&(0..8).collect::<Vec<i32>>()));
+            }
+            let recv = HostBuf::alloc(8);
+            comm.scatter(send.base(), recv.base(), 2, &t, 2);
+            let me = comm.rank() as i32;
+            assert_eq!(
+                bytes_to_scalars::<i32>(&recv.read(0, 8)),
+                vec![me * 2, me * 2 + 1]
+            );
+        });
+    }
+
+    #[test]
+    fn alltoall_transposes_blocks() {
+        // Including a non-power-of-two size.
+        for n in [3usize, 4] {
+            MpiWorld::new(n).run(move |comm| {
+                let t = Datatype::int();
+                t.commit();
+                let me = comm.rank() as i32;
+                let send = HostBuf::from_vec(scalars_to_bytes(
+                    &(0..n as i32).map(|j| me * 100 + j).collect::<Vec<_>>(),
+                ));
+                let recv = HostBuf::alloc(n * 4);
+                comm.alltoall(send.base(), recv.base(), 1, &t);
+                assert_eq!(
+                    bytes_to_scalars::<i32>(&recv.read(0, n * 4)),
+                    (0..n as i32).map(|j| j * 100 + me).collect::<Vec<_>>(),
+                    "rank {me} of {n}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn scatter_then_gather_is_identity() {
+        MpiWorld::new(4).run(|comm| {
+            let t = Datatype::double();
+            t.commit();
+            let data: Vec<f64> = (0..12).map(|i| i as f64 * 0.5).collect();
+            let root_buf = HostBuf::alloc(12 * 8);
+            if comm.rank() == 0 {
+                root_buf.write(0, &scalars_to_bytes(&data));
+            }
+            let mine = HostBuf::alloc(3 * 8);
+            comm.scatter(root_buf.base(), mine.base(), 3, &t, 0);
+            let out = HostBuf::alloc(12 * 8);
+            comm.gather(mine.base(), out.base(), 3, &t, 0);
+            if comm.rank() == 0 {
+                assert_eq!(bytes_to_scalars::<f64>(&out.read(0, 96)), data);
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_exchanges_without_deadlock() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            let me = comm.rank();
+            let peer = 1 - me;
+            // Large enough that a naive send+send would rendezvous-block.
+            let n = 200 << 10;
+            let out = HostBuf::from_vec(vec![me as u8 + 1; n]);
+            let inb = HostBuf::alloc(n);
+            let st = comm.sendrecv(out.base(), n, &t, peer, 0, inb.base(), n, &t, peer, 0u32);
+            assert_eq!(st.bytes, n);
+            assert_eq!(inb.read(0, 8), vec![peer as u8 + 1; 8]);
+        });
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_talk() {
+        MpiWorld::new(3).run(|comm| {
+            let t = Datatype::int();
+            t.commit();
+            let a = HostBuf::alloc(4);
+            let b = HostBuf::alloc(4);
+            if comm.rank() == 0 {
+                a.write(0, &scalars_to_bytes(&[111i32]));
+                b.write(0, &scalars_to_bytes(&[222i32]));
+            }
+            comm.bcast(a.base(), 1, &t, 0);
+            comm.bcast(b.base(), 1, &t, 0);
+            assert_eq!(bytes_to_scalars::<i32>(&a.read(0, 4)), vec![111]);
+            assert_eq!(bytes_to_scalars::<i32>(&b.read(0, 4)), vec![222]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "reductions are defined on primitive")]
+    fn reduce_on_derived_type_is_rejected() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::vector(2, 1, 2, &Datatype::int());
+            t.commit();
+            let buf = HostBuf::alloc(64);
+            comm.reduce(&buf.base(), &buf.base(), 1, &t, ReduceOp::Sum, 0);
+        });
+    }
+
+    // --- sub-communicators ---------------------------------------------------
+
+    #[test]
+    fn split_even_odd_groups() {
+        MpiWorld::new(6).run(|comm| {
+            let sub = comm.split((comm.rank() % 2) as i64, 0).unwrap();
+            assert_eq!(sub.size(), 3);
+            assert_eq!(sub.rank(), comm.rank() / 2);
+            assert_eq!(sub.world_rank(), comm.rank());
+            // Collective inside the subcomm: sum of world ranks of members.
+            let t = Datatype::int();
+            t.commit();
+            let send = HostBuf::from_vec(scalars_to_bytes(&[comm.rank() as i32]));
+            let recv = HostBuf::alloc(4);
+            sub.allreduce(&send.base(), &recv.base(), 1, &t, ReduceOp::Sum);
+            let expect = if comm.rank() % 2 == 0 { 2 + 4 } else { 1 + 3 + 5 };
+            assert_eq!(bytes_to_scalars::<i32>(&recv.read(0, 4)), vec![expect]);
+        });
+    }
+
+    #[test]
+    fn split_key_reorders_ranks() {
+        MpiWorld::new(4).run(|comm| {
+            // All one color, keys in reverse: group order flips.
+            let sub = comm
+                .split(7, -(comm.rank() as i64))
+                .expect("all ranks join");
+            assert_eq!(sub.size(), 4);
+            assert_eq!(sub.rank(), 3 - comm.rank());
+        });
+    }
+
+    #[test]
+    fn split_undefined_color_returns_none() {
+        MpiWorld::new(4).run(|comm| {
+            let sub = comm.split(if comm.rank() == 0 { -1 } else { 0 }, 0);
+            if comm.rank() == 0 {
+                assert!(sub.is_none());
+            } else {
+                let sub = sub.unwrap();
+                assert_eq!(sub.size(), 3);
+                // The subcomm still works without rank 0.
+                sub.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn p2p_inside_subcomm_uses_group_ranks() {
+        MpiWorld::new(4).run(|comm| {
+            let color = (comm.rank() / 2) as i64; // {0,1} and {2,3}
+            let sub = comm.split(color, 0).unwrap();
+            let t = Datatype::int();
+            t.commit();
+            let buf = HostBuf::alloc(4);
+            if sub.rank() == 0 {
+                buf.write(0, &scalars_to_bytes(&[comm.rank() as i32]));
+                sub.send(buf.base(), 1, &t, 1, 0);
+            } else {
+                let st = sub.recv(buf.base(), 1, &t, crate::ANY_SOURCE, 0u32);
+                assert_eq!(st.src, 0, "status must carry the group rank");
+                // The payload is the partner's world rank.
+                let v = bytes_to_scalars::<i32>(&buf.read(0, 4))[0];
+                assert_eq!(v as usize, comm.rank() - 1);
+            }
+        });
+    }
+
+    #[test]
+    fn wildcard_recv_cannot_see_other_subcomm() {
+        MpiWorld::new(4).run(|comm| {
+            let sub = comm.split((comm.rank() % 2) as i64, 0).unwrap();
+            let t = Datatype::int();
+            t.commit();
+            let buf = HostBuf::from_vec(scalars_to_bytes(&[comm.rank() as i32]));
+            // Everyone sends within their subcomm; ANY_SOURCE must only
+            // match the same-color partner even though all four messages
+            // are in flight with the same tag.
+            let inb = HostBuf::alloc(4);
+            let r = sub.irecv(inb.base(), 1, &t, crate::ANY_SOURCE, 5u32);
+            let peer = 1 - sub.rank();
+            sub.send(buf.base(), 1, &t, peer, 5);
+            sub.wait(r);
+            let got = bytes_to_scalars::<i32>(&inb.read(0, 4))[0] as usize;
+            assert_eq!(got % 2, comm.rank() % 2, "crossed subcommunicator!");
+        });
+    }
+
+    #[test]
+    fn dup_is_isolated_from_parent() {
+        MpiWorld::new(2).run(|comm| {
+            let dup = comm.dup();
+            let t = Datatype::int();
+            t.commit();
+            let a = HostBuf::from_vec(scalars_to_bytes(&[1i32]));
+            let b = HostBuf::from_vec(scalars_to_bytes(&[2i32]));
+            let ra = HostBuf::alloc(4);
+            let rb = HostBuf::alloc(4);
+            let peer = 1 - comm.rank();
+            // Same tag on both communicators, posted crosswise.
+            let r1 = comm.irecv(ra.base(), 1, &t, peer, 3u32);
+            let r2 = dup.irecv(rb.base(), 1, &t, peer, 3u32);
+            dup.send(b.base(), 1, &t, peer, 3);
+            comm.send(a.base(), 1, &t, peer, 3);
+            comm.wait(r1);
+            dup.wait(r2);
+            assert_eq!(bytes_to_scalars::<i32>(&ra.read(0, 4)), vec![1]);
+            assert_eq!(bytes_to_scalars::<i32>(&rb.read(0, 4)), vec![2]);
+        });
+    }
+
+    #[test]
+    fn nested_splits_allocate_distinct_contexts() {
+        MpiWorld::new(4).run(|comm| {
+            let half = comm.split((comm.rank() / 2) as i64, 0).unwrap();
+            let quarter = half.split(half.rank() as i64, 0).unwrap();
+            assert_eq!(quarter.size(), 1);
+            quarter.barrier();
+            half.barrier();
+            comm.barrier();
+        });
+    }
+}

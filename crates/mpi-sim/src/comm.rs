@@ -1,0 +1,413 @@
+//! The public MPI communicator API.
+//!
+//! One [`Comm`] per rank, used from that rank's simulation process. The
+//! blocking calls (`send`, `recv`, `wait`, `waitall`, `barrier`) drive the
+//! progress engine, so — like a single-threaded MPI library — communication
+//! only advances inside MPI calls.
+//!
+//! Communicators are first-class: [`Comm::split`] and [`Comm::dup`] create
+//! sub-communicators with their own context ids (agreed across members
+//! with an allreduce, as real MPI libraries do), group-relative ranks and
+//! isolated collective streams.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use gpu_sim::Loc;
+use ib_sim::Nic;
+use parking_lot::Mutex;
+use sim_core::CallCounters;
+
+use crate::datatype::Datatype;
+use crate::engine::{Engine, RecvStatus, Request, SrcSel, TagSel};
+use crate::proto::MpiConfig;
+use crate::staging::BufferStager;
+
+/// A communicator handle for one rank. Ranks, sources and statuses are all
+/// *group-relative*; for the world communicator they coincide with world
+/// ranks.
+#[derive(Clone)]
+pub struct Comm {
+    eng: Arc<Mutex<Engine>>,
+    /// World ranks of the group, indexed by group rank.
+    group: Arc<Vec<usize>>,
+    /// This process's rank within the group.
+    my_rank: usize,
+    /// Context id for point-to-point traffic.
+    ctx: u16,
+    /// Context id for collectives.
+    coll_ctx: u16,
+    /// Per-communicator collective sequence (same order on every member).
+    coll_seq: Arc<AtomicU32>,
+}
+
+impl Comm {
+    /// Engine access for the collectives module.
+    pub(crate) fn engine(&self) -> &Arc<Mutex<Engine>> {
+        &self.eng
+    }
+
+    /// Collective context id.
+    pub(crate) fn coll_ctx(&self) -> u16 {
+        self.coll_ctx
+    }
+
+    /// Translate a group rank to a world rank.
+    pub(crate) fn world_rank_of(&self, group_rank: usize) -> usize {
+        *self
+            .group
+            .get(group_rank)
+            .unwrap_or_else(|| panic!("rank {group_rank} outside this communicator"))
+    }
+
+    /// Translate a world rank back to a group rank (matching statuses).
+    pub(crate) fn group_rank_of(&self, world_rank: usize) -> usize {
+        self.group
+            .iter()
+            .position(|&w| w == world_rank)
+            .expect("message from a rank outside this communicator")
+    }
+
+    fn fix_status(&self, st: RecvStatus) -> RecvStatus {
+        RecvStatus {
+            src: self.group_rank_of(st.src),
+            ..st
+        }
+    }
+
+    fn sel_to_world(&self, sel: SrcSel) -> SrcSel {
+        SrcSel(sel.0.map(|r| self.world_rank_of(r)))
+    }
+
+    /// A fresh base tag for one collective (each may use up to 64 tags).
+    pub(crate) fn next_coll_tag(&self) -> u32 {
+        (self.coll_seq.fetch_add(1, Ordering::Relaxed) % (1 << 24)) * 64
+    }
+
+    /// Create the world communicator for `rank` of `size` on `nic`.
+    /// `stagers` are tried (in order) before the built-in host staging —
+    /// this is where GPU-aware datatype support plugs in.
+    pub fn create(
+        nic: Nic,
+        rank: usize,
+        size: usize,
+        cfg: MpiConfig,
+        stagers: Arc<Vec<Box<dyn BufferStager>>>,
+    ) -> Comm {
+        Comm {
+            eng: Arc::new(Mutex::new(Engine::new(nic, rank, size, cfg, stagers))),
+            group: Arc::new((0..size).collect()),
+            my_rank: rank,
+            ctx: 0,
+            coll_ctx: 1,
+            coll_seq: Arc::new(AtomicU32::new(0)),
+        }
+    }
+
+    /// This rank (group-relative).
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// This process's rank in the world communicator.
+    pub fn world_rank(&self) -> usize {
+        self.eng.lock().rank
+    }
+
+    /// MPI/CUDA call counters for this rank (process-wide).
+    pub fn counters(&self) -> CallCounters {
+        self.eng.lock().counters.clone()
+    }
+
+    /// The library configuration.
+    pub fn config(&self) -> MpiConfig {
+        self.eng.lock().cfg.clone()
+    }
+
+    // --- point-to-point -----------------------------------------------------
+
+    /// `MPI_Isend`.
+    pub fn isend(
+        &self,
+        buf: impl Into<Loc>,
+        count: usize,
+        dtype: &Datatype,
+        dst: usize,
+        tag: u32,
+    ) -> Request {
+        let dst = self.world_rank_of(dst);
+        let mut eng = self.eng.lock();
+        eng.counters.record("MPI_Isend");
+        let id = eng.isend(buf.into(), count, dtype, dst, tag, self.ctx);
+        Request { id }
+    }
+
+    /// `MPI_Irecv`.
+    pub fn irecv(
+        &self,
+        buf: impl Into<Loc>,
+        count: usize,
+        dtype: &Datatype,
+        src: impl Into<SrcSel>,
+        tag: impl Into<TagSel>,
+    ) -> Request {
+        let src = self.sel_to_world(src.into());
+        let mut eng = self.eng.lock();
+        eng.counters.record("MPI_Irecv");
+        let id = eng.irecv(buf.into(), count, dtype, src, tag.into(), self.ctx);
+        Request { id }
+    }
+
+    /// `MPI_Send` (blocking).
+    pub fn send(&self, buf: impl Into<Loc>, count: usize, dtype: &Datatype, dst: usize, tag: u32) {
+        let dst = self.world_rank_of(dst);
+        let mut eng = self.eng.lock();
+        eng.counters.record("MPI_Send");
+        let id = eng.isend(buf.into(), count, dtype, dst, tag, self.ctx);
+        Self::wait_inner(&mut eng, Request { id });
+    }
+
+    /// `MPI_Recv` (blocking). Returns the receive status.
+    pub fn recv(
+        &self,
+        buf: impl Into<Loc>,
+        count: usize,
+        dtype: &Datatype,
+        src: impl Into<SrcSel>,
+        tag: impl Into<TagSel>,
+    ) -> RecvStatus {
+        let src = self.sel_to_world(src.into());
+        let mut eng = self.eng.lock();
+        eng.counters.record("MPI_Recv");
+        let id = eng.irecv(buf.into(), count, dtype, src, tag.into(), self.ctx);
+        let st = Self::wait_inner(&mut eng, Request { id }).expect("recv must produce a status");
+        drop(eng);
+        self.fix_status(st)
+    }
+
+    fn req_done(eng: &Engine, req: &Request) -> bool {
+        if eng.is_send(req.id) {
+            eng.send_done(req.id)
+        } else {
+            eng.recv_done(req.id).is_some()
+        }
+    }
+
+    fn wait_inner(eng: &mut Engine, req: Request) -> Option<RecvStatus> {
+        loop {
+            eng.progress();
+            if Self::req_done(eng, &req) {
+                break;
+            }
+            eng.idle_block();
+        }
+        if eng.is_send(req.id) {
+            eng.reap_send(req.id);
+            None
+        } else {
+            let status = eng.recv_done(req.id);
+            eng.reap_recv(req.id);
+            status
+        }
+    }
+
+    /// `MPI_Wait`. Returns the status for receive requests.
+    pub fn wait(&self, req: Request) -> Option<RecvStatus> {
+        let mut eng = self.eng.lock();
+        eng.counters.record("MPI_Wait");
+        let st = Self::wait_inner(&mut eng, req);
+        drop(eng);
+        st.map(|s| self.fix_status(s))
+    }
+
+    /// `MPI_Waitall`. Returns receive statuses in request order (None for
+    /// sends).
+    pub fn waitall(&self, reqs: Vec<Request>) -> Vec<Option<RecvStatus>> {
+        let mut eng = self.eng.lock();
+        eng.counters.record("MPI_Waitall");
+        loop {
+            eng.progress();
+            if reqs.iter().all(|r| Self::req_done(&eng, r)) {
+                break;
+            }
+            eng.idle_block();
+        }
+        let out: Vec<Option<RecvStatus>> = reqs
+            .into_iter()
+            .map(|r| {
+                if eng.is_send(r.id) {
+                    eng.reap_send(r.id);
+                    None
+                } else {
+                    let s = eng.recv_done(r.id);
+                    eng.reap_recv(r.id);
+                    s
+                }
+            })
+            .collect();
+        drop(eng);
+        out.into_iter()
+            .map(|s| s.map(|st| self.fix_status(st)))
+            .collect()
+    }
+
+    /// `MPI_Waitany`: block until one request completes; returns its index
+    /// (and status for receives). The rest stay live.
+    pub fn waitany(&self, reqs: &[Request]) -> (usize, Option<RecvStatus>) {
+        assert!(!reqs.is_empty(), "waitany on an empty request list");
+        let mut eng = self.eng.lock();
+        eng.counters.record("MPI_Waitany");
+        loop {
+            eng.progress();
+            if let Some(i) = reqs.iter().position(|r| Self::req_done(&eng, r)) {
+                let r = &reqs[i];
+                let st = if eng.is_send(r.id) {
+                    eng.reap_send(r.id);
+                    None
+                } else {
+                    let s = eng.recv_done(r.id);
+                    eng.reap_recv(r.id);
+                    s
+                };
+                drop(eng);
+                return (i, st.map(|s| self.fix_status(s)));
+            }
+            eng.idle_block();
+        }
+    }
+
+    /// `MPI_Testall`: progress once; true only if every request has
+    /// completed. Requests stay live until waited on.
+    pub fn testall(&self, reqs: &[Request]) -> bool {
+        let mut eng = self.eng.lock();
+        eng.counters.record("MPI_Testall");
+        eng.progress();
+        reqs.iter().all(|r| Self::req_done(&eng, r))
+    }
+
+    /// `MPI_Test`: progress once and report completion without blocking.
+    /// The request stays live until waited on.
+    pub fn test(&self, req: &Request) -> bool {
+        let mut eng = self.eng.lock();
+        eng.counters.record("MPI_Test");
+        eng.progress();
+        Self::req_done(&eng, req)
+    }
+
+    /// `MPI_Iprobe`: progress once, then report whether a message matching
+    /// `(src, tag)` is waiting (without receiving it).
+    pub fn iprobe(&self, src: impl Into<SrcSel>, tag: impl Into<TagSel>) -> Option<RecvStatus> {
+        let src = self.sel_to_world(src.into());
+        let mut eng = self.eng.lock();
+        eng.counters.record("MPI_Iprobe");
+        eng.progress();
+        let st = eng.probe_unexpected(src, tag.into(), self.ctx);
+        drop(eng);
+        st.map(|s| self.fix_status(s))
+    }
+
+    /// `MPI_Probe`: block until a message matching `(src, tag)` is
+    /// available; returns its status without receiving it.
+    pub fn probe(&self, src: impl Into<SrcSel>, tag: impl Into<TagSel>) -> RecvStatus {
+        let src = self.sel_to_world(src.into());
+        let tag = tag.into();
+        let mut eng = self.eng.lock();
+        eng.counters.record("MPI_Probe");
+        loop {
+            eng.progress();
+            if let Some(st) = eng.probe_unexpected(src, tag, self.ctx) {
+                drop(eng);
+                return self.fix_status(st);
+            }
+            eng.idle_block();
+        }
+    }
+
+    // --- communicator management ---------------------------------------------
+
+    /// `MPI_Comm_dup`: a congruent communicator with fresh contexts.
+    pub fn dup(&self) -> Comm {
+        self.split(0, self.my_rank as i64)
+            .expect("dup never returns MPI_UNDEFINED")
+    }
+
+    /// `MPI_Comm_split`: ranks with the same `color` form a new
+    /// communicator, ordered by `(key, parent rank)`. A negative color
+    /// returns `None` (MPI_UNDEFINED — the caller joins no new
+    /// communicator but must still participate in the call).
+    pub fn split(&self, color: i64, key: i64) -> Option<Comm> {
+        let n = self.size();
+        // 1. Allgather (color, key) across the parent communicator.
+        let t = Datatype::long();
+        t.commit();
+        let mine = hostmem::HostBuf::from_vec(hostmem::scalars_to_bytes(&[color, key]));
+        let all = hostmem::HostBuf::alloc(n * 16);
+        self.allgather(mine.base(), all.base(), 2, &t);
+        let triples: Vec<(i64, i64, usize)> = (0..n)
+            .map(|r| {
+                let v: Vec<i64> = hostmem::bytes_to_scalars(&all.read(r * 16, 16));
+                (v[0], v[1], r)
+            })
+            .collect();
+        // 2. Agree on a context base: allreduce-max of every member's next
+        //    free context id, then advance everyone past the block.
+        let my_next = self.eng.lock().peek_next_ctx() as i64;
+        let base_buf = hostmem::HostBuf::alloc(8);
+        let mine_buf = hostmem::HostBuf::from_vec(hostmem::scalars_to_bytes(&[my_next]));
+        self.allreduce(
+            &mine_buf.base(),
+            &base_buf.base(),
+            1,
+            &t,
+            crate::coll::ReduceOp::Max,
+        );
+        let base: i64 = hostmem::bytes_to_scalars::<i64>(&base_buf.read(0, 8))[0];
+        // 3. Colors (non-negative), sorted and deduplicated, each get a
+        //    (p2p, coll) context pair.
+        let mut colors: Vec<i64> = triples
+            .iter()
+            .map(|&(c, _, _)| c)
+            .filter(|&c| c >= 0)
+            .collect();
+        colors.sort_unstable();
+        colors.dedup();
+        self.eng
+            .lock()
+            .advance_ctx(base as u16 + 2 * colors.len() as u16);
+        if color < 0 {
+            return None;
+        }
+        let ci = colors.binary_search(&color).unwrap();
+        let ctx = base as u16 + 2 * ci as u16;
+        // 4. My group: members of my color ordered by (key, parent rank),
+        //    translated to world ranks.
+        let mut members: Vec<(i64, usize)> = triples
+            .iter()
+            .filter(|&&(c, _, _)| c == color)
+            .map(|&(_, k, r)| (k, r))
+            .collect();
+        members.sort_unstable();
+        let group: Vec<usize> = members
+            .iter()
+            .map(|&(_, r)| self.world_rank_of(r))
+            .collect();
+        let my_world = self.eng.lock().rank;
+        let my_rank = group
+            .iter()
+            .position(|&w| w == my_world)
+            .expect("split must include the caller");
+        Some(Comm {
+            eng: Arc::clone(&self.eng),
+            group: Arc::new(group),
+            my_rank,
+            ctx,
+            coll_ctx: ctx + 1,
+            coll_seq: Arc::new(AtomicU32::new(0)),
+        })
+    }
+}

@@ -1,0 +1,916 @@
+//! Per-rank protocol engine: matching, request state machines and the
+//! progress loop.
+//!
+//! Each rank runs as one simulation process; MPI progress happens inside
+//! MPI calls (single-threaded MPI, like the paper's MVAPICH2 build). The
+//! engine drains the NIC mailbox, advances rendezvous state machines by
+//! polling staging sources/sinks and RDMA completions, and blocks — in
+//! virtual time — until either a packet arrives or the earliest known
+//! hardware completion instant passes.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use gpu_sim::Loc;
+use hostmem::{HostBuf, HostPtr};
+use ib_sim::{MrKey, Nic};
+use sim_core::{CallCounters, Completion, SimDur, SimTime};
+
+use crate::datatype::Datatype;
+use crate::flat::Layout;
+use crate::proto::{Envelope, MpiConfig, MpiPacket, ReqId, SlotDesc};
+use crate::staging::{BufferStager, HostRecvSink, HostSendSource, RecvSink, SendSource};
+
+/// Source selector for receives.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SrcSel(pub(crate) Option<usize>);
+
+/// Tag selector for receives.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TagSel(pub(crate) Option<u32>);
+
+/// Match any source rank (MPI_ANY_SOURCE).
+pub const ANY_SOURCE: SrcSel = SrcSel(None);
+/// Match any tag (MPI_ANY_TAG).
+pub const ANY_TAG: TagSel = TagSel(None);
+
+impl From<usize> for SrcSel {
+    fn from(r: usize) -> Self {
+        SrcSel(Some(r))
+    }
+}
+
+impl From<u32> for TagSel {
+    fn from(t: u32) -> Self {
+        TagSel(Some(t))
+    }
+}
+
+/// Completion information of a receive (MPI_Status).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RecvStatus {
+    /// Actual source rank.
+    pub src: usize,
+    /// Actual tag.
+    pub tag: u32,
+    /// Received payload bytes (type-packed size).
+    pub bytes: usize,
+}
+
+/// A nonblocking operation handle.
+#[derive(Debug)]
+pub struct Request {
+    pub(crate) id: ReqId,
+}
+
+pub(crate) struct Vbuf {
+    pub buf: HostBuf,
+    pub key: MrKey,
+}
+
+struct SlotState {
+    desc: SlotDesc,
+    free: bool,
+}
+
+struct StagedSend {
+    dst: usize,
+    peer_recv_req: ReqId,
+    chunk_size: usize,
+    nchunks: usize,
+    slots: Vec<SlotState>,
+    next_request: usize,
+    next_send: usize,
+    /// Chunks staged (or staging) into local vbufs, in chunk order.
+    local: VecDeque<(usize, Vbuf)>,
+    /// RDMA writes in flight; the local vbuf is released at completion.
+    inflight: Vec<(Completion, Vbuf)>,
+}
+
+enum SendPhase {
+    WaitCts,
+    Direct {
+        rdma: Completion,
+        my_key: MrKey,
+    },
+    Staged(StagedSend),
+    Done,
+}
+
+struct SendState {
+    dst: usize,
+    total: usize,
+    source: Box<dyn SendSource>,
+    /// Start of the user buffer when it is host-contiguous (direct path).
+    direct_ptr: Option<HostPtr>,
+    phase: SendPhase,
+}
+
+struct StagedRecv {
+    src: usize,
+    peer_send_req: ReqId,
+    nchunks: usize,
+    total: usize,
+    /// False while the CTS is deferred waiting for pool vbufs (back
+    /// pressure under many concurrent staged transfers).
+    cts_sent: bool,
+    slots: Vec<Vbuf>,
+    /// FINs received, in arrival order: (chunk, slot, bytes).
+    arrived: VecDeque<(usize, usize, usize)>,
+    /// Chunks handed to the sink, awaiting absorption: (chunk, slot).
+    absorbing: VecDeque<(usize, usize)>,
+    next_chunk: usize,
+}
+
+enum RecvPhase {
+    Unmatched,
+    WaitDirect {
+        my_key: MrKey,
+        env: Envelope,
+        total: usize,
+    },
+    Staged(StagedRecv, Envelope),
+    Done(RecvStatus),
+}
+
+struct RecvState {
+    src_sel: SrcSel,
+    tag_sel: TagSel,
+    ctx: u16,
+    capacity: usize,
+    sink: Box<dyn RecvSink>,
+    /// Start of the user buffer when it is host-contiguous (direct path).
+    direct_ptr: Option<HostPtr>,
+    phase: RecvPhase,
+}
+
+enum Unexpected {
+    Eager {
+        env: Envelope,
+        data: Vec<u8>,
+    },
+    Rts {
+        env: Envelope,
+        total: usize,
+        send_req: ReqId,
+        direct_capable: bool,
+    },
+}
+
+impl Unexpected {
+    fn env(&self) -> &Envelope {
+        match self {
+            Unexpected::Eager { env, .. } | Unexpected::Rts { env, .. } => env,
+        }
+    }
+}
+
+fn env_matches(env: &Envelope, ctx: u16, src: SrcSel, tag: TagSel) -> bool {
+    env.ctx == ctx
+        && src.0.is_none_or(|s| s == env.src)
+        && tag.0.is_none_or(|t| t == env.tag)
+}
+
+pub(crate) struct Engine {
+    pub rank: usize,
+    pub size: usize,
+    pub nic: Nic,
+    pub cfg: MpiConfig,
+    pub counters: CallCounters,
+    stagers: Arc<Vec<Box<dyn BufferStager>>>,
+    next_req: ReqId,
+    sends: HashMap<ReqId, SendState>,
+    recvs: HashMap<ReqId, RecvState>,
+    posted: Vec<ReqId>,
+    unexpected: VecDeque<Unexpected>,
+    /// Registered staging buffers for *outgoing* chunks. Kept separate from
+    /// `recv_pool`: if grants and local staging shared one pool, two ranks
+    /// could grant each other every buffer and deadlock with nothing left
+    /// to stage their own sends (a classic buffer-management deadlock).
+    send_pool: Vec<Vbuf>,
+    /// Registered staging buffers granted to remote senders via CTS.
+    recv_pool: Vec<Vbuf>,
+    /// Next free communicator context id (0/1 belong to the world comm).
+    next_ctx: u16,
+    /// Registration cache (MVAPICH2-style): user buffers register once and
+    /// stay registered; repeated rendezvous on the same buffer skip the
+    /// registration cost.
+    reg_cache: HashMap<u64, MrKey>,
+}
+
+impl Engine {
+    pub fn new(
+        nic: Nic,
+        rank: usize,
+        size: usize,
+        cfg: MpiConfig,
+        stagers: Arc<Vec<Box<dyn BufferStager>>>,
+    ) -> Engine {
+        // Pre-allocate and register the vbuf pools (done once at MPI_Init).
+        let mk_pool = |n: usize| -> Vec<Vbuf> {
+            (0..n)
+                .map(|_| {
+                    let buf = HostBuf::alloc(cfg.chunk_size);
+                    let key = nic.register(&buf);
+                    Vbuf { buf, key }
+                })
+                .collect()
+        };
+        let send_pool = mk_pool(cfg.pool_vbufs / 2);
+        let recv_pool = mk_pool(cfg.pool_vbufs - cfg.pool_vbufs / 2);
+        Engine {
+            rank,
+            size,
+            nic,
+            cfg,
+            counters: CallCounters::new(),
+            stagers,
+            next_req: 1,
+            sends: HashMap::new(),
+            recvs: HashMap::new(),
+            posted: Vec::new(),
+            unexpected: VecDeque::new(),
+            send_pool,
+            recv_pool,
+            next_ctx: 2,
+            reg_cache: HashMap::new(),
+        }
+    }
+
+    /// The next free communicator context id (used by `Comm::split` to
+    /// agree on new contexts).
+    pub fn peek_next_ctx(&self) -> u16 {
+        self.next_ctx
+    }
+
+    /// Advance the context allocator past an agreed block.
+    pub fn advance_ctx(&mut self, to: u16) {
+        self.next_ctx = self.next_ctx.max(to);
+    }
+
+    /// Register `buf` through the registration cache.
+    fn register_cached(&mut self, buf: &HostBuf) -> MrKey {
+        if let Some(&k) = self.reg_cache.get(&buf.id()) {
+            return k;
+        }
+        let k = self.nic.register(buf);
+        self.reg_cache.insert(buf.id(), k);
+        k
+    }
+
+    fn alloc_req(&mut self) -> ReqId {
+        let id = self.next_req;
+        self.next_req += 1;
+        id
+    }
+
+    fn mpi_call_cost(&self) {
+        sim_core::sleep(SimDur::from_nanos(self.cfg.cpu.mpi_call_ns));
+    }
+
+    fn make_source(&self, buf: &Loc, count: usize, dt: &Datatype) -> Box<dyn SendSource> {
+        for s in self.stagers.iter() {
+            if let Some(src) = s.source(buf, count, dt) {
+                return src;
+            }
+        }
+        match buf {
+            Loc::Host(p) => Box::new(HostSendSource::new(
+                p.clone(),
+                count,
+                dt,
+                self.cfg.cpu.clone(),
+            )),
+            Loc::Device(_) => panic!(
+                "send buffer resides in device memory but this MPI build has \
+                 no GPU datatype support (use mv2-gpu-nc)"
+            ),
+        }
+    }
+
+    fn make_sink(&self, buf: &Loc, count: usize, dt: &Datatype) -> Box<dyn RecvSink> {
+        for s in self.stagers.iter() {
+            if let Some(sink) = s.sink(buf, count, dt) {
+                return sink;
+            }
+        }
+        match buf {
+            Loc::Host(p) => Box::new(HostRecvSink::new(
+                p.clone(),
+                count,
+                dt,
+                self.cfg.cpu.clone(),
+            )),
+            Loc::Device(_) => panic!(
+                "receive buffer resides in device memory but this MPI build \
+                 has no GPU datatype support (use mv2-gpu-nc)"
+            ),
+        }
+    }
+
+    /// If (buf, count, dtype) is a contiguous host region, its start.
+    fn contiguous_host_ptr(buf: &Loc, count: usize, dt: &Datatype) -> Option<HostPtr> {
+        let Loc::Host(p) = buf else { return None };
+        match dt.flat().layout(count) {
+            Layout::Contiguous { offset, .. } => {
+                let abs = p.offset() as isize + offset;
+                assert!(abs >= 0, "contiguous layout starts before the buffer");
+                Some(p.buf().ptr(abs as usize))
+            }
+            _ => None,
+        }
+    }
+
+    fn check_host_bounds(buf: &Loc, count: usize, dt: &Datatype) {
+        if let Loc::Host(p) = buf {
+            let (lo, hi) = dt.flat().byte_range(count);
+            let lo_abs = p.offset() as isize + lo;
+            let hi_abs = p.offset() as isize + hi;
+            assert!(
+                lo_abs >= 0 && hi_abs as usize <= p.buf().len(),
+                "datatype footprint [{lo_abs}, {hi_abs}) exceeds host buffer of {} bytes",
+                p.buf().len()
+            );
+        }
+    }
+
+    // --- posting ---------------------------------------------------------------
+
+    pub fn isend(
+        &mut self,
+        buf: Loc,
+        count: usize,
+        dt: &Datatype,
+        dst: usize,
+        tag: u32,
+        ctx: u16,
+    ) -> ReqId {
+        assert!(dst < self.size, "isend to nonexistent rank {dst}");
+        self.mpi_call_cost();
+        // Every MPI call gives the progress engine a chance to run (as in
+        // any real single-threaded MPI library).
+        self.progress();
+        Self::check_host_bounds(&buf, count, dt);
+        let mut source = self.make_source(&buf, count, dt);
+        let total = source.total_bytes();
+        let env = Envelope {
+            ctx,
+            src: self.rank,
+            tag,
+        };
+        let id = self.alloc_req();
+        if total <= self.cfg.eager_limit {
+            let data = source.pack_eager();
+            let wire = data.len() + 64;
+            self.nic
+                .send(dst, wire, Box::new(MpiPacket::Eager { env, data }));
+            self.sends.insert(
+                id,
+                SendState {
+                    dst,
+                    total,
+                    source,
+                    direct_ptr: None,
+                    phase: SendPhase::Done,
+                },
+            );
+        } else {
+            let direct_ptr = Self::contiguous_host_ptr(&buf, count, dt);
+            self.nic.send_ctrl(
+                dst,
+                Box::new(MpiPacket::Rts {
+                    env,
+                    total,
+                    send_req: id,
+                    direct_capable: direct_ptr.is_some(),
+                }),
+            );
+            self.sends.insert(
+                id,
+                SendState {
+                    dst,
+                    total,
+                    source,
+                    direct_ptr,
+                    phase: SendPhase::WaitCts,
+                },
+            );
+        }
+        id
+    }
+
+    pub fn irecv(
+        &mut self,
+        buf: Loc,
+        count: usize,
+        dt: &Datatype,
+        src: SrcSel,
+        tag: TagSel,
+        ctx: u16,
+    ) -> ReqId {
+        self.mpi_call_cost();
+        self.progress();
+        Self::check_host_bounds(&buf, count, dt);
+        let sink = self.make_sink(&buf, count, dt);
+        let capacity = sink.total_bytes();
+        let direct_ptr = Self::contiguous_host_ptr(&buf, count, dt);
+        let id = self.alloc_req();
+        self.recvs.insert(
+            id,
+            RecvState {
+                src_sel: src,
+                tag_sel: tag,
+                ctx,
+                capacity,
+                sink,
+                direct_ptr,
+                phase: RecvPhase::Unmatched,
+            },
+        );
+        // Try the unexpected queue first (FIFO), then stay posted.
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|u| env_matches(u.env(), ctx, src, tag))
+        {
+            let u = self.unexpected.remove(pos).unwrap();
+            match u {
+                Unexpected::Eager { env, data } => self.deliver_eager(id, env, data),
+                Unexpected::Rts {
+                    env,
+                    total,
+                    send_req,
+                    direct_capable,
+                } => self.match_rts(id, env, total, send_req, direct_capable),
+            }
+        } else {
+            self.posted.push(id);
+        }
+        id
+    }
+
+    // --- packet handling ----------------------------------------------------------
+
+    fn deliver_eager(&mut self, recv_id: ReqId, env: Envelope, data: Vec<u8>) {
+        let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
+        assert!(
+            data.len() <= st.capacity,
+            "message truncated: {} bytes into a {}-byte receive",
+            data.len(),
+            st.capacity
+        );
+        st.sink.unpack_eager(&data);
+        st.phase = RecvPhase::Done(RecvStatus {
+            src: env.src,
+            tag: env.tag,
+            bytes: data.len(),
+        });
+    }
+
+    fn match_rts(
+        &mut self,
+        recv_id: ReqId,
+        env: Envelope,
+        total: usize,
+        send_req: ReqId,
+        direct_capable: bool,
+    ) {
+        let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
+        assert!(
+            total <= st.capacity,
+            "message truncated: {total} bytes into a {}-byte receive",
+            st.capacity
+        );
+        if direct_capable {
+            if let Some(ptr) = st.direct_ptr.clone() {
+                // R-PUT: register the user buffer (through the cache) and
+                // hand its key over.
+                let key = self.register_cached(&ptr.buf().clone());
+                let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
+                st.phase = RecvPhase::WaitDirect {
+                    my_key: key,
+                    env,
+                    total,
+                };
+                self.nic.send_ctrl(
+                    env.src,
+                    Box::new(MpiPacket::CtsDirect {
+                        send_req,
+                        recv_req: recv_id,
+                        key,
+                        offset: ptr.offset(),
+                        len: total,
+                    }),
+                );
+                return;
+            }
+        }
+        // Staged path: grant a window of vbufs. If the pool is empty right
+        // now, defer the CTS; the progress loop grants it once earlier
+        // transfers return their buffers (back pressure, not failure).
+        let chunk_size = self.cfg.chunk_size;
+        let nchunks = self.cfg.nchunks(total);
+        st.sink.begin(chunk_size, total);
+        st.phase = RecvPhase::Staged(
+            StagedRecv {
+                src: env.src,
+                peer_send_req: send_req,
+                nchunks,
+                total,
+                cts_sent: false,
+                slots: Vec::new(),
+                arrived: VecDeque::new(),
+                absorbing: VecDeque::new(),
+                next_chunk: 0,
+            },
+            env,
+        );
+        self.try_grant_cts(recv_id);
+    }
+
+    /// Send the deferred/initial CTS for a staged receive once at least one
+    /// pool vbuf is available.
+    fn try_grant_cts(&mut self, recv_id: ReqId) {
+        let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
+        let RecvPhase::Staged(sr, _) = &mut st.phase else {
+            return;
+        };
+        if sr.cts_sent || self.recv_pool.is_empty() {
+            return;
+        }
+        let want = self.cfg.window_slots.min(sr.nchunks).max(1);
+        let take = want.min(self.recv_pool.len());
+        sr.slots = self.recv_pool.drain(self.recv_pool.len() - take..).collect();
+        sr.cts_sent = true;
+        let descs: Vec<SlotDesc> = sr
+            .slots
+            .iter()
+            .map(|v| SlotDesc {
+                key: v.key,
+                len: v.buf.len(),
+            })
+            .collect();
+        let pkt = MpiPacket::Cts {
+            send_req: sr.peer_send_req,
+            recv_req: recv_id,
+            chunk_size: self.cfg.chunk_size,
+            slots: descs,
+        };
+        let dst = sr.src;
+        self.nic.send_ctrl(dst, Box::new(pkt));
+    }
+
+    fn handle_packet(&mut self, src: usize, pkt: MpiPacket) {
+        sim_core::sleep(SimDur::from_nanos(self.cfg.cpu.handle_pkt_ns));
+        let _ = src;
+        match pkt {
+            MpiPacket::Eager { env, data } => {
+                if let Some(recv_id) = self.find_posted(&env) {
+                    self.deliver_eager(recv_id, env, data);
+                } else {
+                    self.unexpected.push_back(Unexpected::Eager { env, data });
+                }
+            }
+            MpiPacket::Rts {
+                env,
+                total,
+                send_req,
+                direct_capable,
+            } => {
+                if let Some(recv_id) = self.find_posted(&env) {
+                    self.match_rts(recv_id, env, total, send_req, direct_capable);
+                } else {
+                    self.unexpected.push_back(Unexpected::Rts {
+                        env,
+                        total,
+                        send_req,
+                        direct_capable,
+                    });
+                }
+            }
+            MpiPacket::Cts {
+                send_req,
+                recv_req,
+                chunk_size,
+                slots,
+            } => {
+                let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
+                assert!(matches!(st.phase, SendPhase::WaitCts));
+                st.source.begin(chunk_size);
+                let nchunks = st.total.div_ceil(chunk_size).max(1);
+                st.phase = SendPhase::Staged(StagedSend {
+                    dst: st.dst,
+                    peer_recv_req: recv_req,
+                    chunk_size,
+                    nchunks,
+                    slots: slots
+                        .into_iter()
+                        .map(|desc| SlotState { desc, free: true })
+                        .collect(),
+                    next_request: 0,
+                    next_send: 0,
+                    local: VecDeque::new(),
+                    inflight: Vec::new(),
+                });
+            }
+            MpiPacket::CtsDirect {
+                send_req,
+                recv_req,
+                key,
+                offset,
+                len,
+            } => {
+                let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
+                assert!(matches!(st.phase, SendPhase::WaitCts));
+                let ptr = st
+                    .direct_ptr
+                    .clone()
+                    .expect("direct CTS for a non-contiguous send");
+                assert_eq!(len, st.total);
+                let buf = ptr.buf().clone();
+                let my_key = self.register_cached(&buf);
+                let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
+                let rdma = self.nic.rdma_write(st.dst, key, offset, &ptr, st.total);
+                self.nic
+                    .send_ctrl(st.dst, Box::new(MpiPacket::FinDirect { recv_req }));
+                st.phase = SendPhase::Direct { rdma, my_key };
+            }
+            MpiPacket::Fin {
+                recv_req,
+                chunk_idx,
+                slot,
+                bytes,
+            } => {
+                let st = self.recvs.get_mut(&recv_req).expect("FIN for unknown recv");
+                let RecvPhase::Staged(sr, _) = &mut st.phase else {
+                    panic!("FIN for a receive not in staged phase")
+                };
+                sr.arrived.push_back((chunk_idx, slot, bytes));
+            }
+            MpiPacket::FinDirect { recv_req } => {
+                let st = self.recvs.get_mut(&recv_req).expect("FIN for unknown recv");
+                let RecvPhase::WaitDirect { my_key, env, total } = st.phase else {
+                    panic!("FIN-direct for a receive not in direct phase")
+                };
+                let _ = my_key; // stays in the registration cache
+                st.phase = RecvPhase::Done(RecvStatus {
+                    src: env.src,
+                    tag: env.tag,
+                    bytes: total,
+                });
+            }
+            MpiPacket::Credit { send_req, slot } => {
+                // A send completes once its last RDMA write is on the wire;
+                // credits for the tail chunks may still be in flight when
+                // the request is reaped. They gate nothing anymore: drop.
+                if let Some(st) = self.sends.get_mut(&send_req) {
+                    if let SendPhase::Staged(ss) = &mut st.phase {
+                        ss.slots[slot].free = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn find_posted(&mut self, env: &Envelope) -> Option<ReqId> {
+        let pos = self.posted.iter().position(|id| {
+            let r = &self.recvs[id];
+            matches!(r.phase, RecvPhase::Unmatched)
+                && env_matches(env, r.ctx, r.src_sel, r.tag_sel)
+        })?;
+        Some(self.posted.remove(pos))
+    }
+
+    // --- progress -------------------------------------------------------------------
+
+    /// One full progress pass: drain packets, advance all state machines.
+    pub fn progress(&mut self) {
+        // Drain the NIC mailbox.
+        while let Some(pkt) = self.nic.mailbox().try_recv() {
+            let src = pkt.src;
+            let payload = pkt
+                .payload
+                .downcast::<MpiPacket>()
+                .expect("non-MPI packet in MPI mailbox");
+            self.handle_packet(src, *payload);
+        }
+        // Advance sends.
+        let send_ids: Vec<ReqId> = self.sends.keys().copied().collect();
+        for id in send_ids {
+            self.advance_send(id);
+        }
+        // Advance receives.
+        let recv_ids: Vec<ReqId> = self.recvs.keys().copied().collect();
+        for id in recv_ids {
+            self.advance_recv(id);
+        }
+    }
+
+    fn advance_send(&mut self, id: ReqId) {
+        let Some(st) = self.sends.get_mut(&id) else {
+            return;
+        };
+        match &mut st.phase {
+            SendPhase::Done | SendPhase::WaitCts => {}
+            SendPhase::Direct { rdma, my_key } => {
+                if rdma.poll() {
+                    let _ = my_key; // stays in the registration cache
+                    st.phase = SendPhase::Done;
+                }
+            }
+            SendPhase::Staged(ss) => {
+                // 1. Request staging of upcoming chunks while vbufs and
+                //    window room are available.
+                while ss.next_request < ss.nchunks
+                    && ss.local.len() + ss.inflight.len() < ss.slots.len()
+                {
+                    let Some(vbuf) = self.send_pool.pop() else { break };
+                    let i = ss.next_request;
+                    let off = i * ss.chunk_size;
+                    let len = ss.chunk_size.min(st.total - off);
+                    st.source.request_chunk(i, vbuf.buf.base(), len);
+                    ss.local.push_back((i, vbuf));
+                    ss.next_request += 1;
+                }
+                // 2. Drive async staging.
+                st.source.poll();
+                // 3. RDMA-write ready chunks, in order, into free slots.
+                while let Some(&(i, _)) = ss.local.front() {
+                    debug_assert_eq!(i, ss.next_send);
+                    if !st.source.chunk_ready(i) {
+                        break;
+                    }
+                    let slot = i % ss.slots.len();
+                    if !ss.slots[slot].free {
+                        break;
+                    }
+                    let (_, vbuf) = ss.local.pop_front().unwrap();
+                    let off = i * ss.chunk_size;
+                    let len = ss.chunk_size.min(st.total - off);
+                    assert!(
+                        len <= ss.slots[slot].desc.len,
+                        "chunk larger than the granted vbuf slot"
+                    );
+                    ss.slots[slot].free = false;
+                    let comp =
+                        self.nic
+                            .rdma_write(ss.dst, ss.slots[slot].desc.key, 0, &vbuf.buf.base(), len);
+                    self.nic.send_ctrl(
+                        ss.dst,
+                        Box::new(MpiPacket::Fin {
+                            recv_req: ss.peer_recv_req,
+                            chunk_idx: i,
+                            slot,
+                            bytes: len,
+                        }),
+                    );
+                    ss.inflight.push((comp, vbuf));
+                    ss.next_send += 1;
+                }
+                // 4. Reap finished RDMA writes, returning local vbufs.
+                let mut i = 0;
+                while i < ss.inflight.len() {
+                    if ss.inflight[i].0.poll() {
+                        let (_, vbuf) = ss.inflight.swap_remove(i);
+                        self.send_pool.push(vbuf);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if ss.next_send == ss.nchunks && ss.inflight.is_empty() {
+                    st.phase = SendPhase::Done;
+                }
+            }
+        }
+    }
+
+    fn advance_recv(&mut self, id: ReqId) {
+        if self.recvs.contains_key(&id) {
+            self.try_grant_cts(id);
+        }
+        let Some(st) = self.recvs.get_mut(&id) else {
+            return;
+        };
+        let RecvPhase::Staged(sr, env) = &mut st.phase else {
+            return;
+        };
+        st.sink.poll();
+        // Feed arrived chunks to the sink in order.
+        while let Some(&(chunk, slot, bytes)) = sr.arrived.front() {
+            if chunk != sr.next_chunk {
+                break; // FINs arrive in order; defensive.
+            }
+            sr.arrived.pop_front();
+            st.sink
+                .chunk_arrived(chunk, sr.slots[slot].buf.base(), bytes);
+            sr.absorbing.push_back((chunk, slot));
+            sr.next_chunk += 1;
+        }
+        // Credit slots whose data the sink has absorbed.
+        while let Some(&(chunk, slot)) = sr.absorbing.front() {
+            if !st.sink.chunk_absorbed(chunk) {
+                break;
+            }
+            sr.absorbing.pop_front();
+            self.nic.send_ctrl(
+                sr.src,
+                Box::new(MpiPacket::Credit {
+                    send_req: sr.peer_send_req,
+                    slot,
+                }),
+            );
+        }
+        if sr.next_chunk == sr.nchunks && st.sink.finished() {
+            // Return granted vbufs to the pool.
+            self.recv_pool.append(&mut sr.slots);
+            let status = RecvStatus {
+                src: env.src,
+                tag: env.tag,
+                bytes: sr.total,
+            };
+            st.phase = RecvPhase::Done(status);
+        }
+    }
+
+    // --- completion queries --------------------------------------------------------
+
+    pub fn send_done(&self, id: ReqId) -> bool {
+        matches!(self.sends[&id].phase, SendPhase::Done)
+    }
+
+    pub fn recv_done(&self, id: ReqId) -> Option<RecvStatus> {
+        match self.recvs[&id].phase {
+            RecvPhase::Done(status) => Some(status),
+            _ => None,
+        }
+    }
+
+    pub fn is_send(&self, id: ReqId) -> bool {
+        self.sends.contains_key(&id)
+    }
+
+    pub fn reap_send(&mut self, id: ReqId) {
+        self.sends.remove(&id);
+    }
+
+    pub fn reap_recv(&mut self, id: ReqId) {
+        self.recvs.remove(&id);
+    }
+
+    /// Scan the unexpected queue for a message matching `(src, tag)` on
+    /// the world context; returns its envelope info without consuming it.
+    pub fn probe_unexpected(&self, src: SrcSel, tag: TagSel, ctx: u16) -> Option<RecvStatus> {
+        self.unexpected.iter().find_map(|u| {
+            let env = u.env();
+            if !env_matches(env, ctx, src, tag) {
+                return None;
+            }
+            let bytes = match u {
+                Unexpected::Eager { data, .. } => data.len(),
+                Unexpected::Rts { total, .. } => *total,
+            };
+            Some(RecvStatus {
+                src: env.src,
+                tag: env.tag,
+                bytes,
+            })
+        })
+    }
+
+    /// Earliest *future* instant at which polling could make progress.
+    pub fn next_event(&self) -> Option<SimTime> {
+        let now = sim_core::now();
+        let mut best: Option<SimTime> = None;
+        let mut consider = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                if t > now {
+                    best = Some(match best {
+                        None => t,
+                        Some(b) => b.min(t),
+                    });
+                }
+            }
+        };
+        for s in self.sends.values() {
+            consider(s.source.next_event());
+            if let SendPhase::Direct { rdma, .. } = &s.phase {
+                consider(rdma.done_at());
+            }
+            if let SendPhase::Staged(ss) = &s.phase {
+                for (c, _) in &ss.inflight {
+                    consider(c.done_at());
+                }
+            }
+        }
+        for r in self.recvs.values() {
+            consider(r.sink.next_event());
+        }
+        best
+    }
+
+    /// Block (in virtual time) until a packet arrives or the next known
+    /// event instant passes.
+    pub fn idle_block(&self) {
+        self.nic.mailbox().wait_nonempty_until(self.next_event());
+    }
+}

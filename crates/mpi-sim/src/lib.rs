@@ -1,0 +1,57 @@
+//! # mpi-sim — an MPI runtime on the simulated cluster
+//!
+//! A from-scratch MPI implementation in the spirit of MVAPICH2's host data
+//! path, providing everything the paper's GPU extension (crate
+//! `mv2-gpu-nc`) needs to plug into:
+//!
+//! * the full **derived datatype engine** (contiguous, vector, hvector,
+//!   indexed, hindexed, struct, subarray, resized) with MPI 2.2
+//!   size/extent rules, plus flattening that recognizes `cudaMemcpy2D`-able
+//!   strided layouts ([`flat::Layout::Strided2D`]);
+//! * **point-to-point** with tag/source matching (wildcards, non-overtaking
+//!   order, unexpected-message queue), blocking and nonblocking calls;
+//! * three data protocols: **eager**, **rendezvous direct** (R-PUT over
+//!   RDMA into a registered contiguous user buffer) and **rendezvous
+//!   staged** (chunked through registered vbufs with RTS / CTS / per-chunk
+//!   RDMA write + FIN / CREDIT flow control);
+//! * a pluggable **staging layer** ([`BufferStager`]) so GPU-resident
+//!   buffers can be packed/unpacked by the device instead of the CPU;
+//! * `MPI_Barrier` (dissemination).
+//!
+//! ```
+//! use mpi_sim::{MpiWorld, Datatype};
+//! use hostmem::HostBuf;
+//!
+//! MpiWorld::new(2).run(|comm| {
+//!     let t = Datatype::float();
+//!     t.commit();
+//!     let buf = HostBuf::alloc(4096);
+//!     if comm.rank() == 0 {
+//!         comm.send(buf.base(), 1024, &t, 1, 0);
+//!     } else {
+//!         let st = comm.recv(buf.base(), 1024, &t, 0, 0);
+//!         assert_eq!(st.bytes, 4096);
+//!     }
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+mod coll;
+mod comm;
+mod datatype;
+mod engine;
+pub mod flat;
+pub mod pack;
+mod proto;
+pub mod staging;
+mod world;
+
+pub use coll::ReduceOp;
+pub use comm::Comm;
+pub use datatype::{Datatype, SubarrayOrder};
+pub use engine::{RecvStatus, Request, SrcSel, TagSel, ANY_SOURCE, ANY_TAG};
+pub use pack::CpuModel;
+pub use proto::MpiConfig;
+pub use staging::{BufferStager, RecvSink, SendSource};
+pub use world::MpiWorld;

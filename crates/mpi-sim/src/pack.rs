@@ -1,0 +1,274 @@
+//! CPU pack/unpack engine for host buffers.
+//!
+//! [`PackCursor`]/[`UnpackCursor`] stream a flattened datatype's bytes
+//! to/from a contiguous representation in chunk-sized pieces — O(total)
+//! overall even when a message is packed in many chunks, which matters for
+//! the pipelined rendezvous path.
+
+use hostmem::HostPtr;
+
+use crate::flat::Segment;
+
+/// Streaming packer: reads a non-contiguous layout (`segments` relative to
+/// `base`) and produces the packed byte stream incrementally.
+pub struct PackCursor {
+    base: HostPtr,
+    segments: Vec<Segment>,
+    seg_idx: usize,
+    seg_off: usize,
+    produced: usize,
+}
+
+/// Streaming unpacker: consumes a packed byte stream and scatters it into a
+/// non-contiguous layout.
+pub struct UnpackCursor {
+    base: HostPtr,
+    segments: Vec<Segment>,
+    seg_idx: usize,
+    seg_off: usize,
+    consumed: usize,
+}
+
+fn abs_offset(base: &HostPtr, seg: &Segment, within: usize) -> usize {
+    let off = base.offset() as isize + seg.offset + within as isize;
+    assert!(
+        off >= 0,
+        "datatype segment at negative absolute offset {off} (buffer offset {}, segment {})",
+        base.offset(),
+        seg.offset
+    );
+    off as usize
+}
+
+impl PackCursor {
+    /// Create a packer over `segments` of the buffer at `base`.
+    pub fn new(base: HostPtr, segments: Vec<Segment>) -> Self {
+        PackCursor {
+            base,
+            segments,
+            seg_idx: 0,
+            seg_off: 0,
+            produced: 0,
+        }
+    }
+
+    /// Total bytes produced so far.
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    /// True when every segment has been packed.
+    pub fn finished(&self) -> bool {
+        self.seg_idx >= self.segments.len()
+    }
+
+    /// Pack the next `out.len()` bytes of the stream into `out`. Panics if
+    /// fewer bytes remain.
+    pub fn pack_into(&mut self, out: &mut [u8]) {
+        let mut pos = 0;
+        while pos < out.len() {
+            let seg = *self
+                .segments
+                .get(self.seg_idx)
+                .expect("PackCursor: packed past the end of the datatype");
+            let avail = seg.len - self.seg_off;
+            let take = avail.min(out.len() - pos);
+            let src = abs_offset(&self.base, &seg, self.seg_off);
+            self.base
+                .buf()
+                .read_into(src, &mut out[pos..pos + take]);
+            pos += take;
+            self.seg_off += take;
+            if self.seg_off == seg.len {
+                self.seg_idx += 1;
+                self.seg_off = 0;
+            }
+        }
+        self.produced += out.len();
+    }
+
+    /// Pack the entire remaining stream.
+    pub fn pack_all(&mut self) -> Vec<u8> {
+        let remaining: usize =
+            self.segments[self.seg_idx..].iter().map(|s| s.len).sum::<usize>() - self.seg_off;
+        let mut out = vec![0u8; remaining];
+        self.pack_into(&mut out);
+        out
+    }
+}
+
+impl UnpackCursor {
+    /// Create an unpacker over `segments` of the buffer at `base`.
+    pub fn new(base: HostPtr, segments: Vec<Segment>) -> Self {
+        UnpackCursor {
+            base,
+            segments,
+            seg_idx: 0,
+            seg_off: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Total bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// True when every segment has been filled.
+    pub fn finished(&self) -> bool {
+        self.seg_idx >= self.segments.len()
+    }
+
+    /// Scatter the next `data.len()` bytes of the packed stream. Panics if
+    /// that exceeds the layout's remaining capacity.
+    pub fn unpack_from(&mut self, data: &[u8]) {
+        let mut pos = 0;
+        while pos < data.len() {
+            let seg = *self
+                .segments
+                .get(self.seg_idx)
+                .expect("UnpackCursor: unpacked past the end of the datatype");
+            let avail = seg.len - self.seg_off;
+            let take = avail.min(data.len() - pos);
+            let dst = abs_offset(&self.base, &seg, self.seg_off);
+            self.base.buf().write(dst, &data[pos..pos + take]);
+            pos += take;
+            self.seg_off += take;
+            if self.seg_off == seg.len {
+                self.seg_idx += 1;
+                self.seg_off = 0;
+            }
+        }
+        self.consumed += data.len();
+    }
+}
+
+/// CPU memory/packing cost model (host side of the MPI library).
+#[derive(Clone, Debug)]
+pub struct CpuModel {
+    /// Packing/copy bandwidth on one core, bytes per second.
+    pub pack_bw_bps: f64,
+    /// Fixed cost per touched segment (loop + address computation), ns.
+    pub per_segment_ns: f64,
+    /// Cost of one MPI call's bookkeeping, ns.
+    pub mpi_call_ns: u64,
+    /// Cost of handling one incoming packet in the progress engine, ns.
+    pub handle_pkt_ns: u64,
+}
+
+impl CpuModel {
+    /// Calibrated for the paper's Westmere-era Xeon host.
+    pub fn westmere() -> Self {
+        CpuModel {
+            pack_bw_bps: 3.0e9,
+            per_segment_ns: 4.0,
+            mpi_call_ns: 200,
+            handle_pkt_ns: 150,
+        }
+    }
+
+    /// Time to pack/unpack `bytes` spread over `segments` runs.
+    pub fn pack_time(&self, bytes: usize, segments: usize) -> sim_core::SimDur {
+        let ns = bytes as f64 / self.pack_bw_bps * 1e9 + self.per_segment_ns * segments as f64;
+        sim_core::SimDur::from_nanos(ns.round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostmem::HostBuf;
+
+    fn segs(v: &[(isize, usize)]) -> Vec<Segment> {
+        v.iter()
+            .map(|&(offset, len)| Segment { offset, len })
+            .collect()
+    }
+
+    #[test]
+    fn pack_all_gathers_segments_in_order() {
+        let buf = HostBuf::from_vec((0u8..16).collect());
+        let mut p = PackCursor::new(buf.base(), segs(&[(12, 2), (0, 3), (6, 1)]));
+        assert_eq!(p.pack_all(), vec![12, 13, 0, 1, 2, 6]);
+        assert!(p.finished());
+        assert_eq!(p.produced(), 6);
+    }
+
+    #[test]
+    fn chunked_pack_equals_whole_pack() {
+        let buf = HostBuf::from_vec((0u8..64).collect());
+        let s = segs(&[(1, 5), (10, 7), (30, 3), (40, 9)]);
+        let mut whole = PackCursor::new(buf.base(), s.clone());
+        let expect = whole.pack_all();
+        let mut chunked = PackCursor::new(buf.base(), s);
+        let mut got = Vec::new();
+        for chunk_len in [3usize, 1, 7, 6, 4, 3] {
+            let mut tmp = vec![0u8; chunk_len];
+            chunked.pack_into(&mut tmp);
+            got.extend_from_slice(&tmp);
+        }
+        assert_eq!(got, expect);
+        assert!(chunked.finished());
+    }
+
+    #[test]
+    fn unpack_round_trips_pack() {
+        let src = HostBuf::from_vec((100u8..164).collect());
+        let dst = HostBuf::alloc(64);
+        let s = segs(&[(2, 6), (20, 10), (45, 5)]);
+        let packed = PackCursor::new(src.base(), s.clone()).pack_all();
+        let mut u = UnpackCursor::new(dst.base(), s.clone());
+        // Unpack in uneven chunks.
+        u.unpack_from(&packed[..7]);
+        u.unpack_from(&packed[7..9]);
+        u.unpack_from(&packed[9..]);
+        assert!(u.finished());
+        for seg in &s {
+            let o = seg.offset as usize;
+            assert_eq!(dst.read(o, seg.len), src.read(o, seg.len));
+        }
+        // Bytes outside segments stay zero.
+        assert_eq!(dst.read(0, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn base_offset_applies() {
+        let buf = HostBuf::from_vec((0u8..32).collect());
+        let mut p = PackCursor::new(buf.ptr(8), segs(&[(0, 2), (4, 2)]));
+        assert_eq!(p.pack_all(), vec![8, 9, 12, 13]);
+    }
+
+    #[test]
+    fn negative_segment_with_positive_base_is_ok() {
+        let buf = HostBuf::from_vec((0u8..16).collect());
+        let mut p = PackCursor::new(buf.ptr(8), segs(&[(-4, 2)]));
+        assert_eq!(p.pack_all(), vec![4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative absolute offset")]
+    fn negative_absolute_offset_panics() {
+        let buf = HostBuf::alloc(16);
+        let mut p = PackCursor::new(buf.base(), segs(&[(-4, 2)]));
+        let _ = p.pack_all();
+    }
+
+    #[test]
+    #[should_panic(expected = "past the end")]
+    fn overpack_panics() {
+        let buf = HostBuf::alloc(16);
+        let mut p = PackCursor::new(buf.base(), segs(&[(0, 4)]));
+        let mut out = vec![0u8; 5];
+        p.pack_into(&mut out);
+    }
+
+    #[test]
+    fn cpu_model_pack_time_scales() {
+        let m = CpuModel::westmere();
+        let small = m.pack_time(1024, 1);
+        let big = m.pack_time(1 << 20, 1);
+        assert!(big > small);
+        // Segment-heavy layouts cost more than flat ones of the same size.
+        assert!(m.pack_time(4096, 1024) > m.pack_time(4096, 1));
+    }
+}

@@ -1,0 +1,137 @@
+//! Wire protocol: packet formats and protocol configuration.
+//!
+//! Three data paths, selected per message (mirroring MVAPICH2):
+//!
+//! * **Eager** — `total <= eager_limit`: the packed payload rides the
+//!   envelope. Completes locally at send time (buffered semantics).
+//! * **Rendezvous direct (R-PUT)** — both sides contiguous in host memory:
+//!   RTS → CTS carrying the receiver's registered user-buffer key → one
+//!   RDMA write → FIN.
+//! * **Rendezvous staged** — any non-contiguous or device-resident side:
+//!   RTS → CTS granting a window of registered staging buffers (vbufs) →
+//!   per chunk: stage (pack) / RDMA write / FIN / absorb (unpack) / CREDIT.
+//!   This is the path the paper's GPU pipeline plugs into.
+
+use ib_sim::MrKey;
+
+/// Request identifier, unique within one rank.
+pub(crate) type ReqId = u64;
+
+/// Message envelope used for matching.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Envelope {
+    /// Communicator context id (0 = world, 1 = internal collectives).
+    pub ctx: u16,
+    /// Source rank.
+    pub src: usize,
+    /// User tag.
+    pub tag: u32,
+}
+
+/// A granted staging slot: a registered remote buffer chunk.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct SlotDesc {
+    pub key: MrKey,
+    pub len: usize,
+}
+
+/// Everything that travels between ranks.
+pub(crate) enum MpiPacket {
+    /// Small message: envelope + packed payload.
+    Eager { env: Envelope, data: Vec<u8> },
+    /// Request To Send (rendezvous start).
+    Rts {
+        env: Envelope,
+        total: usize,
+        send_req: ReqId,
+        /// Sender's buffer is contiguous host memory, so a direct R-PUT is
+        /// possible if the receiver's is too.
+        direct_capable: bool,
+    },
+    /// Clear To Send, staged path: a window of vbuf slots.
+    Cts {
+        send_req: ReqId,
+        recv_req: ReqId,
+        chunk_size: usize,
+        slots: Vec<SlotDesc>,
+    },
+    /// Clear To Send, direct path: the receiver's registered user buffer.
+    CtsDirect {
+        send_req: ReqId,
+        recv_req: ReqId,
+        key: MrKey,
+        /// Byte offset of the receive start within the registered region.
+        offset: usize,
+        len: usize,
+    },
+    /// Staged path: chunk `chunk_idx` has been RDMA-written into `slot`.
+    Fin {
+        recv_req: ReqId,
+        chunk_idx: usize,
+        slot: usize,
+        bytes: usize,
+    },
+    /// Direct path: the single RDMA write has completed.
+    FinDirect { recv_req: ReqId },
+    /// Staged path: the receiver has absorbed the chunk in `slot`; the
+    /// sender may write the next chunk into it.
+    Credit { send_req: ReqId, slot: usize },
+}
+
+/// Tunables of the simulated MPI library.
+#[derive(Clone, Debug)]
+pub struct MpiConfig {
+    /// Largest message sent eagerly, bytes.
+    pub eager_limit: usize,
+    /// Staging chunk size (the paper's `MV2_CUDA_BLOCK_SIZE` analog), bytes.
+    pub chunk_size: usize,
+    /// Vbuf slots the receiver grants per staged transfer (pipeline window).
+    pub window_slots: usize,
+    /// Total vbufs in each rank's pool.
+    pub pool_vbufs: usize,
+    /// Host CPU cost model.
+    pub cpu: crate::pack::CpuModel,
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        MpiConfig {
+            eager_limit: 8192,
+            chunk_size: 64 << 10,
+            window_slots: 8,
+            pool_vbufs: 64,
+            cpu: crate::pack::CpuModel::westmere(),
+        }
+    }
+}
+
+impl MpiConfig {
+    /// Number of chunks a staged transfer of `total` bytes uses.
+    pub fn nchunks(&self, total: usize) -> usize {
+        total.div_ceil(self.chunk_size).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = MpiConfig::default();
+        assert!(c.eager_limit < c.chunk_size);
+        assert!(c.window_slots <= c.pool_vbufs);
+    }
+
+    #[test]
+    fn nchunks_rounds_up() {
+        let c = MpiConfig {
+            chunk_size: 100,
+            ..Default::default()
+        };
+        assert_eq!(c.nchunks(1), 1);
+        assert_eq!(c.nchunks(100), 1);
+        assert_eq!(c.nchunks(101), 2);
+        assert_eq!(c.nchunks(0), 1);
+    }
+}

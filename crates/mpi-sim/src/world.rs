@@ -1,0 +1,404 @@
+//! Job launcher: spawn `n` ranks as simulation processes, each with a
+//! [`Comm`], and run the whole job to completion in virtual time.
+
+use std::sync::Arc;
+
+use ib_sim::{Fabric, NetModel};
+use sim_core::{Sim, SimTime};
+
+use crate::comm::Comm;
+use crate::proto::MpiConfig;
+
+/// A simulated MPI job on a cluster of `n` single-process nodes.
+pub struct MpiWorld {
+    n: usize,
+    net: NetModel,
+    cfg: MpiConfig,
+}
+
+impl MpiWorld {
+    /// A job of `n` ranks with default (QDR, MVAPICH2-like) settings.
+    pub fn new(n: usize) -> Self {
+        MpiWorld {
+            n,
+            net: NetModel::qdr(),
+            cfg: MpiConfig::default(),
+        }
+    }
+
+    /// Override the MPI configuration.
+    pub fn with_config(mut self, cfg: MpiConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Override the network model.
+    pub fn with_net(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Run `f` on every rank (host-only MPI; device buffers panic). Returns
+    /// the virtual time when the last rank finished.
+    pub fn run<F>(self, f: F) -> SimTime
+    where
+        F: Fn(Comm) + Send + Sync + 'static,
+    {
+        let sim = Sim::new();
+        let fabric = Fabric::new(self.n, self.net.clone());
+        let f = Arc::new(f);
+        for rank in 0..self.n {
+            let fabric = fabric.clone();
+            let cfg = self.cfg.clone();
+            let f = Arc::clone(&f);
+            let n = self.n;
+            sim.spawn(format!("rank{rank}"), move || {
+                let comm = Comm::create(fabric.nic(rank), rank, n, cfg, Arc::new(Vec::new()));
+                f(comm);
+            });
+        }
+        sim.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::Datatype;
+    use crate::engine::{Request, ANY_SOURCE, ANY_TAG};
+    use hostmem::HostBuf;
+    use std::sync::Mutex;
+
+    #[test]
+    fn eager_ping_pong() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::int();
+            t.commit();
+            let buf = HostBuf::alloc(64);
+            if comm.rank() == 0 {
+                buf.write(0, &hostmem::scalars_to_bytes(&[1i32, 2, 3, 4]));
+                comm.send(buf.base(), 4, &t, 1, 7);
+                let st = comm.recv(buf.base(), 16, &t, 1, 8);
+                assert_eq!(st.bytes, 16);
+                assert_eq!(
+                    hostmem::bytes_to_scalars::<i32>(&buf.read(0, 16)),
+                    vec![2, 4, 6, 8]
+                );
+            } else {
+                let st = comm.recv(buf.base(), 16, &t, 0, 7);
+                assert_eq!((st.src, st.tag, st.bytes), (0, 7, 16));
+                let mut v = hostmem::bytes_to_scalars::<i32>(&buf.read(0, 16));
+                for x in &mut v {
+                    *x *= 2;
+                }
+                buf.write(0, &hostmem::scalars_to_bytes(&v));
+                comm.send(buf.base(), 4, &t, 0, 8);
+            }
+        });
+    }
+
+    #[test]
+    fn rendezvous_direct_large_contiguous() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            let n = 1 << 20;
+            if comm.rank() == 0 {
+                let buf = HostBuf::from_vec((0..n).map(|i| (i % 253) as u8).collect());
+                comm.send(buf.base(), n, &t, 1, 0);
+            } else {
+                let buf = HostBuf::alloc(n);
+                let st = comm.recv(buf.base(), n, &t, 0, 0);
+                assert_eq!(st.bytes, n);
+                assert!((0..n).all(|i| buf.read(i, 1)[0] == (i % 253) as u8));
+            }
+        });
+    }
+
+    #[test]
+    fn rendezvous_staged_vector_datatype() {
+        MpiWorld::new(2).run(|comm| {
+            // 64Ki rows of 4 bytes, stride 16: 256 KiB of data in a 1 MiB
+            // buffer — forces the staged (vbuf) pipeline path.
+            let t = Datatype::vector(1 << 16, 1, 4, &Datatype::float());
+            t.commit();
+            if comm.rank() == 0 {
+                let buf = HostBuf::from_vec((0..(1 << 20)).map(|i| (i % 249) as u8).collect());
+                comm.send(buf.base(), 1, &t, 1, 3);
+            } else {
+                let buf = HostBuf::alloc(1 << 20);
+                let st = comm.recv(buf.base(), 1, &t, 0, 3);
+                assert_eq!(st.bytes, 256 << 10);
+                // Every 16-byte row: first 4 bytes transferred, rest zero.
+                for r in [0usize, 1, 1000, 65535] {
+                    let o = r * 16;
+                    let expect: Vec<u8> = (o..o + 4).map(|i| (i % 249) as u8).collect();
+                    assert_eq!(buf.read(o, 4), expect, "row {r}");
+                    assert_eq!(buf.read(o + 4, 12), vec![0u8; 12], "row {r} hole");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn any_source_any_tag() {
+        MpiWorld::new(3).run(|comm| {
+            let t = Datatype::int();
+            t.commit();
+            match comm.rank() {
+                0 => {
+                    let buf = HostBuf::alloc(8);
+                    let mut seen = Vec::new();
+                    for _ in 0..2 {
+                        let st = comm.recv(buf.base(), 1, &t, ANY_SOURCE, ANY_TAG);
+                        seen.push((st.src, st.tag));
+                    }
+                    seen.sort_unstable();
+                    assert_eq!(seen, vec![(1, 11), (2, 22)]);
+                }
+                r => {
+                    let buf = HostBuf::from_vec(vec![r as u8; 4]);
+                    comm.send(buf.base(), 1, &t, 0, (r * 11) as u32);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn unexpected_messages_match_later_posts() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            if comm.rank() == 0 {
+                for tag in 0..4u32 {
+                    let buf = HostBuf::from_vec(vec![tag as u8; 32]);
+                    comm.send(buf.base(), 32, &t, 1, tag);
+                }
+            } else {
+                // Delay posting, then post in reverse tag order: each recv
+                // must match by tag from the unexpected queue.
+                sim_core::sleep(sim_core::SimDur::from_millis(1));
+                for tag in (0..4u32).rev() {
+                    let buf = HostBuf::alloc(32);
+                    let st = comm.recv(buf.base(), 32, &t, 0, tag);
+                    assert_eq!(st.tag, tag);
+                    assert_eq!(buf.read(0, 32), vec![tag as u8; 32]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn non_overtaking_same_tag() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            if comm.rank() == 0 {
+                for i in 0..8u8 {
+                    let buf = HostBuf::from_vec(vec![i; 16]);
+                    comm.send(buf.base(), 16, &t, 1, 5);
+                }
+            } else {
+                for i in 0..8u8 {
+                    let buf = HostBuf::alloc(16);
+                    comm.recv(buf.base(), 16, &t, 0, 5);
+                    assert_eq!(buf.read(0, 16), vec![i; 16], "message order violated");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn isend_irecv_waitall_bidirectional() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            let me = comm.rank();
+            let peer = 1 - me;
+            let n = 300 << 10; // rendezvous-sized both ways
+            let sendbuf = HostBuf::from_vec(vec![me as u8 + 1; n]);
+            let recvbuf = HostBuf::alloc(n);
+            let r = comm.irecv(recvbuf.base(), n, &t, peer, 1u32);
+            let s = comm.isend(sendbuf.base(), n, &t, peer, 1);
+            let stats = comm.waitall(vec![r, s]);
+            assert_eq!(stats[0].unwrap().bytes, n);
+            assert_eq!(recvbuf.read(0, n), vec![peer as u8 + 1; n]);
+        });
+    }
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        let after = Arc::new(Mutex::new(Vec::new()));
+        let after2 = Arc::clone(&after);
+        MpiWorld::new(4).run(move |comm| {
+            // Rank r works for r ms before the barrier.
+            sim_core::sleep(sim_core::SimDur::from_millis(comm.rank() as u64));
+            comm.barrier();
+            after2.lock().unwrap().push((comm.rank(), sim_core::now()));
+        });
+        let times = after.lock().unwrap().clone();
+        let slowest = times.iter().map(|&(_, t)| t).min().unwrap();
+        for (r, t) in times {
+            assert!(
+                t >= SimTime::from_nanos(3_000_000),
+                "rank {r} left the barrier at {t}, before the slowest rank arrived"
+            );
+            assert!(t >= slowest);
+        }
+    }
+
+    #[test]
+    fn waitany_returns_first_completion() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            if comm.rank() == 0 {
+                // Tag 7 arrives much later than tag 8.
+                sim_core::sleep(sim_core::SimDur::from_millis(2));
+                let b = HostBuf::from_vec(vec![8; 16]);
+                comm.send(b.base(), 16, &t, 1, 8);
+                sim_core::sleep(sim_core::SimDur::from_millis(2));
+                let a = HostBuf::from_vec(vec![7; 16]);
+                comm.send(a.base(), 16, &t, 1, 7);
+            } else {
+                let ba = HostBuf::alloc(16);
+                let bb = HostBuf::alloc(16);
+                let reqs = vec![
+                    comm.irecv(ba.base(), 16, &t, 0, 7u32),
+                    comm.irecv(bb.base(), 16, &t, 0, 8u32),
+                ];
+                let (idx, st) = comm.waitany(&reqs);
+                assert_eq!(idx, 1, "tag 8 completes first");
+                assert_eq!(st.unwrap().tag, 8);
+                let remaining: Vec<Request> =
+                    reqs.into_iter().enumerate().filter(|(i, _)| *i != idx).map(|(_, r)| r).collect();
+                comm.waitall(remaining);
+                assert_eq!(ba.read(0, 16), vec![7; 16]);
+            }
+        });
+    }
+
+    #[test]
+    fn testall_reports_only_when_all_done() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            if comm.rank() == 0 {
+                let b = HostBuf::from_vec(vec![1; 8]);
+                comm.send(b.base(), 8, &t, 1, 0);
+                sim_core::sleep(sim_core::SimDur::from_millis(1));
+                comm.send(b.base(), 8, &t, 1, 1);
+            } else {
+                let ba = HostBuf::alloc(8);
+                let bb = HostBuf::alloc(8);
+                let reqs = vec![
+                    comm.irecv(ba.base(), 8, &t, 0, 0u32),
+                    comm.irecv(bb.base(), 8, &t, 0, 1u32),
+                ];
+                // Give the first message time to land, not the second.
+                sim_core::sleep(sim_core::SimDur::from_micros(500));
+                assert!(!comm.testall(&reqs), "second message not yet sent");
+                comm.waitall(reqs);
+            }
+        });
+    }
+
+    #[test]
+    fn test_polls_without_blocking() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            if comm.rank() == 0 {
+                sim_core::sleep(sim_core::SimDur::from_micros(500));
+                let buf = HostBuf::from_vec(vec![1; 8]);
+                comm.send(buf.base(), 8, &t, 1, 0);
+            } else {
+                let buf = HostBuf::alloc(8);
+                let req = comm.irecv(buf.base(), 8, &t, 0, 0u32);
+                assert!(!comm.test(&req), "message cannot have arrived yet");
+                let st = comm.wait(req).unwrap();
+                assert_eq!(st.bytes, 8);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncation_panics() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            if comm.rank() == 0 {
+                let buf = HostBuf::alloc(64);
+                comm.send(buf.base(), 64, &t, 1, 0);
+            } else {
+                let buf = HostBuf::alloc(16);
+                comm.recv(buf.base(), 16, &t, 0, 0);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "no GPU datatype support")]
+    fn device_buffer_without_gpu_support_panics() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            if comm.rank() == 0 {
+                let gpu = gpu_sim::Gpu::tesla_c2050(0);
+                let dev = gpu.malloc(64);
+                comm.send(dev, 64, &t, 1, 0);
+            } else {
+                let buf = HostBuf::alloc(64);
+                comm.recv(buf.base(), 64, &t, 0, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn deterministic_end_time() {
+        let run = || {
+            MpiWorld::new(4).run(|comm| {
+                let t = Datatype::byte();
+                t.commit();
+                let peer = comm.rank() ^ 1;
+                let buf = HostBuf::alloc(100 << 10);
+                let r = comm.irecv(buf.base(), 100 << 10, &t, peer, 0u32);
+                let s = comm.isend(buf.base(), 0, &t, peer, 1);
+                comm.wait(s);
+                let sendbuf = HostBuf::alloc(100 << 10);
+                comm.send(sendbuf.base(), 100 << 10, &t, peer, 0);
+                comm.wait(r);
+                comm.barrier();
+            })
+        };
+        assert_eq!(run(), run(), "simulation must be deterministic");
+    }
+
+    #[test]
+    fn many_messages_stress() {
+        MpiWorld::new(2).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            let me = comm.rank();
+            let peer = 1 - me;
+            // Mix of eager and rendezvous messages, interleaved posts.
+            let mut reqs = Vec::new();
+            let mut bufs = Vec::new();
+            for i in 0..20usize {
+                let n = if i % 3 == 0 { 100 << 10 } else { 256 };
+                let rbuf = HostBuf::alloc(n);
+                reqs.push(comm.irecv(rbuf.base(), n, &t, peer, i as u32));
+                bufs.push(rbuf);
+                let sbuf = HostBuf::from_vec(vec![i as u8; n]);
+                reqs.push(comm.isend(sbuf.base(), n, &t, peer, i as u32));
+                bufs.push(sbuf);
+            }
+            comm.waitall(reqs);
+            for i in 0..20usize {
+                let n = if i % 3 == 0 { 100 << 10 } else { 256 };
+                assert_eq!(bufs[i * 2].read(0, n), vec![i as u8; n], "msg {i}");
+            }
+        });
+    }
+}

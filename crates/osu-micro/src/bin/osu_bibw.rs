@@ -1,0 +1,7 @@
+//! `osu_bibw`: bidirectional windowed bandwidth, host or device buffers.
+//!
+//! `cargo run --release -p osu-micro --bin osu_bibw -- --device --strided`
+
+fn main() {
+    osu_micro::run_cli("osu_bibw", osu_micro::bi_bandwidth);
+}

@@ -1,0 +1,7 @@
+//! `osu_bw`: unidirectional windowed bandwidth, host or device buffers.
+//!
+//! `cargo run --release -p osu-micro --bin osu_bw -- --device`
+
+fn main() {
+    osu_micro::run_cli("osu_bw", osu_micro::bandwidth);
+}

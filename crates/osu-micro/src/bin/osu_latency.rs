@@ -1,0 +1,9 @@
+//! `osu_latency`: ping-pong latency, host or device buffers, contiguous or
+//! strided. The strided-device mode reproduces the measurement behind the
+//! paper's Figure 5 MV2-GPU-NC curve.
+//!
+//! `cargo run --release -p osu-micro --bin osu_latency -- --device --strided`
+
+fn main() {
+    osu_micro::run_cli("osu_latency", osu_micro::latency);
+}

@@ -1,0 +1,382 @@
+//! # osu-micro — OSU-style micro-benchmarks on the simulated cluster
+//!
+//! The paper's MPI-level evaluation (§V) is "based on OSU Micro
+//! Benchmarks", and its block-size tuning methodology is "detected ...
+//! by using OSU micro-benchmarks" at installation time. This crate
+//! reimplements the relevant benchmarks against the simulated stack:
+//!
+//! * [`latency`] — `osu_latency`: ping-pong round-trip / 2;
+//! * [`bandwidth`] — `osu_bw`: a window of back-to-back nonblocking sends
+//!   per handshake;
+//! * [`bi_bandwidth`] — `osu_bibw`: both directions at once;
+//! * each with host or device buffers ([`BufKind`]), contiguous or
+//!   strided ([`Pattern`]) — the strided-device combination is the paper's
+//!   headline case.
+//!
+//! Results are deterministic: one measured iteration per size after a
+//! warm-up (the simulator has no noise to average away).
+
+#![warn(missing_docs)]
+
+use gpu_sim::{DevPtr, Loc};
+use hostmem::HostBuf;
+use mpi_sim::Datatype;
+use mv2_gpu_nc::{GpuCluster, GpuRankEnv};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where the message buffers live.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BufKind {
+    /// Host (CPU) memory — the classic OSU benchmarks.
+    Host,
+    /// GPU device memory — the `D D` mode of OSU's CUDA extensions.
+    Device,
+}
+
+/// Memory layout of the message.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Pattern {
+    /// One contiguous block.
+    Contiguous,
+    /// A vector of 4-byte elements with 4x pitch (the paper's Figure 5
+    /// geometry).
+    Strided,
+}
+
+/// One measurement row.
+#[derive(Copy, Clone, Debug)]
+pub struct Sample {
+    /// Message size in bytes.
+    pub bytes: usize,
+    /// Latency in microseconds (for latency benchmarks) or elapsed time of
+    /// the window (for bandwidth benchmarks).
+    pub micros: f64,
+    /// Bandwidth in MB/s (meaningful for bandwidth benchmarks; derived for
+    /// latency too).
+    pub mbps: f64,
+}
+
+/// A message buffer of either kind with a committed datatype describing it.
+struct Msg {
+    loc: Loc,
+    count: usize,
+    dtype: Datatype,
+    _host: Option<HostBuf>,
+    _dev: Option<DevPtr>,
+}
+
+fn make_msg(env: &GpuRankEnv, kind: BufKind, pattern: Pattern, bytes: usize) -> Msg {
+    match pattern {
+        Pattern::Contiguous => {
+            let dtype = Datatype::byte();
+            dtype.commit();
+            match kind {
+                BufKind::Host => {
+                    let b = HostBuf::alloc(bytes.max(1));
+                    Msg {
+                        loc: Loc::Host(b.base()),
+                        count: bytes,
+                        dtype,
+                        _host: Some(b),
+                        _dev: None,
+                    }
+                }
+                BufKind::Device => {
+                    let d = env.gpu.malloc(bytes.max(1));
+                    Msg {
+                        loc: Loc::Device(d),
+                        count: bytes,
+                        dtype,
+                        _host: None,
+                        _dev: Some(d),
+                    }
+                }
+            }
+        }
+        Pattern::Strided => {
+            assert!(bytes.is_multiple_of(4), "strided pattern needs 4-byte multiples");
+            let rows = bytes / 4;
+            let dtype = Datatype::hvector(rows, 1, 16, &Datatype::float());
+            dtype.commit();
+            let span = rows * 16;
+            match kind {
+                BufKind::Host => {
+                    let b = HostBuf::alloc(span);
+                    Msg {
+                        loc: Loc::Host(b.base()),
+                        count: 1,
+                        dtype,
+                        _host: Some(b),
+                        _dev: None,
+                    }
+                }
+                BufKind::Device => {
+                    let d = env.gpu.malloc(span);
+                    Msg {
+                        loc: Loc::Device(d),
+                        count: 1,
+                        dtype,
+                        _host: None,
+                        _dev: Some(d),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_pair(f: impl Fn(&GpuRankEnv) -> Option<f64> + Send + Sync + 'static) -> f64 {
+    let out = Arc::new(AtomicU64::new(0));
+    let out2 = Arc::clone(&out);
+    GpuCluster::new(2).run(move |env| {
+        if let Some(us) = f(env) {
+            out2.store(us.to_bits(), Ordering::SeqCst);
+        }
+    });
+    f64::from_bits(out.load(Ordering::SeqCst))
+}
+
+/// `osu_latency`: half the ping-pong round trip, after one warm-up
+/// exchange.
+pub fn latency(kind: BufKind, pattern: Pattern, bytes: usize) -> Sample {
+    let micros = run_pair(move |env| {
+        let msg = make_msg(env, kind, pattern, bytes);
+        let me = env.comm.rank();
+        let peer = 1 - me;
+        for warm in 0..2 {
+            let t0 = sim_core::now();
+            if me == 0 {
+                env.comm.send(msg.loc.clone(), msg.count, &msg.dtype, peer, warm);
+                env.comm.recv(msg.loc.clone(), msg.count, &msg.dtype, peer, warm);
+                if warm == 1 {
+                    let rtt = (sim_core::now() - t0).as_micros_f64();
+                    return Some(rtt / 2.0);
+                }
+            } else {
+                env.comm.recv(msg.loc.clone(), msg.count, &msg.dtype, peer, warm);
+                env.comm.send(msg.loc.clone(), msg.count, &msg.dtype, peer, warm);
+            }
+        }
+        None
+    });
+    Sample {
+        bytes,
+        micros,
+        mbps: bytes as f64 / micros,
+    }
+}
+
+/// Window size used by the bandwidth benchmarks (OSU default is 64).
+pub const BW_WINDOW: usize = 64;
+
+/// `osu_bw`: `BW_WINDOW` messages in flight from rank 0 to rank 1, then a
+/// zero-byte handshake; bandwidth over the whole window.
+pub fn bandwidth(kind: BufKind, pattern: Pattern, bytes: usize) -> Sample {
+    let micros = run_pair(move |env| {
+        let me = env.comm.rank();
+        let peer = 1 - me;
+        let msgs: Vec<Msg> = (0..BW_WINDOW)
+            .map(|_| make_msg(env, kind, pattern, bytes))
+            .collect();
+        let ack = make_msg(env, kind, Pattern::Contiguous, 0);
+        // Warm-up round then measured round.
+        let mut result = None;
+        for round in 0..2u32 {
+            env.comm.barrier();
+            let t0 = sim_core::now();
+            if me == 0 {
+                let reqs = msgs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| env.comm.isend(m.loc.clone(), m.count, &m.dtype, peer, i as u32))
+                    .collect();
+                env.comm.waitall(reqs);
+                env.comm.recv(ack.loc.clone(), 0, &ack.dtype, peer, 999);
+                if round == 1 {
+                    result = Some((sim_core::now() - t0).as_micros_f64());
+                }
+            } else {
+                let reqs = msgs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| env.comm.irecv(m.loc.clone(), m.count, &m.dtype, peer, i as u32))
+                    .collect();
+                env.comm.waitall(reqs);
+                env.comm.send(ack.loc.clone(), 0, &ack.dtype, peer, 999);
+            }
+        }
+        if me == 0 {
+            result
+        } else {
+            None
+        }
+    });
+    Sample {
+        bytes,
+        micros,
+        mbps: (bytes * BW_WINDOW) as f64 / micros,
+    }
+}
+
+/// `osu_bibw`: both ranks stream a window to each other simultaneously;
+/// reports the aggregate bandwidth.
+pub fn bi_bandwidth(kind: BufKind, pattern: Pattern, bytes: usize) -> Sample {
+    let micros = run_pair(move |env| {
+        let me = env.comm.rank();
+        let peer = 1 - me;
+        let out: Vec<Msg> = (0..BW_WINDOW)
+            .map(|_| make_msg(env, kind, pattern, bytes))
+            .collect();
+        let inb: Vec<Msg> = (0..BW_WINDOW)
+            .map(|_| make_msg(env, kind, pattern, bytes))
+            .collect();
+        let mut result = None;
+        for round in 0..2u32 {
+            env.comm.barrier();
+            let t0 = sim_core::now();
+            let mut reqs: Vec<_> = inb
+                .iter()
+                .enumerate()
+                .map(|(i, m)| env.comm.irecv(m.loc.clone(), m.count, &m.dtype, peer, i as u32))
+                .collect();
+            reqs.extend(
+                out.iter()
+                    .enumerate()
+                    .map(|(i, m)| env.comm.isend(m.loc.clone(), m.count, &m.dtype, peer, i as u32)),
+            );
+            env.comm.waitall(reqs);
+            if round == 1 && me == 0 {
+                result = Some((sim_core::now() - t0).as_micros_f64());
+            }
+        }
+        result
+    });
+    Sample {
+        bytes,
+        micros,
+        mbps: (2 * bytes * BW_WINDOW) as f64 / micros,
+    }
+}
+
+/// The standard OSU size sweep: powers of two from `lo` to `hi` inclusive.
+pub fn size_sweep(lo: usize, hi: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut s = lo.max(1);
+    while s <= hi {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+/// Shared entry point for the benchmark binaries.
+pub fn run_cli(name: &str, f: impl Fn(BufKind, Pattern, usize) -> Sample) {
+    let mut kind = BufKind::Host;
+    let mut pattern = Pattern::Contiguous;
+    let (mut lo, mut hi) = (4usize, 1 << 20);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--device" | "-d" => kind = BufKind::Device,
+            "--host" => kind = BufKind::Host,
+            "--strided" | "-v" => pattern = Pattern::Strided,
+            "--min" => lo = args.next().unwrap().parse().unwrap(),
+            "--max" => hi = args.next().unwrap().parse().unwrap(),
+            other => panic!("unknown option {other} (try --device / --strided / --min / --max)"),
+        }
+    }
+    println!("# {name}  buffers={kind:?}  pattern={pattern:?}");
+    println!("{:>10}  {:>12}  {:>12}", "bytes", "time (us)", "MB/s");
+    for bytes in size_sweep(lo, hi) {
+        let s = f(kind, pattern, bytes);
+        println!("{:>10}  {:>12.2}  {:>12.1}", s.bytes, s.micros, s.mbps);
+    }
+}
+
+/// Pretty-print helper reused by tests and examples.
+pub fn fmt_sample(s: &Sample) -> String {
+    format!("{} B: {:.2} us, {:.1} MB/s", s.bytes, s.micros, s.mbps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_size() {
+        let small = latency(BufKind::Host, Pattern::Contiguous, 64);
+        let big = latency(BufKind::Host, Pattern::Contiguous, 1 << 20);
+        assert!(big.micros > small.micros);
+        assert!(big.mbps > small.mbps, "big messages amortize overheads");
+    }
+
+    #[test]
+    fn device_contiguous_latency_close_to_host_at_size() {
+        // The pipelined device path adds PCIe hops; at 1 MB it should be
+        // within a small factor of host latency, not orders of magnitude.
+        let host = latency(BufKind::Host, Pattern::Contiguous, 1 << 20);
+        let dev = latency(BufKind::Device, Pattern::Contiguous, 1 << 20);
+        assert!(dev.micros > host.micros);
+        assert!(dev.micros < host.micros * 4.0, "host {host:?} dev {dev:?}");
+    }
+
+    #[test]
+    fn strided_device_latency_matches_fig5_shape() {
+        // 4 KB: paper Figure 5(a) region — MV2-GPU-NC ~74 us in our
+        // calibration.
+        let s = latency(BufKind::Device, Pattern::Strided, 4 << 10);
+        assert!(
+            (40.0..120.0).contains(&s.micros),
+            "4KB strided device latency {s:?}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_saturates_toward_wire_speed() {
+        let bw = bandwidth(BufKind::Host, Pattern::Contiguous, 1 << 20);
+        // QDR model: 3.2 GB/s = 3200 MB/s wire; expect > 60% at 1 MB.
+        assert!(bw.mbps > 2000.0, "got {}", bw.mbps);
+        let small = bandwidth(BufKind::Host, Pattern::Contiguous, 4096);
+        assert!(small.mbps < bw.mbps);
+    }
+
+    #[test]
+    fn bidirectional_beats_unidirectional() {
+        let uni = bandwidth(BufKind::Host, Pattern::Contiguous, 256 << 10);
+        let bi = bi_bandwidth(BufKind::Host, Pattern::Contiguous, 256 << 10);
+        assert!(
+            bi.mbps > uni.mbps * 1.3,
+            "bibw {} vs bw {}",
+            bi.mbps,
+            uni.mbps
+        );
+    }
+
+    #[test]
+    fn device_strided_bandwidth_is_pack_limited() {
+        // Strided device messages are gated by the pack engine, not the
+        // wire: bandwidth must be well below the contiguous device case.
+        let contig = bandwidth(BufKind::Device, Pattern::Contiguous, 256 << 10);
+        let strided = bandwidth(BufKind::Device, Pattern::Strided, 256 << 10);
+        assert!(
+            strided.mbps < contig.mbps,
+            "strided {} vs contig {}",
+            strided.mbps,
+            contig.mbps
+        );
+    }
+
+    #[test]
+    fn sweep_is_powers_of_two() {
+        assert_eq!(size_sweep(4, 64), vec![4, 8, 16, 32, 64]);
+        assert_eq!(size_sweep(0, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn deterministic_measurements() {
+        let a = latency(BufKind::Device, Pattern::Strided, 64 << 10);
+        let b = latency(BufKind::Device, Pattern::Strided, 64 << 10);
+        assert_eq!(a.micros, b.micros);
+    }
+}

@@ -1,0 +1,222 @@
+//! [`Completion`]: a one-shot event with a virtual-time completion instant.
+//!
+//! Completions model asynchronous hardware operations (a DMA copy, an RDMA
+//! write): the initiator computes the operation's finish time when it is
+//! enqueued and attaches it to the returned completion. Consumers can
+//! [`poll`](Completion::poll) it non-blockingly (like `cudaStreamQuery`) or
+//! [`wait`](Completion::wait) on it (like `cudaStreamSynchronize`).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::{self, ProcHandle};
+use crate::time::SimTime;
+
+#[derive(Default)]
+struct CompState {
+    /// When the event completes. `None` while the finish time is unknown.
+    done_at: Option<SimTime>,
+    /// Processes parked waiting for a finish time to be assigned.
+    waiters: Vec<ProcHandle>,
+}
+
+/// A cloneable one-shot virtual-time event.
+///
+/// All methods must be called from inside a simulation process.
+#[derive(Clone, Default)]
+pub struct Completion {
+    inner: Arc<Mutex<CompState>>,
+}
+
+impl Completion {
+    /// A completion whose finish time is not yet known; complete it later
+    /// with [`complete_at`](Completion::complete_at).
+    pub fn pending() -> Self {
+        Self::default()
+    }
+
+    /// A completion that finishes at the given instant.
+    pub fn ready_at(t: SimTime) -> Self {
+        Completion {
+            inner: Arc::new(Mutex::new(CompState {
+                done_at: Some(t),
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// A completion that is already done.
+    pub fn ready() -> Self {
+        Self::ready_at(SimTime::ZERO)
+    }
+
+    /// Assign the finish time. Waiters parked on this completion are woken at
+    /// `max(t, now)`. Panics if the completion already has a finish time.
+    pub fn complete_at(&self, t: SimTime) {
+        let waiters = {
+            let st = &mut *self.inner.lock();
+            assert!(st.done_at.is_none(), "Completion::complete_at called twice");
+            st.done_at = Some(t);
+            std::mem::take(&mut st.waiters)
+        };
+        if !waiters.is_empty() {
+            let wake_at = t.max(kernel::now());
+            // ProcHandle::unpark is context-free, so the closure can run on
+            // the kernel thread.
+            kernel::schedule_at(wake_at, move || {
+                for h in waiters {
+                    h.unpark();
+                }
+            });
+        }
+    }
+
+    /// Finish time, if assigned.
+    pub fn done_at(&self) -> Option<SimTime> {
+        self.inner.lock().done_at
+    }
+
+    /// Non-blocking check: has this completion finished *by the current
+    /// virtual time*?
+    pub fn poll(&self) -> bool {
+        self.inner
+            .lock()
+            .done_at
+            .is_some_and(|t| t <= kernel::now())
+    }
+
+    /// Block until the completion has finished, advancing virtual time as
+    /// needed. Returns the finish instant.
+    pub fn wait(&self) -> SimTime {
+        loop {
+            let done_at = self.inner.lock().done_at;
+            match done_at {
+                Some(t) => {
+                    if kernel::now() < t {
+                        kernel::sleep_until(t);
+                    }
+                    return t;
+                }
+                None => {
+                    self.inner.lock().waiters.push(kernel::current_handle());
+                    kernel::park("completion wait");
+                }
+            }
+        }
+    }
+
+    /// A completion that finishes when every input has finished (the latest
+    /// `done_at`). All inputs must already have assigned finish times.
+    pub fn join_all<'a>(comps: impl IntoIterator<Item = &'a Completion>) -> Completion {
+        let mut latest = SimTime::ZERO;
+        for c in comps {
+            let t = c
+                .done_at()
+                .expect("Completion::join_all requires assigned finish times");
+            latest = latest.max(t);
+        }
+        Completion::ready_at(latest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{now, sleep, Sim};
+    use crate::time::SimDur;
+
+    #[test]
+    fn ready_at_polls_with_clock() {
+        let sim = Sim::new();
+        sim.spawn("p", || {
+            let c = Completion::ready_at(now() + SimDur::from_micros(5));
+            assert!(!c.poll());
+            sleep(SimDur::from_micros(4));
+            assert!(!c.poll());
+            sleep(SimDur::from_micros(1));
+            assert!(c.poll());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn wait_advances_to_finish_time() {
+        let sim = Sim::new();
+        sim.spawn("p", || {
+            let c = Completion::ready_at(now() + SimDur::from_micros(42));
+            let t = c.wait();
+            assert_eq!(now(), t);
+            assert_eq!(t, SimTime::from_nanos(42_000));
+            assert_eq!(c.wait(), t); // waiting again returns immediately
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn pending_completion_wakes_parked_waiter() {
+        let sim = Sim::new();
+        let c = Completion::pending();
+        {
+            let c = c.clone();
+            sim.spawn("waiter", move || {
+                let t = c.wait();
+                assert_eq!(t, SimTime::from_nanos(30_000));
+                assert_eq!(now(), t);
+            });
+        }
+        {
+            let c = c.clone();
+            sim.spawn("completer", move || {
+                sleep(SimDur::from_micros(10));
+                c.complete_at(now() + SimDur::from_micros(20));
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn complete_in_past_wakes_at_now() {
+        let sim = Sim::new();
+        let c = Completion::pending();
+        {
+            let c = c.clone();
+            sim.spawn("waiter", move || {
+                c.wait();
+                assert_eq!(now(), SimTime::from_nanos(10_000));
+            });
+        }
+        {
+            let c = c.clone();
+            sim.spawn("completer", move || {
+                sleep(SimDur::from_micros(10));
+                c.complete_at(SimTime::ZERO); // finish time in the past
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "called twice")]
+    fn double_complete_panics() {
+        let sim = Sim::new();
+        sim.spawn("p", || {
+            let c = Completion::pending();
+            c.complete_at(SimTime::ZERO);
+            c.complete_at(SimTime::ZERO);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn join_all_takes_latest() {
+        let sim = Sim::new();
+        sim.spawn("p", || {
+            let a = Completion::ready_at(SimTime::from_nanos(5));
+            let b = Completion::ready_at(SimTime::from_nanos(9));
+            let c = Completion::join_all([&a, &b]);
+            assert_eq!(c.done_at(), Some(SimTime::from_nanos(9)));
+        });
+        sim.run();
+    }
+}

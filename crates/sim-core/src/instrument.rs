@@ -1,0 +1,103 @@
+//! Call-count instrumentation.
+//!
+//! The paper's Table I compares the two Stencil2D variants by the number of
+//! CUDA/MPI calls in their main loops. Simulated APIs record each call in a
+//! [`CallCounters`] so the benchmark harness can regenerate that table from
+//! actual executions instead of hand-counted numbers.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Named call counters. Clones share the same underlying counts.
+#[derive(Clone, Default)]
+pub struct CallCounters {
+    counts: Arc<Mutex<BTreeMap<&'static str, u64>>>,
+}
+
+impl CallCounters {
+    /// New, empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one call of `api`.
+    pub fn record(&self, api: &'static str) {
+        *self.counts.lock().entry(api).or_insert(0) += 1;
+    }
+
+    /// Current count for `api` (zero if never recorded).
+    pub fn get(&self, api: &str) -> u64 {
+        self.counts.lock().get(api).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> BTreeMap<&'static str, u64> {
+        self.counts.lock().clone()
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.counts.lock().clear();
+    }
+
+    /// Difference `self - baseline`, per counter (useful for measuring one
+    /// loop iteration: snapshot before, diff after).
+    pub fn delta(&self, baseline: &BTreeMap<&'static str, u64>) -> BTreeMap<&'static str, u64> {
+        let cur = self.snapshot();
+        let mut out = BTreeMap::new();
+        for (k, v) in cur {
+            let base = baseline.get(k).copied().unwrap_or(0);
+            if v > base {
+                out.insert(k, v - base);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_get() {
+        let c = CallCounters::new();
+        assert_eq!(c.get("cudaMemcpy"), 0);
+        c.record("cudaMemcpy");
+        c.record("cudaMemcpy");
+        c.record("MPI_Send");
+        assert_eq!(c.get("cudaMemcpy"), 2);
+        assert_eq!(c.get("MPI_Send"), 1);
+    }
+
+    #[test]
+    fn clones_share_counts() {
+        let a = CallCounters::new();
+        let b = a.clone();
+        b.record("x");
+        assert_eq!(a.get("x"), 1);
+    }
+
+    #[test]
+    fn delta_measures_a_window() {
+        let c = CallCounters::new();
+        c.record("a");
+        let base = c.snapshot();
+        c.record("a");
+        c.record("b");
+        let d = c.delta(&base);
+        assert_eq!(d.get("a"), Some(&1));
+        assert_eq!(d.get("b"), Some(&1));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let c = CallCounters::new();
+        c.record("a");
+        c.reset();
+        assert_eq!(c.get("a"), 0);
+        assert!(c.snapshot().is_empty());
+    }
+}

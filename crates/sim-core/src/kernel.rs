@@ -1,0 +1,699 @@
+//! The simulation kernel: a deterministic cooperative scheduler over OS
+//! threads plus a timer wheel for virtual-time events.
+//!
+//! # Execution model
+//!
+//! Every simulated process is a real OS thread, but **exactly one process
+//! runs at any moment**. A process runs until it yields (sleeps, parks, or
+//! finishes); the kernel then either grants the CPU to the next runnable
+//! process or, when none is runnable, advances virtual time to the next timer
+//! and fires it. All scheduling decisions are ordered by `(virtual time,
+//! admission sequence)`, so a simulation is *fully deterministic*: the same
+//! program produces the same event order and the same final clock on every
+//! run. Threads are used purely as coroutine carriers so that simulated
+//! programs (MPI ranks, progress engines) can be written as ordinary blocking
+//! Rust code.
+//!
+//! # Blocking and waking
+//!
+//! The only kernel-level blocking primitive is [`park`]; everything else
+//! (sleeps, mailboxes, completions, semaphores) is built from `park` +
+//! timers + [`ProcHandle::unpark`]. Because only one process runs at a time
+//! and timer actions only fire while no process is running, the classic
+//! check-then-park race cannot occur: nothing can deliver a wakeup between a
+//! process's check and its park.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{SimDur, SimTime};
+
+/// Identifies a process within one simulation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct ProcId(pub(crate) usize);
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+enum Status {
+    /// Waiting in the run queue.
+    Runnable,
+    /// Currently holding the (single) virtual CPU.
+    Running,
+    /// Blocked until someone unparks it. The reason is used in deadlock
+    /// diagnostics.
+    Parked { reason: &'static str },
+    /// Finished (returned or panicked).
+    Done,
+}
+
+struct Proc {
+    name: String,
+    status: Status,
+    /// Set by the kernel when this process may run; consumed by the process.
+    granted: bool,
+    /// The process's private wakeup channel (paired with the kernel mutex).
+    cv: Arc<Condvar>,
+}
+
+struct Timer {
+    at: SimTime,
+    seq: u64,
+    action: Box<dyn FnOnce() + Send>,
+}
+
+impl PartialEq for Timer {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Timer {}
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct State {
+    now: SimTime,
+    seq: u64,
+    procs: Vec<Proc>,
+    /// Min-heap of `(admission seq, pid)`: FIFO among processes made runnable
+    /// at the same virtual time.
+    runnable: BinaryHeap<Reverse<(u64, usize)>>,
+    timers: BinaryHeap<Reverse<Timer>>,
+    live: usize,
+    aborted: bool,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl State {
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn make_runnable(&mut self, pid: ProcId) {
+        let seq = self.next_seq();
+        let p = &mut self.procs[pid.0];
+        debug_assert!(
+            matches!(p.status, Status::Parked { .. }),
+            "make_runnable on non-parked process {}",
+            p.name
+        );
+        p.status = Status::Runnable;
+        self.runnable.push(Reverse((seq, pid.0)));
+    }
+}
+
+pub(crate) struct Kernel {
+    state: Mutex<State>,
+    /// Signalled by processes when they yield back to the kernel.
+    kernel_cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+struct Ctx {
+    kernel: Arc<Kernel>,
+    pid: ProcId,
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b
+            .as_ref()
+            .expect("this sim-core operation must be called from inside a simulation process");
+        f(ctx)
+    })
+}
+
+/// True when the calling thread is a simulation process.
+pub fn in_sim() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// A deterministic virtual-time simulation.
+///
+/// Spawn processes with [`Sim::spawn`], then drive the whole simulation to
+/// completion with [`Sim::run`].
+#[derive(Clone)]
+pub struct Sim {
+    kernel: Arc<Kernel>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A handle to a spawned process, usable from other processes (or timer
+/// actions) to wake it.
+#[derive(Clone)]
+pub struct ProcHandle {
+    kernel: Arc<Kernel>,
+    pid: ProcId,
+}
+
+impl ProcHandle {
+    /// This process's id.
+    pub fn id(&self) -> ProcId {
+        self.pid
+    }
+
+    /// Wake the process if it is parked; otherwise a no-op.
+    pub fn unpark(&self) {
+        let mut st = self.kernel.state.lock();
+        if matches!(st.procs[self.pid.0].status, Status::Parked { .. }) {
+            st.make_runnable(self.pid);
+        }
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Sim {
+            kernel: Arc::new(Kernel {
+                state: Mutex::new(State {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    procs: Vec::new(),
+                    runnable: BinaryHeap::new(),
+                    timers: BinaryHeap::new(),
+                    live: 0,
+                    aborted: false,
+                    panic: None,
+                }),
+                kernel_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Spawn a process. It becomes runnable at the current virtual time and
+    /// will first run once [`Sim::run`] schedules it.
+    ///
+    /// May also be called from inside a running process to spawn dynamically.
+    pub fn spawn(&self, name: impl Into<String>, f: impl FnOnce() + Send + 'static) -> ProcHandle {
+        let kernel = Arc::clone(&self.kernel);
+        let name = name.into();
+        let pid;
+        {
+            let mut st = kernel.state.lock();
+            pid = ProcId(st.procs.len());
+            let seq = st.next_seq();
+            st.procs.push(Proc {
+                name: name.clone(),
+                status: Status::Runnable,
+                granted: false,
+                cv: Arc::new(Condvar::new()),
+            });
+            st.runnable.push(Reverse((seq, pid.0)));
+            st.live += 1;
+        }
+        let tkernel = Arc::clone(&kernel);
+        thread::Builder::new()
+            .name(format!("sim:{name}"))
+            .spawn(move || {
+                CTX.with(|c| {
+                    *c.borrow_mut() = Some(Ctx {
+                        kernel: Arc::clone(&tkernel),
+                        pid,
+                    })
+                });
+                // Wait for the first grant before touching user code.
+                tkernel.wait_for_grant(pid);
+                let result = catch_unwind(AssertUnwindSafe(f));
+                let mut st = tkernel.state.lock();
+                st.procs[pid.0].status = Status::Done;
+                st.live -= 1;
+                if let Err(payload) = result {
+                    if !st.aborted {
+                        st.panic = Some(payload);
+                    }
+                    // If aborted, the panic is the kernel's own shutdown
+                    // signal; swallow it.
+                }
+                tkernel.kernel_cv.notify_one();
+                // Drop the context so the Arc<Kernel> cycle breaks promptly.
+                CTX.with(|c| *c.borrow_mut() = None);
+            })
+            .expect("failed to spawn simulation process thread");
+        ProcHandle { kernel, pid }
+    }
+
+    /// Schedule `action` to run on the kernel thread at virtual time `at`
+    /// (clamped to the current time if already past).
+    pub fn schedule_at(&self, at: SimTime, action: impl FnOnce() + Send + 'static) {
+        self.kernel.schedule_at(at, action);
+    }
+
+    /// Current virtual time (also available to processes via [`now`]).
+    pub fn now(&self) -> SimTime {
+        self.kernel.state.lock().now
+    }
+
+    /// Run the simulation until every process has finished. Returns the final
+    /// virtual time.
+    ///
+    /// Panics (propagating the payload) if any process panicked, and panics
+    /// with a diagnostic if the simulation deadlocks (all processes parked
+    /// with no pending timers).
+    pub fn run(&self) -> SimTime {
+        let kernel = &self.kernel;
+        let mut st = kernel.state.lock();
+        loop {
+            if let Some(payload) = st.panic.take() {
+                st.aborted = true;
+                let cvs: Vec<Arc<Condvar>> = st.procs.iter().map(|p| Arc::clone(&p.cv)).collect();
+                for (i, cv) in cvs.iter().enumerate() {
+                    st.procs[i].granted = true;
+                    cv.notify_one();
+                }
+                drop(st);
+                resume_unwind(payload);
+            }
+            if st.live == 0 {
+                return st.now;
+            }
+            if let Some(Reverse((_, pid))) = st.runnable.pop() {
+                let p = &mut st.procs[pid];
+                debug_assert!(matches!(p.status, Status::Runnable));
+                p.status = Status::Running;
+                p.granted = true;
+                let cv = Arc::clone(&p.cv);
+                cv.notify_one();
+                // Wait until that process yields (status leaves Running) or
+                // records a panic.
+                while matches!(st.procs[pid].status, Status::Running) && st.panic.is_none() {
+                    kernel.kernel_cv.wait(&mut st);
+                }
+                continue;
+            }
+            // Nothing runnable: advance virtual time.
+            let Some(Reverse(head)) = st.timers.peek() else {
+                let parked: Vec<String> = st
+                    .procs
+                    .iter()
+                    .filter_map(|p| match p.status {
+                        Status::Parked { reason } => Some(format!("  {} (parked: {reason})", p.name)),
+                        _ => None,
+                    })
+                    .collect();
+                st.aborted = true;
+                let cvs: Vec<Arc<Condvar>> = st.procs.iter().map(|p| Arc::clone(&p.cv)).collect();
+                for (i, cv) in cvs.iter().enumerate() {
+                    st.procs[i].granted = true;
+                    cv.notify_one();
+                }
+                let now = st.now;
+                drop(st);
+                panic!(
+                    "simulation deadlock at {now}: no runnable process and no pending timer; live processes:\n{}",
+                    parked.join("\n")
+                );
+            };
+            let at = head.at;
+            debug_assert!(at >= st.now, "timer scheduled in the past");
+            st.now = at;
+            // Fire every timer due at this instant, in admission order, with
+            // the lock released (actions re-enter the kernel to wake procs).
+            let mut due = Vec::new();
+            while st
+                .timers
+                .peek()
+                .is_some_and(|Reverse(t)| t.at <= st.now)
+            {
+                due.push(st.timers.pop().unwrap().0);
+            }
+            drop(st);
+            for t in due {
+                (t.action)();
+            }
+            st = kernel.state.lock();
+        }
+    }
+}
+
+impl Kernel {
+    fn wait_for_grant(&self, pid: ProcId) {
+        let mut st = self.state.lock();
+        let cv = Arc::clone(&st.procs[pid.0].cv);
+        while !st.procs[pid.0].granted {
+            cv.wait(&mut st);
+        }
+        st.procs[pid.0].granted = false;
+        if st.aborted {
+            drop(st);
+            panic!("simulation aborted");
+        }
+        st.procs[pid.0].status = Status::Running;
+    }
+
+    /// Yield the CPU: transition to `status`, wake the kernel, wait for the
+    /// next grant.
+    fn yield_with(&self, pid: ProcId, to_runnable: bool, reason: &'static str) {
+        {
+            let mut st = self.state.lock();
+            if to_runnable {
+                let seq = st.next_seq();
+                st.procs[pid.0].status = Status::Runnable;
+                st.runnable.push(Reverse((seq, pid.0)));
+            } else {
+                st.procs[pid.0].status = Status::Parked { reason };
+            }
+            self.kernel_cv.notify_one();
+        }
+        self.wait_for_grant(pid);
+    }
+
+    pub(crate) fn schedule_at(&self, at: SimTime, action: impl FnOnce() + Send + 'static) {
+        let mut st = self.state.lock();
+        let at = at.max(st.now);
+        let seq = st.next_seq();
+        st.timers.push(Reverse(Timer {
+            at,
+            seq,
+            action: Box::new(action),
+        }));
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn unpark(&self, pid: ProcId) {
+        let mut st = self.state.lock();
+        if matches!(st.procs[pid.0].status, Status::Parked { .. }) {
+            st.make_runnable(pid);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-context API (free functions; panic when called outside a process).
+// ---------------------------------------------------------------------------
+
+/// Current virtual time.
+pub fn now() -> SimTime {
+    with_ctx(|c| c.kernel.state.lock().now)
+}
+
+/// The calling process's id.
+pub fn current_pid() -> ProcId {
+    with_ctx(|c| c.pid)
+}
+
+/// A [`ProcHandle`] for the calling process.
+pub fn current_handle() -> ProcHandle {
+    with_ctx(|c| ProcHandle {
+        kernel: Arc::clone(&c.kernel),
+        pid: c.pid,
+    })
+}
+
+/// Advance this process past `dur` of virtual time; other processes and
+/// timers run in the interim.
+pub fn sleep(dur: SimDur) {
+    let t = now() + dur;
+    sleep_until(t);
+}
+
+/// Sleep until the given instant (no-op if already past, but still yields).
+///
+/// Robust against *stale unparks*: other primitives (mailbox deadline
+/// timers, completions) may wake this process spuriously, so the sleep
+/// re-parks until the deadline has genuinely passed.
+pub fn sleep_until(t: SimTime) {
+    with_ctx(|c| {
+        let pid = c.pid;
+        if t <= c.kernel.state.lock().now {
+            // Still yield so equal-time peers get scheduled fairly.
+            c.kernel.yield_with(pid, true, "");
+            return;
+        }
+        let h = ProcHandle {
+            kernel: Arc::clone(&c.kernel),
+            pid,
+        };
+        c.kernel.schedule_at(t, move || h.unpark());
+        loop {
+            c.kernel.yield_with(pid, false, "sleep");
+            if t <= c.kernel.state.lock().now {
+                return;
+            }
+            // Spurious wakeup (a stale timer or unpark): keep sleeping; the
+            // wake timer scheduled above still fires at `t`.
+        }
+    });
+}
+
+/// Give up the CPU but remain runnable (equal-time round-robin).
+pub fn yield_now() {
+    with_ctx(|c| c.kernel.yield_with(c.pid, true, ""));
+}
+
+/// Block until some other process or timer calls [`ProcHandle::unpark`].
+/// `reason` appears in deadlock diagnostics.
+pub fn park(reason: &'static str) {
+    with_ctx(|c| c.kernel.yield_with(c.pid, false, reason));
+}
+
+/// Spawn a sibling process from inside a running process.
+pub fn spawn(name: impl Into<String>, f: impl FnOnce() + Send + 'static) -> ProcHandle {
+    with_ctx(|c| {
+        Sim {
+            kernel: Arc::clone(&c.kernel),
+        }
+        .spawn(name, f)
+    })
+}
+
+/// Schedule a kernel-thread action at a virtual instant from inside a
+/// process.
+pub fn schedule_at(at: SimTime, action: impl FnOnce() + Send + 'static) {
+    with_ctx(|c| c.kernel.schedule_at(at, action));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn empty_sim_finishes_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.run(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_process_advances_clock() {
+        let sim = Sim::new();
+        sim.spawn("p", || {
+            assert_eq!(now(), SimTime::ZERO);
+            sleep(SimDur::from_micros(5));
+            assert_eq!(now(), SimTime::from_nanos(5_000));
+        });
+        assert_eq!(sim.run(), SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    fn processes_interleave_deterministically() {
+        let run_once = || {
+            let log = Arc::new(StdMutex::new(Vec::new()));
+            let sim = Sim::new();
+            for i in 0..3u32 {
+                let log = Arc::clone(&log);
+                sim.spawn(format!("p{i}"), move || {
+                    for step in 0..3u32 {
+                        sleep(SimDur::from_micros(u64::from(i) + 1));
+                        log.lock().unwrap().push((i, step, now()));
+                    }
+                });
+            }
+            sim.run();
+            Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "two identical runs must produce identical event orders");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn equal_time_wakeups_are_fifo() {
+        let order = Arc::new(StdMutex::new(Vec::new()));
+        let sim = Sim::new();
+        for i in 0..4u32 {
+            let order = Arc::clone(&order);
+            sim.spawn(format!("p{i}"), move || {
+                sleep(SimDur::from_micros(10)); // all wake at the same instant
+                order.lock().unwrap().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn park_unpark_round_trip() {
+        let sim = Sim::new();
+        let target = Arc::new(StdMutex::new(None::<ProcHandle>));
+        let woke_at = Arc::new(StdMutex::new(None));
+        {
+            let target = Arc::clone(&target);
+            let woke_at = Arc::clone(&woke_at);
+            sim.spawn("sleeper", move || {
+                *target.lock().unwrap() = Some(current_handle());
+                park("test wait");
+                *woke_at.lock().unwrap() = Some(now());
+            });
+        }
+        {
+            let target = Arc::clone(&target);
+            sim.spawn("waker", move || {
+                sleep(SimDur::from_micros(7));
+                target.lock().unwrap().as_ref().unwrap().unpark();
+            });
+        }
+        sim.run();
+        assert_eq!(
+            woke_at.lock().unwrap().unwrap(),
+            SimTime::from_nanos(7_000)
+        );
+    }
+
+    #[test]
+    fn unpark_on_runnable_process_is_noop() {
+        let sim = Sim::new();
+        let h = sim.spawn("p", || sleep(SimDur::from_micros(1)));
+        sim.spawn("q", move || {
+            h.unpark(); // p is runnable, not parked
+            h.unpark();
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation deadlock")]
+    fn deadlock_is_detected() {
+        let sim = Sim::new();
+        sim.spawn("stuck", || park("never woken"));
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "inner process panic")]
+    fn process_panics_propagate() {
+        let sim = Sim::new();
+        sim.spawn("boom", || {
+            sleep(SimDur::from_micros(1));
+            panic!("inner process panic");
+        });
+        sim.spawn("bystander", || park("will be aborted"));
+        sim.run();
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let sim = Sim::new();
+        let hits = Arc::new(StdMutex::new(Vec::new()));
+        for (i, at_us) in [(0u32, 30u64), (1, 10), (2, 20), (3, 10)] {
+            let hits = Arc::clone(&hits);
+            sim.schedule_at(SimTime::ZERO + SimDur::from_micros(at_us), move || {
+                hits.lock().unwrap().push(i);
+            });
+        }
+        // Timers alone don't keep a sim alive; add a process outlasting them.
+        sim.spawn("anchor", || sleep(SimDur::from_micros(100)));
+        sim.run();
+        // Same-instant timers fire in admission order: 1 before 3.
+        assert_eq!(*hits.lock().unwrap(), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn dynamic_spawn_from_process() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let sim = Sim::new();
+        let c = Arc::clone(&counter);
+        sim.spawn("parent", move || {
+            sleep(SimDur::from_micros(1));
+            let c2 = Arc::clone(&c);
+            spawn("child", move || {
+                sleep(SimDur::from_micros(1));
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let end = sim.run();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+        assert_eq!(end, SimTime::from_nanos(2_000));
+    }
+
+    #[test]
+    fn sleep_zero_yields_but_keeps_time() {
+        let sim = Sim::new();
+        sim.spawn("p", || {
+            let t = now();
+            sleep(SimDur::ZERO);
+            yield_now();
+            assert_eq!(now(), t);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn sleep_survives_stale_unparks() {
+        // Regression: a stale wake timer (e.g. from an abandoned deadline
+        // wait) must not shorten a later sleep.
+        let sim = Sim::new();
+        sim.spawn("p", || {
+            let h = current_handle();
+            // Plant stale unparks at 5us and 8us.
+            schedule_at(SimTime::from_nanos(5_000), {
+                let h = h.clone();
+                move || h.unpark()
+            });
+            schedule_at(SimTime::from_nanos(8_000), move || h.unpark());
+            sleep(SimDur::from_micros(20));
+            assert_eq!(now(), SimTime::from_nanos(20_000), "sleep cut short");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let sim = Sim::new();
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hit);
+        sim.spawn("p", move || {
+            sleep(SimDur::from_micros(10));
+            let h2 = Arc::clone(&h);
+            schedule_at(SimTime::ZERO, move || {
+                h2.store(1, Ordering::SeqCst);
+            });
+            sleep(SimDur::from_micros(1));
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        });
+        sim.run();
+    }
+}

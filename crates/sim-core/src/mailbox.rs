@@ -1,0 +1,286 @@
+//! [`Mailbox`]: an unbounded, deterministic message queue with timed
+//! delivery.
+//!
+//! Mailboxes carry simulated network packets and protocol control messages:
+//! a sender computes the arrival instant from its cost model and calls
+//! [`send_at`](Mailbox::send_at); the receiver blocks in
+//! [`recv`](Mailbox::recv) until delivery.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::{self, ProcHandle};
+use crate::time::SimTime;
+
+struct MbState<T> {
+    ready: VecDeque<T>,
+    waiters: Vec<ProcHandle>,
+}
+
+/// An unbounded multi-producer multi-consumer queue in virtual time.
+///
+/// Cloning is shallow; all clones refer to the same queue.
+pub struct Mailbox<T> {
+    inner: Arc<Mutex<MbState<T>>>,
+}
+
+impl<T> Clone for Mailbox<T> {
+    fn clone(&self) -> Self {
+        Mailbox {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Mailbox<T> {
+    /// Create an empty mailbox.
+    pub fn new() -> Self {
+        Mailbox {
+            inner: Arc::new(Mutex::new(MbState {
+                ready: VecDeque::new(),
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Number of messages currently deliverable.
+    pub fn len(&self) -> usize {
+        self.inner.lock().ready.len()
+    }
+
+    /// True if no message is currently deliverable.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().ready.is_empty()
+    }
+
+    fn deliver(inner: &Arc<Mutex<MbState<T>>>, msg: T) {
+        let waiters = {
+            let mut st = inner.lock();
+            st.ready.push_back(msg);
+            std::mem::take(&mut st.waiters)
+        };
+        for w in waiters {
+            w.unpark();
+        }
+    }
+
+    /// Deliver `msg` immediately (at the current virtual time).
+    pub fn send(&self, msg: T) {
+        Self::deliver(&self.inner, msg);
+    }
+
+    /// Take the next message without blocking, if one is deliverable.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.lock().ready.pop_front()
+    }
+
+    /// Block until a message is deliverable and take it.
+    pub fn recv(&self) -> T {
+        loop {
+            {
+                let mut st = self.inner.lock();
+                if let Some(m) = st.ready.pop_front() {
+                    return m;
+                }
+                st.waiters.push(kernel::current_handle());
+            }
+            kernel::park("mailbox recv");
+        }
+    }
+
+    /// Block until the mailbox is non-empty or `deadline` passes (if given).
+    /// Returns true if a message is deliverable on return. Wakeups may be
+    /// spurious with respect to *which* caller gets the message; callers
+    /// should re-check with [`try_recv`](Mailbox::try_recv).
+    ///
+    /// This is the progress-engine idle wait: "sleep until either a packet
+    /// arrives or the next known hardware completion instant".
+    pub fn wait_nonempty_until(&self, deadline: Option<SimTime>) -> bool {
+        {
+            let mut st = self.inner.lock();
+            if !st.ready.is_empty() {
+                return true;
+            }
+            st.waiters.push(kernel::current_handle());
+        }
+        if let Some(t) = deadline {
+            let h = kernel::current_handle();
+            kernel::schedule_at(t, move || h.unpark());
+        }
+        kernel::park("mailbox wait");
+        !self.inner.lock().ready.is_empty()
+    }
+}
+
+impl<T: Send + 'static> Mailbox<T> {
+    /// Deliver `msg` at virtual instant `at` (clamped to now if in the past).
+    /// Messages scheduled for the same instant arrive in send order.
+    pub fn send_at(&self, at: SimTime, msg: T) {
+        let inner = Arc::clone(&self.inner);
+        kernel::schedule_at(at, move || Self::deliver(&inner, msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{now, sleep, Sim};
+    use crate::time::SimDur;
+
+    #[test]
+    fn immediate_send_recv() {
+        let sim = Sim::new();
+        let mb = Mailbox::new();
+        {
+            let mb = mb.clone();
+            sim.spawn("producer", move || {
+                mb.send(1u32);
+                mb.send(2);
+            });
+        }
+        {
+            let mb = mb.clone();
+            sim.spawn("consumer", move || {
+                assert_eq!(mb.recv(), 1);
+                assert_eq!(mb.recv(), 2);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn timed_delivery_blocks_receiver() {
+        let sim = Sim::new();
+        let mb = Mailbox::new();
+        {
+            let mb = mb.clone();
+            sim.spawn("producer", move || {
+                mb.send_at(now() + SimDur::from_micros(25), "pkt");
+            });
+        }
+        {
+            let mb = mb.clone();
+            sim.spawn("consumer", move || {
+                assert_eq!(mb.recv(), "pkt");
+                assert_eq!(now(), SimTime::from_nanos(25_000));
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn same_instant_messages_arrive_in_send_order() {
+        let sim = Sim::new();
+        let mb = Mailbox::new();
+        {
+            let mb = mb.clone();
+            sim.spawn("producer", move || {
+                let at = now() + SimDur::from_micros(5);
+                for i in 0..4u32 {
+                    mb.send_at(at, i);
+                }
+            });
+        }
+        {
+            let mb = mb.clone();
+            sim.spawn("consumer", move || {
+                for i in 0..4u32 {
+                    assert_eq!(mb.recv(), i);
+                }
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let sim = Sim::new();
+        let mb: Mailbox<u32> = Mailbox::new();
+        {
+            let mb = mb.clone();
+            sim.spawn("p", move || {
+                assert_eq!(mb.try_recv(), None);
+                mb.send_at(now() + SimDur::from_micros(1), 9);
+                assert_eq!(mb.try_recv(), None); // not yet delivered
+                sleep(SimDur::from_micros(1));
+                assert_eq!(mb.try_recv(), Some(9));
+                assert!(mb.is_empty());
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn wait_nonempty_until_times_out() {
+        let sim = Sim::new();
+        let mb: Mailbox<u32> = Mailbox::new();
+        {
+            let mb = mb.clone();
+            sim.spawn("p", move || {
+                let deadline = now() + SimDur::from_micros(9);
+                assert!(!mb.wait_nonempty_until(Some(deadline)));
+                assert_eq!(now(), deadline);
+            });
+        }
+        // Keep the sim alive past the deadline so the park isn't a deadlock.
+        sim.spawn("anchor", || sleep(SimDur::from_micros(20)));
+        sim.run();
+    }
+
+    #[test]
+    fn wait_nonempty_until_wakes_on_arrival() {
+        let sim = Sim::new();
+        let mb: Mailbox<u32> = Mailbox::new();
+        {
+            let mb = mb.clone();
+            sim.spawn("consumer", move || {
+                let deadline = now() + SimDur::from_micros(100);
+                assert!(mb.wait_nonempty_until(Some(deadline)));
+                assert_eq!(now(), SimTime::from_nanos(5_000));
+                assert_eq!(mb.try_recv(), Some(7));
+            });
+        }
+        {
+            let mb = mb.clone();
+            sim.spawn("producer", move || {
+                mb.send_at(now() + SimDur::from_micros(5), 7);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn multiple_consumers_each_get_one() {
+        let sim = Sim::new();
+        let mb = Mailbox::new();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3u32 {
+            let mb = mb.clone();
+            let got = Arc::clone(&got);
+            sim.spawn(format!("consumer{i}"), move || {
+                let v = mb.recv();
+                got.lock().push(v);
+            });
+        }
+        {
+            let mb = mb.clone();
+            sim.spawn("producer", move || {
+                for v in [10u32, 20, 30] {
+                    mb.send_at(now() + SimDur::from_micros(u64::from(v)), v);
+                }
+            });
+        }
+        sim.run();
+        let mut got = got.lock().clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,235 @@
+//! FIFO counting semaphore in virtual time.
+//!
+//! Used for bounded resource pools (registered host staging buffers, device
+//! temporary buffers): acquirers queue in order and block without consuming
+//! virtual CPU.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::{self, ProcHandle};
+
+struct SemState {
+    permits: usize,
+    /// FIFO of (ticket, handle, permits needed). Strict FIFO prevents
+    /// starvation of large requests behind a stream of small ones.
+    waiters: VecDeque<(u64, ProcHandle, usize)>,
+    next_ticket: u64,
+}
+
+/// A fair (strict FIFO) counting semaphore.
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Arc<Mutex<SemState>>,
+}
+
+impl Semaphore {
+    /// Create a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            inner: Arc::new(Mutex::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+                next_ticket: 0,
+            })),
+        }
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.inner.lock().permits
+    }
+
+    /// Acquire `n` permits without blocking, if possible. Respects FIFO
+    /// fairness: fails if earlier acquirers are queued, even when permits
+    /// are available.
+    pub fn try_acquire(&self, n: usize) -> bool {
+        let mut st = self.inner.lock();
+        if st.waiters.is_empty() && st.permits >= n {
+            st.permits -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Acquire `n` permits, blocking in virtual time until available.
+    pub fn acquire(&self, n: usize) {
+        let ticket = {
+            let mut st = self.inner.lock();
+            if st.waiters.is_empty() && st.permits >= n {
+                st.permits -= n;
+                return;
+            }
+            let ticket = st.next_ticket;
+            st.next_ticket += 1;
+            st.waiters
+                .push_back((ticket, kernel::current_handle(), n));
+            ticket
+        };
+        loop {
+            kernel::park("semaphore acquire");
+            let st = self.inner.lock();
+            // We are satisfied when our ticket has been removed by release().
+            if !st.waiters.iter().any(|(t, _, _)| *t == ticket) {
+                return;
+            }
+            // Spurious wake (another waiter was satisfied); re-park.
+            drop(st);
+        }
+    }
+
+    /// Return `n` permits and wake now-satisfiable waiters in FIFO order.
+    pub fn release(&self, n: usize) {
+        let mut to_wake = Vec::new();
+        {
+            let mut st = self.inner.lock();
+            st.permits += n;
+            while let Some(&(_, _, need)) = st.waiters.front() {
+                if st.permits >= need {
+                    st.permits -= need;
+                    let (_, h, _) = st.waiters.pop_front().unwrap();
+                    to_wake.push(h);
+                } else {
+                    break;
+                }
+            }
+        }
+        for h in to_wake {
+            h.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{now, sleep, Sim};
+    use crate::time::{SimDur, SimTime};
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn uncontended_acquire_is_immediate() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(3);
+        {
+            let sem = sem.clone();
+            sim.spawn("p", move || {
+                sem.acquire(2);
+                assert_eq!(sem.available(), 1);
+                sem.release(2);
+                assert_eq!(sem.available(), 3);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn blocked_acquirer_waits_for_release() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        {
+            let sem = sem.clone();
+            sim.spawn("holder", move || {
+                sem.acquire(1);
+                sleep(SimDur::from_micros(10));
+                sem.release(1);
+            });
+        }
+        {
+            let sem = sem.clone();
+            sim.spawn("waiter", move || {
+                sleep(SimDur::from_micros(1)); // let the holder win
+                sem.acquire(1);
+                assert_eq!(now(), SimTime::from_nanos(10_000));
+                sem.release(1);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn fifo_ordering_holds() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(0);
+        let order = Arc::new(StdMutex::new(Vec::new()));
+        for i in 0..3u32 {
+            let sem = sem.clone();
+            let order = Arc::clone(&order);
+            sim.spawn(format!("w{i}"), move || {
+                sleep(SimDur::from_micros(u64::from(i) + 1)); // queue in order
+                sem.acquire(1);
+                order.lock().unwrap().push(i);
+            });
+        }
+        {
+            let sem = sem.clone();
+            sim.spawn("releaser", move || {
+                sleep(SimDur::from_micros(10));
+                for _ in 0..3 {
+                    sem.release(1);
+                    sleep(SimDur::from_micros(1));
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn large_request_blocks_later_small_ones() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(2);
+        let order = Arc::new(StdMutex::new(Vec::new()));
+        {
+            let sem = sem.clone();
+            sim.spawn("hog", move || {
+                sem.acquire(2); // take everything
+                sleep(SimDur::from_micros(5));
+                sem.release(2);
+            });
+        }
+        {
+            let sem = sem.clone();
+            let order = Arc::clone(&order);
+            sim.spawn("big", move || {
+                sleep(SimDur::from_micros(1));
+                sem.acquire(2);
+                order.lock().unwrap().push("big");
+                sem.release(2);
+            });
+        }
+        {
+            let sem = sem.clone();
+            let order = Arc::clone(&order);
+            sim.spawn("small", move || {
+                sleep(SimDur::from_micros(2));
+                assert!(!sem.try_acquire(1), "FIFO: small must not jump the queue");
+                sem.acquire(1);
+                order.lock().unwrap().push("small");
+                sem.release(1);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.lock().unwrap(), vec!["big", "small"]);
+    }
+
+    #[test]
+    fn try_acquire_fails_cleanly() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(1);
+        {
+            let sem = sem.clone();
+            sim.spawn("p", move || {
+                assert!(sem.try_acquire(1));
+                assert!(!sem.try_acquire(1));
+                sem.release(1);
+                assert!(sem.try_acquire(1));
+                sem.release(1);
+            });
+        }
+        sim.run();
+    }
+}

@@ -1,0 +1,334 @@
+//! Virtual time: instants ([`SimTime`]) and durations ([`SimDur`]).
+//!
+//! Both are nanosecond-granular `u64`s. Keeping instants and durations as
+//! distinct types catches the classic "added two timestamps" bug at compile
+//! time, which matters in a codebase whose whole point is timing arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in virtual time, measured in nanoseconds since simulation start.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime {
+    ns: u64,
+}
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDur {
+    ns: u64,
+}
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime { ns: 0 };
+
+    /// Construct from raw nanoseconds since the epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime { ns }
+    }
+
+    /// Raw nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.ns
+    }
+
+    /// Microseconds since the epoch, as a float (for reporting).
+    pub fn as_micros_f64(self) -> f64 {
+        self.ns as f64 / 1_000.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.ns as f64 / 1e9
+    }
+
+    /// The duration since an earlier instant. Panics if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDur {
+        SimDur {
+            ns: self
+                .ns
+                .checked_sub(earlier.ns)
+                .expect("SimTime::since: earlier instant is in the future"),
+        }
+    }
+
+    /// Saturating difference: zero if `earlier` is actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDur {
+        SimDur {
+            ns: self.ns.saturating_sub(earlier.ns),
+        }
+    }
+}
+
+impl SimDur {
+    /// The zero-length duration.
+    pub const ZERO: SimDur = SimDur { ns: 0 };
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDur { ns }
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDur { ns: us * 1_000 }
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDur { ns: ms * 1_000_000 }
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDur {
+            ns: s * 1_000_000_000,
+        }
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "SimDur::from_secs_f64: invalid duration {s}"
+        );
+        SimDur {
+            ns: (s * 1e9).round() as u64,
+        }
+    }
+
+    /// Construct from fractional microseconds, rounding to the nearest
+    /// nanosecond. Panics on negative or non-finite input.
+    pub fn from_micros_f64(us: f64) -> Self {
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "SimDur::from_micros_f64: invalid duration {us}"
+        );
+        SimDur {
+            ns: (us * 1e3).round() as u64,
+        }
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.ns
+    }
+
+    /// Microseconds as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.ns as f64 / 1e3
+    }
+
+    /// Milliseconds as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.ns as f64 / 1e6
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.ns as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDur) -> SimDur {
+        SimDur {
+            ns: self.ns.saturating_sub(rhs.ns),
+        }
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDur) -> SimTime {
+        SimTime {
+            ns: self
+                .ns
+                .checked_add(rhs.ns)
+                .expect("SimTime overflow: simulation ran past u64 nanoseconds"),
+        }
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    fn add_assign(&mut self, rhs: SimDur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDur> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDur) -> SimTime {
+        SimTime {
+            ns: self
+                .ns
+                .checked_sub(rhs.ns)
+                .expect("SimTime underflow: instant before the epoch"),
+        }
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDur;
+    fn sub(self, rhs: SimTime) -> SimDur {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    fn add(self, rhs: SimDur) -> SimDur {
+        SimDur {
+            ns: self.ns.checked_add(rhs.ns).expect("SimDur overflow"),
+        }
+    }
+}
+
+impl AddAssign for SimDur {
+    fn add_assign(&mut self, rhs: SimDur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDur {
+    type Output = SimDur;
+    fn sub(self, rhs: SimDur) -> SimDur {
+        SimDur {
+            ns: self
+                .ns
+                .checked_sub(rhs.ns)
+                .expect("SimDur underflow: negative duration"),
+        }
+    }
+}
+
+impl SubAssign for SimDur {
+    fn sub_assign(&mut self, rhs: SimDur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDur {
+    type Output = SimDur;
+    fn mul(self, rhs: u64) -> SimDur {
+        SimDur {
+            ns: self.ns.checked_mul(rhs).expect("SimDur overflow"),
+        }
+    }
+}
+
+impl Div<u64> for SimDur {
+    type Output = SimDur;
+    fn div(self, rhs: u64) -> SimDur {
+        SimDur { ns: self.ns / rhs }
+    }
+}
+
+impl Sum for SimDur {
+    fn sum<I: Iterator<Item = SimDur>>(iter: I) -> SimDur {
+        iter.fold(SimDur::ZERO, Add::add)
+    }
+}
+
+fn fmt_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ns >= 1_000_000_000 {
+        write!(f, "{:.6}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        write!(f, "{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        write!(f, "{:.3}us", ns as f64 / 1e3)
+    } else {
+        write!(f, "{ns}ns")
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t=")?;
+        fmt_ns(self.ns, f)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.ns, f)
+    }
+}
+
+impl fmt::Debug for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.ns, f)
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.ns, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimDur::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDur::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimDur::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDur::from_secs_f64(0.5).as_nanos(), 500_000_000);
+        assert_eq!(SimDur::from_micros_f64(1.5).as_nanos(), 1_500);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDur::from_micros(10);
+        assert_eq!((t1 - t0).as_nanos(), 10_000);
+        assert_eq!(t1.since(t0), SimDur::from_micros(10));
+        assert_eq!(t0.saturating_since(t1), SimDur::ZERO);
+        assert_eq!(t1 - SimDur::from_micros(4), t0 + SimDur::from_micros(6));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDur::from_micros(7);
+        let b = SimDur::from_micros(3);
+        assert_eq!(a + b, SimDur::from_micros(10));
+        assert_eq!(a - b, SimDur::from_micros(4));
+        assert_eq!(b * 4, SimDur::from_micros(12));
+        assert_eq!(a / 7, SimDur::from_micros(1));
+        assert_eq!(b.saturating_sub(a), SimDur::ZERO);
+        let total: SimDur = [a, b, b].into_iter().sum();
+        assert_eq!(total, SimDur::from_micros(13));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn negative_duration_panics() {
+        let _ = SimDur::from_micros(1) - SimDur::from_micros(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier instant is in the future")]
+    fn since_future_panics() {
+        let t1 = SimTime::ZERO + SimDur::from_micros(1);
+        let _ = SimTime::ZERO.since(t1);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDur::from_nanos(17)), "17ns");
+        assert_eq!(format!("{}", SimDur::from_micros(4)), "4.000us");
+        assert_eq!(format!("{}", SimDur::from_millis(250)), "250.000ms");
+        assert_eq!(format!("{}", SimDur::from_secs(2)), "2.000000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_nanos(1));
+        assert!(SimDur::from_micros(1) < SimDur::from_millis(1));
+    }
+}

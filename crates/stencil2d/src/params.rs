@@ -1,0 +1,207 @@
+//! Benchmark parameters: process grids, neighbor topology, initial data.
+
+/// Halo direction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Dir {
+    /// Towards row 0 of the process grid.
+    North = 0,
+    /// Towards the last row.
+    South = 1,
+    /// Towards column 0.
+    West = 2,
+    /// Towards the last column.
+    East = 3,
+}
+
+impl Dir {
+    /// All four directions.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::South, Dir::West, Dir::East];
+
+    /// Lower-case name as used in Figure 6 ("south", "west", "east", ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dir::North => "north",
+            Dir::South => "south",
+            Dir::West => "west",
+            Dir::East => "east",
+        }
+    }
+}
+
+/// Which Stencil2D implementation to run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Original SHOC pattern: host staging + host MPI ("Stencil2D-Def").
+    Def,
+    /// MPI on device buffers ("Stencil2D-MV2-GPU-NC").
+    Mv2,
+}
+
+impl Variant {
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Def => "Stencil2D-Def",
+            Variant::Mv2 => "Stencil2D-MV2-GPU-NC",
+        }
+    }
+}
+
+/// One benchmark configuration: a `py x px` process grid, each rank owning
+/// a `rows x cols` interior, iterated `iters` times.
+#[derive(Copy, Clone, Debug)]
+pub struct StencilParams {
+    /// Process-grid rows.
+    pub py: usize,
+    /// Process-grid columns.
+    pub px: usize,
+    /// Interior rows per rank.
+    pub rows: usize,
+    /// Interior columns per rank.
+    pub cols: usize,
+    /// Stencil iterations.
+    pub iters: usize,
+}
+
+impl StencilParams {
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.py * self.px
+    }
+
+    /// Process-grid coordinates of `rank` (row, col); ranks are row-major.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank / self.px, rank % self.px)
+    }
+
+    /// The neighboring rank in direction `d`, if any.
+    pub fn neighbor(&self, rank: usize, d: Dir) -> Option<usize> {
+        let (r, c) = self.coords(rank);
+        match d {
+            Dir::North => (r > 0).then(|| rank - self.px),
+            Dir::South => (r + 1 < self.py).then(|| rank + self.px),
+            Dir::West => (c > 0).then(|| rank - 1),
+            Dir::East => (c + 1 < self.px).then(|| rank + 1),
+        }
+    }
+
+    /// The paper's four Table II/III configurations, scaled down by
+    /// `scale` in each dimension (scale = 1 reproduces the paper's sizes).
+    pub fn paper_grids(scale: usize) -> Vec<StencilParams> {
+        let s = scale.max(1);
+        vec![
+            StencilParams {
+                py: 1,
+                px: 8,
+                rows: (64 << 10) / s,
+                cols: (1 << 10) / s,
+                iters: 5,
+            },
+            StencilParams {
+                py: 8,
+                px: 1,
+                rows: (1 << 10) / s,
+                cols: (64 << 10) / s,
+                iters: 5,
+            },
+            StencilParams {
+                py: 2,
+                px: 4,
+                rows: (8 << 10) / s,
+                cols: (8 << 10) / s,
+                iters: 5,
+            },
+            StencilParams {
+                py: 4,
+                px: 2,
+                rows: (8 << 10) / s,
+                cols: (8 << 10) / s,
+                iters: 5,
+            },
+        ]
+    }
+
+    /// Short label like "2x4 (8192x8192/proc)".
+    pub fn label(&self) -> String {
+        format!(
+            "{}x{} ({}x{}/proc)",
+            self.py, self.px, self.rows, self.cols
+        )
+    }
+}
+
+/// Deterministic initial value of global interior cell `(i, j)`.
+pub fn initial_value(i: usize, j: usize) -> f64 {
+    (((i.wrapping_mul(131) ^ j.wrapping_mul(37)) % 1009) as f64) / 16.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_are_row_major() {
+        let p = StencilParams {
+            py: 2,
+            px: 4,
+            rows: 8,
+            cols: 8,
+            iters: 1,
+        };
+        assert_eq!(p.coords(0), (0, 0));
+        assert_eq!(p.coords(3), (0, 3));
+        assert_eq!(p.coords(4), (1, 0));
+        assert_eq!(p.nranks(), 8);
+    }
+
+    #[test]
+    fn rank1_of_2x4_has_south_west_east_only() {
+        // The paper's Figure 6 is measured at rank 1 of the 2x4 grid, which
+        // has exactly south, west and east neighbors.
+        let p = StencilParams {
+            py: 2,
+            px: 4,
+            rows: 8,
+            cols: 8,
+            iters: 1,
+        };
+        assert_eq!(p.neighbor(1, Dir::North), None);
+        assert_eq!(p.neighbor(1, Dir::South), Some(5));
+        assert_eq!(p.neighbor(1, Dir::West), Some(0));
+        assert_eq!(p.neighbor(1, Dir::East), Some(2));
+    }
+
+    #[test]
+    fn edge_ranks_have_no_outside_neighbors() {
+        let p = StencilParams {
+            py: 8,
+            px: 1,
+            rows: 4,
+            cols: 4,
+            iters: 1,
+        };
+        assert_eq!(p.neighbor(0, Dir::North), None);
+        assert_eq!(p.neighbor(0, Dir::West), None);
+        assert_eq!(p.neighbor(0, Dir::East), None);
+        assert_eq!(p.neighbor(0, Dir::South), Some(1));
+        assert_eq!(p.neighbor(7, Dir::South), None);
+    }
+
+    #[test]
+    fn paper_grids_have_eight_ranks() {
+        for p in StencilParams::paper_grids(1) {
+            assert_eq!(p.nranks(), 8);
+        }
+        // Scaling shrinks matrices but keeps grids.
+        for p in StencilParams::paper_grids(8) {
+            assert_eq!(p.nranks(), 8);
+            assert!(p.rows >= 128);
+        }
+    }
+
+    #[test]
+    fn initial_value_is_deterministic() {
+        assert_eq!(initial_value(3, 5), initial_value(3, 5));
+        assert_ne!(initial_value(3, 5), initial_value(5, 3));
+    }
+}

@@ -1,0 +1,413 @@
+//! Per-rank Stencil2D state and the two halo-exchange implementations.
+//!
+//! `exchange_def` reproduces the original SHOC communication pattern
+//! (Figure 4(a)-style): stage halos through host memory with blocking
+//! `cudaMemcpy`/`cudaMemcpy2D`, then host MPI. `exchange_mv2` is the
+//! MV2-GPU-NC version (Figure 4(c)): MPI calls directly on device memory
+//! with derived datatypes.
+//!
+//! The `// BEGIN:`/`// END:` markers delimit the code the Table I
+//! line-count comparison measures.
+
+use gpu_sim::{Copy2d, DevPtr, Loc, Stream};
+use hostmem::HostBuf;
+use mpi_sim::{Datatype, Request};
+use mv2_gpu_nc::GpuRankEnv;
+use sim_core::SimDur;
+
+use crate::kernel::stencil_step;
+use crate::params::{Dir, StencilParams, Variant};
+use crate::real::Real;
+
+const TAG_UP: u32 = 100; // travels from south rank to north rank
+const TAG_DOWN: u32 = 101;
+const TAG_LEFT: u32 = 102; // travels from east rank to west rank
+const TAG_RIGHT: u32 = 103;
+
+/// Per-direction accumulated communication time.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct DirTimes {
+    /// Time spent in MPI calls for this direction.
+    pub mpi: SimDur,
+    /// Time spent in CUDA staging calls for this direction.
+    pub cuda: SimDur,
+}
+
+/// Communication breakdown per direction (Figure 6).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Breakdown {
+    dirs: [DirTimes; 4],
+}
+
+impl Breakdown {
+    /// Times for one direction.
+    pub fn dir(&self, d: Dir) -> DirTimes {
+        self.dirs[d as usize]
+    }
+
+    fn add_mpi(&mut self, d: Dir, dt: SimDur) {
+        self.dirs[d as usize].mpi += dt;
+    }
+
+    fn add_cuda(&mut self, d: Dir, dt: SimDur) {
+        self.dirs[d as usize].cuda += dt;
+    }
+
+    /// Total communication time across directions.
+    pub fn total(&self) -> SimDur {
+        self.dirs.iter().map(|d| d.mpi + d.cuda).sum()
+    }
+}
+
+/// One rank's Stencil2D state.
+pub struct StencilRank<'a, T: Real> {
+    env: &'a GpuRankEnv,
+    p: StencilParams,
+    /// Double buffers, (rows+2) x (cols+2) elements each.
+    cur: DevPtr,
+    next: DevPtr,
+    h: usize,
+    w: usize,
+    stream: Stream,
+    neighbors: [Option<usize>; 4],
+    elem: Datatype,
+    col_dt: Datatype,
+    // Host staging for the Def variant (one buffer per direction/way).
+    stage_out: [HostBuf; 4],
+    stage_in: [HostBuf; 4],
+    /// Per-direction communication times (filled when `timed` is set).
+    pub breakdown: Breakdown,
+    /// Attribute per-direction wait times (costs per-request waits instead
+    /// of one waitall, so only enabled for the Figure 6 harness).
+    pub timed: bool,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<'a, T: Real> StencilRank<'a, T> {
+    /// Allocate and initialize this rank's matrices from the deterministic
+    /// global pattern.
+    pub fn new(env: &'a GpuRankEnv, p: StencilParams) -> Self {
+        let (h, w) = (p.rows + 2, p.cols + 2);
+        let bytes = h * w * T::SIZE;
+        let cur = env.gpu.malloc(bytes);
+        let next = env.gpu.malloc(bytes);
+        let rank = env.comm.rank();
+        let (my_r, my_c) = p.coords(rank);
+        // Interior cell (r, c) holds a function of its *global* coordinates
+        // so decompositions are comparable; halos start at zero.
+        let mut init = vec![0u8; h * w * T::SIZE];
+        for r in 1..=p.rows {
+            for c in 1..=p.cols {
+                let gi = my_r * p.rows + (r - 1);
+                let gj = my_c * p.cols + (c - 1);
+                let v = T::from_f64(crate::params::initial_value(gi, gj));
+                v.write_le(&mut init[(r * w + c) * T::SIZE..(r * w + c + 1) * T::SIZE]);
+            }
+        }
+        env.gpu.write_bytes(cur, &init);
+        env.gpu.write_bytes(next, &init);
+        let elem = if T::SIZE == 4 {
+            Datatype::float()
+        } else {
+            Datatype::double()
+        };
+        elem.commit();
+        // A full-height column: `h` single elements, `pitch` bytes apart.
+        let col_dt = Datatype::hvector(h, 1, (w * T::SIZE) as isize, &elem);
+        col_dt.commit();
+        let row_bytes = w * T::SIZE;
+        let col_bytes = h * T::SIZE;
+        let mk = |n| HostBuf::alloc(n);
+        StencilRank {
+            env,
+            p,
+            cur,
+            next,
+            h,
+            w,
+            stream: env.gpu.create_stream(),
+            neighbors: [
+                p.neighbor(rank, Dir::North),
+                p.neighbor(rank, Dir::South),
+                p.neighbor(rank, Dir::West),
+                p.neighbor(rank, Dir::East),
+            ],
+            elem,
+            col_dt,
+            stage_out: [mk(row_bytes), mk(row_bytes), mk(col_bytes), mk(col_bytes)],
+            stage_in: [mk(row_bytes), mk(row_bytes), mk(col_bytes), mk(col_bytes)],
+            breakdown: Breakdown::default(),
+            timed: false,
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    fn neighbor(&self, d: Dir) -> Option<usize> {
+        self.neighbors[d as usize]
+    }
+
+    /// Device pointer to the start of row `r`.
+    fn row(&self, r: usize) -> DevPtr {
+        self.cur.add(r * self.w * T::SIZE)
+    }
+
+    /// Device pointer to the top of column `c`.
+    fn col(&self, c: usize) -> DevPtr {
+        self.cur.add(c * T::SIZE)
+    }
+
+    fn pitch(&self) -> usize {
+        self.w * T::SIZE
+    }
+
+    fn timed_cuda(&mut self, d: Dir, f: impl FnOnce(&Self)) {
+        let t0 = sim_core::now();
+        f(self);
+        let dt = sim_core::now() - t0;
+        self.breakdown.add_cuda(d, dt);
+    }
+
+    fn timed_mpi(&mut self, d: Dir, f: impl FnOnce(&Self)) {
+        let t0 = sim_core::now();
+        f(self);
+        let dt = sim_core::now() - t0;
+        self.breakdown.add_mpi(d, dt);
+    }
+
+    fn finish_recvs(&mut self, reqs: Vec<(Dir, Request)>) {
+        if self.timed {
+            for (d, req) in reqs {
+                let t0 = sim_core::now();
+                self.env.comm.wait(req);
+                let dt = sim_core::now() - t0;
+                self.breakdown.add_mpi(d, dt);
+            }
+        } else {
+            self.env
+                .comm
+                .waitall(reqs.into_iter().map(|(_, r)| r).collect());
+        }
+    }
+
+    // BEGIN:exchange_def
+    /// Original SHOC-style halo exchange: stage through host memory with
+    /// blocking CUDA copies, communicate with host MPI.
+    pub fn exchange_def(&mut self) {
+        let comm = self.env.comm.clone();
+        let gpu = self.env.gpu.clone();
+        let (h, w, pitch) = (self.h, self.w, self.pitch());
+        // --- phase 1: north/south halo rows (contiguous) ---
+        let mut reqs: Vec<(Dir, Request)> = Vec::new();
+        if let Some(n) = self.neighbor(Dir::North) {
+            let buf = self.stage_in[0].base();
+            self.timed_mpi(Dir::North, |s| {
+                reqs.push((Dir::North, comm.irecv(buf.clone(), w, &s.elem, n, TAG_DOWN)));
+            });
+        }
+        if let Some(sn) = self.neighbor(Dir::South) {
+            let buf = self.stage_in[1].base();
+            self.timed_mpi(Dir::South, |s| {
+                reqs.push((Dir::South, comm.irecv(buf.clone(), w, &s.elem, sn, TAG_UP)));
+            });
+        }
+        if let Some(n) = self.neighbor(Dir::North) {
+            self.timed_cuda(Dir::North, |s| {
+                gpu.memcpy(s.stage_out[0].base(), s.row(1), w * T::SIZE);
+            });
+            let buf = self.stage_out[0].base();
+            self.timed_mpi(Dir::North, |s| comm.send(buf.clone(), w, &s.elem, n, TAG_UP));
+        }
+        if let Some(sn) = self.neighbor(Dir::South) {
+            self.timed_cuda(Dir::South, |s| {
+                gpu.memcpy(s.stage_out[1].base(), s.row(s.p.rows), w * T::SIZE);
+            });
+            let buf = self.stage_out[1].base();
+            self.timed_mpi(Dir::South, |s| {
+                comm.send(buf.clone(), w, &s.elem, sn, TAG_DOWN)
+            });
+        }
+        self.finish_recvs(reqs);
+        if self.neighbor(Dir::North).is_some() {
+            self.timed_cuda(Dir::North, |s| {
+                gpu.memcpy(s.row(0), s.stage_in[0].base(), w * T::SIZE);
+            });
+        }
+        if self.neighbor(Dir::South).is_some() {
+            self.timed_cuda(Dir::South, |s| {
+                gpu.memcpy(s.row(h - 1), s.stage_in[1].base(), w * T::SIZE);
+            });
+        }
+        // --- phase 2: west/east halo columns (strided!) ---
+        let mut reqs: Vec<(Dir, Request)> = Vec::new();
+        if let Some(wn) = self.neighbor(Dir::West) {
+            let buf = self.stage_in[2].base();
+            self.timed_mpi(Dir::West, |s| {
+                reqs.push((Dir::West, comm.irecv(buf.clone(), h, &s.elem, wn, TAG_RIGHT)));
+            });
+        }
+        if let Some(e) = self.neighbor(Dir::East) {
+            let buf = self.stage_in[3].base();
+            self.timed_mpi(Dir::East, |s| {
+                reqs.push((Dir::East, comm.irecv(buf.clone(), h, &s.elem, e, TAG_LEFT)));
+            });
+        }
+        if let Some(wn) = self.neighbor(Dir::West) {
+            self.timed_cuda(Dir::West, |s| {
+                gpu.memcpy_2d(Copy2d {
+                    dst: Loc::Host(s.stage_out[2].base()),
+                    dpitch: T::SIZE,
+                    src: Loc::Device(s.col(1)),
+                    spitch: pitch,
+                    width: T::SIZE,
+                    height: h,
+                });
+            });
+            let buf = self.stage_out[2].base();
+            self.timed_mpi(Dir::West, |s| {
+                comm.send(buf.clone(), h, &s.elem, wn, TAG_LEFT)
+            });
+        }
+        if let Some(e) = self.neighbor(Dir::East) {
+            self.timed_cuda(Dir::East, |s| {
+                gpu.memcpy_2d(Copy2d {
+                    dst: Loc::Host(s.stage_out[3].base()),
+                    dpitch: T::SIZE,
+                    src: Loc::Device(s.col(s.p.cols)),
+                    spitch: pitch,
+                    width: T::SIZE,
+                    height: h,
+                });
+            });
+            let buf = self.stage_out[3].base();
+            self.timed_mpi(Dir::East, |s| {
+                comm.send(buf.clone(), h, &s.elem, e, TAG_RIGHT)
+            });
+        }
+        self.finish_recvs(reqs);
+        if self.neighbor(Dir::West).is_some() {
+            self.timed_cuda(Dir::West, |s| {
+                gpu.memcpy_2d(Copy2d {
+                    dst: Loc::Device(s.col(0)),
+                    dpitch: pitch,
+                    src: Loc::Host(s.stage_in[2].base()),
+                    spitch: T::SIZE,
+                    width: T::SIZE,
+                    height: h,
+                });
+            });
+        }
+        if self.neighbor(Dir::East).is_some() {
+            self.timed_cuda(Dir::East, |s| {
+                gpu.memcpy_2d(Copy2d {
+                    dst: Loc::Device(s.col(s.w - 1)),
+                    dpitch: pitch,
+                    src: Loc::Host(s.stage_in[3].base()),
+                    spitch: T::SIZE,
+                    width: T::SIZE,
+                    height: h,
+                });
+            });
+        }
+    }
+    // END:exchange_def
+
+    // BEGIN:exchange_mv2
+    /// MV2-GPU-NC halo exchange: MPI straight on device memory; the column
+    /// datatype replaces all staging code.
+    pub fn exchange_mv2(&mut self) {
+        let comm = self.env.comm.clone();
+        let (h, w) = (self.h, self.w);
+        // --- phase 1: north/south halo rows ---
+        let mut reqs: Vec<(Dir, Request)> = Vec::new();
+        if let Some(n) = self.neighbor(Dir::North) {
+            self.timed_mpi(Dir::North, |s| {
+                reqs.push((Dir::North, comm.irecv(s.row(0), w, &s.elem, n, TAG_DOWN)));
+            });
+        }
+        if let Some(sn) = self.neighbor(Dir::South) {
+            self.timed_mpi(Dir::South, |s| {
+                reqs.push((Dir::South, comm.irecv(s.row(h - 1), w, &s.elem, sn, TAG_UP)));
+            });
+        }
+        if let Some(n) = self.neighbor(Dir::North) {
+            self.timed_mpi(Dir::North, |s| comm.send(s.row(1), w, &s.elem, n, TAG_UP));
+        }
+        if let Some(sn) = self.neighbor(Dir::South) {
+            self.timed_mpi(Dir::South, |s| {
+                comm.send(s.row(s.p.rows), w, &s.elem, sn, TAG_DOWN)
+            });
+        }
+        self.finish_recvs(reqs);
+        // --- phase 2: west/east halo columns, via the vector datatype ---
+        let mut reqs: Vec<(Dir, Request)> = Vec::new();
+        if let Some(wn) = self.neighbor(Dir::West) {
+            self.timed_mpi(Dir::West, |s| {
+                reqs.push((Dir::West, comm.irecv(s.col(0), 1, &s.col_dt, wn, TAG_RIGHT)));
+            });
+        }
+        if let Some(e) = self.neighbor(Dir::East) {
+            self.timed_mpi(Dir::East, |s| {
+                reqs.push((Dir::East, comm.irecv(s.col(s.w - 1), 1, &s.col_dt, e, TAG_LEFT)));
+            });
+        }
+        if let Some(wn) = self.neighbor(Dir::West) {
+            self.timed_mpi(Dir::West, |s| comm.send(s.col(1), 1, &s.col_dt, wn, TAG_LEFT));
+        }
+        if let Some(e) = self.neighbor(Dir::East) {
+            self.timed_mpi(Dir::East, |s| {
+                comm.send(s.col(s.p.cols), 1, &s.col_dt, e, TAG_RIGHT)
+            });
+        }
+        self.finish_recvs(reqs);
+    }
+    // END:exchange_mv2
+
+    /// One full iteration: halo exchange, stencil kernel, buffer swap.
+    /// Exchanging first makes the distributed computation equivalent to the
+    /// serial reference (the kernel always sees its neighbors' latest
+    /// boundary values).
+    pub fn step(&mut self, variant: Variant) {
+        match variant {
+            Variant::Def => self.exchange_def(),
+            Variant::Mv2 => self.exchange_mv2(),
+        }
+        stencil_step::<T>(
+            &self.env.gpu,
+            &self.stream,
+            self.cur,
+            self.next,
+            self.p.rows,
+            self.p.cols,
+        )
+        .wait();
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+
+    /// Interior values as raw little-endian bytes (row major, rows x cols).
+    pub fn interior_bytes(&self) -> Vec<u8> {
+        let all = self
+            .env
+            .gpu
+            .read_bytes(self.cur, self.h * self.w * T::SIZE);
+        let mut out = Vec::with_capacity(self.p.rows * self.p.cols * T::SIZE);
+        for r in 1..=self.p.rows {
+            let start = (r * self.w + 1) * T::SIZE;
+            out.extend_from_slice(&all[start..start + self.p.cols * T::SIZE]);
+        }
+        out
+    }
+
+    /// Sum of the interior in f64 (cheap cross-variant checksum).
+    pub fn checksum(&self) -> f64 {
+        self.interior_bytes()
+            .chunks_exact(T::SIZE)
+            .map(|c| T::read_le(c).to_f64())
+            .sum()
+    }
+
+    /// Free device buffers.
+    pub fn free(self) {
+        self.env.gpu.free(self.cur);
+        self.env.gpu.free(self.next);
+    }
+}

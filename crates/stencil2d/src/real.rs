@@ -1,0 +1,55 @@
+//! Floating-point element abstraction: the benchmark runs in single and
+//! double precision (paper Tables II and III).
+
+use hostmem::Scalar;
+
+/// A real number type storable in simulated device memory.
+pub trait Real: Scalar + Send + Sync {
+    /// Human-readable precision name ("single" / "double").
+    const NAME: &'static str;
+    /// Convert from f64 (computation happens in f64 on the simulated GPU,
+    /// then rounds to the storage precision — deterministic and identical
+    /// across the Def and MV2-GPU-NC variants).
+    fn from_f64(v: f64) -> Self;
+    /// Convert to f64.
+    fn to_f64(self) -> f64;
+}
+
+impl Real for f32 {
+    const NAME: &'static str = "single";
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Real for f64 {
+    const NAME: &'static str = "double";
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(f32::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(f64::from_f64(-0.25).to_f64(), -0.25);
+        assert_eq!(f32::NAME, "single");
+        assert_eq!(f64::NAME, "double");
+    }
+
+    #[test]
+    fn f32_rounds() {
+        let v = f32::from_f64(1.0 + 1e-12);
+        assert_eq!(v, 1.0f32);
+    }
+}

@@ -1,0 +1,75 @@
+//! Serial CPU reference implementation: the whole global matrix on one
+//! core, no MPI, no GPU. Ground truth for the distributed variants.
+
+use crate::kernel::{W_CARDINAL, W_CENTER, W_DIAGONAL};
+use crate::params::initial_value;
+use crate::real::Real;
+
+/// Run `iters` stencil steps on a `rows x cols` global interior with a
+/// zero halo ring. Returns the interior, row-major, in storage precision.
+pub fn reference_run<T: Real>(rows: usize, cols: usize, iters: usize) -> Vec<T> {
+    let (h, w) = (rows + 2, cols + 2);
+    let mut cur: Vec<T> = vec![T::from_f64(0.0); h * w];
+    for i in 0..rows {
+        for j in 0..cols {
+            cur[(i + 1) * w + (j + 1)] = T::from_f64(initial_value(i, j));
+        }
+    }
+    let mut next = cur.clone();
+    for _ in 0..iters {
+        for r in 1..=rows {
+            for c in 1..=cols {
+                let at = |rr: usize, cc: usize| cur[rr * w + cc].to_f64();
+                let card = at(r - 1, c) + at(r + 1, c) + at(r, c - 1) + at(r, c + 1);
+                let diag =
+                    at(r - 1, c - 1) + at(r - 1, c + 1) + at(r + 1, c - 1) + at(r + 1, c + 1);
+                next[r * w + c] =
+                    T::from_f64(W_CENTER * at(r, c) + W_CARDINAL * card + W_DIAGONAL * diag);
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    let mut out = Vec::with_capacity(rows * cols);
+    for r in 1..=rows {
+        out.extend_from_slice(&cur[r * w + 1..r * w + 1 + cols]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_iters_returns_initial_values() {
+        let v = reference_run::<f64>(3, 4, 0);
+        assert_eq!(v.len(), 12);
+        assert_eq!(v[0], initial_value(0, 0));
+        assert_eq!(v[11], initial_value(2, 3));
+    }
+
+    #[test]
+    fn one_iter_matches_hand_computation() {
+        let v = reference_run::<f64>(1, 1, 1);
+        // Single interior cell with all-zero halo: only the center term.
+        assert_eq!(v[0], W_CENTER * initial_value(0, 0));
+    }
+
+    #[test]
+    fn values_decay_toward_zero_boundary() {
+        let a = reference_run::<f64>(8, 8, 1);
+        let b = reference_run::<f64>(8, 8, 10);
+        let sum =
+            |v: &[f64]| v.iter().map(|x| x.abs()).sum::<f64>();
+        assert!(sum(&b) < sum(&a), "zero boundary drains the field");
+    }
+
+    #[test]
+    fn f32_and_f64_agree_roughly() {
+        let a = reference_run::<f32>(6, 6, 3);
+        let b = reference_run::<f64>(6, 6, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.to_f64() - y).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Platform tuning, the way the paper describes it (§IV-B): the pipeline
+//! block size is a configurable library parameter; a system administrator
+//! runs a micro-benchmark sweep once at installation time and records the
+//! optimum. This example is that micro-benchmark.
+//!
+//! Run with: `cargo run --release --example block_size_tuning`
+
+use gpu_nc_repro::mv2_gpu_nc::baselines::{fill_vector, recv_mv2, send_mv2, VectorXfer};
+use gpu_nc_repro::mv2_gpu_nc::GpuCluster;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn latency_with_block(total: usize, block: usize) -> f64 {
+    let out = Arc::new(AtomicU64::new(0));
+    let out2 = Arc::clone(&out);
+    GpuCluster::new(2).block_size(block).run(move |env| {
+        let x = VectorXfer::paper(total);
+        let dev = env.gpu.malloc(x.extent());
+        if env.comm.rank() == 0 {
+            fill_vector(&env.gpu, dev, &x, 1);
+            send_mv2(&env.comm, dev, x, 1, 0); // warm up pools
+            send_mv2(&env.comm, dev, x, 1, 1);
+        } else {
+            recv_mv2(&env.comm, dev, x, 0, 0);
+            let t0 = sim_core::now();
+            recv_mv2(&env.comm, dev, x, 0, 1);
+            out2.store((sim_core::now() - t0).as_nanos(), Ordering::SeqCst);
+        }
+    });
+    out.load(Ordering::SeqCst) as f64 / 1e6
+}
+
+fn main() {
+    let total = 2 << 20;
+    println!("Tuning MV2_CUDA_BLOCK_SIZE for a {} MB vector message:\n", total >> 20);
+    let mut best = (0usize, f64::INFINITY);
+    for p in 13..=19 {
+        let block = 1usize << p;
+        let ms = latency_with_block(total, block);
+        let bar = "#".repeat((ms * 4.0) as usize);
+        println!("{:>6} KB: {:>8.2} ms  {}", block >> 10, ms, bar);
+        if ms < best.1 {
+            best = (block, ms);
+        }
+    }
+    println!(
+        "\nwrite `MV2_CUDA_BLOCK_SIZE={}` into the cluster config ({:.2} ms)",
+        best.0, best.1
+    );
+}

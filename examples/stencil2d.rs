@@ -1,0 +1,61 @@
+//! The paper's application benchmark in miniature: run SHOC Stencil2D on a
+//! 2x2 process grid in both variants, verify they compute identical
+//! results, and compare their communication cost.
+//!
+//! Run with: `cargo run --release --example stencil2d`
+
+use gpu_nc_repro::stencil2d::{
+    lines_of_code, run_stencil, Dir, RunOptions, StencilParams, Variant,
+};
+
+fn main() {
+    let p = StencilParams {
+        py: 2,
+        px: 2,
+        rows: 1024,
+        cols: 1024,
+        iters: 4,
+    };
+    let opts = RunOptions {
+        timed_breakdown: true,
+        collect_interiors: false,
+    };
+
+    println!("Stencil2D, {} grid, {} iterations, f32\n", p.label(), p.iters);
+    let def = run_stencil::<f32>(p, Variant::Def, opts);
+    let mv2 = run_stencil::<f32>(p, Variant::Mv2, opts);
+
+    assert_eq!(
+        def.checksum(),
+        mv2.checksum(),
+        "the two variants must compute bitwise-identical fields"
+    );
+    println!("checksum (identical across variants): {:.6}", def.checksum());
+    println!();
+    println!("{:<22} {:>12} {:>14}", "", "Def", "MV2-GPU-NC");
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "execution time",
+        format!("{}", def.wall),
+        format!("{}", mv2.wall)
+    );
+    for d in [Dir::East, Dir::West, Dir::South, Dir::North] {
+        let (a, b) = (def.ranks[0].breakdown.dir(d), mv2.ranks[0].breakdown.dir(d));
+        println!(
+            "{:<22} {:>12} {:>14}",
+            format!("rank0 {} comm", d.name()),
+            format!("{}", a.mpi + a.cuda),
+            format!("{}", b.mpi + b.cuda),
+        );
+    }
+    println!();
+    println!(
+        "halo-exchange code size: Def {} lines, MV2-GPU-NC {} lines",
+        lines_of_code(Variant::Def),
+        lines_of_code(Variant::Mv2)
+    );
+    println!(
+        "speedup: {:.2}x",
+        def.wall.as_secs_f64() / mv2.wall.as_secs_f64()
+    );
+}

@@ -1,0 +1,24 @@
+//! # gpu-nc-repro — umbrella crate
+//!
+//! Re-exports the whole reproduction stack of *"Optimized Non-contiguous MPI
+//! Datatype Communication for GPU Clusters"* (CLUSTER 2011) so examples and
+//! integration tests can use one dependency. See the individual crates for
+//! documentation:
+//!
+//! * [`sim_core`] — deterministic virtual-time simulation kernel
+//! * [`gpu_sim`] — CUDA-like GPU device simulator
+//! * [`ib_sim`] — InfiniBand verbs / RDMA simulator
+//! * [`mpi_sim`] — MPI runtime with a full derived-datatype engine
+//! * [`mv2_gpu_nc`] — the paper's contribution: GPU-aware non-contiguous
+//!   datatype communication (offloaded packing + 5-stage pipeline)
+//! * [`stencil2d`] — SHOC Stencil2D application benchmark
+
+pub use gpu_sim;
+pub use halo3d;
+pub use hostmem;
+pub use ib_sim;
+pub use mpi_sim;
+pub use mv2_gpu_nc;
+pub use osu_micro;
+pub use sim_core;
+pub use stencil2d;
