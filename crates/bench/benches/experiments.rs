@@ -1,9 +1,11 @@
-//! Criterion entry points for the paper's experiments, at reduced scale so
+//! Bench entry points for the paper's experiments, at reduced scale so
 //! `cargo bench` finishes quickly. Each benchmark runs one figure/table's
 //! core measurement inside the deterministic simulator; the full-scale
 //! regeneration binaries live in `src/bin/` (see DESIGN.md).
+//!
+//! Plain `harness = false` main (no external bench framework): each case
+//! runs a fixed iteration count and reports mean/min wall time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_sim::Gpu;
 use mv2_gpu_nc::baselines::{
     fill_vector, recv_cpy2d_blocking, recv_mv2, send_cpy2d_blocking, send_mv2, VectorXfer,
@@ -11,71 +13,74 @@ use mv2_gpu_nc::baselines::{
 use mv2_gpu_nc::schemes::{PackBench, PackScheme};
 use mv2_gpu_nc::GpuCluster;
 use sim_core::Sim;
+use std::time::Instant;
 use stencil2d::{run_stencil, RunOptions, StencilParams, Variant};
 
-/// Figure 2 at the paper's 4 KB anchor: all three pack schemes.
-fn fig2_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_pack_4k");
-    for scheme in PackScheme::ALL {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()),
-            &scheme,
-            |b, &scheme| {
-                b.iter(|| {
-                    let sim = Sim::new();
-                    sim.spawn("p", move || {
-                        let gpu = Gpu::tesla_c2050(0);
-                        let pb = PackBench::new(&gpu, 4096, 4, 16);
-                        std::hint::black_box(pb.run(scheme));
-                        pb.free();
-                    });
-                    sim.run()
-                });
-            },
-        );
+/// Run `f` `iters` times and print per-iteration mean and min.
+fn bench<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) {
+    f(); // warm-up
+    let mut min = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        min = min.min(dt);
+        total += dt;
     }
-    g.finish();
+    println!(
+        "{name:<40} mean {:>10.1} us   min {:>10.1} us   ({iters} iters)",
+        total / iters as f64 * 1e6,
+        min * 1e6
+    );
+}
+
+/// Figure 2 at the paper's 4 KB anchor: all three pack schemes.
+fn fig2_point() {
+    for scheme in PackScheme::ALL {
+        bench(&format!("fig2_pack_4k/{}", scheme.label()), 20, || {
+            let sim = Sim::new();
+            sim.spawn("p", move || {
+                let gpu = Gpu::tesla_c2050(0);
+                let pb = PackBench::new(&gpu, 4096, 4, 16);
+                std::hint::black_box(pb.run(scheme));
+                pb.free();
+            });
+            sim.run()
+        });
+    }
 }
 
 /// Figure 5 at 256 KB: blocking baseline vs MV2-GPU-NC.
-fn fig5_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_vector_256k");
-    g.sample_size(10);
-    g.bench_function("cpy2d_send", |b| {
-        b.iter(|| {
-            GpuCluster::new(2).run(|env| {
-                let x = VectorXfer::paper(256 << 10);
-                let dev = env.gpu.malloc(x.extent());
-                if env.comm.rank() == 0 {
-                    fill_vector(&env.gpu, dev, &x, 1);
-                    send_cpy2d_blocking(env, dev, x, 1, 0);
-                } else {
-                    recv_cpy2d_blocking(env, dev, x, 0, 0);
-                }
-            })
-        });
+fn fig5_point() {
+    bench("fig5_vector_256k/cpy2d_send", 10, || {
+        GpuCluster::new(2).run(|env| {
+            let x = VectorXfer::paper(256 << 10);
+            let dev = env.gpu.malloc(x.extent());
+            if env.comm.rank() == 0 {
+                fill_vector(&env.gpu, dev, &x, 1);
+                send_cpy2d_blocking(env, dev, x, 1, 0);
+            } else {
+                recv_cpy2d_blocking(env, dev, x, 0, 0);
+            }
+        })
     });
-    g.bench_function("mv2_gpu_nc", |b| {
-        b.iter(|| {
-            GpuCluster::new(2).run(|env| {
-                let x = VectorXfer::paper(256 << 10);
-                let dev = env.gpu.malloc(x.extent());
-                if env.comm.rank() == 0 {
-                    fill_vector(&env.gpu, dev, &x, 1);
-                    send_mv2(&env.comm, dev, x, 1, 0);
-                } else {
-                    recv_mv2(&env.comm, dev, x, 0, 0);
-                }
-            })
-        });
+    bench("fig5_vector_256k/mv2_gpu_nc", 10, || {
+        GpuCluster::new(2).run(|env| {
+            let x = VectorXfer::paper(256 << 10);
+            let dev = env.gpu.malloc(x.extent());
+            if env.comm.rank() == 0 {
+                fill_vector(&env.gpu, dev, &x, 1);
+                send_mv2(&env.comm, dev, x, 1, 0);
+            } else {
+                recv_mv2(&env.comm, dev, x, 0, 0);
+            }
+        })
     });
-    g.finish();
 }
 
 /// Tables II/III shape at reduced scale: both stencil variants on 2x4.
-fn stencil_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stencil_2x4_256");
-    g.sample_size(10);
+fn stencil_point() {
     let p = StencilParams {
         py: 2,
         px: 4,
@@ -84,20 +89,14 @@ fn stencil_point(c: &mut Criterion) {
         iters: 2,
     };
     for variant in [Variant::Def, Variant::Mv2] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(variant.label()),
-            &variant,
-            |b, &variant| {
-                b.iter(|| run_stencil::<f32>(p, variant, RunOptions::default()).wall);
-            },
-        );
+        bench(&format!("stencil_2x4_256/{}", variant.label()), 10, || {
+            run_stencil::<f32>(p, variant, RunOptions::default()).wall
+        });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = experiments;
-    config = Criterion::default().sample_size(20);
-    targets = fig2_point, fig5_point, stencil_point
+fn main() {
+    fig2_point();
+    fig5_point();
+    stencil_point();
 }
-criterion_main!(experiments);

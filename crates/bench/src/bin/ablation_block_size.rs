@@ -11,7 +11,6 @@ use bench::{emit_json, fmt_size, print_table, ExperimentRecord, HarnessArgs};
 use gpu_sim::CostModel;
 use mv2_gpu_nc::baselines::{fill_vector, recv_mv2, send_mv2, VectorXfer};
 use mv2_gpu_nc::{model, GpuCluster};
-use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -41,12 +40,17 @@ fn measure(total: usize, block: usize) -> f64 {
     out.load(Ordering::SeqCst) as f64 / 1e3
 }
 
-#[derive(Serialize)]
 struct Row {
     block_bytes: usize,
     measured_us: f64,
     model_us: f64,
 }
+
+bench::impl_to_json!(Row {
+    block_bytes,
+    measured_us,
+    model_us
+});
 
 fn main() {
     let args = HarnessArgs::parse();

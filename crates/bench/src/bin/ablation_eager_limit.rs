@@ -12,7 +12,6 @@ use hostmem::HostBuf;
 use mpi_sim::{Datatype, MpiConfig};
 use mv2_gpu_nc::baselines::{fill_vector, recv_mv2, send_mv2, VectorXfer};
 use mv2_gpu_nc::GpuCluster;
-use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -74,7 +73,6 @@ fn measure_host(total: usize, eager_limit: usize) -> f64 {
     out.load(Ordering::SeqCst) as f64 / 1e3
 }
 
-#[derive(Serialize)]
 struct Row {
     bytes: usize,
     eager_us: f64,
@@ -82,6 +80,14 @@ struct Row {
     host_eager_us: f64,
     host_rendezvous_us: f64,
 }
+
+bench::impl_to_json!(Row {
+    bytes,
+    eager_us,
+    rendezvous_us,
+    host_eager_us,
+    host_rendezvous_us,
+});
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -136,9 +142,7 @@ fn main() {
         .map(|r| fmt_size(r.bytes))
         .unwrap_or_else(|| "beyond sweep".into());
     println!();
-    println!(
-        "host zero-copy rendezvous wins from: {host_cross} (default threshold: 8K)"
-    );
+    println!("host zero-copy rendezvous wins from: {host_cross} (default threshold: 8K)");
     println!(
         "device messages: both paths stage through the GPU pipeline, so the \
          handshake is pure overhead — the threshold only bounds unexpected-\

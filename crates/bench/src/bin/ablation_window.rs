@@ -17,7 +17,6 @@ use bench::{emit_json, print_table, ExperimentRecord, HarnessArgs};
 use mpi_sim::{Datatype, MpiConfig};
 use mv2_gpu_nc::baselines::{fill_vector, recv_mv2, send_mv2, VectorXfer};
 use mv2_gpu_nc::GpuCluster;
-use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -69,12 +68,17 @@ fn measure(total: usize, window: usize, strided: bool) -> f64 {
     out.load(Ordering::SeqCst) as f64 / 1e3
 }
 
-#[derive(Serialize)]
 struct Row {
     window_slots: usize,
     strided_us: f64,
     contiguous_us: f64,
 }
+
+bench::impl_to_json!(Row {
+    window_slots,
+    strided_us,
+    contiguous_us
+});
 
 fn main() {
     let args = HarnessArgs::parse();

@@ -9,17 +9,23 @@
 use bench::{emit_json, fmt_size, paper_sizes, print_table, ExperimentRecord, HarnessArgs};
 use gpu_sim::Gpu;
 use mv2_gpu_nc::schemes::{PackBench, PackScheme};
-use serde::Serialize;
 use sim_core::Sim;
 use std::sync::{Arc, Mutex};
 
-#[derive(Serialize, Debug)]
+#[derive(Debug)]
 struct Row {
     bytes: usize,
     d2h_nc2nc_us: f64,
     d2h_nc2c_us: f64,
     d2d2h_us: f64,
 }
+
+bench::impl_to_json!(Row {
+    bytes,
+    d2h_nc2nc_us,
+    d2h_nc2c_us,
+    d2d2h_us
+});
 
 fn main() {
     let args = HarnessArgs::parse();

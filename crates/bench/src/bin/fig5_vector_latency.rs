@@ -13,7 +13,6 @@ use mv2_gpu_nc::baselines::{
     send_manual_pipeline, send_mv2, verify_vector, VectorXfer,
 };
 use mv2_gpu_nc::GpuCluster;
-use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -85,13 +84,19 @@ fn measure(design: Design, total: usize) -> f64 {
     out.load(Ordering::SeqCst) as f64 / 1e3
 }
 
-#[derive(Serialize)]
 struct Row {
     bytes: usize,
     cpy2d_send_us: f64,
     manual_pipeline_us: f64,
     mv2_gpu_nc_us: f64,
 }
+
+bench::impl_to_json!(Row {
+    bytes,
+    cpy2d_send_us,
+    manual_pipeline_us,
+    mv2_gpu_nc_us
+});
 
 fn main() {
     let args = HarnessArgs::parse();

@@ -10,14 +10,14 @@
 //! (scale divides the matrix in each dimension; 1 = paper size)
 
 use bench::{emit_json, print_table, ExperimentRecord, HarnessArgs};
-use serde::Serialize;
 use stencil2d::{run_stencil, Dir, RunOptions, StencilParams, Variant};
 
-#[derive(Serialize)]
 struct Entry {
     component: String,
     micros: f64,
 }
+
+bench::impl_to_json!(Entry { component, micros });
 
 fn main() {
     let args = HarnessArgs::parse();

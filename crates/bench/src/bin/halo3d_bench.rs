@@ -7,9 +7,7 @@
 
 use bench::{emit_json, print_table, ExperimentRecord, HarnessArgs};
 use halo3d::{run_halo3d, Halo3dParams, Variant};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     decomposition: String,
     faces: &'static str,
@@ -17,6 +15,14 @@ struct Row {
     mv2_ms: f64,
     improvement_pct: f64,
 }
+
+bench::impl_to_json!(Row {
+    decomposition,
+    faces,
+    def_ms,
+    mv2_ms,
+    improvement_pct,
+});
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -61,7 +67,13 @@ fn main() {
 
     println!("3-D Jacobi (7-point), 8 ranks, f32 — Def vs MV2-GPU-NC\n");
     print_table(
-        &["decomposition", "halo faces", "Def (ms)", "MV2 (ms)", "improvement"],
+        &[
+            "decomposition",
+            "halo faces",
+            "Def (ms)",
+            "MV2 (ms)",
+            "improvement",
+        ],
         &rows
             .iter()
             .map(|r| {

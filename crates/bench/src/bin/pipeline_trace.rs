@@ -8,15 +8,19 @@
 use bench::{emit_json, ExperimentRecord, HarnessArgs};
 use mv2_gpu_nc::baselines::{fill_vector, recv_mv2, send_mv2, VectorXfer};
 use mv2_gpu_nc::{GpuCluster, TraceEvent};
-use serde::Serialize;
 use std::sync::{Arc, Mutex};
 
-#[derive(Serialize)]
 struct Event {
     stage: &'static str,
     chunk: usize,
     done_us: f64,
 }
+
+bench::impl_to_json!(Event {
+    stage,
+    chunk,
+    done_us
+});
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -81,12 +85,7 @@ fn main() {
         );
     }
     // Quantified overlap analysis.
-    let stats = mv2_gpu_nc::timeline::analyze_events(
-        &events
-            .lock()
-            .unwrap()
-            .clone(),
-    );
+    let stats = mv2_gpu_nc::timeline::analyze_events(&events.lock().unwrap().clone());
     println!();
     println!(
         "pipeline span {:.0} us, stage-overlap factor {:.2} (1.0 = fully serialized)",
@@ -99,7 +98,10 @@ fn main() {
         );
     }
     if let Some(b) = mv2_gpu_nc::timeline::bottleneck(&stats) {
-        println!("  bottleneck stage: {} (the paper's (n+2)*T model assumes the device pack)", b.stage);
+        println!(
+            "  bottleneck stage: {} (the paper's (n+2)*T model assumes the device pack)",
+            b.stage
+        );
     }
 
     // Overlap proof: the last pack must finish well after the first d2h —

@@ -9,11 +9,9 @@
 //! Regenerate with: `cargo run --release -p bench --bin table1_code_complexity`
 
 use bench::{emit_json, print_table, ExperimentRecord, HarnessArgs};
-use serde::Serialize;
 use std::collections::BTreeMap;
 use stencil2d::{lines_of_code, run_stencil, RunOptions, StencilParams, Variant};
 
-#[derive(Serialize)]
 struct Complexity {
     calls_def: BTreeMap<String, u64>,
     calls_mv2: BTreeMap<String, u64>,
@@ -21,6 +19,14 @@ struct Complexity {
     loc_mv2: usize,
     loc_reduction_pct: f64,
 }
+
+bench::impl_to_json!(Complexity {
+    calls_def,
+    calls_mv2,
+    loc_def,
+    loc_mv2,
+    loc_reduction_pct,
+});
 
 fn loop_calls(variant: Variant) -> BTreeMap<String, u64> {
     // A 3x3 grid's center rank has all four neighbors, like the paper's

@@ -6,7 +6,196 @@
 
 use std::collections::BTreeMap;
 
-use serde::Serialize;
+pub use json::{Json, ToJson};
+
+/// Minimal JSON tree + pretty printer, so the harness binaries can emit
+/// machine-readable records without an external serialization crate.
+pub mod json {
+    use std::fmt;
+
+    /// A JSON value.
+    pub enum Json {
+        Bool(bool),
+        /// Integers are kept exact rather than routed through `f64`.
+        Int(i64),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        /// Insertion-ordered key/value pairs.
+        Obj(Vec<(String, Json)>),
+    }
+
+    /// Conversion into a [`Json`] tree. Implement by hand or with
+    /// [`impl_to_json!`](crate::impl_to_json) for plain field structs.
+    pub trait ToJson {
+        fn to_json(&self) -> Json;
+    }
+
+    impl ToJson for Json {
+        fn to_json(&self) -> Json {
+            self.clone_tree()
+        }
+    }
+
+    impl Json {
+        fn clone_tree(&self) -> Json {
+            match self {
+                Json::Bool(b) => Json::Bool(*b),
+                Json::Int(n) => Json::Int(*n),
+                Json::Num(x) => Json::Num(*x),
+                Json::Str(s) => Json::Str(s.clone()),
+                Json::Arr(v) => Json::Arr(v.iter().map(Json::clone_tree).collect()),
+                Json::Obj(kv) => Json::Obj(
+                    kv.iter()
+                        .map(|(k, v)| (k.clone(), v.clone_tree()))
+                        .collect(),
+                ),
+            }
+        }
+
+        fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+            let pad = "  ".repeat(depth + 1);
+            let close = "  ".repeat(depth);
+            match self {
+                Json::Bool(b) => write!(f, "{b}"),
+                Json::Int(n) => write!(f, "{n}"),
+                Json::Num(x) if x.is_finite() => {
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                }
+                Json::Num(_) => write!(f, "null"),
+                Json::Str(s) => {
+                    f.write_str("\"")?;
+                    for c in s.chars() {
+                        match c {
+                            '"' => f.write_str("\\\"")?,
+                            '\\' => f.write_str("\\\\")?,
+                            '\n' => f.write_str("\\n")?,
+                            '\t' => f.write_str("\\t")?,
+                            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                            c => write!(f, "{c}")?,
+                        }
+                    }
+                    f.write_str("\"")
+                }
+                Json::Arr(v) if v.is_empty() => f.write_str("[]"),
+                Json::Arr(v) => {
+                    f.write_str("[\n")?;
+                    for (i, item) in v.iter().enumerate() {
+                        f.write_str(&pad)?;
+                        item.fmt_indented(f, depth + 1)?;
+                        f.write_str(if i + 1 < v.len() { ",\n" } else { "\n" })?;
+                    }
+                    write!(f, "{close}]")
+                }
+                Json::Obj(kv) if kv.is_empty() => f.write_str("{}"),
+                Json::Obj(kv) => {
+                    f.write_str("{\n")?;
+                    for (i, (k, v)) in kv.iter().enumerate() {
+                        write!(f, "{pad}\"{k}\": ")?;
+                        v.fmt_indented(f, depth + 1)?;
+                        f.write_str(if i + 1 < kv.len() { ",\n" } else { "\n" })?;
+                    }
+                    write!(f, "{close}}}")
+                }
+            }
+        }
+    }
+
+    /// Pretty-printed with two-space indentation.
+    impl fmt::Display for Json {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.fmt_indented(f, 0)
+        }
+    }
+
+    impl ToJson for bool {
+        fn to_json(&self) -> Json {
+            Json::Bool(*self)
+        }
+    }
+    impl ToJson for f64 {
+        fn to_json(&self) -> Json {
+            Json::Num(*self)
+        }
+    }
+    impl ToJson for usize {
+        fn to_json(&self) -> Json {
+            Json::Int(*self as i64)
+        }
+    }
+    impl ToJson for u64 {
+        fn to_json(&self) -> Json {
+            Json::Int(*self as i64)
+        }
+    }
+    impl ToJson for u32 {
+        fn to_json(&self) -> Json {
+            Json::Int(i64::from(*self))
+        }
+    }
+    impl ToJson for i64 {
+        fn to_json(&self) -> Json {
+            Json::Int(*self)
+        }
+    }
+    impl ToJson for String {
+        fn to_json(&self) -> Json {
+            Json::Str(self.clone())
+        }
+    }
+    impl ToJson for &str {
+        fn to_json(&self) -> Json {
+            Json::Str((*self).to_string())
+        }
+    }
+    impl<T: ToJson> ToJson for &T {
+        fn to_json(&self) -> Json {
+            (*self).to_json()
+        }
+    }
+    impl<T: ToJson> ToJson for [T] {
+        fn to_json(&self) -> Json {
+            Json::Arr(self.iter().map(ToJson::to_json).collect())
+        }
+    }
+    impl<T: ToJson> ToJson for Vec<T> {
+        fn to_json(&self) -> Json {
+            self.as_slice().to_json()
+        }
+    }
+    impl<V: ToJson> ToJson for std::collections::BTreeMap<String, V> {
+        fn to_json(&self) -> Json {
+            Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+        }
+    }
+}
+
+/// Implement [`ToJson`] for a struct by listing its fields, in the order
+/// they should appear in the emitted object:
+///
+/// ```
+/// struct Row {
+///     bytes: usize,
+///     latency_us: f64,
+/// }
+/// bench::impl_to_json!(Row { bytes, latency_us });
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+    };
+}
 
 /// Parsed command-line options shared by all harness binaries.
 #[derive(Debug, Clone)]
@@ -66,8 +255,7 @@ impl HarnessArgs {
 }
 
 /// One experiment's machine-readable result.
-#[derive(Serialize)]
-pub struct ExperimentRecord<T: Serialize> {
+pub struct ExperimentRecord<T: ToJson> {
     /// Experiment id ("fig2", "table2", ...).
     pub id: &'static str,
     /// Human title.
@@ -77,8 +265,13 @@ pub struct ExperimentRecord<T: Serialize> {
 }
 
 /// Print a record as pretty JSON.
-pub fn emit_json<T: Serialize>(rec: &ExperimentRecord<T>) {
-    println!("{}", serde_json::to_string_pretty(rec).expect("serialize"));
+pub fn emit_json<T: ToJson>(rec: &ExperimentRecord<T>) {
+    let doc = Json::Obj(vec![
+        ("id".to_string(), rec.id.to_json()),
+        ("title".to_string(), rec.title.to_json()),
+        ("data".to_string(), rec.data.to_json()),
+    ]);
+    println!("{doc}");
 }
 
 /// Format a byte count the way the paper's axes do (16, 1K, 64K, 4M).
@@ -113,12 +306,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", s.trim_end());
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }
@@ -138,6 +326,34 @@ mod tests {
     }
 
     #[test]
+    fn json_pretty_printer_round_trips_structure() {
+        struct Row {
+            bytes: usize,
+            us: f64,
+        }
+        impl_to_json!(Row { bytes, us });
+        let rows = vec![Row { bytes: 16, us: 1.5 }, Row { bytes: 64, us: 2.0 }];
+        let doc = Json::Obj(vec![
+            ("id".to_string(), "t".to_json()),
+            ("data".to_string(), rows.to_json()),
+        ]);
+        let text = doc.to_string();
+        assert!(text.contains("\"id\": \"t\""));
+        assert!(text.contains("\"bytes\": 16"));
+        assert!(text.contains("\"us\": 1.5"));
+        assert!(
+            text.contains("\"us\": 2.0"),
+            "whole floats keep a decimal: {text}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd".to_string());
+        assert_eq!(j.to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
     fn paper_sizes_span_16b_to_4mb() {
         let s = paper_sizes();
         assert_eq!(s.first(), Some(&16));
@@ -149,11 +365,9 @@ mod tests {
 /// Shared driver for the Table II / Table III stencil experiments.
 pub mod stencil_tables {
     use super::{print_table, HarnessArgs};
-    use serde::Serialize;
     use stencil2d::{run_stencil, Real, RunOptions, StencilParams, Variant};
 
     /// One process-grid row of Table II/III.
-    #[derive(Serialize)]
     pub struct GridRow {
         /// Grid label, e.g. "2x4 (8192x8192/proc)".
         pub grid: String,
@@ -164,6 +378,13 @@ pub mod stencil_tables {
         /// Relative improvement in percent.
         pub improvement_pct: f64,
     }
+
+    crate::impl_to_json!(GridRow {
+        grid,
+        def_secs,
+        mv2_secs,
+        improvement_pct
+    });
 
     /// Run all four paper grids in precision `T`.
     pub fn run_tables<T: Real>(args: &HarnessArgs) -> Vec<GridRow> {

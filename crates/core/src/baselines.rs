@@ -154,22 +154,21 @@ pub fn send_manual_pipeline(
             let off = next_d2h * block;
             let len = block.min(x.total - off);
             d2h_stream.wait_event(&packs[next_d2h]);
-            d2h[next_d2h] = Some(gpu.memcpy_async(
-                Loc::Host(host.ptr(off)),
-                tbuf.add(off),
-                len,
-                &d2h_stream,
-            ));
+            d2h[next_d2h] =
+                Some(gpu.memcpy_async(Loc::Host(host.ptr(off)), tbuf.add(off), len, &d2h_stream));
             next_d2h += 1;
             advanced = true;
         }
         if next_send < next_d2h && d2h[next_send].as_ref().unwrap().poll() {
             let off = next_send * block;
             let len = block.min(x.total - off);
-            reqs.push(
-                env.comm
-                    .isend(host.ptr(off), len, &byte, dst, tag * 1000 + next_send as u32),
-            );
+            reqs.push(env.comm.isend(
+                host.ptr(off),
+                len,
+                &byte,
+                dst,
+                tag * 1000 + next_send as u32,
+            ));
             next_send += 1;
             advanced = true;
         }

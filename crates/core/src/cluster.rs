@@ -7,7 +7,7 @@ use gpu_sim::{CostModel, Gpu};
 use ib_sim::{Fabric, NetModel};
 use mpi_sim::staging::BufferStager;
 use mpi_sim::{Comm, MpiConfig};
-use sim_core::{Sim, SimTime};
+use sim_core::{Report, SanitizerMode, Sim, SimTime};
 
 use crate::stager::{GpuStager, PipelineTrace};
 
@@ -30,6 +30,7 @@ pub struct GpuCluster {
     net: NetModel,
     gpu_cost: CostModel,
     gpu_mem: usize,
+    sanitizer: SanitizerMode,
 }
 
 impl GpuCluster {
@@ -41,6 +42,7 @@ impl GpuCluster {
             net: NetModel::qdr(),
             gpu_cost: CostModel::tesla_c2050(),
             gpu_mem: 3 << 30,
+            sanitizer: SanitizerMode::Off,
         }
     }
 
@@ -74,12 +76,28 @@ impl GpuCluster {
         self
     }
 
+    /// Run the job under the simulation sanitizer (see [`sim_core::san`]).
+    pub fn sanitizer(mut self, mode: SanitizerMode) -> Self {
+        self.sanitizer = mode;
+        self
+    }
+
     /// Run `f` on every rank; returns the virtual completion time.
     pub fn run<F>(self, f: F) -> SimTime
     where
         F: Fn(&GpuRankEnv) + Send + Sync + 'static,
     {
+        self.run_with_reports(f).0
+    }
+
+    /// Like [`run`](GpuCluster::run), also returning the sanitizer reports
+    /// collected during the job (empty when the sanitizer is off).
+    pub fn run_with_reports<F>(self, f: F) -> (SimTime, Vec<Report>)
+    where
+        F: Fn(&GpuRankEnv) + Send + Sync + 'static,
+    {
         let sim = Sim::new();
+        sim.set_sanitizer(self.sanitizer);
         let fabric = Fabric::new(self.n, self.net.clone());
         let f = Arc::new(f);
         let trace = PipelineTrace::new();
@@ -101,6 +119,7 @@ impl GpuCluster {
                 f(&env);
             });
         }
-        sim.run()
+        let end = sim.run();
+        (end, sim.sanitizer_reports())
     }
 }

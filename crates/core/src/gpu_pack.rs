@@ -218,7 +218,11 @@ fn enqueue_strided(
     let user_c = user;
     let contig_c = contig;
     gpu.launch_kernel(
-        if gather { "pack_gather" } else { "unpack_scatter" },
+        if gather {
+            "pack_gather"
+        } else {
+            "unpack_scatter"
+        },
         cost,
         stream,
         move |g| {
@@ -310,11 +314,14 @@ mod tests {
             let gpu = Gpu::tesla_c2050(0);
             let user = gpu.malloc(1024);
             let tbuf = gpu.malloc(256);
-            gpu.write_bytes(user, &(0..1024).map(|i| (i * 7 % 251) as u8).collect::<Vec<_>>());
+            gpu.write_bytes(
+                user,
+                &(0..1024).map(|i| (i * 7 % 251) as u8).collect::<Vec<_>>(),
+            );
             let s = gpu.create_stream();
             let dt = Datatype::vector(32, 1, 8, &Datatype::float());
             let m = map_of(&dt, 1); // 32 runs of 4 bytes
-            // A range that starts and ends mid-run.
+                                    // A range that starts and ends mid-run.
             let pieces = m.pieces(2, 100);
             let c = enqueue_gather(&gpu, &s, user, &pieces, tbuf);
             c.wait();

@@ -40,7 +40,7 @@
 
 pub mod baselines;
 mod cluster;
-mod gpu_pack;
+pub mod gpu_pack;
 pub mod model;
 mod pools;
 pub mod schemes;
@@ -151,8 +151,7 @@ mod tests {
     fn irregular_indexed_type_between_gpus() {
         GpuCluster::new(2).run(|env| {
             // An indexed soup big enough for the staged path.
-            let blocks: Vec<(usize, isize)> =
-                (0..3000).map(|i| (7, (i * 13) as isize)).collect();
+            let blocks: Vec<(usize, isize)> = (0..3000).map(|i| (7, (i * 13) as isize)).collect();
             let t = Datatype::indexed(&blocks, &Datatype::int());
             t.commit();
             let span = t.ub().max(0) as usize;

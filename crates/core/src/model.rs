@@ -11,15 +11,15 @@ use gpu_sim::{CopyDir, CostModel, Shape2D};
 use sim_core::SimDur;
 
 /// `(n+2) * T_d2d_nc2c(N/n)` for a vector of `elem`-byte rows.
-pub fn pipeline_latency_model(
-    cost: &CostModel,
-    total: usize,
-    block: usize,
-    elem: usize,
-) -> SimDur {
+pub fn pipeline_latency_model(cost: &CostModel, total: usize, block: usize, elem: usize) -> SimDur {
     let n = total.div_ceil(block).max(1) as u64;
     let rows_per_block = (block / elem).max(1) as u64;
-    let t_block = cost.copy2d(CopyDir::D2D, Shape2D::OneStrided, elem as u64, rows_per_block);
+    let t_block = cost.copy2d(
+        CopyDir::D2D,
+        Shape2D::OneStrided,
+        elem as u64,
+        rows_per_block,
+    );
     t_block * (n + 2)
 }
 
@@ -53,7 +53,10 @@ mod tests {
     fn model_penalizes_extremes() {
         let cost = CostModel::tesla_c2050();
         let at = |b| pipeline_latency_model(&cost, 4 << 20, b, 4);
-        assert!(at(4 << 10) > at(64 << 10), "tiny blocks pay per-op overhead");
+        assert!(
+            at(4 << 10) > at(64 << 10),
+            "tiny blocks pay per-op overhead"
+        );
         assert!(at(2 << 20) > at(64 << 10), "huge blocks lose pipelining");
     }
 

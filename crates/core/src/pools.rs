@@ -8,12 +8,15 @@
 use std::collections::BTreeMap;
 
 use gpu_sim::{DevPtr, Gpu};
-use parking_lot::Mutex;
+use sim_core::lock::Mutex;
+use sim_core::san;
 
 /// Size-classed cache of device temporaries.
 pub struct TbufPool {
     gpu: Gpu,
     free: Mutex<BTreeMap<usize, Vec<DevPtr>>>,
+    /// Sanitizer pool handle (None when the sanitizer is off).
+    san_id: Option<san::PoolId>,
 }
 
 /// A pooled device buffer; return it with [`TbufPool::put`].
@@ -39,22 +42,20 @@ fn size_class(len: usize) -> usize {
 impl TbufPool {
     /// A pool on `gpu`.
     pub fn new(gpu: Gpu) -> Self {
+        let san_id = san::pool_register(format!("gpu{}.tbuf_pool", gpu.id()));
         TbufPool {
             gpu,
             free: Mutex::new(BTreeMap::new()),
+            san_id,
         }
     }
 
     /// Take a device temporary of at least `len` bytes. Reuses a cached one
     /// when available; otherwise pays the `cudaMalloc` cost.
     pub fn take(&self, len: usize) -> Tbuf {
+        san::pool_take(self.san_id);
         let class = size_class(len);
-        if let Some(ptr) = self
-            .free
-            .lock()
-            .get_mut(&class)
-            .and_then(|v| v.pop())
-        {
+        if let Some(ptr) = self.free.lock().get_mut(&class).and_then(|v| v.pop()) {
             return Tbuf { ptr, size: class };
         }
         Tbuf {
@@ -65,7 +66,12 @@ impl TbufPool {
 
     /// Return a temporary to the pool.
     pub fn put(&self, tbuf: Tbuf) {
-        self.free.lock().entry(tbuf.size).or_default().push(tbuf.ptr);
+        san::pool_put(self.san_id);
+        self.free
+            .lock()
+            .entry(tbuf.size)
+            .or_default()
+            .push(tbuf.ptr);
     }
 
     /// Free every cached temporary back to the device allocator.

@@ -58,7 +58,10 @@ impl PackBench {
     /// Set up a vector of `total` data bytes in `elem`-byte rows spaced
     /// `stride` bytes apart, filled with a checkable pattern.
     pub fn new(gpu: &Gpu, total: usize, elem: usize, stride: usize) -> Self {
-        assert!(total.is_multiple_of(elem), "total must be a whole number of rows");
+        assert!(
+            total.is_multiple_of(elem),
+            "total must be a whole number of rows"
+        );
         assert!(stride > elem, "a contiguous 'vector' is not non-contiguous");
         let height = total / elem;
         let dev = gpu.malloc(height * stride);

@@ -23,7 +23,7 @@ use hostmem::{HostBuf, HostPtr};
 use mpi_sim::flat::{FlatType, Layout};
 use mpi_sim::staging::{BufferStager, RecvSink, SendSource};
 use mpi_sim::Datatype;
-use parking_lot::Mutex;
+use sim_core::lock::Mutex;
 use sim_core::{Completion, SimTime};
 
 use crate::gpu_pack::{enqueue_gather, enqueue_scatter, SegmentMap};
@@ -162,7 +162,13 @@ impl SendSource for GpuSendSource {
             let off = i * chunk_size;
             let len = chunk_size.min(self.total - off);
             let pieces = self.map.pieces(off, len);
-            let comp = enqueue_gather(&self.gpu, &self.pack_stream, self.user, &pieces, tbuf.add(off));
+            let comp = enqueue_gather(
+                &self.gpu,
+                &self.pack_stream,
+                self.user,
+                &pieces,
+                tbuf.add(off),
+            );
             self.trace
                 .record(self.rank, "pack", i, comp.done_at().unwrap());
             self.packs.push(comp);
@@ -172,9 +178,10 @@ impl SendSource for GpuSendSource {
     fn request_chunk(&mut self, idx: usize, dst: HostPtr, len: usize) {
         let off = idx * self.chunk_size;
         let comp = match self.contiguous {
-            Some(cptr) => self
-                .gpu
-                .memcpy_async(Loc::Host(dst), cptr.add(off), len, &self.d2h_stream),
+            Some(cptr) => {
+                self.gpu
+                    .memcpy_async(Loc::Host(dst), cptr.add(off), len, &self.d2h_stream)
+            }
             None => {
                 let tbuf = self.tbuf.as_ref().expect("begin not called").ptr;
                 // The D2H copy may start only after this chunk's pack.

@@ -200,8 +200,7 @@ mod tests {
     #[test]
     fn anchor_option_c_d2d2h_4k() {
         let m = CostModel::tesla_c2050();
-        let t = m.copy2d(CopyDir::D2D, Shape2D::OneStrided, 4, 1024)
-            + m.copy1d(CopyDir::D2H, 4096);
+        let t = m.copy2d(CopyDir::D2D, Shape2D::OneStrided, 4, 1024) + m.copy1d(CopyDir::D2H, 4096);
         assert!((us(t) - 35.0).abs() < 4.0, "got {} us", us(t));
     }
 
@@ -211,8 +210,8 @@ mod tests {
         let m = CostModel::tesla_c2050();
         let rows = (4u64 << 20) / 4;
         let nc2nc = m.copy2d(CopyDir::D2H, Shape2D::BothStrided, 4, rows);
-        let d2d2h = m.copy2d(CopyDir::D2D, Shape2D::OneStrided, 4, rows)
-            + m.copy1d(CopyDir::D2H, 4 << 20);
+        let d2d2h =
+            m.copy2d(CopyDir::D2D, Shape2D::OneStrided, 4, rows) + m.copy1d(CopyDir::D2H, 4 << 20);
         let ratio = d2d2h.as_secs_f64() / nc2nc.as_secs_f64();
         assert!(
             (ratio - 0.048).abs() < 0.01,

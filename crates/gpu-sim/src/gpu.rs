@@ -21,7 +21,8 @@
 use std::sync::Arc;
 
 use hostmem::{HostPtr, Scalar};
-use parking_lot::Mutex;
+use sim_core::lock::Mutex;
+use sim_core::san;
 use sim_core::{CallCounters, Completion, SimDur, SimTime};
 
 use crate::cost::{CopyDir, CostModel, Shape2D};
@@ -134,6 +135,13 @@ fn engine_for(dir: CopyDir) -> usize {
 struct Sched {
     engine_free: [SimTime; ENGINES],
     stream_end: Vec<SimTime>,
+    /// Sanitizer: last operation scheduled on each engine.
+    engine_last: [Option<san::OpId>; ENGINES],
+    /// Sanitizer: last operation scheduled on each stream.
+    stream_last: Vec<Option<san::OpId>>,
+    /// Sanitizer: event ops a stream must order after (from `wait_event`),
+    /// drained into the next operation's predecessors.
+    stream_pending: Vec<Vec<san::OpId>>,
 }
 
 struct GpuInner {
@@ -142,6 +150,8 @@ struct GpuInner {
     mem: Mutex<DeviceMem>,
     sched: Mutex<Sched>,
     counters: CallCounters,
+    /// Sanitizer queue domain for this device (unique per instance).
+    san_domain: u64,
 }
 
 /// One simulated GPU. Clones are shallow handles to the same device.
@@ -170,8 +180,12 @@ impl Gpu {
                 sched: Mutex::new(Sched {
                     engine_free: [SimTime::ZERO; ENGINES],
                     stream_end: Vec::new(),
+                    engine_last: [None; ENGINES],
+                    stream_last: Vec::new(),
+                    stream_pending: Vec::new(),
                 }),
                 counters: CallCounters::new(),
+                san_domain: san::new_queue_domain(),
             }),
         };
         // Stream 0: used by the synchronous copy API.
@@ -258,6 +272,8 @@ impl Gpu {
         let mut sched = self.inner.sched.lock();
         let idx = sched.stream_end.len();
         sched.stream_end.push(SimTime::ZERO);
+        sched.stream_last.push(None);
+        sched.stream_pending.push(Vec::new());
         Stream {
             gpu: self.clone(),
             idx,
@@ -288,25 +304,144 @@ impl Gpu {
         if sim_core::now() < t {
             sim_core::sleep_until(t);
         }
+        san::acquire_queue(self.inner.san_domain, None);
+    }
+
+    /// Sanitizer: the range a side of a pitched copy covers.
+    fn loc_range(&self, loc: &Loc, pitch: usize, width: usize, height: usize) -> san::MemRange {
+        let len = if width == 0 || height == 0 {
+            0
+        } else {
+            (height - 1) * pitch + width
+        };
+        match loc {
+            Loc::Host(hp) => san::MemRange {
+                domain: san::MemDomain::Host { buf: hp.buf().id() },
+                start: hp.offset(),
+                len,
+            },
+            Loc::Device(dp) => san::MemRange {
+                domain: san::MemDomain::Dev {
+                    gpu: self.inner.id as u64,
+                },
+                start: dp.offset(),
+                len,
+            },
+        }
+    }
+
+    /// Sanitizer: the range of a contiguous device-memory operation.
+    fn dev_range(&self, ptr: DevPtr, len: usize) -> san::MemRange {
+        san::MemRange {
+            domain: san::MemDomain::Dev {
+                gpu: self.inner.id as u64,
+            },
+            start: ptr.offset(),
+            len,
+        }
+    }
+
+    /// Sanitizer: register a 1-D/2-D copy as an operation reading the
+    /// source extent and writing the destination extent.
+    fn san_op_for_copy(
+        &self,
+        base: &'static str,
+        p: &Copy2d,
+        stream: &Stream,
+    ) -> Option<san::OpId> {
+        if !san::enabled() {
+            return None;
+        }
+        let dir = p.dir();
+        let kind = match (base, dir) {
+            ("memcpy", CopyDir::H2D) => "memcpy(H2D)",
+            ("memcpy", CopyDir::D2H) => "memcpy(D2H)",
+            ("memcpy", CopyDir::D2D) => "memcpy(D2D)",
+            ("memcpy_2d", CopyDir::H2D) => "memcpy_2d(H2D)",
+            ("memcpy_2d", CopyDir::D2H) => "memcpy_2d(D2H)",
+            ("memcpy_2d", CopyDir::D2D) => "memcpy_2d(D2D)",
+            ("memcpy_async", CopyDir::H2D) => "memcpy_async(H2D)",
+            ("memcpy_async", CopyDir::D2H) => "memcpy_async(D2H)",
+            ("memcpy_async", CopyDir::D2D) => "memcpy_async(D2D)",
+            ("memcpy_2d_async", CopyDir::H2D) => "memcpy_2d_async(H2D)",
+            ("memcpy_2d_async", CopyDir::D2H) => "memcpy_2d_async(D2H)",
+            ("memcpy_2d_async", CopyDir::D2D) => "memcpy_2d_async(D2D)",
+            _ => base,
+        };
+        let reads = vec![self.loc_range(&p.src, p.spitch, p.width, p.height)];
+        let writes = vec![self.loc_range(&p.dst, p.dpitch, p.width, p.height)];
+        self.san_begin(kind, stream, engine_for(dir), reads, writes)
+    }
+
+    /// Sanitizer: register an operation about to be scheduled on
+    /// `(stream, engine)`, ordered after the stream's previous op, any
+    /// pending event waits, and the engine's previous op.
+    fn san_begin(
+        &self,
+        kind: &'static str,
+        stream: &Stream,
+        engine: usize,
+        reads: Vec<san::MemRange>,
+        writes: Vec<san::MemRange>,
+    ) -> Option<san::OpId> {
+        if !san::enabled() {
+            return None;
+        }
+        let mut preds = Vec::new();
+        {
+            let mut sched = self.inner.sched.lock();
+            if let Some(p) = sched.stream_last[stream.idx] {
+                preds.push(p);
+            }
+            preds.append(&mut sched.stream_pending[stream.idx]);
+            if let Some(p) = sched.engine_last[engine] {
+                preds.push(p);
+            }
+        }
+        san::begin_op(san::OpDesc {
+            kind,
+            queue: (self.inner.san_domain, stream.idx as u64),
+            preds,
+            reads,
+            writes,
+        })
     }
 
     /// Reserve time on (stream, engine) and return the completion. The
     /// operation starts when both the stream's previous op and the engine
     /// are free.
-    fn schedule(&self, stream: &Stream, engine: usize, dur: SimDur) -> Completion {
+    fn schedule(
+        &self,
+        stream: &Stream,
+        engine: usize,
+        dur: SimDur,
+        op: Option<san::OpId>,
+    ) -> Completion {
         assert!(
             sim_core::in_sim(),
             "GPU operations with timing must run inside a simulation process"
         );
         let now = sim_core::now();
-        let mut sched = self.inner.sched.lock();
-        let start = now
-            .max(sched.stream_end[stream.idx])
-            .max(sched.engine_free[engine]);
-        let end = start + dur;
-        sched.stream_end[stream.idx] = end;
-        sched.engine_free[engine] = end;
-        Completion::ready_at(end)
+        let end = {
+            let mut sched = self.inner.sched.lock();
+            let start = now
+                .max(sched.stream_end[stream.idx])
+                .max(sched.engine_free[engine]);
+            let end = start + dur;
+            sched.stream_end[stream.idx] = end;
+            sched.engine_free[engine] = end;
+            if op.is_some() {
+                sched.stream_last[stream.idx] = op;
+                sched.engine_last[engine] = op;
+            }
+            end
+        };
+        san::op_complete_at(op, end);
+        let c = Completion::ready_at(end);
+        if let Some(o) = op {
+            c.attach_ops(&[o]);
+        }
+        c
     }
 
     // --- data plane ----------------------------------------------------------
@@ -317,6 +452,9 @@ impl Gpu {
         if p.width == 0 || p.height == 0 {
             return;
         }
+        // The declared ranges were checked when the op was registered; the
+        // eager byte movement below must not re-trigger process-level checks.
+        let _san = san::suppress();
         let total = p.width * p.height;
         let mut tmp = vec![0u8; total];
         // Gather source rows into tmp.
@@ -326,8 +464,7 @@ impl Gpu {
                 hp.buf().with_slice(|s| {
                     for r in 0..p.height {
                         let off = base + r * p.spitch;
-                        tmp[r * p.width..(r + 1) * p.width]
-                            .copy_from_slice(&s[off..off + p.width]);
+                        tmp[r * p.width..(r + 1) * p.width].copy_from_slice(&s[off..off + p.width]);
                     }
                 });
             }
@@ -387,8 +524,10 @@ impl Gpu {
         self.inner.counters.record("cudaMemcpy");
         let p = Self::copy1d_params(dst.into(), src.into(), len);
         let dur = self.inner.cost.copy1d(p.dir(), len as u64);
+        let stream = self.sync_stream();
+        let op = self.san_op_for_copy("memcpy", &p, &stream);
         self.do_copy2d_bytes(&p);
-        self.schedule(&self.sync_stream(), engine_for(p.dir()), dur).wait();
+        self.schedule(&stream, engine_for(p.dir()), dur, op).wait();
     }
 
     /// `cudaMemcpy2D`: pitched blocking copy.
@@ -398,8 +537,10 @@ impl Gpu {
             .inner
             .cost
             .copy2d(p.dir(), p.shape(), p.width as u64, p.height as u64);
+        let stream = self.sync_stream();
+        let op = self.san_op_for_copy("memcpy_2d", &p, &stream);
         self.do_copy2d_bytes(&p);
-        self.schedule(&self.sync_stream(), engine_for(p.dir()), dur).wait();
+        self.schedule(&stream, engine_for(p.dir()), dur, op).wait();
     }
 
     // --- asynchronous copies ----------------------------------------------------
@@ -416,8 +557,9 @@ impl Gpu {
         sim_core::sleep(SimDur::from_nanos(self.inner.cost.async_submit_ns));
         let p = Self::copy1d_params(dst.into(), src.into(), len);
         let dur = self.inner.cost.copy1d(p.dir(), len as u64);
+        let op = self.san_op_for_copy("memcpy_async", &p, stream);
         self.do_copy2d_bytes(&p);
-        self.schedule(stream, engine_for(p.dir()), dur)
+        self.schedule(stream, engine_for(p.dir()), dur, op)
     }
 
     /// `cudaMemcpy2DAsync`: pitched copy enqueued on `stream`.
@@ -428,14 +570,23 @@ impl Gpu {
             .inner
             .cost
             .copy2d(p.dir(), p.shape(), p.width as u64, p.height as u64);
+        let op = self.san_op_for_copy("memcpy_2d_async", &p, stream);
         self.do_copy2d_bytes(&p);
-        self.schedule(stream, engine_for(p.dir()), dur)
+        self.schedule(stream, engine_for(p.dir()), dur, op)
     }
 
     /// `cudaMemset`: blocking fill of device memory.
     pub fn memset(&self, dst: DevPtr, value: u8, len: usize) {
         self.inner.counters.record("cudaMemset");
         self.check_owned(dst);
+        let stream = self.sync_stream();
+        let op = self.san_begin(
+            "memset",
+            &stream,
+            ENG_D2D,
+            vec![],
+            vec![self.dev_range(dst, len)],
+        );
         {
             let mut mem = self.inner.mem.lock();
             mem.check_access(dst.offset, len);
@@ -443,7 +594,7 @@ impl Gpu {
         }
         // Memset runs on the device-internal engine at contiguous rate.
         let dur = self.inner.cost.copy1d(CopyDir::D2D, len as u64);
-        self.schedule(&self.sync_stream(), ENG_D2D, dur).wait();
+        self.schedule(&stream, ENG_D2D, dur, op).wait();
     }
 
     /// `cudaMemsetAsync`: fill enqueued on `stream`.
@@ -451,13 +602,20 @@ impl Gpu {
         self.inner.counters.record("cudaMemsetAsync");
         sim_core::sleep(SimDur::from_nanos(self.inner.cost.async_submit_ns));
         self.check_owned(dst);
+        let op = self.san_begin(
+            "memset_async",
+            stream,
+            ENG_D2D,
+            vec![],
+            vec![self.dev_range(dst, len)],
+        );
         {
             let mut mem = self.inner.mem.lock();
             mem.check_access(dst.offset, len);
             mem.arena[dst.offset..dst.offset + len].fill(value);
         }
         let dur = self.inner.cost.copy1d(CopyDir::D2D, len as u64);
-        self.schedule(stream, ENG_D2D, dur)
+        self.schedule(stream, ENG_D2D, dur, op)
     }
 
     // --- kernels ---------------------------------------------------------------
@@ -476,9 +634,16 @@ impl Gpu {
         self.inner.counters.record("kernelLaunch");
         let _ = name;
         sim_core::sleep(SimDur::from_nanos(self.inner.cost.async_submit_ns));
-        work(self);
+        // Kernels declare no ranges (their footprint is unknown); they still
+        // participate in stream/event ordering, and their body's eager
+        // execution must not trip process-level checks.
+        let op = self.san_begin("launch_kernel", stream, ENG_COMPUTE, vec![], vec![]);
+        {
+            let _san = san::suppress();
+            work(self);
+        }
         let dur = SimDur::from_nanos(self.inner.cost.kernel_launch_ns) + cost;
-        self.schedule(stream, ENG_COMPUTE, dur)
+        self.schedule(stream, ENG_COMPUTE, dur, op)
     }
 
     // --- untimed access (test setup / verification) ------------------------------
@@ -487,6 +652,7 @@ impl Gpu {
     /// and verification only).
     pub fn write_bytes(&self, ptr: DevPtr, data: &[u8]) {
         self.check_owned(ptr);
+        san::on_dev_access(self.inner.id as u64, ptr.offset, data.len(), true);
         let mut mem = self.inner.mem.lock();
         mem.check_access(ptr.offset, data.len());
         mem.arena[ptr.offset..ptr.offset + data.len()].copy_from_slice(data);
@@ -495,6 +661,7 @@ impl Gpu {
     /// Read bytes directly from device memory (no virtual time).
     pub fn read_bytes(&self, ptr: DevPtr, len: usize) -> Vec<u8> {
         self.check_owned(ptr);
+        san::on_dev_access(self.inner.id as u64, ptr.offset, len, false);
         let mem = self.inner.mem.lock();
         mem.check_access(ptr.offset, len);
         mem.arena[ptr.offset..ptr.offset + len].to_vec()
@@ -514,6 +681,7 @@ impl Gpu {
     /// The access range is validated like any device access.
     pub fn with_arena<R>(&self, ptr: DevPtr, len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
         self.check_owned(ptr);
+        san::on_dev_access(self.inner.id as u64, ptr.offset, len, true);
         let mut mem = self.inner.mem.lock();
         mem.check_access(ptr.offset, len);
         let off = ptr.offset;
@@ -533,7 +701,11 @@ impl Stream {
         self.gpu.inner.counters.record("cudaStreamQuery");
         sim_core::sleep(SimDur::from_nanos(self.gpu.inner.cost.query_ns));
         let end = self.gpu.inner.sched.lock().stream_end[self.idx];
-        end <= sim_core::now()
+        let done = end <= sim_core::now();
+        if done {
+            san::acquire_queue(self.gpu.inner.san_domain, Some(self.idx as u64));
+        }
+        done
     }
 
     /// `cudaStreamSynchronize`: block until all enqueued work finishes.
@@ -543,12 +715,20 @@ impl Stream {
         if sim_core::now() < end {
             sim_core::sleep_until(end);
         }
+        san::acquire_queue(self.gpu.inner.san_domain, Some(self.idx as u64));
     }
 
     /// Record an event capturing all work enqueued so far.
     pub fn record_event(&self) -> Completion {
-        let end = self.gpu.inner.sched.lock().stream_end[self.idx];
-        Completion::ready_at(end)
+        let (end, last) = {
+            let sched = self.gpu.inner.sched.lock();
+            (sched.stream_end[self.idx], sched.stream_last[self.idx])
+        };
+        let c = Completion::ready_at(end);
+        if let Some(op) = last {
+            c.attach_ops(&[op]);
+        }
+        c
     }
 
     /// `cudaStreamWaitEvent`: future work on this stream starts no earlier
@@ -558,8 +738,10 @@ impl Stream {
         let at = event
             .done_at()
             .expect("Stream::wait_event requires an event with an assigned finish time");
+        let ops = event.attached_ops();
         let mut sched = self.gpu.inner.sched.lock();
         let end = &mut sched.stream_end[self.idx];
         *end = (*end).max(at);
+        sched.stream_pending[self.idx].extend(ops);
     }
 }

@@ -24,7 +24,7 @@ mod rank;
 use std::sync::Arc;
 
 use mv2_gpu_nc::GpuCluster;
-use parking_lot::Mutex;
+use sim_core::lock::Mutex;
 use sim_core::SimDur;
 use stencil2d::Real;
 
@@ -96,7 +96,11 @@ pub fn run_halo3d<T: Real>(p: Halo3dParams, variant: Variant, collect: bool) -> 
         .map(|m| m.into_inner())
         .unwrap_or_else(|a| a.lock().clone());
     ranks.sort_by_key(|r| r.rank);
-    let wall = ranks.iter().map(|r| r.elapsed).max().unwrap_or(SimDur::ZERO);
+    let wall = ranks
+        .iter()
+        .map(|r| r.elapsed)
+        .max()
+        .unwrap_or(SimDur::ZERO);
     Halo3dOutcome { wall, ranks }
 }
 

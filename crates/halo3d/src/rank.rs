@@ -265,15 +265,9 @@ impl<'a, T: Real> Halo3dRank<'a, T> {
                 };
                 // Source pitch differs per direction; fix up for `out`.
                 let c = if out {
-                    Copy2d {
-                        spitch: pitch,
-                        ..c
-                    }
+                    Copy2d { spitch: pitch, ..c }
                 } else {
-                    Copy2d {
-                        dpitch: pitch,
-                        ..c
-                    }
+                    Copy2d { dpitch: pitch, ..c }
                 };
                 gpu.memcpy_2d(c);
             }
@@ -374,4 +368,3 @@ impl<'a, T: Real> Halo3dRank<'a, T> {
         self.env.gpu.free(self.next);
     }
 }
-

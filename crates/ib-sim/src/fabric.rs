@@ -26,7 +26,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hostmem::{HostBuf, HostPtr};
-use parking_lot::Mutex;
+use sim_core::lock::Mutex;
+use sim_core::san;
 use sim_core::{Completion, Mailbox, SimDur, SimTime};
 
 use crate::model::NetModel;
@@ -55,6 +56,8 @@ struct NodeNet {
     tx_free: SimTime,
     /// Registered memory regions (keyed for remote access).
     mrs: HashMap<MrKey, Mr>,
+    /// Sanitizer: last operation posted to this node's transmit engine.
+    tx_last: Option<san::OpId>,
 }
 
 struct FabricInner {
@@ -63,6 +66,8 @@ struct FabricInner {
     /// One mailbox per node; outside the lock so receivers don't contend.
     mailboxes: Vec<Mailbox<Packet>>,
     next_key: AtomicU64,
+    /// Sanitizer queue domain; lanes are node ids (one tx engine each).
+    san_domain: u64,
 }
 
 /// The simulated cluster interconnect. Clones are shallow.
@@ -89,11 +94,13 @@ impl Fabric {
                         .map(|_| NodeNet {
                             tx_free: SimTime::ZERO,
                             mrs: HashMap::new(),
+                            tx_last: None,
                         })
                         .collect(),
                 ),
                 mailboxes: (0..nodes).map(|_| Mailbox::new()).collect(),
                 next_key: AtomicU64::new(1),
+                san_domain: san::new_queue_domain(),
             }),
         }
     }
@@ -129,37 +136,61 @@ impl Nic {
         &self.fabric.inner.mailboxes[self.node]
     }
 
+    /// Sanitizer: register an HCA work request on this node's tx engine,
+    /// ordered after the engine's previous request (same-QP ordering).
+    fn san_begin(
+        &self,
+        kind: &'static str,
+        reads: Vec<san::MemRange>,
+        writes: Vec<san::MemRange>,
+    ) -> Option<san::OpId> {
+        if !san::enabled() {
+            return None;
+        }
+        let preds = {
+            let nodes = self.fabric.inner.nodes.lock();
+            nodes[self.node].tx_last.into_iter().collect()
+        };
+        san::begin_op(san::OpDesc {
+            kind,
+            queue: (self.fabric.inner.san_domain, self.node as u64),
+            preds,
+            reads,
+            writes,
+        })
+    }
+
     /// Occupy the transmit engine for `bytes` and return (engine release
     /// time, payload arrival time).
-    fn tx_schedule(&self, bytes: usize) -> (SimTime, SimTime) {
+    fn tx_schedule(&self, bytes: usize, op: Option<san::OpId>) -> (SimTime, SimTime) {
         let m = &self.fabric.inner.model;
         let now = sim_core::now();
         let mut nodes = self.fabric.inner.nodes.lock();
         let start = now.max(nodes[self.node].tx_free);
         let tx_done = start + m.serialize_time(bytes);
         nodes[self.node].tx_free = tx_done;
-        (tx_done, tx_done + SimDur::from_nanos(m.wire_lat_ns))
+        if op.is_some() {
+            nodes[self.node].tx_last = op;
+        }
+        drop(nodes);
+        let arrival = tx_done + SimDur::from_nanos(m.wire_lat_ns);
+        san::op_complete_at(op, arrival);
+        (tx_done, arrival)
     }
 
     fn post_overhead(&self) {
-        sim_core::sleep(SimDur::from_nanos(
-            self.fabric.inner.model.post_overhead_ns,
-        ));
+        sim_core::sleep(SimDur::from_nanos(self.fabric.inner.model.post_overhead_ns));
     }
 
     /// Reliable two-sided send: delivers a [`Packet`] into `dst`'s mailbox.
     /// `wire_bytes` is the size the message occupies on the wire (use
     /// [`NetModel::ctrl_bytes`] for control messages, the payload length for
     /// eager data). Returns the sender-side completion (ack'd delivery).
-    pub fn send(
-        &self,
-        dst: usize,
-        wire_bytes: usize,
-        payload: Box<dyn Any + Send>,
-    ) -> Completion {
+    pub fn send(&self, dst: usize, wire_bytes: usize, payload: Box<dyn Any + Send>) -> Completion {
         assert!(dst < self.fabric.num_nodes(), "no such node {dst}");
         self.post_overhead();
-        let (_, arrival) = self.tx_schedule(wire_bytes);
+        let op = self.san_begin("nic_send", vec![], vec![]);
+        let (_, arrival) = self.tx_schedule(wire_bytes, op);
         self.fabric.inner.mailboxes[dst].send_at(
             arrival,
             Packet {
@@ -168,7 +199,11 @@ impl Nic {
                 payload,
             },
         );
-        Completion::ready_at(arrival)
+        let c = Completion::ready_at(arrival);
+        if let Some(o) = op {
+            c.attach_ops(&[o]);
+        }
+        c
     }
 
     /// Convenience: send a control-sized message.
@@ -213,31 +248,63 @@ impl Nic {
         src: &HostPtr,
         len: usize,
     ) -> Completion {
-        assert!(
-            src.buf().is_pinned(),
-            "RDMA write from unpinned local memory {:?}",
-            src.buf()
-        );
+        if !src.buf().is_pinned() {
+            san::report_protocol(format!(
+                "RDMA write from unpinned local memory {:?}",
+                src.buf()
+            ));
+            panic!("RDMA write from unpinned local memory {:?}", src.buf());
+        }
         self.post_overhead();
         // Validate and copy into the remote region. The copy is performed
         // eagerly; remote visibility is ordered by the fabric because any
         // notification of this write travels behind it on the same engine.
-        {
+        let op = {
             let nodes = self.fabric.inner.nodes.lock();
-            let mr = nodes[dst_node]
-                .mrs
-                .get(&key)
-                .unwrap_or_else(|| panic!("RDMA write to unknown MrKey {key:?} on node {dst_node}"));
-            assert!(
-                dst_offset + len <= mr.buf.len(),
-                "RDMA write out of bounds: {dst_offset}+{len} > {}",
-                mr.buf.len()
-            );
-            let data = src.read(len);
-            mr.buf.write(dst_offset, &data);
+            let Some(mr) = nodes[dst_node].mrs.get(&key) else {
+                drop(nodes);
+                san::report_protocol(format!(
+                    "RDMA write to unknown MrKey {key:?} on node {dst_node}                      (unregistered or deregistered target region)"
+                ));
+                panic!("RDMA write to unknown MrKey {key:?} on node {dst_node}");
+            };
+            if dst_offset + len > mr.buf.len() {
+                let mr_len = mr.buf.len();
+                drop(nodes);
+                san::report_protocol(format!(
+                    "RDMA write out of bounds: {dst_offset}+{len} > {mr_len}"
+                ));
+                panic!("RDMA write out of bounds: {dst_offset}+{len} > {mr_len}");
+            }
+            let reads = vec![san::MemRange {
+                domain: san::MemDomain::Host {
+                    buf: src.buf().id(),
+                },
+                start: src.offset(),
+                len,
+            }];
+            let writes = vec![san::MemRange {
+                domain: san::MemDomain::Host { buf: mr.buf.id() },
+                start: dst_offset,
+                len,
+            }];
+            let data = {
+                let _san = san::suppress();
+                src.read(len)
+            };
+            let mr_buf = mr.buf.clone();
+            drop(nodes);
+            let op = self.san_begin("rdma_write", reads, writes);
+            let _san = san::suppress();
+            mr_buf.write(dst_offset, &data);
+            op
+        };
+        let (_, arrival) = self.tx_schedule(len, op);
+        let c = Completion::ready_at(arrival);
+        if let Some(o) = op {
+            c.attach_ops(&[o]);
         }
-        let (_, arrival) = self.tx_schedule(len);
-        Completion::ready_at(arrival)
+        c
     }
 }
 

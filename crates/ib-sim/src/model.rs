@@ -64,9 +64,6 @@ mod tests {
     fn reg_time_scales_with_pages() {
         let m = NetModel::qdr();
         assert!(m.reg_time(1 << 20) > m.reg_time(4096));
-        assert_eq!(
-            m.reg_time(1).as_nanos(),
-            m.reg_base_ns + m.reg_per_page_ns
-        );
+        assert_eq!(m.reg_time(1).as_nanos(), m.reg_base_ns + m.reg_per_page_ns);
     }
 }

@@ -646,7 +646,11 @@ mod tests {
             let send = HostBuf::from_vec(scalars_to_bytes(&[comm.rank() as i32]));
             let recv = HostBuf::alloc(4);
             sub.allreduce(&send.base(), &recv.base(), 1, &t, ReduceOp::Sum);
-            let expect = if comm.rank() % 2 == 0 { 2 + 4 } else { 1 + 3 + 5 };
+            let expect = if comm.rank() % 2 == 0 {
+                2 + 4
+            } else {
+                1 + 3 + 5
+            };
             assert_eq!(bytes_to_scalars::<i32>(&recv.read(0, 4)), vec![expect]);
         });
     }

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use gpu_sim::Loc;
 use ib_sim::Nic;
-use parking_lot::Mutex;
+use sim_core::lock::Mutex;
 use sim_core::CallCounters;
 
 use crate::datatype::Datatype;

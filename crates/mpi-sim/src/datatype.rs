@@ -13,7 +13,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sim_core::lock::Mutex;
 
 use crate::flat::FlatType;
 
@@ -184,8 +184,7 @@ impl Datatype {
     /// `MPI_Type_contiguous(count, child)`.
     pub fn contiguous(count: usize, child: &Datatype) -> Datatype {
         let ext = child.extent();
-        let (lb, ub) = bounds_over(child, std::iter::once((count, 0isize)))
-            .unwrap_or((0, 0));
+        let (lb, ub) = bounds_over(child, std::iter::once((count, 0isize))).unwrap_or((0, 0));
         let _ = ext;
         new_dt(
             DtKind::Contiguous {
@@ -250,11 +249,8 @@ impl Datatype {
     /// displacements in child extents.
     pub fn indexed(blocks: &[(usize, isize)], child: &Datatype) -> Datatype {
         let ext = child.extent();
-        let (lb, ub) = bounds_over(
-            child,
-            blocks.iter().map(|&(bl, d)| (bl, d * ext)),
-        )
-        .unwrap_or((0, 0));
+        let (lb, ub) =
+            bounds_over(child, blocks.iter().map(|&(bl, d)| (bl, d * ext))).unwrap_or((0, 0));
         let size: usize = blocks.iter().map(|&(bl, _)| bl).sum::<usize>() * child.size();
         new_dt(
             DtKind::Indexed {
@@ -269,8 +265,7 @@ impl Datatype {
 
     /// `MPI_Type_create_hindexed`: displacements in bytes.
     pub fn hindexed(blocks: &[(usize, isize)], child: &Datatype) -> Datatype {
-        let (lb, ub) = bounds_over(child, blocks.iter().copied())
-            .unwrap_or((0, 0));
+        let (lb, ub) = bounds_over(child, blocks.iter().copied()).unwrap_or((0, 0));
         let size: usize = blocks.iter().map(|&(bl, _)| bl).sum::<usize>() * child.size();
         new_dt(
             DtKind::Hindexed {
@@ -332,8 +327,8 @@ impl Datatype {
         let n = sizes.len();
         let mut t = Datatype::contiguous(subsizes[n - 1], child);
         let mut row_bytes = sizes[n - 1] as isize * ext; // full row extent
-        // Wrap outward: each dim d becomes an hvector of subsizes[d] copies
-        // spaced by the full lower-dim extent.
+                                                         // Wrap outward: each dim d becomes an hvector of subsizes[d] copies
+                                                         // spaced by the full lower-dim extent.
         for d in (0..n - 1).rev() {
             t = Datatype::hvector(subsizes[d], 1, row_bytes, &t);
             row_bytes *= sizes[d] as isize;
@@ -353,8 +348,7 @@ impl Datatype {
     /// `MPI_Type_create_indexed_block`: equal-length blocks at the given
     /// displacements (in child extents).
     pub fn indexed_block(blocklen: usize, displacements: &[isize], child: &Datatype) -> Datatype {
-        let blocks: Vec<(usize, isize)> =
-            displacements.iter().map(|&d| (blocklen, d)).collect();
+        let blocks: Vec<(usize, isize)> = displacements.iter().map(|&d| (blocklen, d)).collect();
         Self::indexed(&blocks, child)
     }
 
@@ -544,10 +538,7 @@ mod tests {
 
     #[test]
     fn struct_type() {
-        let t = Datatype::create_struct(&[
-            (1, 0, Datatype::int()),
-            (2, 8, Datatype::double()),
-        ]);
+        let t = Datatype::create_struct(&[(1, 0, Datatype::int()), (2, 8, Datatype::double())]);
         assert_eq!(t.size(), 4 + 16);
         assert_eq!(t.lb(), 0);
         assert_eq!(t.ub(), 24);

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use gpu_sim::Loc;
 use hostmem::{HostBuf, HostPtr};
 use ib_sim::{MrKey, Nic};
+use sim_core::san;
 use sim_core::{CallCounters, Completion, SimDur, SimTime};
 
 use crate::datatype::Datatype;
@@ -89,10 +90,7 @@ struct StagedSend {
 
 enum SendPhase {
     WaitCts,
-    Direct {
-        rdma: Completion,
-        my_key: MrKey,
-    },
+    Direct { rdma: Completion, my_key: MrKey },
     Staged(StagedSend),
     Done,
 }
@@ -166,9 +164,7 @@ impl Unexpected {
 }
 
 fn env_matches(env: &Envelope, ctx: u16, src: SrcSel, tag: TagSel) -> bool {
-    env.ctx == ctx
-        && src.0.is_none_or(|s| s == env.src)
-        && tag.0.is_none_or(|t| t == env.tag)
+    env.ctx == ctx && src.0.is_none_or(|s| s == env.src) && tag.0.is_none_or(|t| t == env.tag)
 }
 
 pub(crate) struct Engine {
@@ -190,6 +186,11 @@ pub(crate) struct Engine {
     send_pool: Vec<Vbuf>,
     /// Registered staging buffers granted to remote senders via CTS.
     recv_pool: Vec<Vbuf>,
+    /// Sanitizer pool handles (None when the sanitizer is off).
+    send_pool_id: Option<san::PoolId>,
+    recv_pool_id: Option<san::PoolId>,
+    /// Fault injection: true once the configured vbuf leak has happened.
+    leaked_vbuf: bool,
     /// Next free communicator context id (0/1 belong to the world comm).
     next_ctx: u16,
     /// Registration cache (MVAPICH2-style): user buffers register once and
@@ -218,6 +219,8 @@ impl Engine {
         };
         let send_pool = mk_pool(cfg.pool_vbufs / 2);
         let recv_pool = mk_pool(cfg.pool_vbufs - cfg.pool_vbufs / 2);
+        let send_pool_id = san::pool_register(format!("rank{rank}.send_pool"));
+        let recv_pool_id = san::pool_register(format!("rank{rank}.recv_pool"));
         Engine {
             rank,
             size,
@@ -232,6 +235,9 @@ impl Engine {
             unexpected: VecDeque::new(),
             send_pool,
             recv_pool,
+            send_pool_id,
+            recv_pool_id,
+            leaked_vbuf: false,
             next_ctx: 2,
             reg_cache: HashMap::new(),
         }
@@ -453,12 +459,18 @@ impl Engine {
 
     fn deliver_eager(&mut self, recv_id: ReqId, env: Envelope, data: Vec<u8>) {
         let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
-        assert!(
-            data.len() <= st.capacity,
-            "message truncated: {} bytes into a {}-byte receive",
-            data.len(),
-            st.capacity
-        );
+        if data.len() > st.capacity {
+            san::report_protocol(format!(
+                "message truncated: {} bytes into a {}-byte receive",
+                data.len(),
+                st.capacity
+            ));
+            panic!(
+                "message truncated: {} bytes into a {}-byte receive",
+                data.len(),
+                st.capacity
+            );
+        }
         st.sink.unpack_eager(&data);
         st.phase = RecvPhase::Done(RecvStatus {
             src: env.src,
@@ -476,11 +488,16 @@ impl Engine {
         direct_capable: bool,
     ) {
         let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
-        assert!(
-            total <= st.capacity,
-            "message truncated: {total} bytes into a {}-byte receive",
-            st.capacity
-        );
+        if total > st.capacity {
+            san::report_protocol(format!(
+                "message truncated: {total} bytes into a {}-byte receive",
+                st.capacity
+            ));
+            panic!(
+                "message truncated: {total} bytes into a {}-byte receive",
+                st.capacity
+            );
+        }
         if direct_capable {
             if let Some(ptr) = st.direct_ptr.clone() {
                 // R-PUT: register the user buffer (through the cache) and
@@ -540,7 +557,13 @@ impl Engine {
         }
         let want = self.cfg.window_slots.min(sr.nchunks).max(1);
         let take = want.min(self.recv_pool.len());
-        sr.slots = self.recv_pool.drain(self.recv_pool.len() - take..).collect();
+        sr.slots = self
+            .recv_pool
+            .drain(self.recv_pool.len() - take..)
+            .collect();
+        for _ in 0..take {
+            san::pool_take(self.recv_pool_id);
+        }
         sr.cts_sent = true;
         let descs: Vec<SlotDesc> = sr
             .slots
@@ -565,6 +588,13 @@ impl Engine {
         let _ = src;
         match pkt {
             MpiPacket::Eager { env, data } => {
+                if data.len() > self.cfg.eager_limit {
+                    san::report_protocol(format!(
+                        "eager payload of {} bytes exceeds the eager limit of {} bytes",
+                        data.len(),
+                        self.cfg.eager_limit
+                    ));
+                }
                 if let Some(recv_id) = self.find_posted(&env) {
                     self.deliver_eager(recv_id, env, data);
                 } else {
@@ -594,8 +624,18 @@ impl Engine {
                 chunk_size,
                 slots,
             } => {
-                let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
-                assert!(matches!(st.phase, SendPhase::WaitCts));
+                let Some(st) = self.sends.get_mut(&send_req) else {
+                    san::report_protocol(format!(
+                        "CTS for unknown send request #{send_req} (never posted or already reaped)"
+                    ));
+                    panic!("CTS for unknown send");
+                };
+                if !matches!(st.phase, SendPhase::WaitCts) {
+                    san::report_protocol(format!(
+                        "CTS for send request #{send_req} that is not awaiting CTS                          (duplicate or out-of-order CTS)"
+                    ));
+                    panic!("CTS for a send not in WaitCts phase");
+                }
                 st.source.begin(chunk_size);
                 let nchunks = st.total.div_ceil(chunk_size).max(1);
                 st.phase = SendPhase::Staged(StagedSend {
@@ -620,8 +660,18 @@ impl Engine {
                 offset,
                 len,
             } => {
-                let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
-                assert!(matches!(st.phase, SendPhase::WaitCts));
+                let Some(st) = self.sends.get_mut(&send_req) else {
+                    san::report_protocol(format!(
+                        "direct CTS for unknown send request #{send_req}                          (never posted or already reaped)"
+                    ));
+                    panic!("CTS for unknown send");
+                };
+                if !matches!(st.phase, SendPhase::WaitCts) {
+                    san::report_protocol(format!(
+                        "direct CTS for send request #{send_req} that is not awaiting CTS                          (duplicate or out-of-order CTS)"
+                    ));
+                    panic!("CTS for a send not in WaitCts phase");
+                }
                 let ptr = st
                     .direct_ptr
                     .clone()
@@ -641,15 +691,36 @@ impl Engine {
                 slot,
                 bytes,
             } => {
-                let st = self.recvs.get_mut(&recv_req).expect("FIN for unknown recv");
+                let Some(st) = self.recvs.get_mut(&recv_req) else {
+                    san::report_protocol(format!("FIN for unknown receive request #{recv_req}"));
+                    panic!("FIN for unknown recv");
+                };
                 let RecvPhase::Staged(sr, _) = &mut st.phase else {
+                    san::report_protocol(format!(
+                        "FIN for receive request #{recv_req} that is not in the staged                          rendezvous phase (protocol state machine violation)"
+                    ));
                     panic!("FIN for a receive not in staged phase")
                 };
+                if slot >= sr.slots.len() {
+                    san::report_protocol(format!(
+                        "FIN names slot {slot} but only {} slot(s) were granted",
+                        sr.slots.len()
+                    ));
+                    panic!("FIN for a nonexistent slot");
+                }
                 sr.arrived.push_back((chunk_idx, slot, bytes));
             }
             MpiPacket::FinDirect { recv_req } => {
-                let st = self.recvs.get_mut(&recv_req).expect("FIN for unknown recv");
+                let Some(st) = self.recvs.get_mut(&recv_req) else {
+                    san::report_protocol(format!(
+                        "FIN-direct for unknown receive request #{recv_req}"
+                    ));
+                    panic!("FIN for unknown recv");
+                };
                 let RecvPhase::WaitDirect { my_key, env, total } = st.phase else {
+                    san::report_protocol(format!(
+                        "FIN-direct for receive request #{recv_req} that is not in the                          direct rendezvous phase (protocol state machine violation)"
+                    ));
                     panic!("FIN-direct for a receive not in direct phase")
                 };
                 let _ = my_key; // stays in the registration cache
@@ -665,6 +736,18 @@ impl Engine {
                 // the request is reaped. They gate nothing anymore: drop.
                 if let Some(st) = self.sends.get_mut(&send_req) {
                     if let SendPhase::Staged(ss) = &mut st.phase {
+                        if slot >= ss.slots.len() {
+                            san::report_protocol(format!(
+                                "credit names slot {slot} but only {} slot(s) were granted",
+                                ss.slots.len()
+                            ));
+                            panic!("credit for a nonexistent slot");
+                        }
+                        if ss.slots[slot].free {
+                            san::report_protocol(format!(
+                                "credit for slot {slot} which is already free                                  (flow-control overflow: duplicate credit)"
+                            ));
+                        }
                         ss.slots[slot].free = true;
                     }
                 }
@@ -675,8 +758,7 @@ impl Engine {
     fn find_posted(&mut self, env: &Envelope) -> Option<ReqId> {
         let pos = self.posted.iter().position(|id| {
             let r = &self.recvs[id];
-            matches!(r.phase, RecvPhase::Unmatched)
-                && env_matches(env, r.ctx, r.src_sel, r.tag_sel)
+            matches!(r.phase, RecvPhase::Unmatched) && env_matches(env, r.ctx, r.src_sel, r.tag_sel)
         })?;
         Some(self.posted.remove(pos))
     }
@@ -724,7 +806,10 @@ impl Engine {
                 while ss.next_request < ss.nchunks
                     && ss.local.len() + ss.inflight.len() < ss.slots.len()
                 {
-                    let Some(vbuf) = self.send_pool.pop() else { break };
+                    let Some(vbuf) = self.send_pool.pop() else {
+                        break;
+                    };
+                    san::pool_take(self.send_pool_id);
                     let i = ss.next_request;
                     let off = i * ss.chunk_size;
                     let len = ss.chunk_size.min(st.total - off);
@@ -752,9 +837,13 @@ impl Engine {
                         "chunk larger than the granted vbuf slot"
                     );
                     ss.slots[slot].free = false;
-                    let comp =
-                        self.nic
-                            .rdma_write(ss.dst, ss.slots[slot].desc.key, 0, &vbuf.buf.base(), len);
+                    let comp = self.nic.rdma_write(
+                        ss.dst,
+                        ss.slots[slot].desc.key,
+                        0,
+                        &vbuf.buf.base(),
+                        len,
+                    );
                     self.nic.send_ctrl(
                         ss.dst,
                         Box::new(MpiPacket::Fin {
@@ -772,7 +861,14 @@ impl Engine {
                 while i < ss.inflight.len() {
                     if ss.inflight[i].0.poll() {
                         let (_, vbuf) = ss.inflight.swap_remove(i);
-                        self.send_pool.push(vbuf);
+                        if self.cfg.fault_leak_vbuf && !self.leaked_vbuf {
+                            // Fault injection: this vbuf is never returned.
+                            self.leaked_vbuf = true;
+                            std::mem::forget(vbuf);
+                        } else {
+                            san::pool_put(self.send_pool_id);
+                            self.send_pool.push(vbuf);
+                        }
                     } else {
                         i += 1;
                     }
@@ -822,6 +918,9 @@ impl Engine {
         }
         if sr.next_chunk == sr.nchunks && st.sink.finished() {
             // Return granted vbufs to the pool.
+            for _ in 0..sr.slots.len() {
+                san::pool_put(self.recv_pool_id);
+            }
             self.recv_pool.append(&mut sr.slots);
             let status = RecvStatus {
                 src: env.src,

@@ -368,17 +368,17 @@ mod tests {
 
     #[test]
     fn indexed_is_irregular() {
-        let f = flat(&Datatype::indexed(&[(1, 0), (2, 3), (1, 9)], &Datatype::int()));
+        let f = flat(&Datatype::indexed(
+            &[(1, 0), (2, 3), (1, 9)],
+            &Datatype::int(),
+        ));
         assert_eq!(f.layout(1), Layout::Irregular);
         assert_eq!(f.total_bytes(1), 16);
     }
 
     #[test]
     fn struct_layout_flattens_in_field_order() {
-        let t = Datatype::create_struct(&[
-            (2, 16, Datatype::int()),
-            (1, 0, Datatype::double()),
-        ]);
+        let t = Datatype::create_struct(&[(2, 16, Datatype::int()), (1, 0, Datatype::double())]);
         let f = flat(&t);
         // Pack order follows the typemap (field order), not address order.
         assert_eq!(
@@ -434,7 +434,10 @@ mod tests {
     #[test]
     fn classify_rejects_descending_offsets() {
         let segs = [
-            Segment { offset: 100, len: 4 },
+            Segment {
+                offset: 100,
+                len: 4,
+            },
             Segment { offset: 0, len: 4 },
             Segment { offset: 50, len: 4 },
         ];

@@ -74,9 +74,7 @@ impl PackCursor {
             let avail = seg.len - self.seg_off;
             let take = avail.min(out.len() - pos);
             let src = abs_offset(&self.base, &seg, self.seg_off);
-            self.base
-                .buf()
-                .read_into(src, &mut out[pos..pos + take]);
+            self.base.buf().read_into(src, &mut out[pos..pos + take]);
             pos += take;
             self.seg_off += take;
             if self.seg_off == seg.len {
@@ -89,8 +87,11 @@ impl PackCursor {
 
     /// Pack the entire remaining stream.
     pub fn pack_all(&mut self) -> Vec<u8> {
-        let remaining: usize =
-            self.segments[self.seg_idx..].iter().map(|s| s.len).sum::<usize>() - self.seg_off;
+        let remaining: usize = self.segments[self.seg_idx..]
+            .iter()
+            .map(|s| s.len)
+            .sum::<usize>()
+            - self.seg_off;
         let mut out = vec![0u8; remaining];
         self.pack_into(&mut out);
         out

@@ -91,6 +91,10 @@ pub struct MpiConfig {
     pub pool_vbufs: usize,
     /// Host CPU cost model.
     pub cpu: crate::pack::CpuModel,
+    /// Fault injection (tests only): drop the first send-pool vbuf that
+    /// finishes its RDMA write instead of returning it to the pool, so the
+    /// sanitizer's pool reconciliation has a leak to find.
+    pub fault_leak_vbuf: bool,
 }
 
 impl Default for MpiConfig {
@@ -101,6 +105,7 @@ impl Default for MpiConfig {
             window_slots: 8,
             pool_vbufs: 64,
             cpu: crate::pack::CpuModel::westmere(),
+            fault_leak_vbuf: false,
         }
     }
 }

@@ -114,7 +114,10 @@ impl SendSource for HostSendSource {
     fn begin(&mut self, _chunk_size: usize) {}
 
     fn request_chunk(&mut self, idx: usize, dst: HostPtr, len: usize) {
-        assert_eq!(idx, self.ready_upto, "host source: out-of-order chunk request");
+        assert_eq!(
+            idx, self.ready_upto,
+            "host source: out-of-order chunk request"
+        );
         // CPU pack happens synchronously in the progress engine, costing
         // pack time.
         sim_core::sleep(self.cpu.pack_time(len, self.segs_for(len)));

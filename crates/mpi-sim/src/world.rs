@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use ib_sim::{Fabric, NetModel};
-use sim_core::{Sim, SimTime};
+use sim_core::{Report, SanitizerMode, Sim, SimTime};
 
 use crate::comm::Comm;
 use crate::proto::MpiConfig;
@@ -14,6 +14,7 @@ pub struct MpiWorld {
     n: usize,
     net: NetModel,
     cfg: MpiConfig,
+    sanitizer: SanitizerMode,
 }
 
 impl MpiWorld {
@@ -23,6 +24,7 @@ impl MpiWorld {
             n,
             net: NetModel::qdr(),
             cfg: MpiConfig::default(),
+            sanitizer: SanitizerMode::Off,
         }
     }
 
@@ -38,13 +40,29 @@ impl MpiWorld {
         self
     }
 
+    /// Run the job under the simulation sanitizer (see [`sim_core::san`]).
+    pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
+        self.sanitizer = mode;
+        self
+    }
+
     /// Run `f` on every rank (host-only MPI; device buffers panic). Returns
     /// the virtual time when the last rank finished.
     pub fn run<F>(self, f: F) -> SimTime
     where
         F: Fn(Comm) + Send + Sync + 'static,
     {
+        self.run_with_reports(f).0
+    }
+
+    /// Like [`run`](MpiWorld::run), also returning the sanitizer reports
+    /// collected during the job (empty when the sanitizer is off).
+    pub fn run_with_reports<F>(self, f: F) -> (SimTime, Vec<Report>)
+    where
+        F: Fn(Comm) + Send + Sync + 'static,
+    {
         let sim = Sim::new();
+        sim.set_sanitizer(self.sanitizer);
         let fabric = Fabric::new(self.n, self.net.clone());
         let f = Arc::new(f);
         for rank in 0..self.n {
@@ -57,7 +75,8 @@ impl MpiWorld {
                 f(comm);
             });
         }
-        sim.run()
+        let end = sim.run();
+        (end, sim.sanitizer_reports())
     }
 }
 
@@ -270,8 +289,12 @@ mod tests {
                 let (idx, st) = comm.waitany(&reqs);
                 assert_eq!(idx, 1, "tag 8 completes first");
                 assert_eq!(st.unwrap().tag, 8);
-                let remaining: Vec<Request> =
-                    reqs.into_iter().enumerate().filter(|(i, _)| *i != idx).map(|(_, r)| r).collect();
+                let remaining: Vec<Request> = reqs
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != idx)
+                    .map(|(_, r)| r)
+                    .collect();
                 comm.waitall(remaining);
                 assert_eq!(ba.read(0, 16), vec![7; 16]);
             }

@@ -95,7 +95,10 @@ fn make_msg(env: &GpuRankEnv, kind: BufKind, pattern: Pattern, bytes: usize) -> 
             }
         }
         Pattern::Strided => {
-            assert!(bytes.is_multiple_of(4), "strided pattern needs 4-byte multiples");
+            assert!(
+                bytes.is_multiple_of(4),
+                "strided pattern needs 4-byte multiples"
+            );
             let rows = bytes / 4;
             let dtype = Datatype::hvector(rows, 1, 16, &Datatype::float());
             dtype.commit();
@@ -147,15 +150,19 @@ pub fn latency(kind: BufKind, pattern: Pattern, bytes: usize) -> Sample {
         for warm in 0..2 {
             let t0 = sim_core::now();
             if me == 0 {
-                env.comm.send(msg.loc.clone(), msg.count, &msg.dtype, peer, warm);
-                env.comm.recv(msg.loc.clone(), msg.count, &msg.dtype, peer, warm);
+                env.comm
+                    .send(msg.loc.clone(), msg.count, &msg.dtype, peer, warm);
+                env.comm
+                    .recv(msg.loc.clone(), msg.count, &msg.dtype, peer, warm);
                 if warm == 1 {
                     let rtt = (sim_core::now() - t0).as_micros_f64();
                     return Some(rtt / 2.0);
                 }
             } else {
-                env.comm.recv(msg.loc.clone(), msg.count, &msg.dtype, peer, warm);
-                env.comm.send(msg.loc.clone(), msg.count, &msg.dtype, peer, warm);
+                env.comm
+                    .recv(msg.loc.clone(), msg.count, &msg.dtype, peer, warm);
+                env.comm
+                    .send(msg.loc.clone(), msg.count, &msg.dtype, peer, warm);
             }
         }
         None
@@ -189,7 +196,10 @@ pub fn bandwidth(kind: BufKind, pattern: Pattern, bytes: usize) -> Sample {
                 let reqs = msgs
                     .iter()
                     .enumerate()
-                    .map(|(i, m)| env.comm.isend(m.loc.clone(), m.count, &m.dtype, peer, i as u32))
+                    .map(|(i, m)| {
+                        env.comm
+                            .isend(m.loc.clone(), m.count, &m.dtype, peer, i as u32)
+                    })
                     .collect();
                 env.comm.waitall(reqs);
                 env.comm.recv(ack.loc.clone(), 0, &ack.dtype, peer, 999);
@@ -200,7 +210,10 @@ pub fn bandwidth(kind: BufKind, pattern: Pattern, bytes: usize) -> Sample {
                 let reqs = msgs
                     .iter()
                     .enumerate()
-                    .map(|(i, m)| env.comm.irecv(m.loc.clone(), m.count, &m.dtype, peer, i as u32))
+                    .map(|(i, m)| {
+                        env.comm
+                            .irecv(m.loc.clone(), m.count, &m.dtype, peer, i as u32)
+                    })
                     .collect();
                 env.comm.waitall(reqs);
                 env.comm.send(ack.loc.clone(), 0, &ack.dtype, peer, 999);
@@ -238,13 +251,15 @@ pub fn bi_bandwidth(kind: BufKind, pattern: Pattern, bytes: usize) -> Sample {
             let mut reqs: Vec<_> = inb
                 .iter()
                 .enumerate()
-                .map(|(i, m)| env.comm.irecv(m.loc.clone(), m.count, &m.dtype, peer, i as u32))
+                .map(|(i, m)| {
+                    env.comm
+                        .irecv(m.loc.clone(), m.count, &m.dtype, peer, i as u32)
+                })
                 .collect();
-            reqs.extend(
-                out.iter()
-                    .enumerate()
-                    .map(|(i, m)| env.comm.isend(m.loc.clone(), m.count, &m.dtype, peer, i as u32)),
-            );
+            reqs.extend(out.iter().enumerate().map(|(i, m)| {
+                env.comm
+                    .isend(m.loc.clone(), m.count, &m.dtype, peer, i as u32)
+            }));
             env.comm.waitall(reqs);
             if round == 1 && me == 0 {
                 result = Some((sim_core::now() - t0).as_micros_f64());

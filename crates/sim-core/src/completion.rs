@@ -8,9 +8,10 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::lock::Mutex;
 
 use crate::kernel::{self, ProcHandle};
+use crate::san;
 use crate::time::SimTime;
 
 #[derive(Default)]
@@ -19,6 +20,9 @@ struct CompState {
     done_at: Option<SimTime>,
     /// Processes parked waiting for a finish time to be assigned.
     waiters: Vec<ProcHandle>,
+    /// Sanitizer: async operations this completion synchronizes with. A
+    /// successful wait/poll acquires them for the caller.
+    ops: Vec<san::OpId>,
 }
 
 /// A cloneable one-shot virtual-time event.
@@ -42,6 +46,7 @@ impl Completion {
             inner: Arc::new(Mutex::new(CompState {
                 done_at: Some(t),
                 waiters: Vec::new(),
+                ops: Vec::new(),
             })),
         }
     }
@@ -77,13 +82,40 @@ impl Completion {
         self.inner.lock().done_at
     }
 
+    /// Sanitizer: attach asynchronous operation ids to this completion. A
+    /// successful [`wait`](Completion::wait) or [`poll`](Completion::poll)
+    /// then acquires them (creates a happens-before edge) for the caller.
+    pub fn attach_ops(&self, ops: &[san::OpId]) {
+        if !ops.is_empty() {
+            self.inner.lock().ops.extend_from_slice(ops);
+        }
+    }
+
+    /// Sanitizer: the operation ids attached to this completion.
+    pub fn attached_ops(&self) -> Vec<san::OpId> {
+        self.inner.lock().ops.clone()
+    }
+
+    fn san_acquire(&self) {
+        if san::enabled() {
+            let ops = self.inner.lock().ops.clone();
+            san::acquire_ops(&ops);
+        }
+    }
+
     /// Non-blocking check: has this completion finished *by the current
-    /// virtual time*?
+    /// virtual time*? A `true` result is a synchronization point (the
+    /// caller acquires the completion's attached operations).
     pub fn poll(&self) -> bool {
-        self.inner
+        let done = self
+            .inner
             .lock()
             .done_at
-            .is_some_and(|t| t <= kernel::now())
+            .is_some_and(|t| t <= kernel::now());
+        if done {
+            self.san_acquire();
+        }
+        done
     }
 
     /// Block until the completion has finished, advancing virtual time as
@@ -96,11 +128,17 @@ impl Completion {
                     if kernel::now() < t {
                         kernel::sleep_until(t);
                     }
+                    self.san_acquire();
                     return t;
                 }
                 None => {
+                    if san::enabled() {
+                        let ops = self.inner.lock().ops.clone();
+                        san::note_blocked(|| san::describe_ops(&ops));
+                    }
                     self.inner.lock().waiters.push(kernel::current_handle());
                     kernel::park("completion wait");
+                    san::clear_blocked();
                 }
             }
         }
@@ -110,13 +148,17 @@ impl Completion {
     /// `done_at`). All inputs must already have assigned finish times.
     pub fn join_all<'a>(comps: impl IntoIterator<Item = &'a Completion>) -> Completion {
         let mut latest = SimTime::ZERO;
+        let mut ops = Vec::new();
         for c in comps {
             let t = c
                 .done_at()
                 .expect("Completion::join_all requires assigned finish times");
             latest = latest.max(t);
+            ops.extend(c.inner.lock().ops.iter().copied());
         }
-        Completion::ready_at(latest)
+        let out = Completion::ready_at(latest);
+        out.attach_ops(&ops);
+        out
     }
 }
 

@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::lock::Mutex;
 
 /// Named call counters. Clones share the same underlying counts.
 #[derive(Clone, Default)]

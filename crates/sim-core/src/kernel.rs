@@ -32,8 +32,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 
-use parking_lot::{Condvar, Mutex};
+use crate::lock::{Condvar, Mutex};
 
+use crate::san::{Report, SanData, SanitizerMode};
 use crate::time::{SimDur, SimTime};
 
 /// Identifies a process within one simulation.
@@ -127,6 +128,37 @@ pub(crate) struct Kernel {
     state: Mutex<State>,
     /// Signalled by processes when they yield back to the kernel.
     kernel_cv: Condvar,
+    /// Sanitizer state (see [`crate::san`]). Lock order: never acquire this
+    /// while holding `state`; acquiring `state` while holding `san` is fine.
+    san: Mutex<SanData>,
+}
+
+impl Drop for Kernel {
+    fn drop(&mut self) {
+        self.san.lock().on_kernel_drop();
+    }
+}
+
+impl Kernel {
+    /// Lock the sanitizer state (for `crate::san` hooks).
+    pub(crate) fn san_lock(&self) -> crate::lock::MutexGuard<'_, SanData> {
+        self.san.lock()
+    }
+
+    /// A process's name and the current virtual time, in one state lock.
+    pub(crate) fn name_and_now(&self, pid: ProcId) -> (String, SimTime) {
+        let st = self.state.lock();
+        (st.procs[pid.0].name.clone(), st.now)
+    }
+}
+
+/// The calling thread's simulation context, if it is a simulation process.
+pub(crate) fn current_ctx() -> Option<(Arc<Kernel>, ProcId)> {
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| (Arc::clone(&ctx.kernel), ctx.pid))
+    })
 }
 
 thread_local! {
@@ -207,8 +239,22 @@ impl Sim {
                     panic: None,
                 }),
                 kernel_cv: Condvar::new(),
+                san: Mutex::new(SanData::new()),
             }),
         }
+    }
+
+    /// Enable or disable the sanitizer (see [`crate::san`]). Call before
+    /// spawning processes so buffer pools register their accounting.
+    pub fn set_sanitizer(&self, mode: SanitizerMode) {
+        self.kernel.san.lock().set_mode(mode);
+    }
+
+    /// All sanitizer reports recorded so far (empty when the sanitizer is
+    /// off or found nothing). Useful after a [`SanitizerMode::Collect`] run,
+    /// and still populated when [`Sim::run`] panicked in `Panic` mode.
+    pub fn sanitizer_reports(&self) -> Vec<Report> {
+        self.kernel.san.lock().reports()
     }
 
     /// Spawn a process. It becomes runnable at the current virtual time and
@@ -295,7 +341,16 @@ impl Sim {
                 resume_unwind(payload);
             }
             if st.live == 0 {
-                return st.now;
+                let now = st.now;
+                drop(st);
+                // Reconcile buffer-pool accounting at exit (simsan).
+                let leaks = kernel.san.lock().reconcile_pools(now);
+                if let Some(leak) = leaks.first() {
+                    if kernel.san.lock().mode() == SanitizerMode::Panic {
+                        panic!("simsan: {leak}");
+                    }
+                }
+                return now;
             }
             if let Some(Reverse((_, pid))) = st.runnable.pop() {
                 let p = &mut st.procs[pid];
@@ -313,11 +368,12 @@ impl Sim {
             }
             // Nothing runnable: advance virtual time.
             let Some(Reverse(head)) = st.timers.peek() else {
-                let parked: Vec<String> = st
+                let parked_info: Vec<(usize, String, &'static str)> = st
                     .procs
                     .iter()
-                    .filter_map(|p| match p.status {
-                        Status::Parked { reason } => Some(format!("  {} (parked: {reason})", p.name)),
+                    .enumerate()
+                    .filter_map(|(i, p)| match p.status {
+                        Status::Parked { reason } => Some((i, p.name.clone(), reason)),
                         _ => None,
                     })
                     .collect();
@@ -329,10 +385,23 @@ impl Sim {
                 }
                 let now = st.now;
                 drop(st);
-                panic!(
-                    "simulation deadlock at {now}: no runnable process and no pending timer; live processes:\n{}",
-                    parked.join("\n")
-                );
+                // With the sanitizer active, dump a wait-for graph naming
+                // each process and the primitive it is blocked on; otherwise
+                // fall back to the terse parked-process listing.
+                let graph = kernel.san.lock().deadlock_graph(now, &parked_info);
+                match graph {
+                    Some(g) => panic!(
+                        "simulation deadlock at {now}: no runnable process and no pending timer\n{g}"
+                    ),
+                    None => panic!(
+                        "simulation deadlock at {now}: no runnable process and no pending timer; live processes:\n{}",
+                        parked_info
+                            .iter()
+                            .map(|(_, name, reason)| format!("  {name} (parked: {reason})"))
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    ),
+                }
             };
             let at = head.at;
             debug_assert!(at >= st.now, "timer scheduled in the past");
@@ -340,11 +409,7 @@ impl Sim {
             // Fire every timer due at this instant, in admission order, with
             // the lock released (actions re-enter the kernel to wake procs).
             let mut due = Vec::new();
-            while st
-                .timers
-                .peek()
-                .is_some_and(|Reverse(t)| t.at <= st.now)
-            {
+            while st.timers.peek().is_some_and(|Reverse(t)| t.at <= st.now) {
                 due.push(st.timers.pop().unwrap().0);
             }
             drop(st);
@@ -535,7 +600,10 @@ mod tests {
         };
         let a = run_once();
         let b = run_once();
-        assert_eq!(a, b, "two identical runs must produce identical event orders");
+        assert_eq!(
+            a, b,
+            "two identical runs must produce identical event orders"
+        );
         assert!(!a.is_empty());
     }
 
@@ -576,10 +644,7 @@ mod tests {
             });
         }
         sim.run();
-        assert_eq!(
-            woke_at.lock().unwrap().unwrap(),
-            SimTime::from_nanos(7_000)
-        );
+        assert_eq!(woke_at.lock().unwrap().unwrap(), SimTime::from_nanos(7_000));
     }
 
     #[test]

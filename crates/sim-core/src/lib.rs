@@ -51,7 +51,9 @@
 mod completion;
 mod instrument;
 mod kernel;
+pub mod lock;
 mod mailbox;
+pub mod san;
 mod sync;
 mod time;
 
@@ -62,5 +64,6 @@ pub use kernel::{
     yield_now, ProcHandle, ProcId, Sim,
 };
 pub use mailbox::Mailbox;
+pub use san::{Report, ReportKind, SanitizerMode};
 pub use sync::Semaphore;
 pub use time::{SimDur, SimTime};

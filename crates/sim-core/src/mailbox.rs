@@ -9,13 +9,16 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::lock::Mutex;
 
 use crate::kernel::{self, ProcHandle};
+use crate::san;
 use crate::time::SimTime;
 
 struct MbState<T> {
-    ready: VecDeque<T>,
+    /// Deliverable messages, each with the sanitizer happens-before token
+    /// snapshotted from the sender at send time.
+    ready: VecDeque<(T, Option<san::SanToken>)>,
     waiters: Vec<ProcHandle>,
 }
 
@@ -61,10 +64,10 @@ impl<T> Mailbox<T> {
         self.inner.lock().ready.is_empty()
     }
 
-    fn deliver(inner: &Arc<Mutex<MbState<T>>>, msg: T) {
+    fn deliver(inner: &Arc<Mutex<MbState<T>>>, msg: T, token: Option<san::SanToken>) {
         let waiters = {
             let mut st = inner.lock();
-            st.ready.push_back(msg);
+            st.ready.push_back((msg, token));
             std::mem::take(&mut st.waiters)
         };
         for w in waiters {
@@ -72,14 +75,22 @@ impl<T> Mailbox<T> {
         }
     }
 
+    fn take(msg: T, token: Option<san::SanToken>) -> T {
+        if let Some(t) = token {
+            san::merge_token(&t);
+        }
+        msg
+    }
+
     /// Deliver `msg` immediately (at the current virtual time).
     pub fn send(&self, msg: T) {
-        Self::deliver(&self.inner, msg);
+        Self::deliver(&self.inner, msg, san::channel_token());
     }
 
     /// Take the next message without blocking, if one is deliverable.
     pub fn try_recv(&self) -> Option<T> {
-        self.inner.lock().ready.pop_front()
+        let popped = self.inner.lock().ready.pop_front();
+        popped.map(|(m, tok)| Self::take(m, tok))
     }
 
     /// Block until a message is deliverable and take it.
@@ -87,11 +98,14 @@ impl<T> Mailbox<T> {
         loop {
             {
                 let mut st = self.inner.lock();
-                if let Some(m) = st.ready.pop_front() {
-                    return m;
+                if let Some((m, tok)) = st.ready.pop_front() {
+                    drop(st);
+                    san::clear_blocked();
+                    return Self::take(m, tok);
                 }
                 st.waiters.push(kernel::current_handle());
             }
+            san::note_blocked(|| "mailbox recv".to_string());
             kernel::park("mailbox recv");
         }
     }
@@ -115,7 +129,12 @@ impl<T> Mailbox<T> {
             let h = kernel::current_handle();
             kernel::schedule_at(t, move || h.unpark());
         }
+        san::note_blocked(|| match deadline {
+            Some(t) => format!("mailbox wait (until {t})"),
+            None => "mailbox wait".to_string(),
+        });
         kernel::park("mailbox wait");
+        san::clear_blocked();
         !self.inner.lock().ready.is_empty()
     }
 }
@@ -125,7 +144,8 @@ impl<T: Send + 'static> Mailbox<T> {
     /// Messages scheduled for the same instant arrive in send order.
     pub fn send_at(&self, at: SimTime, msg: T) {
         let inner = Arc::clone(&self.inner);
-        kernel::schedule_at(at, move || Self::deliver(&inner, msg));
+        let token = san::channel_token();
+        kernel::schedule_at(at, move || Self::deliver(&inner, msg, token));
     }
 }
 

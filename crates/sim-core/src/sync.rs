@@ -7,9 +7,10 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::lock::Mutex;
 
 use crate::kernel::{self, ProcHandle};
+use crate::san;
 
 struct SemState {
     permits: usize,
@@ -17,6 +18,9 @@ struct SemState {
     /// starvation of large requests behind a stream of small ones.
     waiters: VecDeque<(u64, ProcHandle, usize)>,
     next_ticket: u64,
+    /// Sanitizer: accumulated happens-before token from releasers; merged
+    /// into each successful acquirer (release/acquire is a sync edge).
+    san_set: san::SanToken,
 }
 
 /// A fair (strict FIFO) counting semaphore.
@@ -33,6 +37,7 @@ impl Semaphore {
                 permits,
                 waiters: VecDeque::new(),
                 next_ticket: 0,
+                san_set: san::SanToken::default(),
             })),
         }
     }
@@ -49,6 +54,9 @@ impl Semaphore {
         let mut st = self.inner.lock();
         if st.waiters.is_empty() && st.permits >= n {
             st.permits -= n;
+            let tok = st.san_set.clone();
+            drop(st);
+            san::merge_token(&tok);
             true
         } else {
             false
@@ -61,19 +69,31 @@ impl Semaphore {
             let mut st = self.inner.lock();
             if st.waiters.is_empty() && st.permits >= n {
                 st.permits -= n;
+                let tok = st.san_set.clone();
+                drop(st);
+                san::merge_token(&tok);
                 return;
             }
             let ticket = st.next_ticket;
             st.next_ticket += 1;
-            st.waiters
-                .push_back((ticket, kernel::current_handle(), n));
+            st.waiters.push_back((ticket, kernel::current_handle(), n));
             ticket
         };
         loop {
+            san::note_blocked(|| {
+                format!(
+                    "semaphore acquire ({n} permit(s), {} available)",
+                    self.inner.lock().permits
+                )
+            });
             kernel::park("semaphore acquire");
+            san::clear_blocked();
             let st = self.inner.lock();
             // We are satisfied when our ticket has been removed by release().
             if !st.waiters.iter().any(|(t, _, _)| *t == ticket) {
+                let tok = st.san_set.clone();
+                drop(st);
+                san::merge_token(&tok);
                 return;
             }
             // Spurious wake (another waiter was satisfied); re-park.
@@ -84,8 +104,12 @@ impl Semaphore {
     /// Return `n` permits and wake now-satisfiable waiters in FIFO order.
     pub fn release(&self, n: usize) {
         let mut to_wake = Vec::new();
+        let token = san::channel_token();
         {
             let mut st = self.inner.lock();
+            if let Some(t) = token {
+                st.san_set.merge(&t);
+            }
             st.permits += n;
             while let Some(&(_, _, need)) = st.waiters.front() {
                 if st.permits >= need {

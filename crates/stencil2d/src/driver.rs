@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use mv2_gpu_nc::GpuCluster;
-use parking_lot::Mutex;
+use sim_core::lock::Mutex;
 use sim_core::SimDur;
 
 use crate::params::{StencilParams, Variant};
@@ -108,6 +108,10 @@ pub fn run_stencil<T: Real>(
         .map(|m| m.into_inner())
         .unwrap_or_else(|a| a.lock().clone());
     ranks.sort_by_key(|r| r.rank);
-    let wall = ranks.iter().map(|r| r.elapsed).max().unwrap_or(SimDur::ZERO);
+    let wall = ranks
+        .iter()
+        .map(|r| r.elapsed)
+        .max()
+        .unwrap_or(SimDur::ZERO);
     StencilOutcome { wall, ranks }
 }

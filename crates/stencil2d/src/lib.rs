@@ -24,8 +24,8 @@ pub mod kernel;
 mod loc;
 mod params;
 mod rank;
-mod reference;
 mod real;
+mod reference;
 
 pub use driver::{run_stencil, RankReport, RunOptions, StencilOutcome};
 pub use loc::{lines_of_code, listing};

@@ -123,10 +123,7 @@ impl StencilParams {
 
     /// Short label like "2x4 (8192x8192/proc)".
     pub fn label(&self) -> String {
-        format!(
-            "{}x{} ({}x{}/proc)",
-            self.py, self.px, self.rows, self.cols
-        )
+        format!("{}x{} ({}x{}/proc)", self.py, self.px, self.rows, self.cols)
     }
 }
 

@@ -215,7 +215,9 @@ impl<'a, T: Real> StencilRank<'a, T> {
                 gpu.memcpy(s.stage_out[0].base(), s.row(1), w * T::SIZE);
             });
             let buf = self.stage_out[0].base();
-            self.timed_mpi(Dir::North, |s| comm.send(buf.clone(), w, &s.elem, n, TAG_UP));
+            self.timed_mpi(Dir::North, |s| {
+                comm.send(buf.clone(), w, &s.elem, n, TAG_UP)
+            });
         }
         if let Some(sn) = self.neighbor(Dir::South) {
             self.timed_cuda(Dir::South, |s| {
@@ -242,7 +244,10 @@ impl<'a, T: Real> StencilRank<'a, T> {
         if let Some(wn) = self.neighbor(Dir::West) {
             let buf = self.stage_in[2].base();
             self.timed_mpi(Dir::West, |s| {
-                reqs.push((Dir::West, comm.irecv(buf.clone(), h, &s.elem, wn, TAG_RIGHT)));
+                reqs.push((
+                    Dir::West,
+                    comm.irecv(buf.clone(), h, &s.elem, wn, TAG_RIGHT),
+                ));
             });
         }
         if let Some(e) = self.neighbor(Dir::East) {
@@ -347,11 +352,16 @@ impl<'a, T: Real> StencilRank<'a, T> {
         }
         if let Some(e) = self.neighbor(Dir::East) {
             self.timed_mpi(Dir::East, |s| {
-                reqs.push((Dir::East, comm.irecv(s.col(s.w - 1), 1, &s.col_dt, e, TAG_LEFT)));
+                reqs.push((
+                    Dir::East,
+                    comm.irecv(s.col(s.w - 1), 1, &s.col_dt, e, TAG_LEFT),
+                ));
             });
         }
         if let Some(wn) = self.neighbor(Dir::West) {
-            self.timed_mpi(Dir::West, |s| comm.send(s.col(1), 1, &s.col_dt, wn, TAG_LEFT));
+            self.timed_mpi(Dir::West, |s| {
+                comm.send(s.col(1), 1, &s.col_dt, wn, TAG_LEFT)
+            });
         }
         if let Some(e) = self.neighbor(Dir::East) {
             self.timed_mpi(Dir::East, |s| {
@@ -385,10 +395,7 @@ impl<'a, T: Real> StencilRank<'a, T> {
 
     /// Interior values as raw little-endian bytes (row major, rows x cols).
     pub fn interior_bytes(&self) -> Vec<u8> {
-        let all = self
-            .env
-            .gpu
-            .read_bytes(self.cur, self.h * self.w * T::SIZE);
+        let all = self.env.gpu.read_bytes(self.cur, self.h * self.w * T::SIZE);
         let mut out = Vec::with_capacity(self.p.rows * self.p.cols * T::SIZE);
         for r in 1..=self.p.rows {
             let start = (r * self.w + 1) * T::SIZE;

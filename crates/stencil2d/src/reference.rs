@@ -59,8 +59,7 @@ mod tests {
     fn values_decay_toward_zero_boundary() {
         let a = reference_run::<f64>(8, 8, 1);
         let b = reference_run::<f64>(8, 8, 10);
-        let sum =
-            |v: &[f64]| v.iter().map(|x| x.abs()).sum::<f64>();
+        let sum = |v: &[f64]| v.iter().map(|x| x.abs()).sum::<f64>();
         assert!(sum(&b) < sum(&a), "zero boundary drains the field");
     }
 

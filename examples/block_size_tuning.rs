@@ -32,7 +32,10 @@ fn latency_with_block(total: usize, block: usize) -> f64 {
 
 fn main() {
     let total = 2 << 20;
-    println!("Tuning MV2_CUDA_BLOCK_SIZE for a {} MB vector message:\n", total >> 20);
+    println!(
+        "Tuning MV2_CUDA_BLOCK_SIZE for a {} MB vector message:\n",
+        total >> 20
+    );
     let mut best = (0usize, f64::INFINITY);
     for p in 13..=19 {
         let block = 1usize << p;

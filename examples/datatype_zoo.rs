@@ -56,10 +56,8 @@ fn main() {
 
         // 3. A struct: interleaved (i32 id, f64 mass) particle records, two
         //    fields at different displacements.
-        let particle = Datatype::create_struct(&[
-            (1, 0, Datatype::int()),
-            (1, 8, Datatype::double()),
-        ]);
+        let particle =
+            Datatype::create_struct(&[(1, 0, Datatype::int()), (1, 8, Datatype::double())]);
         let particle = Datatype::resized(&particle, 0, 16);
         particle.commit();
         let particles = gpu.malloc(1000 * 16);

@@ -26,7 +26,13 @@ fn face(dim: usize) -> Datatype {
     subsizes[dim] = 1;
     let mut starts = [0usize; 3];
     starts[dim] = sizes[dim] - 1; // the "high" boundary face
-    let t = Datatype::subarray(&sizes, &subsizes, &starts, SubarrayOrder::C, &Datatype::double());
+    let t = Datatype::subarray(
+        &sizes,
+        &subsizes,
+        &starts,
+        SubarrayOrder::C,
+        &Datatype::double(),
+    );
     t.commit();
     t
 }

@@ -36,7 +36,10 @@ fn main() {
                 let v: Vec<f32> = gpu.read_scalars(matrix.add((r * cols + 7) * 4), 1);
                 assert_eq!(v[0], (r * cols + 7) as f32);
             }
-            println!("rank 1: column received and verified at t={}", sim_core::now());
+            println!(
+                "rank 1: column received and verified at t={}",
+                sim_core::now()
+            );
         }
     });
     println!("simulated cluster finished at {end}");

@@ -21,7 +21,11 @@ fn main() {
         collect_interiors: false,
     };
 
-    println!("Stencil2D, {} grid, {} iterations, f32\n", p.label(), p.iters);
+    println!(
+        "Stencil2D, {} grid, {} iterations, f32\n",
+        p.label(),
+        p.iters
+    );
     let def = run_stencil::<f32>(p, Variant::Def, opts);
     let mv2 = run_stencil::<f32>(p, Variant::Mv2, opts);
 
@@ -30,7 +34,10 @@ fn main() {
         mv2.checksum(),
         "the two variants must compute bitwise-identical fields"
     );
-    println!("checksum (identical across variants): {:.6}", def.checksum());
+    println!(
+        "checksum (identical across variants): {:.6}",
+        def.checksum()
+    );
     println!();
     println!("{:<22} {:>12} {:>14}", "", "Def", "MV2-GPU-NC");
     println!(

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, and the full test suite.
+#
+# Everything runs offline — the workspace has no external dependencies.
+# Usage: scripts/ci.sh [--release-only]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" != "--release-only" ]]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+
+    echo "==> cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "CI OK"

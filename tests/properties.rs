@@ -1,14 +1,17 @@
-//! Property-based tests on the core invariants: arbitrary datatype trees
+//! Property-style tests on the core invariants: randomized datatype trees
 //! and message geometries must round-trip exactly through every transfer
 //! path (CPU pack, GPU pack, eager, staged pipeline, any block size).
+//!
+//! Each test runs a fixed number of cases drawn from a seeded [`XorShift64`]
+//! stream, so failures are fully reproducible.
 
 use gpu_nc_repro::mpi_sim::{Datatype, MpiConfig, MpiWorld};
 use gpu_nc_repro::mv2_gpu_nc::GpuCluster;
 use hostmem::HostBuf;
-use proptest::prelude::*;
+use xorshift::XorShift64;
 
 /// A random, commit-able datatype tree plus the count to send. Kept small
-/// so a single proptest case stays fast.
+/// so a single case stays fast.
 #[derive(Debug, Clone)]
 struct TypeSpec {
     dt: DtSpec,
@@ -51,28 +54,47 @@ impl DtSpec {
     }
 }
 
-fn leaf() -> impl Strategy<Value = DtSpec> {
-    prop_oneof![Just(DtSpec::Float), Just(DtSpec::Double)]
+fn leaf(rng: &mut XorShift64) -> DtSpec {
+    if rng.gen_bool() {
+        DtSpec::Float
+    } else {
+        DtSpec::Double
+    }
 }
 
-fn dt_spec() -> impl Strategy<Value = DtSpec> {
-    leaf().prop_recursive(2, 16, 4, |inner| {
-        prop_oneof![
-            (1usize..5, inner.clone()).prop_map(|(n, c)| DtSpec::Contig(n, Box::new(c))),
-            (1usize..6, 1usize..3, 0usize..4, inner.clone()).prop_map(|(n, bl, extra, c)| {
-                DtSpec::Vector(n, bl, bl + extra, Box::new(c))
-            }),
-            (
-                proptest::collection::vec((1usize..3, 0usize..4), 1..4),
-                inner
+/// A random datatype tree of at most `depth` derived levels over a leaf.
+fn dt_spec(rng: &mut XorShift64, depth: usize) -> DtSpec {
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0, 4) {
+        // Descend without wrapping sometimes, so shallow trees also occur.
+        0 => dt_spec(rng, depth - 1),
+        1 => DtSpec::Contig(rng.gen_range(1, 5), Box::new(dt_spec(rng, depth - 1))),
+        2 => {
+            let bl = rng.gen_range(1, 3);
+            let stride = bl + rng.gen_range(0, 4);
+            DtSpec::Vector(
+                rng.gen_range(1, 6),
+                bl,
+                stride,
+                Box::new(dt_spec(rng, depth - 1)),
             )
-                .prop_map(|(blocks, c)| DtSpec::Indexed(blocks, Box::new(c))),
-        ]
-    })
+        }
+        _ => {
+            let blocks: Vec<(usize, usize)> = (0..rng.gen_range(1, 4))
+                .map(|_| (rng.gen_range(1, 3), rng.gen_range(0, 4)))
+                .collect();
+            DtSpec::Indexed(blocks, Box::new(dt_spec(rng, depth - 1)))
+        }
+    }
 }
 
-fn type_spec() -> impl Strategy<Value = TypeSpec> {
-    (dt_spec(), 1usize..4).prop_map(|(dt, count)| TypeSpec { dt, count })
+fn type_spec(rng: &mut XorShift64) -> TypeSpec {
+    TypeSpec {
+        dt: dt_spec(rng, 2),
+        count: rng.gen_range(1, 4),
+    }
 }
 
 /// Footprint of (count, dtype) in bytes, with headroom.
@@ -93,13 +115,14 @@ fn reference_pack(dt: &Datatype, count: usize, pattern: &[u8]) -> Vec<u8> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Host -> host transfers with random derived types deliver exactly
-    /// the typemap bytes, regardless of path (eager or staged).
-    #[test]
-    fn host_transfer_round_trips(spec in type_spec(), seed in any::<u8>()) {
+/// Host -> host transfers with random derived types deliver exactly the
+/// typemap bytes, regardless of path (eager or staged).
+#[test]
+fn host_transfer_round_trips() {
+    let mut rng = XorShift64::new(0x5EED_0001);
+    for _ in 0..24 {
+        let spec = type_spec(&mut rng);
+        let seed = rng.next_u64() as u8;
         let dt = spec.dt.build();
         dt.commit();
         let count = spec.count;
@@ -122,16 +145,23 @@ proptest! {
             }
         });
     }
+}
 
-    /// GPU -> GPU transfers with random derived types deliver exactly the
-    /// typemap bytes through the device pack/unpack pipeline.
-    #[test]
-    fn gpu_transfer_round_trips(spec in type_spec(), seed in any::<u8>()) {
+/// GPU -> GPU transfers with random derived types deliver exactly the
+/// typemap bytes through the device pack/unpack pipeline.
+#[test]
+fn gpu_transfer_round_trips() {
+    let mut rng = XorShift64::new(0x5EED_0002);
+    for _ in 0..24 {
+        let spec = type_spec(&mut rng);
+        let seed = rng.next_u64() as u8;
         let dt = spec.dt.build();
         dt.commit();
         let count = spec.count;
         let fp = footprint(&dt, count);
-        let pattern: Vec<u8> = (0..fp).map(|i| (i as u8).wrapping_mul(13).wrapping_add(seed)).collect();
+        let pattern: Vec<u8> = (0..fp)
+            .map(|i| (i as u8).wrapping_mul(13).wrapping_add(seed))
+            .collect();
         let dtc = dt.clone();
         let patc = pattern.clone();
         GpuCluster::new(2).run(move |env| {
@@ -150,16 +180,16 @@ proptest! {
             }
         });
     }
+}
 
-    /// The pipeline delivers identical bytes for any block size and any
-    /// message size (chunk boundaries hit arbitrary offsets).
-    #[test]
-    fn any_block_size_is_correct(
-        total_kb in 1usize..96,
-        block_pow in 12u32..18,
-    ) {
-        let total = total_kb << 10;
-        let block = 1usize << block_pow;
+/// The pipeline delivers identical bytes for any block size and any
+/// message size (chunk boundaries hit arbitrary offsets).
+#[test]
+fn any_block_size_is_correct() {
+    let mut rng = XorShift64::new(0x5EED_0003);
+    for _ in 0..24 {
+        let total = rng.gen_range(1, 96) << 10;
+        let block = 1usize << rng.gen_range(12, 18);
         GpuCluster::new(2).block_size(block).run(move |env| {
             use gpu_nc_repro::mv2_gpu_nc::baselines::{fill_vector, verify_vector, VectorXfer};
             let x = VectorXfer::paper(total);
@@ -173,25 +203,23 @@ proptest! {
             }
         });
     }
+}
 
-    /// Matching semantics, specific tags: however the receiver permutes its
-    /// posts, each receive pairs with the message of its tag.
-    #[test]
-    fn matching_specific_tags_pairs_by_tag(
-        perm_seed in any::<u64>(),
-        ntags in 2usize..10,
-    ) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+/// Matching semantics, specific tags: however the receiver permutes its
+/// posts, each receive pairs with the message of its tag.
+#[test]
+fn matching_specific_tags_pairs_by_tag() {
+    let mut rng = XorShift64::new(0x5EED_0004);
+    for _ in 0..24 {
+        let ntags = rng.gen_range(2, 10);
         let send_order: Vec<u32> = {
             let mut v: Vec<u32> = (0..ntags as u32).collect();
-            v.shuffle(&mut rng);
+            rng.shuffle(&mut v);
             v
         };
         let post_order: Vec<u32> = {
             let mut v: Vec<u32> = (0..ntags as u32).collect();
-            v.shuffle(&mut rng);
+            rng.shuffle(&mut v);
             v
         };
         MpiWorld::new(2).run(move |comm| {
@@ -218,11 +246,16 @@ proptest! {
             }
         });
     }
+}
 
-    /// Matching semantics, full wildcards: receives complete in message
-    /// arrival order (MPI's non-overtaking rule).
-    #[test]
-    fn matching_wildcards_preserve_arrival_order(n in 1usize..12, seed in any::<u8>()) {
+/// Matching semantics, full wildcards: receives complete in message
+/// arrival order (MPI's non-overtaking rule).
+#[test]
+fn matching_wildcards_preserve_arrival_order() {
+    let mut rng = XorShift64::new(0x5EED_0005);
+    for _ in 0..24 {
+        let n = rng.gen_range(1, 12);
+        let seed = rng.next_u64() as u8;
         MpiWorld::new(2).run(move |comm| {
             let t = Datatype::byte();
             t.commit();
@@ -236,7 +269,10 @@ proptest! {
                 let reqs: Vec<_> = (0..n)
                     .map(|_| {
                         let buf = HostBuf::alloc(32);
-                        (buf.clone(), comm.irecv(buf.base(), 32, &t, ANY_SOURCE, ANY_TAG))
+                        (
+                            buf.clone(),
+                            comm.irecv(buf.base(), 32, &t, ANY_SOURCE, ANY_TAG),
+                        )
                     })
                     .collect();
                 for (i, (buf, req)) in reqs.into_iter().enumerate() {
@@ -247,27 +283,31 @@ proptest! {
             }
         });
     }
+}
 
-    /// Staged-path flow control survives arbitrary (tiny) window/pool
-    /// configurations without deadlock or corruption.
-    #[test]
-    fn tiny_windows_never_deadlock(window in 1usize..4, pool_extra in 0usize..4) {
-        let cfg = MpiConfig {
-            window_slots: window,
-            pool_vbufs: 2 * window + pool_extra,
-            ..MpiConfig::default()
-        };
-        GpuCluster::new(2).mpi_config(cfg).run(move |env| {
-            use gpu_nc_repro::mv2_gpu_nc::baselines::{fill_vector, verify_vector, VectorXfer};
-            let x = VectorXfer::paper(512 << 10);
-            let dev = env.gpu.malloc(x.extent());
-            if env.comm.rank() == 0 {
-                fill_vector(&env.gpu, dev, &x, 8);
-                env.comm.send(dev, 1, &x.dtype(), 1, 0);
-            } else {
-                env.comm.recv(dev, 1, &x.dtype(), 0, 0);
-                verify_vector(&env.gpu, dev, &x, 8);
-            }
-        });
+/// Staged-path flow control survives arbitrary (tiny) window/pool
+/// configurations without deadlock or corruption.
+#[test]
+fn tiny_windows_never_deadlock() {
+    for window in 1usize..4 {
+        for pool_extra in 0usize..4 {
+            let cfg = MpiConfig {
+                window_slots: window,
+                pool_vbufs: 2 * window + pool_extra,
+                ..MpiConfig::default()
+            };
+            GpuCluster::new(2).mpi_config(cfg).run(move |env| {
+                use gpu_nc_repro::mv2_gpu_nc::baselines::{fill_vector, verify_vector, VectorXfer};
+                let x = VectorXfer::paper(512 << 10);
+                let dev = env.gpu.malloc(x.extent());
+                if env.comm.rank() == 0 {
+                    fill_vector(&env.gpu, dev, &x, 8);
+                    env.comm.send(dev, 1, &x.dtype(), 1, 0);
+                } else {
+                    env.comm.recv(dev, 1, &x.dtype(), 0, 0);
+                    verify_vector(&env.gpu, dev, &x, 8);
+                }
+            });
+        }
     }
 }
