@@ -6,7 +6,7 @@ use std::sync::Arc;
 use gpu_sim::{CostModel, Gpu};
 use ib_sim::{Fabric, NetModel};
 use mpi_sim::staging::BufferStager;
-use mpi_sim::{Comm, MpiConfig};
+use mpi_sim::{ChunkPolicy, Comm, MpiConfig};
 use sim_core::{Report, SanitizerMode, Sim, SimTime};
 
 use crate::stager::{GpuStager, PipelineTrace};
@@ -47,8 +47,12 @@ impl GpuCluster {
     }
 
     /// Set the pipeline block size (the paper's `MV2_CUDA_BLOCK_SIZE`).
+    ///
+    /// Pins the chunk policy to [`ChunkPolicy::Fixed`] so ablations sweep
+    /// exactly the requested block size instead of the adaptive default.
     pub fn block_size(mut self, bytes: usize) -> Self {
         self.mpi.chunk_size = bytes;
+        self.mpi.policy = ChunkPolicy::Fixed;
         self
     }
 

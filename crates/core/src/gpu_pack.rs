@@ -17,69 +17,55 @@
 //!   (indexed/struct types — beyond what the paper evaluated, but what its
 //!   production descendants do).
 
+use std::sync::Arc;
+
 use gpu_sim::{Copy2d, DevPtr, Gpu, Loc, Stream};
 use mpi_sim::flat::Segment;
+use mpi_sim::Plan;
 use sim_core::Completion;
 
 /// A flattened layout with prefix sums for O(log n) chunk slicing.
+///
+/// Since the plan cache landed this is a thin view over a shared
+/// [`Plan`] — building one from a committed datatype's cached plan
+/// (`SegmentMap::from_plan(dt.plan(count))`) allocates nothing.
 pub struct SegmentMap {
-    segs: Vec<Segment>,
-    /// prefix[i] = packed bytes before segs[i]; prefix[n] = total.
-    prefix: Vec<usize>,
+    plan: Arc<Plan>,
 }
 
 /// One run of bytes in the user buffer: (byte offset relative to the buffer
 /// address, length).
-pub type Piece = (isize, usize);
+pub type Piece = mpi_sim::plan::Piece;
 
 impl SegmentMap {
     /// Build from expanded segments (see `FlatType::expanded`).
     pub fn new(segs: Vec<Segment>) -> Self {
-        let mut prefix = Vec::with_capacity(segs.len() + 1);
-        let mut acc = 0usize;
-        prefix.push(0);
-        for s in &segs {
-            acc += s.len;
-            prefix.push(acc);
-        }
-        SegmentMap { segs, prefix }
+        Self::from_plan(Arc::new(Plan::from_segments(segs)))
+    }
+
+    /// Wrap a (usually cached) communication plan.
+    pub fn from_plan(plan: Arc<Plan>) -> Self {
+        SegmentMap { plan }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &Arc<Plan> {
+        &self.plan
     }
 
     /// Total packed bytes.
     pub fn total(&self) -> usize {
-        *self.prefix.last().unwrap()
+        self.plan.total()
     }
 
     /// Number of segments.
     pub fn num_segments(&self) -> usize {
-        self.segs.len()
+        self.plan.num_segments()
     }
 
     /// The user-buffer runs covering packed-byte range `[off, off+len)`.
     pub fn pieces(&self, off: usize, len: usize) -> Vec<Piece> {
-        assert!(
-            off + len <= self.total(),
-            "range [{off}, +{len}) exceeds packed size {}",
-            self.total()
-        );
-        if len == 0 {
-            return Vec::new();
-        }
-        // First segment whose end is past `off`.
-        let mut i = self.prefix.partition_point(|&p| p <= off) - 1;
-        let mut out = Vec::new();
-        let mut pos = off;
-        let end = off + len;
-        while pos < end {
-            let seg = &self.segs[i];
-            let seg_start = self.prefix[i];
-            let within = pos - seg_start;
-            let take = (seg.len - within).min(end - pos);
-            out.push((seg.offset + within as isize, take));
-            pos += take;
-            i += 1;
-        }
-        out
+        self.plan.pieces(off, len)
     }
 }
 

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use gpu_sim::{DevPtr, Gpu, Loc, Stream};
 use hostmem::{HostBuf, HostPtr};
-use mpi_sim::flat::{FlatType, Layout};
+use mpi_sim::flat::Layout;
 use mpi_sim::staging::{BufferStager, RecvSink, SendSource};
 use mpi_sim::Datatype;
 use sim_core::lock::Mutex;
@@ -74,13 +74,13 @@ impl PipelineTrace {
     }
 }
 
-fn classify(flat: &FlatType, count: usize, base: DevPtr) -> (SegmentMap, Option<DevPtr>) {
-    let segs = flat.expanded(count);
-    let contiguous = match FlatType::classify(&segs) {
+fn classify(dtype: &Datatype, count: usize, base: DevPtr) -> (SegmentMap, Option<DevPtr>) {
+    let plan = dtype.plan(count);
+    let contiguous = match *plan.layout() {
         Layout::Contiguous { offset, .. } => Some(base.add_signed(offset)),
         _ => None,
     };
-    (SegmentMap::new(segs), contiguous)
+    (SegmentMap::from_plan(plan), contiguous)
 }
 
 /// Sender half of the GPU pipeline (plugs into the rendezvous engine).
@@ -111,8 +111,7 @@ impl GpuSendSource {
         dtype: &Datatype,
         trace: PipelineTrace,
     ) -> Self {
-        let flat = dtype.flat();
-        let (map, contiguous) = classify(&flat, count, user);
+        let (map, contiguous) = classify(dtype, count, user);
         let total = map.total();
         let pack_stream = gpu.create_stream();
         let d2h_stream = gpu.create_stream();
@@ -276,8 +275,7 @@ impl GpuRecvSink {
         dtype: &Datatype,
         trace: PipelineTrace,
     ) -> Self {
-        let flat = dtype.flat();
-        let (map, contiguous) = classify(&flat, count, user);
+        let (map, contiguous) = classify(dtype, count, user);
         let capacity = map.total();
         let h2d_stream = gpu.create_stream();
         let unpack_stream = gpu.create_stream();

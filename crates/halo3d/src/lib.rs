@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use mv2_gpu_nc::GpuCluster;
 use sim_core::lock::Mutex;
-use sim_core::SimDur;
+use sim_core::{Report, SanitizerMode, SimDur};
 use stencil2d::Real;
 
 pub use params::{initial_value, Axis, Halo3dParams, Side, Variant};
@@ -62,36 +62,49 @@ impl Halo3dOutcome {
 
 /// Run one configuration; `collect` returns interiors for verification.
 pub fn run_halo3d<T: Real>(p: Halo3dParams, variant: Variant, collect: bool) -> Halo3dOutcome {
+    run_halo3d_reports::<T>(p, variant, collect, SanitizerMode::Off).0
+}
+
+/// Like [`run_halo3d`], but runs under the given sanitizer mode and returns
+/// the reports it collected (empty when the sanitizer is off).
+pub fn run_halo3d_reports<T: Real>(
+    p: Halo3dParams,
+    variant: Variant,
+    collect: bool,
+    sanitizer: SanitizerMode,
+) -> (Halo3dOutcome, Vec<Report>) {
     let reports: Arc<Mutex<Vec<Rank3dReport>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&reports);
-    GpuCluster::new(p.nranks()).run(move |env| {
-        let mut rk = Halo3dRank::<T>::new(env, p);
-        env.comm.barrier();
-        let t0 = sim_core::now();
-        for _ in 0..p.iters {
-            rk.step(variant);
-        }
-        env.comm.barrier();
-        let elapsed = sim_core::now() - t0;
-        let interior = rk.interior();
-        let checksum = interior.iter().map(|v| v.to_f64()).sum();
-        sink.lock().push(Rank3dReport {
-            rank: env.comm.rank(),
-            elapsed,
-            checksum,
-            interior: collect.then(|| {
-                interior
-                    .iter()
-                    .flat_map(|v| {
-                        let mut b = vec![0u8; T::SIZE];
-                        v.write_le(&mut b);
-                        b
-                    })
-                    .collect()
-            }),
+    let (_, san) = GpuCluster::new(p.nranks())
+        .sanitizer(sanitizer)
+        .run_with_reports(move |env| {
+            let mut rk = Halo3dRank::<T>::new(env, p);
+            env.comm.barrier();
+            let t0 = sim_core::now();
+            for _ in 0..p.iters {
+                rk.step(variant);
+            }
+            env.comm.barrier();
+            let elapsed = sim_core::now() - t0;
+            let interior = rk.interior();
+            let checksum = interior.iter().map(|v| v.to_f64()).sum();
+            sink.lock().push(Rank3dReport {
+                rank: env.comm.rank(),
+                elapsed,
+                checksum,
+                interior: collect.then(|| {
+                    interior
+                        .iter()
+                        .flat_map(|v| {
+                            let mut b = vec![0u8; T::SIZE];
+                            v.write_le(&mut b);
+                            b
+                        })
+                        .collect()
+                }),
+            });
+            rk.free();
         });
-        rk.free();
-    });
     let mut ranks = Arc::try_unwrap(reports)
         .map(|m| m.into_inner())
         .unwrap_or_else(|a| a.lock().clone());
@@ -101,7 +114,7 @@ pub fn run_halo3d<T: Real>(p: Halo3dParams, variant: Variant, collect: bool) -> 
         .map(|r| r.elapsed)
         .max()
         .unwrap_or(SimDur::ZERO);
-    Halo3dOutcome { wall, ranks }
+    (Halo3dOutcome { wall, ranks }, san)
 }
 
 /// Serial CPU reference of the global computation (zero boundary).

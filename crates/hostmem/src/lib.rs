@@ -140,6 +140,87 @@ impl HostBuf {
         data[offset..end].copy_from_slice(src);
     }
 
+    /// Gather `height` rows of `width` bytes whose starts are `pitch` bytes
+    /// apart (first row at `offset`) into the contiguous `out`, under a
+    /// single lock acquisition. `out.len()` must equal `width * height`.
+    /// Each row is reported to the sanitizer individually, so this is as
+    /// precise as `height` separate [`HostBuf::read_into`] calls but much
+    /// cheaper.
+    pub fn read_strided(
+        &self,
+        offset: usize,
+        pitch: usize,
+        width: usize,
+        height: usize,
+        out: &mut [u8],
+    ) {
+        assert_eq!(
+            out.len(),
+            width * height,
+            "HostBuf::read_strided: output length {} != width {width} * height {height}",
+            out.len()
+        );
+        if width == 0 || height == 0 {
+            return;
+        }
+        if sim_core::san::enabled() {
+            for r in 0..height {
+                sim_core::san::on_host_access(self.inner.id, offset + r * pitch, width, false);
+            }
+        }
+        let data = self.inner.data.lock();
+        let last_end = offset + (height - 1) * pitch + width;
+        assert!(
+            last_end <= data.len(),
+            "HostBuf::read_strided: {height} rows of {width}B at pitch {pitch} from {offset} \
+             exceed buffer (len {})",
+            data.len()
+        );
+        for (r, row) in out.chunks_exact_mut(width).enumerate() {
+            let s = offset + r * pitch;
+            row.copy_from_slice(&data[s..s + width]);
+        }
+    }
+
+    /// Scatter the contiguous `src` into `height` rows of `width` bytes
+    /// whose starts are `pitch` bytes apart (first row at `offset`), under
+    /// a single lock acquisition. `src.len()` must equal `width * height`.
+    pub fn write_strided(
+        &self,
+        offset: usize,
+        pitch: usize,
+        width: usize,
+        height: usize,
+        src: &[u8],
+    ) {
+        assert_eq!(
+            src.len(),
+            width * height,
+            "HostBuf::write_strided: source length {} != width {width} * height {height}",
+            src.len()
+        );
+        if width == 0 || height == 0 {
+            return;
+        }
+        if sim_core::san::enabled() {
+            for r in 0..height {
+                sim_core::san::on_host_access(self.inner.id, offset + r * pitch, width, true);
+            }
+        }
+        let mut data = self.inner.data.lock();
+        let last_end = offset + (height - 1) * pitch + width;
+        assert!(
+            last_end <= data.len(),
+            "HostBuf::write_strided: {height} rows of {width}B at pitch {pitch} from {offset} \
+             exceed buffer (len {})",
+            data.len()
+        );
+        for (r, row) in src.chunks_exact(width).enumerate() {
+            let s = offset + r * pitch;
+            data[s..s + width].copy_from_slice(row);
+        }
+    }
+
     /// Run `f` over the raw storage (single lock acquisition; used by bulk
     /// operations like strided copies). Conservatively counts as a write of
     /// the whole buffer for the sanitizer.
@@ -338,6 +419,38 @@ mod tests {
     fn copy_overlap_panics() {
         let a = HostBuf::alloc(8);
         HostBuf::copy(&a.ptr(0), &a.ptr(2), 4);
+    }
+
+    #[test]
+    fn strided_read_write_round_trip() {
+        let b = HostBuf::from_vec((0u8..24).collect());
+        // 3 rows of 2 bytes, 8 apart, starting at 1: {1,2}, {9,10}, {17,18}.
+        let mut out = vec![0u8; 6];
+        b.read_strided(1, 8, 2, 3, &mut out);
+        assert_eq!(out, vec![1, 2, 9, 10, 17, 18]);
+        let c = HostBuf::alloc(24);
+        c.write_strided(1, 8, 2, 3, &out);
+        assert_eq!(c.read(0, 4), vec![0, 1, 2, 0]);
+        assert_eq!(c.read(9, 2), vec![9, 10]);
+        assert_eq!(c.read(17, 2), vec![17, 18]);
+        // Degenerate shapes are no-ops.
+        b.read_strided(0, 8, 0, 3, &mut []);
+        c.write_strided(0, 8, 2, 0, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed buffer")]
+    fn strided_read_oob_panics() {
+        let b = HostBuf::alloc(16);
+        let mut out = vec![0u8; 6];
+        b.read_strided(0, 8, 2, 3, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed buffer")]
+    fn strided_write_oob_panics() {
+        let b = HostBuf::alloc(16);
+        b.write_strided(4, 8, 2, 3, &[0u8; 6]);
     }
 
     #[test]

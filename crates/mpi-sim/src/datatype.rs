@@ -445,8 +445,8 @@ impl Datatype {
     /// `MPI_Pack`: gather `count` elements from the host buffer at `buf`
     /// into a contiguous byte vector. Requires a committed type.
     pub fn pack(&self, buf: &hostmem::HostPtr, count: usize) -> Vec<u8> {
-        let segs = self.flat().expanded(count);
-        crate::pack::PackCursor::new(buf.clone(), segs).pack_all()
+        let plan = self.flat().plan(count);
+        crate::pack::PackCursor::from_plan(buf.clone(), plan).pack_all()
     }
 
     /// `MPI_Unpack`: scatter a contiguous byte stream into `count` elements
@@ -458,9 +458,20 @@ impl Datatype {
             self.size() * count,
             "MPI_Unpack: stream length does not match the datatype"
         );
-        let segs = self.flat().expanded(count);
-        let mut c = crate::pack::UnpackCursor::new(buf.clone(), segs);
+        let plan = self.flat().plan(count);
+        let mut c = crate::pack::UnpackCursor::from_plan(buf.clone(), plan);
         c.unpack_from(data);
+    }
+
+    /// The cached communication plan for `count` elements (expanded
+    /// segments, prefix sums, layout). Requires a committed type.
+    pub fn plan(&self, count: usize) -> Arc<crate::plan::Plan> {
+        self.flat().plan(count)
+    }
+
+    /// Plan-cache counters of this committed type.
+    pub fn plan_cache_stats(&self) -> crate::plan::PlanCacheStats {
+        self.flat().plan_cache_stats()
     }
 
     /// The committed flattened layout. Panics if not committed.

@@ -19,8 +19,9 @@ use sim_core::{CallCounters, Completion, SimDur, SimTime};
 
 use crate::datatype::Datatype;
 use crate::flat::Layout;
-use crate::proto::{Envelope, MpiConfig, MpiPacket, ReqId, SlotDesc};
+use crate::proto::{ChunkPolicy, Envelope, MpiConfig, MpiPacket, ReqId, SlotDesc};
 use crate::staging::{BufferStager, HostRecvSink, HostSendSource, RecvSink, SendSource};
+use crate::tuner::{ChunkTuner, LayoutClass, TuneKey};
 
 /// Source selector for receives.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -107,8 +108,15 @@ struct SendState {
 struct StagedRecv {
     src: usize,
     peer_send_req: ReqId,
+    /// Chunk size of this transfer (chosen per transfer by the receiver;
+    /// travels to the sender in the CTS).
+    chunk_size: usize,
     nchunks: usize,
     total: usize,
+    /// When the RTS was matched — the tuner's latency clock.
+    started: SimTime,
+    /// Autotuner key, when the adaptive policy is driving this transfer.
+    tune_key: Option<TuneKey>,
     /// False while the CTS is deferred waiting for pool vbufs (back
     /// pressure under many concurrent staged transfers).
     cts_sent: bool,
@@ -139,6 +147,8 @@ struct RecvState {
     sink: Box<dyn RecvSink>,
     /// Start of the user buffer when it is host-contiguous (direct path).
     direct_ptr: Option<HostPtr>,
+    /// Layout bucket of the receive datatype (autotuner key component).
+    layout_class: LayoutClass,
     phase: RecvPhase,
 }
 
@@ -197,6 +207,8 @@ pub(crate) struct Engine {
     /// stay registered; repeated rendezvous on the same buffer skip the
     /// registration cost.
     reg_cache: HashMap<u64, MrKey>,
+    /// Online block-size search (drives `ChunkPolicy::Adaptive`).
+    tuner: ChunkTuner,
 }
 
 impl Engine {
@@ -207,11 +219,14 @@ impl Engine {
         cfg: MpiConfig,
         stagers: Arc<Vec<Box<dyn BufferStager>>>,
     ) -> Engine {
+        cfg.validate();
         // Pre-allocate and register the vbuf pools (done once at MPI_Init).
+        // Slots are sized to the largest chunk any policy may pick, so the
+        // adaptive tuner can grow the block without reallocating.
         let mk_pool = |n: usize| -> Vec<Vbuf> {
             (0..n)
                 .map(|_| {
-                    let buf = HostBuf::alloc(cfg.chunk_size);
+                    let buf = HostBuf::alloc(cfg.max_chunk());
                     let key = nic.register(&buf);
                     Vbuf { buf, key }
                 })
@@ -221,6 +236,7 @@ impl Engine {
         let recv_pool = mk_pool(cfg.pool_vbufs - cfg.pool_vbufs / 2);
         let send_pool_id = san::pool_register(format!("rank{rank}.send_pool"));
         let recv_pool_id = san::pool_register(format!("rank{rank}.recv_pool"));
+        let tuner = ChunkTuner::new(&cfg);
         Engine {
             rank,
             size,
@@ -240,6 +256,7 @@ impl Engine {
             leaked_vbuf: false,
             next_ctx: 2,
             reg_cache: HashMap::new(),
+            tuner,
         }
     }
 
@@ -420,6 +437,8 @@ impl Engine {
         let sink = self.make_sink(&buf, count, dt);
         let capacity = sink.total_bytes();
         let direct_ptr = Self::contiguous_host_ptr(&buf, count, dt);
+        // Cheap after the sink pulled the plan into the cache.
+        let layout_class = LayoutClass::of(dt.flat().plan(count).layout());
         let id = self.alloc_req();
         self.recvs.insert(
             id,
@@ -430,6 +449,7 @@ impl Engine {
                 capacity,
                 sink,
                 direct_ptr,
+                layout_class,
                 phase: RecvPhase::Unmatched,
             },
         );
@@ -525,15 +545,26 @@ impl Engine {
         // Staged path: grant a window of vbufs. If the pool is empty right
         // now, defer the CTS; the progress loop grants it once earlier
         // transfers return their buffers (back pressure, not failure).
-        let chunk_size = self.cfg.chunk_size;
-        let nchunks = self.cfg.nchunks(total);
+        // The receiver picks the chunk size (it sizes the granted slots);
+        // the sender learns it from the CTS.
+        let (chunk_size, tune_key) = match self.cfg.policy {
+            ChunkPolicy::Fixed => (self.cfg.chunk_size, None),
+            ChunkPolicy::Adaptive { .. } => {
+                let key = TuneKey::new(total, st.layout_class);
+                (self.tuner.choose(key), Some(key))
+            }
+        };
+        let nchunks = total.div_ceil(chunk_size).max(1);
         st.sink.begin(chunk_size, total);
         st.phase = RecvPhase::Staged(
             StagedRecv {
                 src: env.src,
                 peer_send_req: send_req,
+                chunk_size,
                 nchunks,
                 total,
+                started: sim_core::now(),
+                tune_key,
                 cts_sent: false,
                 slots: Vec::new(),
                 arrived: VecDeque::new(),
@@ -576,7 +607,7 @@ impl Engine {
         let pkt = MpiPacket::Cts {
             send_req: sr.peer_send_req,
             recv_req: recv_id,
-            chunk_size: self.cfg.chunk_size,
+            chunk_size: sr.chunk_size,
             slots: descs,
         };
         let dst = sr.src;
@@ -917,6 +948,12 @@ impl Engine {
             );
         }
         if sr.next_chunk == sr.nchunks && st.sink.finished() {
+            // Report the end-to-end latency so the adaptive policy can
+            // steer the next transfer of this (size, layout) class.
+            if let Some(key) = sr.tune_key {
+                self.tuner
+                    .observe(key, sr.chunk_size, sim_core::now() - sr.started);
+            }
             // Return granted vbufs to the pool.
             for _ in 0..sr.slots.len() {
                 san::pool_put(self.recv_pool_id);

@@ -15,7 +15,11 @@
 //! * [`Layout::Irregular`] — everything else (indexed/struct soups): packed
 //!   segment-by-segment (on the CPU) or with a gather kernel (on the GPU).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::datatype::{Datatype, DtKind};
+use crate::plan::{Plan, PlanCache, PlanCacheStats};
 
 /// One contiguous run of bytes at a (possibly negative) offset from the
 /// buffer address.
@@ -52,12 +56,15 @@ pub enum Layout {
     Irregular,
 }
 
-/// The committed (flattened) form of a datatype: one element's segments.
+/// The committed (flattened) form of a datatype: one element's segments,
+/// plus an LRU cache of per-count communication [`Plan`]s.
 #[derive(Debug)]
 pub struct FlatType {
     segments: Vec<Segment>,
     size: usize,
     extent: isize,
+    plans: PlanCache,
+    expand_calls: AtomicU64,
 }
 
 fn push_merged(out: &mut Vec<Segment>, seg: Segment) {
@@ -158,6 +165,8 @@ impl FlatType {
             segments,
             size: dt.size(),
             extent: dt.extent(),
+            plans: PlanCache::default(),
+            expand_calls: AtomicU64::new(0),
         }
     }
 
@@ -183,7 +192,13 @@ impl FlatType {
 
     /// Segments for `count` elements (element `i` shifted by `i * extent`),
     /// merged across element boundaries where contiguous.
+    ///
+    /// This is the expensive expansion [`FlatType::plan`] memoizes; the
+    /// communication paths go through the cache and only reach here on a
+    /// cache miss (counted — see [`FlatType::expand_count`]).
     pub fn expanded(&self, count: usize) -> Vec<Segment> {
+        self.expand_calls.fetch_add(1, Ordering::Relaxed);
+        sim_core::instrument::global().record("flat_expand");
         let mut out = Vec::with_capacity(self.segments.len() * count);
         for i in 0..count {
             let shift = i as isize * self.extent;
@@ -202,8 +217,25 @@ impl FlatType {
 
     /// Classify the layout of `count` elements.
     pub fn layout(&self, count: usize) -> Layout {
-        let segs = self.expanded(count);
-        Self::classify(&segs)
+        self.plan(count).layout().clone()
+    }
+
+    /// The cached communication plan for `count` elements: expanded
+    /// segments, prefix sums and layout classification, built at most once
+    /// per cached count and shared via `Arc`.
+    pub fn plan(&self, count: usize) -> Arc<Plan> {
+        self.plans.get_or_build(count, || Plan::build(self, count))
+    }
+
+    /// This type's plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// How many times [`FlatType::expanded`] ran (i.e. how often a plan was
+    /// actually built rather than served from cache).
+    pub fn expand_count(&self) -> u64 {
+        self.expand_calls.load(Ordering::Relaxed)
     }
 
     /// Classify an explicit segment list.

@@ -43,8 +43,10 @@ mod datatype;
 mod engine;
 pub mod flat;
 pub mod pack;
+pub mod plan;
 mod proto;
 pub mod staging;
+mod tuner;
 mod world;
 
 pub use coll::ReduceOp;
@@ -52,6 +54,7 @@ pub use comm::Comm;
 pub use datatype::{Datatype, SubarrayOrder};
 pub use engine::{RecvStatus, Request, SrcSel, TagSel, ANY_SOURCE, ANY_TAG};
 pub use pack::CpuModel;
-pub use proto::MpiConfig;
+pub use plan::{Plan, PlanCacheStats};
+pub use proto::{ChunkPolicy, MpiConfig};
 pub use staging::{BufferStager, RecvSink, SendSource};
 pub use world::MpiWorld;

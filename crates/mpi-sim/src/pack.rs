@@ -3,17 +3,23 @@
 //! [`PackCursor`]/[`UnpackCursor`] stream a flattened datatype's bytes
 //! to/from a contiguous representation in chunk-sized pieces — O(total)
 //! overall even when a message is packed in many chunks, which matters for
-//! the pipelined rendezvous path.
+//! the pipelined rendezvous path. Cursors run over a shared [`Plan`]
+//! (usually a plan-cache hit, so creating one allocates nothing), and
+//! `Strided2D` plans are coalesced into pitched bulk copies instead of
+//! per-segment dispatch.
+
+use std::sync::Arc;
 
 use hostmem::HostPtr;
 
-use crate::flat::Segment;
+use crate::flat::{Layout, Segment};
+use crate::plan::Plan;
 
-/// Streaming packer: reads a non-contiguous layout (`segments` relative to
+/// Streaming packer: reads a non-contiguous layout (`plan` relative to
 /// `base`) and produces the packed byte stream incrementally.
 pub struct PackCursor {
     base: HostPtr,
-    segments: Vec<Segment>,
+    plan: Arc<Plan>,
     seg_idx: usize,
     seg_off: usize,
     produced: usize,
@@ -23,10 +29,31 @@ pub struct PackCursor {
 /// non-contiguous layout.
 pub struct UnpackCursor {
     base: HostPtr,
-    segments: Vec<Segment>,
+    plan: Arc<Plan>,
     seg_idx: usize,
     seg_off: usize,
     consumed: usize,
+}
+
+/// Whole rows of a strided plan remaining at `seg_idx` that fit in `room`
+/// bytes; the cursors hand those to one pitched copy when there are at
+/// least two (a lone row gains nothing over the generic path).
+fn strided_run(
+    plan: &Plan,
+    seg_idx: usize,
+    seg_off: usize,
+    room: usize,
+) -> Option<(usize, usize, usize)> {
+    if seg_off != 0 {
+        return None;
+    }
+    if let Layout::Strided2D { pitch, width, .. } = *plan.layout() {
+        let rows = (room / width).min(plan.num_segments() - seg_idx);
+        if rows >= 2 {
+            return Some((pitch, width, rows));
+        }
+    }
+    None
 }
 
 fn abs_offset(base: &HostPtr, seg: &Segment, within: usize) -> usize {
@@ -43,9 +70,14 @@ fn abs_offset(base: &HostPtr, seg: &Segment, within: usize) -> usize {
 impl PackCursor {
     /// Create a packer over `segments` of the buffer at `base`.
     pub fn new(base: HostPtr, segments: Vec<Segment>) -> Self {
+        Self::from_plan(base, Arc::new(Plan::from_segments(segments)))
+    }
+
+    /// Create a packer over a shared plan of the buffer at `base`.
+    pub fn from_plan(base: HostPtr, plan: Arc<Plan>) -> Self {
         PackCursor {
             base,
-            segments,
+            plan,
             seg_idx: 0,
             seg_off: 0,
             produced: 0,
@@ -59,7 +91,7 @@ impl PackCursor {
 
     /// True when every segment has been packed.
     pub fn finished(&self) -> bool {
-        self.seg_idx >= self.segments.len()
+        self.seg_idx >= self.plan.num_segments()
     }
 
     /// Pack the next `out.len()` bytes of the stream into `out`. Panics if
@@ -67,8 +99,25 @@ impl PackCursor {
     pub fn pack_into(&mut self, out: &mut [u8]) {
         let mut pos = 0;
         while pos < out.len() {
+            if let Some((pitch, width, rows)) =
+                strided_run(&self.plan, self.seg_idx, self.seg_off, out.len() - pos)
+            {
+                let seg = self.plan.segments()[self.seg_idx];
+                let src = abs_offset(&self.base, &seg, 0);
+                self.base.buf().read_strided(
+                    src,
+                    pitch,
+                    width,
+                    rows,
+                    &mut out[pos..pos + rows * width],
+                );
+                pos += rows * width;
+                self.seg_idx += rows;
+                continue;
+            }
             let seg = *self
-                .segments
+                .plan
+                .segments()
                 .get(self.seg_idx)
                 .expect("PackCursor: packed past the end of the datatype");
             let avail = seg.len - self.seg_off;
@@ -87,11 +136,7 @@ impl PackCursor {
 
     /// Pack the entire remaining stream.
     pub fn pack_all(&mut self) -> Vec<u8> {
-        let remaining: usize = self.segments[self.seg_idx..]
-            .iter()
-            .map(|s| s.len)
-            .sum::<usize>()
-            - self.seg_off;
+        let remaining = self.plan.total() - self.plan.packed_offset(self.seg_idx) - self.seg_off;
         let mut out = vec![0u8; remaining];
         self.pack_into(&mut out);
         out
@@ -101,9 +146,14 @@ impl PackCursor {
 impl UnpackCursor {
     /// Create an unpacker over `segments` of the buffer at `base`.
     pub fn new(base: HostPtr, segments: Vec<Segment>) -> Self {
+        Self::from_plan(base, Arc::new(Plan::from_segments(segments)))
+    }
+
+    /// Create an unpacker over a shared plan of the buffer at `base`.
+    pub fn from_plan(base: HostPtr, plan: Arc<Plan>) -> Self {
         UnpackCursor {
             base,
-            segments,
+            plan,
             seg_idx: 0,
             seg_off: 0,
             consumed: 0,
@@ -117,7 +167,7 @@ impl UnpackCursor {
 
     /// True when every segment has been filled.
     pub fn finished(&self) -> bool {
-        self.seg_idx >= self.segments.len()
+        self.seg_idx >= self.plan.num_segments()
     }
 
     /// Scatter the next `data.len()` bytes of the packed stream. Panics if
@@ -125,8 +175,25 @@ impl UnpackCursor {
     pub fn unpack_from(&mut self, data: &[u8]) {
         let mut pos = 0;
         while pos < data.len() {
+            if let Some((pitch, width, rows)) =
+                strided_run(&self.plan, self.seg_idx, self.seg_off, data.len() - pos)
+            {
+                let seg = self.plan.segments()[self.seg_idx];
+                let dst = abs_offset(&self.base, &seg, 0);
+                self.base.buf().write_strided(
+                    dst,
+                    pitch,
+                    width,
+                    rows,
+                    &data[pos..pos + rows * width],
+                );
+                pos += rows * width;
+                self.seg_idx += rows;
+                continue;
+            }
             let seg = *self
-                .segments
+                .plan
+                .segments()
                 .get(self.seg_idx)
                 .expect("UnpackCursor: unpacked past the end of the datatype");
             let avail = seg.len - self.seg_off;
@@ -261,6 +328,39 @@ mod tests {
         let mut p = PackCursor::new(buf.base(), segs(&[(0, 4)]));
         let mut out = vec![0u8; 5];
         p.pack_into(&mut out);
+    }
+
+    #[test]
+    fn strided_fast_path_matches_generic() {
+        // 6 rows of 3 bytes at pitch 8 — a Strided2D plan, so whole-row
+        // spans go through the pitched bulk copy. Chunk boundaries that
+        // split a row force the generic path mid-stream; results must be
+        // identical either way.
+        let src = HostBuf::from_vec((0u8..64).collect());
+        let s = segs(&[(1, 3), (9, 3), (17, 3), (25, 3), (33, 3), (41, 3)]);
+        let expect = PackCursor::new(src.base(), s.clone()).pack_all();
+        assert_eq!(expect.len(), 18);
+        for chunks in [vec![18], vec![4, 4, 4, 6], vec![1, 16, 1], vec![7, 11]] {
+            let mut p = PackCursor::new(src.base(), s.clone());
+            let mut got = Vec::new();
+            for c in chunks {
+                let mut tmp = vec![0u8; c];
+                p.pack_into(&mut tmp);
+                got.extend_from_slice(&tmp);
+            }
+            assert_eq!(got, expect);
+            assert!(p.finished());
+
+            let dst = HostBuf::alloc(64);
+            let mut u = UnpackCursor::new(dst.base(), s.clone());
+            u.unpack_from(&got[..5]);
+            u.unpack_from(&got[5..]);
+            assert!(u.finished());
+            for seg in &s {
+                let o = seg.offset as usize;
+                assert_eq!(dst.read(o, seg.len), src.read(o, seg.len));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Committed communication plans.
+//!
+//! A [`Plan`] is everything the library needs to move one `(datatype,
+//! count)` message: the expanded segment list, its prefix sums (packed-byte
+//! offsets) and its [`Layout`] classification. Building one costs an
+//! allocation plus a walk over every segment, which is exactly the
+//! datatype-processing overhead the paper (and TEMPI after it) identifies
+//! as the tax on derived-datatype communication — so committed types carry
+//! a small LRU [`PlanCache`] keyed by `count`, and the steady-state send
+//! path clones an `Arc<Plan>` instead of re-expanding.
+//!
+//! Cache traffic is observable two ways: per-type via
+//! [`crate::Datatype::plan_cache_stats`], and process-wide through
+//! `sim_core::instrument::global()` under the keys `plan_cache_hit`,
+//! `plan_cache_miss` and `plan_cache_evict`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sim_core::lock::Mutex;
+
+use crate::flat::{FlatType, Layout, Segment};
+
+/// A piece of a packed-byte range mapped back to buffer space:
+/// `(buffer offset, length)`.
+pub type Piece = (isize, usize);
+
+/// The immutable, shareable expansion of `count` elements of a committed
+/// datatype: segments in pack order, packed-offset prefix sums, and the
+/// classified layout.
+#[derive(Debug)]
+pub struct Plan {
+    segments: Vec<Segment>,
+    /// `prefix[i]` = packed bytes before segment `i`; last entry = total.
+    prefix: Vec<usize>,
+    layout: Layout,
+}
+
+impl Plan {
+    /// Build a plan from an explicit segment list (already in pack order).
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        let mut prefix = Vec::with_capacity(segments.len() + 1);
+        let mut acc = 0usize;
+        prefix.push(0);
+        for s in &segments {
+            acc += s.len;
+            prefix.push(acc);
+        }
+        let layout = FlatType::classify(&segments);
+        Plan {
+            segments,
+            prefix,
+            layout,
+        }
+    }
+
+    /// Expand and classify `count` elements of `flat`.
+    pub fn build(flat: &FlatType, count: usize) -> Self {
+        Plan::from_segments(flat.expanded(count))
+    }
+
+    /// Segments in pack order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total packed bytes.
+    pub fn total(&self) -> usize {
+        *self.prefix.last().unwrap()
+    }
+
+    /// Packed bytes before segment `i` (valid for `i <= num_segments()`).
+    pub fn packed_offset(&self, i: usize) -> usize {
+        self.prefix[i]
+    }
+
+    /// The classified layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Map the packed-byte range `[off, off+len)` to buffer-space pieces.
+    /// Panics if the range exceeds the packed size.
+    pub fn pieces(&self, off: usize, len: usize) -> Vec<Piece> {
+        assert!(
+            off + len <= self.total(),
+            "range [{off}, +{len}) exceeds packed size {}",
+            self.total()
+        );
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        // Index of the segment containing packed offset `off`.
+        let mut i = self.prefix.partition_point(|&p| p <= off) - 1;
+        let mut cur = off;
+        let end = off + len;
+        while cur < end {
+            let seg = &self.segments[i];
+            let within = cur - self.prefix[i];
+            let take = (seg.len - within).min(end - cur);
+            out.push((seg.offset + within as isize, take));
+            cur += take;
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Counters of one committed type's plan cache.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that had to build a plan.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+}
+
+/// Plans the LRU keeps per committed type. Real workloads reuse a handful
+/// of counts (often exactly one); the bound only matters for adversarial
+/// count churn.
+const PLAN_CACHE_CAPACITY: usize = 8;
+
+/// Small LRU cache of `count -> Arc<Plan>`, embedded in each committed
+/// [`FlatType`]. Dropping the datatype drops the `FlatType` and the cache
+/// with it — invalidation is ownership, not epochs.
+#[derive(Default)]
+pub struct PlanCache {
+    /// `(count, plan)`; back = most recently used.
+    entries: Mutex<Vec<(usize, Arc<Plan>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// Return the cached plan for `count`, building (and caching) it with
+    /// `build` on a miss.
+    pub fn get_or_build(&self, count: usize, build: impl FnOnce() -> Plan) -> Arc<Plan> {
+        let global = sim_core::instrument::global();
+        let mut entries = self.entries.lock();
+        if let Some(i) = entries.iter().position(|(c, _)| *c == count) {
+            let hit = entries.remove(i);
+            let plan = Arc::clone(&hit.1);
+            entries.push(hit);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            global.record("plan_cache_hit");
+            return plan;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        global.record("plan_cache_miss");
+        let plan = Arc::new(build());
+        if entries.len() >= PLAN_CACHE_CAPACITY {
+            entries.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            global.record("plan_cache_evict");
+        }
+        entries.push((count, Arc::clone(&plan)));
+        plan
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        f.debug_struct("PlanCache")
+            .field("entries", &self.entries.lock().len())
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(offset: isize, len: usize) -> Segment {
+        Segment { offset, len }
+    }
+
+    #[test]
+    fn prefix_and_total() {
+        let p = Plan::from_segments(vec![seg(0, 4), seg(12, 4), seg(24, 8)]);
+        assert_eq!(p.total(), 16);
+        assert_eq!(p.packed_offset(0), 0);
+        assert_eq!(p.packed_offset(2), 8);
+        assert_eq!(p.packed_offset(3), 16);
+        assert_eq!(p.num_segments(), 3);
+    }
+
+    #[test]
+    fn pieces_split_and_clip_segments() {
+        let p = Plan::from_segments(vec![seg(0, 4), seg(12, 4), seg(24, 8)]);
+        assert_eq!(p.pieces(0, 16), vec![(0, 4), (12, 4), (24, 8)]);
+        assert_eq!(p.pieces(2, 4), vec![(2, 2), (12, 2)]);
+        assert_eq!(p.pieces(10, 6), vec![(26, 6)]);
+        assert_eq!(p.pieces(16, 0), Vec::<Piece>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds packed size")]
+    fn pieces_out_of_range_panics() {
+        let p = Plan::from_segments(vec![seg(0, 4)]);
+        let _ = p.pieces(2, 3);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = Plan::from_segments(Vec::new());
+        assert_eq!(p.total(), 0);
+        assert!(p.pieces(0, 0).is_empty());
+        assert_eq!(
+            p.layout(),
+            &Layout::Contiguous { offset: 0, len: 0 },
+            "empty expansion classifies as a zero-length run"
+        );
+    }
+
+    #[test]
+    fn cache_hits_and_lru_eviction() {
+        let cache = PlanCache::default();
+        let mk = |n: usize| move || Plan::from_segments(vec![seg(0, n.max(1) * 4)]);
+        let a = cache.get_or_build(1, mk(1));
+        let b = cache.get_or_build(1, mk(1));
+        assert!(Arc::ptr_eq(&a, &b), "hit returns the same plan");
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        // Overflow the capacity; count 1 stays hot (re-touched each round).
+        for n in 2..=PLAN_CACHE_CAPACITY + 2 {
+            cache.get_or_build(n, mk(n));
+            cache.get_or_build(1, mk(1));
+        }
+        let s = cache.stats();
+        assert!(s.evictions > 0, "overflow must evict: {s:?}");
+        let before = cache.stats().misses;
+        let c = cache.get_or_build(1, mk(1));
+        assert_eq!(cache.stats().misses, before, "hot count 1 never evicted");
+        assert_eq!(c.total(), 4);
+    }
+}

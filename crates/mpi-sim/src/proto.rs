@@ -78,13 +78,49 @@ pub(crate) enum MpiPacket {
     Credit { send_req: ReqId, slot: usize },
 }
 
+/// How the staging chunk (pipeline block) size is chosen per transfer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChunkPolicy {
+    /// Always use [`MpiConfig::chunk_size`] — the paper's static
+    /// `MV2_CUDA_BLOCK_SIZE` knob. Use this to reproduce the block-size
+    /// ablation (§V-B) or any fixed-block result exactly.
+    Fixed,
+    /// Start each `(message size class, layout class)` at
+    /// [`MpiConfig::chunk_size`] and converge online onto the block size
+    /// with the lowest observed transfer latency, exploring powers of two
+    /// within `[min_block, max_block]` — the paper's offline 64 KB sweep,
+    /// done per workload at runtime.
+    Adaptive {
+        /// Smallest block size the tuner may try, bytes.
+        min_block: usize,
+        /// Largest block size the tuner may try, bytes (staging vbufs are
+        /// sized to this).
+        max_block: usize,
+    },
+}
+
+impl ChunkPolicy {
+    /// The default adaptive range: 16 KiB – 256 KiB, bracketing the paper's
+    /// 64 KiB sweet spot.
+    pub fn adaptive() -> Self {
+        ChunkPolicy::Adaptive {
+            min_block: 16 << 10,
+            max_block: 256 << 10,
+        }
+    }
+}
+
 /// Tunables of the simulated MPI library.
 #[derive(Clone, Debug)]
 pub struct MpiConfig {
     /// Largest message sent eagerly, bytes.
     pub eager_limit: usize,
     /// Staging chunk size (the paper's `MV2_CUDA_BLOCK_SIZE` analog), bytes.
+    /// The starting point (and, under [`ChunkPolicy::Fixed`], the only
+    /// value) of the pipeline block size.
     pub chunk_size: usize,
+    /// How the per-transfer chunk size is chosen.
+    pub policy: ChunkPolicy,
     /// Vbuf slots the receiver grants per staged transfer (pipeline window).
     pub window_slots: usize,
     /// Total vbufs in each rank's pool.
@@ -102,6 +138,7 @@ impl Default for MpiConfig {
         MpiConfig {
             eager_limit: 8192,
             chunk_size: 64 << 10,
+            policy: ChunkPolicy::adaptive(),
             window_slots: 8,
             pool_vbufs: 64,
             cpu: crate::pack::CpuModel::westmere(),
@@ -111,9 +148,50 @@ impl Default for MpiConfig {
 }
 
 impl MpiConfig {
-    /// Number of chunks a staged transfer of `total` bytes uses.
+    /// Number of chunks a staged transfer of `total` bytes uses at the
+    /// configured starting chunk size.
     pub fn nchunks(&self, total: usize) -> usize {
         total.div_ceil(self.chunk_size).max(1)
+    }
+
+    /// Largest chunk size any transfer may use under this configuration —
+    /// what the staging vbufs must be sized to.
+    pub fn max_chunk(&self) -> usize {
+        match self.policy {
+            ChunkPolicy::Fixed => self.chunk_size,
+            ChunkPolicy::Adaptive { max_block, .. } => max_block.max(self.chunk_size),
+        }
+    }
+
+    /// Check configuration invariants. Called at world construction; panics
+    /// with a clear message on an invalid configuration.
+    pub fn validate(&self) {
+        assert!(
+            self.chunk_size > 0,
+            "MpiConfig: chunk_size must be nonzero (a staged transfer could never make progress)"
+        );
+        assert!(
+            self.window_slots > 0,
+            "MpiConfig: window_slots must be nonzero (the receiver could never grant a CTS window)"
+        );
+        assert!(
+            self.pool_vbufs >= self.window_slots,
+            "MpiConfig: pool_vbufs ({}) must be >= window_slots ({}), or a staged transfer \
+             could never fill its window",
+            self.pool_vbufs,
+            self.window_slots
+        );
+        if let ChunkPolicy::Adaptive {
+            min_block,
+            max_block,
+        } = self.policy
+        {
+            assert!(
+                min_block > 0 && min_block <= max_block,
+                "MpiConfig: adaptive policy needs 0 < min_block <= max_block \
+                 (got min_block {min_block}, max_block {max_block})"
+            );
+        }
     }
 }
 
@@ -126,6 +204,62 @@ mod tests {
         let c = MpiConfig::default();
         assert!(c.eager_limit < c.chunk_size);
         assert!(c.window_slots <= c.pool_vbufs);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        MpiConfig::default().validate();
+        assert_eq!(MpiConfig::default().max_chunk(), 256 << 10);
+        let fixed = MpiConfig {
+            policy: ChunkPolicy::Fixed,
+            ..Default::default()
+        };
+        fixed.validate();
+        assert_eq!(fixed.max_chunk(), fixed.chunk_size);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be nonzero")]
+    fn zero_chunk_size_is_rejected() {
+        MpiConfig {
+            chunk_size: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "window_slots must be nonzero")]
+    fn zero_window_is_rejected() {
+        MpiConfig {
+            window_slots: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= window_slots")]
+    fn pool_smaller_than_window_is_rejected() {
+        MpiConfig {
+            window_slots: 8,
+            pool_vbufs: 4,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_block <= max_block")]
+    fn inverted_adaptive_range_is_rejected() {
+        MpiConfig {
+            policy: ChunkPolicy::Adaptive {
+                min_block: 128 << 10,
+                max_block: 16 << 10,
+            },
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -12,7 +12,6 @@ use hostmem::HostPtr;
 use sim_core::SimTime;
 
 use crate::datatype::Datatype;
-use crate::flat::Segment;
 use crate::pack::{CpuModel, PackCursor, UnpackCursor};
 
 /// Produces the packed byte stream of a send buffer, chunk by chunk, into
@@ -85,13 +84,11 @@ pub struct HostSendSource {
 impl HostSendSource {
     /// Pack `count * dtype` from the host buffer at `base`.
     pub fn new(base: HostPtr, count: usize, dtype: &Datatype, cpu: CpuModel) -> Self {
-        let flat = dtype.flat();
-        let segs: Vec<Segment> = flat.expanded(count);
-        let total = flat.total_bytes(count);
+        let plan = dtype.flat().plan(count);
         HostSendSource {
-            segments: segs.len(),
-            cursor: PackCursor::new(base, segs),
-            total,
+            segments: plan.num_segments(),
+            total: plan.total(),
+            cursor: PackCursor::from_plan(base, plan),
             cpu,
             ready_upto: 0,
         }
@@ -159,12 +156,11 @@ pub struct HostRecvSink {
 impl HostRecvSink {
     /// Unpack into `count * dtype` at the host buffer `base`.
     pub fn new(base: HostPtr, count: usize, dtype: &Datatype, cpu: CpuModel) -> Self {
-        let flat = dtype.flat();
-        let segs: Vec<Segment> = flat.expanded(count);
-        let total = flat.total_bytes(count);
+        let plan = dtype.flat().plan(count);
+        let total = plan.total();
         HostRecvSink {
-            segments: segs.len(),
-            cursor: UnpackCursor::new(base, segs),
+            segments: plan.num_segments(),
+            cursor: UnpackCursor::from_plan(base, plan),
             total,
             cpu,
             absorbed_upto: 0,

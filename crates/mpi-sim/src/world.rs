@@ -346,6 +346,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "window_slots must be nonzero")]
+    fn invalid_config_is_rejected_at_world_construction() {
+        let cfg = MpiConfig {
+            window_slots: 0,
+            ..MpiConfig::default()
+        };
+        MpiWorld::new(1).with_config(cfg).run(|_| {});
+    }
+
+    #[test]
     #[should_panic(expected = "truncated")]
     fn truncation_panics() {
         MpiWorld::new(2).run(|comm| {

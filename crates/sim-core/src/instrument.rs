@@ -6,7 +6,7 @@
 //! actual executions instead of hand-counted numbers.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::lock::Mutex;
 
@@ -55,6 +55,16 @@ impl CallCounters {
         }
         out
     }
+}
+
+/// Process-global counters for library-internal events that are not tied to
+/// one simulated object (e.g. the datatype plan cache's hits / misses /
+/// evictions). Benchmarks snapshot/delta this around a workload; tests that
+/// need isolation from concurrently running workloads should prefer the
+/// per-object statistics instead.
+pub fn global() -> &'static CallCounters {
+    static GLOBAL: OnceLock<CallCounters> = OnceLock::new();
+    GLOBAL.get_or_init(CallCounters::new)
 }
 
 #[cfg(test)]

@@ -49,7 +49,7 @@
 #![warn(missing_docs)]
 
 mod completion;
-mod instrument;
+pub mod instrument;
 mod kernel;
 pub mod lock;
 mod mailbox;

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use mv2_gpu_nc::GpuCluster;
 use sim_core::lock::Mutex;
-use sim_core::SimDur;
+use sim_core::{Report, SanitizerMode, SimDur};
 
 use crate::params::{StencilParams, Variant};
 use crate::rank::{Breakdown, StencilRank};
@@ -60,50 +60,63 @@ pub fn run_stencil<T: Real>(
     variant: Variant,
     opts: RunOptions,
 ) -> StencilOutcome {
+    run_stencil_reports::<T>(p, variant, opts, SanitizerMode::Off).0
+}
+
+/// Like [`run_stencil`], but runs under the given sanitizer mode and returns
+/// the reports it collected (empty when the sanitizer is off).
+pub fn run_stencil_reports<T: Real>(
+    p: StencilParams,
+    variant: Variant,
+    opts: RunOptions,
+    sanitizer: SanitizerMode,
+) -> (StencilOutcome, Vec<Report>) {
     let reports: Arc<Mutex<Vec<RankReport>>> = Arc::new(Mutex::new(Vec::new()));
     let collector = Arc::clone(&reports);
-    GpuCluster::new(p.nranks()).run(move |env| {
-        let mut rk = StencilRank::<T>::new(env, p);
-        rk.timed = opts.timed_breakdown;
-        env.comm.barrier();
-        let t0 = sim_core::now();
-        // Measure the call mix of one steady-state iteration (the second,
-        // to skip any warm-up effects like tbuf pool population).
-        let probe_iter = 1.min(p.iters.saturating_sub(1));
-        let mut base = None;
-        let mut loop_calls = BTreeMap::new();
-        for it in 0..p.iters {
-            if it == probe_iter {
-                let mut snap = env.gpu.counters().snapshot();
-                snap.extend(env.comm.counters().snapshot());
-                base = Some(snap);
-            }
-            rk.step(variant);
-            if it == probe_iter {
-                let base = base.take().unwrap();
-                let mut now = env.gpu.counters().snapshot();
-                now.extend(env.comm.counters().snapshot());
-                for (k, v) in now {
-                    let b = base.get(k).copied().unwrap_or(0);
-                    if v > b {
-                        loop_calls.insert(k.to_string(), v - b);
+    let (_, san) = GpuCluster::new(p.nranks())
+        .sanitizer(sanitizer)
+        .run_with_reports(move |env| {
+            let mut rk = StencilRank::<T>::new(env, p);
+            rk.timed = opts.timed_breakdown;
+            env.comm.barrier();
+            let t0 = sim_core::now();
+            // Measure the call mix of one steady-state iteration (the second,
+            // to skip any warm-up effects like tbuf pool population).
+            let probe_iter = 1.min(p.iters.saturating_sub(1));
+            let mut base = None;
+            let mut loop_calls = BTreeMap::new();
+            for it in 0..p.iters {
+                if it == probe_iter {
+                    let mut snap = env.gpu.counters().snapshot();
+                    snap.extend(env.comm.counters().snapshot());
+                    base = Some(snap);
+                }
+                rk.step(variant);
+                if it == probe_iter {
+                    let base = base.take().unwrap();
+                    let mut now = env.gpu.counters().snapshot();
+                    now.extend(env.comm.counters().snapshot());
+                    for (k, v) in now {
+                        let b = base.get(k).copied().unwrap_or(0);
+                        if v > b {
+                            loop_calls.insert(k.to_string(), v - b);
+                        }
                     }
                 }
             }
-        }
-        env.comm.barrier();
-        let elapsed = sim_core::now() - t0;
-        let report = RankReport {
-            rank: env.comm.rank(),
-            elapsed,
-            breakdown: rk.breakdown,
-            checksum: rk.checksum(),
-            interior: opts.collect_interiors.then(|| rk.interior_bytes()),
-            loop_calls,
-        };
-        rk.free();
-        collector.lock().push(report);
-    });
+            env.comm.barrier();
+            let elapsed = sim_core::now() - t0;
+            let report = RankReport {
+                rank: env.comm.rank(),
+                elapsed,
+                breakdown: rk.breakdown,
+                checksum: rk.checksum(),
+                interior: opts.collect_interiors.then(|| rk.interior_bytes()),
+                loop_calls,
+            };
+            rk.free();
+            collector.lock().push(report);
+        });
     let mut ranks = Arc::try_unwrap(reports)
         .map(|m| m.into_inner())
         .unwrap_or_else(|a| a.lock().clone());
@@ -113,5 +126,5 @@ pub fn run_stencil<T: Real>(
         .map(|r| r.elapsed)
         .max()
         .unwrap_or(SimDur::ZERO);
-    StencilOutcome { wall, ranks }
+    (StencilOutcome { wall, ranks }, san)
 }

@@ -21,4 +21,8 @@ cargo build --release
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> pipeline bench smoke (plan cache + adaptive policy guards)"
+cargo run --release -q -p bench --bin pipeline_bench -- \
+    --iters 4 --out /tmp/BENCH_pipeline_smoke.json > /dev/null
+
 echo "CI OK"

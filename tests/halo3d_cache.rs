@@ -1,0 +1,34 @@
+//! Plan-cache effectiveness on a real application: halo3d creates its
+//! twelve face datatypes once per rank and reuses them every iteration, so
+//! nearly all plan lookups must be cache hits.
+//!
+//! This binary holds exactly one test: it asserts on the process-global
+//! instrument counters, which would race with unrelated tests running in
+//! parallel threads of the same binary.
+
+use gpu_nc_repro::halo3d::{run_halo3d, Halo3dParams, Variant};
+use gpu_nc_repro::sim_core::instrument;
+
+#[test]
+fn halo3d_plan_cache_hit_rate_is_at_least_90_percent() {
+    let g = instrument::global();
+    let base = g.snapshot();
+    run_halo3d::<f32>(
+        Halo3dParams {
+            grid: (1, 2, 2),
+            local: (6, 8, 8),
+            iters: 16,
+        },
+        Variant::Mv2,
+        false,
+    );
+    let d = g.delta(&base);
+    let hits = d.get("plan_cache_hit").copied().unwrap_or(0);
+    let misses = d.get("plan_cache_miss").copied().unwrap_or(0);
+    assert!(hits + misses > 0, "the run must consult the plan cache");
+    let rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        rate >= 0.9,
+        "plan-cache hit rate {rate:.3} below 90% ({hits} hits, {misses} misses)"
+    );
+}

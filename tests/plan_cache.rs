@@ -1,0 +1,94 @@
+//! The committed-plan cache on the rendezvous hot path: after a warm-up
+//! transfer, steady-state sends of the same `(datatype, count)` must never
+//! re-expand the typemap — every lookup is a plan-cache hit.
+//!
+//! These tests assert on the *per-type* counters ([`Datatype::expand_count`]
+//! via `flat()`, [`Datatype::plan_cache_stats`]), which are immune to other
+//! tests running concurrently in this binary.
+
+use gpu_nc_repro::mpi_sim::{Datatype, MpiWorld};
+use gpu_nc_repro::mv2_gpu_nc::GpuCluster;
+use hostmem::HostBuf;
+
+/// 4096 single-float blocks on a 4-float stride: 16 KiB packed — above the
+/// eager threshold (staged rendezvous) and never contiguous.
+fn noncontig_16k() -> Datatype {
+    let dt = Datatype::vector(4096, 1, 4, &Datatype::float());
+    dt.commit();
+    dt
+}
+
+fn footprint(dt: &Datatype) -> usize {
+    let (lo, hi) = dt.flat().byte_range(1);
+    assert!(lo >= 0);
+    hi as usize + 64
+}
+
+fn host_transfer(dt: &Datatype, iters: u32) {
+    let dtc = dt.clone();
+    let fp = footprint(dt);
+    MpiWorld::new(2).run(move |comm| {
+        let buf = HostBuf::alloc(fp);
+        for tag in 0..iters {
+            if comm.rank() == 0 {
+                comm.send(buf.base(), 1, &dtc, 1, tag);
+            } else {
+                comm.recv(buf.base(), 1, &dtc, 0, tag);
+            }
+        }
+    });
+}
+
+fn gpu_transfer(dt: &Datatype, iters: u32) {
+    let dtc = dt.clone();
+    let fp = footprint(dt);
+    GpuCluster::new(2).run(move |env| {
+        let dev = env.gpu.malloc(fp);
+        for tag in 0..iters {
+            if env.comm.rank() == 0 {
+                env.comm.send(dev, 1, &dtc, 1, tag);
+            } else {
+                env.comm.recv(dev, 1, &dtc, 0, tag);
+            }
+        }
+        env.gpu.free(dev);
+    });
+}
+
+#[test]
+fn host_rendezvous_steady_state_never_reexpands() {
+    let dt = noncontig_16k();
+    host_transfer(&dt, 1); // warm-up: builds and caches the plan
+    let expands = dt.flat().expand_count();
+    let warm = dt.plan_cache_stats();
+    assert!(expands > 0, "warm-up must have expanded the type");
+
+    host_transfer(&dt, 8);
+    assert_eq!(
+        dt.flat().expand_count(),
+        expands,
+        "steady-state sends re-expanded the typemap"
+    );
+    let s = dt.plan_cache_stats();
+    assert_eq!(s.misses, warm.misses, "steady state missed the plan cache");
+    assert!(s.hits > warm.hits, "steady state must hit the plan cache");
+}
+
+#[test]
+fn gpu_rendezvous_steady_state_never_reexpands() {
+    let dt = noncontig_16k();
+    gpu_transfer(&dt, 1);
+    let expands = dt.flat().expand_count();
+    let warm = dt.plan_cache_stats();
+    assert!(expands > 0, "warm-up must have expanded the type");
+
+    gpu_transfer(&dt, 8);
+    assert_eq!(
+        dt.flat().expand_count(),
+        expands,
+        "steady-state sends re-expanded the typemap"
+    );
+    let s = dt.plan_cache_stats();
+    assert_eq!(s.misses, warm.misses, "steady state missed the plan cache");
+    assert!(s.hits > warm.hits, "steady state must hit the plan cache");
+}

@@ -311,3 +311,50 @@ fn tiny_windows_never_deadlock() {
         }
     }
 }
+
+/// A cached plan is byte-identical to a fresh expansion — segments, prefix
+/// sums, layout classification and packed-range mapping — including after
+/// the LRU has evicted and re-inserted the count.
+#[test]
+fn cached_plan_matches_fresh_expansion() {
+    use gpu_nc_repro::mv2_gpu_nc::SegmentMap;
+
+    let mut rng = XorShift64::new(0x5EED_0005);
+    let mut evictions = 0u64;
+    for _ in 0..12 {
+        let dt = dt_spec(&mut rng, 2).build();
+        dt.commit();
+        let before = dt.plan_cache_stats();
+        // More distinct counts than the cache holds, revisited in random
+        // order: every count gets evicted and rebuilt at least once.
+        let lookups = 40usize;
+        for _ in 0..lookups {
+            let count = rng.gen_range(1, 24);
+            let plan = dt.plan(count);
+            let fresh = dt.flat().expanded(count);
+            assert_eq!(plan.segments(), &fresh[..], "segment list diverged");
+            assert_eq!(
+                plan.layout(),
+                &gpu_nc_repro::mpi_sim::flat::FlatType::classify(&fresh),
+                "layout diverged"
+            );
+            let map = SegmentMap::new(fresh);
+            assert_eq!(plan.total(), map.total());
+            assert_eq!(plan.num_segments(), map.num_segments());
+            for _ in 0..4 {
+                let total = plan.total();
+                let off = rng.gen_range(0, total + 1);
+                let len = rng.gen_range(0, total - off + 1);
+                assert_eq!(plan.pieces(off, len), map.pieces(off, len));
+            }
+        }
+        let s = dt.plan_cache_stats();
+        assert_eq!(
+            (s.hits + s.misses) - (before.hits + before.misses),
+            lookups as u64,
+            "every lookup is a hit or a miss"
+        );
+        evictions += s.evictions;
+    }
+    assert!(evictions > 0, "count churn past capacity must evict");
+}

@@ -239,3 +239,47 @@ fn pack_schemes_clean_under_sanitizer() {
         "pack schemes must be sanitizer-clean: {reports:?}"
     );
 }
+
+/// The application benchmarks under the (default) adaptive chunk policy
+/// must also be clean: the autotuner changes chunk geometry between
+/// transfers, which exercises vbuf reuse and flow control in patterns the
+/// fixed policy never produces.
+#[test]
+fn halo3d_adaptive_clean_under_sanitizer() {
+    use gpu_nc_repro::halo3d::{run_halo3d_reports, Halo3dParams, Variant};
+    let (_out, reports) = run_halo3d_reports::<f32>(
+        Halo3dParams {
+            grid: (2, 1, 1),
+            local: (32, 64, 64), // 16 KiB i-faces: staged rendezvous
+            iters: 2,
+        },
+        Variant::Mv2,
+        false,
+        SanitizerMode::Collect,
+    );
+    assert!(
+        reports.is_empty(),
+        "halo3d must be sanitizer-clean under the adaptive policy: {reports:?}"
+    );
+}
+
+#[test]
+fn stencil2d_adaptive_clean_under_sanitizer() {
+    use gpu_nc_repro::stencil2d::{run_stencil_reports, RunOptions, StencilParams, Variant};
+    let (_out, reports) = run_stencil_reports::<f64>(
+        StencilParams {
+            py: 1,
+            px: 2,
+            rows: 1200, // 9.6 KiB column halo: staged rendezvous
+            cols: 16,
+            iters: 2,
+        },
+        Variant::Mv2,
+        RunOptions::default(),
+        SanitizerMode::Collect,
+    );
+    assert!(
+        reports.is_empty(),
+        "stencil2d must be sanitizer-clean under the adaptive policy: {reports:?}"
+    );
+}
