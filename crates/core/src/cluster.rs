@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use gpu_sim::{CostModel, Gpu};
-use ib_sim::{Fabric, NetModel};
+use ib_sim::{Fabric, FaultSpec, NetModel};
 use mpi_sim::staging::BufferStager;
 use mpi_sim::{ChunkPolicy, Comm, MpiConfig};
 use sim_core::{Report, SanitizerMode, Sim, SimTime};
@@ -31,6 +31,7 @@ pub struct GpuCluster {
     gpu_cost: CostModel,
     gpu_mem: usize,
     sanitizer: SanitizerMode,
+    fault_spec: Option<FaultSpec>,
 }
 
 impl GpuCluster {
@@ -43,6 +44,7 @@ impl GpuCluster {
             gpu_cost: CostModel::tesla_c2050(),
             gpu_mem: 3 << 30,
             sanitizer: SanitizerMode::Off,
+            fault_spec: None,
         }
     }
 
@@ -86,6 +88,15 @@ impl GpuCluster {
         self
     }
 
+    /// Run the job on a fault-injecting fabric (see [`FaultSpec`]): seeded
+    /// deterministic control-packet loss/delay, RDMA error CQEs and
+    /// registration pin limits. The MPI layer retries and recovers; the
+    /// application must observe byte-identical results.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.fault_spec = Some(spec);
+        self
+    }
+
     /// Run `f` on every rank; returns the virtual completion time.
     pub fn run<F>(self, f: F) -> SimTime
     where
@@ -102,7 +113,7 @@ impl GpuCluster {
     {
         let sim = Sim::new();
         sim.set_sanitizer(self.sanitizer);
-        let fabric = Fabric::new(self.n, self.net.clone());
+        let fabric = Fabric::with_faults(self.n, self.net.clone(), self.fault_spec.clone());
         let f = Arc::new(f);
         let trace = PipelineTrace::new();
         for rank in 0..self.n {
@@ -121,6 +132,7 @@ impl GpuCluster {
                 let comm = Comm::create(fabric.nic(rank), rank, n, cfg, stagers);
                 let env = GpuRankEnv { comm, gpu, trace };
                 f(&env);
+                env.comm.finalize();
             });
         }
         let end = sim.run();

@@ -49,6 +49,7 @@ pub mod timeline;
 
 pub use cluster::{GpuCluster, GpuRankEnv};
 pub use gpu_pack::SegmentMap;
+pub use ib_sim::FaultSpec;
 pub use pools::{Tbuf, TbufPool};
 pub use stager::{GpuStager, PipelineTrace, TraceEvent};
 

@@ -23,7 +23,7 @@ mod rank;
 
 use std::sync::Arc;
 
-use mv2_gpu_nc::GpuCluster;
+use mv2_gpu_nc::{FaultSpec, GpuCluster};
 use sim_core::lock::Mutex;
 use sim_core::{Report, SanitizerMode, SimDur};
 use stencil2d::Real;
@@ -73,38 +73,53 @@ pub fn run_halo3d_reports<T: Real>(
     collect: bool,
     sanitizer: SanitizerMode,
 ) -> (Halo3dOutcome, Vec<Report>) {
+    run_halo3d_campaign::<T>(p, variant, collect, sanitizer, None)
+}
+
+/// Like [`run_halo3d_reports`], optionally on a fault-injecting fabric
+/// (fault campaigns: the solver must produce byte-identical fields while
+/// the MPI layer drops, delays and retries underneath it).
+pub fn run_halo3d_campaign<T: Real>(
+    p: Halo3dParams,
+    variant: Variant,
+    collect: bool,
+    sanitizer: SanitizerMode,
+    faults: Option<FaultSpec>,
+) -> (Halo3dOutcome, Vec<Report>) {
     let reports: Arc<Mutex<Vec<Rank3dReport>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&reports);
-    let (_, san) = GpuCluster::new(p.nranks())
-        .sanitizer(sanitizer)
-        .run_with_reports(move |env| {
-            let mut rk = Halo3dRank::<T>::new(env, p);
-            env.comm.barrier();
-            let t0 = sim_core::now();
-            for _ in 0..p.iters {
-                rk.step(variant);
-            }
-            env.comm.barrier();
-            let elapsed = sim_core::now() - t0;
-            let interior = rk.interior();
-            let checksum = interior.iter().map(|v| v.to_f64()).sum();
-            sink.lock().push(Rank3dReport {
-                rank: env.comm.rank(),
-                elapsed,
-                checksum,
-                interior: collect.then(|| {
-                    interior
-                        .iter()
-                        .flat_map(|v| {
-                            let mut b = vec![0u8; T::SIZE];
-                            v.write_le(&mut b);
-                            b
-                        })
-                        .collect()
-                }),
-            });
-            rk.free();
+    let mut cluster = GpuCluster::new(p.nranks()).sanitizer(sanitizer);
+    if let Some(spec) = faults {
+        cluster = cluster.faults(spec);
+    }
+    let (_, san) = cluster.run_with_reports(move |env| {
+        let mut rk = Halo3dRank::<T>::new(env, p);
+        env.comm.barrier();
+        let t0 = sim_core::now();
+        for _ in 0..p.iters {
+            rk.step(variant);
+        }
+        env.comm.barrier();
+        let elapsed = sim_core::now() - t0;
+        let interior = rk.interior();
+        let checksum = interior.iter().map(|v| v.to_f64()).sum();
+        sink.lock().push(Rank3dReport {
+            rank: env.comm.rank(),
+            elapsed,
+            checksum,
+            interior: collect.then(|| {
+                interior
+                    .iter()
+                    .flat_map(|v| {
+                        let mut b = vec![0u8; T::SIZE];
+                        v.write_le(&mut b);
+                        b
+                    })
+                    .collect()
+            }),
         });
+        rk.free();
+    });
     let mut ranks = Arc::try_unwrap(reports)
         .map(|m| m.into_inner())
         .unwrap_or_else(|a| a.lock().clone());

@@ -26,10 +26,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hostmem::{HostBuf, HostPtr};
+use sim_core::instrument;
 use sim_core::lock::Mutex;
 use sim_core::san;
 use sim_core::{Completion, Mailbox, SimDur, SimTime};
 
+use crate::fault::{FaultSpec, FaultState};
 use crate::model::NetModel;
 
 /// A message delivered to a node's mailbox.
@@ -51,11 +53,39 @@ struct Mr {
     buf: HostBuf,
 }
 
+/// Registration refused: granting it would exceed the node's pin limit.
+/// The simulator's equivalent of `ibv_reg_mr` failing with `ENOMEM` when
+/// `RLIMIT_MEMLOCK` is exhausted.
+#[derive(Clone, Debug)]
+pub struct RegError {
+    /// Bytes the caller asked to pin.
+    pub requested: usize,
+    /// Bytes this node already has pinned through its HCA.
+    pub pinned: usize,
+    /// The node's pin limit.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for RegError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory registration failed: {} bytes requested, {} already pinned, limit {}",
+            self.requested, self.pinned, self.limit
+        )
+    }
+}
+
+impl std::error::Error for RegError {}
+
 struct NodeNet {
     /// When this node's transmit engine is next free.
     tx_free: SimTime,
     /// Registered memory regions (keyed for remote access).
     mrs: HashMap<MrKey, Mr>,
+    /// Bytes currently pinned through this HCA (for the fault layer's pin
+    /// limit; released by [`Nic::deregister`]).
+    pinned_bytes: usize,
     /// Sanitizer: last operation posted to this node's transmit engine.
     tx_last: Option<san::OpId>,
 }
@@ -68,6 +98,8 @@ struct FabricInner {
     next_key: AtomicU64,
     /// Sanitizer queue domain; lanes are node ids (one tx engine each).
     san_domain: u64,
+    /// Seeded fault injection, if this fabric was built with faults.
+    faults: Option<FaultState>,
 }
 
 /// The simulated cluster interconnect. Clones are shallow.
@@ -86,6 +118,13 @@ pub struct Nic {
 impl Fabric {
     /// Create a fabric connecting `nodes` nodes.
     pub fn new(nodes: usize, model: NetModel) -> Self {
+        Self::with_faults(nodes, model, None)
+    }
+
+    /// Like [`Fabric::new`], but with an optional seeded fault-injection
+    /// spec. `None` is exactly `Fabric::new` — no random stream exists and
+    /// the fabric is perfectly reliable.
+    pub fn with_faults(nodes: usize, model: NetModel, faults: Option<FaultSpec>) -> Self {
         Fabric {
             inner: Arc::new(FabricInner {
                 model,
@@ -94,6 +133,7 @@ impl Fabric {
                         .map(|_| NodeNet {
                             tx_free: SimTime::ZERO,
                             mrs: HashMap::new(),
+                            pinned_bytes: 0,
                             tx_last: None,
                         })
                         .collect(),
@@ -101,8 +141,17 @@ impl Fabric {
                 mailboxes: (0..nodes).map(|_| Mailbox::new()).collect(),
                 next_key: AtomicU64::new(1),
                 san_domain: san::new_queue_domain(),
+                faults: faults.map(FaultState::new),
             }),
         }
+    }
+
+    /// Whether this fabric injects faults. Protocol layers use this to arm
+    /// retry timers only when the network can actually misbehave, keeping
+    /// the zero-fault configuration bit-identical to a fabric built without
+    /// a fault spec.
+    pub fn faults_enabled(&self) -> bool {
+        self.inner.faults.is_some()
     }
 
     /// Number of nodes.
@@ -187,18 +236,53 @@ impl Nic {
     /// [`NetModel::ctrl_bytes`] for control messages, the payload length for
     /// eager data). Returns the sender-side completion (ack'd delivery).
     pub fn send(&self, dst: usize, wire_bytes: usize, payload: Box<dyn Any + Send>) -> Completion {
+        self.send_impl(dst, wire_bytes, payload, false)
+    }
+
+    /// Convenience: send a control-sized message. Unlike [`Nic::send`],
+    /// control messages are subject to the fault layer's drop/delay
+    /// injection (the protocol above must retransmit them).
+    pub fn send_ctrl(&self, dst: usize, payload: Box<dyn Any + Send>) -> Completion {
+        let bytes = self.fabric.inner.model.ctrl_bytes;
+        self.send_impl(dst, bytes, payload, true)
+    }
+
+    fn send_impl(
+        &self,
+        dst: usize,
+        wire_bytes: usize,
+        payload: Box<dyn Any + Send>,
+        ctrl: bool,
+    ) -> Completion {
         assert!(dst < self.fabric.num_nodes(), "no such node {dst}");
         self.post_overhead();
         let op = self.san_begin("nic_send", vec![], vec![]);
         let (_, arrival) = self.tx_schedule(wire_bytes, op);
-        self.fabric.inner.mailboxes[dst].send_at(
-            arrival,
-            Packet {
-                src: self.node,
-                wire_bytes,
-                payload,
-            },
-        );
+        // Fault injection applies to control traffic only: the loss happens
+        // past the sender's HCA (a switch dropping toward a hosed receive
+        // queue), so the sender-side CQE still reports success either way.
+        let mut deliver_at = Some(arrival);
+        if ctrl {
+            if let Some(f) = &self.fabric.inner.faults {
+                if f.drop_ctrl() {
+                    instrument::global().record("fault.ctrl_drop");
+                    deliver_at = None;
+                } else if let Some(extra) = f.delay_ctrl() {
+                    instrument::global().record("fault.ctrl_delay");
+                    deliver_at = Some(arrival + SimDur::from_nanos(extra));
+                }
+            }
+        }
+        if let Some(t) = deliver_at {
+            self.fabric.inner.mailboxes[dst].send_at(
+                t,
+                Packet {
+                    src: self.node,
+                    wire_bytes,
+                    payload,
+                },
+            );
+        }
         let c = Completion::ready_at(arrival);
         if let Some(o) = op {
             c.attach_ops(&[o]);
@@ -206,32 +290,81 @@ impl Nic {
         c
     }
 
-    /// Convenience: send a control-sized message.
-    pub fn send_ctrl(&self, dst: usize, payload: Box<dyn Any + Send>) -> Completion {
-        let bytes = self.fabric.inner.model.ctrl_bytes;
-        self.send(dst, bytes, payload)
-    }
-
     /// Register `buf` for remote access (pins it). Costs registration time.
+    ///
+    /// Infallible: internal pools registered at startup must not fail even
+    /// under a fault-injected pin limit (MVAPICH2 registers its vbuf pools
+    /// at `MPI_Init`; the limit bites on *user* buffers, via
+    /// [`try_register`](Nic::try_register)). The bytes still count against
+    /// the node's pinned footprint.
     pub fn register(&self, buf: &HostBuf) -> MrKey {
         let m = &self.fabric.inner.model;
         if sim_core::in_sim() {
             sim_core::sleep(m.reg_time(buf.len()));
         }
+        self.register_finish(buf)
+    }
+
+    /// Fallible registration for user buffers: refused with [`RegError`]
+    /// when the fault layer's pin limit would be exceeded. The refusal is
+    /// checked *before* the registration time is charged (the verbs call
+    /// fails fast). Without a fault spec this never fails.
+    pub fn try_register(&self, buf: &HostBuf) -> Result<MrKey, RegError> {
+        if let Some(limit) = self
+            .fabric
+            .inner
+            .faults
+            .as_ref()
+            .and_then(|f| f.pin_limit())
+        {
+            let pinned = self.fabric.inner.nodes.lock()[self.node].pinned_bytes;
+            if pinned + buf.len() > limit {
+                instrument::global().record("fault.reg_fail");
+                return Err(RegError {
+                    requested: buf.len(),
+                    pinned,
+                    limit,
+                });
+            }
+        }
+        let m = &self.fabric.inner.model;
+        if sim_core::in_sim() {
+            sim_core::sleep(m.reg_time(buf.len()));
+        }
+        Ok(self.register_finish(buf))
+    }
+
+    fn register_finish(&self, buf: &HostBuf) -> MrKey {
         buf.pin();
         let key = MrKey(self.fabric.inner.next_key.fetch_add(1, Ordering::Relaxed));
-        self.fabric.inner.nodes.lock()[self.node]
-            .mrs
-            .insert(key, Mr { buf: buf.clone() });
+        let mut nodes = self.fabric.inner.nodes.lock();
+        nodes[self.node].pinned_bytes += buf.len();
+        nodes[self.node].mrs.insert(key, Mr { buf: buf.clone() });
         key
+    }
+
+    /// Bytes this node currently has pinned through its HCA.
+    pub fn pinned_bytes(&self) -> usize {
+        self.fabric.inner.nodes.lock()[self.node].pinned_bytes
+    }
+
+    /// Whether this NIC's fabric injects faults (see
+    /// [`Fabric::faults_enabled`]).
+    pub fn faults_enabled(&self) -> bool {
+        self.fabric.faults_enabled()
     }
 
     /// Remove a registration. The region stays pinned (as after
     /// `ibv_dereg_mr` the pages may stay resident); remote access through
-    /// the key now faults.
+    /// the key now faults. The bytes no longer count against the node's
+    /// pin-limit footprint.
     pub fn deregister(&self, key: MrKey) {
-        let removed = self.fabric.inner.nodes.lock()[self.node].mrs.remove(&key);
-        assert!(removed.is_some(), "deregister of unknown MrKey {key:?}");
+        let mut nodes = self.fabric.inner.nodes.lock();
+        let removed = nodes[self.node].mrs.remove(&key);
+        match removed {
+            Some(mr) => nodes[self.node].pinned_bytes -= mr.buf.len(),
+            None => panic!("deregister of unknown MrKey {key:?}"),
+        }
     }
 
     /// One-sided RDMA write: place `len` bytes from the local pinned region
@@ -256,6 +389,17 @@ impl Nic {
             panic!("RDMA write from unpinned local memory {:?}", src.buf());
         }
         self.post_overhead();
+        // Injected transport failure: the write occupies the engine and the
+        // wire like a real retry-exhausted transfer, but places no bytes and
+        // completes with an error CQE. No sanitizer op is created — nothing
+        // was written, so there is nothing to order against.
+        if let Some(f) = &self.fabric.inner.faults {
+            if f.rdma_error() {
+                instrument::global().record("fault.rdma_error");
+                let (_, arrival) = self.tx_schedule(len, None);
+                return Completion::failed_at(arrival);
+            }
+        }
         // Validate and copy into the remote region. The copy is performed
         // eagerly; remote visibility is ordered by the fabric because any
         // notification of this write travels behind it on the same engine.
@@ -439,6 +583,127 @@ mod tests {
             fabric.nic(0).register(&buf);
             assert!(now() > t0);
             assert!(buf.is_pinned());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn certain_ctrl_drop_loses_packet_but_acks_sender() {
+        let sim = Sim::new();
+        let fabric = Fabric::with_faults(
+            2,
+            NetModel::qdr(),
+            Some(FaultSpec {
+                ctrl_drop: 1.0,
+                ..FaultSpec::seeded(3)
+            }),
+        );
+        {
+            let nic = fabric.nic(0);
+            sim.spawn("sender", move || {
+                // Dropped ctrl message still completes on the sender side...
+                let c = nic.send_ctrl(1, Box::new("rts"));
+                c.wait();
+                assert!(!c.is_error());
+                // ...and data sends are never subject to ctrl loss.
+                nic.send(1, 1 << 10, Box::new(5u32));
+            });
+        }
+        {
+            let nic = fabric.nic(1);
+            sim.spawn("receiver", move || {
+                let pkt = nic.mailbox().recv();
+                assert_eq!(*pkt.payload.downcast::<u32>().unwrap(), 5);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn delayed_ctrl_can_be_overtaken() {
+        let sim = Sim::new();
+        let fabric = Fabric::with_faults(
+            2,
+            NetModel::qdr(),
+            Some(FaultSpec {
+                ctrl_delay: 1.0,
+                delay_ns: 1_000_000,
+                ..FaultSpec::seeded(4)
+            }),
+        );
+        {
+            let nic = fabric.nic(0);
+            sim.spawn("sender", move || {
+                nic.send_ctrl(1, Box::new("first")); // delayed 1 ms
+                nic.send(1, 8, Box::new("second")); // data: on time
+            });
+        }
+        {
+            let nic = fabric.nic(1);
+            sim.spawn("receiver", move || {
+                let a = nic.mailbox().recv();
+                let b = nic.mailbox().recv();
+                assert_eq!(*a.payload.downcast::<&str>().unwrap(), "second");
+                assert_eq!(*b.payload.downcast::<&str>().unwrap(), "first");
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn injected_rdma_error_places_no_bytes() {
+        let sim = Sim::new();
+        let fabric = Fabric::with_faults(
+            2,
+            NetModel::qdr(),
+            Some(FaultSpec {
+                rdma_error: 1.0,
+                ..FaultSpec::seeded(5)
+            }),
+        );
+        let target = HostBuf::alloc(64);
+        let key = fabric.nic(1).register(&target);
+        {
+            let nic = fabric.nic(0);
+            let t2 = target.clone();
+            sim.spawn("writer", move || {
+                let src = HostBuf::from_vec(vec![7u8; 16]);
+                nic.register(&src);
+                let c = nic.rdma_write(1, key, 0, &src.base(), 16);
+                c.wait();
+                assert!(c.is_error(), "injected failure must surface as error CQE");
+                assert_eq!(t2.read(0, 16), vec![0u8; 16], "no bytes placed");
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn pin_limit_fails_try_register_but_not_register() {
+        let sim = Sim::new();
+        let fabric = Fabric::with_faults(
+            1,
+            NetModel::qdr(),
+            Some(FaultSpec {
+                pin_limit_bytes: Some(100),
+                ..FaultSpec::seeded(6)
+            }),
+        );
+        sim.spawn("p", move || {
+            let nic = fabric.nic(0);
+            let a = HostBuf::alloc(64);
+            let ka = nic.try_register(&a).expect("under the limit");
+            assert_eq!(nic.pinned_bytes(), 64);
+            let b = HostBuf::alloc(64);
+            let err = nic.try_register(&b).expect_err("64+64 > 100");
+            assert_eq!((err.requested, err.pinned, err.limit), (64, 64, 100));
+            // Infallible registration (internal pools) ignores the limit
+            // but still counts.
+            nic.register(&b);
+            assert_eq!(nic.pinned_bytes(), 128);
+            // Deregistering releases the accounting.
+            nic.deregister(ka);
+            assert_eq!(nic.pinned_bytes(), 64);
         });
         sim.run();
     }

@@ -1,0 +1,163 @@
+//! Deterministic fault injection for the fabric.
+//!
+//! A [`FaultSpec`] attaches a seeded xorshift64* stream to the fabric and
+//! uses it to perturb three operations, mirroring the transient failures a
+//! real InfiniBand deployment survives:
+//!
+//! * **control-packet loss / delay** — [`Nic::send_ctrl`](crate::Nic::send_ctrl)
+//!   traffic (RTS/CTS/FIN/credit style messages) can be dropped after the
+//!   sender's CQE or delivered late and out of order;
+//! * **RDMA write failure** — an RDMA write can complete with an error CQE
+//!   ([`Completion::is_error`](sim_core::Completion::is_error)) and place
+//!   no data;
+//! * **registration failure** — a per-node pin limit makes
+//!   [`Nic::try_register`](crate::Nic::try_register) fail once too many
+//!   bytes are pinned, like `ibv_reg_mr` hitting `RLIMIT_MEMLOCK`.
+//!
+//! Because the simulation is cooperatively scheduled and the stream is
+//! seeded, a fault campaign replays **bit-identically**: same seed, same
+//! drops, same timings. Every injected fault is counted through
+//! [`sim_core::instrument::global()`] (`fault.ctrl_drop`, `fault.ctrl_delay`,
+//! `fault.rdma_error`, `fault.reg_fail`) so campaigns are observable.
+
+use sim_core::lock::Mutex;
+use xorshift::XorShift64;
+
+/// What faults to inject. Probabilities are in `[0, 1]`; the default from
+/// [`FaultSpec::seeded`] injects nothing, so individual faults can be
+/// switched on with struct-update syntax:
+///
+/// ```
+/// use ib_sim::FaultSpec;
+/// let spec = FaultSpec {
+///     ctrl_drop: 0.10,
+///     rdma_error: 0.02,
+///     ..FaultSpec::seeded(42)
+/// };
+/// assert!(spec.ctrl_delay == 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Seed of the xorshift64* stream driving every fault decision.
+    pub seed: u64,
+    /// Probability that a control packet is dropped (after the sender-side
+    /// CQE — the loss is invisible to the sending HCA, as with a switch
+    /// dropping an already-acked packet toward a slow receive queue).
+    pub ctrl_drop: f64,
+    /// Probability that a control packet is delayed by [`delay_ns`]
+    /// (delivered late, possibly overtaken by later packets).
+    ///
+    /// [`delay_ns`]: FaultSpec::delay_ns
+    pub ctrl_delay: f64,
+    /// Extra delivery latency applied to delayed control packets, ns.
+    pub delay_ns: u64,
+    /// Probability that an RDMA write completes with an error CQE and
+    /// places no data.
+    pub rdma_error: f64,
+    /// Per-node pin limit, bytes: [`Nic::try_register`](crate::Nic::try_register)
+    /// fails when granting it would push the node's pinned footprint past
+    /// this. `None` = unlimited.
+    pub pin_limit_bytes: Option<usize>,
+}
+
+impl FaultSpec {
+    /// A spec with the given seed and **no** faults enabled. Enable
+    /// individual faults with struct-update syntax.
+    pub fn seeded(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            ctrl_drop: 0.0,
+            ctrl_delay: 0.0,
+            delay_ns: 50_000,
+            rdma_error: 0.0,
+            pin_limit_bytes: None,
+        }
+    }
+}
+
+/// Seeded fault state shared by every NIC of one fabric.
+pub(crate) struct FaultState {
+    spec: FaultSpec,
+    rng: Mutex<XorShift64>,
+}
+
+impl FaultState {
+    pub(crate) fn new(spec: FaultSpec) -> Self {
+        let rng = Mutex::new(XorShift64::new(spec.seed));
+        FaultState { spec, rng }
+    }
+
+    /// One Bernoulli draw from the shared stream. Draw order is
+    /// deterministic because simulation processes run cooperatively.
+    fn roll(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 uniform bits -> [0, 1). Exact and platform-independent.
+        let u = (self.rng.lock().next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    /// Should this control packet be dropped?
+    pub(crate) fn drop_ctrl(&self) -> bool {
+        self.roll(self.spec.ctrl_drop)
+    }
+
+    /// Extra delivery delay for this control packet, if any, ns.
+    pub(crate) fn delay_ctrl(&self) -> Option<u64> {
+        self.roll(self.spec.ctrl_delay)
+            .then_some(self.spec.delay_ns)
+    }
+
+    /// Should this RDMA write fail with an error CQE?
+    pub(crate) fn rdma_error(&self) -> bool {
+        self.roll(self.spec.rdma_error)
+    }
+
+    /// The per-node pin limit, if one is configured.
+    pub(crate) fn pin_limit(&self) -> Option<usize> {
+        self.spec.pin_limit_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_fires_and_draws_nothing() {
+        let st = FaultState::new(FaultSpec::seeded(1));
+        for _ in 0..100 {
+            assert!(!st.drop_ctrl());
+            assert!(st.delay_ctrl().is_none());
+            assert!(!st.rdma_error());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mk = || {
+            FaultState::new(FaultSpec {
+                ctrl_drop: 0.3,
+                rdma_error: 0.1,
+                ..FaultSpec::seeded(77)
+            })
+        };
+        let (a, b) = (mk(), mk());
+        for _ in 0..1000 {
+            assert_eq!(a.drop_ctrl(), b.drop_ctrl());
+            assert_eq!(a.rdma_error(), b.rdma_error());
+        }
+    }
+
+    #[test]
+    fn certain_drop_always_fires() {
+        let st = FaultState::new(FaultSpec {
+            ctrl_drop: 1.0,
+            ..FaultSpec::seeded(9)
+        });
+        for _ in 0..50 {
+            assert!(st.drop_ctrl());
+        }
+    }
+}

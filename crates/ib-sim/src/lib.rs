@@ -34,7 +34,9 @@
 #![warn(missing_docs)]
 
 mod fabric;
+mod fault;
 mod model;
 
-pub use fabric::{Fabric, MrKey, Nic, Packet};
+pub use fabric::{Fabric, MrKey, Nic, Packet, RegError};
+pub use fault::FaultSpec;
 pub use model::NetModel;

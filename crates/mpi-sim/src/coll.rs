@@ -113,11 +113,35 @@ fn combine_bytes(op: ReduceOp, dtype: &Datatype, acc: &mut [u8], inc: &[u8]) {
 impl Comm {
     /// `MPI_Barrier` (dissemination algorithm).
     pub fn barrier(&self) {
+        self.engine().lock().counters.record("MPI_Barrier");
+        self.dissemination();
+    }
+
+    /// Post-job quiesce for fault-injecting fabrics (no-op on a clean
+    /// one, keeping fault-free runs bit-identical).
+    ///
+    /// A rank whose own requests have all completed may still owe its
+    /// peers protocol replays: a lost FIN or FinDirect is recovered by
+    /// the *peer* retransmitting, and only this rank can answer. If the
+    /// rank simply exited, those retransmits would go unanswered and
+    /// the peer's retry budget — not the fault schedule — would decide
+    /// the outcome. The dissemination rounds here are driven through
+    /// the engine itself (zero-byte eager messages, which the fault
+    /// layer never touches), so waiting in them keeps draining the
+    /// mailbox and answering replays; a rank can only leave once every
+    /// rank has arrived, i.e. once everyone's requests are settled.
+    pub fn finalize(&self) {
+        if !self.engine().lock().is_faulty() {
+            return;
+        }
+        self.dissemination();
+    }
+
+    fn dissemination(&self) {
         let (rank, size) = (self.rank(), self.size());
         let base = self.next_coll_tag();
         let ctx = self.coll_ctx();
         let mut eng = self.engine().lock();
-        eng.counters.record("MPI_Barrier");
         if size == 1 {
             return;
         }

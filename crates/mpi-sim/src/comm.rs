@@ -20,7 +20,7 @@ use sim_core::CallCounters;
 
 use crate::datatype::Datatype;
 use crate::engine::{Engine, RecvStatus, Request, SrcSel, TagSel};
-use crate::proto::MpiConfig;
+use crate::proto::{MpiConfig, MpiError};
 use crate::staging::BufferStager;
 
 /// A communicator handle for one rank. Ranks, sources and statuses are all
@@ -129,6 +129,13 @@ impl Comm {
         self.eng.lock().cfg.clone()
     }
 
+    /// Number of live entries in this rank's rendezvous registration cache
+    /// (observability for tests and tools; bounded by
+    /// `MpiConfig::reg_cache_entries`).
+    pub fn reg_cache_len(&self) -> usize {
+        self.eng.lock().reg_cache_len()
+    }
+
     // --- point-to-point -----------------------------------------------------
 
     /// `MPI_Isend`.
@@ -169,7 +176,8 @@ impl Comm {
         let mut eng = self.eng.lock();
         eng.counters.record("MPI_Send");
         let id = eng.isend(buf.into(), count, dtype, dst, tag, self.ctx);
-        Self::wait_inner(&mut eng, Request { id });
+        Self::wait_inner(&mut eng, Request { id })
+            .unwrap_or_else(|e| panic!("MPI_Send failed: {e}"));
     }
 
     /// `MPI_Recv` (blocking). Returns the receive status.
@@ -185,7 +193,9 @@ impl Comm {
         let mut eng = self.eng.lock();
         eng.counters.record("MPI_Recv");
         let id = eng.irecv(buf.into(), count, dtype, src, tag.into(), self.ctx);
-        let st = Self::wait_inner(&mut eng, Request { id }).expect("recv must produce a status");
+        let st = Self::wait_inner(&mut eng, Request { id })
+            .unwrap_or_else(|e| panic!("MPI_Recv failed: {e}"))
+            .expect("recv must produce a status");
         drop(eng);
         self.fix_status(st)
     }
@@ -194,11 +204,32 @@ impl Comm {
         if eng.is_send(req.id) {
             eng.send_done(req.id)
         } else {
-            eng.recv_done(req.id).is_some()
+            eng.recv_finished(req.id)
         }
     }
 
-    fn wait_inner(eng: &mut Engine, req: Request) -> Option<RecvStatus> {
+    /// Consume a finished request: surface its typed error (fault-injected
+    /// fabrics only) or its status.
+    fn reap(eng: &mut Engine, req: &Request) -> Result<Option<RecvStatus>, MpiError> {
+        if eng.is_send(req.id) {
+            let err = eng.send_error(req.id);
+            eng.reap_send(req.id);
+            match err {
+                Some(e) => Err(e),
+                None => Ok(None),
+            }
+        } else {
+            let err = eng.recv_error(req.id);
+            let status = eng.recv_done(req.id);
+            eng.reap_recv(req.id);
+            match err {
+                Some(e) => Err(e),
+                None => Ok(status),
+            }
+        }
+    }
+
+    fn wait_inner(eng: &mut Engine, req: Request) -> Result<Option<RecvStatus>, MpiError> {
         loop {
             eng.progress();
             if Self::req_done(eng, &req) {
@@ -206,23 +237,27 @@ impl Comm {
             }
             eng.idle_block();
         }
-        if eng.is_send(req.id) {
-            eng.reap_send(req.id);
-            None
-        } else {
-            let status = eng.recv_done(req.id);
-            eng.reap_recv(req.id);
-            status
-        }
+        Self::reap(eng, &req)
     }
 
     /// `MPI_Wait`. Returns the status for receive requests.
+    ///
+    /// Panics if the request failed (retries exhausted on a fault-injecting
+    /// fabric) — use [`Comm::wait_result`] to handle that as a value.
     pub fn wait(&self, req: Request) -> Option<RecvStatus> {
+        self.wait_result(req)
+            .unwrap_or_else(|e| panic!("MPI_Wait failed: {e}"))
+    }
+
+    /// `MPI_Wait`, surfacing a failed request as a typed error instead of
+    /// panicking. Requests only fail on a fault-injecting fabric, once the
+    /// retry budget (`MpiConfig::retry`) is exhausted.
+    pub fn wait_result(&self, req: Request) -> Result<Option<RecvStatus>, MpiError> {
         let mut eng = self.eng.lock();
         eng.counters.record("MPI_Wait");
         let st = Self::wait_inner(&mut eng, req);
         drop(eng);
-        st.map(|s| self.fix_status(s))
+        st.map(|o| o.map(|s| self.fix_status(s)))
     }
 
     /// `MPI_Waitall`. Returns receive statuses in request order (None for
@@ -239,16 +274,7 @@ impl Comm {
         }
         let out: Vec<Option<RecvStatus>> = reqs
             .into_iter()
-            .map(|r| {
-                if eng.is_send(r.id) {
-                    eng.reap_send(r.id);
-                    None
-                } else {
-                    let s = eng.recv_done(r.id);
-                    eng.reap_recv(r.id);
-                    s
-                }
-            })
+            .map(|r| Self::reap(&mut eng, &r).unwrap_or_else(|e| panic!("MPI_Waitall failed: {e}")))
             .collect();
         drop(eng);
         out.into_iter()
@@ -265,15 +291,8 @@ impl Comm {
         loop {
             eng.progress();
             if let Some(i) = reqs.iter().position(|r| Self::req_done(&eng, r)) {
-                let r = &reqs[i];
-                let st = if eng.is_send(r.id) {
-                    eng.reap_send(r.id);
-                    None
-                } else {
-                    let s = eng.recv_done(r.id);
-                    eng.reap_recv(r.id);
-                    s
-                };
+                let st = Self::reap(&mut eng, &reqs[i])
+                    .unwrap_or_else(|e| panic!("MPI_Waitany failed: {e}"));
                 drop(eng);
                 return (i, st.map(|s| self.fix_status(s)));
             }

@@ -7,21 +7,49 @@
 //! polling staging sources/sinks and RDMA completions, and blocks — in
 //! virtual time — until either a packet arrives or the earliest known
 //! hardware completion instant passes.
+//!
+//! # Fault recovery
+//!
+//! On a fabric built with [`ib_sim::FaultSpec`], control packets can be
+//! dropped or delayed, RDMA writes can fail with an error CQE, and user
+//! buffer registration can hit a pin limit. The engine then layers a
+//! retry/recovery protocol over the rendezvous state machines:
+//!
+//! * lost **RTS**: the sender retransmits on timeout (exponential backoff);
+//! * lost **CTS/CTS-direct**: a duplicate RTS makes the receiver re-send
+//!   its response (same granted window — grants are never duplicated);
+//! * lost **FIN**: the staged sender defers each FIN to its chunk's
+//!   successful CQE and retransmits the FINs of busy (uncredited) slots on
+//!   stall; the receiver additionally nacks the first missing chunk;
+//! * lost **CREDIT**: a retransmitted FIN for an already-credited chunk
+//!   makes the receiver re-send that credit; credits are sequenced by
+//!   chunk index so duplicates can never free a slot twice;
+//! * failed **RDMA write**: re-issued from the still-held staging buffer
+//!   (staged) or the user buffer (direct), bounded by the retry budget;
+//! * failed **registration**: the direct R-PUT degrades to the staged
+//!   path (`DirectAbort`), on either side.
+//!
+//! Every timer, duplicate-tolerance path and retransmit is gated on the
+//! fabric actually injecting faults: with faults disabled the engine is
+//! bit-identical — in timing and in bytes — to one built without any of
+//! this machinery, and protocol violations stay hard panics.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use gpu_sim::Loc;
 use hostmem::{HostBuf, HostPtr};
 use ib_sim::{MrKey, Nic};
-use sim_core::san;
+use sim_core::{instrument, san};
 use sim_core::{CallCounters, Completion, SimDur, SimTime};
 
 use crate::datatype::Datatype;
 use crate::flat::Layout;
-use crate::proto::{ChunkPolicy, Envelope, MpiConfig, MpiPacket, ReqId, SlotDesc};
+use crate::proto::{
+    ChunkPolicy, Envelope, MpiConfig, MpiError, MpiPacket, ReqId, RetryConfig, SlotDesc,
+};
 use crate::staging::{BufferStager, HostRecvSink, HostSendSource, RecvSink, SendSource};
-use crate::tuner::{ChunkTuner, LayoutClass, TuneKey};
+use crate::tuner::{settled_counter, ChunkTuner, LayoutClass, TuneKey};
 
 /// Source selector for receives.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -65,6 +93,184 @@ pub struct Request {
     pub(crate) id: ReqId,
 }
 
+/// Record a protocol event on both the rank-local and the process-global
+/// counters (fault campaigns read the global ones; tests needing isolation
+/// read the per-rank ones through `Comm::counters`).
+fn note(counters: &CallCounters, name: &'static str) {
+    counters.record(name);
+    instrument::global().record(name);
+}
+
+/// Retransmit timer with exponential backoff. Only ever constructed on a
+/// fault-injecting fabric.
+struct RetryTimer {
+    /// Initial timeout, ns (restored when progress is observed).
+    base_ns: u64,
+    /// Current timeout, ns (doubles per retransmission).
+    timeout_ns: u64,
+    /// Instant at which the watched operation is considered lost.
+    deadline: SimTime,
+    /// Transmissions so far, including the first.
+    attempts: u32,
+}
+
+impl RetryTimer {
+    fn new(retry: &RetryConfig) -> Self {
+        RetryTimer {
+            base_ns: retry.timeout_ns,
+            timeout_ns: retry.timeout_ns,
+            deadline: sim_core::now() + SimDur::from_nanos(retry.timeout_ns),
+            attempts: 1,
+        }
+    }
+
+    fn expired(&self) -> bool {
+        sim_core::now() >= self.deadline
+    }
+
+    /// Account one retransmission and back off. Returns false when the
+    /// retry budget is exhausted (the caller must fail the request).
+    fn bump(&mut self, max_retries: u32) -> bool {
+        if self.attempts > max_retries {
+            return false;
+        }
+        self.attempts += 1;
+        self.timeout_ns = self.timeout_ns.saturating_mul(2);
+        self.deadline = sim_core::now() + SimDur::from_nanos(self.timeout_ns);
+        true
+    }
+
+    /// Progress observed: reset the backoff and re-arm.
+    fn feed(&mut self) {
+        self.attempts = 1;
+        self.timeout_ns = self.base_ns;
+        self.deadline = sim_core::now() + SimDur::from_nanos(self.timeout_ns);
+    }
+}
+
+/// FIFO-bounded map holding post-completion protocol memory (what a rank
+/// must remember to answer retransmits that outlive the request). Old
+/// entries age out; a retransmit arriving after that is ignored, which is
+/// safe because the peer's own retry budget bounds how long it keeps
+/// asking.
+struct BoundedMap<K: Copy + Eq + std::hash::Hash, V> {
+    cap: usize,
+    order: VecDeque<K>,
+    map: HashMap<K, V>,
+}
+
+impl<K: Copy + Eq + std::hash::Hash, V> BoundedMap<K, V> {
+    fn new(cap: usize) -> Self {
+        BoundedMap {
+            cap,
+            order: VecDeque::new(),
+            map: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, k: K, v: V) {
+        if self.map.insert(k, v).is_none() {
+            self.order.push_back(k);
+            if self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn get(&self, k: &K) -> Option<&V> {
+        self.map.get(k)
+    }
+
+    fn contains(&self, k: &K) -> bool {
+        self.map.contains_key(k)
+    }
+}
+
+/// Bounded registration cache for rendezvous user buffers (MVAPICH2's
+/// reg-cache): repeated rendezvous on the same buffer skip the
+/// registration cost. Unlike an unbounded cache, entries are evicted LRU
+/// (and deregistered) once `cap` is exceeded, so dropped user buffers do
+/// not stay pinned forever. Entries backing an in-flight transfer are
+/// never evicted.
+struct RegEntry {
+    key: MrKey,
+    last_used: u64,
+    in_use: u32,
+}
+
+struct RegCache {
+    cap: usize,
+    tick: u64,
+    entries: HashMap<u64, RegEntry>,
+}
+
+impl RegCache {
+    fn new(cap: usize) -> Self {
+        RegCache {
+            cap,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Look up (or register) `buf` and mark it in use by a transfer. Fails
+    /// only when the fabric's fault layer enforces a pin limit.
+    fn acquire(
+        &mut self,
+        nic: &Nic,
+        counters: &CallCounters,
+        buf: &HostBuf,
+    ) -> Result<MrKey, ib_sim::RegError> {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&buf.id()) {
+            e.last_used = self.tick;
+            e.in_use += 1;
+            note(counters, "reg_cache.hit");
+            return Ok(e.key);
+        }
+        note(counters, "reg_cache.miss");
+        // Make room: evict idle entries, least recently used first. If every
+        // entry backs an in-flight transfer the cache overflows temporarily.
+        while self.entries.len() >= self.cap {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.in_use == 0)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&id, _)| id);
+            let Some(id) = victim else { break };
+            let e = self.entries.remove(&id).expect("victim just found");
+            nic.deregister(e.key);
+            note(counters, "reg_cache.evict");
+        }
+        let key = nic.try_register(buf)?;
+        self.entries.insert(
+            buf.id(),
+            RegEntry {
+                key,
+                last_used: self.tick,
+                in_use: 1,
+            },
+        );
+        Ok(key)
+    }
+
+    /// The transfer that acquired `buf_id` finished: the entry stays cached
+    /// but becomes evictable.
+    fn release(&mut self, buf_id: u64) {
+        if let Some(e) = self.entries.get_mut(&buf_id) {
+            e.in_use = e.in_use.saturating_sub(1);
+        }
+    }
+
+    /// Number of live (registered) entries.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 pub(crate) struct Vbuf {
     pub buf: HostBuf,
     pub key: MrKey,
@@ -73,6 +279,25 @@ pub(crate) struct Vbuf {
 struct SlotState {
     desc: SlotDesc,
     free: bool,
+    /// Chunk currently written into the slot. Sequences credits: a credit
+    /// frees the slot only if it names this chunk, so duplicates (or stale
+    /// retransmits) can never free a slot twice.
+    occupant: Option<usize>,
+    /// Whether the occupant's FIN has gone out. On a faulty fabric FINs are
+    /// deferred to the chunk's successful CQE, and these are what a stall
+    /// retransmits.
+    fin_sent: bool,
+}
+
+/// One chunk whose RDMA write is in flight. The staging vbuf is held until
+/// the write *succeeds* so a failed write can be re-issued from it.
+struct InflightChunk {
+    comp: Completion,
+    vbuf: Vbuf,
+    chunk: usize,
+    slot: usize,
+    len: usize,
+    attempts: u32,
 }
 
 struct StagedSend {
@@ -86,23 +311,63 @@ struct StagedSend {
     /// Chunks staged (or staging) into local vbufs, in chunk order.
     local: VecDeque<(usize, Vbuf)>,
     /// RDMA writes in flight; the local vbuf is released at completion.
-    inflight: Vec<(Completion, Vbuf)>,
+    inflight: Vec<InflightChunk>,
+    /// Stall watchdog (faulty fabrics only): re-FINs busy slots when
+    /// neither a credit nor a CQE has arrived within the window.
+    timer: Option<RetryTimer>,
+}
+
+/// Direct R-PUT in flight. The user-buffer registration is held (and
+/// released) through the reg cache, keyed by the buffer id.
+struct DirectSend {
+    rdma: Completion,
+    /// The receiver's registered region, kept for write re-issue.
+    peer_key: MrKey,
+    peer_off: usize,
+    recv_req: ReqId,
+    ptr: HostPtr,
+    fin_sent: bool,
+    attempts: u32,
 }
 
 enum SendPhase {
-    WaitCts,
-    Direct { rdma: Completion, my_key: MrKey },
+    WaitCts { timer: Option<RetryTimer> },
+    Direct(DirectSend),
     Staged(StagedSend),
     Done,
+    Failed(MpiError),
 }
 
 struct SendState {
     dst: usize,
     total: usize,
+    /// Envelope of the original RTS (for retransmission).
+    env: Envelope,
     source: Box<dyn SendSource>,
     /// Start of the user buffer when it is host-contiguous (direct path).
     direct_ptr: Option<HostPtr>,
+    /// Registration for the direct path failed: fall back to staged and
+    /// stop advertising direct capability on RTS retransmits.
+    direct_failed: bool,
     phase: SendPhase,
+}
+
+/// What a completed send must remember to answer retransmits (faulty
+/// fabrics only).
+#[derive(Copy, Clone)]
+enum SendRecord {
+    Staged {
+        dst: usize,
+        peer_recv_req: ReqId,
+        chunk_size: usize,
+        nchunks: usize,
+        nslots: usize,
+        total: usize,
+    },
+    Direct {
+        dst: usize,
+        recv_req: ReqId,
+    },
 }
 
 struct StagedRecv {
@@ -113,7 +378,9 @@ struct StagedRecv {
     chunk_size: usize,
     nchunks: usize,
     total: usize,
-    /// When the RTS was matched — the tuner's latency clock.
+    /// When the CTS window was granted — the tuner's latency clock. The
+    /// clock starts at the *grant*, not the RTS match, so CTS deferral
+    /// under recv-pool back-pressure is not charged to the chunk size.
     started: SimTime,
     /// Autotuner key, when the adaptive policy is driving this transfer.
     tune_key: Option<TuneKey>,
@@ -121,11 +388,17 @@ struct StagedRecv {
     /// pressure under many concurrent staged transfers).
     cts_sent: bool,
     slots: Vec<Vbuf>,
-    /// FINs received, in arrival order: (chunk, slot, bytes).
-    arrived: VecDeque<(usize, usize, usize)>,
+    /// FINs received, keyed by chunk index: chunk -> (slot, bytes). Keyed
+    /// (rather than queued) so retransmitted FINs dedup and delayed ones
+    /// can arrive out of order.
+    arrived: BTreeMap<usize, (usize, usize)>,
     /// Chunks handed to the sink, awaiting absorption: (chunk, slot).
     absorbing: VecDeque<(usize, usize)>,
     next_chunk: usize,
+    /// Chunks credited so far (credits go out in chunk order).
+    next_credit: usize,
+    /// FIN watchdog (faulty fabrics only), armed at the CTS grant.
+    timer: Option<RetryTimer>,
 }
 
 enum RecvPhase {
@@ -134,9 +407,12 @@ enum RecvPhase {
         my_key: MrKey,
         env: Envelope,
         total: usize,
+        send_req: ReqId,
+        timer: Option<RetryTimer>,
     },
     Staged(StagedRecv, Envelope),
     Done(RecvStatus),
+    Failed(MpiError),
 }
 
 struct RecvState {
@@ -177,6 +453,9 @@ fn env_matches(env: &Envelope, ctx: u16, src: SrcSel, tag: TagSel) -> bool {
     env.ctx == ctx && src.0.is_none_or(|s| s == env.src) && tag.0.is_none_or(|t| t == env.tag)
 }
 
+/// How many completed transfers each rank remembers for replay tolerance.
+const REPLAY_MEMORY: usize = 1024;
+
 pub(crate) struct Engine {
     pub rank: usize,
     pub size: usize,
@@ -184,6 +463,9 @@ pub(crate) struct Engine {
     pub cfg: MpiConfig,
     pub counters: CallCounters,
     stagers: Arc<Vec<Box<dyn BufferStager>>>,
+    /// True when the fabric injects faults; every retry timer and
+    /// duplicate-tolerance path is gated on this.
+    faulty: bool,
     next_req: ReqId,
     sends: HashMap<ReqId, SendState>,
     recvs: HashMap<ReqId, RecvState>,
@@ -203,12 +485,20 @@ pub(crate) struct Engine {
     leaked_vbuf: bool,
     /// Next free communicator context id (0/1 belong to the world comm).
     next_ctx: u16,
-    /// Registration cache (MVAPICH2-style): user buffers register once and
-    /// stay registered; repeated rendezvous on the same buffer skip the
-    /// registration cost.
-    reg_cache: HashMap<u64, MrKey>,
+    /// Bounded registration cache for rendezvous user buffers.
+    reg_cache: RegCache,
     /// Online block-size search (drives `ChunkPolicy::Adaptive`).
     tuner: ChunkTuner,
+    /// Live matched RTSes, (src, send_req) -> recv_req: a duplicate RTS
+    /// re-sends the response instead of matching twice (faulty only).
+    matched_rts: HashMap<(usize, ReqId), ReqId>,
+    /// RTSes whose transfer completed; late duplicates are ignored.
+    done_rts: BoundedMap<(usize, ReqId), ()>,
+    /// Completed sends, kept to answer FinNack / CtsDirect retransmits.
+    completed_sends: BoundedMap<ReqId, SendRecord>,
+    /// Completed staged receives, recv_req -> (src, peer_send_req), kept to
+    /// re-credit on duplicate FINs after the receive was reaped.
+    completed_recvs: BoundedMap<ReqId, (usize, ReqId)>,
 }
 
 impl Engine {
@@ -222,7 +512,9 @@ impl Engine {
         cfg.validate();
         // Pre-allocate and register the vbuf pools (done once at MPI_Init).
         // Slots are sized to the largest chunk any policy may pick, so the
-        // adaptive tuner can grow the block without reallocating.
+        // adaptive tuner can grow the block without reallocating. The pools
+        // use the infallible register: like MVAPICH2's vbuf pool at
+        // MPI_Init, they are exempt from the (fault-injected) pin limit.
         let mk_pool = |n: usize| -> Vec<Vbuf> {
             (0..n)
                 .map(|_| {
@@ -237,6 +529,8 @@ impl Engine {
         let send_pool_id = san::pool_register(format!("rank{rank}.send_pool"));
         let recv_pool_id = san::pool_register(format!("rank{rank}.recv_pool"));
         let tuner = ChunkTuner::new(&cfg);
+        let faulty = nic.faults_enabled();
+        let reg_cache = RegCache::new(cfg.reg_cache_entries);
         Engine {
             rank,
             size,
@@ -244,6 +538,7 @@ impl Engine {
             cfg,
             counters: CallCounters::new(),
             stagers,
+            faulty,
             next_req: 1,
             sends: HashMap::new(),
             recvs: HashMap::new(),
@@ -255,8 +550,12 @@ impl Engine {
             recv_pool_id,
             leaked_vbuf: false,
             next_ctx: 2,
-            reg_cache: HashMap::new(),
+            reg_cache,
             tuner,
+            matched_rts: HashMap::new(),
+            done_rts: BoundedMap::new(REPLAY_MEMORY),
+            completed_sends: BoundedMap::new(REPLAY_MEMORY),
+            completed_recvs: BoundedMap::new(REPLAY_MEMORY),
         }
     }
 
@@ -271,14 +570,9 @@ impl Engine {
         self.next_ctx = self.next_ctx.max(to);
     }
 
-    /// Register `buf` through the registration cache.
-    fn register_cached(&mut self, buf: &HostBuf) -> MrKey {
-        if let Some(&k) = self.reg_cache.get(&buf.id()) {
-            return k;
-        }
-        let k = self.nic.register(buf);
-        self.reg_cache.insert(buf.id(), k);
-        k
+    /// Number of live registration-cache entries (tests).
+    pub fn reg_cache_len(&self) -> usize {
+        self.reg_cache.len()
     }
 
     fn alloc_req(&mut self) -> ReqId {
@@ -289,6 +583,10 @@ impl Engine {
 
     fn mpi_call_cost(&self) {
         sim_core::sleep(SimDur::from_nanos(self.cfg.cpu.mpi_call_ns));
+    }
+
+    fn retry_timer(&self) -> Option<RetryTimer> {
+        self.faulty.then(|| RetryTimer::new(&self.cfg.retry))
     }
 
     fn make_source(&self, buf: &Loc, count: usize, dt: &Datatype) -> Box<dyn SendSource> {
@@ -392,8 +690,10 @@ impl Engine {
                 SendState {
                     dst,
                     total,
+                    env,
                     source,
                     direct_ptr: None,
+                    direct_failed: false,
                     phase: SendPhase::Done,
                 },
             );
@@ -413,9 +713,13 @@ impl Engine {
                 SendState {
                     dst,
                     total,
+                    env,
                     source,
                     direct_ptr,
-                    phase: SendPhase::WaitCts,
+                    direct_failed: false,
+                    phase: SendPhase::WaitCts {
+                        timer: self.retry_timer(),
+                    },
                 },
             );
         }
@@ -518,33 +822,55 @@ impl Engine {
                 st.capacity
             );
         }
+        if self.faulty {
+            self.matched_rts.insert((env.src, send_req), recv_id);
+        }
         if direct_capable {
             if let Some(ptr) = st.direct_ptr.clone() {
                 // R-PUT: register the user buffer (through the cache) and
-                // hand its key over.
-                let key = self.register_cached(&ptr.buf().clone());
-                let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
-                st.phase = RecvPhase::WaitDirect {
-                    my_key: key,
-                    env,
-                    total,
-                };
-                self.nic.send_ctrl(
-                    env.src,
-                    Box::new(MpiPacket::CtsDirect {
-                        send_req,
-                        recv_req: recv_id,
-                        key,
-                        offset: ptr.offset(),
-                        len: total,
-                    }),
-                );
-                return;
+                // hand its key over. Registration can fail under a
+                // fault-injected pin limit; the transfer then degrades to
+                // the staged path below.
+                match self
+                    .reg_cache
+                    .acquire(&self.nic, &self.counters, &ptr.buf().clone())
+                {
+                    Ok(key) => {
+                        let timer = self.retry_timer();
+                        let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
+                        st.phase = RecvPhase::WaitDirect {
+                            my_key: key,
+                            env,
+                            total,
+                            send_req,
+                            timer,
+                        };
+                        self.nic.send_ctrl(
+                            env.src,
+                            Box::new(MpiPacket::CtsDirect {
+                                send_req,
+                                recv_req: recv_id,
+                                key,
+                                offset: ptr.offset(),
+                                len: total,
+                            }),
+                        );
+                        return;
+                    }
+                    Err(_) => {
+                        note(&self.counters, "fallback.direct_to_staged");
+                    }
+                }
             }
         }
-        // Staged path: grant a window of vbufs. If the pool is empty right
-        // now, defer the CTS; the progress loop grants it once earlier
-        // transfers return their buffers (back pressure, not failure).
+        self.start_staged_recv(recv_id, env, total, send_req);
+    }
+
+    /// Set up the staged path for a matched RTS: choose the chunk size,
+    /// begin the sink and grant (or defer) the CTS window. Also the landing
+    /// point of the direct-to-staged fallback.
+    fn start_staged_recv(&mut self, recv_id: ReqId, env: Envelope, total: usize, send_req: ReqId) {
+        let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
         // The receiver picks the chunk size (it sizes the granted slots);
         // the sender learns it from the CTS.
         let (chunk_size, tune_key) = match self.cfg.policy {
@@ -567,9 +893,11 @@ impl Engine {
                 tune_key,
                 cts_sent: false,
                 slots: Vec::new(),
-                arrived: VecDeque::new(),
+                arrived: BTreeMap::new(),
                 absorbing: VecDeque::new(),
                 next_chunk: 0,
+                next_credit: 0,
+                timer: None,
             },
             env,
         );
@@ -578,6 +906,28 @@ impl Engine {
 
     /// Send the deferred/initial CTS for a staged receive once at least one
     /// pool vbuf is available.
+    /// Vbufs just returned to the pool: grant any matched staged receive
+    /// whose CTS was deferred on an empty pool. Without this, a receive
+    /// that found the pool drained would only be re-examined by its own
+    /// `advance_recv` — and if nothing else is pending, the rank parks
+    /// with no timer to wake it (deadlock on a clean fabric).
+    fn grant_deferred_cts(&mut self) {
+        if self.recv_pool.is_empty() {
+            return;
+        }
+        let deferred: Vec<ReqId> = self
+            .recvs
+            .iter()
+            .filter_map(|(&id, st)| match &st.phase {
+                RecvPhase::Staged(sr, _) if !sr.cts_sent => Some(id),
+                _ => None,
+            })
+            .collect();
+        for id in deferred {
+            self.try_grant_cts(id);
+        }
+    }
+
     fn try_grant_cts(&mut self, recv_id: ReqId) {
         let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
         let RecvPhase::Staged(sr, _) = &mut st.phase else {
@@ -596,6 +946,12 @@ impl Engine {
             san::pool_take(self.recv_pool_id);
         }
         sr.cts_sent = true;
+        // The tuner's latency window opens at the grant: deferral time
+        // waiting for pool vbufs says nothing about the chunk size.
+        sr.started = sim_core::now();
+        if self.faulty {
+            sr.timer = Some(RetryTimer::new(&self.cfg.retry));
+        }
         let descs: Vec<SlotDesc> = sr
             .slots
             .iter()
@@ -612,6 +968,117 @@ impl Engine {
         };
         let dst = sr.src;
         self.nic.send_ctrl(dst, Box::new(pkt));
+    }
+
+    /// A duplicate RTS arrived for an already-matched receive: the response
+    /// (CTS or CTS-direct) was evidently lost — re-send it from the live
+    /// state. Grants are never duplicated; the same window travels again.
+    fn resend_response(&mut self, recv_id: ReqId, direct_capable: bool) {
+        enum Action {
+            None,
+            FallBack,
+            CtsDirect(usize, MpiPacket),
+            Cts(usize, MpiPacket),
+        }
+        let action = {
+            let Some(st) = self.recvs.get_mut(&recv_id) else {
+                return;
+            };
+            match &st.phase {
+                RecvPhase::WaitDirect {
+                    my_key,
+                    env,
+                    total,
+                    send_req,
+                    ..
+                } => {
+                    if direct_capable {
+                        let offset = st
+                            .direct_ptr
+                            .as_ref()
+                            .expect("direct receive without a direct pointer")
+                            .offset();
+                        Action::CtsDirect(
+                            env.src,
+                            MpiPacket::CtsDirect {
+                                send_req: *send_req,
+                                recv_req: recv_id,
+                                key: *my_key,
+                                offset,
+                                len: *total,
+                            },
+                        )
+                    } else {
+                        // The sender stopped advertising the direct path
+                        // (its registration failed and our DirectAbort was
+                        // lost): fall back to staged ourselves.
+                        Action::FallBack
+                    }
+                }
+                RecvPhase::Staged(sr, _) if sr.cts_sent => {
+                    let descs: Vec<SlotDesc> = sr
+                        .slots
+                        .iter()
+                        .map(|v| SlotDesc {
+                            key: v.key,
+                            len: v.buf.len(),
+                        })
+                        .collect();
+                    Action::Cts(
+                        sr.src,
+                        MpiPacket::Cts {
+                            send_req: sr.peer_send_req,
+                            recv_req: recv_id,
+                            chunk_size: sr.chunk_size,
+                            slots: descs,
+                        },
+                    )
+                }
+                // CTS still deferred on pool back-pressure (it will go out
+                // with fresh slots), or the receive already finished.
+                _ => Action::None,
+            }
+        };
+        match action {
+            Action::None => {}
+            Action::FallBack => self.direct_to_staged(recv_id),
+            Action::CtsDirect(dst, pkt) => {
+                note(&self.counters, "retry.cts_direct");
+                self.nic.send_ctrl(dst, Box::new(pkt));
+            }
+            Action::Cts(dst, pkt) => {
+                note(&self.counters, "retry.cts");
+                self.nic.send_ctrl(dst, Box::new(pkt));
+            }
+        }
+    }
+
+    /// Direct R-PUT abandoned (sender could not register): release our
+    /// registration and fall back to the staged path.
+    fn direct_to_staged(&mut self, recv_id: ReqId) {
+        let buf_id;
+        let (env, total, send_req);
+        {
+            let Some(st) = self.recvs.get_mut(&recv_id) else {
+                return;
+            };
+            let RecvPhase::WaitDirect {
+                env: e,
+                total: t,
+                send_req: s,
+                ..
+            } = &st.phase
+            else {
+                return;
+            };
+            (env, total, send_req) = (*e, *t, *s);
+            buf_id = st.direct_ptr.as_ref().map(|p| p.buf().id());
+        }
+        if let Some(id) = buf_id {
+            self.reg_cache.release(id);
+        }
+        note(&self.counters, "fallback.direct_to_staged");
+        self.start_staged_recv(recv_id, env, total, send_req);
     }
 
     fn handle_packet(&mut self, src: usize, pkt: MpiPacket) {
@@ -638,6 +1105,27 @@ impl Engine {
                 send_req,
                 direct_capable,
             } => {
+                if self.faulty {
+                    // Retransmit tolerance: an RTS we have already seen must
+                    // not match (or enqueue) twice.
+                    if self.done_rts.contains(&(env.src, send_req)) {
+                        note(&self.counters, "dup.rts");
+                        return;
+                    }
+                    if let Some(&recv_id) = self.matched_rts.get(&(env.src, send_req)) {
+                        note(&self.counters, "dup.rts");
+                        self.resend_response(recv_id, direct_capable);
+                        return;
+                    }
+                    let queued = self.unexpected.iter().any(|u| {
+                        matches!(u, Unexpected::Rts { env: e, send_req: s, .. }
+                                 if e.src == env.src && *s == send_req)
+                    });
+                    if queued {
+                        note(&self.counters, "dup.rts");
+                        return;
+                    }
+                }
                 if let Some(recv_id) = self.find_posted(&env) {
                     self.match_rts(recv_id, env, total, send_req, direct_capable);
                 } else {
@@ -656,17 +1144,29 @@ impl Engine {
                 slots,
             } => {
                 let Some(st) = self.sends.get_mut(&send_req) else {
+                    if self.faulty {
+                        note(&self.counters, "dup.cts");
+                        return;
+                    }
                     san::report_protocol(format!(
                         "CTS for unknown send request #{send_req} (never posted or already reaped)"
                     ));
                     panic!("CTS for unknown send");
                 };
-                if !matches!(st.phase, SendPhase::WaitCts) {
+                if !matches!(st.phase, SendPhase::WaitCts { .. }) {
+                    if self.faulty {
+                        // The original CTS made it after all; this is the
+                        // re-sent copy racing behind it.
+                        note(&self.counters, "dup.cts");
+                        return;
+                    }
                     san::report_protocol(format!(
                         "CTS for send request #{send_req} that is not awaiting CTS                          (duplicate or out-of-order CTS)"
                     ));
                     panic!("CTS for a send not in WaitCts phase");
                 }
+                let timer = self.faulty.then(|| RetryTimer::new(&self.cfg.retry));
+                let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
                 st.source.begin(chunk_size);
                 let nchunks = st.total.div_ceil(chunk_size).max(1);
                 st.phase = SendPhase::Staged(StagedSend {
@@ -676,12 +1176,18 @@ impl Engine {
                     nchunks,
                     slots: slots
                         .into_iter()
-                        .map(|desc| SlotState { desc, free: true })
+                        .map(|desc| SlotState {
+                            desc,
+                            free: true,
+                            occupant: None,
+                            fin_sent: false,
+                        })
                         .collect(),
                     next_request: 0,
                     next_send: 0,
                     local: VecDeque::new(),
                     inflight: Vec::new(),
+                    timer,
                 });
             }
             MpiPacket::CtsDirect {
@@ -692,16 +1198,57 @@ impl Engine {
                 len,
             } => {
                 let Some(st) = self.sends.get_mut(&send_req) else {
+                    if self.faulty {
+                        note(&self.counters, "dup.cts");
+                        // If the send finished and was reaped, the receiver
+                        // must have missed the FinDirect — re-announce.
+                        if let Some(&SendRecord::Direct { dst, recv_req }) =
+                            self.completed_sends.get(&send_req)
+                        {
+                            note(&self.counters, "retry.fin_direct");
+                            self.nic
+                                .send_ctrl(dst, Box::new(MpiPacket::FinDirect { recv_req }));
+                        }
+                        return;
+                    }
                     san::report_protocol(format!(
                         "direct CTS for unknown send request #{send_req}                          (never posted or already reaped)"
                     ));
                     panic!("CTS for unknown send");
                 };
-                if !matches!(st.phase, SendPhase::WaitCts) {
-                    san::report_protocol(format!(
-                        "direct CTS for send request #{send_req} that is not awaiting CTS                          (duplicate or out-of-order CTS)"
-                    ));
-                    panic!("CTS for a send not in WaitCts phase");
+                match &st.phase {
+                    SendPhase::WaitCts { .. } => {}
+                    SendPhase::Done if self.faulty => {
+                        // Completed but not yet reaped: re-announce.
+                        note(&self.counters, "dup.cts");
+                        note(&self.counters, "retry.fin_direct");
+                        let dst = st.dst;
+                        self.nic
+                            .send_ctrl(dst, Box::new(MpiPacket::FinDirect { recv_req }));
+                        return;
+                    }
+                    _ if self.faulty => {
+                        note(&self.counters, "dup.cts");
+                        return;
+                    }
+                    _ => {
+                        san::report_protocol(format!(
+                            "direct CTS for send request #{send_req} that is not awaiting CTS                          (duplicate or out-of-order CTS)"
+                        ));
+                        panic!("CTS for a send not in WaitCts phase");
+                    }
+                }
+                if st.direct_failed {
+                    // Our registration failed before and the abort was
+                    // evidently lost: repeat it.
+                    note(&self.counters, "retry.direct_abort");
+                    if let SendPhase::WaitCts { timer: Some(t) } = &mut st.phase {
+                        t.feed();
+                    }
+                    let dst = st.dst;
+                    self.nic
+                        .send_ctrl(dst, Box::new(MpiPacket::DirectAbort { recv_req, send_req }));
+                    return;
                 }
                 let ptr = st
                     .direct_ptr
@@ -709,12 +1256,45 @@ impl Engine {
                     .expect("direct CTS for a non-contiguous send");
                 assert_eq!(len, st.total);
                 let buf = ptr.buf().clone();
-                let my_key = self.register_cached(&buf);
-                let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
-                let rdma = self.nic.rdma_write(st.dst, key, offset, &ptr, st.total);
-                self.nic
-                    .send_ctrl(st.dst, Box::new(MpiPacket::FinDirect { recv_req }));
-                st.phase = SendPhase::Direct { rdma, my_key };
+                match self.reg_cache.acquire(&self.nic, &self.counters, &buf) {
+                    Err(_) => {
+                        // Pin limit: abandon the R-PUT; the receiver falls
+                        // back to granting a staged window.
+                        note(&self.counters, "fallback.direct_abort");
+                        let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
+                        st.direct_failed = true;
+                        if let SendPhase::WaitCts { timer: Some(t) } = &mut st.phase {
+                            t.feed();
+                        }
+                        let dst = st.dst;
+                        self.nic.send_ctrl(
+                            dst,
+                            Box::new(MpiPacket::DirectAbort { recv_req, send_req }),
+                        );
+                    }
+                    Ok(_) => {
+                        let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
+                        let rdma = self.nic.rdma_write(st.dst, key, offset, &ptr, st.total);
+                        // On a reliable fabric the FIN departs right behind
+                        // the write (same engine, ordered); under faults it
+                        // waits for the CQE so a failed write is never
+                        // announced.
+                        let fin_now = !self.faulty;
+                        if fin_now {
+                            self.nic
+                                .send_ctrl(st.dst, Box::new(MpiPacket::FinDirect { recv_req }));
+                        }
+                        st.phase = SendPhase::Direct(DirectSend {
+                            rdma,
+                            peer_key: key,
+                            peer_off: offset,
+                            recv_req,
+                            ptr,
+                            fin_sent: fin_now,
+                            attempts: 1,
+                        });
+                    }
+                }
             }
             MpiPacket::Fin {
                 recv_req,
@@ -723,10 +1303,43 @@ impl Engine {
                 bytes,
             } => {
                 let Some(st) = self.recvs.get_mut(&recv_req) else {
+                    if self.faulty {
+                        note(&self.counters, "dup.fin");
+                        // Receive finished and was reaped: the sender is
+                        // chasing a lost credit — re-credit from the record.
+                        if let Some(&(peer, send_req)) = self.completed_recvs.get(&recv_req) {
+                            note(&self.counters, "retry.credit");
+                            self.nic.send_ctrl(
+                                peer,
+                                Box::new(MpiPacket::Credit {
+                                    send_req,
+                                    slot,
+                                    chunk_idx,
+                                }),
+                            );
+                        }
+                        return;
+                    }
                     san::report_protocol(format!("FIN for unknown receive request #{recv_req}"));
                     panic!("FIN for unknown recv");
                 };
                 let RecvPhase::Staged(sr, _) = &mut st.phase else {
+                    if self.faulty {
+                        note(&self.counters, "dup.fin");
+                        // Same as above, for a finished-but-unreaped receive.
+                        if let Some(&(peer, send_req)) = self.completed_recvs.get(&recv_req) {
+                            note(&self.counters, "retry.credit");
+                            self.nic.send_ctrl(
+                                peer,
+                                Box::new(MpiPacket::Credit {
+                                    send_req,
+                                    slot,
+                                    chunk_idx,
+                                }),
+                            );
+                        }
+                        return;
+                    }
                     san::report_protocol(format!(
                         "FIN for receive request #{recv_req} that is not in the staged                          rendezvous phase (protocol state machine violation)"
                     ));
@@ -739,29 +1352,85 @@ impl Engine {
                     ));
                     panic!("FIN for a nonexistent slot");
                 }
-                sr.arrived.push_back((chunk_idx, slot, bytes));
+                if chunk_idx < sr.next_chunk {
+                    // Already fed to the sink: a retransmitted FIN.
+                    note(&self.counters, "dup.fin");
+                    if chunk_idx < sr.next_credit {
+                        // ...and already credited, so the credit was lost.
+                        note(&self.counters, "retry.credit");
+                        let peer = sr.src;
+                        let send_req = sr.peer_send_req;
+                        self.nic.send_ctrl(
+                            peer,
+                            Box::new(MpiPacket::Credit {
+                                send_req,
+                                slot,
+                                chunk_idx,
+                            }),
+                        );
+                    }
+                    return;
+                }
+                match sr.arrived.entry(chunk_idx) {
+                    std::collections::btree_map::Entry::Occupied(_) => {
+                        note(&self.counters, "dup.fin");
+                    }
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert((slot, bytes));
+                        if let Some(t) = &mut sr.timer {
+                            t.feed();
+                        }
+                    }
+                }
             }
             MpiPacket::FinDirect { recv_req } => {
                 let Some(st) = self.recvs.get_mut(&recv_req) else {
+                    if self.faulty {
+                        note(&self.counters, "dup.fin_direct");
+                        return;
+                    }
                     san::report_protocol(format!(
                         "FIN-direct for unknown receive request #{recv_req}"
                     ));
                     panic!("FIN for unknown recv");
                 };
-                let RecvPhase::WaitDirect { my_key, env, total } = st.phase else {
+                let RecvPhase::WaitDirect {
+                    env,
+                    total,
+                    send_req,
+                    ..
+                } = &st.phase
+                else {
+                    if self.faulty {
+                        note(&self.counters, "dup.fin_direct");
+                        return;
+                    }
                     san::report_protocol(format!(
                         "FIN-direct for receive request #{recv_req} that is not in the                          direct rendezvous phase (protocol state machine violation)"
                     ));
                     panic!("FIN-direct for a receive not in direct phase")
                 };
-                let _ = my_key; // stays in the registration cache
+                let (env, total, send_req) = (*env, *total, *send_req);
+                let buf_id = st.direct_ptr.as_ref().map(|p| p.buf().id());
                 st.phase = RecvPhase::Done(RecvStatus {
                     src: env.src,
                     tag: env.tag,
                     bytes: total,
                 });
+                // The registration stays cached but becomes evictable.
+                if let Some(id) = buf_id {
+                    self.reg_cache.release(id);
+                }
+                if self.faulty {
+                    self.matched_rts.remove(&(env.src, send_req));
+                    self.done_rts.insert((env.src, send_req), ());
+                }
             }
-            MpiPacket::Credit { send_req, slot } => {
+            MpiPacket::Credit {
+                send_req,
+                slot,
+                chunk_idx,
+            } => {
                 // A send completes once its last RDMA write is on the wire;
                 // credits for the tail chunks may still be in flight when
                 // the request is reaped. They gate nothing anymore: drop.
@@ -774,13 +1443,101 @@ impl Engine {
                             ));
                             panic!("credit for a nonexistent slot");
                         }
-                        if ss.slots[slot].free {
-                            san::report_protocol(format!(
-                                "credit for slot {slot} which is already free                                  (flow-control overflow: duplicate credit)"
-                            ));
+                        let s = &mut ss.slots[slot];
+                        if !s.free && s.occupant == Some(chunk_idx) {
+                            s.free = true;
+                            if let Some(t) = &mut ss.timer {
+                                t.feed();
+                            }
+                        } else {
+                            // Duplicate or stale credit. Freeing the slot
+                            // here would overflow flow control (the sender
+                            // could overwrite data the receiver has not
+                            // absorbed), so it is ignored in *every*
+                            // sanitizer mode.
+                            note(&self.counters, "dup.credit");
+                            if !self.faulty {
+                                san::report_protocol(format!(
+                                    "credit for slot {slot} which is already free                                  (flow-control overflow: duplicate credit)"
+                                ));
+                            }
                         }
-                        ss.slots[slot].free = true;
                     }
+                }
+            }
+            MpiPacket::FinNack {
+                send_req,
+                next_needed,
+            } => {
+                // The receiver is missing FINs. For a live staged send,
+                // re-announce every busy (uncredited) slot: dup FINs for
+                // already-credited chunks make the receiver re-credit,
+                // which also recovers lost credits. For a completed send,
+                // reconstruct the FINs of the final window from the record
+                // (the receiver's slots still hold exactly those chunks —
+                // overwriting a slot requires its occupant's credit).
+                let mut live = false;
+                if let Some(st) = self.sends.get_mut(&send_req) {
+                    if let SendPhase::Staged(ss) = &mut st.phase {
+                        live = true;
+                        let total = st.total;
+                        for (slot_idx, s) in ss.slots.iter().enumerate() {
+                            if s.free || !s.fin_sent {
+                                continue;
+                            }
+                            let Some(c) = s.occupant else { continue };
+                            let len = ss.chunk_size.min(total - c * ss.chunk_size);
+                            note(&self.counters, "retry.fin");
+                            self.nic.send_ctrl(
+                                ss.dst,
+                                Box::new(MpiPacket::Fin {
+                                    recv_req: ss.peer_recv_req,
+                                    chunk_idx: c,
+                                    slot: slot_idx,
+                                    bytes: len,
+                                }),
+                            );
+                        }
+                    }
+                }
+                if !live {
+                    if let Some(&SendRecord::Staged {
+                        dst,
+                        peer_recv_req,
+                        chunk_size,
+                        nchunks,
+                        nslots,
+                        total,
+                    }) = self.completed_sends.get(&send_req)
+                    {
+                        let hi = (next_needed + nslots).min(nchunks);
+                        for c in next_needed..hi {
+                            let len = chunk_size.min(total - c * chunk_size);
+                            note(&self.counters, "retry.fin");
+                            self.nic.send_ctrl(
+                                dst,
+                                Box::new(MpiPacket::Fin {
+                                    recv_req: peer_recv_req,
+                                    chunk_idx: c,
+                                    slot: c % nslots,
+                                    bytes: len,
+                                }),
+                            );
+                        }
+                    }
+                }
+            }
+            MpiPacket::DirectAbort { recv_req, send_req } => {
+                let _ = send_req;
+                let falls_back = self
+                    .recvs
+                    .get(&recv_req)
+                    .is_some_and(|st| matches!(st.phase, RecvPhase::WaitDirect { .. }));
+                if falls_back {
+                    self.direct_to_staged(recv_req);
+                } else {
+                    // Already fell back (duplicate abort) or finished.
+                    note(&self.counters, "dup.direct_abort");
                 }
             }
         }
@@ -823,15 +1580,75 @@ impl Engine {
         let Some(st) = self.sends.get_mut(&id) else {
             return;
         };
+        let mut failed: Option<MpiError> = None;
         match &mut st.phase {
-            SendPhase::Done | SendPhase::WaitCts => {}
-            SendPhase::Direct { rdma, my_key } => {
-                if rdma.poll() {
-                    let _ = my_key; // stays in the registration cache
-                    st.phase = SendPhase::Done;
+            SendPhase::Done | SendPhase::Failed(_) => {}
+            SendPhase::WaitCts { timer } => {
+                // Only armed on faulty fabrics: retransmit the RTS.
+                if let Some(t) = timer {
+                    if t.expired() {
+                        if t.bump(self.cfg.retry.max_retries) {
+                            note(&self.counters, "retry.rts");
+                            let direct_capable = st.direct_ptr.is_some() && !st.direct_failed;
+                            self.nic.send_ctrl(
+                                st.dst,
+                                Box::new(MpiPacket::Rts {
+                                    env: st.env,
+                                    total: st.total,
+                                    send_req: id,
+                                    direct_capable,
+                                }),
+                            );
+                        } else {
+                            failed = Some(MpiError::RetriesExhausted {
+                                op: "rts",
+                                peer: st.dst,
+                                attempts: t.attempts,
+                            });
+                        }
+                    }
+                }
+            }
+            SendPhase::Direct(d) => {
+                if d.rdma.poll() {
+                    if d.rdma.is_error() {
+                        if d.attempts > self.cfg.retry.max_retries {
+                            failed = Some(MpiError::RetriesExhausted {
+                                op: "rdma_direct",
+                                peer: st.dst,
+                                attempts: d.attempts,
+                            });
+                        } else {
+                            d.attempts += 1;
+                            note(&self.counters, "retry.rdma_direct");
+                            d.rdma = self
+                                .nic
+                                .rdma_write(st.dst, d.peer_key, d.peer_off, &d.ptr, st.total);
+                        }
+                    } else {
+                        if !d.fin_sent {
+                            self.nic.send_ctrl(
+                                st.dst,
+                                Box::new(MpiPacket::FinDirect {
+                                    recv_req: d.recv_req,
+                                }),
+                            );
+                        }
+                        let buf_id = d.ptr.buf().id();
+                        let rec = SendRecord::Direct {
+                            dst: st.dst,
+                            recv_req: d.recv_req,
+                        };
+                        st.phase = SendPhase::Done;
+                        self.reg_cache.release(buf_id);
+                        if self.faulty {
+                            self.completed_sends.insert(id, rec);
+                        }
+                    }
                 }
             }
             SendPhase::Staged(ss) => {
+                let total = st.total;
                 // 1. Request staging of upcoming chunks while vbufs and
                 //    window room are available.
                 while ss.next_request < ss.nchunks
@@ -843,7 +1660,7 @@ impl Engine {
                     san::pool_take(self.send_pool_id);
                     let i = ss.next_request;
                     let off = i * ss.chunk_size;
-                    let len = ss.chunk_size.min(st.total - off);
+                    let len = ss.chunk_size.min(total - off);
                     st.source.request_chunk(i, vbuf.buf.base(), len);
                     ss.local.push_back((i, vbuf));
                     ss.next_request += 1;
@@ -862,12 +1679,13 @@ impl Engine {
                     }
                     let (_, vbuf) = ss.local.pop_front().unwrap();
                     let off = i * ss.chunk_size;
-                    let len = ss.chunk_size.min(st.total - off);
+                    let len = ss.chunk_size.min(total - off);
                     assert!(
                         len <= ss.slots[slot].desc.len,
                         "chunk larger than the granted vbuf slot"
                     );
                     ss.slots[slot].free = false;
+                    ss.slots[slot].occupant = Some(i);
                     let comp = self.nic.rdma_write(
                         ss.dst,
                         ss.slots[slot].desc.key,
@@ -875,39 +1693,208 @@ impl Engine {
                         &vbuf.buf.base(),
                         len,
                     );
-                    self.nic.send_ctrl(
-                        ss.dst,
-                        Box::new(MpiPacket::Fin {
-                            recv_req: ss.peer_recv_req,
-                            chunk_idx: i,
-                            slot,
-                            bytes: len,
-                        }),
-                    );
-                    ss.inflight.push((comp, vbuf));
-                    ss.next_send += 1;
-                }
-                // 4. Reap finished RDMA writes, returning local vbufs.
-                let mut i = 0;
-                while i < ss.inflight.len() {
-                    if ss.inflight[i].0.poll() {
-                        let (_, vbuf) = ss.inflight.swap_remove(i);
-                        if self.cfg.fault_leak_vbuf && !self.leaked_vbuf {
-                            // Fault injection: this vbuf is never returned.
-                            self.leaked_vbuf = true;
-                            std::mem::forget(vbuf);
-                        } else {
-                            san::pool_put(self.send_pool_id);
-                            self.send_pool.push(vbuf);
-                        }
+                    if self.faulty {
+                        // The FIN waits for the CQE: a failed write must
+                        // never be announced.
+                        ss.slots[slot].fin_sent = false;
                     } else {
-                        i += 1;
+                        self.nic.send_ctrl(
+                            ss.dst,
+                            Box::new(MpiPacket::Fin {
+                                recv_req: ss.peer_recv_req,
+                                chunk_idx: i,
+                                slot,
+                                bytes: len,
+                            }),
+                        );
+                        ss.slots[slot].fin_sent = true;
+                    }
+                    ss.inflight.push(InflightChunk {
+                        comp,
+                        vbuf,
+                        chunk: i,
+                        slot,
+                        len,
+                        attempts: 1,
+                    });
+                    ss.next_send += 1;
+                    if let Some(t) = &mut ss.timer {
+                        t.feed();
                     }
                 }
-                if ss.next_send == ss.nchunks && ss.inflight.is_empty() {
+                // 4. Reap finished RDMA writes: on success announce (if
+                //    deferred) and return the vbuf; on an error CQE re-issue
+                //    the write from the still-held vbuf.
+                let mut i = 0;
+                while i < ss.inflight.len() {
+                    if !ss.inflight[i].comp.poll() {
+                        i += 1;
+                        continue;
+                    }
+                    if ss.inflight[i].comp.is_error() {
+                        let c = &mut ss.inflight[i];
+                        if c.attempts > self.cfg.retry.max_retries {
+                            failed = Some(MpiError::RetriesExhausted {
+                                op: "chunk_rdma",
+                                peer: ss.dst,
+                                attempts: c.attempts,
+                            });
+                            break;
+                        }
+                        c.attempts += 1;
+                        note(&self.counters, "retry.chunk_rdma");
+                        c.comp = self.nic.rdma_write(
+                            ss.dst,
+                            ss.slots[c.slot].desc.key,
+                            0,
+                            &c.vbuf.buf.base(),
+                            c.len,
+                        );
+                        i += 1;
+                        continue;
+                    }
+                    let done = ss.inflight.swap_remove(i);
+                    if self.faulty {
+                        self.nic.send_ctrl(
+                            ss.dst,
+                            Box::new(MpiPacket::Fin {
+                                recv_req: ss.peer_recv_req,
+                                chunk_idx: done.chunk,
+                                slot: done.slot,
+                                bytes: done.len,
+                            }),
+                        );
+                        ss.slots[done.slot].fin_sent = true;
+                        if let Some(t) = &mut ss.timer {
+                            t.feed();
+                        }
+                    }
+                    let vbuf = done.vbuf;
+                    if self.cfg.fault_leak_vbuf && !self.leaked_vbuf {
+                        // Fault injection: this vbuf is never returned.
+                        self.leaked_vbuf = true;
+                        std::mem::forget(vbuf);
+                    } else {
+                        san::pool_put(self.send_pool_id);
+                        self.send_pool.push(vbuf);
+                    }
+                }
+                // 5. Stall watchdog: no credit or CQE within the window —
+                //    the receiver may be missing a FIN, or we a credit.
+                //    Re-announcing busy slots recovers both (a dup FIN for
+                //    a credited chunk makes the receiver re-credit).
+                if failed.is_none() {
+                    if let Some(t) = &mut ss.timer {
+                        if t.expired() {
+                            let resend: Vec<(usize, usize)> = ss
+                                .slots
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, s)| !s.free && s.fin_sent)
+                                .filter_map(|(idx, s)| s.occupant.map(|c| (idx, c)))
+                                .collect();
+                            if resend.is_empty() {
+                                // Stalled on local staging or an in-flight
+                                // write — nothing on the wire to chase.
+                                t.feed();
+                            } else if t.bump(self.cfg.retry.max_retries) {
+                                for (slot, c) in resend {
+                                    let len = ss.chunk_size.min(total - c * ss.chunk_size);
+                                    note(&self.counters, "retry.fin");
+                                    self.nic.send_ctrl(
+                                        ss.dst,
+                                        Box::new(MpiPacket::Fin {
+                                            recv_req: ss.peer_recv_req,
+                                            chunk_idx: c,
+                                            slot,
+                                            bytes: len,
+                                        }),
+                                    );
+                                }
+                            } else {
+                                failed = Some(MpiError::RetriesExhausted {
+                                    op: "fin",
+                                    peer: ss.dst,
+                                    attempts: t.attempts,
+                                });
+                            }
+                        }
+                    }
+                }
+                if failed.is_none() && ss.next_send == ss.nchunks && ss.inflight.is_empty() {
+                    let rec = SendRecord::Staged {
+                        dst: ss.dst,
+                        peer_recv_req: ss.peer_recv_req,
+                        chunk_size: ss.chunk_size,
+                        nchunks: ss.nchunks,
+                        nslots: ss.slots.len(),
+                        total,
+                    };
                     st.phase = SendPhase::Done;
+                    if self.faulty {
+                        self.completed_sends.insert(id, rec);
+                    }
                 }
             }
+        }
+        if let Some(e) = failed {
+            self.fail_send(id, e);
+        }
+    }
+
+    /// Surface a typed failure on a send: release its resources and park it
+    /// in the Failed phase for the caller to reap.
+    fn fail_send(&mut self, id: ReqId, e: MpiError) {
+        note(&self.counters, "mpi.error");
+        let Some(st) = self.sends.get_mut(&id) else {
+            return;
+        };
+        let old = std::mem::replace(&mut st.phase, SendPhase::Failed(e));
+        match old {
+            SendPhase::Staged(ss) => {
+                for (_, vbuf) in ss.local {
+                    san::pool_put(self.send_pool_id);
+                    self.send_pool.push(vbuf);
+                }
+                for c in ss.inflight {
+                    san::pool_put(self.send_pool_id);
+                    self.send_pool.push(c.vbuf);
+                }
+            }
+            SendPhase::Direct(d) => {
+                self.reg_cache.release(d.ptr.buf().id());
+            }
+            _ => {}
+        }
+    }
+
+    /// Surface a typed failure on a receive: release its resources and park
+    /// it in the Failed phase for the caller to reap.
+    fn fail_recv(&mut self, id: ReqId, e: MpiError) {
+        note(&self.counters, "mpi.error");
+        let Some(st) = self.recvs.get_mut(&id) else {
+            return;
+        };
+        let buf_id = st.direct_ptr.as_ref().map(|p| p.buf().id());
+        let old = std::mem::replace(&mut st.phase, RecvPhase::Failed(e));
+        match old {
+            RecvPhase::Staged(mut sr, _) => {
+                for _ in 0..sr.slots.len() {
+                    san::pool_put(self.recv_pool_id);
+                }
+                self.recv_pool.append(&mut sr.slots);
+                self.matched_rts.remove(&(sr.src, sr.peer_send_req));
+                self.done_rts.insert((sr.src, sr.peer_send_req), ());
+                self.grant_deferred_cts();
+            }
+            RecvPhase::WaitDirect { env, send_req, .. } => {
+                if let Some(bid) = buf_id {
+                    self.reg_cache.release(bid);
+                }
+                self.matched_rts.remove(&(env.src, send_req));
+                self.done_rts.insert((env.src, send_req), ());
+            }
+            _ => {}
         }
     }
 
@@ -918,20 +1905,68 @@ impl Engine {
         let Some(st) = self.recvs.get_mut(&id) else {
             return;
         };
+        let mut failed: Option<MpiError> = None;
+        // Direct-path watchdog (faulty only): the CtsDirect or the FinDirect
+        // was lost — re-offer our buffer; a completed sender re-FINs.
+        if let RecvPhase::WaitDirect {
+            my_key,
+            env,
+            total,
+            send_req,
+            timer: Some(t),
+        } = &mut st.phase
+        {
+            if t.expired() {
+                if t.bump(self.cfg.retry.max_retries) {
+                    note(&self.counters, "retry.cts_direct");
+                    let offset = st
+                        .direct_ptr
+                        .as_ref()
+                        .expect("direct receive without a direct pointer")
+                        .offset();
+                    self.nic.send_ctrl(
+                        env.src,
+                        Box::new(MpiPacket::CtsDirect {
+                            send_req: *send_req,
+                            recv_req: id,
+                            key: *my_key,
+                            offset,
+                            len: *total,
+                        }),
+                    );
+                } else {
+                    failed = Some(MpiError::RetriesExhausted {
+                        op: "cts_direct",
+                        peer: env.src,
+                        attempts: t.attempts,
+                    });
+                }
+            }
+        }
+        if let Some(e) = failed {
+            self.fail_recv(id, e);
+            return;
+        }
+        let Some(st) = self.recvs.get_mut(&id) else {
+            return;
+        };
         let RecvPhase::Staged(sr, env) = &mut st.phase else {
             return;
         };
         st.sink.poll();
         // Feed arrived chunks to the sink in order.
-        while let Some(&(chunk, slot, bytes)) = sr.arrived.front() {
+        while let Some((&chunk, &(slot, bytes))) = sr.arrived.first_key_value() {
             if chunk != sr.next_chunk {
-                break; // FINs arrive in order; defensive.
+                break; // hole: a FIN is still missing (or in flight)
             }
-            sr.arrived.pop_front();
+            sr.arrived.pop_first();
             st.sink
                 .chunk_arrived(chunk, sr.slots[slot].buf.base(), bytes);
             sr.absorbing.push_back((chunk, slot));
             sr.next_chunk += 1;
+            if let Some(t) = &mut sr.timer {
+                t.feed();
+            }
         }
         // Credit slots whose data the sink has absorbed.
         while let Some(&(chunk, slot)) = sr.absorbing.front() {
@@ -939,11 +1974,13 @@ impl Engine {
                 break;
             }
             sr.absorbing.pop_front();
+            sr.next_credit = chunk + 1;
             self.nic.send_ctrl(
                 sr.src,
                 Box::new(MpiPacket::Credit {
                     send_req: sr.peer_send_req,
                     slot,
+                    chunk_idx: chunk,
                 }),
             );
         }
@@ -951,8 +1988,12 @@ impl Engine {
             // Report the end-to-end latency so the adaptive policy can
             // steer the next transfer of this (size, layout) class.
             if let Some(key) = sr.tune_key {
-                self.tuner
+                let settled = self
+                    .tuner
                     .observe(key, sr.chunk_size, sim_core::now() - sr.started);
+                if let Some(block) = settled {
+                    note(&self.counters, settled_counter(key.layout(), block));
+                }
             }
             // Return granted vbufs to the pool.
             for _ in 0..sr.slots.len() {
@@ -964,19 +2005,87 @@ impl Engine {
                 tag: env.tag,
                 bytes: sr.total,
             };
+            let (peer, send_req) = (sr.src, sr.peer_send_req);
             st.phase = RecvPhase::Done(status);
+            if self.faulty {
+                self.matched_rts.remove(&(peer, send_req));
+                self.done_rts.insert((peer, send_req), ());
+                self.completed_recvs.insert(id, (peer, send_req));
+            }
+            self.grant_deferred_cts();
+            return;
+        }
+        // FIN watchdog (faulty only, armed at the CTS grant): nack the
+        // first missing chunk so the sender re-announces its window.
+        if sr.cts_sent {
+            if let Some(t) = &mut sr.timer {
+                if t.expired() {
+                    if t.bump(self.cfg.retry.max_retries) {
+                        note(&self.counters, "retry.fin_nack");
+                        self.nic.send_ctrl(
+                            sr.src,
+                            Box::new(MpiPacket::FinNack {
+                                send_req: sr.peer_send_req,
+                                next_needed: sr.next_chunk,
+                            }),
+                        );
+                    } else {
+                        failed = Some(MpiError::RetriesExhausted {
+                            op: "fin_nack",
+                            peer: sr.src,
+                            attempts: t.attempts,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(e) = failed {
+            self.fail_recv(id, e);
         }
     }
 
     // --- completion queries --------------------------------------------------------
 
     pub fn send_done(&self, id: ReqId) -> bool {
-        matches!(self.sends[&id].phase, SendPhase::Done)
+        matches!(
+            self.sends[&id].phase,
+            SendPhase::Done | SendPhase::Failed(_)
+        )
+    }
+
+    /// Whether this engine sits on a fault-injecting fabric.
+    pub fn is_faulty(&self) -> bool {
+        self.faulty
+    }
+
+    /// The typed error a failed send ended with, if any.
+    pub fn send_error(&self, id: ReqId) -> Option<MpiError> {
+        match &self.sends[&id].phase {
+            SendPhase::Failed(e) => Some(e.clone()),
+            _ => None,
+        }
     }
 
     pub fn recv_done(&self, id: ReqId) -> Option<RecvStatus> {
         match self.recvs[&id].phase {
             RecvPhase::Done(status) => Some(status),
+            _ => None,
+        }
+    }
+
+    /// Whether the receive has reached a terminal state (success or typed
+    /// failure).
+    pub fn recv_finished(&self, id: ReqId) -> bool {
+        matches!(
+            self.recvs[&id].phase,
+            RecvPhase::Done(_) | RecvPhase::Failed(_)
+        )
+    }
+
+    /// The typed error a failed receive ended with, if any.
+    pub fn recv_error(&self, id: ReqId) -> Option<MpiError> {
+        match &self.recvs[&id].phase {
+            RecvPhase::Failed(e) => Some(e.clone()),
             _ => None,
         }
     }
@@ -1029,17 +2138,31 @@ impl Engine {
         };
         for s in self.sends.values() {
             consider(s.source.next_event());
-            if let SendPhase::Direct { rdma, .. } = &s.phase {
-                consider(rdma.done_at());
-            }
-            if let SendPhase::Staged(ss) = &s.phase {
-                for (c, _) in &ss.inflight {
-                    consider(c.done_at());
+            match &s.phase {
+                SendPhase::WaitCts { timer: Some(t) } => consider(Some(t.deadline)),
+                SendPhase::Direct(d) => consider(d.rdma.done_at()),
+                SendPhase::Staged(ss) => {
+                    for c in &ss.inflight {
+                        consider(c.comp.done_at());
+                    }
+                    if let Some(t) = &ss.timer {
+                        consider(Some(t.deadline));
+                    }
                 }
+                _ => {}
             }
         }
         for r in self.recvs.values() {
             consider(r.sink.next_event());
+            match &r.phase {
+                RecvPhase::WaitDirect { timer: Some(t), .. } => consider(Some(t.deadline)),
+                RecvPhase::Staged(sr, _) => {
+                    if let Some(t) = &sr.timer {
+                        consider(Some(t.deadline));
+                    }
+                }
+                _ => {}
+            }
         }
         best
     }

@@ -53,8 +53,9 @@ pub use coll::ReduceOp;
 pub use comm::Comm;
 pub use datatype::{Datatype, SubarrayOrder};
 pub use engine::{RecvStatus, Request, SrcSel, TagSel, ANY_SOURCE, ANY_TAG};
+pub use ib_sim::FaultSpec;
 pub use pack::CpuModel;
 pub use plan::{Plan, PlanCacheStats};
-pub use proto::{ChunkPolicy, MpiConfig};
+pub use proto::{ChunkPolicy, MpiConfig, MpiError, RetryConfig};
 pub use staging::{BufferStager, RecvSink, SendSource};
 pub use world::MpiWorld;

@@ -74,8 +74,23 @@ pub(crate) enum MpiPacket {
     /// Direct path: the single RDMA write has completed.
     FinDirect { recv_req: ReqId },
     /// Staged path: the receiver has absorbed the chunk in `slot`; the
-    /// sender may write the next chunk into it.
-    Credit { send_req: ReqId, slot: usize },
+    /// sender may write the next chunk into it. `chunk_idx` sequences the
+    /// credit: it names the chunk being credited, so a duplicate (the slot
+    /// already freed, or occupied by a different chunk) is detectable and
+    /// ignored instead of corrupting flow control.
+    Credit {
+        send_req: ReqId,
+        slot: usize,
+        chunk_idx: usize,
+    },
+    /// Staged path, fault recovery: the receiver has not seen a FIN for
+    /// `next_needed` within its retry window — the sender must re-announce
+    /// (and, for lost data, re-write) everything from that chunk on.
+    FinNack { send_req: ReqId, next_needed: usize },
+    /// Direct path, fault recovery: the sender could not register its user
+    /// buffer (pin limit), so it abandons the R-PUT; the receiver must fall
+    /// back to granting a staged window.
+    DirectAbort { recv_req: ReqId, send_req: ReqId },
 }
 
 /// How the staging chunk (pipeline block) size is chosen per transfer.
@@ -110,6 +125,61 @@ impl ChunkPolicy {
     }
 }
 
+/// Retry policy for rendezvous control traffic and failed RDMA chunks.
+/// Only consulted when the fabric injects faults — on a reliable fabric no
+/// timers are armed and the protocol runs exactly as if retries didn't
+/// exist.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Initial retransmit timeout, ns. Doubles on every retry (exponential
+    /// backoff).
+    pub timeout_ns: u64,
+    /// Retries per operation before the request fails with
+    /// [`MpiError::RetriesExhausted`].
+    pub max_retries: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            // ~4x the rendezvous control round trip on the QDR model: late
+            // enough to avoid spurious retransmits, early enough that a
+            // lost RTS costs well under a millisecond.
+            timeout_ns: 200_000,
+            max_retries: 12,
+        }
+    }
+}
+
+/// A typed MPI-level failure, surfaced through
+/// [`Comm::wait_result`](crate::Comm::wait_result) instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MpiError {
+    /// An operation gave up after exhausting its retry budget (see
+    /// [`RetryConfig`]); the peer is unreachable or persistently dropping.
+    RetriesExhausted {
+        /// Which protocol step gave up (e.g. `"rts"`, `"fin_nack"`).
+        op: &'static str,
+        /// The peer rank the operation was addressed to.
+        peer: usize,
+        /// Attempts made, including the first.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::RetriesExhausted { op, peer, attempts } => write!(
+                f,
+                "rendezvous {op} to rank {peer} failed after {attempts} attempts (retries exhausted)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
 /// Tunables of the simulated MPI library.
 #[derive(Clone, Debug)]
 pub struct MpiConfig {
@@ -127,6 +197,12 @@ pub struct MpiConfig {
     pub pool_vbufs: usize,
     /// Host CPU cost model.
     pub cpu: crate::pack::CpuModel,
+    /// Retry policy under fault injection (unused on a reliable fabric).
+    pub retry: RetryConfig,
+    /// Capacity of the per-rank registration cache for rendezvous user
+    /// buffers. The least-recently-used entry is evicted (and deregistered)
+    /// when a new buffer would exceed this.
+    pub reg_cache_entries: usize,
     /// Fault injection (tests only): drop the first send-pool vbuf that
     /// finishes its RDMA write instead of returning it to the pool, so the
     /// sanitizer's pool reconciliation has a leak to find.
@@ -142,14 +218,20 @@ impl Default for MpiConfig {
             window_slots: 8,
             pool_vbufs: 64,
             cpu: crate::pack::CpuModel::westmere(),
+            retry: RetryConfig::default(),
+            reg_cache_entries: 1024,
             fault_leak_vbuf: false,
         }
     }
 }
 
 impl MpiConfig {
-    /// Number of chunks a staged transfer of `total` bytes uses at the
-    /// configured starting chunk size.
+    /// Number of chunks a staged transfer of `total` bytes would use at
+    /// [`chunk_size`](MpiConfig::chunk_size). Under [`ChunkPolicy::Fixed`]
+    /// that is the actual chunk count; under [`ChunkPolicy::Adaptive`] it
+    /// reflects only the *starting* chunk size — once the tuner has
+    /// observed a `(size class, layout class)` pair it picks a different
+    /// block, and the real count is `total.div_ceil(chosen_block)`.
     pub fn nchunks(&self, total: usize) -> usize {
         total.div_ceil(self.chunk_size).max(1)
     }
@@ -180,6 +262,32 @@ impl MpiConfig {
              could never fill its window",
             self.pool_vbufs,
             self.window_slots
+        );
+        // The pool is split pool_vbufs/2 (send) / remainder (recv) at engine
+        // construction; pool_vbufs: 1 would make the send half *empty* and
+        // every staged send would deadlock waiting for a vbuf that cannot
+        // exist.
+        assert!(
+            self.pool_vbufs >= 2,
+            "MpiConfig: pool_vbufs ({}) must be >= 2 — the pool is split into send and \
+             receive halves (pool_vbufs/2 each side), and either half being empty deadlocks \
+             every staged transfer on that side",
+            self.pool_vbufs
+        );
+        assert!(
+            self.reg_cache_entries >= 1,
+            "MpiConfig: reg_cache_entries must be >= 1 (a rendezvous transfer needs its own \
+             registration live while in flight)"
+        );
+        assert!(
+            self.retry.timeout_ns > 0,
+            "MpiConfig: retry.timeout_ns must be nonzero (a zero timeout retransmits forever \
+             in zero virtual time)"
+        );
+        assert!(
+            self.retry.max_retries >= 1,
+            "MpiConfig: retry.max_retries must be >= 1 (a zero budget fails every rendezvous \
+             on the first lost packet)"
         );
         if let ChunkPolicy::Adaptive {
             min_block,
@@ -260,6 +368,70 @@ mod tests {
             ..Default::default()
         }
         .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pool_vbufs (1) must be >= 2")]
+    fn single_vbuf_pool_is_rejected() {
+        // Regression: pool_vbufs: 1 used to validate, then the engine's
+        // pool_vbufs/2 split left the send half empty and every staged send
+        // deadlocked silently.
+        MpiConfig {
+            window_slots: 1,
+            pool_vbufs: 1,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "reg_cache_entries must be >= 1")]
+    fn zero_reg_cache_is_rejected() {
+        MpiConfig {
+            reg_cache_entries: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "retry.timeout_ns must be nonzero")]
+    fn zero_retry_timeout_is_rejected() {
+        MpiConfig {
+            retry: RetryConfig {
+                timeout_ns: 0,
+                max_retries: 4,
+            },
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "retry.max_retries must be >= 1")]
+    fn zero_retry_budget_is_rejected() {
+        MpiConfig {
+            retry: RetryConfig {
+                timeout_ns: 1000,
+                max_retries: 0,
+            },
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn mpi_error_displays_context() {
+        let e = MpiError::RetriesExhausted {
+            op: "rts",
+            peer: 3,
+            attempts: 13,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("rts") && s.contains("rank 3") && s.contains("13"),
+            "{s}"
+        );
     }
 
     #[test]

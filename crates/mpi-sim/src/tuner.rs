@@ -36,6 +36,33 @@ impl LayoutClass {
     }
 }
 
+/// Static counter name for a settled search, `tuner.settled.<layout>.<kb>k`
+/// — counters require `&'static str`, so the power-of-two ladder is spelled
+/// out and anything off it falls into `.other`.
+pub(crate) fn settled_counter(layout: LayoutClass, block: usize) -> &'static str {
+    macro_rules! per_block {
+        ($layout:literal) => {
+            match block {
+                0x1000 => concat!("tuner.settled.", $layout, ".4k"),
+                0x2000 => concat!("tuner.settled.", $layout, ".8k"),
+                0x4000 => concat!("tuner.settled.", $layout, ".16k"),
+                0x8000 => concat!("tuner.settled.", $layout, ".32k"),
+                0x10000 => concat!("tuner.settled.", $layout, ".64k"),
+                0x20000 => concat!("tuner.settled.", $layout, ".128k"),
+                0x40000 => concat!("tuner.settled.", $layout, ".256k"),
+                0x80000 => concat!("tuner.settled.", $layout, ".512k"),
+                0x100000 => concat!("tuner.settled.", $layout, ".1024k"),
+                _ => concat!("tuner.settled.", $layout, ".other"),
+            }
+        };
+    }
+    match layout {
+        LayoutClass::Contiguous => per_block!("contiguous"),
+        LayoutClass::Strided => per_block!("strided"),
+        LayoutClass::Irregular => per_block!("irregular"),
+    }
+}
+
 /// Tuning key: transfers of the same power-of-two size class and layout
 /// class share one search state.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -50,6 +77,10 @@ impl TuneKey {
             size_class: usize::BITS - total.max(1).leading_zeros(),
             layout,
         }
+    }
+
+    pub(crate) fn layout(&self) -> LayoutClass {
+        self.layout
     }
 }
 
@@ -114,18 +145,17 @@ impl ChunkTuner {
     }
 
     /// Record a completed transfer: `block` took `elapsed` end to end.
-    /// Moves the cursor toward the observed latency minimum.
-    pub(crate) fn observe(&mut self, key: TuneKey, block: usize, elapsed: SimDur) {
-        let Some(st) = self.states.get_mut(&key) else {
-            return;
-        };
-        let Some(i) = self.ladder.iter().position(|&b| b == block) else {
-            return;
-        };
+    /// Moves the cursor toward the observed latency minimum. Returns the
+    /// winning block size on the observation that settles the search (so
+    /// callers can count which block each key converged to); `None` on
+    /// every other observation.
+    pub(crate) fn observe(&mut self, key: TuneKey, block: usize, elapsed: SimDur) -> Option<usize> {
+        let st = self.states.get_mut(&key)?;
+        let i = self.ladder.iter().position(|&b| b == block)?;
         let ns = elapsed.as_nanos();
         st.best_ns[i] = Some(st.best_ns[i].map_or(ns, |prev| prev.min(ns)));
         if st.settled {
-            return;
+            return None;
         }
         let best = st
             .best_ns
@@ -147,7 +177,9 @@ impl ChunkTuner {
         } else {
             st.cursor = best;
             st.settled = true;
+            return Some(self.ladder[best]);
         }
+        None
     }
 }
 
@@ -200,6 +232,42 @@ mod tests {
         // Convergence is sticky: further observations do not move it.
         t.observe(key(), last, SimDur::from_nanos(lat(last) * 10));
         assert_eq!(t.choose(key()), 128 << 10);
+    }
+
+    #[test]
+    fn observe_reports_the_block_once_on_settling() {
+        let lat = |block: usize| -> u64 {
+            let b = block as f64;
+            let opt = (128 << 10) as f64;
+            (1_000_000.0 + 50_000.0 * (b / opt - opt / b).abs()) as u64
+        };
+        let mut t = ChunkTuner::new(&adaptive_cfg());
+        let mut settled = Vec::new();
+        for _ in 0..16 {
+            let block = t.choose(key());
+            if let Some(b) = t.observe(key(), block, SimDur::from_nanos(lat(block))) {
+                settled.push(b);
+            }
+        }
+        assert_eq!(
+            settled,
+            vec![128 << 10],
+            "settles exactly once, on the winner"
+        );
+    }
+
+    #[test]
+    fn settled_counter_names_are_static_and_distinct() {
+        let a = settled_counter(LayoutClass::Strided, 64 << 10);
+        let b = settled_counter(LayoutClass::Contiguous, 64 << 10);
+        let c = settled_counter(LayoutClass::Strided, 128 << 10);
+        assert_eq!(a, "tuner.settled.strided.64k");
+        assert_eq!(b, "tuner.settled.contiguous.64k");
+        assert_eq!(c, "tuner.settled.strided.128k");
+        assert_eq!(
+            settled_counter(LayoutClass::Irregular, 12345),
+            "tuner.settled.irregular.other"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use ib_sim::{Fabric, NetModel};
+use ib_sim::{Fabric, FaultSpec, NetModel};
 use sim_core::{Report, SanitizerMode, Sim, SimTime};
 
 use crate::comm::Comm;
@@ -15,6 +15,7 @@ pub struct MpiWorld {
     net: NetModel,
     cfg: MpiConfig,
     sanitizer: SanitizerMode,
+    faults: Option<FaultSpec>,
 }
 
 impl MpiWorld {
@@ -25,6 +26,7 @@ impl MpiWorld {
             net: NetModel::qdr(),
             cfg: MpiConfig::default(),
             sanitizer: SanitizerMode::Off,
+            faults: None,
         }
     }
 
@@ -46,6 +48,16 @@ impl MpiWorld {
         self
     }
 
+    /// Run the job on a fault-injecting fabric (see [`FaultSpec`]): control
+    /// packets drop and delay, RDMA writes fail, registration hits a pin
+    /// limit — all from a seeded deterministic schedule. The MPI layer
+    /// retries/recovers; data delivered must be identical to a fault-free
+    /// run.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Run `f` on every rank (host-only MPI; device buffers panic). Returns
     /// the virtual time when the last rank finished.
     pub fn run<F>(self, f: F) -> SimTime
@@ -63,7 +75,7 @@ impl MpiWorld {
     {
         let sim = Sim::new();
         sim.set_sanitizer(self.sanitizer);
-        let fabric = Fabric::new(self.n, self.net.clone());
+        let fabric = Fabric::with_faults(self.n, self.net.clone(), self.faults.clone());
         let f = Arc::new(f);
         for rank in 0..self.n {
             let fabric = fabric.clone();
@@ -72,7 +84,8 @@ impl MpiWorld {
             let n = self.n;
             sim.spawn(format!("rank{rank}"), move || {
                 let comm = Comm::create(fabric.nic(rank), rank, n, cfg, Arc::new(Vec::new()));
-                f(comm);
+                f(comm.clone());
+                comm.finalize();
             });
         }
         let end = sim.run();

@@ -18,6 +18,9 @@ use crate::time::SimTime;
 struct CompState {
     /// When the event completes. `None` while the finish time is unknown.
     done_at: Option<SimTime>,
+    /// The operation finished unsuccessfully (an error CQE). Consumers that
+    /// never check [`Completion::is_error`] see the same timing either way.
+    error: bool,
     /// Processes parked waiting for a finish time to be assigned.
     waiters: Vec<ProcHandle>,
     /// Sanitizer: async operations this completion synchronizes with. A
@@ -45,10 +48,22 @@ impl Completion {
         Completion {
             inner: Arc::new(Mutex::new(CompState {
                 done_at: Some(t),
+                error: false,
                 waiters: Vec::new(),
                 ops: Vec::new(),
             })),
         }
+    }
+
+    /// A completion that finishes at `t` *with an error status* — the
+    /// simulator's equivalent of an error CQE (`IBV_WC_RETRY_EXC_ERR` and
+    /// friends). Timing behaves exactly like [`ready_at`](Self::ready_at);
+    /// protocol layers query [`is_error`](Self::is_error) after completion
+    /// to decide whether the operation must be retried.
+    pub fn failed_at(t: SimTime) -> Self {
+        let c = Self::ready_at(t);
+        c.inner.lock().error = true;
+        c
     }
 
     /// A completion that is already done.
@@ -80,6 +95,13 @@ impl Completion {
     /// Finish time, if assigned.
     pub fn done_at(&self) -> Option<SimTime> {
         self.inner.lock().done_at
+    }
+
+    /// Whether the operation completed with an error status (an error CQE).
+    /// Meaningful once the completion is done; pending completions and
+    /// successful ones return `false`.
+    pub fn is_error(&self) -> bool {
+        self.inner.lock().error
     }
 
     /// Sanitizer: attach asynchronous operation ids to this completion. A
@@ -246,6 +268,21 @@ mod tests {
             let c = Completion::pending();
             c.complete_at(SimTime::ZERO);
             c.complete_at(SimTime::ZERO);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn error_status_rides_the_completion() {
+        let sim = Sim::new();
+        sim.spawn("p", || {
+            let ok = Completion::ready_at(now() + SimDur::from_micros(1));
+            let bad = Completion::failed_at(now() + SimDur::from_micros(1));
+            assert!(!ok.is_error());
+            assert!(bad.is_error(), "error status must be queryable before done");
+            // Identical timing semantics: both finish at the same instant.
+            assert_eq!(ok.wait(), bad.wait());
+            assert!(bad.is_error() && !ok.is_error());
         });
         sim.run();
     }

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use mv2_gpu_nc::GpuCluster;
+use mv2_gpu_nc::{FaultSpec, GpuCluster};
 use sim_core::lock::Mutex;
 use sim_core::{Report, SanitizerMode, SimDur};
 
@@ -71,52 +71,67 @@ pub fn run_stencil_reports<T: Real>(
     opts: RunOptions,
     sanitizer: SanitizerMode,
 ) -> (StencilOutcome, Vec<Report>) {
+    run_stencil_campaign::<T>(p, variant, opts, sanitizer, None)
+}
+
+/// Like [`run_stencil_reports`], optionally on a fault-injecting fabric
+/// (fault campaigns: the stencil must produce byte-identical fields while
+/// the MPI layer drops, delays and retries underneath it).
+pub fn run_stencil_campaign<T: Real>(
+    p: StencilParams,
+    variant: Variant,
+    opts: RunOptions,
+    sanitizer: SanitizerMode,
+    faults: Option<FaultSpec>,
+) -> (StencilOutcome, Vec<Report>) {
     let reports: Arc<Mutex<Vec<RankReport>>> = Arc::new(Mutex::new(Vec::new()));
     let collector = Arc::clone(&reports);
-    let (_, san) = GpuCluster::new(p.nranks())
-        .sanitizer(sanitizer)
-        .run_with_reports(move |env| {
-            let mut rk = StencilRank::<T>::new(env, p);
-            rk.timed = opts.timed_breakdown;
-            env.comm.barrier();
-            let t0 = sim_core::now();
-            // Measure the call mix of one steady-state iteration (the second,
-            // to skip any warm-up effects like tbuf pool population).
-            let probe_iter = 1.min(p.iters.saturating_sub(1));
-            let mut base = None;
-            let mut loop_calls = BTreeMap::new();
-            for it in 0..p.iters {
-                if it == probe_iter {
-                    let mut snap = env.gpu.counters().snapshot();
-                    snap.extend(env.comm.counters().snapshot());
-                    base = Some(snap);
-                }
-                rk.step(variant);
-                if it == probe_iter {
-                    let base = base.take().unwrap();
-                    let mut now = env.gpu.counters().snapshot();
-                    now.extend(env.comm.counters().snapshot());
-                    for (k, v) in now {
-                        let b = base.get(k).copied().unwrap_or(0);
-                        if v > b {
-                            loop_calls.insert(k.to_string(), v - b);
-                        }
+    let mut cluster = GpuCluster::new(p.nranks()).sanitizer(sanitizer);
+    if let Some(spec) = faults {
+        cluster = cluster.faults(spec);
+    }
+    let (_, san) = cluster.run_with_reports(move |env| {
+        let mut rk = StencilRank::<T>::new(env, p);
+        rk.timed = opts.timed_breakdown;
+        env.comm.barrier();
+        let t0 = sim_core::now();
+        // Measure the call mix of one steady-state iteration (the second,
+        // to skip any warm-up effects like tbuf pool population).
+        let probe_iter = 1.min(p.iters.saturating_sub(1));
+        let mut base = None;
+        let mut loop_calls = BTreeMap::new();
+        for it in 0..p.iters {
+            if it == probe_iter {
+                let mut snap = env.gpu.counters().snapshot();
+                snap.extend(env.comm.counters().snapshot());
+                base = Some(snap);
+            }
+            rk.step(variant);
+            if it == probe_iter {
+                let base = base.take().unwrap();
+                let mut now = env.gpu.counters().snapshot();
+                now.extend(env.comm.counters().snapshot());
+                for (k, v) in now {
+                    let b = base.get(k).copied().unwrap_or(0);
+                    if v > b {
+                        loop_calls.insert(k.to_string(), v - b);
                     }
                 }
             }
-            env.comm.barrier();
-            let elapsed = sim_core::now() - t0;
-            let report = RankReport {
-                rank: env.comm.rank(),
-                elapsed,
-                breakdown: rk.breakdown,
-                checksum: rk.checksum(),
-                interior: opts.collect_interiors.then(|| rk.interior_bytes()),
-                loop_calls,
-            };
-            rk.free();
-            collector.lock().push(report);
-        });
+        }
+        env.comm.barrier();
+        let elapsed = sim_core::now() - t0;
+        let report = RankReport {
+            rank: env.comm.rank(),
+            elapsed,
+            breakdown: rk.breakdown,
+            checksum: rk.checksum(),
+            interior: opts.collect_interiors.then(|| rk.interior_bytes()),
+            loop_calls,
+        };
+        rk.free();
+        collector.lock().push(report);
+    });
     let mut ranks = Arc::try_unwrap(reports)
         .map(|m| m.into_inner())
         .unwrap_or_else(|a| a.lock().clone());

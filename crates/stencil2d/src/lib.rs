@@ -27,7 +27,9 @@ mod rank;
 mod real;
 mod reference;
 
-pub use driver::{run_stencil, run_stencil_reports, RankReport, RunOptions, StencilOutcome};
+pub use driver::{
+    run_stencil, run_stencil_campaign, run_stencil_reports, RankReport, RunOptions, StencilOutcome,
+};
 pub use loc::{lines_of_code, listing};
 pub use params::{initial_value, Dir, StencilParams, Variant};
 pub use rank::{Breakdown, DirTimes, StencilRank};

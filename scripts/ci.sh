@@ -25,4 +25,8 @@ echo "==> pipeline bench smoke (plan cache + adaptive policy guards)"
 cargo run --release -q -p bench --bin pipeline_bench -- \
     --iters 4 --out /tmp/BENCH_pipeline_smoke.json > /dev/null
 
+echo "==> fault campaign smoke (retry/recovery byte-identical guard)"
+cargo run --release -q -p bench --bin fault_campaign -- \
+    --out /tmp/fault_campaign_smoke.json > /dev/null
+
 echo "CI OK"

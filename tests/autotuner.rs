@@ -69,6 +69,109 @@ fn adaptive_first_transfer_matches_fixed() {
     assert_eq!(adaptive[0], fixed64[0]);
 }
 
+/// Run a 3-rank job where rank 0 streams the measured strided transfer to
+/// rank 1 while (optionally) rank 2 hogs rank 1's vbuf pool with an
+/// irregular transfer whose size varies per iteration. Returns the
+/// `tuner.settled.strided.*` counter keys rank 1's engine recorded.
+fn settled_strided_keys(hog: bool) -> Vec<String> {
+    use gpu_nc_repro::mpi_sim::Datatype;
+    use sim_core::SimDur;
+
+    let cfg = MpiConfig {
+        // Window == pool: a granted hog window drains the pool entirely,
+        // so the measured stream's CTS is deferred until the hog drains.
+        pool_vbufs: 8,
+        window_slots: 8,
+        ..MpiConfig::default()
+    };
+    let keys: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&keys);
+    let iters = 16u32;
+    // Uneven blocks classify as Irregular, keeping the hog's tuner keys
+    // disjoint from the measured stream's Strided ones.
+    let hog_blocks: &[(usize, isize)] = &[(2, 0), (1, 3)];
+    let hog_count = |it: u32| (16 << 10) * (1 + (it % 3) as usize);
+    GpuCluster::new(3).mpi_config(cfg).run(move |env| {
+        let x = VectorXfer::paper(1 << 20);
+        let dt = x.dtype();
+        let ht = Datatype::indexed(hog_blocks, &Datatype::double());
+        ht.commit();
+        let hog_extent = ht.extent() as usize * hog_count(2);
+        match env.comm.rank() {
+            0 => {
+                let dev = env.gpu.malloc(x.extent());
+                fill_vector(&env.gpu, dev, &x, 3);
+                for it in 0..iters {
+                    env.comm.barrier();
+                    // Let the hog's RTS land first and claim the pool.
+                    sim_core::sleep(SimDur::from_nanos(20_000));
+                    env.comm.send(dev, 1, &dt, 1, it);
+                }
+                env.gpu.free(dev);
+            }
+            1 => {
+                let dev = env.gpu.malloc(x.extent());
+                let hdev = env.gpu.malloc(hog_extent);
+                for it in 0..iters {
+                    env.comm.barrier();
+                    let mut reqs = Vec::new();
+                    if hog {
+                        reqs.push(env.comm.irecv(hdev, hog_count(it), &ht, 2, 1000 + it));
+                    }
+                    reqs.push(env.comm.irecv(dev, 1, &dt, 0, it));
+                    env.comm.waitall(reqs);
+                }
+                let settled: Vec<String> = env
+                    .comm
+                    .counters()
+                    .snapshot()
+                    .keys()
+                    .filter(|k| k.starts_with("tuner.settled.strided."))
+                    .map(|k| k.to_string())
+                    .collect();
+                *sink.lock() = settled;
+                env.gpu.free(dev);
+                env.gpu.free(hdev);
+            }
+            _ => {
+                let hdev = env.gpu.malloc(hog_extent);
+                env.gpu.write_bytes(hdev, &vec![5u8; hog_extent]);
+                for it in 0..iters {
+                    env.comm.barrier();
+                    if hog {
+                        env.comm.send(hdev, hog_count(it), &ht, 1, 1000 + it);
+                    }
+                }
+                env.gpu.free(hdev);
+            }
+        }
+    });
+    let mut v = Arc::try_unwrap(keys)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|a| a.lock().clone());
+    v.sort();
+    v
+}
+
+#[test]
+fn settled_block_ignores_cts_queueing_delay() {
+    // The tuner's latency window opens at the CTS grant, not the RTS
+    // match: time spent queued for pool vbufs varies with whatever else
+    // the receiver is doing and says nothing about the chunk size. A
+    // pool-hogging competitor whose size changes every iteration must
+    // therefore not move where the measured stream's search settles.
+    let reference = settled_strided_keys(false);
+    assert!(
+        !reference.is_empty(),
+        "measured stream never settled in the uncontended run"
+    );
+    let contended = settled_strided_keys(true);
+    assert_eq!(
+        contended, reference,
+        "vbuf-pool contention must not move the settled block"
+    );
+}
+
 #[test]
 fn adaptive_converges_within_10_percent_of_best_static() {
     let blocks = [16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10];
