@@ -1,17 +1,17 @@
 //! Figure 3: the non-contiguous data pipeline in action. Runs one vector
 //! transfer and renders each chunk's stage completions (device pack, D2H,
-//! H2D, device unpack) as a timeline, demonstrating the stage overlap the
-//! paper's design achieves.
+//! RDMA write, H2D, device unpack) as a timeline, demonstrating the stage
+//! overlap the paper's design achieves.
 //!
 //! Regenerate with: `cargo run --release -p bench --bin pipeline_trace`
 
 use bench::{emit_json, ExperimentRecord, HarnessArgs};
 use mv2_gpu_nc::baselines::{fill_vector, recv_mv2, send_mv2, VectorXfer};
-use mv2_gpu_nc::{GpuCluster, TraceEvent};
-use std::sync::{Arc, Mutex};
+use mv2_gpu_nc::{GpuCluster, Recorder};
+use sim_trace::analysis::stage_spans;
 
 struct Event {
-    stage: &'static str,
+    stage: String,
     chunk: usize,
     done_us: f64,
 }
@@ -25,9 +25,8 @@ bench::impl_to_json!(Event {
 fn main() {
     let args = HarnessArgs::parse();
     let total = 512 << 10; // 8 chunks at the default 64 KB block size
-    let events: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
-    let sink = Arc::clone(&events);
-    GpuCluster::new(2).run(move |env| {
+    let rec = Recorder::new();
+    GpuCluster::new(2).recorder(rec.clone()).run(move |env| {
         let x = VectorXfer::paper(total);
         let dev = env.gpu.malloc(x.extent());
         if env.comm.rank() == 0 {
@@ -35,17 +34,15 @@ fn main() {
             send_mv2(&env.comm, dev, x, 1, 0);
         } else {
             recv_mv2(&env.comm, dev, x, 0, 0);
-            *sink.lock().unwrap() = env.trace.events();
         }
     });
-    let mut evs: Vec<Event> = events
-        .lock()
-        .unwrap()
+    let spans = stage_spans(&rec);
+    let mut evs: Vec<Event> = spans
         .iter()
-        .map(|e| Event {
-            stage: e.stage,
-            chunk: e.chunk,
-            done_us: e.done_at.as_micros_f64(),
+        .map(|s| Event {
+            stage: s.lane_name.clone(),
+            chunk: s.chunk.unwrap_or(0),
+            done_us: s.end.as_micros_f64(),
         })
         .collect();
     evs.sort_by(|a, b| a.done_us.total_cmp(&b.done_us));
@@ -85,7 +82,7 @@ fn main() {
         );
     }
     // Quantified overlap analysis.
-    let stats = mv2_gpu_nc::timeline::analyze_events(&events.lock().unwrap().clone());
+    let stats = mv2_gpu_nc::timeline::analyze_spans(&spans);
     println!();
     println!(
         "pipeline span {:.0} us, stage-overlap factor {:.2} (1.0 = fully serialized)",
@@ -102,6 +99,15 @@ fn main() {
             "  bottleneck stage: {} (the paper's (n+2)*T model assumes the device pack)",
             b.stage
         );
+    }
+    // The actual gating sequence through the five stages.
+    let path = sim_trace::analysis::critical_path(&spans, &mv2_gpu_nc::timeline::STAGE_ORDER);
+    if !path.is_empty() {
+        let steps: Vec<String> = path
+            .iter()
+            .map(|s| format!("{}[{}]", s.stage, s.chunk))
+            .collect();
+        println!("  critical path: {}", steps.join(" -> "));
     }
 
     // Overlap proof: the last pack must finish well after the first d2h —

@@ -8,18 +8,19 @@ use ib_sim::{Fabric, FaultSpec, NetModel};
 use mpi_sim::staging::BufferStager;
 use mpi_sim::{ChunkPolicy, Comm, MpiConfig};
 use sim_core::{Report, SanitizerMode, Sim, SimTime};
+use sim_trace::Recorder;
 
-use crate::stager::{GpuStager, PipelineTrace};
+use crate::stager::GpuStager;
 
 /// Everything one rank's program sees: its communicator (GPU-aware), its
-/// GPU, and the shared pipeline trace.
+/// GPU, and the shared trace recorder.
 pub struct GpuRankEnv {
     /// GPU-aware communicator (device buffers allowed in MPI calls).
     pub comm: Comm,
     /// This node's GPU.
     pub gpu: Gpu,
-    /// Pipeline stage trace (shared across ranks).
-    pub trace: PipelineTrace,
+    /// Trace recorder (shared across ranks and all sim layers).
+    pub recorder: Recorder,
 }
 
 /// A simulated GPU cluster (the paper's testbed: one process per node, one
@@ -32,6 +33,7 @@ pub struct GpuCluster {
     gpu_mem: usize,
     sanitizer: SanitizerMode,
     fault_spec: Option<FaultSpec>,
+    recorder: Option<Recorder>,
 }
 
 impl GpuCluster {
@@ -45,6 +47,7 @@ impl GpuCluster {
             gpu_mem: 3 << 30,
             sanitizer: SanitizerMode::Off,
             fault_spec: None,
+            recorder: None,
         }
     }
 
@@ -97,6 +100,15 @@ impl GpuCluster {
         self
     }
 
+    /// Record spans/counters into `rec` instead of a fresh recorder. Pass
+    /// [`Recorder::off`] to disable tracing entirely, or a clone of an
+    /// enabled recorder to inspect lanes after the run (via
+    /// [`sim_trace::chrome_trace`] or [`sim_trace::analysis`]).
+    pub fn recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
     /// Run `f` on every rank; returns the virtual completion time.
     pub fn run<F>(self, f: F) -> SimTime
     where
@@ -115,7 +127,8 @@ impl GpuCluster {
         sim.set_sanitizer(self.sanitizer);
         let fabric = Fabric::with_faults(self.n, self.net.clone(), self.fault_spec.clone());
         let f = Arc::new(f);
-        let trace = PipelineTrace::new();
+        let rec = self.recorder.clone().unwrap_or_default();
+        fabric.attach_recorder(&rec);
         for rank in 0..self.n {
             let fabric = fabric.clone();
             let cfg = self.mpi.clone();
@@ -123,14 +136,19 @@ impl GpuCluster {
             let n = self.n;
             let gpu_cost = self.gpu_cost.clone();
             let gpu_mem = self.gpu_mem;
-            let trace = trace.clone();
+            let rec = rec.clone();
             sim.spawn(format!("rank{rank}"), move || {
                 let gpu = Gpu::new(rank as u32, gpu_cost, gpu_mem);
-                let stager = GpuStager::new(gpu.clone(), rank, trace.clone());
+                gpu.attach_recorder(&rec);
+                let stager = GpuStager::new(gpu.clone(), rank, &rec);
                 let stagers: Arc<Vec<Box<dyn BufferStager>>> =
                     Arc::new(vec![Box::new(stager) as Box<dyn BufferStager>]);
-                let comm = Comm::create(fabric.nic(rank), rank, n, cfg, stagers);
-                let env = GpuRankEnv { comm, gpu, trace };
+                let comm = Comm::create_traced(fabric.nic(rank), rank, n, cfg, stagers, &rec);
+                let env = GpuRankEnv {
+                    comm,
+                    gpu,
+                    recorder: rec,
+                };
                 f(&env);
                 env.comm.finalize();
             });

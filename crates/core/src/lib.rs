@@ -51,7 +51,8 @@ pub use cluster::{GpuCluster, GpuRankEnv};
 pub use gpu_pack::SegmentMap;
 pub use ib_sim::FaultSpec;
 pub use pools::{Tbuf, TbufPool};
-pub use stager::{GpuStager, PipelineTrace, TraceEvent};
+pub use sim_trace::Recorder;
+pub use stager::GpuStager;
 
 #[cfg(test)]
 mod tests {
@@ -293,22 +294,48 @@ mod tests {
 
     #[test]
     fn pipeline_trace_records_all_stages() {
-        GpuCluster::new(2).run(|env| {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let rec = Recorder::new();
+        let nchunks = Arc::new(AtomicUsize::new(0));
+        let nc = Arc::clone(&nchunks);
+        GpuCluster::new(2).recorder(rec.clone()).run(move |env| {
             let x = VectorXfer::paper(256 << 10);
             let dev = env.gpu.malloc(x.extent());
             if env.comm.rank() == 0 {
                 fill_vector(&env.gpu, dev, &x, 2);
                 env.comm.send(dev, 1, &x.dtype(), 1, 0);
+                nc.store(
+                    (256usize << 10).div_ceil(env.comm.config().chunk_size),
+                    Ordering::SeqCst,
+                );
             } else {
                 env.comm.recv(dev, 1, &x.dtype(), 0, 0);
-                let events = env.trace.events();
-                let nchunks = (256usize << 10).div_ceil(env.comm.config().chunk_size);
-                for stage in ["pack", "d2h", "h2d", "unpack"] {
-                    let n = events.iter().filter(|e| e.stage == stage).count();
-                    assert_eq!(n, nchunks, "stage {stage} events");
-                }
             }
         });
+        let spans = sim_trace::analysis::stage_spans(&rec);
+        let nchunks = nchunks.load(std::sync::atomic::Ordering::SeqCst);
+        for stage in ["pack", "d2h", "rdma", "h2d", "unpack"] {
+            let n = spans.iter().filter(|s| s.lane_name == stage).count();
+            assert_eq!(n, nchunks, "stage {stage} spans");
+        }
+    }
+
+    #[test]
+    fn disabling_the_recorder_does_not_change_virtual_time() {
+        let run = |rec: Recorder| {
+            GpuCluster::new(2).recorder(rec).run(|env| {
+                let x = VectorXfer::paper(512 << 10);
+                let dev = env.gpu.malloc(x.extent());
+                if env.comm.rank() == 0 {
+                    fill_vector(&env.gpu, dev, &x, 4);
+                    baselines::send_mv2(&env.comm, dev, x, 1, 0);
+                } else {
+                    baselines::recv_mv2(&env.comm, dev, x, 0, 0);
+                }
+            })
+        };
+        assert_eq!(run(Recorder::new()), run(Recorder::off()));
     }
 
     #[test]

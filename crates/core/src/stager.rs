@@ -23,54 +23,31 @@ use hostmem::{HostBuf, HostPtr};
 use mpi_sim::flat::Layout;
 use mpi_sim::staging::{BufferStager, RecvSink, SendSource};
 use mpi_sim::Datatype;
-use sim_core::lock::Mutex;
 use sim_core::{Completion, SimTime};
+use sim_trace::{Lane, LaneKind, Recorder};
 
 use crate::gpu_pack::{enqueue_gather, enqueue_scatter, SegmentMap};
 use crate::pools::{Tbuf, TbufPool};
 
-/// One recorded pipeline event (for the Figure 3 trace harness).
-#[derive(Clone, Debug)]
-pub struct TraceEvent {
-    /// Rank that recorded the event.
-    pub rank: usize,
-    /// Pipeline stage: "pack", "d2h", "h2d" or "unpack".
-    pub stage: &'static str,
-    /// Chunk index within the transfer.
-    pub chunk: usize,
-    /// When the stage's device operation completes.
-    pub done_at: SimTime,
+/// The per-rank pipeline stage lanes (Figure 3's four GPU-side stages; the
+/// engine adds the fifth, "rdma", in the same `rank{r}` scope).
+#[derive(Clone)]
+struct StageLanes {
+    pack: Lane,
+    d2h: Lane,
+    h2d: Lane,
+    unpack: Lane,
 }
 
-/// Shared log of pipeline stage completions.
-#[derive(Clone, Default)]
-pub struct PipelineTrace {
-    events: Arc<Mutex<Vec<TraceEvent>>>,
-}
-
-impl PipelineTrace {
-    /// Empty trace.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn record(&self, rank: usize, stage: &'static str, chunk: usize, done_at: SimTime) {
-        self.events.lock().push(TraceEvent {
-            rank,
-            stage,
-            chunk,
-            done_at,
-        });
-    }
-
-    /// Snapshot of all recorded events.
-    pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().clone()
-    }
-
-    /// Drop all recorded events.
-    pub fn clear(&self) {
-        self.events.lock().clear();
+impl StageLanes {
+    fn new(rec: &Recorder, rank: usize) -> Self {
+        let scope = format!("rank{rank}");
+        StageLanes {
+            pack: rec.lane(&scope, "pack", LaneKind::Stage),
+            d2h: rec.lane(&scope, "d2h", LaneKind::Stage),
+            h2d: rec.lane(&scope, "h2d", LaneKind::Stage),
+            unpack: rec.lane(&scope, "unpack", LaneKind::Stage),
+        }
     }
 }
 
@@ -86,7 +63,6 @@ fn classify(dtype: &Datatype, count: usize, base: DevPtr) -> (SegmentMap, Option
 /// Sender half of the GPU pipeline (plugs into the rendezvous engine).
 pub struct GpuSendSource {
     gpu: Gpu,
-    rank: usize,
     pool: Arc<TbufPool>,
     user: DevPtr,
     map: SegmentMap,
@@ -98,18 +74,17 @@ pub struct GpuSendSource {
     chunk_size: usize,
     packs: Vec<Completion>,
     d2h: Vec<Option<Completion>>,
-    trace: PipelineTrace,
+    lanes: StageLanes,
 }
 
 impl GpuSendSource {
     fn new(
         gpu: Gpu,
-        rank: usize,
         pool: Arc<TbufPool>,
         user: DevPtr,
         count: usize,
         dtype: &Datatype,
-        trace: PipelineTrace,
+        lanes: StageLanes,
     ) -> Self {
         let (map, contiguous) = classify(dtype, count, user);
         let total = map.total();
@@ -117,7 +92,6 @@ impl GpuSendSource {
         let d2h_stream = gpu.create_stream();
         GpuSendSource {
             gpu,
-            rank,
             pool,
             user,
             map,
@@ -129,7 +103,7 @@ impl GpuSendSource {
             chunk_size: 0,
             packs: Vec::new(),
             d2h: Vec::new(),
-            trace,
+            lanes,
         }
     }
 
@@ -168,8 +142,7 @@ impl SendSource for GpuSendSource {
                 &pieces,
                 tbuf.add(off),
             );
-            self.trace
-                .record(self.rank, "pack", i, comp.done_at().unwrap());
+            self.lanes.pack.comp_span("pack", Some(i), &comp);
             self.packs.push(comp);
         }
     }
@@ -189,8 +162,7 @@ impl SendSource for GpuSendSource {
                     .memcpy_async(Loc::Host(dst), tbuf.add(off), len, &self.d2h_stream)
             }
         };
-        self.trace
-            .record(self.rank, "d2h", idx, comp.done_at().unwrap());
+        self.lanes.d2h.comp_span("d2h", Some(idx), &comp);
         self.d2h[idx] = Some(comp);
     }
 
@@ -248,7 +220,6 @@ impl Drop for GpuSendSource {
 /// Receiver half of the GPU pipeline.
 pub struct GpuRecvSink {
     gpu: Gpu,
-    rank: usize,
     pool: Arc<TbufPool>,
     user: DevPtr,
     map: SegmentMap,
@@ -262,18 +233,17 @@ pub struct GpuRecvSink {
     arrived: usize,
     h2d: Vec<Option<Completion>>,
     unpack: Vec<Option<Completion>>,
-    trace: PipelineTrace,
+    lanes: StageLanes,
 }
 
 impl GpuRecvSink {
     fn new(
         gpu: Gpu,
-        rank: usize,
         pool: Arc<TbufPool>,
         user: DevPtr,
         count: usize,
         dtype: &Datatype,
-        trace: PipelineTrace,
+        lanes: StageLanes,
     ) -> Self {
         let (map, contiguous) = classify(dtype, count, user);
         let capacity = map.total();
@@ -281,7 +251,6 @@ impl GpuRecvSink {
         let unpack_stream = gpu.create_stream();
         GpuRecvSink {
             gpu,
-            rank,
             pool,
             user,
             map,
@@ -295,7 +264,7 @@ impl GpuRecvSink {
             arrived: 0,
             h2d: Vec::new(),
             unpack: Vec::new(),
-            trace,
+            lanes,
         }
     }
 }
@@ -327,8 +296,7 @@ impl RecvSink for GpuRecvSink {
                 let comp =
                     self.gpu
                         .memcpy_async(cptr.add(off), Loc::Host(src), len, &self.h2d_stream);
-                self.trace
-                    .record(self.rank, "h2d", idx, comp.done_at().unwrap());
+                self.lanes.h2d.comp_span("h2d", Some(idx), &comp);
                 self.h2d[idx] = Some(comp);
             }
             None => {
@@ -336,8 +304,7 @@ impl RecvSink for GpuRecvSink {
                 let h2d =
                     self.gpu
                         .memcpy_async(tbuf.add(off), Loc::Host(src), len, &self.h2d_stream);
-                self.trace
-                    .record(self.rank, "h2d", idx, h2d.done_at().unwrap());
+                self.lanes.h2d.comp_span("h2d", Some(idx), &h2d);
                 // Unpack after this chunk's H2D (stream-wait dependency).
                 self.unpack_stream.wait_event(&h2d);
                 let pieces = self.map.pieces(off, len);
@@ -348,8 +315,7 @@ impl RecvSink for GpuRecvSink {
                     &pieces,
                     tbuf.add(off),
                 );
-                self.trace
-                    .record(self.rank, "unpack", idx, up.done_at().unwrap());
+                self.lanes.unpack.comp_span("unpack", Some(idx), &up);
                 self.h2d[idx] = Some(h2d);
                 self.unpack[idx] = Some(up);
             }
@@ -438,21 +404,17 @@ impl Drop for GpuRecvSink {
 /// into the MPI rendezvous engine for device-resident buffers.
 pub struct GpuStager {
     gpu: Gpu,
-    rank: usize,
     pool: Arc<TbufPool>,
-    trace: PipelineTrace,
+    lanes: StageLanes,
 }
 
 impl GpuStager {
-    /// A stager for `rank`'s device.
-    pub fn new(gpu: Gpu, rank: usize, trace: PipelineTrace) -> Self {
+    /// A stager for `rank`'s device, recording stage spans into `rec`
+    /// (pass [`Recorder::off`] for an untraced stager).
+    pub fn new(gpu: Gpu, rank: usize, rec: &Recorder) -> Self {
         let pool = Arc::new(TbufPool::new(gpu.clone()));
-        GpuStager {
-            gpu,
-            rank,
-            pool,
-            trace,
-        }
+        let lanes = StageLanes::new(rec, rank);
+        GpuStager { gpu, pool, lanes }
     }
 
     /// The device temporary pool (exposed for tests/diagnostics).
@@ -471,12 +433,11 @@ impl BufferStager for GpuStager {
         );
         Some(Box::new(GpuSendSource::new(
             self.gpu.clone(),
-            self.rank,
             Arc::clone(&self.pool),
             *p,
             count,
             dtype,
-            self.trace.clone(),
+            self.lanes.clone(),
         )))
     }
 
@@ -489,12 +450,11 @@ impl BufferStager for GpuStager {
         );
         Some(Box::new(GpuRecvSink::new(
             self.gpu.clone(),
-            self.rank,
             Arc::clone(&self.pool),
             *p,
             count,
             dtype,
-            self.trace.clone(),
+            self.lanes.clone(),
         )))
     }
 }

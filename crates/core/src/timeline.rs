@@ -1,18 +1,24 @@
-//! Pipeline timeline analysis: turn a [`PipelineTrace`] into per-stage
+//! Pipeline timeline analysis: turn recorded stage spans into per-stage
 //! throughput and overlap statistics.
 //!
 //! The paper argues its design works because the five stages overlap; this
 //! module quantifies that from a real (simulated) run — the kind of
-//! evidence Figure 3 sketches.
+//! evidence Figure 3 sketches. It consumes the [`sim_trace`] stage lanes
+//! (`pack`/`d2h`/`rdma`/`h2d`/`unpack` in each rank's scope) and keeps the
+//! original completion-time statistics; for busy-time utilization and
+//! critical paths see [`sim_trace::analysis`].
 
 use sim_core::SimTime;
+use sim_trace::analysis::{stage_spans, SpanRec};
+use sim_trace::Recorder;
 
-use crate::stager::{PipelineTrace, TraceEvent};
+/// The five pipeline stages in dependence order (Figure 3).
+pub const STAGE_ORDER: [&str; 5] = ["pack", "d2h", "rdma", "h2d", "unpack"];
 
 /// Per-stage summary extracted from a trace.
 #[derive(Clone, Debug)]
 pub struct StageStats {
-    /// Stage name ("pack", "d2h", "h2d", "unpack").
+    /// Stage name ("pack", "d2h", "rdma", "h2d", "unpack").
     pub stage: &'static str,
     /// Number of chunk completions observed.
     pub chunks: usize,
@@ -32,30 +38,29 @@ pub struct PipelineStats {
     pub stages: Vec<StageStats>,
     /// Wall span from first to last completion, microseconds.
     pub span_us: f64,
-    /// Overlap ratio: sum of stage spans divided by the wall span. A
-    /// perfectly serialized pipeline gives ~1.0; full overlap approaches
-    /// the number of active stages.
+    /// Overlap ratio: sum of stage completion-time spans divided by the
+    /// wall span. A perfectly serialized pipeline gives ~1.0; full overlap
+    /// approaches the number of active stages.
     pub overlap: f64,
 }
 
-const STAGE_ORDER: [&str; 4] = ["pack", "d2h", "h2d", "unpack"];
-
-/// Analyze the events of one transfer.
-pub fn analyze(trace: &PipelineTrace) -> PipelineStats {
-    analyze_events(&trace.events())
+/// Analyze the stage spans recorded by `rec`.
+pub fn analyze(rec: &Recorder) -> PipelineStats {
+    analyze_spans(&stage_spans(rec))
 }
 
-/// Analyze an explicit event list.
-pub fn analyze_events(events: &[TraceEvent]) -> PipelineStats {
+/// Analyze an explicit stage-span list (spans on lanes not named in
+/// [`STAGE_ORDER`] are ignored).
+pub fn analyze_spans(spans: &[SpanRec]) -> PipelineStats {
     let mut stages = Vec::new();
     let mut total_stage_span = 0.0;
     let mut first = None::<SimTime>;
     let mut last = None::<SimTime>;
     for &stage in &STAGE_ORDER {
-        let mut times: Vec<SimTime> = events
+        let mut times: Vec<SimTime> = spans
             .iter()
-            .filter(|e| e.stage == stage)
-            .map(|e| e.done_at)
+            .filter(|s| s.lane_name == stage)
+            .map(|s| s.end)
             .collect();
         if times.is_empty() {
             continue;
@@ -108,12 +113,10 @@ mod tests {
     use super::*;
     use crate::baselines::{fill_vector, recv_mv2, send_mv2, VectorXfer};
     use crate::GpuCluster;
-    use std::sync::{Arc, Mutex};
 
-    fn traced_transfer(total: usize) -> Vec<TraceEvent> {
-        let out: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
-        let sink = Arc::clone(&out);
-        GpuCluster::new(2).run(move |env| {
+    fn traced_transfer(total: usize) -> Vec<SpanRec> {
+        let rec = Recorder::new();
+        GpuCluster::new(2).recorder(rec.clone()).run(move |env| {
             let x = VectorXfer::paper(total);
             let dev = env.gpu.malloc(x.extent());
             if env.comm.rank() == 0 {
@@ -121,31 +124,30 @@ mod tests {
                 send_mv2(&env.comm, dev, x, 1, 0);
             } else {
                 recv_mv2(&env.comm, dev, x, 0, 0);
-                *sink.lock().unwrap() = env.trace.events();
             }
         });
-        Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+        stage_spans(&rec)
     }
 
     #[test]
     fn stages_overlap_for_multichunk_transfers() {
-        let events = traced_transfer(1 << 20); // 16 chunks
-        let stats = analyze_events(&events);
-        assert_eq!(stats.stages.len(), 4);
+        let spans = traced_transfer(1 << 20); // 16 chunks
+        let stats = analyze_spans(&spans);
+        assert_eq!(stats.stages.len(), 5);
         for s in &stats.stages {
             assert_eq!(s.chunks, 16, "{}", s.stage);
         }
         assert!(
             stats.overlap > 2.0,
-            "four stages should overlap substantially, got {:.2}",
+            "five stages should overlap substantially, got {:.2}",
             stats.overlap
         );
     }
 
     #[test]
     fn pack_is_the_bottleneck_stage() {
-        let events = traced_transfer(1 << 20);
-        let stats = analyze_events(&events);
+        let spans = traced_transfer(1 << 20);
+        let stats = analyze_spans(&spans);
         let b = bottleneck(&stats).unwrap();
         // §IV-B: "latency of packing data in the GPU is always larger than
         // the RDMA data transfer latency or time for contiguous data
@@ -159,8 +161,8 @@ mod tests {
 
     #[test]
     fn stage_periods_match_the_cost_model() {
-        let events = traced_transfer(1 << 20);
-        let stats = analyze_events(&events);
+        let spans = traced_transfer(1 << 20);
+        let stats = analyze_spans(&spans);
         let pack = stats.stages.iter().find(|s| s.stage == "pack").unwrap();
         // 64 KB chunks of 4-byte rows: 16 µs + 16384*8 ns + bw term ≈ 150 µs.
         assert!(
@@ -171,8 +173,24 @@ mod tests {
     }
 
     #[test]
+    fn critical_path_runs_chunk_zero_stages_then_chunk_ladder() {
+        let spans = traced_transfer(1 << 20);
+        let path = sim_trace::analysis::critical_path(&spans, &STAGE_ORDER);
+        assert!(!path.is_empty());
+        // The path must start at (pack, 0) and end at (unpack, last chunk).
+        assert_eq!(path.first().unwrap().stage, "pack");
+        assert_eq!(path.first().unwrap().chunk, 0);
+        assert_eq!(path.last().unwrap().stage, "unpack");
+        assert_eq!(path.last().unwrap().chunk, 15);
+        // Steps never move backward in time.
+        for w in path.windows(2) {
+            assert!(w[1].end >= w[0].end);
+        }
+    }
+
+    #[test]
     fn empty_trace_yields_empty_stats() {
-        let stats = analyze_events(&[]);
+        let stats = analyze_spans(&[]);
         assert!(stats.stages.is_empty());
         assert_eq!(stats.span_us, 0.0);
         assert_eq!(stats.overlap, 0.0);

@@ -152,6 +152,8 @@ struct GpuInner {
     counters: CallCounters,
     /// Sanitizer queue domain for this device (unique per instance).
     san_domain: u64,
+    /// Trace lanes, one per engine, when a recorder is attached.
+    trace: Mutex<Option<[sim_trace::Lane; ENGINES]>>,
 }
 
 /// One simulated GPU. Clones are shallow handles to the same device.
@@ -186,6 +188,7 @@ impl Gpu {
                 }),
                 counters: CallCounters::new(),
                 san_domain: san::new_queue_domain(),
+                trace: Mutex::new(None),
             }),
         };
         // Stream 0: used by the synchronous copy API.
@@ -211,6 +214,17 @@ impl Gpu {
     /// API call counters (for code-complexity instrumentation).
     pub fn counters(&self) -> &CallCounters {
         &self.inner.counters
+    }
+
+    /// Attach a trace recorder: every scheduled operation emits a busy span
+    /// on its engine's lane (`gpu<id>/{h2d,d2h,d2d,compute}`), and this
+    /// device's call counters join the recorder's metrics registry. Purely
+    /// observational — virtual-time behavior is unchanged.
+    pub fn attach_recorder(&self, rec: &sim_trace::Recorder) {
+        let scope = format!("gpu{}", self.inner.id);
+        let lane = |name| rec.lane(&scope, name, sim_trace::LaneKind::GpuEngine);
+        *self.inner.trace.lock() = Some([lane("h2d"), lane("d2h"), lane("d2d"), lane("compute")]);
+        rec.register_counters(&scope, &self.inner.counters);
     }
 
     // --- memory management -------------------------------------------------
@@ -412,6 +426,7 @@ impl Gpu {
     /// are free.
     fn schedule(
         &self,
+        kind: &'static str,
         stream: &Stream,
         engine: usize,
         dur: SimDur,
@@ -422,7 +437,7 @@ impl Gpu {
             "GPU operations with timing must run inside a simulation process"
         );
         let now = sim_core::now();
-        let end = {
+        let (start, end) = {
             let mut sched = self.inner.sched.lock();
             let start = now
                 .max(sched.stream_end[stream.idx])
@@ -434,10 +449,13 @@ impl Gpu {
                 sched.stream_last[stream.idx] = op;
                 sched.engine_last[engine] = op;
             }
-            end
+            (start, end)
         };
         san::op_complete_at(op, end);
-        let c = Completion::ready_at(end);
+        if let Some(lanes) = &*self.inner.trace.lock() {
+            lanes[engine].span(kind, start, end);
+        }
+        let c = Completion::ready_between(start, end);
         if let Some(o) = op {
             c.attach_ops(&[o]);
         }
@@ -527,7 +545,8 @@ impl Gpu {
         let stream = self.sync_stream();
         let op = self.san_op_for_copy("memcpy", &p, &stream);
         self.do_copy2d_bytes(&p);
-        self.schedule(&stream, engine_for(p.dir()), dur, op).wait();
+        self.schedule("memcpy", &stream, engine_for(p.dir()), dur, op)
+            .wait();
     }
 
     /// `cudaMemcpy2D`: pitched blocking copy.
@@ -540,7 +559,8 @@ impl Gpu {
         let stream = self.sync_stream();
         let op = self.san_op_for_copy("memcpy_2d", &p, &stream);
         self.do_copy2d_bytes(&p);
-        self.schedule(&stream, engine_for(p.dir()), dur, op).wait();
+        self.schedule("memcpy_2d", &stream, engine_for(p.dir()), dur, op)
+            .wait();
     }
 
     // --- asynchronous copies ----------------------------------------------------
@@ -559,7 +579,7 @@ impl Gpu {
         let dur = self.inner.cost.copy1d(p.dir(), len as u64);
         let op = self.san_op_for_copy("memcpy_async", &p, stream);
         self.do_copy2d_bytes(&p);
-        self.schedule(stream, engine_for(p.dir()), dur, op)
+        self.schedule("memcpy_async", stream, engine_for(p.dir()), dur, op)
     }
 
     /// `cudaMemcpy2DAsync`: pitched copy enqueued on `stream`.
@@ -572,7 +592,7 @@ impl Gpu {
             .copy2d(p.dir(), p.shape(), p.width as u64, p.height as u64);
         let op = self.san_op_for_copy("memcpy_2d_async", &p, stream);
         self.do_copy2d_bytes(&p);
-        self.schedule(stream, engine_for(p.dir()), dur, op)
+        self.schedule("memcpy_2d_async", stream, engine_for(p.dir()), dur, op)
     }
 
     /// `cudaMemset`: blocking fill of device memory.
@@ -594,7 +614,7 @@ impl Gpu {
         }
         // Memset runs on the device-internal engine at contiguous rate.
         let dur = self.inner.cost.copy1d(CopyDir::D2D, len as u64);
-        self.schedule(&stream, ENG_D2D, dur, op).wait();
+        self.schedule("memset", &stream, ENG_D2D, dur, op).wait();
     }
 
     /// `cudaMemsetAsync`: fill enqueued on `stream`.
@@ -615,7 +635,7 @@ impl Gpu {
             mem.arena[dst.offset..dst.offset + len].fill(value);
         }
         let dur = self.inner.cost.copy1d(CopyDir::D2D, len as u64);
-        self.schedule(stream, ENG_D2D, dur, op)
+        self.schedule("memset_async", stream, ENG_D2D, dur, op)
     }
 
     // --- kernels ---------------------------------------------------------------
@@ -643,7 +663,7 @@ impl Gpu {
             work(self);
         }
         let dur = SimDur::from_nanos(self.inner.cost.kernel_launch_ns) + cost;
-        self.schedule(stream, ENG_COMPUTE, dur, op)
+        self.schedule("kernel", stream, ENG_COMPUTE, dur, op)
     }
 
     // --- untimed access (test setup / verification) ------------------------------

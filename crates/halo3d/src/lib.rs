@@ -23,7 +23,7 @@ mod rank;
 
 use std::sync::Arc;
 
-use mv2_gpu_nc::{FaultSpec, GpuCluster};
+use mv2_gpu_nc::{FaultSpec, GpuCluster, Recorder};
 use sim_core::lock::Mutex;
 use sim_core::{Report, SanitizerMode, SimDur};
 use stencil2d::Real;
@@ -86,11 +86,27 @@ pub fn run_halo3d_campaign<T: Real>(
     sanitizer: SanitizerMode,
     faults: Option<FaultSpec>,
 ) -> (Halo3dOutcome, Vec<Report>) {
+    run_halo3d_traced::<T>(p, variant, collect, sanitizer, faults, None)
+}
+
+/// Like [`run_halo3d_campaign`], recording spans and counters into the
+/// given [`Recorder`] (for `trace_report` and Perfetto export).
+pub fn run_halo3d_traced<T: Real>(
+    p: Halo3dParams,
+    variant: Variant,
+    collect: bool,
+    sanitizer: SanitizerMode,
+    faults: Option<FaultSpec>,
+    recorder: Option<Recorder>,
+) -> (Halo3dOutcome, Vec<Report>) {
     let reports: Arc<Mutex<Vec<Rank3dReport>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&reports);
     let mut cluster = GpuCluster::new(p.nranks()).sanitizer(sanitizer);
     if let Some(spec) = faults {
         cluster = cluster.faults(spec);
+    }
+    if let Some(rec) = recorder {
+        cluster = cluster.recorder(rec);
     }
     let (_, san) = cluster.run_with_reports(move |env| {
         let mut rk = Halo3dRank::<T>::new(env, p);

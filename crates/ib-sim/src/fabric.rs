@@ -30,6 +30,7 @@ use sim_core::instrument;
 use sim_core::lock::Mutex;
 use sim_core::san;
 use sim_core::{Completion, Mailbox, SimDur, SimTime};
+use sim_trace::{Lane, LaneKind, Recorder};
 
 use crate::fault::{FaultSpec, FaultState};
 use crate::model::NetModel;
@@ -100,6 +101,9 @@ struct FabricInner {
     san_domain: u64,
     /// Seeded fault injection, if this fabric was built with faults.
     faults: Option<FaultState>,
+    /// Trace lanes, one per node's transmit engine (`hca{n}/tx`). `None`
+    /// until [`Fabric::attach_recorder`]; emission is skipped entirely then.
+    trace: Mutex<Option<Vec<Lane>>>,
 }
 
 /// The simulated cluster interconnect. Clones are shallow.
@@ -142,6 +146,7 @@ impl Fabric {
                 next_key: AtomicU64::new(1),
                 san_domain: san::new_queue_domain(),
                 faults: faults.map(FaultState::new),
+                trace: Mutex::new(None),
             }),
         }
     }
@@ -171,6 +176,17 @@ impl Fabric {
     /// The network cost model.
     pub fn model(&self) -> &NetModel {
         &self.inner.model
+    }
+
+    /// Attach a trace recorder: each node's transmit engine becomes an
+    /// `hca{n}/tx` lane carrying serialization spans and fault instants.
+    /// Recording never changes timing — spans reuse the times the engine
+    /// already computed.
+    pub fn attach_recorder(&self, rec: &Recorder) {
+        let lanes = (0..self.num_nodes())
+            .map(|n| rec.lane(&format!("hca{n}"), "tx", LaneKind::Hca))
+            .collect();
+        *self.inner.trace.lock() = Some(lanes);
     }
 }
 
@@ -209,9 +225,26 @@ impl Nic {
         })
     }
 
-    /// Occupy the transmit engine for `bytes` and return (engine release
-    /// time, payload arrival time).
-    fn tx_schedule(&self, bytes: usize, op: Option<san::OpId>) -> (SimTime, SimTime) {
+    /// The trace lane of this node's transmit engine, if a recorder is
+    /// attached.
+    fn tx_lane(&self) -> Option<Lane> {
+        self.fabric
+            .inner
+            .trace
+            .lock()
+            .as_ref()
+            .map(|lanes| lanes[self.node].clone())
+    }
+
+    /// Occupy the transmit engine for `bytes` and return (engine occupancy
+    /// start, engine release time, payload arrival time). `kind` labels the
+    /// serialization span on the engine's trace lane.
+    fn tx_schedule(
+        &self,
+        kind: &'static str,
+        bytes: usize,
+        op: Option<san::OpId>,
+    ) -> (SimTime, SimTime, SimTime) {
         let m = &self.fabric.inner.model;
         let now = sim_core::now();
         let mut nodes = self.fabric.inner.nodes.lock();
@@ -222,9 +255,12 @@ impl Nic {
             nodes[self.node].tx_last = op;
         }
         drop(nodes);
+        if let Some(lane) = self.tx_lane() {
+            lane.span(kind, start, tx_done);
+        }
         let arrival = tx_done + SimDur::from_nanos(m.wire_lat_ns);
         san::op_complete_at(op, arrival);
-        (tx_done, arrival)
+        (start, tx_done, arrival)
     }
 
     fn post_overhead(&self) {
@@ -257,7 +293,8 @@ impl Nic {
         assert!(dst < self.fabric.num_nodes(), "no such node {dst}");
         self.post_overhead();
         let op = self.san_begin("nic_send", vec![], vec![]);
-        let (_, arrival) = self.tx_schedule(wire_bytes, op);
+        let kind = if ctrl { "ctrl" } else { "send" };
+        let (start, _, arrival) = self.tx_schedule(kind, wire_bytes, op);
         // Fault injection applies to control traffic only: the loss happens
         // past the sender's HCA (a switch dropping toward a hosed receive
         // queue), so the sender-side CQE still reports success either way.
@@ -266,9 +303,15 @@ impl Nic {
             if let Some(f) = &self.fabric.inner.faults {
                 if f.drop_ctrl() {
                     instrument::global().record("fault.ctrl_drop");
+                    if let Some(lane) = self.tx_lane() {
+                        lane.instant("fault.ctrl_drop", arrival);
+                    }
                     deliver_at = None;
                 } else if let Some(extra) = f.delay_ctrl() {
                     instrument::global().record("fault.ctrl_delay");
+                    if let Some(lane) = self.tx_lane() {
+                        lane.instant("fault.ctrl_delay", arrival);
+                    }
                     deliver_at = Some(arrival + SimDur::from_nanos(extra));
                 }
             }
@@ -283,7 +326,7 @@ impl Nic {
                 },
             );
         }
-        let c = Completion::ready_at(arrival);
+        let c = Completion::ready_between(start, arrival);
         if let Some(o) = op {
             c.attach_ops(&[o]);
         }
@@ -320,6 +363,9 @@ impl Nic {
             let pinned = self.fabric.inner.nodes.lock()[self.node].pinned_bytes;
             if pinned + buf.len() > limit {
                 instrument::global().record("fault.reg_fail");
+                if let Some(lane) = self.tx_lane() {
+                    lane.instant_now("fault.reg_fail");
+                }
                 return Err(RegError {
                     requested: buf.len(),
                     pinned,
@@ -396,8 +442,11 @@ impl Nic {
         if let Some(f) = &self.fabric.inner.faults {
             if f.rdma_error() {
                 instrument::global().record("fault.rdma_error");
-                let (_, arrival) = self.tx_schedule(len, None);
-                return Completion::failed_at(arrival);
+                let (start, _, arrival) = self.tx_schedule("rdma", len, None);
+                if let Some(lane) = self.tx_lane() {
+                    lane.instant("fault.rdma_error", arrival);
+                }
+                return Completion::failed_between(start, arrival);
             }
         }
         // Validate and copy into the remote region. The copy is performed
@@ -443,8 +492,8 @@ impl Nic {
             mr_buf.write(dst_offset, &data);
             op
         };
-        let (_, arrival) = self.tx_schedule(len, op);
-        let c = Completion::ready_at(arrival);
+        let (start, _, arrival) = self.tx_schedule("rdma", len, op);
+        let c = Completion::ready_between(start, arrival);
         if let Some(o) = op {
             c.attach_ops(&[o]);
         }

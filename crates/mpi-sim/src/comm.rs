@@ -94,8 +94,25 @@ impl Comm {
         cfg: MpiConfig,
         stagers: Arc<Vec<Box<dyn BufferStager>>>,
     ) -> Comm {
+        Self::create_traced(nic, rank, size, cfg, stagers, &sim_trace::Recorder::off())
+    }
+
+    /// Like [`Comm::create`], but wired to a trace recorder: the engine's
+    /// protocol events, RDMA stage spans and vbuf-pool gauges are recorded
+    /// on `rank{rank}/*` lanes and its counters join the recorder's
+    /// metrics registry. Recording never changes virtual time.
+    pub fn create_traced(
+        nic: Nic,
+        rank: usize,
+        size: usize,
+        cfg: MpiConfig,
+        stagers: Arc<Vec<Box<dyn BufferStager>>>,
+        rec: &sim_trace::Recorder,
+    ) -> Comm {
         Comm {
-            eng: Arc::new(Mutex::new(Engine::new(nic, rank, size, cfg, stagers))),
+            eng: Arc::new(Mutex::new(Engine::new_traced(
+                nic, rank, size, cfg, stagers, rec,
+            ))),
             group: Arc::new((0..size).collect()),
             my_rank: rank,
             ctx: 0,

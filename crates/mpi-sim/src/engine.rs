@@ -93,12 +93,46 @@ pub struct Request {
     pub(crate) id: ReqId,
 }
 
-/// Record a protocol event on both the rank-local and the process-global
+/// Record a protocol event on the rank-local counters, the process-global
 /// counters (fault campaigns read the global ones; tests needing isolation
-/// read the per-rank ones through `Comm::counters`).
-fn note(counters: &CallCounters, name: &'static str) {
+/// read the per-rank ones through `Comm::counters`) and the rank's protocol
+/// trace lane.
+fn note(counters: &CallCounters, trace: &ProtoTrace, name: &'static str) {
     counters.record(name);
     instrument::global().record(name);
+    trace.proto.instant_now(name);
+}
+
+/// Trace lanes of one rank's protocol engine. Always present; every lane
+/// no-ops behind one atomic load when the recorder is disabled, so the
+/// engine never branches on the tracing mode.
+pub(crate) struct ProtoTrace {
+    /// Protocol instants: rendezvous transitions, retries, duplicates,
+    /// fallbacks.
+    proto: sim_trace::Lane,
+    /// Per-chunk RDMA-write stage spans (the wire stage of the pipeline,
+    /// between d2h and h2d).
+    rdma: sim_trace::Lane,
+    /// Send-side vbuf pool occupancy.
+    send_pool: sim_trace::Lane,
+    /// Recv-side (grantable) vbuf pool occupancy.
+    recv_pool: sim_trace::Lane,
+    /// Chunk size chosen by the adaptive tuner, per staged transfer.
+    chunk_size: sim_trace::Lane,
+}
+
+impl ProtoTrace {
+    fn new(rec: &sim_trace::Recorder, rank: usize) -> Self {
+        let scope = format!("rank{rank}");
+        use sim_trace::LaneKind::{Gauge, Proto, Stage};
+        ProtoTrace {
+            proto: rec.lane(&scope, "proto", Proto),
+            rdma: rec.lane(&scope, "rdma", Stage),
+            send_pool: rec.lane(&scope, "send_pool", Gauge),
+            recv_pool: rec.lane(&scope, "recv_pool", Gauge),
+            chunk_size: rec.lane(&scope, "chunk_size", Gauge),
+        }
+    }
 }
 
 /// Retransmit timer with exponential backoff. Only ever constructed on a
@@ -221,16 +255,17 @@ impl RegCache {
         &mut self,
         nic: &Nic,
         counters: &CallCounters,
+        trace: &ProtoTrace,
         buf: &HostBuf,
     ) -> Result<MrKey, ib_sim::RegError> {
         self.tick += 1;
         if let Some(e) = self.entries.get_mut(&buf.id()) {
             e.last_used = self.tick;
             e.in_use += 1;
-            note(counters, "reg_cache.hit");
+            note(counters, trace, "reg_cache.hit");
             return Ok(e.key);
         }
-        note(counters, "reg_cache.miss");
+        note(counters, trace, "reg_cache.miss");
         // Make room: evict idle entries, least recently used first. If every
         // entry backs an in-flight transfer the cache overflows temporarily.
         while self.entries.len() >= self.cap {
@@ -243,7 +278,7 @@ impl RegCache {
             let Some(id) = victim else { break };
             let e = self.entries.remove(&id).expect("victim just found");
             nic.deregister(e.key);
-            note(counters, "reg_cache.evict");
+            note(counters, trace, "reg_cache.evict");
         }
         let key = nic.try_register(buf)?;
         self.entries.insert(
@@ -499,15 +534,26 @@ pub(crate) struct Engine {
     /// Completed staged receives, recv_req -> (src, peer_send_req), kept to
     /// re-credit on duplicate FINs after the receive was reaped.
     completed_recvs: BoundedMap<ReqId, (usize, ReqId)>,
+    /// This rank's trace lanes (no-ops when the recorder is disabled).
+    trace: ProtoTrace,
+    /// Last (send_pool, recv_pool) occupancy sampled onto the gauge lanes;
+    /// samples are only emitted on change.
+    last_pools: (usize, usize),
 }
 
 impl Engine {
-    pub fn new(
+    /// Build a rank engine wired to a trace recorder: protocol events,
+    /// per-chunk RDMA stage spans and vbuf-pool gauges land on
+    /// `rank{rank}/*` lanes, and the rank's counters join the recorder's
+    /// unified metrics registry. Pass `Recorder::off()` for an untraced
+    /// engine — emission then no-ops behind one atomic load.
+    pub fn new_traced(
         nic: Nic,
         rank: usize,
         size: usize,
         cfg: MpiConfig,
         stagers: Arc<Vec<Box<dyn BufferStager>>>,
+        rec: &sim_trace::Recorder,
     ) -> Engine {
         cfg.validate();
         // Pre-allocate and register the vbuf pools (done once at MPI_Init).
@@ -531,12 +577,15 @@ impl Engine {
         let tuner = ChunkTuner::new(&cfg);
         let faulty = nic.faults_enabled();
         let reg_cache = RegCache::new(cfg.reg_cache_entries);
+        let counters = CallCounters::new();
+        rec.register_counters(&format!("rank{rank}"), &counters);
+        let trace = ProtoTrace::new(rec, rank);
         Engine {
             rank,
             size,
             nic,
             cfg,
-            counters: CallCounters::new(),
+            counters,
             stagers,
             faulty,
             next_req: 1,
@@ -556,6 +605,9 @@ impl Engine {
             done_rts: BoundedMap::new(REPLAY_MEMORY),
             completed_sends: BoundedMap::new(REPLAY_MEMORY),
             completed_recvs: BoundedMap::new(REPLAY_MEMORY),
+            trace,
+            // Sentinel: the first progress pass samples the baseline.
+            last_pools: (usize::MAX, usize::MAX),
         }
     }
 
@@ -699,6 +751,7 @@ impl Engine {
             );
         } else {
             let direct_ptr = Self::contiguous_host_ptr(&buf, count, dt);
+            self.trace.proto.instant_now("rts");
             self.nic.send_ctrl(
                 dst,
                 Box::new(MpiPacket::Rts {
@@ -831,10 +884,12 @@ impl Engine {
                 // hand its key over. Registration can fail under a
                 // fault-injected pin limit; the transfer then degrades to
                 // the staged path below.
-                match self
-                    .reg_cache
-                    .acquire(&self.nic, &self.counters, &ptr.buf().clone())
-                {
+                match self.reg_cache.acquire(
+                    &self.nic,
+                    &self.counters,
+                    &self.trace,
+                    &ptr.buf().clone(),
+                ) {
                     Ok(key) => {
                         let timer = self.retry_timer();
                         let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
@@ -845,6 +900,7 @@ impl Engine {
                             send_req,
                             timer,
                         };
+                        self.trace.proto.instant_now("cts_direct");
                         self.nic.send_ctrl(
                             env.src,
                             Box::new(MpiPacket::CtsDirect {
@@ -858,7 +914,7 @@ impl Engine {
                         return;
                     }
                     Err(_) => {
-                        note(&self.counters, "fallback.direct_to_staged");
+                        note(&self.counters, &self.trace, "fallback.direct_to_staged");
                     }
                 }
             }
@@ -880,6 +936,9 @@ impl Engine {
                 (self.tuner.choose(key), Some(key))
             }
         };
+        if tune_key.is_some() {
+            self.trace.chunk_size.gauge_now(chunk_size as i64);
+        }
         let nchunks = total.div_ceil(chunk_size).max(1);
         st.sink.begin(chunk_size, total);
         st.phase = RecvPhase::Staged(
@@ -967,6 +1026,7 @@ impl Engine {
             slots: descs,
         };
         let dst = sr.src;
+        self.trace.proto.instant_now("cts");
         self.nic.send_ctrl(dst, Box::new(pkt));
     }
 
@@ -1043,11 +1103,11 @@ impl Engine {
             Action::None => {}
             Action::FallBack => self.direct_to_staged(recv_id),
             Action::CtsDirect(dst, pkt) => {
-                note(&self.counters, "retry.cts_direct");
+                note(&self.counters, &self.trace, "retry.cts_direct");
                 self.nic.send_ctrl(dst, Box::new(pkt));
             }
             Action::Cts(dst, pkt) => {
-                note(&self.counters, "retry.cts");
+                note(&self.counters, &self.trace, "retry.cts");
                 self.nic.send_ctrl(dst, Box::new(pkt));
             }
         }
@@ -1077,7 +1137,7 @@ impl Engine {
         if let Some(id) = buf_id {
             self.reg_cache.release(id);
         }
-        note(&self.counters, "fallback.direct_to_staged");
+        note(&self.counters, &self.trace, "fallback.direct_to_staged");
         self.start_staged_recv(recv_id, env, total, send_req);
     }
 
@@ -1109,11 +1169,11 @@ impl Engine {
                     // Retransmit tolerance: an RTS we have already seen must
                     // not match (or enqueue) twice.
                     if self.done_rts.contains(&(env.src, send_req)) {
-                        note(&self.counters, "dup.rts");
+                        note(&self.counters, &self.trace, "dup.rts");
                         return;
                     }
                     if let Some(&recv_id) = self.matched_rts.get(&(env.src, send_req)) {
-                        note(&self.counters, "dup.rts");
+                        note(&self.counters, &self.trace, "dup.rts");
                         self.resend_response(recv_id, direct_capable);
                         return;
                     }
@@ -1122,7 +1182,7 @@ impl Engine {
                                  if e.src == env.src && *s == send_req)
                     });
                     if queued {
-                        note(&self.counters, "dup.rts");
+                        note(&self.counters, &self.trace, "dup.rts");
                         return;
                     }
                 }
@@ -1145,7 +1205,7 @@ impl Engine {
             } => {
                 let Some(st) = self.sends.get_mut(&send_req) else {
                     if self.faulty {
-                        note(&self.counters, "dup.cts");
+                        note(&self.counters, &self.trace, "dup.cts");
                         return;
                     }
                     san::report_protocol(format!(
@@ -1157,7 +1217,7 @@ impl Engine {
                     if self.faulty {
                         // The original CTS made it after all; this is the
                         // re-sent copy racing behind it.
-                        note(&self.counters, "dup.cts");
+                        note(&self.counters, &self.trace, "dup.cts");
                         return;
                     }
                     san::report_protocol(format!(
@@ -1199,13 +1259,13 @@ impl Engine {
             } => {
                 let Some(st) = self.sends.get_mut(&send_req) else {
                     if self.faulty {
-                        note(&self.counters, "dup.cts");
+                        note(&self.counters, &self.trace, "dup.cts");
                         // If the send finished and was reaped, the receiver
                         // must have missed the FinDirect — re-announce.
                         if let Some(&SendRecord::Direct { dst, recv_req }) =
                             self.completed_sends.get(&send_req)
                         {
-                            note(&self.counters, "retry.fin_direct");
+                            note(&self.counters, &self.trace, "retry.fin_direct");
                             self.nic
                                 .send_ctrl(dst, Box::new(MpiPacket::FinDirect { recv_req }));
                         }
@@ -1220,15 +1280,15 @@ impl Engine {
                     SendPhase::WaitCts { .. } => {}
                     SendPhase::Done if self.faulty => {
                         // Completed but not yet reaped: re-announce.
-                        note(&self.counters, "dup.cts");
-                        note(&self.counters, "retry.fin_direct");
+                        note(&self.counters, &self.trace, "dup.cts");
+                        note(&self.counters, &self.trace, "retry.fin_direct");
                         let dst = st.dst;
                         self.nic
                             .send_ctrl(dst, Box::new(MpiPacket::FinDirect { recv_req }));
                         return;
                     }
                     _ if self.faulty => {
-                        note(&self.counters, "dup.cts");
+                        note(&self.counters, &self.trace, "dup.cts");
                         return;
                     }
                     _ => {
@@ -1241,7 +1301,7 @@ impl Engine {
                 if st.direct_failed {
                     // Our registration failed before and the abort was
                     // evidently lost: repeat it.
-                    note(&self.counters, "retry.direct_abort");
+                    note(&self.counters, &self.trace, "retry.direct_abort");
                     if let SendPhase::WaitCts { timer: Some(t) } = &mut st.phase {
                         t.feed();
                     }
@@ -1256,11 +1316,14 @@ impl Engine {
                     .expect("direct CTS for a non-contiguous send");
                 assert_eq!(len, st.total);
                 let buf = ptr.buf().clone();
-                match self.reg_cache.acquire(&self.nic, &self.counters, &buf) {
+                match self
+                    .reg_cache
+                    .acquire(&self.nic, &self.counters, &self.trace, &buf)
+                {
                     Err(_) => {
                         // Pin limit: abandon the R-PUT; the receiver falls
                         // back to granting a staged window.
-                        note(&self.counters, "fallback.direct_abort");
+                        note(&self.counters, &self.trace, "fallback.direct_abort");
                         let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
                         st.direct_failed = true;
                         if let SendPhase::WaitCts { timer: Some(t) } = &mut st.phase {
@@ -1304,11 +1367,11 @@ impl Engine {
             } => {
                 let Some(st) = self.recvs.get_mut(&recv_req) else {
                     if self.faulty {
-                        note(&self.counters, "dup.fin");
+                        note(&self.counters, &self.trace, "dup.fin");
                         // Receive finished and was reaped: the sender is
                         // chasing a lost credit — re-credit from the record.
                         if let Some(&(peer, send_req)) = self.completed_recvs.get(&recv_req) {
-                            note(&self.counters, "retry.credit");
+                            note(&self.counters, &self.trace, "retry.credit");
                             self.nic.send_ctrl(
                                 peer,
                                 Box::new(MpiPacket::Credit {
@@ -1325,10 +1388,10 @@ impl Engine {
                 };
                 let RecvPhase::Staged(sr, _) = &mut st.phase else {
                     if self.faulty {
-                        note(&self.counters, "dup.fin");
+                        note(&self.counters, &self.trace, "dup.fin");
                         // Same as above, for a finished-but-unreaped receive.
                         if let Some(&(peer, send_req)) = self.completed_recvs.get(&recv_req) {
-                            note(&self.counters, "retry.credit");
+                            note(&self.counters, &self.trace, "retry.credit");
                             self.nic.send_ctrl(
                                 peer,
                                 Box::new(MpiPacket::Credit {
@@ -1354,10 +1417,10 @@ impl Engine {
                 }
                 if chunk_idx < sr.next_chunk {
                     // Already fed to the sink: a retransmitted FIN.
-                    note(&self.counters, "dup.fin");
+                    note(&self.counters, &self.trace, "dup.fin");
                     if chunk_idx < sr.next_credit {
                         // ...and already credited, so the credit was lost.
-                        note(&self.counters, "retry.credit");
+                        note(&self.counters, &self.trace, "retry.credit");
                         let peer = sr.src;
                         let send_req = sr.peer_send_req;
                         self.nic.send_ctrl(
@@ -1373,7 +1436,7 @@ impl Engine {
                 }
                 match sr.arrived.entry(chunk_idx) {
                     std::collections::btree_map::Entry::Occupied(_) => {
-                        note(&self.counters, "dup.fin");
+                        note(&self.counters, &self.trace, "dup.fin");
                     }
                     std::collections::btree_map::Entry::Vacant(v) => {
                         v.insert((slot, bytes));
@@ -1386,7 +1449,7 @@ impl Engine {
             MpiPacket::FinDirect { recv_req } => {
                 let Some(st) = self.recvs.get_mut(&recv_req) else {
                     if self.faulty {
-                        note(&self.counters, "dup.fin_direct");
+                        note(&self.counters, &self.trace, "dup.fin_direct");
                         return;
                     }
                     san::report_protocol(format!(
@@ -1402,7 +1465,7 @@ impl Engine {
                 } = &st.phase
                 else {
                     if self.faulty {
-                        note(&self.counters, "dup.fin_direct");
+                        note(&self.counters, &self.trace, "dup.fin_direct");
                         return;
                     }
                     san::report_protocol(format!(
@@ -1455,7 +1518,7 @@ impl Engine {
                             // could overwrite data the receiver has not
                             // absorbed), so it is ignored in *every*
                             // sanitizer mode.
-                            note(&self.counters, "dup.credit");
+                            note(&self.counters, &self.trace, "dup.credit");
                             if !self.faulty {
                                 san::report_protocol(format!(
                                     "credit for slot {slot} which is already free                                  (flow-control overflow: duplicate credit)"
@@ -1487,7 +1550,7 @@ impl Engine {
                             }
                             let Some(c) = s.occupant else { continue };
                             let len = ss.chunk_size.min(total - c * ss.chunk_size);
-                            note(&self.counters, "retry.fin");
+                            note(&self.counters, &self.trace, "retry.fin");
                             self.nic.send_ctrl(
                                 ss.dst,
                                 Box::new(MpiPacket::Fin {
@@ -1513,7 +1576,7 @@ impl Engine {
                         let hi = (next_needed + nslots).min(nchunks);
                         for c in next_needed..hi {
                             let len = chunk_size.min(total - c * chunk_size);
-                            note(&self.counters, "retry.fin");
+                            note(&self.counters, &self.trace, "retry.fin");
                             self.nic.send_ctrl(
                                 dst,
                                 Box::new(MpiPacket::Fin {
@@ -1537,7 +1600,7 @@ impl Engine {
                     self.direct_to_staged(recv_req);
                 } else {
                     // Already fell back (duplicate abort) or finished.
-                    note(&self.counters, "dup.direct_abort");
+                    note(&self.counters, &self.trace, "dup.direct_abort");
                 }
             }
         }
@@ -1574,6 +1637,13 @@ impl Engine {
         for id in recv_ids {
             self.advance_recv(id);
         }
+        // Sample the vbuf-pool gauges, on change only.
+        let cur = (self.send_pool.len(), self.recv_pool.len());
+        if cur != self.last_pools {
+            self.last_pools = cur;
+            self.trace.send_pool.gauge_now(cur.0 as i64);
+            self.trace.recv_pool.gauge_now(cur.1 as i64);
+        }
     }
 
     fn advance_send(&mut self, id: ReqId) {
@@ -1588,7 +1658,7 @@ impl Engine {
                 if let Some(t) = timer {
                     if t.expired() {
                         if t.bump(self.cfg.retry.max_retries) {
-                            note(&self.counters, "retry.rts");
+                            note(&self.counters, &self.trace, "retry.rts");
                             let direct_capable = st.direct_ptr.is_some() && !st.direct_failed;
                             self.nic.send_ctrl(
                                 st.dst,
@@ -1620,12 +1690,13 @@ impl Engine {
                             });
                         } else {
                             d.attempts += 1;
-                            note(&self.counters, "retry.rdma_direct");
+                            note(&self.counters, &self.trace, "retry.rdma_direct");
                             d.rdma = self
                                 .nic
                                 .rdma_write(st.dst, d.peer_key, d.peer_off, &d.ptr, st.total);
                         }
                     } else {
+                        self.trace.rdma.comp_span("rdma", None, &d.rdma);
                         if !d.fin_sent {
                             self.nic.send_ctrl(
                                 st.dst,
@@ -1742,7 +1813,7 @@ impl Engine {
                             break;
                         }
                         c.attempts += 1;
-                        note(&self.counters, "retry.chunk_rdma");
+                        note(&self.counters, &self.trace, "retry.chunk_rdma");
                         c.comp = self.nic.rdma_write(
                             ss.dst,
                             ss.slots[c.slot].desc.key,
@@ -1754,6 +1825,9 @@ impl Engine {
                         continue;
                     }
                     let done = ss.inflight.swap_remove(i);
+                    self.trace
+                        .rdma
+                        .comp_span("rdma", Some(done.chunk), &done.comp);
                     if self.faulty {
                         self.nic.send_ctrl(
                             ss.dst,
@@ -1800,7 +1874,7 @@ impl Engine {
                             } else if t.bump(self.cfg.retry.max_retries) {
                                 for (slot, c) in resend {
                                     let len = ss.chunk_size.min(total - c * ss.chunk_size);
-                                    note(&self.counters, "retry.fin");
+                                    note(&self.counters, &self.trace, "retry.fin");
                                     self.nic.send_ctrl(
                                         ss.dst,
                                         Box::new(MpiPacket::Fin {
@@ -1845,7 +1919,7 @@ impl Engine {
     /// Surface a typed failure on a send: release its resources and park it
     /// in the Failed phase for the caller to reap.
     fn fail_send(&mut self, id: ReqId, e: MpiError) {
-        note(&self.counters, "mpi.error");
+        note(&self.counters, &self.trace, "mpi.error");
         let Some(st) = self.sends.get_mut(&id) else {
             return;
         };
@@ -1871,7 +1945,7 @@ impl Engine {
     /// Surface a typed failure on a receive: release its resources and park
     /// it in the Failed phase for the caller to reap.
     fn fail_recv(&mut self, id: ReqId, e: MpiError) {
-        note(&self.counters, "mpi.error");
+        note(&self.counters, &self.trace, "mpi.error");
         let Some(st) = self.recvs.get_mut(&id) else {
             return;
         };
@@ -1918,7 +1992,7 @@ impl Engine {
         {
             if t.expired() {
                 if t.bump(self.cfg.retry.max_retries) {
-                    note(&self.counters, "retry.cts_direct");
+                    note(&self.counters, &self.trace, "retry.cts_direct");
                     let offset = st
                         .direct_ptr
                         .as_ref()
@@ -1992,7 +2066,11 @@ impl Engine {
                     .tuner
                     .observe(key, sr.chunk_size, sim_core::now() - sr.started);
                 if let Some(block) = settled {
-                    note(&self.counters, settled_counter(key.layout(), block));
+                    note(
+                        &self.counters,
+                        &self.trace,
+                        settled_counter(key.layout(), block),
+                    );
                 }
             }
             // Return granted vbufs to the pool.
@@ -2021,7 +2099,7 @@ impl Engine {
             if let Some(t) = &mut sr.timer {
                 if t.expired() {
                     if t.bump(self.cfg.retry.max_retries) {
-                        note(&self.counters, "retry.fin_nack");
+                        note(&self.counters, &self.trace, "retry.fin_nack");
                         self.nic.send_ctrl(
                             sr.src,
                             Box::new(MpiPacket::FinNack {

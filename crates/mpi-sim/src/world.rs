@@ -16,6 +16,7 @@ pub struct MpiWorld {
     cfg: MpiConfig,
     sanitizer: SanitizerMode,
     faults: Option<FaultSpec>,
+    recorder: Option<sim_trace::Recorder>,
 }
 
 impl MpiWorld {
@@ -27,7 +28,15 @@ impl MpiWorld {
             cfg: MpiConfig::default(),
             sanitizer: SanitizerMode::Off,
             faults: None,
+            recorder: None,
         }
+    }
+
+    /// Record the job onto `rec`: every rank's protocol engine and every
+    /// HCA transmit engine emit trace events (see the `sim-trace` crate).
+    pub fn with_recorder(mut self, rec: sim_trace::Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
     }
 
     /// Override the MPI configuration.
@@ -76,14 +85,21 @@ impl MpiWorld {
         let sim = Sim::new();
         sim.set_sanitizer(self.sanitizer);
         let fabric = Fabric::with_faults(self.n, self.net.clone(), self.faults.clone());
+        let rec = self
+            .recorder
+            .clone()
+            .unwrap_or_else(sim_trace::Recorder::off);
+        fabric.attach_recorder(&rec);
         let f = Arc::new(f);
         for rank in 0..self.n {
             let fabric = fabric.clone();
             let cfg = self.cfg.clone();
             let f = Arc::clone(&f);
+            let rec = rec.clone();
             let n = self.n;
             sim.spawn(format!("rank{rank}"), move || {
-                let comm = Comm::create(fabric.nic(rank), rank, n, cfg, Arc::new(Vec::new()));
+                let comm =
+                    Comm::create_traced(fabric.nic(rank), rank, n, cfg, Arc::new(Vec::new()), &rec);
                 f(comm.clone());
                 comm.finalize();
             });

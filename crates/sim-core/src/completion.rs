@@ -16,6 +16,9 @@ use crate::time::SimTime;
 
 #[derive(Default)]
 struct CompState {
+    /// When the modeled operation began occupying its resource, if the
+    /// initiator knows it (tracing only; never consulted for timing).
+    started_at: Option<SimTime>,
     /// When the event completes. `None` while the finish time is unknown.
     done_at: Option<SimTime>,
     /// The operation finished unsuccessfully (an error CQE). Consumers that
@@ -47,12 +50,32 @@ impl Completion {
     pub fn ready_at(t: SimTime) -> Self {
         Completion {
             inner: Arc::new(Mutex::new(CompState {
+                started_at: None,
                 done_at: Some(t),
                 error: false,
                 waiters: Vec::new(),
                 ops: Vec::new(),
             })),
         }
+    }
+
+    /// Like [`ready_at`](Self::ready_at), but also recording when the
+    /// modeled operation *started* occupying its resource. The start instant
+    /// carries no timing semantics — `poll`/`wait` behave exactly as for
+    /// `ready_at(end)` — it exists so tracing layers can reconstruct the
+    /// operation's exact busy interval from the completion alone.
+    pub fn ready_between(start: SimTime, end: SimTime) -> Self {
+        let c = Self::ready_at(end);
+        c.inner.lock().started_at = Some(start);
+        c
+    }
+
+    /// [`failed_at`](Self::failed_at) with a recorded start instant (see
+    /// [`ready_between`](Self::ready_between)).
+    pub fn failed_between(start: SimTime, end: SimTime) -> Self {
+        let c = Self::ready_between(start, end);
+        c.inner.lock().error = true;
+        c
     }
 
     /// A completion that finishes at `t` *with an error status* — the
@@ -95,6 +118,12 @@ impl Completion {
     /// Finish time, if assigned.
     pub fn done_at(&self) -> Option<SimTime> {
         self.inner.lock().done_at
+    }
+
+    /// Start instant of the modeled operation, if the initiator recorded one
+    /// (see [`ready_between`](Self::ready_between)).
+    pub fn started_at(&self) -> Option<SimTime> {
+        self.inner.lock().started_at
     }
 
     /// Whether the operation completed with an error status (an error CQE).
@@ -283,6 +312,26 @@ mod tests {
             // Identical timing semantics: both finish at the same instant.
             assert_eq!(ok.wait(), bad.wait());
             assert!(bad.is_error() && !ok.is_error());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn ready_between_records_start_without_changing_timing() {
+        let sim = Sim::new();
+        sim.spawn("p", || {
+            let s = SimTime::from_nanos(3_000);
+            let e = SimTime::from_nanos(9_000);
+            let a = Completion::ready_at(e);
+            let b = Completion::ready_between(s, e);
+            assert_eq!(a.started_at(), None);
+            assert_eq!(b.started_at(), Some(s));
+            assert_eq!(a.done_at(), b.done_at());
+            assert_eq!(a.wait(), b.wait());
+            let bad = Completion::failed_between(s, e);
+            assert!(bad.is_error());
+            assert_eq!(bad.started_at(), Some(s));
+            assert_eq!(bad.done_at(), Some(e));
         });
         sim.run();
     }

@@ -1,0 +1,313 @@
+//! A minimal JSON parser (the workspace is offline — no serde).
+//!
+//! Used to validate exported Chrome traces and to read checked-in benchmark
+//! references (e.g. `results/BENCH_pipeline.json`) in regression tests.
+//! Accepts strict JSON; numbers parse via `str::parse::<f64>`, which is
+//! correctly rounded, so values printed with Rust's shortest-round-trip
+//! float formatting compare bit-exactly after a parse round trip.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects (first match), `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The bool, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document. Trailing content (other than
+/// whitespace) is an error.
+pub fn parse(src: &str) -> Result<JsonValue, String> {
+    let b = src.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err("unexpected end of input".into());
+    };
+    match c {
+        b'{' => parse_object(b, pos),
+        b'[' => parse_array(b, pos),
+        b'"' => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        b't' => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        b'n' => parse_lit(b, pos, "null", JsonValue::Null),
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        _ => Err(format!("unexpected byte '{}' at {}", c as char, *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|e| format!("bad number '{text}' at byte {start}: {e}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err("unterminated string".into());
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&e) = b.get(*pos) else {
+                    return Err("unterminated escape".into());
+                };
+                *pos += 1;
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        *pos += 4;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                        // Surrogate pairs: join with the following \uXXXX.
+                        let ch = if (0xd800..0xdc00).contains(&code) {
+                            if b.get(*pos..*pos + 2) != Some(b"\\u") {
+                                return Err("lone high surrogate".into());
+                            }
+                            *pos += 2;
+                            let hex2 = b
+                                .get(*pos..*pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            *pos += 4;
+                            let low = u32::from_str_radix(hex2, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex2}'"))?;
+                            if !(0xdc00..0xe000).contains(&low) {
+                                return Err("invalid low surrogate".into());
+                            }
+                            0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                        } else {
+                            code
+                        };
+                        out.push(char::from_u32(ch).ok_or("invalid \\u code point")?);
+                    }
+                    _ => return Err(format!("bad escape '\\{}'", e as char)),
+                }
+            }
+            _ => {
+                // Copy the full UTF-8 sequence starting at c.
+                let len = utf8_len(c)?;
+                let bytes = b
+                    .get(*pos - 1..*pos - 1 + len)
+                    .ok_or("truncated UTF-8 sequence")?;
+                let s = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+                out.push_str(s);
+                *pos += len - 1;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize, String> {
+    match first {
+        0x00..=0x7f => Ok(1),
+        0xc0..=0xdf => Ok(2),
+        0xe0..=0xef => Ok(3),
+        0xf0..=0xf7 => Ok(4),
+        _ => Err(format!("invalid UTF-8 lead byte {first:#x}")),
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(out));
+    }
+    loop {
+        out.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(out));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(out));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        out.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(out));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v =
+            parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": null}, "e": true}"#).unwrap();
+        let arr = v.get("a").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_f64(), Some(-300.0));
+        assert_eq!(
+            v.get("b")
+                .and_then(|b| b.get("c"))
+                .and_then(JsonValue::as_str),
+            Some("x\ny")
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("d")), Some(&JsonValue::Null));
+        assert_eq!(v.get("e").and_then(JsonValue::as_bool), Some(true));
+    }
+
+    #[test]
+    fn float_display_round_trips_bit_exactly() {
+        for x in [54.317, 0.1 + 0.2, 1e-12, 123456789.123456] {
+            let doc = format!("{{\"v\": {x}}}");
+            let v = parse(&doc).unwrap();
+            assert_eq!(v.get("v").unwrap().as_f64(), Some(x));
+        }
+    }
+
+    #[test]
+    fn unicode_raw_and_escaped() {
+        let v = parse(r#""é😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("é😀"));
+        let v = parse("\"\\u00e9 \\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("é 😀"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} x").is_err());
+        assert!(parse("nul").is_err());
+    }
+}

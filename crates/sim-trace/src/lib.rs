@@ -1,0 +1,42 @@
+//! # sim-trace — virtual-time tracing & metrics
+//!
+//! A structured observability layer for the simulator: spans, instants and
+//! gauge samples recorded against the **virtual** clock, organized into
+//! *lanes* — one lane per modeled resource (a GPU copy engine, an HCA
+//! transmit engine, a rank's protocol engine, a staging-pool occupancy
+//! gauge) or per pipeline *stage* (pack → D2H → RDMA → H2D → unpack, the
+//! paper's Figure 3).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Tracing must never perturb simulated time.** Recording an event
+//!    does host work only — it never sleeps, never blocks on another
+//!    simulated process, and never touches the virtual clock beyond reading
+//!    it. A run with tracing enabled is bit-identical (in virtual time) to
+//!    the same run with tracing disabled.
+//! 2. **Disabled tracing is (almost) free.** Every emission site checks one
+//!    relaxed atomic load before doing anything else; a disabled
+//!    [`Recorder`] costs one branch per event.
+//! 3. **Bounded memory.** Events land in a fixed-capacity ring buffer;
+//!    overflow overwrites the oldest events and is counted in
+//!    [`Recorder::dropped`] so analyses can refuse truncated traces.
+//!
+//! On top of the recording layer:
+//!
+//! * [`chrome`] exports a Chrome `trace_event` JSON file loadable in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//! * [`analysis`] computes per-lane utilization, the pipeline overlap
+//!   factor, and the critical path through a chunked transfer's stages.
+//! * [`json`] is a minimal JSON parser used to validate exported traces and
+//!   to read checked-in benchmark references (the workspace is offline; no
+//!   serde).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod chrome;
+pub mod json;
+mod recorder;
+
+pub use chrome::chrome_trace;
+pub use recorder::{Event, EventKind, Lane, LaneId, LaneKind, LaneMeta, Recorder};

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use mv2_gpu_nc::{FaultSpec, GpuCluster};
+use mv2_gpu_nc::{FaultSpec, GpuCluster, Recorder};
 use sim_core::lock::Mutex;
 use sim_core::{Report, SanitizerMode, SimDur};
 
@@ -84,11 +84,27 @@ pub fn run_stencil_campaign<T: Real>(
     sanitizer: SanitizerMode,
     faults: Option<FaultSpec>,
 ) -> (StencilOutcome, Vec<Report>) {
+    run_stencil_traced::<T>(p, variant, opts, sanitizer, faults, None)
+}
+
+/// Like [`run_stencil_campaign`], recording spans and counters into the
+/// given [`Recorder`] (for `trace_report` and Perfetto export).
+pub fn run_stencil_traced<T: Real>(
+    p: StencilParams,
+    variant: Variant,
+    opts: RunOptions,
+    sanitizer: SanitizerMode,
+    faults: Option<FaultSpec>,
+    recorder: Option<Recorder>,
+) -> (StencilOutcome, Vec<Report>) {
     let reports: Arc<Mutex<Vec<RankReport>>> = Arc::new(Mutex::new(Vec::new()));
     let collector = Arc::clone(&reports);
     let mut cluster = GpuCluster::new(p.nranks()).sanitizer(sanitizer);
     if let Some(spec) = faults {
         cluster = cluster.faults(spec);
+    }
+    if let Some(rec) = recorder {
+        cluster = cluster.recorder(rec);
     }
     let (_, san) = cluster.run_with_reports(move |env| {
         let mut rk = StencilRank::<T>::new(env, p);

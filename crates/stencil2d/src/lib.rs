@@ -28,7 +28,8 @@ mod real;
 mod reference;
 
 pub use driver::{
-    run_stencil, run_stencil_campaign, run_stencil_reports, RankReport, RunOptions, StencilOutcome,
+    run_stencil, run_stencil_campaign, run_stencil_reports, run_stencil_traced, RankReport,
+    RunOptions, StencilOutcome,
 };
 pub use loc::{lines_of_code, listing};
 pub use params::{initial_value, Dir, StencilParams, Variant};

@@ -29,4 +29,13 @@ echo "==> fault campaign smoke (retry/recovery byte-identical guard)"
 cargo run --release -q -p bench --bin fault_campaign -- \
     --out /tmp/fault_campaign_smoke.json > /dev/null
 
+echo "==> trace report smoke (overlap/rdma-utilization guards + Chrome export)"
+# The bin itself asserts the overlap factor, rdma-lane utilization and
+# that the Chrome export parses back with >0 trace events.
+cargo run --release -q -p bench --bin trace_report -- \
+    --out /tmp/trace_report_smoke.json \
+    --chrome /tmp/trace_smoke.chrome.json > /dev/null
+[[ -s /tmp/trace_report_smoke.json ]] || { echo "empty trace report"; exit 1; }
+[[ -s /tmp/trace_smoke.chrome.json ]] || { echo "empty chrome trace"; exit 1; }
+
 echo "CI OK"

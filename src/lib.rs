@@ -6,6 +6,8 @@
 //! documentation:
 //!
 //! * [`sim_core`] — deterministic virtual-time simulation kernel
+//! * [`sim_trace`] — virtual-time tracing & metrics (lanes, Chrome export,
+//!   pipeline analyses)
 //! * [`gpu_sim`] — CUDA-like GPU device simulator
 //! * [`ib_sim`] — InfiniBand verbs / RDMA simulator
 //! * [`mpi_sim`] — MPI runtime with a full derived-datatype engine
@@ -21,4 +23,5 @@ pub use mpi_sim;
 pub use mv2_gpu_nc;
 pub use osu_micro;
 pub use sim_core;
+pub use sim_trace;
 pub use stencil2d;

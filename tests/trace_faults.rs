@@ -1,0 +1,132 @@
+//! Satellite guard: under a seeded fault campaign, the trace agrees with
+//! the engine's own recovery counters.
+//!
+//! Every `retry.*` / `dup.*` / `fallback.*` counter increment in the MPI
+//! engine also emits an instant on that rank's `proto` trace lane (they go
+//! through one `note()` helper), and every injected fabric fault emits a
+//! `fault.*` instant on the HCA lane. This test runs a lossy-fabric
+//! campaign with a recorder attached and checks the two views against each
+//! other — the trace is only trustworthy observability if it cannot drift
+//! from the counters it visualizes.
+
+use std::collections::BTreeMap;
+
+use gpu_nc_repro::ib_sim::FaultSpec;
+use gpu_nc_repro::mv2_gpu_nc::baselines::{fill_vector, verify_vector, VectorXfer};
+use gpu_nc_repro::mv2_gpu_nc::{GpuCluster, Recorder};
+use gpu_nc_repro::sim_trace::EventKind;
+
+/// Instant counts per (lane kind, event name), read back from the ring.
+fn instant_counts(rec: &Recorder) -> BTreeMap<(&'static str, &'static str), u64> {
+    let lanes = rec.lanes();
+    let mut out = BTreeMap::new();
+    for ev in rec.events() {
+        if let EventKind::Instant { name, .. } = ev.kind {
+            let kind = lanes[ev.lane as usize].kind.label();
+            *out.entry((kind, name)).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn recovery_trace_events_agree_with_engine_counters() {
+    let spec = FaultSpec {
+        ctrl_drop: 0.15,
+        ctrl_delay: 0.10,
+        delay_ns: 30_000,
+        rdma_error: 0.05,
+        ..FaultSpec::seeded(4242)
+    };
+    let rec = Recorder::new();
+    GpuCluster::new(2)
+        .faults(spec)
+        .recorder(rec.clone())
+        .run(|env| {
+            // Several staged vector transfers through the lossy fabric.
+            let x = VectorXfer::paper(512 << 10);
+            let dev = env.gpu.malloc(x.extent());
+            for tag in 0..6u32 {
+                if env.comm.rank() == 0 {
+                    fill_vector(&env.gpu, dev, &x, tag as u8);
+                    env.comm.send(dev, 1, &x.dtype(), 1, tag);
+                } else {
+                    env.comm.recv(dev, 1, &x.dtype(), 0, tag);
+                    verify_vector(&env.gpu, dev, &x, tag as u8);
+                }
+            }
+        });
+    assert_eq!(
+        rec.dropped(),
+        0,
+        "ring overflow would break the cross-check"
+    );
+
+    let instants = instant_counts(&rec);
+    let metrics = rec.metrics();
+
+    // 1. Per-counter identity: summed over ranks, every recovery counter in
+    //    the registry equals the number of matching proto-lane instants.
+    let mut by_name: BTreeMap<String, u64> = BTreeMap::new();
+    for (key, v) in &metrics {
+        let Some((_, name)) = key.split_once('.') else {
+            continue;
+        };
+        if ["retry.", "dup.", "fallback."]
+            .iter()
+            .any(|p| name.starts_with(p))
+        {
+            *by_name.entry(name.to_string()).or_insert(0) += v;
+        }
+    }
+    assert!(
+        by_name.values().sum::<u64>() > 0,
+        "15% ctrl drop over six staged transfers must trigger recovery: {metrics:?}"
+    );
+    for (name, count) in &by_name {
+        let traced = instants
+            .iter()
+            .filter(|((kind, n), _)| *kind == "proto" && n == name)
+            .map(|(_, c)| *c)
+            .sum::<u64>();
+        assert_eq!(
+            traced, *count,
+            "counter {name}: {count} increments but {traced} trace instants"
+        );
+    }
+    // ... and no proto-lane recovery instant exists without its counter.
+    for ((kind, name), traced) in &instants {
+        if *kind == "proto"
+            && ["retry.", "dup.", "fallback."]
+                .iter()
+                .any(|p| name.starts_with(p))
+        {
+            assert_eq!(
+                by_name.get(*name),
+                Some(traced),
+                "trace instant {name} has no matching counter"
+            );
+        }
+    }
+
+    // 2. Injected faults surface on the HCA lanes, and every RDMA error
+    //    CQE maps to exactly one engine-side RDMA retry.
+    let hca_fault = |n: &str| {
+        instants
+            .iter()
+            .filter(|((k, name), _)| *k == "hca" && *name == n)
+            .map(|(_, c)| *c)
+            .sum::<u64>()
+    };
+    assert!(
+        hca_fault("fault.ctrl_drop") > 0,
+        "campaign never dropped a control packet"
+    );
+    let rdma_errors = hca_fault("fault.rdma_error");
+    let rdma_retries = by_name.get("retry.chunk_rdma").copied().unwrap_or(0)
+        + by_name.get("retry.rdma_direct").copied().unwrap_or(0);
+    assert_eq!(
+        rdma_errors, rdma_retries,
+        "every injected RDMA error CQE must be retried exactly once"
+    );
+}

@@ -1,0 +1,147 @@
+//! Satellite guard: tracing must never perturb simulated time.
+//!
+//! Replicates `bench --bin pipeline_bench`'s `measure()` loop for a subset
+//! of the paper's message sizes and checks the virtual latencies against
+//! the committed `results/BENCH_pipeline.json` **exactly** (f64 equality on
+//! round-tripped values) — once with an enabled recorder and once with a
+//! disabled one. Any span emission that slept, blocked or advanced the
+//! virtual clock would shift these numbers and fail the comparison.
+
+use std::sync::Arc;
+
+use gpu_nc_repro::mpi_sim::{ChunkPolicy, MpiConfig};
+use gpu_nc_repro::mv2_gpu_nc::baselines::{fill_vector, verify_vector, VectorXfer};
+use gpu_nc_repro::mv2_gpu_nc::{GpuCluster, Recorder};
+use gpu_nc_repro::sim_trace::json::{parse, JsonValue};
+use sim_core::lock::Mutex;
+
+/// Mirror of `pipeline_bench::measure` (the bin keeps the authoritative
+/// copy; this must stay in lock-step for the identity check to be exact).
+fn measure(cfg: MpiConfig, total: usize, iters: u32, rec: Recorder) -> Vec<u64> {
+    let lat: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&lat);
+    GpuCluster::new(2)
+        .mpi_config(cfg)
+        .recorder(rec)
+        .run(move |env| {
+            let x = VectorXfer::paper(total);
+            let dt = x.dtype();
+            let dev = env.gpu.malloc(x.extent());
+            if env.comm.rank() == 0 {
+                fill_vector(&env.gpu, dev, &x, 11);
+                env.comm.send(dev, 1, &dt, 1, 99_999);
+            } else {
+                env.comm.recv(dev, 1, &dt, 0, 99_999);
+            }
+            for it in 0..iters {
+                env.comm.barrier();
+                let t0 = sim_core::now();
+                if env.comm.rank() == 0 {
+                    env.comm.send(dev, 1, &dt, 1, it);
+                } else {
+                    env.comm.recv(dev, 1, &dt, 0, it);
+                    sink.lock().push((sim_core::now() - t0).as_nanos());
+                }
+            }
+            if env.comm.rank() == 1 {
+                verify_vector(&env.gpu, dev, &x, 11);
+            }
+            env.gpu.free(dev);
+        });
+    Arc::try_unwrap(lat)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|a| a.lock().clone())
+}
+
+fn committed_reference() -> JsonValue {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/BENCH_pipeline.json"
+    ))
+    .expect("committed reference missing");
+    parse(&text).expect("committed reference must be valid JSON")
+}
+
+fn row_for(doc: &JsonValue, bytes: usize) -> &JsonValue {
+    doc.get("data")
+        .and_then(JsonValue::as_arr)
+        .expect("data array")
+        .iter()
+        .find(|r| r.get("bytes").and_then(JsonValue::as_f64) == Some(bytes as f64))
+        .unwrap_or_else(|| panic!("no committed row for {bytes} bytes"))
+}
+
+#[test]
+fn pipeline_bench_times_match_committed_reference_with_tracing_on_and_off() {
+    let doc = committed_reference();
+    let iters = doc
+        .get("iters_per_size")
+        .and_then(JsonValue::as_f64)
+        .expect("iters_per_size") as u32;
+    let fixed_cfg = MpiConfig {
+        policy: ChunkPolicy::Fixed,
+        ..MpiConfig::default()
+    };
+    let adaptive_cfg = MpiConfig::default();
+
+    // One eager and two staged sizes keep the test fast while covering both
+    // protocol paths and the adaptive tuner.
+    for bytes in [4096usize, 64 << 10, 1 << 20] {
+        let row = row_for(&doc, bytes);
+        let fixed_best = row
+            .get("fixed_best_us")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        let adaptive_best = row
+            .get("adaptive_best_us")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        let adaptive_settled = row
+            .get("adaptive_settled_us")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+
+        for (label, rec) in [("on", Recorder::new()), ("off", Recorder::off())] {
+            let f = measure(fixed_cfg.clone(), bytes, iters, rec.clone());
+            let a = measure(adaptive_cfg.clone(), bytes, iters, rec);
+            assert_eq!(
+                *f.iter().min().unwrap() as f64 / 1e3,
+                fixed_best,
+                "{bytes} bytes, tracing {label}: fixed best diverged from reference"
+            );
+            assert_eq!(
+                *a.iter().min().unwrap() as f64 / 1e3,
+                adaptive_best,
+                "{bytes} bytes, tracing {label}: adaptive best diverged from reference"
+            );
+            assert_eq!(
+                *a.last().unwrap() as f64 / 1e3,
+                adaptive_settled,
+                "{bytes} bytes, tracing {label}: adaptive settled diverged from reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn enabled_and_disabled_recorders_replay_identical_virtual_time() {
+    // End-to-end virtual completion time of a whole traced cluster run,
+    // recorder on vs off (broader than the per-iteration latencies above:
+    // this covers barriers, finalize and the fabric teardown).
+    let run = |rec: Recorder| {
+        GpuCluster::new(2).recorder(rec).run(|env| {
+            let x = VectorXfer::paper(768 << 10);
+            let dev = env.gpu.malloc(x.extent());
+            if env.comm.rank() == 0 {
+                fill_vector(&env.gpu, dev, &x, 3);
+                env.comm.send(dev, 1, &x.dtype(), 1, 0);
+            } else {
+                env.comm.recv(dev, 1, &x.dtype(), 0, 0);
+                verify_vector(&env.gpu, dev, &x, 3);
+            }
+        })
+    };
+    let on = run(Recorder::new());
+    let off = run(Recorder::off());
+    assert_eq!(on, off, "tracing perturbed the virtual clock");
+}
