@@ -113,10 +113,7 @@ fn analyze(w: &Workload) -> Json {
         ("rdma_lane_utilization".to_string(), rdma_util.to_json()),
         ("stages".to_string(), stages.to_json()),
         ("lanes".to_string(), lanes.to_json()),
-        (
-            "dropped_events".to_string(),
-            w.rec.dropped().to_json(),
-        ),
+        ("dropped_events".to_string(), w.rec.dropped().to_json()),
     ];
     if w.critical_path {
         let path: Vec<CritRow> = sim_trace::analysis::critical_path(&stg, &STAGE_ORDER)

@@ -1,10 +1,12 @@
-//! GPU cluster launcher: one GPU + one MPI rank per node, with MV2-GPU-NC
-//! staging installed.
+//! GPU cluster launcher: one GPU per *node*, one or more MPI ranks per
+//! node (set by [`GpuCluster::ppn`] or an explicit topology), with
+//! MV2-GPU-NC staging installed. Co-located ranks share their node's GPU
+//! and HCA and talk over the intra-node shared-memory channel.
 
 use std::sync::Arc;
 
 use gpu_sim::{CostModel, Gpu};
-use ib_sim::{Fabric, FaultSpec, NetModel};
+use ib_sim::{Fabric, FaultSpec, NetModel, ShmModel, Topology};
 use mpi_sim::staging::BufferStager;
 use mpi_sim::{ChunkPolicy, Comm, MpiConfig};
 use sim_core::{Report, SanitizerMode, Sim, SimTime};
@@ -29,6 +31,8 @@ pub struct GpuCluster {
     n: usize,
     mpi: MpiConfig,
     net: NetModel,
+    shm: ShmModel,
+    topo: Option<Topology>,
     gpu_cost: CostModel,
     gpu_mem: usize,
     sanitizer: SanitizerMode,
@@ -37,18 +41,43 @@ pub struct GpuCluster {
 }
 
 impl GpuCluster {
-    /// `n` nodes with calibrated defaults (Tesla C2050 + QDR InfiniBand).
+    /// `n` ranks with calibrated defaults (Tesla C2050 + QDR InfiniBand),
+    /// one rank per node.
     pub fn new(n: usize) -> Self {
         GpuCluster {
             n,
             mpi: MpiConfig::default(),
             net: NetModel::qdr(),
+            shm: ShmModel::westmere(),
+            topo: None,
             gpu_cost: CostModel::tesla_c2050(),
             gpu_mem: 3 << 30,
             sanitizer: SanitizerMode::Off,
             fault_spec: None,
             recorder: None,
         }
+    }
+
+    /// Place `ppn` consecutive ranks per node (blocked mapping). The ranks
+    /// of a node share its GPU, its HCA and its PCIe links; they exchange
+    /// messages over shared memory instead of the wire. `ppn` must evenly
+    /// divide the rank count; checked at job launch.
+    pub fn ppn(mut self, ppn: usize) -> Self {
+        self.mpi.ppn = ppn;
+        self
+    }
+
+    /// Use an explicit rank→node map instead of the blocked `ppn` layout.
+    /// Overrides [`ppn`](GpuCluster::ppn).
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.topo = Some(topo);
+        self
+    }
+
+    /// Override the intra-node shared-memory channel cost model.
+    pub fn shm(mut self, shm: ShmModel) -> Self {
+        self.shm = shm;
+        self
     }
 
     /// Set the pipeline block size (the paper's `MV2_CUDA_BLOCK_SIZE`).
@@ -125,21 +154,47 @@ impl GpuCluster {
     {
         let sim = Sim::new();
         sim.set_sanitizer(self.sanitizer);
-        let fabric = Fabric::with_faults(self.n, self.net.clone(), self.fault_spec.clone());
+        if let Err(e) = self.mpi.try_validate_topology(self.n) {
+            panic!("MpiConfig: {e}");
+        }
+        let topo = self
+            .topo
+            .clone()
+            .unwrap_or_else(|| Topology::uniform(self.n / self.mpi.ppn, self.mpi.ppn));
+        assert_eq!(
+            topo.num_ranks(),
+            self.n,
+            "topology places {} endpoint(s) but the job has {} rank(s)",
+            topo.num_ranks(),
+            self.n
+        );
+        let fabric = Fabric::with_topology(
+            topo.clone(),
+            self.net.clone(),
+            self.shm.clone(),
+            self.fault_spec.clone(),
+        );
         let f = Arc::new(f);
         let rec = self.recorder.clone().unwrap_or_default();
         fabric.attach_recorder(&rec);
+        // One physical GPU per *node* (the paper's testbed): co-located
+        // ranks share the device, its copy engines and its PCIe links.
+        // `Gpu::new` is pure construction, safe outside simulation context.
+        let gpus: Vec<Gpu> = (0..topo.num_nodes())
+            .map(|node| {
+                let gpu = Gpu::new(node as u32, self.gpu_cost.clone(), self.gpu_mem);
+                gpu.attach_recorder(&rec);
+                gpu
+            })
+            .collect();
         for rank in 0..self.n {
             let fabric = fabric.clone();
             let cfg = self.mpi.clone();
             let f = Arc::clone(&f);
             let n = self.n;
-            let gpu_cost = self.gpu_cost.clone();
-            let gpu_mem = self.gpu_mem;
+            let gpu = gpus[topo.node_of(rank)].clone();
             let rec = rec.clone();
             sim.spawn(format!("rank{rank}"), move || {
-                let gpu = Gpu::new(rank as u32, gpu_cost, gpu_mem);
-                gpu.attach_recorder(&rec);
                 let stager = GpuStager::new(gpu.clone(), rank, &rec);
                 let stagers: Arc<Vec<Box<dyn BufferStager>>> =
                     Arc::new(vec![Box::new(stager) as Box<dyn BufferStager>]);

@@ -49,7 +49,7 @@ pub mod timeline;
 
 pub use cluster::{GpuCluster, GpuRankEnv};
 pub use gpu_pack::SegmentMap;
-pub use ib_sim::FaultSpec;
+pub use ib_sim::{FaultSpec, ShmModel, Topology};
 pub use pools::{Tbuf, TbufPool};
 pub use sim_trace::Recorder;
 pub use stager::GpuStager;
@@ -173,6 +173,73 @@ mod tests {
                 }
             }
         });
+    }
+
+    #[test]
+    fn colocated_device_ranks_stay_on_the_gpu() {
+        // Two ranks on one node share the physical GPU: a device-to-device
+        // rendezvous must move zero bytes over the HCA *and* zero bytes
+        // over PCIe (no d2h/h2d stages — pack and unpack only).
+        let rec = Recorder::new();
+        GpuCluster::new(2).ppn(2).recorder(rec.clone()).run(|env| {
+            let x = VectorXfer::paper(256 << 10); // rendezvous-sized
+            let dev = env.gpu.malloc(x.extent());
+            if env.comm.rank() == 0 {
+                fill_vector(&env.gpu, dev, &x, 11);
+                env.comm.send(dev, 1, &x.dtype(), 1, 0);
+            } else {
+                env.comm.recv(dev, 1, &x.dtype(), 0, 0);
+                verify_vector(&env.gpu, dev, &x, 11);
+            }
+        });
+        let m = rec.metrics();
+        assert_eq!(
+            m.get("node0.hca.tx_bytes").copied().unwrap_or(0),
+            0,
+            "co-located device transfer crossed the HCA"
+        );
+        let spans = sim_trace::analysis::stage_spans(&rec);
+        for stage in ["d2h", "h2d"] {
+            let n = spans.iter().filter(|s| s.lane_name == stage).count();
+            assert_eq!(n, 0, "device-to-device transfer crossed PCIe ({stage})");
+        }
+        for stage in ["pack", "unpack"] {
+            let n = spans.iter().filter(|s| s.lane_name == stage).count();
+            assert_eq!(n, 1, "one whole-message {stage} expected");
+        }
+    }
+
+    #[test]
+    fn colocated_device_path_matches_remote_bytes() {
+        // The same irregular transfer delivered intra-node (D2D) and
+        // inter-node (staged pipeline) must produce identical bytes.
+        let run = |ppn: usize| {
+            use std::sync::Mutex;
+            let got = Arc::new(Mutex::new(Vec::new()));
+            let g2 = Arc::clone(&got);
+            GpuCluster::new(2).ppn(ppn).run(move |env| {
+                let blocks: Vec<(usize, isize)> =
+                    (0..2000).map(|i| (5, (i * 11) as isize)).collect();
+                let t = Datatype::indexed(&blocks, &Datatype::int());
+                t.commit();
+                let span = t.ub().max(0) as usize;
+                let dev = env.gpu.malloc(span + 64);
+                if env.comm.rank() == 0 {
+                    let pattern: Vec<u8> = (0..span).map(|i| (i % 157) as u8).collect();
+                    env.gpu.write_bytes(dev, &pattern);
+                    env.comm.send(dev, 1, &t, 1, 0);
+                } else {
+                    env.comm.recv(dev, 1, &t, 0, 0);
+                    *g2.lock().unwrap() = env.gpu.read_bytes(dev, span);
+                }
+            });
+            Arc::try_unwrap(got).unwrap().into_inner().unwrap()
+        };
+        use std::sync::Arc;
+        let intra = run(2);
+        let inter = run(1);
+        assert!(!intra.is_empty());
+        assert_eq!(intra, inter, "transport changed the delivered bytes");
     }
 
     #[test]

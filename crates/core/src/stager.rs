@@ -184,6 +184,25 @@ impl SendSource for GpuSendSource {
             .min()
     }
 
+    fn device_gpu(&self) -> Option<u32> {
+        Some(self.gpu.id())
+    }
+
+    fn stage_device(&mut self) -> Option<(DevPtr, Completion)> {
+        // Device rendezvous (co-located ranks sharing this GPU): pack the
+        // whole message into a device tbuf in one go — no chunking, the
+        // receiver scatters straight from it. Contiguous buffers need no
+        // packing at all; the user buffer itself is announced.
+        if let Some(cptr) = self.contiguous {
+            return Some((cptr, Completion::ready()));
+        }
+        let tbuf = self.ensure_tbuf();
+        let pieces = self.map.pieces(0, self.total);
+        let comp = enqueue_gather(&self.gpu, &self.pack_stream, self.user, &pieces, tbuf);
+        self.lanes.pack.comp_span("pack", None, &comp);
+        Some((tbuf, comp))
+    }
+
     fn pack_eager(&mut self) -> Vec<u8> {
         let host = HostBuf::alloc(self.total);
         if self.total == 0 {
@@ -351,6 +370,41 @@ impl RecvSink for GpuRecvSink {
             .filter_map(Completion::done_at)
             .filter(|&t| t > now)
             .min()
+    }
+
+    fn device_gpu(&self) -> Option<u32> {
+        Some(self.gpu.id())
+    }
+
+    fn absorb_device(
+        &mut self,
+        src: DevPtr,
+        total: usize,
+        ready: &Completion,
+    ) -> Option<Completion> {
+        assert!(
+            total <= self.capacity,
+            "message truncated: {total} bytes into a {}-byte device layout",
+            self.capacity
+        );
+        // One whole-message device-side absorb; the engine completes the
+        // receive on this completion, so the chunk bookkeeping collapses to
+        // a single entry.
+        self.nchunks = 1;
+        self.arrived = 1;
+        self.h2d = vec![None];
+        // Order the reads after the sender's pack (CUDA IPC event).
+        self.unpack_stream.wait_event(ready);
+        let comp = match self.contiguous {
+            Some(cptr) => self.gpu.memcpy_async(cptr, src, total, &self.unpack_stream),
+            None => {
+                let pieces = self.map.pieces(0, total);
+                enqueue_scatter(&self.gpu, &self.unpack_stream, self.user, &pieces, src)
+            }
+        };
+        self.lanes.unpack.comp_span("unpack", None, &comp);
+        self.unpack = vec![Some(comp.clone())];
+        Some(comp)
     }
 
     fn unpack_eager(&mut self, data: &[u8]) {

@@ -23,7 +23,7 @@ mod rank;
 
 use std::sync::Arc;
 
-use mv2_gpu_nc::{FaultSpec, GpuCluster, Recorder};
+use mv2_gpu_nc::{FaultSpec, GpuCluster, Recorder, Topology};
 use sim_core::lock::Mutex;
 use sim_core::{Report, SanitizerMode, SimDur};
 use stencil2d::Real;
@@ -99,9 +99,58 @@ pub fn run_halo3d_traced<T: Real>(
     faults: Option<FaultSpec>,
     recorder: Option<Recorder>,
 ) -> (Halo3dOutcome, Vec<Report>) {
+    run_halo3d_topo::<T>(p, variant, collect, sanitizer, faults, recorder, 1)
+}
+
+/// Like [`run_halo3d_traced`], placing `ppn` consecutive ranks on each node
+/// (blocked mapping). Because rank coordinates are i-major with k fastest,
+/// blocked placement puts k-face neighbours — the pathological
+/// single-element-row faces — on the same node, where they exchange halos
+/// over shared memory (or stay on the GPU entirely) instead of the HCA.
+#[allow(clippy::too_many_arguments)]
+pub fn run_halo3d_topo<T: Real>(
+    p: Halo3dParams,
+    variant: Variant,
+    collect: bool,
+    sanitizer: SanitizerMode,
+    faults: Option<FaultSpec>,
+    recorder: Option<Recorder>,
+    ppn: usize,
+) -> (Halo3dOutcome, Vec<Report>) {
+    let cluster = GpuCluster::new(p.nranks()).ppn(ppn);
+    run_halo3d_on::<T>(cluster, p, variant, collect, sanitizer, faults, recorder)
+}
+
+/// Like [`run_halo3d_topo`], but with an arbitrary rank→node map (e.g. a
+/// round-robin placement that sends every halo over the wire while still
+/// sharing GPUs — the control for the blocked-placement benchmark).
+#[allow(clippy::too_many_arguments)]
+pub fn run_halo3d_mapped<T: Real>(
+    p: Halo3dParams,
+    variant: Variant,
+    collect: bool,
+    sanitizer: SanitizerMode,
+    faults: Option<FaultSpec>,
+    recorder: Option<Recorder>,
+    topo: Topology,
+) -> (Halo3dOutcome, Vec<Report>) {
+    let cluster = GpuCluster::new(p.nranks()).topology(topo);
+    run_halo3d_on::<T>(cluster, p, variant, collect, sanitizer, faults, recorder)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_halo3d_on<T: Real>(
+    mut cluster: GpuCluster,
+    p: Halo3dParams,
+    variant: Variant,
+    collect: bool,
+    sanitizer: SanitizerMode,
+    faults: Option<FaultSpec>,
+    recorder: Option<Recorder>,
+) -> (Halo3dOutcome, Vec<Report>) {
     let reports: Arc<Mutex<Vec<Rank3dReport>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&reports);
-    let mut cluster = GpuCluster::new(p.nranks()).sanitizer(sanitizer);
+    cluster = cluster.sanitizer(sanitizer);
     if let Some(spec) = faults {
         cluster = cluster.faults(spec);
     }
@@ -199,7 +248,12 @@ mod tests {
     }
 
     fn against_reference<T: Real>(params: Halo3dParams, variant: Variant) {
-        let out = run_halo3d::<T>(params, variant, true);
+        against_reference_ppn::<T>(params, variant, 1);
+    }
+
+    fn against_reference_ppn<T: Real>(params: Halo3dParams, variant: Variant, ppn: usize) {
+        let out =
+            run_halo3d_topo::<T>(params, variant, true, SanitizerMode::Off, None, None, ppn).0;
         let global = reference_run::<T>(
             (
                 params.grid.0 * params.local.0,
@@ -275,6 +329,40 @@ mod tests {
             m.wall,
             d.wall
         );
+    }
+
+    #[test]
+    fn sixteen_ranks_match_reference_at_every_ppn() {
+        // 2x2x4 = 16 ranks; k is split four ways, so blocked ppn places the
+        // worst-layout k-face neighbours on shared nodes. Every placement
+        // must compute the exact same field as one rank per node.
+        let params = p((2, 2, 4), (3, 3, 4), 2);
+        for ppn in [1, 2, 4] {
+            against_reference_ppn::<f64>(params, Variant::Mv2, ppn);
+        }
+        // The host-staged variant exercises the host shm path too.
+        against_reference_ppn::<f64>(params, Variant::Def, 4);
+    }
+
+    #[test]
+    fn ppn_placements_agree_bitwise_16_ranks() {
+        let params = p((2, 2, 4), (3, 4, 5), 2);
+        let base = run_halo3d::<f32>(params, Variant::Mv2, true);
+        for ppn in [2, 4] {
+            let out = run_halo3d_topo::<f32>(
+                params,
+                Variant::Mv2,
+                true,
+                SanitizerMode::Off,
+                None,
+                None,
+                ppn,
+            )
+            .0;
+            for (a, b) in base.ranks.iter().zip(&out.ranks) {
+                assert_eq!(a.interior, b.interior, "ppn {ppn} rank {}", a.rank);
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! The fabric: HCAs, reliable-connected messaging and RDMA writes.
+//! The fabric: per-node HCAs, reliable-connected messaging, RDMA writes and
+//! the intra-node shared-memory channel.
 //!
 //! What is modeled, and why it is enough for the paper's protocol:
 //!
 //! * **SEND/RECV** ([`Nic::send`]) — reliable, in-order delivery of typed
-//!   messages into the destination's mailbox. Used for MPI envelopes,
-//!   eager payloads and the RTS/CTS/FIN control traffic of rendezvous
-//!   protocols.
+//!   messages into the destination endpoint's mailbox. Used for MPI
+//!   envelopes, eager payloads and the RTS/CTS/FIN control traffic of
+//!   rendezvous protocols.
 //! * **RDMA WRITE** ([`Nic::rdma_write`]) — one-sided placement of bytes
 //!   into a *registered* remote host region, invisible to the remote CPU
 //!   (no completion is delivered there; the protocol above announces
@@ -13,12 +14,28 @@
 //! * **Registration** ([`Nic::register`]) — RDMA targets and sources must
 //!   be registered (which pins them); unregistered access panics, which is
 //!   the simulator's equivalent of a protection fault on the HCA.
+//! * **Shared memory** ([`Nic::shm_write`] and automatic routing inside
+//!   [`Nic::send`]) — traffic between two endpoints on the same physical
+//!   node never touches the HCA or the switch fabric. It goes through the
+//!   node's shm copy engine (kernel-assisted copy through shared pages)
+//!   with its own, much cheaper cost model, and is never subject to fault
+//!   injection: injected losses model switch misbehavior past the HCA,
+//!   which intra-node traffic does not cross.
 //!
-//! Timing: each HCA has one transmit engine. An operation occupies the
-//! engine for `bytes/bw`, and the payload lands `wire_lat` after it leaves
-//! the engine. Because every message from one node serializes through that
-//! engine and latency is constant, delivery from any source is in posting
-//! order — the in-order guarantee of an IB reliable-connected QP.
+//! Endpoints vs. nodes: an **endpoint** is one process's attachment point
+//! (one per MPI rank, with its own mailbox); a **node** is the physical
+//! host, and several endpoints may share one via [`Topology`]. Everything
+//! per-HCA — the transmit engine, the MR table, the pinned-bytes
+//! accounting, the shm copy engine — is per *node*, so co-located
+//! endpoints contend for it, exactly like processes sharing a host adapter.
+//!
+//! Timing: each node's HCA has one transmit engine. An operation occupies
+//! the engine for `bytes/bw`, and the payload lands `wire_lat` after it
+//! leaves the engine. Because every message from one node serializes
+//! through that engine and latency is constant, delivery from any source is
+//! in posting order — the in-order guarantee of an IB reliable-connected
+//! QP. The shm channel serializes the same way through the node's copy
+//! engine, so intra-node delivery is in posting order too.
 
 use std::any::Any;
 use std::collections::HashMap;
@@ -26,18 +43,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hostmem::{HostBuf, HostPtr};
-use sim_core::instrument;
+use sim_core::instrument::{self, CallCounters};
 use sim_core::lock::Mutex;
 use sim_core::san;
 use sim_core::{Completion, Mailbox, SimDur, SimTime};
 use sim_trace::{Lane, LaneKind, Recorder};
 
 use crate::fault::{FaultSpec, FaultState};
-use crate::model::NetModel;
+use crate::model::{NetModel, ShmModel};
+use crate::topology::Topology;
 
-/// A message delivered to a node's mailbox.
+/// A message delivered to an endpoint's mailbox.
 pub struct Packet {
-    /// Sending node id.
+    /// Sending endpoint (rank) id.
     pub src: usize,
     /// Number of bytes this packet occupied on the wire (control header or
     /// eager payload size).
@@ -79,31 +97,54 @@ impl std::fmt::Display for RegError {
 
 impl std::error::Error for RegError {}
 
-struct NodeNet {
-    /// When this node's transmit engine is next free.
+/// Per-node hardware state: one HCA transmit engine, one MR table / pin
+/// account (the node's protection domain) and one shm copy engine, shared
+/// by every endpoint the topology places on the node.
+struct NodeHw {
+    /// When this node's HCA transmit engine is next free.
     tx_free: SimTime,
     /// Registered memory regions (keyed for remote access).
     mrs: HashMap<MrKey, Mr>,
-    /// Bytes currently pinned through this HCA (for the fault layer's pin
-    /// limit; released by [`Nic::deregister`]).
+    /// Bytes currently pinned through this node's HCA (for the fault
+    /// layer's pin limit; released by [`Nic::deregister`]).
     pinned_bytes: usize,
     /// Sanitizer: last operation posted to this node's transmit engine.
     tx_last: Option<san::OpId>,
+    /// When this node's shm copy engine is next free.
+    shm_free: SimTime,
+    /// Sanitizer: last operation posted to this node's shm copy engine.
+    shm_last: Option<san::OpId>,
+}
+
+/// Trace lanes of one node: HCA transmit engine and shm copy engine.
+struct NodeLanes {
+    hca: Lane,
+    shm: Lane,
 }
 
 struct FabricInner {
     model: NetModel,
-    nodes: Mutex<Vec<NodeNet>>,
-    /// One mailbox per node; outside the lock so receivers don't contend.
+    shm: ShmModel,
+    topo: Topology,
+    /// Per-node hardware (indexed by node id).
+    nodes: Mutex<Vec<NodeHw>>,
+    /// One mailbox per endpoint; outside the lock so receivers don't
+    /// contend.
     mailboxes: Vec<Mailbox<Packet>>,
     next_key: AtomicU64,
-    /// Sanitizer queue domain; lanes are node ids (one tx engine each).
+    /// Sanitizer queue domain; lanes `0..num_nodes` are the HCA tx engines,
+    /// lanes `num_nodes..2*num_nodes` the shm copy engines.
     san_domain: u64,
     /// Seeded fault injection, if this fabric was built with faults.
     faults: Option<FaultState>,
-    /// Trace lanes, one per node's transmit engine (`hca{n}/tx`). `None`
-    /// until [`Fabric::attach_recorder`]; emission is skipped entirely then.
-    trace: Mutex<Option<Vec<Lane>>>,
+    /// Per-node byte accumulators (`hca.tx_bytes`, `shm.bytes`), indexed by
+    /// node id. Live regardless of tracing; surfaced as `node{k}.*` metrics
+    /// when a recorder is attached.
+    counters: Vec<CallCounters>,
+    /// Trace lanes, one pair per node (`node{k}/hca_tx`, `node{k}/shm`).
+    /// `None` until [`Fabric::attach_recorder`]; emission is skipped
+    /// entirely then.
+    trace: Mutex<Option<Vec<NodeLanes>>>,
 }
 
 /// The simulated cluster interconnect. Clones are shallow.
@@ -112,41 +153,63 @@ pub struct Fabric {
     inner: Arc<FabricInner>,
 }
 
-/// A per-node HCA handle.
+/// One endpoint's handle onto its node's HCA (and shm channel).
 #[derive(Clone)]
 pub struct Nic {
     fabric: Fabric,
-    node: usize,
+    endpoint: usize,
 }
 
 impl Fabric {
-    /// Create a fabric connecting `nodes` nodes.
-    pub fn new(nodes: usize, model: NetModel) -> Self {
-        Self::with_faults(nodes, model, None)
+    /// Create a fabric with `n` endpoints, one per node (the pre-topology
+    /// default where rank and node coincide).
+    pub fn new(n: usize, model: NetModel) -> Self {
+        Self::with_faults(n, model, None)
     }
 
     /// Like [`Fabric::new`], but with an optional seeded fault-injection
     /// spec. `None` is exactly `Fabric::new` — no random stream exists and
     /// the fabric is perfectly reliable.
-    pub fn with_faults(nodes: usize, model: NetModel, faults: Option<FaultSpec>) -> Self {
+    pub fn with_faults(n: usize, model: NetModel, faults: Option<FaultSpec>) -> Self {
+        Self::with_topology(
+            Topology::one_per_node(n),
+            model,
+            ShmModel::westmere(),
+            faults,
+        )
+    }
+
+    /// Create a fabric for an explicit [`Topology`]: one mailbox per
+    /// endpoint, one HCA + shm copy engine per node.
+    pub fn with_topology(
+        topo: Topology,
+        model: NetModel,
+        shm: ShmModel,
+        faults: Option<FaultSpec>,
+    ) -> Self {
         Fabric {
             inner: Arc::new(FabricInner {
                 model,
+                shm,
                 nodes: Mutex::new(
-                    (0..nodes)
-                        .map(|_| NodeNet {
+                    (0..topo.num_nodes())
+                        .map(|_| NodeHw {
                             tx_free: SimTime::ZERO,
                             mrs: HashMap::new(),
                             pinned_bytes: 0,
                             tx_last: None,
+                            shm_free: SimTime::ZERO,
+                            shm_last: None,
                         })
                         .collect(),
                 ),
-                mailboxes: (0..nodes).map(|_| Mailbox::new()).collect(),
+                mailboxes: (0..topo.num_ranks()).map(|_| Mailbox::new()).collect(),
                 next_key: AtomicU64::new(1),
                 san_domain: san::new_queue_domain(),
                 faults: faults.map(FaultState::new),
+                counters: (0..topo.num_nodes()).map(|_| CallCounters::new()).collect(),
                 trace: Mutex::new(None),
+                topo,
             }),
         }
     }
@@ -159,17 +222,31 @@ impl Fabric {
         self.inner.faults.is_some()
     }
 
-    /// Number of nodes.
+    /// Number of physical nodes.
     pub fn num_nodes(&self) -> usize {
+        self.inner.topo.num_nodes()
+    }
+
+    /// Number of endpoints (MPI ranks attached to the fabric).
+    pub fn num_endpoints(&self) -> usize {
         self.inner.mailboxes.len()
     }
 
-    /// The HCA of `node`.
-    pub fn nic(&self, node: usize) -> Nic {
-        assert!(node < self.num_nodes(), "no such node {node}");
+    /// The ranks→nodes mapping this fabric was built with.
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topo
+    }
+
+    /// The attachment point of endpoint `endpoint`.
+    pub fn nic(&self, endpoint: usize) -> Nic {
+        assert!(
+            endpoint < self.num_endpoints(),
+            "no such endpoint {endpoint} (fabric has {} endpoints)",
+            self.num_endpoints()
+        );
         Nic {
             fabric: self.clone(),
-            node,
+            endpoint,
         }
     }
 
@@ -178,54 +255,102 @@ impl Fabric {
         &self.inner.model
     }
 
-    /// Attach a trace recorder: each node's transmit engine becomes an
-    /// `hca{n}/tx` lane carrying serialization spans and fault instants.
-    /// Recording never changes timing — spans reuse the times the engine
-    /// already computed.
+    /// The intra-node shared-memory cost model.
+    pub fn shm_model(&self) -> &ShmModel {
+        &self.inner.shm
+    }
+
+    /// Bytes `node`'s HCA transmit engine has serialized onto the wire so
+    /// far. Intra-node traffic never contributes.
+    pub fn hca_tx_bytes(&self, node: usize) -> u64 {
+        self.inner.counters[node].get("hca.tx_bytes")
+    }
+
+    /// Bytes copied through `node`'s shm channel so far.
+    pub fn shm_bytes(&self, node: usize) -> u64 {
+        self.inner.counters[node].get("shm.bytes")
+    }
+
+    /// Attach a trace recorder: each node gets a `node{k}/hca_tx` lane
+    /// (HCA serialization spans and fault instants) and a `node{k}/shm`
+    /// lane (shm copy-engine spans), and its byte accumulators are
+    /// registered as `node{k}.*` metrics. Recording never changes timing —
+    /// spans reuse the times the engines already computed.
     pub fn attach_recorder(&self, rec: &Recorder) {
         let lanes = (0..self.num_nodes())
-            .map(|n| rec.lane(&format!("hca{n}"), "tx", LaneKind::Hca))
+            .map(|n| {
+                let scope = format!("node{n}");
+                rec.register_counters(&scope, &self.inner.counters[n]);
+                NodeLanes {
+                    hca: rec.lane(&scope, "hca_tx", LaneKind::Hca),
+                    shm: rec.lane(&scope, "shm", LaneKind::Shm),
+                }
+            })
             .collect();
         *self.inner.trace.lock() = Some(lanes);
     }
 }
 
 impl Nic {
-    /// This HCA's node id.
+    /// This endpoint's (rank's) id.
+    pub fn endpoint(&self) -> usize {
+        self.endpoint
+    }
+
+    /// The physical node hosting this endpoint.
     pub fn node(&self) -> usize {
-        self.node
+        self.fabric.inner.topo.node_of(self.endpoint)
     }
 
-    /// The mailbox where this node's incoming packets land.
+    /// Whether `other` is an endpoint on the same physical node (true for
+    /// `other == self.endpoint()`).
+    pub fn colocated(&self, other: usize) -> bool {
+        self.fabric.inner.topo.colocated(self.endpoint, other)
+    }
+
+    /// The mailbox where this endpoint's incoming packets land.
     pub fn mailbox(&self) -> &Mailbox<Packet> {
-        &self.fabric.inner.mailboxes[self.node]
+        &self.fabric.inner.mailboxes[self.endpoint]
     }
 
-    /// Sanitizer: register an HCA work request on this node's tx engine,
-    /// ordered after the engine's previous request (same-QP ordering).
+    /// Sanitizer: register a work request on one of this node's engines
+    /// (`shm: false` = HCA tx, `true` = shm copy engine), ordered after the
+    /// engine's previous request (same-queue ordering).
     fn san_begin(
         &self,
         kind: &'static str,
+        shm: bool,
         reads: Vec<san::MemRange>,
         writes: Vec<san::MemRange>,
     ) -> Option<san::OpId> {
         if !san::enabled() {
             return None;
         }
+        let node = self.node();
         let preds = {
             let nodes = self.fabric.inner.nodes.lock();
-            nodes[self.node].tx_last.into_iter().collect()
+            let last = if shm {
+                nodes[node].shm_last
+            } else {
+                nodes[node].tx_last
+            };
+            last.into_iter().collect()
+        };
+        let lane = if shm {
+            (self.fabric.num_nodes() + node) as u64
+        } else {
+            node as u64
         };
         san::begin_op(san::OpDesc {
             kind,
-            queue: (self.fabric.inner.san_domain, self.node as u64),
+            queue: (self.fabric.inner.san_domain, lane),
             preds,
             reads,
             writes,
         })
     }
 
-    /// The trace lane of this node's transmit engine, if a recorder is
+    /// The trace lane of this node's HCA transmit engine, if a recorder is
     /// attached.
     fn tx_lane(&self) -> Option<Lane> {
         self.fabric
@@ -233,12 +358,23 @@ impl Nic {
             .trace
             .lock()
             .as_ref()
-            .map(|lanes| lanes[self.node].clone())
+            .map(|lanes| lanes[self.node()].hca.clone())
     }
 
-    /// Occupy the transmit engine for `bytes` and return (engine occupancy
-    /// start, engine release time, payload arrival time). `kind` labels the
-    /// serialization span on the engine's trace lane.
+    /// The trace lane of this node's shm copy engine, if a recorder is
+    /// attached.
+    fn shm_lane(&self) -> Option<Lane> {
+        self.fabric
+            .inner
+            .trace
+            .lock()
+            .as_ref()
+            .map(|lanes| lanes[self.node()].shm.clone())
+    }
+
+    /// Occupy the node's HCA transmit engine for `bytes` and return (engine
+    /// occupancy start, engine release time, payload arrival time). `kind`
+    /// labels the serialization span on the engine's trace lane.
     fn tx_schedule(
         &self,
         kind: &'static str,
@@ -246,15 +382,17 @@ impl Nic {
         op: Option<san::OpId>,
     ) -> (SimTime, SimTime, SimTime) {
         let m = &self.fabric.inner.model;
+        let node = self.node();
         let now = sim_core::now();
         let mut nodes = self.fabric.inner.nodes.lock();
-        let start = now.max(nodes[self.node].tx_free);
+        let start = now.max(nodes[node].tx_free);
         let tx_done = start + m.serialize_time(bytes);
-        nodes[self.node].tx_free = tx_done;
+        nodes[node].tx_free = tx_done;
         if op.is_some() {
-            nodes[self.node].tx_last = op;
+            nodes[node].tx_last = op;
         }
         drop(nodes);
+        self.fabric.inner.counters[node].add("hca.tx_bytes", bytes as u64);
         if let Some(lane) = self.tx_lane() {
             lane.span(kind, start, tx_done);
         }
@@ -263,21 +401,58 @@ impl Nic {
         (start, tx_done, arrival)
     }
 
+    /// Occupy the node's shm copy engine for `bytes` and return (start,
+    /// copy done, receiver visibility time).
+    fn shm_schedule(
+        &self,
+        kind: &'static str,
+        bytes: usize,
+        op: Option<san::OpId>,
+    ) -> (SimTime, SimTime, SimTime) {
+        let m = &self.fabric.inner.shm;
+        let node = self.node();
+        let now = sim_core::now();
+        let mut nodes = self.fabric.inner.nodes.lock();
+        let start = now.max(nodes[node].shm_free);
+        let copy_done = start + m.copy_time(bytes);
+        nodes[node].shm_free = copy_done;
+        if op.is_some() {
+            nodes[node].shm_last = op;
+        }
+        drop(nodes);
+        self.fabric.inner.counters[node].add("shm.bytes", bytes as u64);
+        if let Some(lane) = self.shm_lane() {
+            lane.span(kind, start, copy_done);
+        }
+        let visible = copy_done + SimDur::from_nanos(m.latency_ns);
+        san::op_complete_at(op, visible);
+        (start, copy_done, visible)
+    }
+
     fn post_overhead(&self) {
         sim_core::sleep(SimDur::from_nanos(self.fabric.inner.model.post_overhead_ns));
+    }
+
+    fn shm_post_overhead(&self) {
+        sim_core::sleep(SimDur::from_nanos(self.fabric.inner.shm.post_overhead_ns));
     }
 
     /// Reliable two-sided send: delivers a [`Packet`] into `dst`'s mailbox.
     /// `wire_bytes` is the size the message occupies on the wire (use
     /// [`NetModel::ctrl_bytes`] for control messages, the payload length for
     /// eager data). Returns the sender-side completion (ack'd delivery).
+    ///
+    /// When `dst` is another endpoint on the same node the message is
+    /// routed over the shm channel instead of the HCA (self-sends still use
+    /// the HCA loopback path, preserving single-process timing).
     pub fn send(&self, dst: usize, wire_bytes: usize, payload: Box<dyn Any + Send>) -> Completion {
         self.send_impl(dst, wire_bytes, payload, false)
     }
 
     /// Convenience: send a control-sized message. Unlike [`Nic::send`],
     /// control messages are subject to the fault layer's drop/delay
-    /// injection (the protocol above must retransmit them).
+    /// injection (the protocol above must retransmit them) — except
+    /// intra-node, where the shm channel is reliable by construction.
     pub fn send_ctrl(&self, dst: usize, payload: Box<dyn Any + Send>) -> Completion {
         let bytes = self.fabric.inner.model.ctrl_bytes;
         self.send_impl(dst, bytes, payload, true)
@@ -290,9 +465,16 @@ impl Nic {
         payload: Box<dyn Any + Send>,
         ctrl: bool,
     ) -> Completion {
-        assert!(dst < self.fabric.num_nodes(), "no such node {dst}");
+        assert!(
+            dst < self.fabric.num_endpoints(),
+            "no such endpoint {dst} (fabric has {} endpoints)",
+            self.fabric.num_endpoints()
+        );
+        if dst != self.endpoint && self.colocated(dst) {
+            return self.shm_send(dst, wire_bytes, payload, ctrl);
+        }
         self.post_overhead();
-        let op = self.san_begin("nic_send", vec![], vec![]);
+        let op = self.san_begin("nic_send", false, vec![], vec![]);
         let kind = if ctrl { "ctrl" } else { "send" };
         let (start, _, arrival) = self.tx_schedule(kind, wire_bytes, op);
         // Fault injection applies to control traffic only: the loss happens
@@ -320,13 +502,41 @@ impl Nic {
             self.fabric.inner.mailboxes[dst].send_at(
                 t,
                 Packet {
-                    src: self.node,
+                    src: self.endpoint,
                     wire_bytes,
                     payload,
                 },
             );
         }
         let c = Completion::ready_between(start, arrival);
+        if let Some(o) = op {
+            c.attach_ops(&[o]);
+        }
+        c
+    }
+
+    /// Intra-node delivery over the node's shm channel: no HCA, no wire,
+    /// no fault injection.
+    fn shm_send(
+        &self,
+        dst: usize,
+        wire_bytes: usize,
+        payload: Box<dyn Any + Send>,
+        ctrl: bool,
+    ) -> Completion {
+        self.shm_post_overhead();
+        let op = self.san_begin("shm_send", true, vec![], vec![]);
+        let kind = if ctrl { "ctrl" } else { "send" };
+        let (start, _, visible) = self.shm_schedule(kind, wire_bytes, op);
+        self.fabric.inner.mailboxes[dst].send_at(
+            visible,
+            Packet {
+                src: self.endpoint,
+                wire_bytes,
+                payload,
+            },
+        );
+        let c = Completion::ready_between(start, visible);
         if let Some(o) = op {
             c.attach_ops(&[o]);
         }
@@ -351,7 +561,8 @@ impl Nic {
     /// Fallible registration for user buffers: refused with [`RegError`]
     /// when the fault layer's pin limit would be exceeded. The refusal is
     /// checked *before* the registration time is charged (the verbs call
-    /// fails fast). Without a fault spec this never fails.
+    /// fails fast). Without a fault spec this never fails. The limit is per
+    /// node: co-located endpoints draw from the same pin budget.
     pub fn try_register(&self, buf: &HostBuf) -> Result<MrKey, RegError> {
         if let Some(limit) = self
             .fabric
@@ -360,7 +571,7 @@ impl Nic {
             .as_ref()
             .and_then(|f| f.pin_limit())
         {
-            let pinned = self.fabric.inner.nodes.lock()[self.node].pinned_bytes;
+            let pinned = self.fabric.inner.nodes.lock()[self.node()].pinned_bytes;
             if pinned + buf.len() > limit {
                 instrument::global().record("fault.reg_fail");
                 if let Some(lane) = self.tx_lane() {
@@ -382,16 +593,18 @@ impl Nic {
 
     fn register_finish(&self, buf: &HostBuf) -> MrKey {
         buf.pin();
+        let node = self.node();
         let key = MrKey(self.fabric.inner.next_key.fetch_add(1, Ordering::Relaxed));
         let mut nodes = self.fabric.inner.nodes.lock();
-        nodes[self.node].pinned_bytes += buf.len();
-        nodes[self.node].mrs.insert(key, Mr { buf: buf.clone() });
+        nodes[node].pinned_bytes += buf.len();
+        nodes[node].mrs.insert(key, Mr { buf: buf.clone() });
         key
     }
 
-    /// Bytes this node currently has pinned through its HCA.
+    /// Bytes this endpoint's node currently has pinned through its HCA
+    /// (shared across co-located endpoints).
     pub fn pinned_bytes(&self) -> usize {
-        self.fabric.inner.nodes.lock()[self.node].pinned_bytes
+        self.fabric.inner.nodes.lock()[self.node()].pinned_bytes
     }
 
     /// Whether this NIC's fabric injects faults (see
@@ -405,23 +618,57 @@ impl Nic {
     /// the key now faults. The bytes no longer count against the node's
     /// pin-limit footprint.
     pub fn deregister(&self, key: MrKey) {
+        let node = self.node();
         let mut nodes = self.fabric.inner.nodes.lock();
-        let removed = nodes[self.node].mrs.remove(&key);
+        let removed = nodes[node].mrs.remove(&key);
         match removed {
-            Some(mr) => nodes[self.node].pinned_bytes -= mr.buf.len(),
+            Some(mr) => nodes[node].pinned_bytes -= mr.buf.len(),
             None => panic!("deregister of unknown MrKey {key:?}"),
         }
     }
 
+    /// Look up the MR `key` on `dst`'s node, validate `[offset, offset+len)`
+    /// against it, and return its buffer. Panics like an HCA protection
+    /// fault on unknown keys or out-of-bounds access (`what` labels the
+    /// faulting operation).
+    fn resolve_mr(
+        &self,
+        what: &str,
+        dst: usize,
+        key: MrKey,
+        dst_offset: usize,
+        len: usize,
+    ) -> HostBuf {
+        let dst_node = self.fabric.inner.topo.node_of(dst);
+        let nodes = self.fabric.inner.nodes.lock();
+        let Some(mr) = nodes[dst_node].mrs.get(&key) else {
+            drop(nodes);
+            san::report_protocol(format!(
+                "{what} to unknown MrKey {key:?} on node {dst_node}                      (unregistered or deregistered target region)"
+            ));
+            panic!("{what} to unknown MrKey {key:?} on node {dst_node}");
+        };
+        if dst_offset + len > mr.buf.len() {
+            let mr_len = mr.buf.len();
+            drop(nodes);
+            san::report_protocol(format!(
+                "{what} out of bounds: {dst_offset}+{len} > {mr_len}"
+            ));
+            panic!("{what} out of bounds: {dst_offset}+{len} > {mr_len}");
+        }
+        mr.buf.clone()
+    }
+
     /// One-sided RDMA write: place `len` bytes from the local pinned region
-    /// at `src` into `(dst_node, key, dst_offset)`. The remote CPU sees no
-    /// event; the returned completion is the sender-side CQE.
+    /// at `src` into `(dst, key, dst_offset)` on the destination endpoint's
+    /// node. The remote CPU sees no event; the returned completion is the
+    /// sender-side CQE.
     ///
     /// Panics (a simulated HCA protection fault) if the local source is not
     /// pinned, the remote key is unknown, or the write is out of bounds.
     pub fn rdma_write(
         &self,
-        dst_node: usize,
+        dst: usize,
         key: MrKey,
         dst_offset: usize,
         src: &HostPtr,
@@ -452,23 +699,8 @@ impl Nic {
         // Validate and copy into the remote region. The copy is performed
         // eagerly; remote visibility is ordered by the fabric because any
         // notification of this write travels behind it on the same engine.
+        let mr_buf = self.resolve_mr("RDMA write", dst, key, dst_offset, len);
         let op = {
-            let nodes = self.fabric.inner.nodes.lock();
-            let Some(mr) = nodes[dst_node].mrs.get(&key) else {
-                drop(nodes);
-                san::report_protocol(format!(
-                    "RDMA write to unknown MrKey {key:?} on node {dst_node}                      (unregistered or deregistered target region)"
-                ));
-                panic!("RDMA write to unknown MrKey {key:?} on node {dst_node}");
-            };
-            if dst_offset + len > mr.buf.len() {
-                let mr_len = mr.buf.len();
-                drop(nodes);
-                san::report_protocol(format!(
-                    "RDMA write out of bounds: {dst_offset}+{len} > {mr_len}"
-                ));
-                panic!("RDMA write out of bounds: {dst_offset}+{len} > {mr_len}");
-            }
             let reads = vec![san::MemRange {
                 domain: san::MemDomain::Host {
                     buf: src.buf().id(),
@@ -477,7 +709,7 @@ impl Nic {
                 len,
             }];
             let writes = vec![san::MemRange {
-                domain: san::MemDomain::Host { buf: mr.buf.id() },
+                domain: san::MemDomain::Host { buf: mr_buf.id() },
                 start: dst_offset,
                 len,
             }];
@@ -485,15 +717,67 @@ impl Nic {
                 let _san = san::suppress();
                 src.read(len)
             };
-            let mr_buf = mr.buf.clone();
-            drop(nodes);
-            let op = self.san_begin("rdma_write", reads, writes);
+            let op = self.san_begin("rdma_write", false, reads, writes);
             let _san = san::suppress();
             mr_buf.write(dst_offset, &data);
             op
         };
         let (start, _, arrival) = self.tx_schedule("rdma", len, op);
         let c = Completion::ready_between(start, arrival);
+        if let Some(o) = op {
+            c.attach_ops(&[o]);
+        }
+        c
+    }
+
+    /// Intra-node one-sided write: place `len` bytes from `src` into
+    /// `(dst, key, dst_offset)` through the node's shm copy engine. The
+    /// shared-memory analogue of [`Nic::rdma_write`]: same MR naming and
+    /// protection-fault semantics, but no HCA, no wire, no pinning
+    /// requirement on the source (the CPU copies through shared pages), and
+    /// no fault injection.
+    ///
+    /// Panics if `dst` is not co-located with this endpoint, if the key is
+    /// unknown, or if the write is out of bounds.
+    pub fn shm_write(
+        &self,
+        dst: usize,
+        key: MrKey,
+        dst_offset: usize,
+        src: &HostPtr,
+        len: usize,
+    ) -> Completion {
+        assert!(
+            self.colocated(dst),
+            "shm write from endpoint {} to endpoint {dst} on another node",
+            self.endpoint
+        );
+        self.shm_post_overhead();
+        let mr_buf = self.resolve_mr("shm write", dst, key, dst_offset, len);
+        let op = {
+            let reads = vec![san::MemRange {
+                domain: san::MemDomain::Host {
+                    buf: src.buf().id(),
+                },
+                start: src.offset(),
+                len,
+            }];
+            let writes = vec![san::MemRange {
+                domain: san::MemDomain::Host { buf: mr_buf.id() },
+                start: dst_offset,
+                len,
+            }];
+            let data = {
+                let _san = san::suppress();
+                src.read(len)
+            };
+            let op = self.san_begin("shm_write", true, reads, writes);
+            let _san = san::suppress();
+            mr_buf.write(dst_offset, &data);
+            op
+        };
+        let (start, _, visible) = self.shm_schedule("copy", len, op);
+        let c = Completion::ready_between(start, visible);
         if let Some(o) = op {
             c.attach_ops(&[o]);
         }
@@ -772,6 +1056,165 @@ mod tests {
             sim.spawn("receiver", move || {
                 let _ = nic.mailbox().recv();
                 assert!(now().as_micros_f64() < 2.0, "ctrl took {}", now());
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "no such endpoint 7")]
+    fn nic_lookup_out_of_range_panics() {
+        Fabric::new(2, NetModel::qdr()).nic(7);
+    }
+
+    #[test]
+    fn colocated_send_bypasses_hca() {
+        let sim = Sim::new();
+        let topo = Topology::uniform(1, 2); // two ranks, one node
+        let fabric = Fabric::with_topology(topo, NetModel::qdr(), ShmModel::westmere(), None);
+        {
+            let nic = fabric.nic(0);
+            sim.spawn("sender", move || {
+                nic.send(1, 1 << 20, Box::new(9u32));
+            });
+        }
+        {
+            let nic = fabric.nic(1);
+            let f2 = fabric.clone();
+            sim.spawn("receiver", move || {
+                let pkt = nic.mailbox().recv();
+                assert_eq!(pkt.src, 0);
+                assert_eq!(*pkt.payload.downcast::<u32>().unwrap(), 9);
+                // 1 MiB at 4 GB/s (~262 us) + sub-us overheads: well under
+                // the ~329 us the wire path takes, and the HCA saw nothing.
+                let us = now().as_micros_f64();
+                assert!(us < 300.0, "shm delivery at {us} us");
+                assert_eq!(f2.hca_tx_bytes(0), 0, "intra-node send hit the HCA");
+                assert!(f2.shm_bytes(0) >= 1 << 20);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn colocated_ctrl_survives_certain_drop_faults() {
+        let sim = Sim::new();
+        let topo = Topology::uniform(1, 2);
+        let fabric = Fabric::with_topology(
+            topo,
+            NetModel::qdr(),
+            ShmModel::westmere(),
+            Some(FaultSpec {
+                ctrl_drop: 1.0,
+                ..FaultSpec::seeded(7)
+            }),
+        );
+        {
+            let nic = fabric.nic(0);
+            sim.spawn("sender", move || {
+                nic.send_ctrl(1, Box::new("rts"));
+            });
+        }
+        {
+            let nic = fabric.nic(1);
+            sim.spawn("receiver", move || {
+                let pkt = nic.mailbox().recv();
+                assert_eq!(*pkt.payload.downcast::<&str>().unwrap(), "rts");
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn shm_write_places_bytes_without_hca() {
+        let sim = Sim::new();
+        let topo = Topology::uniform(1, 2);
+        let fabric = Fabric::with_topology(topo, NetModel::qdr(), ShmModel::westmere(), None);
+        let target = HostBuf::alloc(64);
+        let key = fabric.nic(1).register(&target);
+        {
+            let nic = fabric.nic(0);
+            let t2 = target.clone();
+            let f2 = fabric.clone();
+            sim.spawn("writer", move || {
+                // No pinning required on the source: the CPU does the copy.
+                let src = HostBuf::from_vec(vec![3u8; 16]);
+                let c = nic.shm_write(1, key, 4, &src.base(), 16);
+                c.wait();
+                assert_eq!(t2.read(4, 16), vec![3u8; 16]);
+                assert_eq!(f2.hca_tx_bytes(0), 0);
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "on another node")]
+    fn shm_write_across_nodes_faults() {
+        let fabric = Fabric::new(2, NetModel::qdr());
+        let target = HostBuf::alloc(64);
+        let key = fabric.nic(1).register(&target);
+        in_sim(move || {
+            let src = HostBuf::alloc(16);
+            fabric.nic(0).shm_write(1, key, 0, &src.base(), 16);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown MrKey")]
+    fn shm_write_unknown_key_faults() {
+        let topo = Topology::uniform(1, 2);
+        let fabric = Fabric::with_topology(topo, NetModel::qdr(), ShmModel::westmere(), None);
+        let target = HostBuf::alloc(64);
+        let nic1 = fabric.nic(1);
+        let key = nic1.register(&target);
+        nic1.deregister(key);
+        in_sim(move || {
+            let src = HostBuf::alloc(16);
+            fabric.nic(0).shm_write(1, key, 0, &src.base(), 16);
+        });
+    }
+
+    #[test]
+    fn colocated_endpoints_share_one_hca_engine() {
+        // Two colocated senders each push 1 MiB to a rank on another node:
+        // the second transfer serializes behind the first on the shared
+        // engine, so it arrives roughly twice as late as it would alone.
+        let sim = Sim::new();
+        let topo = Topology::from_map(vec![0, 0, 1]);
+        let fabric = Fabric::with_topology(topo, NetModel::qdr(), ShmModel::westmere(), None);
+        for ep in 0..2 {
+            let nic = fabric.nic(ep);
+            sim.spawn("sender", move || {
+                nic.send(2, 1 << 20, Box::new(ep));
+            });
+        }
+        {
+            let nic = fabric.nic(2);
+            sim.spawn("receiver", move || {
+                let _ = nic.mailbox().recv();
+                let _ = nic.mailbox().recv();
+                let us = now().as_micros_f64();
+                assert!(
+                    us > 600.0,
+                    "second 1 MiB arrived at {us} us — no contention"
+                );
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn self_send_still_uses_hca_loopback() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(1, NetModel::qdr());
+        {
+            let nic = fabric.nic(0);
+            let f2 = fabric.clone();
+            sim.spawn("p", move || {
+                nic.send(0, 4096, Box::new(1u8));
+                let _ = nic.mailbox().recv();
+                assert_eq!(f2.hca_tx_bytes(0), 4096);
             });
         }
         sim.run();

@@ -36,7 +36,9 @@
 mod fabric;
 mod fault;
 mod model;
+mod topology;
 
 pub use fabric::{Fabric, MrKey, Nic, Packet, RegError};
 pub use fault::FaultSpec;
-pub use model::NetModel;
+pub use model::{NetModel, ShmModel};
+pub use topology::Topology;

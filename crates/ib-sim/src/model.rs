@@ -46,6 +46,39 @@ impl NetModel {
     }
 }
 
+/// Cost model of the intra-node shared-memory channel. One copy engine per
+/// node (the kernel-assisted copy path serializes through the node's memory
+/// bus), no HCA involvement, no fault injection — losses modeled by the
+/// fault layer happen in the switch fabric, which intra-node traffic never
+/// crosses.
+#[derive(Clone, Debug)]
+pub struct ShmModel {
+    /// Queue visibility latency after the copy completes (ns): the
+    /// receiver's poll noticing the flag flip.
+    pub latency_ns: u64,
+    /// Large-copy memcpy bandwidth through shared pages, bytes per second.
+    pub bw_bps: f64,
+    /// CPU cost of posting one shm operation (ns) — cheaper than a verb.
+    pub post_overhead_ns: u64,
+}
+
+impl ShmModel {
+    /// Calibrated for the paper's Westmere-era hosts: ~4 GB/s sustained
+    /// copy bandwidth through shared pages, sub-microsecond queue latency.
+    pub fn westmere() -> Self {
+        ShmModel {
+            latency_ns: 300,
+            bw_bps: 4.0e9,
+            post_overhead_ns: 100,
+        }
+    }
+
+    /// Time the node's shm copy engine is occupied by a `bytes` copy.
+    pub fn copy_time(&self, bytes: usize) -> SimDur {
+        SimDur::from_nanos((bytes as f64 / self.bw_bps * 1e9).round() as u64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -49,6 +49,7 @@ use crate::proto::{
     ChunkPolicy, Envelope, MpiConfig, MpiError, MpiPacket, ReqId, RetryConfig, SlotDesc,
 };
 use crate::staging::{BufferStager, HostRecvSink, HostSendSource, RecvSink, SendSource};
+use crate::transport::{transport_for, Transport};
 use crate::tuner::{settled_counter, ChunkTuner, LayoutClass, TuneKey};
 
 /// Source selector for receives.
@@ -366,9 +367,19 @@ struct DirectSend {
 }
 
 enum SendPhase {
-    WaitCts { timer: Option<RetryTimer> },
+    WaitCts {
+        timer: Option<RetryTimer>,
+    },
     Direct(DirectSend),
     Staged(StagedSend),
+    /// Device path (co-located ranks sharing one GPU): the FIN-dev is out,
+    /// announcing the packed tbuf; waiting for the receiver's credit. The
+    /// pack completion is kept only as a wake-up hint — ordering travels
+    /// inside the FIN-dev itself. No retry timer: intra-node control is
+    /// reliable even on fault-injecting fabrics.
+    DevWaitCredit {
+        pack: Completion,
+    },
     Done,
     Failed(MpiError),
 }
@@ -378,6 +389,10 @@ struct SendState {
     total: usize,
     /// Envelope of the original RTS (for retransmission).
     env: Envelope,
+    /// Device-GPU advert carried on the RTS (and its retransmissions):
+    /// `Some` only toward a co-located peer when the source is device
+    /// memory.
+    dev_gpu: Option<u32>,
     source: Box<dyn SendSource>,
     /// Start of the user buffer when it is host-contiguous (direct path).
     direct_ptr: Option<HostPtr>,
@@ -446,6 +461,21 @@ enum RecvPhase {
         timer: Option<RetryTimer>,
     },
     Staged(StagedRecv, Envelope),
+    /// Device path: CTS-dev sent, waiting for the sender's FIN-dev naming
+    /// its packed device tbuf. No timer — intra-node control is reliable.
+    DevWait {
+        env: Envelope,
+        total: usize,
+        send_req: ReqId,
+    },
+    /// Device path: scattering from the sender's tbuf on the shared GPU;
+    /// the credit goes out when the unpack completion lands.
+    DevAbsorb {
+        comp: Completion,
+        env: Envelope,
+        total: usize,
+        send_req: ReqId,
+    },
     Done(RecvStatus),
     Failed(MpiError),
 }
@@ -473,6 +503,7 @@ enum Unexpected {
         total: usize,
         send_req: ReqId,
         direct_capable: bool,
+        dev_gpu: Option<u32>,
     },
 }
 
@@ -497,6 +528,12 @@ pub(crate) struct Engine {
     pub nic: Nic,
     pub cfg: MpiConfig,
     pub counters: CallCounters,
+    /// Per-peer data path, chosen once from the fabric topology: shared
+    /// memory toward co-located peers, RDMA toward everyone else (and for
+    /// self-sends). The protocol state machines never look inside.
+    transports: Vec<Box<dyn Transport>>,
+    /// `colocated[p]`: peer `p` is a *different* rank on this rank's node.
+    colocated: Vec<bool>,
     stagers: Arc<Vec<Box<dyn BufferStager>>>,
     /// True when the fabric injects faults; every retry timer and
     /// duplicate-tolerance path is gated on this.
@@ -580,12 +617,19 @@ impl Engine {
         let counters = CallCounters::new();
         rec.register_counters(&format!("rank{rank}"), &counters);
         let trace = ProtoTrace::new(rec, rank);
+        let transports: Vec<Box<dyn Transport>> =
+            (0..size).map(|dst| transport_for(&nic, dst)).collect();
+        let colocated: Vec<bool> = (0..size)
+            .map(|dst| dst != rank && nic.colocated(dst))
+            .collect();
         Engine {
             rank,
             size,
             nic,
             cfg,
             counters,
+            transports,
+            colocated,
             stagers,
             faulty,
             next_req: 1,
@@ -639,6 +683,16 @@ impl Engine {
 
     fn retry_timer(&self) -> Option<RetryTimer> {
         self.faulty.then(|| RetryTimer::new(&self.cfg.retry))
+    }
+
+    /// Eager/rendezvous switchover toward `peer`: co-located peers use the
+    /// (usually larger) shared-memory limit, everyone else the wire limit.
+    fn eager_limit_for(&self, peer: usize) -> usize {
+        if self.colocated[peer] {
+            self.cfg.shm_eager_limit
+        } else {
+            self.cfg.eager_limit
+        }
     }
 
     fn make_source(&self, buf: &Loc, count: usize, dt: &Datatype) -> Box<dyn SendSource> {
@@ -732,7 +786,7 @@ impl Engine {
             tag,
         };
         let id = self.alloc_req();
-        if total <= self.cfg.eager_limit {
+        if total <= self.eager_limit_for(dst) {
             let data = source.pack_eager();
             let wire = data.len() + 64;
             self.nic
@@ -743,6 +797,7 @@ impl Engine {
                     dst,
                     total,
                     env,
+                    dev_gpu: None,
                     source,
                     direct_ptr: None,
                     direct_failed: false,
@@ -751,6 +806,13 @@ impl Engine {
             );
         } else {
             let direct_ptr = Self::contiguous_host_ptr(&buf, count, dt);
+            // Advertise the device path only toward a co-located peer: a
+            // remote receiver can never read this GPU's memory directly.
+            let dev_gpu = if self.colocated[dst] {
+                source.device_gpu()
+            } else {
+                None
+            };
             self.trace.proto.instant_now("rts");
             self.nic.send_ctrl(
                 dst,
@@ -759,6 +821,7 @@ impl Engine {
                     total,
                     send_req: id,
                     direct_capable: direct_ptr.is_some(),
+                    dev_gpu,
                 }),
             );
             self.sends.insert(
@@ -767,6 +830,7 @@ impl Engine {
                     dst,
                     total,
                     env,
+                    dev_gpu,
                     source,
                     direct_ptr,
                     direct_failed: false,
@@ -824,7 +888,8 @@ impl Engine {
                     total,
                     send_req,
                     direct_capable,
-                } => self.match_rts(id, env, total, send_req, direct_capable),
+                    dev_gpu,
+                } => self.match_rts(id, env, total, send_req, direct_capable, dev_gpu),
             }
         } else {
             self.posted.push(id);
@@ -863,6 +928,7 @@ impl Engine {
         total: usize,
         send_req: ReqId,
         direct_capable: bool,
+        dev_gpu: Option<u32>,
     ) {
         let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
         if total > st.capacity {
@@ -877,6 +943,28 @@ impl Engine {
         }
         if self.faulty {
             self.matched_rts.insert((env.src, send_req), recv_id);
+        }
+        // Device rendezvous: both buffers live on the *same physical GPU*
+        // (the ranks share a node and its device). The sender packs into a
+        // device tbuf and this rank scatters straight from it — no host
+        // staging, no vbufs, no HCA.
+        if let Some(gpu) = dev_gpu {
+            if st.sink.device_gpu() == Some(gpu) {
+                st.phase = RecvPhase::DevWait {
+                    env,
+                    total,
+                    send_req,
+                };
+                self.trace.proto.instant_now("cts_dev");
+                self.nic.send_ctrl(
+                    env.src,
+                    Box::new(MpiPacket::CtsDev {
+                        send_req,
+                        recv_req: recv_id,
+                    }),
+                );
+                return;
+            }
         }
         if direct_capable {
             if let Some(ptr) = st.direct_ptr.clone() {
@@ -1143,14 +1231,13 @@ impl Engine {
 
     fn handle_packet(&mut self, src: usize, pkt: MpiPacket) {
         sim_core::sleep(SimDur::from_nanos(self.cfg.cpu.handle_pkt_ns));
-        let _ = src;
         match pkt {
             MpiPacket::Eager { env, data } => {
-                if data.len() > self.cfg.eager_limit {
+                let limit = self.eager_limit_for(src);
+                if data.len() > limit {
                     san::report_protocol(format!(
-                        "eager payload of {} bytes exceeds the eager limit of {} bytes",
+                        "eager payload of {} bytes exceeds the eager limit of {limit} bytes",
                         data.len(),
-                        self.cfg.eager_limit
                     ));
                 }
                 if let Some(recv_id) = self.find_posted(&env) {
@@ -1164,6 +1251,7 @@ impl Engine {
                 total,
                 send_req,
                 direct_capable,
+                dev_gpu,
             } => {
                 if self.faulty {
                     // Retransmit tolerance: an RTS we have already seen must
@@ -1187,13 +1275,14 @@ impl Engine {
                     }
                 }
                 if let Some(recv_id) = self.find_posted(&env) {
-                    self.match_rts(recv_id, env, total, send_req, direct_capable);
+                    self.match_rts(recv_id, env, total, send_req, direct_capable, dev_gpu);
                 } else {
                     self.unexpected.push_back(Unexpected::Rts {
                         env,
                         total,
                         send_req,
                         direct_capable,
+                        dev_gpu,
                     });
                 }
             }
@@ -1337,7 +1426,7 @@ impl Engine {
                     }
                     Ok(_) => {
                         let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
-                        let rdma = self.nic.rdma_write(st.dst, key, offset, &ptr, st.total);
+                        let rdma = self.transports[st.dst].write(key, offset, &ptr, st.total);
                         // On a reliable fabric the FIN departs right behind
                         // the write (same engine, ordered); under faults it
                         // waits for the CQE so a failed write is never
@@ -1603,6 +1692,96 @@ impl Engine {
                     note(&self.counters, &self.trace, "dup.direct_abort");
                 }
             }
+            MpiPacket::CtsDev { send_req, recv_req } => {
+                // Device-path control travels the intra-node shm channel,
+                // which never drops or reorders — protocol violations stay
+                // hard panics even on fault-injecting fabrics.
+                let Some(st) = self.sends.get_mut(&send_req) else {
+                    san::report_protocol(format!(
+                        "device CTS for unknown send request #{send_req}"
+                    ));
+                    panic!("CtsDev for unknown send");
+                };
+                if !matches!(st.phase, SendPhase::WaitCts { .. }) {
+                    san::report_protocol(format!(
+                        "device CTS for send request #{send_req} that is not awaiting CTS"
+                    ));
+                    panic!("CtsDev for a send not in WaitCts phase");
+                }
+                let (ptr, pack) = st
+                    .source
+                    .stage_device()
+                    .expect("device CTS for a send without a device source");
+                let dst = st.dst;
+                let total = st.total;
+                // The FIN-dev goes out immediately: the pack completion
+                // rides inside it, so the receiver's unpack stream orders
+                // itself after the pack (simulated CUDA IPC event).
+                self.trace.proto.instant_now("fin_dev");
+                self.nic.send_ctrl(
+                    dst,
+                    Box::new(MpiPacket::FinDev {
+                        recv_req,
+                        ptr,
+                        total,
+                        ready: pack.clone(),
+                    }),
+                );
+                let st = self.sends.get_mut(&send_req).expect("send state missing");
+                st.phase = SendPhase::DevWaitCredit { pack };
+            }
+            MpiPacket::FinDev {
+                recv_req,
+                ptr,
+                total,
+                ready,
+            } => {
+                let Some(st) = self.recvs.get_mut(&recv_req) else {
+                    san::report_protocol(format!(
+                        "device FIN for unknown receive request #{recv_req}"
+                    ));
+                    panic!("FinDev for unknown recv");
+                };
+                let RecvPhase::DevWait {
+                    env,
+                    total: expected,
+                    send_req,
+                } = &st.phase
+                else {
+                    san::report_protocol(format!(
+                        "device FIN for receive request #{recv_req} that is not in the \
+                         device rendezvous phase (protocol state machine violation)"
+                    ));
+                    panic!("FinDev for a receive not in device phase");
+                };
+                assert_eq!(total, *expected, "device FIN announces a different size");
+                let (env, send_req) = (*env, *send_req);
+                let comp = st
+                    .sink
+                    .absorb_device(ptr, total, &ready)
+                    .expect("device FIN for a sink without device support");
+                st.phase = RecvPhase::DevAbsorb {
+                    comp,
+                    env,
+                    total,
+                    send_req,
+                };
+            }
+            MpiPacket::CreditDev { send_req } => {
+                let Some(st) = self.sends.get_mut(&send_req) else {
+                    san::report_protocol(format!(
+                        "device credit for unknown send request #{send_req}"
+                    ));
+                    panic!("CreditDev for unknown send");
+                };
+                if !matches!(st.phase, SendPhase::DevWaitCredit { .. }) {
+                    san::report_protocol(format!(
+                        "device credit for send request #{send_req} that is not awaiting one"
+                    ));
+                    panic!("CreditDev for a send not in DevWaitCredit phase");
+                }
+                st.phase = SendPhase::Done;
+            }
         }
     }
 
@@ -1653,6 +1832,9 @@ impl Engine {
         let mut failed: Option<MpiError> = None;
         match &mut st.phase {
             SendPhase::Done | SendPhase::Failed(_) => {}
+            // Nothing to drive: the receiver reads the device tbuf and its
+            // credit arrives through the mailbox.
+            SendPhase::DevWaitCredit { .. } => {}
             SendPhase::WaitCts { timer } => {
                 // Only armed on faulty fabrics: retransmit the RTS.
                 if let Some(t) = timer {
@@ -1667,6 +1849,7 @@ impl Engine {
                                     total: st.total,
                                     send_req: id,
                                     direct_capable,
+                                    dev_gpu: st.dev_gpu,
                                 }),
                             );
                         } else {
@@ -1691,12 +1874,13 @@ impl Engine {
                         } else {
                             d.attempts += 1;
                             note(&self.counters, &self.trace, "retry.rdma_direct");
-                            d.rdma = self
-                                .nic
-                                .rdma_write(st.dst, d.peer_key, d.peer_off, &d.ptr, st.total);
+                            d.rdma = self.transports[st.dst]
+                                .write(d.peer_key, d.peer_off, &d.ptr, st.total);
                         }
                     } else {
-                        self.trace.rdma.comp_span("rdma", None, &d.rdma);
+                        self.trace
+                            .rdma
+                            .comp_span(self.transports[st.dst].name(), None, &d.rdma);
                         if !d.fin_sent {
                             self.nic.send_ctrl(
                                 st.dst,
@@ -1757,8 +1941,7 @@ impl Engine {
                     );
                     ss.slots[slot].free = false;
                     ss.slots[slot].occupant = Some(i);
-                    let comp = self.nic.rdma_write(
-                        ss.dst,
+                    let comp = self.transports[ss.dst].write(
                         ss.slots[slot].desc.key,
                         0,
                         &vbuf.buf.base(),
@@ -1814,8 +1997,7 @@ impl Engine {
                         }
                         c.attempts += 1;
                         note(&self.counters, &self.trace, "retry.chunk_rdma");
-                        c.comp = self.nic.rdma_write(
-                            ss.dst,
+                        c.comp = self.transports[ss.dst].write(
                             ss.slots[c.slot].desc.key,
                             0,
                             &c.vbuf.buf.base(),
@@ -1825,9 +2007,11 @@ impl Engine {
                         continue;
                     }
                     let done = ss.inflight.swap_remove(i);
-                    self.trace
-                        .rdma
-                        .comp_span("rdma", Some(done.chunk), &done.comp);
+                    self.trace.rdma.comp_span(
+                        self.transports[ss.dst].name(),
+                        Some(done.chunk),
+                        &done.comp,
+                    );
                     if self.faulty {
                         self.nic.send_ctrl(
                             ss.dst,
@@ -2024,6 +2208,32 @@ impl Engine {
         let Some(st) = self.recvs.get_mut(&id) else {
             return;
         };
+        // Device path: the scatter from the shared GPU finished — credit
+        // the sender's tbuf and complete.
+        if let RecvPhase::DevAbsorb {
+            comp,
+            env,
+            total,
+            send_req,
+        } = &st.phase
+        {
+            if !comp.poll() {
+                return;
+            }
+            let (env, total, send_req) = (*env, *total, *send_req);
+            st.phase = RecvPhase::Done(RecvStatus {
+                src: env.src,
+                tag: env.tag,
+                bytes: total,
+            });
+            self.nic
+                .send_ctrl(env.src, Box::new(MpiPacket::CreditDev { send_req }));
+            if self.faulty {
+                self.matched_rts.remove(&(env.src, send_req));
+                self.done_rts.insert((env.src, send_req), ());
+            }
+            return;
+        }
         let RecvPhase::Staged(sr, env) = &mut st.phase else {
             return;
         };
@@ -2219,6 +2429,7 @@ impl Engine {
             match &s.phase {
                 SendPhase::WaitCts { timer: Some(t) } => consider(Some(t.deadline)),
                 SendPhase::Direct(d) => consider(d.rdma.done_at()),
+                SendPhase::DevWaitCredit { pack } => consider(pack.done_at()),
                 SendPhase::Staged(ss) => {
                     for c in &ss.inflight {
                         consider(c.comp.done_at());
@@ -2234,6 +2445,7 @@ impl Engine {
             consider(r.sink.next_event());
             match &r.phase {
                 RecvPhase::WaitDirect { timer: Some(t), .. } => consider(Some(t.deadline)),
+                RecvPhase::DevAbsorb { comp, .. } => consider(comp.done_at()),
                 RecvPhase::Staged(sr, _) => {
                     if let Some(t) = &sr.timer {
                         consider(Some(t.deadline));

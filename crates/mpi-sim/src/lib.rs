@@ -46,6 +46,7 @@ pub mod pack;
 pub mod plan;
 mod proto;
 pub mod staging;
+mod transport;
 mod tuner;
 mod world;
 
@@ -53,9 +54,9 @@ pub use coll::ReduceOp;
 pub use comm::Comm;
 pub use datatype::{Datatype, SubarrayOrder};
 pub use engine::{RecvStatus, Request, SrcSel, TagSel, ANY_SOURCE, ANY_TAG};
-pub use ib_sim::FaultSpec;
+pub use ib_sim::{FaultSpec, Topology};
 pub use pack::CpuModel;
 pub use plan::{Plan, PlanCacheStats};
-pub use proto::{ChunkPolicy, MpiConfig, MpiError, RetryConfig};
+pub use proto::{ChunkPolicy, ConfigError, MpiConfig, MpiError, RetryConfig};
 pub use staging::{BufferStager, RecvSink, SendSource};
 pub use world::MpiWorld;

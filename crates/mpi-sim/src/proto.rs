@@ -47,6 +47,11 @@ pub(crate) enum MpiPacket {
         /// Sender's buffer is contiguous host memory, so a direct R-PUT is
         /// possible if the receiver's is too.
         direct_capable: bool,
+        /// Set when the send buffer is device memory on a GPU the receiver
+        /// might share (the sender is co-located with the receiver): the id
+        /// of that GPU. A receiver sinking into the same GPU answers with
+        /// [`MpiPacket::CtsDev`] and the transfer stays on the device.
+        dev_gpu: Option<u32>,
     },
     /// Clear To Send, staged path: a window of vbuf slots.
     Cts {
@@ -91,6 +96,24 @@ pub(crate) enum MpiPacket {
     /// buffer (pin limit), so it abandons the R-PUT; the receiver must fall
     /// back to granting a staged window.
     DirectAbort { recv_req: ReqId, send_req: ReqId },
+    /// Device path (co-located ranks sharing one GPU): the receiver sinks
+    /// into the same GPU the sender advertised in `Rts::dev_gpu` — skip
+    /// host staging entirely; the sender should pack into a device tbuf
+    /// (D2D) and announce it.
+    CtsDev { send_req: ReqId, recv_req: ReqId },
+    /// Device path: the sender's packed bytes sit at `ptr` on the shared
+    /// GPU (`ready` is the pack completion — the receiver's unpack stream
+    /// waits on it, the simulated analogue of a CUDA IPC event). The
+    /// receiver scatters straight from there.
+    FinDev {
+        recv_req: ReqId,
+        ptr: gpu_sim::DevPtr,
+        total: usize,
+        ready: sim_core::Completion,
+    },
+    /// Device path: the receiver is done reading the sender's device tbuf;
+    /// the sender may reuse or free it.
+    CreditDev { send_req: ReqId },
 }
 
 /// How the staging chunk (pipeline block) size is chosen per transfer.
@@ -180,6 +203,133 @@ impl std::fmt::Display for MpiError {
 
 impl std::error::Error for MpiError {}
 
+/// A rejected [`MpiConfig`]: which invariant failed and with what values.
+/// [`MpiConfig::try_validate`] returns these;
+/// [`MpiConfig::validate`] panics with their [`Display`](std::fmt::Display)
+/// text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `chunk_size == 0`.
+    ZeroChunkSize,
+    /// `window_slots == 0`.
+    ZeroWindowSlots,
+    /// `pool_vbufs < window_slots`.
+    PoolSmallerThanWindow {
+        /// Configured pool size.
+        pool_vbufs: usize,
+        /// Configured window.
+        window_slots: usize,
+    },
+    /// `pool_vbufs < 2` (the pool is split into send/recv halves).
+    PoolTooSmall {
+        /// Configured pool size.
+        pool_vbufs: usize,
+    },
+    /// `reg_cache_entries == 0`.
+    ZeroRegCache,
+    /// `retry.timeout_ns == 0`.
+    ZeroRetryTimeout,
+    /// `retry.max_retries == 0`.
+    ZeroRetryBudget,
+    /// Adaptive policy with `min_block == 0` or `min_block > max_block`.
+    BadAdaptiveRange {
+        /// Configured lower bound.
+        min_block: usize,
+        /// Configured upper bound.
+        max_block: usize,
+    },
+    /// `ppn == 0`.
+    ZeroPpn,
+    /// `shm_eager_limit < eager_limit`: a co-located peer would get a
+    /// *smaller* eager window than a remote one, which inverts the point of
+    /// the shm channel.
+    ShmEagerBelowEager {
+        /// Configured intra-node eager limit.
+        shm_eager_limit: usize,
+        /// Configured inter-node eager limit.
+        eager_limit: usize,
+    },
+    /// `ppn` does not evenly divide the world size (checked at world
+    /// construction, when the rank count is known).
+    PpnDoesNotDivide {
+        /// Configured processes per node.
+        ppn: usize,
+        /// World size.
+        nranks: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroChunkSize => write!(
+                f,
+                "chunk_size must be nonzero (a staged transfer could never make progress)"
+            ),
+            ConfigError::ZeroWindowSlots => write!(
+                f,
+                "window_slots must be nonzero (the receiver could never grant a CTS window)"
+            ),
+            ConfigError::PoolSmallerThanWindow {
+                pool_vbufs,
+                window_slots,
+            } => write!(
+                f,
+                "pool_vbufs ({pool_vbufs}) must be >= window_slots ({window_slots}), or a \
+                 staged transfer could never fill its window"
+            ),
+            ConfigError::PoolTooSmall { pool_vbufs } => write!(
+                f,
+                "pool_vbufs ({pool_vbufs}) must be >= 2 — the pool is split into send and \
+                 receive halves (pool_vbufs/2 each side), and either half being empty deadlocks \
+                 every staged transfer on that side"
+            ),
+            ConfigError::ZeroRegCache => write!(
+                f,
+                "reg_cache_entries must be >= 1 (a rendezvous transfer needs its own \
+                 registration live while in flight)"
+            ),
+            ConfigError::ZeroRetryTimeout => write!(
+                f,
+                "retry.timeout_ns must be nonzero (a zero timeout retransmits forever \
+                 in zero virtual time)"
+            ),
+            ConfigError::ZeroRetryBudget => write!(
+                f,
+                "retry.max_retries must be >= 1 (a zero budget fails every rendezvous \
+                 on the first lost packet)"
+            ),
+            ConfigError::BadAdaptiveRange {
+                min_block,
+                max_block,
+            } => write!(
+                f,
+                "adaptive policy needs 0 < min_block <= max_block \
+                 (got min_block {min_block}, max_block {max_block})"
+            ),
+            ConfigError::ZeroPpn => {
+                write!(f, "ppn must be >= 1 (every rank lives on some node)")
+            }
+            ConfigError::ShmEagerBelowEager {
+                shm_eager_limit,
+                eager_limit,
+            } => write!(
+                f,
+                "shm_eager_limit ({shm_eager_limit}) must be >= eager_limit ({eager_limit}) — \
+                 the shm channel is cheaper than the wire, so co-located peers must get at \
+                 least the inter-node eager window"
+            ),
+            ConfigError::PpnDoesNotDivide { ppn, nranks } => write!(
+                f,
+                "ppn ({ppn}) must evenly divide the world size ({nranks}) so every node \
+                 hosts the same number of ranks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Tunables of the simulated MPI library.
 #[derive(Clone, Debug)]
 pub struct MpiConfig {
@@ -207,6 +357,15 @@ pub struct MpiConfig {
     /// finishes its RDMA write instead of returning it to the pool, so the
     /// sanitizer's pool reconciliation has a leak to find.
     pub fault_leak_vbuf: bool,
+    /// Processes per node: ranks `[k*ppn, (k+1)*ppn)` share node `k` (its
+    /// HCA, shm channel and GPU). Must evenly divide the world size. The
+    /// default, 1, is the classic one-rank-per-node layout and is
+    /// bit-identical to the pre-topology simulator.
+    pub ppn: usize,
+    /// Largest message sent eagerly *between co-located ranks*, bytes. The
+    /// shm channel has no wire or vbuf pressure, so its eager window can be
+    /// (and defaults to) larger than [`eager_limit`](MpiConfig::eager_limit).
+    pub shm_eager_limit: usize,
 }
 
 impl Default for MpiConfig {
@@ -221,6 +380,8 @@ impl Default for MpiConfig {
             retry: RetryConfig::default(),
             reg_cache_entries: 1024,
             fault_leak_vbuf: false,
+            ppn: 1,
+            shm_eager_limit: 32 << 10,
         }
     }
 }
@@ -245,60 +406,81 @@ impl MpiConfig {
         }
     }
 
-    /// Check configuration invariants. Called at world construction; panics
-    /// with a clear message on an invalid configuration.
-    pub fn validate(&self) {
-        assert!(
-            self.chunk_size > 0,
-            "MpiConfig: chunk_size must be nonzero (a staged transfer could never make progress)"
-        );
-        assert!(
-            self.window_slots > 0,
-            "MpiConfig: window_slots must be nonzero (the receiver could never grant a CTS window)"
-        );
-        assert!(
-            self.pool_vbufs >= self.window_slots,
-            "MpiConfig: pool_vbufs ({}) must be >= window_slots ({}), or a staged transfer \
-             could never fill its window",
-            self.pool_vbufs,
-            self.window_slots
-        );
+    /// Check configuration invariants, returning the first violated one as
+    /// a typed [`ConfigError`].
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.chunk_size == 0 {
+            return Err(ConfigError::ZeroChunkSize);
+        }
+        if self.window_slots == 0 {
+            return Err(ConfigError::ZeroWindowSlots);
+        }
+        if self.pool_vbufs < self.window_slots {
+            return Err(ConfigError::PoolSmallerThanWindow {
+                pool_vbufs: self.pool_vbufs,
+                window_slots: self.window_slots,
+            });
+        }
         // The pool is split pool_vbufs/2 (send) / remainder (recv) at engine
         // construction; pool_vbufs: 1 would make the send half *empty* and
         // every staged send would deadlock waiting for a vbuf that cannot
         // exist.
-        assert!(
-            self.pool_vbufs >= 2,
-            "MpiConfig: pool_vbufs ({}) must be >= 2 — the pool is split into send and \
-             receive halves (pool_vbufs/2 each side), and either half being empty deadlocks \
-             every staged transfer on that side",
-            self.pool_vbufs
-        );
-        assert!(
-            self.reg_cache_entries >= 1,
-            "MpiConfig: reg_cache_entries must be >= 1 (a rendezvous transfer needs its own \
-             registration live while in flight)"
-        );
-        assert!(
-            self.retry.timeout_ns > 0,
-            "MpiConfig: retry.timeout_ns must be nonzero (a zero timeout retransmits forever \
-             in zero virtual time)"
-        );
-        assert!(
-            self.retry.max_retries >= 1,
-            "MpiConfig: retry.max_retries must be >= 1 (a zero budget fails every rendezvous \
-             on the first lost packet)"
-        );
+        if self.pool_vbufs < 2 {
+            return Err(ConfigError::PoolTooSmall {
+                pool_vbufs: self.pool_vbufs,
+            });
+        }
+        if self.reg_cache_entries < 1 {
+            return Err(ConfigError::ZeroRegCache);
+        }
+        if self.retry.timeout_ns == 0 {
+            return Err(ConfigError::ZeroRetryTimeout);
+        }
+        if self.retry.max_retries < 1 {
+            return Err(ConfigError::ZeroRetryBudget);
+        }
         if let ChunkPolicy::Adaptive {
             min_block,
             max_block,
         } = self.policy
         {
-            assert!(
-                min_block > 0 && min_block <= max_block,
-                "MpiConfig: adaptive policy needs 0 < min_block <= max_block \
-                 (got min_block {min_block}, max_block {max_block})"
-            );
+            if min_block == 0 || min_block > max_block {
+                return Err(ConfigError::BadAdaptiveRange {
+                    min_block,
+                    max_block,
+                });
+            }
+        }
+        if self.ppn == 0 {
+            return Err(ConfigError::ZeroPpn);
+        }
+        if self.shm_eager_limit < self.eager_limit {
+            return Err(ConfigError::ShmEagerBelowEager {
+                shm_eager_limit: self.shm_eager_limit,
+                eager_limit: self.eager_limit,
+            });
+        }
+        Ok(())
+    }
+
+    /// Like [`try_validate`](MpiConfig::try_validate), plus the topology
+    /// checks that need the world size: `ppn` must evenly divide `nranks`.
+    pub fn try_validate_topology(&self, nranks: usize) -> Result<(), ConfigError> {
+        self.try_validate()?;
+        if !nranks.is_multiple_of(self.ppn) {
+            return Err(ConfigError::PpnDoesNotDivide {
+                ppn: self.ppn,
+                nranks,
+            });
+        }
+        Ok(())
+    }
+
+    /// Check configuration invariants. Called at world construction; panics
+    /// with a clear message on an invalid configuration.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("MpiConfig: {e}");
         }
     }
 }
@@ -431,6 +613,65 @@ mod tests {
         assert!(
             s.contains("rts") && s.contains("rank 3") && s.contains("13"),
             "{s}"
+        );
+    }
+
+    #[test]
+    fn try_validate_returns_typed_errors() {
+        assert_eq!(MpiConfig::default().try_validate(), Ok(()));
+        let e = MpiConfig {
+            chunk_size: 0,
+            ..Default::default()
+        }
+        .try_validate()
+        .unwrap_err();
+        assert_eq!(e, ConfigError::ZeroChunkSize);
+        let e = MpiConfig {
+            window_slots: 8,
+            pool_vbufs: 4,
+            ..Default::default()
+        }
+        .try_validate()
+        .unwrap_err();
+        assert_eq!(
+            e,
+            ConfigError::PoolSmallerThanWindow {
+                pool_vbufs: 4,
+                window_slots: 8
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ppn must be >= 1")]
+    fn zero_ppn_is_rejected() {
+        MpiConfig {
+            ppn: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shm_eager_limit (1024) must be >= eager_limit (8192)")]
+    fn shm_eager_below_eager_is_rejected() {
+        MpiConfig {
+            shm_eager_limit: 1024,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn topology_validation_needs_divisible_ppn() {
+        let c = MpiConfig {
+            ppn: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.try_validate_topology(12), Ok(()));
+        assert_eq!(
+            c.try_validate_topology(16).unwrap_err(),
+            ConfigError::PpnDoesNotDivide { ppn: 3, nranks: 16 }
         );
     }
 

@@ -33,6 +33,18 @@ pub trait SendSource: Send {
     fn next_event(&self) -> Option<SimTime>;
     /// Pack the whole message at once (eager path).
     fn pack_eager(&mut self) -> Vec<u8>;
+    /// If this source is device memory: the GPU it lives on. Host sources
+    /// return `None`, which disables the device rendezvous path.
+    fn device_gpu(&self) -> Option<u32> {
+        None
+    }
+    /// Device path: pack the whole message into device memory on
+    /// [`device_gpu`](Self::device_gpu) and return (packed base, pack
+    /// completion). The pointer must stay valid until this source is
+    /// dropped. `None` if unsupported (host sources).
+    fn stage_device(&mut self) -> Option<(gpu_sim::DevPtr, sim_core::Completion)> {
+        None
+    }
 }
 
 /// Consumes the packed byte stream chunk by chunk from registered host
@@ -57,6 +69,24 @@ pub trait RecvSink: Send {
     fn next_event(&self) -> Option<SimTime>;
     /// Unpack a whole eager payload at once.
     fn unpack_eager(&mut self, data: &[u8]);
+    /// If this sink is device memory: the GPU it lives on. Host sinks
+    /// return `None`, which disables the device rendezvous path.
+    fn device_gpu(&self) -> Option<u32> {
+        None
+    }
+    /// Device path: scatter `total` packed bytes that sit at `src` on the
+    /// shared GPU into the user buffer, ordering the reads after `ready`
+    /// (the sender's pack completion). Returns the unpack completion, or
+    /// `None` if unsupported (host sinks).
+    fn absorb_device(
+        &mut self,
+        src: gpu_sim::DevPtr,
+        total: usize,
+        ready: &sim_core::Completion,
+    ) -> Option<sim_core::Completion> {
+        let _ = (src, total, ready);
+        None
+    }
 }
 
 /// Extension point: builds sources/sinks for buffer kinds this crate does

@@ -1,0 +1,124 @@
+//! The transport layer: how chunk bytes move between two endpoints.
+//!
+//! The rendezvous *protocol* (RTS/CTS matching, windows, credits, retries)
+//! lives in `engine.rs` and is transport-agnostic; everything that actually
+//! places bytes into a peer's registered region goes through a [`Transport`]
+//! chosen per peer at channel setup from the fabric's
+//! [`Topology`](ib_sim::Topology):
+//!
+//! * [`RdmaTransport`] — the existing RDMA-staged path: one-sided
+//!   `rdma_write` through the node's HCA onto the wire. Selected for every
+//!   remote peer (and for self-sends, preserving the pre-topology loopback
+//!   timing).
+//! * [`ShmTransport`] — the intra-node path: the node's shm copy engine
+//!   places bytes through shared pages, never touching the HCA. Selected
+//!   for co-located peers.
+//!
+//! The protocol cannot tell them apart: both expose the same
+//! write-into-`MrKey` contract and return a sender-side [`Completion`].
+
+use hostmem::HostPtr;
+use ib_sim::{MrKey, Nic};
+use sim_core::Completion;
+
+/// One peer's data path: writes packed bytes into the peer's registered
+/// memory and reports sender-side completion.
+pub(crate) trait Transport: Send {
+    /// Place `len` bytes from `src` at `(key, dst_offset)` on the peer.
+    fn write(&self, key: MrKey, dst_offset: usize, src: &HostPtr, len: usize) -> Completion;
+    /// Short label for trace spans (`"rdma"` or `"shm"`).
+    fn name(&self) -> &'static str;
+}
+
+/// The RDMA-staged data path (HCA + wire).
+pub(crate) struct RdmaTransport {
+    nic: Nic,
+    dst: usize,
+}
+
+impl Transport for RdmaTransport {
+    fn write(&self, key: MrKey, dst_offset: usize, src: &HostPtr, len: usize) -> Completion {
+        self.nic.rdma_write(self.dst, key, dst_offset, src, len)
+    }
+
+    fn name(&self) -> &'static str {
+        "rdma"
+    }
+}
+
+/// The intra-node shared-memory data path (node-local copy engine).
+pub(crate) struct ShmTransport {
+    nic: Nic,
+    dst: usize,
+}
+
+impl Transport for ShmTransport {
+    fn write(&self, key: MrKey, dst_offset: usize, src: &HostPtr, len: usize) -> Completion {
+        self.nic.shm_write(self.dst, key, dst_offset, src, len)
+    }
+
+    fn name(&self) -> &'static str {
+        "shm"
+    }
+}
+
+/// Pick the data path for peer `dst` as seen from `nic`'s endpoint: shared
+/// memory iff the two endpoints are distinct and co-located. A rank's
+/// self-sends keep the HCA loopback path so the ppn=1 topology stays
+/// bit-identical to the pre-topology engine.
+pub(crate) fn transport_for(nic: &Nic, dst: usize) -> Box<dyn Transport> {
+    if dst != nic.endpoint() && nic.colocated(dst) {
+        Box::new(ShmTransport {
+            nic: nic.clone(),
+            dst,
+        })
+    } else {
+        Box::new(RdmaTransport {
+            nic: nic.clone(),
+            dst,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_sim::{Fabric, NetModel, ShmModel, Topology};
+
+    #[test]
+    fn selection_follows_topology() {
+        let topo = Topology::uniform(2, 2); // ranks 0,1 on node 0; 2,3 on node 1
+        let fabric = Fabric::with_topology(topo, NetModel::qdr(), ShmModel::westmere(), None);
+        let nic = fabric.nic(0);
+        assert_eq!(transport_for(&nic, 0).name(), "rdma"); // self: loopback
+        assert_eq!(transport_for(&nic, 1).name(), "shm"); // co-located
+        assert_eq!(transport_for(&nic, 2).name(), "rdma"); // remote
+        assert_eq!(transport_for(&nic, 3).name(), "rdma");
+    }
+
+    #[test]
+    fn both_transports_honor_the_same_mr_contract() {
+        use hostmem::HostBuf;
+        let sim = sim_core::Sim::new();
+        let topo = Topology::from_map(vec![0, 0, 1]);
+        let fabric = Fabric::with_topology(topo, NetModel::qdr(), ShmModel::westmere(), None);
+        let shm_dst = HostBuf::alloc(32);
+        let rdma_dst = HostBuf::alloc(32);
+        let shm_key = fabric.nic(1).register(&shm_dst);
+        let rdma_key = fabric.nic(2).register(&rdma_dst);
+        {
+            let nic = fabric.nic(0);
+            let (s2, r2) = (shm_dst.clone(), rdma_dst.clone());
+            sim.spawn("writer", move || {
+                let src = HostBuf::from_vec((0..32).collect());
+                nic.register(&src);
+                let a = transport_for(&nic, 1).write(shm_key, 0, &src.base(), 32);
+                let b = transport_for(&nic, 2).write(rdma_key, 0, &src.base(), 32);
+                a.wait();
+                b.wait();
+                assert_eq!(s2.read(0, 32), r2.read(0, 32));
+            });
+        }
+        sim.run();
+    }
+}

@@ -3,16 +3,21 @@
 
 use std::sync::Arc;
 
-use ib_sim::{Fabric, FaultSpec, NetModel};
+use ib_sim::{Fabric, FaultSpec, NetModel, ShmModel, Topology};
 use sim_core::{Report, SanitizerMode, Sim, SimTime};
 
 use crate::comm::Comm;
 use crate::proto::MpiConfig;
 
-/// A simulated MPI job on a cluster of `n` single-process nodes.
+/// A simulated MPI job on a cluster of nodes. By default each rank gets
+/// its own node (ppn = 1); [`with_ppn`](MpiWorld::with_ppn) or
+/// [`with_topology`](MpiWorld::with_topology) place several ranks per node,
+/// where they share one HCA and talk over the shared-memory channel.
 pub struct MpiWorld {
     n: usize,
     net: NetModel,
+    shm: ShmModel,
+    topo: Option<Topology>,
     cfg: MpiConfig,
     sanitizer: SanitizerMode,
     faults: Option<FaultSpec>,
@@ -25,11 +30,35 @@ impl MpiWorld {
         MpiWorld {
             n,
             net: NetModel::qdr(),
+            shm: ShmModel::westmere(),
+            topo: None,
             cfg: MpiConfig::default(),
             sanitizer: SanitizerMode::Off,
             faults: None,
             recorder: None,
         }
+    }
+
+    /// Place `ppn` consecutive ranks on each node (blocked mapping: ranks
+    /// `[k*ppn, (k+1)*ppn)` share node `k`). `ppn` must evenly divide the
+    /// world size; checked at job launch.
+    pub fn with_ppn(mut self, ppn: usize) -> Self {
+        self.cfg.ppn = ppn;
+        self
+    }
+
+    /// Use an explicit rank→node map instead of the blocked `ppn` layout
+    /// (e.g. a round-robin placement). Overrides
+    /// [`with_ppn`](MpiWorld::with_ppn).
+    pub fn with_topology(mut self, topo: Topology) -> Self {
+        self.topo = Some(topo);
+        self
+    }
+
+    /// Override the intra-node shared-memory channel cost model.
+    pub fn with_shm(mut self, shm: ShmModel) -> Self {
+        self.shm = shm;
+        self
     }
 
     /// Record the job onto `rec`: every rank's protocol engine and every
@@ -84,7 +113,26 @@ impl MpiWorld {
     {
         let sim = Sim::new();
         sim.set_sanitizer(self.sanitizer);
-        let fabric = Fabric::with_faults(self.n, self.net.clone(), self.faults.clone());
+        if let Err(e) = self.cfg.try_validate_topology(self.n) {
+            panic!("MpiConfig: {e}");
+        }
+        let topo = self
+            .topo
+            .clone()
+            .unwrap_or_else(|| Topology::uniform(self.n / self.cfg.ppn, self.cfg.ppn));
+        assert_eq!(
+            topo.num_ranks(),
+            self.n,
+            "topology places {} endpoint(s) but the job has {} rank(s)",
+            topo.num_ranks(),
+            self.n
+        );
+        let fabric = Fabric::with_topology(
+            topo,
+            self.net.clone(),
+            self.shm.clone(),
+            self.faults.clone(),
+        );
         let rec = self
             .recorder
             .clone()
@@ -435,6 +483,132 @@ mod tests {
             })
         };
         assert_eq!(run(), run(), "simulation must be deterministic");
+    }
+
+    #[test]
+    fn intra_node_messages_never_touch_the_hca() {
+        // Two ranks on one node: eager and staged-rendezvous traffic both
+        // ride the shm channel; the node's HCA transmits nothing.
+        let rec = sim_trace::Recorder::new();
+        MpiWorld::new(2)
+            .with_ppn(2)
+            .with_recorder(rec.clone())
+            .run(|comm| {
+                let t = Datatype::byte();
+                t.commit();
+                if comm.rank() == 0 {
+                    let small = HostBuf::from_vec(vec![7u8; 64]);
+                    comm.send(small.base(), 64, &t, 1, 0);
+                    let big = HostBuf::from_vec((0..300 << 10).map(|i| (i % 251) as u8).collect());
+                    comm.send(big.base(), 300 << 10, &t, 1, 1);
+                } else {
+                    let small = HostBuf::alloc(64);
+                    comm.recv(small.base(), 64, &t, 0, 0);
+                    assert_eq!(small.read(0, 64), vec![7u8; 64]);
+                    let big = HostBuf::alloc(300 << 10);
+                    let st = comm.recv(big.base(), 300 << 10, &t, 0, 1);
+                    assert_eq!(st.bytes, 300 << 10);
+                    assert!((0..300 << 10).all(|i| big.read(i, 1)[0] == (i % 251) as u8));
+                }
+            });
+        let m = rec.metrics();
+        assert_eq!(
+            m.get("node0.hca.tx_bytes").copied().unwrap_or(0),
+            0,
+            "intra-node traffic leaked onto the HCA"
+        );
+        assert!(
+            m.get("node0.shm.bytes").copied().unwrap_or(0) >= 300 << 10,
+            "shm channel carried less than the payload"
+        );
+    }
+
+    #[test]
+    fn mixed_topology_delivers_across_and_within_nodes() {
+        // 4 ranks on 2 nodes: rank 0↔1 intra-node, 0↔2 inter-node; every
+        // pairing must deliver identical bytes.
+        MpiWorld::new(4).with_ppn(2).run(|comm| {
+            let t = Datatype::byte();
+            t.commit();
+            let n = 200 << 10;
+            let me = comm.rank();
+            let peer = me ^ 1; // intra-node partner
+            let far = me ^ 2; // inter-node partner
+            let sendbuf = HostBuf::from_vec(vec![me as u8 + 1; n]);
+            let r1buf = HostBuf::alloc(n);
+            let r2buf = HostBuf::alloc(n);
+            let reqs = vec![
+                comm.irecv(r1buf.base(), n, &t, peer, 1u32),
+                comm.irecv(r2buf.base(), n, &t, far, 2u32),
+                comm.isend(sendbuf.base(), n, &t, peer, 1),
+                comm.isend(sendbuf.base(), n, &t, far, 2),
+            ];
+            comm.waitall(reqs);
+            assert_eq!(r1buf.read(0, n), vec![peer as u8 + 1; n]);
+            assert_eq!(r2buf.read(0, n), vec![far as u8 + 1; n]);
+        });
+    }
+
+    #[test]
+    fn round_robin_topology_is_honored() {
+        // Explicit map: ranks 0,2 on node 0; 1,3 on node 1 — the shm pairs
+        // differ from the blocked layout.
+        let rec = sim_trace::Recorder::new();
+        MpiWorld::new(4)
+            .with_topology(Topology::from_map(vec![0, 1, 0, 1]))
+            .with_recorder(rec.clone())
+            .run(|comm| {
+                let t = Datatype::byte();
+                t.commit();
+                let me = comm.rank();
+                let peer = me ^ 2; // co-located under round-robin
+                let n = 100 << 10;
+                let sendbuf = HostBuf::from_vec(vec![me as u8; n]);
+                let recvbuf = HostBuf::alloc(n);
+                let reqs = vec![
+                    comm.irecv(recvbuf.base(), n, &t, peer, 0u32),
+                    comm.isend(sendbuf.base(), n, &t, peer, 0),
+                ];
+                comm.waitall(reqs);
+                assert_eq!(recvbuf.read(0, n), vec![peer as u8; n]);
+            });
+        let m = rec.metrics();
+        for node in 0..2 {
+            assert_eq!(
+                m.get(&format!("node{node}.hca.tx_bytes"))
+                    .copied()
+                    .unwrap_or(0),
+                0,
+                "co-located traffic crossed node {node}'s HCA"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must evenly divide the world size")]
+    fn indivisible_ppn_is_rejected_at_launch() {
+        MpiWorld::new(3).with_ppn(2).run(|_| {});
+    }
+
+    #[test]
+    fn ppn_default_matches_explicit_one_rank_per_node() {
+        let run = |w: MpiWorld| {
+            w.run(|comm| {
+                let t = Datatype::byte();
+                t.commit();
+                let peer = comm.rank() ^ 1;
+                let n = 150 << 10;
+                let sendbuf = HostBuf::from_vec(vec![3u8; n]);
+                let recvbuf = HostBuf::alloc(n);
+                let reqs = vec![
+                    comm.irecv(recvbuf.base(), n, &t, peer, 0u32),
+                    comm.isend(sendbuf.base(), n, &t, peer, 0),
+                ];
+                comm.waitall(reqs);
+            })
+        };
+        // The topology refactor must not move a single event at ppn = 1.
+        assert_eq!(run(MpiWorld::new(2)), run(MpiWorld::new(2).with_ppn(1)));
     }
 
     #[test]

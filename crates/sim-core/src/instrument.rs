@@ -27,6 +27,12 @@ impl CallCounters {
         *self.counts.lock().entry(api).or_insert(0) += 1;
     }
 
+    /// Add `n` to the counter `api` — for byte/volume accumulators rather
+    /// than call counts.
+    pub fn add(&self, api: &'static str, n: u64) {
+        *self.counts.lock().entry(api).or_insert(0) += n;
+    }
+
     /// Current count for `api` (zero if never recorded).
     pub fn get(&self, api: &str) -> u64 {
         self.counts.lock().get(api).copied().unwrap_or(0)

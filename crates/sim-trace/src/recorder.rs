@@ -20,6 +20,8 @@ pub enum LaneKind {
     GpuEngine,
     /// An HCA transmit engine (serialization onto the wire).
     Hca,
+    /// A node's intra-node shared-memory copy engine.
+    Shm,
     /// A rank's MPI progress/protocol engine (state transitions, retries).
     Proto,
     /// A pipeline stage carrying per-chunk spans (pack, d2h, rdma, h2d,
@@ -35,6 +37,7 @@ impl LaneKind {
         match self {
             LaneKind::GpuEngine => "gpu",
             LaneKind::Hca => "hca",
+            LaneKind::Shm => "shm",
             LaneKind::Proto => "proto",
             LaneKind::Stage => "stage",
             LaneKind::Gauge => "gauge",

@@ -97,9 +97,25 @@ pub fn run_stencil_traced<T: Real>(
     faults: Option<FaultSpec>,
     recorder: Option<Recorder>,
 ) -> (StencilOutcome, Vec<Report>) {
+    run_stencil_topo::<T>(p, variant, opts, sanitizer, faults, recorder, 1)
+}
+
+/// Like [`run_stencil_traced`], placing `ppn` consecutive ranks on each
+/// node (blocked mapping). Co-located ranks share the node's GPU and HCA
+/// and exchange halos over the intra-node shared-memory channel.
+#[allow(clippy::too_many_arguments)]
+pub fn run_stencil_topo<T: Real>(
+    p: StencilParams,
+    variant: Variant,
+    opts: RunOptions,
+    sanitizer: SanitizerMode,
+    faults: Option<FaultSpec>,
+    recorder: Option<Recorder>,
+    ppn: usize,
+) -> (StencilOutcome, Vec<Report>) {
     let reports: Arc<Mutex<Vec<RankReport>>> = Arc::new(Mutex::new(Vec::new()));
     let collector = Arc::clone(&reports);
-    let mut cluster = GpuCluster::new(p.nranks()).sanitizer(sanitizer);
+    let mut cluster = GpuCluster::new(p.nranks()).sanitizer(sanitizer).ppn(ppn);
     if let Some(spec) = faults {
         cluster = cluster.faults(spec);
     }

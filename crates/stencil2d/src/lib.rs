@@ -28,8 +28,8 @@ mod real;
 mod reference;
 
 pub use driver::{
-    run_stencil, run_stencil_campaign, run_stencil_reports, run_stencil_traced, RankReport,
-    RunOptions, StencilOutcome,
+    run_stencil, run_stencil_campaign, run_stencil_reports, run_stencil_topo, run_stencil_traced,
+    RankReport, RunOptions, StencilOutcome,
 };
 pub use loc::{lines_of_code, listing};
 pub use params::{initial_value, Dir, StencilParams, Variant};
@@ -88,7 +88,21 @@ mod tests {
     }
 
     fn check_against_reference<T: Real>(p: StencilParams, variant: Variant) {
-        let out = run_stencil::<T>(p, variant, opts_collect());
+        check_against_reference_ppn::<T>(p, variant, 1);
+    }
+
+    fn check_against_reference_ppn<T: Real>(p: StencilParams, variant: Variant, ppn: usize) {
+        use sim_core::SanitizerMode;
+        let out = run_stencil_topo::<T>(
+            p,
+            variant,
+            opts_collect(),
+            SanitizerMode::Off,
+            None,
+            None,
+            ppn,
+        )
+        .0;
         let global = reference_run::<T>(p.py * p.rows, p.px * p.cols, p.iters);
         let gcols = p.px * p.cols;
         for r in &out.ranks {
@@ -175,6 +189,18 @@ mod tests {
             ew_cuda > s_cuda * 4,
             "strided east/west staging must dominate: e/w {ew_cuda} vs south {s_cuda}"
         );
+    }
+
+    #[test]
+    fn sixteen_ranks_match_reference_at_every_ppn() {
+        // 4x4 = 16 ranks; px=4 means east/west neighbours are one rank
+        // apart, so blocked ppn places the strided column exchanges on
+        // shared nodes. Every placement computes the same field.
+        let p = small(4, 4, 5, 6, 2);
+        for ppn in [1, 2, 4] {
+            check_against_reference_ppn::<f64>(p, Variant::Mv2, ppn);
+        }
+        check_against_reference_ppn::<f32>(p, Variant::Def, 4);
     }
 
     #[test]

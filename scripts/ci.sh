@@ -25,6 +25,13 @@ echo "==> pipeline bench smoke (plan cache + adaptive policy guards)"
 cargo run --release -q -p bench --bin pipeline_bench -- \
     --iters 4 --out /tmp/BENCH_pipeline_smoke.json > /dev/null
 
+echo "==> ppn sweep smoke (topology placement + shm traffic guards)"
+# The bin asserts that blocked ppn>1 placement beats an all-remote
+# round-robin control, sheds HCA traffic, and routes intra-node halos
+# over the shm channel.
+cargo run --release -q -p bench --bin ppn_sweep -- \
+    --out /tmp/BENCH_ppn_smoke.json > /dev/null
+
 echo "==> fault campaign smoke (retry/recovery byte-identical guard)"
 cargo run --release -q -p bench --bin fault_campaign -- \
     --out /tmp/fault_campaign_smoke.json > /dev/null
