@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use gpu_sim::{CostModel, Gpu};
-use ib_sim::{Fabric, FaultSpec, NetModel, ShmModel, Topology};
+use ib_sim::{DeliveryScheduler, Fabric, FaultSpec, NetModel, ShmModel, Topology};
 use mpi_sim::staging::BufferStager;
 use mpi_sim::{ChunkPolicy, Comm, MpiConfig};
 use sim_core::{Report, SanitizerMode, Sim, SimTime};
@@ -38,6 +38,7 @@ pub struct GpuCluster {
     sanitizer: SanitizerMode,
     fault_spec: Option<FaultSpec>,
     recorder: Option<Recorder>,
+    scheduler: Option<Arc<dyn DeliveryScheduler>>,
 }
 
 impl GpuCluster {
@@ -55,6 +56,7 @@ impl GpuCluster {
             sanitizer: SanitizerMode::Off,
             fault_spec: None,
             recorder: None,
+            scheduler: None,
         }
     }
 
@@ -129,6 +131,14 @@ impl GpuCluster {
         self
     }
 
+    /// Hand control-packet delivery ordering to `s` (see
+    /// [`DeliveryScheduler`]) — the hook model checkers drive to explore
+    /// interleavings. Without this the fabric's FIFO order applies.
+    pub fn scheduler(mut self, s: Arc<dyn DeliveryScheduler>) -> Self {
+        self.scheduler = Some(s);
+        self
+    }
+
     /// Record spans/counters into `rec` instead of a fresh recorder. Pass
     /// [`Recorder::off`] to disable tracing entirely, or a clone of an
     /// enabled recorder to inspect lanes after the run (via
@@ -149,6 +159,23 @@ impl GpuCluster {
     /// Like [`run`](GpuCluster::run), also returning the sanitizer reports
     /// collected during the job (empty when the sanitizer is off).
     pub fn run_with_reports<F>(self, f: F) -> (SimTime, Vec<Report>)
+    where
+        F: Fn(&GpuRankEnv) + Send + Sync + 'static,
+    {
+        let (end, reports) = self.try_run_with_reports(f);
+        match end {
+            Ok(t) => (t, reports),
+            Err(msg) => std::panic::panic_any(msg),
+        }
+    }
+
+    /// Like [`run_with_reports`](GpuCluster::run_with_reports), but a panic
+    /// anywhere in the job (protocol violation, sanitizer in `Panic` mode,
+    /// deadlock, `MPI_Wait` failure) is caught and returned as `Err` with
+    /// its message — together with every report collected up to that point.
+    /// This is how a model checker observes a schedule's verdict without
+    /// tearing down its own process.
+    pub fn try_run_with_reports<F>(self, f: F) -> (Result<SimTime, String>, Vec<Report>)
     where
         F: Fn(&GpuRankEnv) + Send + Sync + 'static,
     {
@@ -174,6 +201,9 @@ impl GpuCluster {
             self.shm.clone(),
             self.fault_spec.clone(),
         );
+        if let Some(s) = self.scheduler.clone() {
+            fabric.set_delivery_scheduler(s);
+        }
         let f = Arc::new(f);
         let rec = self.recorder.clone().unwrap_or_default();
         fabric.attach_recorder(&rec);
@@ -208,7 +238,20 @@ impl GpuCluster {
                 env.comm.finalize();
             });
         }
-        let end = sim.run();
+        let end = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()))
+            .map_err(panic_message);
         (end, sim.sanitizer_reports())
+    }
+}
+
+/// Render a caught panic payload as its message (panics carry `String` or
+/// `&'static str`; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
     }
 }

@@ -51,6 +51,7 @@ use sim_trace::{Lane, LaneKind, Recorder};
 
 use crate::fault::{FaultSpec, FaultState};
 use crate::model::{NetModel, ShmModel};
+use crate::scheduler::{CtrlAction, CtrlPoint, DeliveryScheduler};
 use crate::topology::Topology;
 
 /// A message delivered to an endpoint's mailbox.
@@ -145,6 +146,10 @@ struct FabricInner {
     /// `None` until [`Fabric::attach_recorder`]; emission is skipped
     /// entirely then.
     trace: Mutex<Option<Vec<NodeLanes>>>,
+    /// Control-packet delivery hook (see [`crate::scheduler`]). `None`
+    /// (the default) is FIFO delivery with the original code path — a run
+    /// without a scheduler is bit-identical to a pre-hook fabric.
+    scheduler: Mutex<Option<Arc<dyn DeliveryScheduler>>>,
 }
 
 /// The simulated cluster interconnect. Clones are shallow.
@@ -209,9 +214,20 @@ impl Fabric {
                 faults: faults.map(FaultState::new),
                 counters: (0..topo.num_nodes()).map(|_| CallCounters::new()).collect(),
                 trace: Mutex::new(None),
+                scheduler: Mutex::new(None),
                 topo,
             }),
         }
+    }
+
+    /// Install a control-packet delivery scheduler (see
+    /// [`crate::scheduler`]). Must be called before the job starts sending;
+    /// packets already in flight keep their FIFO arrival. Pass-through
+    /// contract: with no scheduler installed — or a scheduler that always
+    /// answers [`CtrlAction::Deliver`] — delivery is bit-identical to a
+    /// fabric without the hook.
+    pub fn set_delivery_scheduler(&self, s: Arc<dyn DeliveryScheduler>) {
+        *self.inner.scheduler.lock() = Some(s);
     }
 
     /// Whether this fabric injects faults. Protocol layers use this to arm
@@ -497,6 +513,9 @@ impl Nic {
                     deliver_at = Some(arrival + SimDur::from_nanos(extra));
                 }
             }
+            if let Some(t) = deliver_at {
+                deliver_at = self.consult_scheduler(dst, false, t, payload.as_ref());
+            }
         }
         if let Some(t) = deliver_at {
             self.fabric.inner.mailboxes[dst].send_at(
@@ -515,6 +534,47 @@ impl Nic {
         c
     }
 
+    /// Offer one outgoing control packet to the installed
+    /// [`DeliveryScheduler`], if any. Returns the (possibly adjusted)
+    /// delivery time, or `None` when the scheduler dropped the packet.
+    /// Without a scheduler this is a single uncontended lock and returns
+    /// `arrival` unchanged.
+    fn consult_scheduler(
+        &self,
+        dst: usize,
+        shm: bool,
+        arrival: SimTime,
+        payload: &(dyn Any + Send),
+    ) -> Option<SimTime> {
+        let sched = match self.fabric.inner.scheduler.lock().clone() {
+            Some(s) => s,
+            None => return Some(arrival),
+        };
+        let point = CtrlPoint {
+            src: self.endpoint,
+            dst,
+            shm,
+            arrival,
+            payload,
+        };
+        match sched.on_ctrl(&point) {
+            CtrlAction::Deliver => Some(arrival),
+            CtrlAction::Delay(ns) => {
+                instrument::global().record("sched.ctrl_delay");
+                Some(arrival + SimDur::from_nanos(ns))
+            }
+            CtrlAction::Drop if shm => panic!(
+                "DeliveryScheduler dropped an intra-node ctrl packet \
+                 ({} -> {dst}): the shm channel is reliable by construction",
+                self.endpoint
+            ),
+            CtrlAction::Drop => {
+                instrument::global().record("sched.ctrl_drop");
+                None
+            }
+        }
+    }
+
     /// Intra-node delivery over the node's shm channel: no HCA, no wire,
     /// no fault injection.
     fn shm_send(
@@ -528,8 +588,18 @@ impl Nic {
         let op = self.san_begin("shm_send", true, vec![], vec![]);
         let kind = if ctrl { "ctrl" } else { "send" };
         let (start, _, visible) = self.shm_schedule(kind, wire_bytes, op);
+        let deliver_at = if ctrl {
+            // The shm channel never loses messages, so `Drop` is rejected
+            // inside `consult_scheduler`; `Delay` stands in for the
+            // receiving rank being scheduled out. The sender-side
+            // completion keeps the model-computed `visible` either way.
+            self.consult_scheduler(dst, true, visible, payload.as_ref())
+                .expect("unreachable: shm ctrl packets cannot be dropped")
+        } else {
+            visible
+        };
         self.fabric.inner.mailboxes[dst].send_at(
-            visible,
+            deliver_at,
             Packet {
                 src: self.endpoint,
                 wire_bytes,

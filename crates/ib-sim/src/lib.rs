@@ -36,9 +36,11 @@
 mod fabric;
 mod fault;
 mod model;
+pub mod scheduler;
 mod topology;
 
 pub use fabric::{Fabric, MrKey, Nic, Packet, RegError};
 pub use fault::FaultSpec;
 pub use model::{NetModel, ShmModel};
+pub use scheduler::{CtrlAction, CtrlPoint, DeliveryScheduler, FifoScheduler};
 pub use topology::Topology;

@@ -1,0 +1,84 @@
+//! Pluggable control-packet delivery scheduling.
+//!
+//! By default the fabric delivers control packets FIFO at the arrival time
+//! its transmit-engine model computes (plus any seeded fault drop/delay).
+//! A [`DeliveryScheduler`] installed via
+//! [`Fabric::set_delivery_scheduler`](crate::Fabric::set_delivery_scheduler)
+//! gets the last word on every *control* packet: it can let the packet
+//! through unchanged, postpone it past later traffic, or (wire paths only)
+//! discard it. That is exactly the authority a model checker needs to
+//! enumerate delivery interleavings, and exactly the authority the fault
+//! layer already exercises randomly — here it becomes deterministic and
+//! externally owned.
+//!
+//! Contract (see DESIGN.md "Model checking & invariants"):
+//!
+//! * The hook sees control packets only. Eager payload and RDMA data
+//!   deliveries are never rescheduled: the protocol has no retransmission
+//!   for them, so reordering or dropping them would not model any fault the
+//!   real network can produce (IB is reliable-connected transport).
+//! * [`CtrlAction::Deliver`] must reproduce the unhooked fabric bit for
+//!   bit. The fabric guarantees this by running the original delivery code
+//!   path when the hook answers `Deliver`.
+//! * [`CtrlAction::Drop`] is rejected (panic) for intra-node packets: the
+//!   shm channel is reliable by construction and the protocol layers above
+//!   are entitled to assume it (D2D device rendezvous never retransmits).
+//!   `Delay` is allowed on shm packets — it models an unlucky scheduling of
+//!   the receiving rank, which the protocol must tolerate.
+//! * The hook runs inside the sending process at virtual-time `send`;
+//!   it must not sleep or block, only decide.
+
+use std::any::Any;
+
+use sim_core::SimTime;
+
+/// One control packet about to be scheduled for delivery, as shown to a
+/// [`DeliveryScheduler`].
+pub struct CtrlPoint<'a> {
+    /// Sending endpoint (MPI rank).
+    pub src: usize,
+    /// Destination endpoint.
+    pub dst: usize,
+    /// Whether the packet rides the intra-node shm channel (reliable;
+    /// [`CtrlAction::Drop`] is forbidden) instead of the wire.
+    pub shm: bool,
+    /// The FIFO arrival instant the cost model computed; `Deliver` uses it
+    /// unchanged, `Delay` adds to it.
+    pub arrival: SimTime,
+    /// The opaque payload. Protocol layers can expose downcast helpers
+    /// (e.g. `mpi_sim::packet_kind`) so controllers can label decisions
+    /// without this crate learning protocol types.
+    pub payload: &'a (dyn Any + Send),
+}
+
+/// A scheduler's verdict on one control packet.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CtrlAction {
+    /// Deliver at the model-computed arrival time (bit-identical to the
+    /// unhooked fabric).
+    Deliver,
+    /// Deliver `ns` nanoseconds later than the model-computed arrival,
+    /// after traffic that would otherwise queue behind this packet.
+    Delay(u64),
+    /// Never deliver. Only legal for wire packets; the protocol above must
+    /// recover by retransmission. Panics on shm packets.
+    Drop,
+}
+
+/// Owns the delivery order of in-flight control packets. Implementations
+/// must be deterministic functions of the observed packet sequence — the
+/// whole point is replayable schedules.
+pub trait DeliveryScheduler: Send + Sync {
+    /// Decide the fate of one control packet.
+    fn on_ctrl(&self, point: &CtrlPoint<'_>) -> CtrlAction;
+}
+
+/// The implicit default: FIFO delivery, every packet at its model arrival
+/// time. Installing this explicitly is identical to installing nothing.
+pub struct FifoScheduler;
+
+impl DeliveryScheduler for FifoScheduler {
+    fn on_ctrl(&self, _point: &CtrlPoint<'_>) -> CtrlAction {
+        CtrlAction::Deliver
+    }
+}

@@ -17,6 +17,7 @@
 
 use gpu_sim::Loc;
 use hostmem::{HostBuf, Scalar};
+use sim_core::san;
 
 use crate::comm::Comm;
 use crate::datatype::Datatype;
@@ -131,7 +132,26 @@ impl Comm {
     /// mailbox and answering replays; a rank can only leave once every
     /// rank has arrived, i.e. once everyone's requests are settled.
     pub fn finalize(&self) {
-        if !self.engine().lock().is_faulty() {
+        let (faulty, bug_quiesce) = {
+            let eng = self.engine().lock();
+            // Finalize-time invariant checkpoint: this rank must be fully
+            // quiesced (no unreaped requests, staging pools drained).
+            let rank = eng.rank;
+            san::proto_set(
+                &format!("rank{rank}"),
+                "live_requests",
+                eng.live_requests() as i64,
+            );
+            san::proto_set("job", "finalizing_rank", rank as i64);
+            san::invariant_checkpoint("finalize");
+            (eng.is_faulty(), eng.cfg.bug_finalize_quiesce)
+        };
+        if !faulty {
+            return;
+        }
+        if bug_quiesce {
+            // Reintroduced liveness bug: skip the post-job dissemination, so
+            // a finished rank stops answering its peers' protocol replays.
             return;
         }
         self.dissemination();

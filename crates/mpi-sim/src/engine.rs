@@ -45,6 +45,7 @@ use sim_core::{CallCounters, Completion, SimDur, SimTime};
 
 use crate::datatype::Datatype;
 use crate::flat::Layout;
+use crate::invariants;
 use crate::proto::{
     ChunkPolicy, Envelope, MpiConfig, MpiError, MpiPacket, ReqId, RetryConfig, SlotDesc,
 };
@@ -437,6 +438,10 @@ struct StagedRecv {
     /// False while the CTS is deferred waiting for pool vbufs (back
     /// pressure under many concurrent staged transfers).
     cts_sent: bool,
+    /// Set the first time the CTS grant found the recv pool empty. Only
+    /// consulted by the `bug_deferred_cts` toggle, which reintroduces the
+    /// starvation bug where a once-deferred CTS is never re-examined.
+    deferred: bool,
     slots: Vec<Vbuf>,
     /// FINs received, keyed by chunk index: chunk -> (slot, bytes). Keyed
     /// (rather than queued) so retransmitted FINs dedup and delayed ones
@@ -553,8 +558,13 @@ pub(crate) struct Engine {
     /// Sanitizer pool handles (None when the sanitizer is off).
     send_pool_id: Option<san::PoolId>,
     recv_pool_id: Option<san::PoolId>,
+    /// Sanitizer accounting for device tbufs held across a D2D rendezvous
+    /// (taken at CTS-dev staging, returned at CREDIT-dev receipt).
+    dev_tbuf_id: Option<san::PoolId>,
     /// Fault injection: true once the configured vbuf leak has happened.
     leaked_vbuf: bool,
+    /// Fault injection: true once the configured CREDIT-dev drop happened.
+    dev_credit_dropped: bool,
     /// Next free communicator context id (0/1 belong to the world comm).
     next_ctx: u16,
     /// Bounded registration cache for rendezvous user buffers.
@@ -611,6 +621,8 @@ impl Engine {
         let recv_pool = mk_pool(cfg.pool_vbufs - cfg.pool_vbufs / 2);
         let send_pool_id = san::pool_register(format!("rank{rank}.send_pool"));
         let recv_pool_id = san::pool_register(format!("rank{rank}.recv_pool"));
+        let dev_tbuf_id = san::pool_register(format!("rank{rank}.dev_tbuf"));
+        invariants::register_all();
         let tuner = ChunkTuner::new(&cfg);
         let faulty = nic.faults_enabled();
         let reg_cache = RegCache::new(cfg.reg_cache_entries);
@@ -641,7 +653,9 @@ impl Engine {
             recv_pool,
             send_pool_id,
             recv_pool_id,
+            dev_tbuf_id,
             leaked_vbuf: false,
+            dev_credit_dropped: false,
             next_ctx: 2,
             reg_cache,
             tuner,
@@ -786,7 +800,16 @@ impl Engine {
             tag,
         };
         let id = self.alloc_req();
-        if total <= self.eager_limit_for(dst) {
+        // Fault injection: a sender that disagrees with its co-located peer
+        // about the shm eager limit (e.g. mismatched env tuning) pushes
+        // oversized payloads down the eager path; the receiver's linter
+        // check must flag them.
+        let eager_limit = if self.cfg.fault_shm_eager_oversize && self.colocated[dst] {
+            self.cfg.shm_eager_limit * 2
+        } else {
+            self.eager_limit_for(dst)
+        };
+        if total <= eager_limit {
             let data = source.pack_eager();
             let wire = data.len() + 64;
             self.nic
@@ -1039,6 +1062,7 @@ impl Engine {
                 started: sim_core::now(),
                 tune_key,
                 cts_sent: false,
+                deferred: false,
                 slots: Vec::new(),
                 arrived: BTreeMap::new(),
                 absorbing: VecDeque::new(),
@@ -1047,6 +1071,11 @@ impl Engine {
                 timer: None,
             },
             env,
+        );
+        san::proto_set(
+            &invariants::xfer_scope(env.src, send_req),
+            "nchunks",
+            nchunks as i64,
         );
         self.try_grant_cts(recv_id);
     }
@@ -1062,7 +1091,9 @@ impl Engine {
         if self.recv_pool.is_empty() {
             return;
         }
-        let deferred: Vec<ReqId> = self
+        // Sorted so the grant order is a function of request ids alone, not
+        // of the HashMap's per-process iteration order (replay determinism).
+        let mut deferred: Vec<ReqId> = self
             .recvs
             .iter()
             .filter_map(|(&id, st)| match &st.phase {
@@ -1070,6 +1101,7 @@ impl Engine {
                 _ => None,
             })
             .collect();
+        deferred.sort_unstable();
         for id in deferred {
             self.try_grant_cts(id);
         }
@@ -1080,7 +1112,16 @@ impl Engine {
         let RecvPhase::Staged(sr, _) = &mut st.phase else {
             return;
         };
-        if sr.cts_sent || self.recv_pool.is_empty() {
+        if sr.cts_sent {
+            return;
+        }
+        if self.cfg.bug_deferred_cts && sr.deferred {
+            // Reintroduced starvation bug: a CTS that was once deferred on
+            // an empty pool is never re-examined, even after vbufs return.
+            return;
+        }
+        if self.recv_pool.is_empty() {
+            sr.deferred = true;
             return;
         }
         let want = self.cfg.window_slots.min(sr.nchunks).max(1);
@@ -1598,6 +1639,11 @@ impl Engine {
                         let s = &mut ss.slots[slot];
                         if !s.free && s.occupant == Some(chunk_idx) {
                             s.free = true;
+                            san::proto_event(
+                                &invariants::xfer_scope(self.rank, send_req),
+                                "credits_recv",
+                                1,
+                            );
                             if let Some(t) = &mut ss.timer {
                                 t.feed();
                             }
@@ -1712,6 +1758,9 @@ impl Engine {
                     .source
                     .stage_device()
                     .expect("device CTS for a send without a device source");
+                // The packed device tbuf is held until the CREDIT-dev frees
+                // it; account it like a staging-pool buffer.
+                san::pool_take(self.dev_tbuf_id);
                 let dst = st.dst;
                 let total = st.total;
                 // The FIN-dev goes out immediately: the pack completion
@@ -1780,6 +1829,7 @@ impl Engine {
                     ));
                     panic!("CreditDev for a send not in DevWaitCredit phase");
                 }
+                san::pool_put(self.dev_tbuf_id);
                 st.phase = SendPhase::Done;
             }
         }
@@ -1806,13 +1856,17 @@ impl Engine {
                 .expect("non-MPI packet in MPI mailbox");
             self.handle_packet(src, *payload);
         }
-        // Advance sends.
-        let send_ids: Vec<ReqId> = self.sends.keys().copied().collect();
+        // Advance sends. Sorted: HashMap iteration order differs between
+        // processes (per-instance hash seeds), and replay determinism
+        // requires the advance order to be a pure function of request ids.
+        let mut send_ids: Vec<ReqId> = self.sends.keys().copied().collect();
+        send_ids.sort_unstable();
         for id in send_ids {
             self.advance_send(id);
         }
-        // Advance receives.
-        let recv_ids: Vec<ReqId> = self.recvs.keys().copied().collect();
+        // Advance receives (sorted, as above).
+        let mut recv_ids: Vec<ReqId> = self.recvs.keys().copied().collect();
+        recv_ids.sort_unstable();
         for id in recv_ids {
             self.advance_recv(id);
         }
@@ -1962,6 +2016,11 @@ impl Engine {
                             }),
                         );
                         ss.slots[slot].fin_sent = true;
+                        san::proto_event(
+                            &invariants::xfer_scope(self.rank, id),
+                            "chunks_finned",
+                            1,
+                        );
                     }
                     ss.inflight.push(InflightChunk {
                         comp,
@@ -2023,6 +2082,11 @@ impl Engine {
                             }),
                         );
                         ss.slots[done.slot].fin_sent = true;
+                        san::proto_event(
+                            &invariants::xfer_scope(self.rank, id),
+                            "chunks_finned",
+                            1,
+                        );
                         if let Some(t) = &mut ss.timer {
                             t.feed();
                         }
@@ -2226,8 +2290,15 @@ impl Engine {
                 tag: env.tag,
                 bytes: total,
             });
-            self.nic
-                .send_ctrl(env.src, Box::new(MpiPacket::CreditDev { send_req }));
+            if self.cfg.fault_drop_dev_credit && !self.dev_credit_dropped {
+                // Fault injection: swallow the first CREDIT-dev. The sender
+                // never learns its device tbuf is free — a staging leak the
+                // sanitizer must flag at exit.
+                self.dev_credit_dropped = true;
+            } else {
+                self.nic
+                    .send_ctrl(env.src, Box::new(MpiPacket::CreditDev { send_req }));
+            }
             if self.faulty {
                 self.matched_rts.remove(&(env.src, send_req));
                 self.done_rts.insert((env.src, send_req), ());
@@ -2248,6 +2319,11 @@ impl Engine {
                 .chunk_arrived(chunk, sr.slots[slot].buf.base(), bytes);
             sr.absorbing.push_back((chunk, slot));
             sr.next_chunk += 1;
+            // Two gauge updates; the monotonicity invariant tolerates the
+            // one-update intermediate state (see `invariants`).
+            let scope = invariants::xfer_scope(sr.src, sr.peer_send_req);
+            san::proto_set(&scope, "last_chunk", chunk as i64);
+            san::proto_event(&scope, "chunks_absorbed", 1);
             if let Some(t) = &mut sr.timer {
                 t.feed();
             }
@@ -2266,6 +2342,11 @@ impl Engine {
                     slot,
                     chunk_idx: chunk,
                 }),
+            );
+            san::proto_event(
+                &invariants::xfer_scope(sr.src, sr.peer_send_req),
+                "credits_sent",
+                1,
             );
         }
         if sr.next_chunk == sr.nchunks && st.sink.finished() {
@@ -2295,6 +2376,7 @@ impl Engine {
             };
             let (peer, send_req) = (sr.src, sr.peer_send_req);
             st.phase = RecvPhase::Done(status);
+            san::proto_set(&invariants::xfer_scope(peer, send_req), "done", 1);
             if self.faulty {
                 self.matched_rts.remove(&(peer, send_req));
                 self.done_rts.insert((peer, send_req), ());
@@ -2344,6 +2426,12 @@ impl Engine {
     /// Whether this engine sits on a fault-injecting fabric.
     pub fn is_faulty(&self) -> bool {
         self.faulty
+    }
+
+    /// Number of unreaped requests (sends + receives) this rank holds —
+    /// zero once the application has waited on everything it posted.
+    pub fn live_requests(&self) -> usize {
+        self.sends.len() + self.recvs.len()
     }
 
     /// The typed error a failed send ended with, if any.

@@ -1,0 +1,182 @@
+//! Declarative protocol invariants for the rendezvous engine.
+//!
+//! The engine feeds a small set of *gauges* into the sanitizer as the
+//! staged protocol runs — one scope per transfer (`xfer.{src}.{send_req}`)
+//! plus per-rank and job-wide scopes — and registers the predicates below
+//! against them. Online invariants re-evaluate after every gauge update;
+//! checkpoint invariants run when a rank calls
+//! `san::invariant_checkpoint("finalize")` and again automatically at
+//! simulation exit. Violations surface as
+//! [`sim_core::ReportKind::Invariant`] reports (panics in `Panic` mode),
+//! which is what `simcheck` asserts on for every explored schedule.
+//!
+//! Gauges fed by the engine, all within one transfer's scope:
+//!
+//! | gauge             | side     | meaning                                  |
+//! |-------------------|----------|------------------------------------------|
+//! | `nchunks`         | receiver | chunk count, set at the staged match     |
+//! | `chunks_finned`   | sender   | chunks announced via FIN (first time)    |
+//! | `credits_recv`    | sender   | fresh credits accepted                   |
+//! | `chunks_absorbed` | receiver | in-order chunks handed to the sink       |
+//! | `last_chunk`      | receiver | index of the chunk just absorbed         |
+//! | `credits_sent`    | receiver | credits issued                           |
+//! | `done`            | receiver | 1 once the staged receive completed      |
+//!
+//! Plus `("rank{r}", "live_requests")` and `("job", "finalizing_rank")`,
+//! set by `Comm::finalize` immediately before its checkpoint.
+
+use sim_core::san::{self, Invariant, ProtoView};
+
+/// Gauge scope for one staged transfer, unique across the job: `src` is
+/// the sending rank and `send_req` that rank's request id.
+pub(crate) fn xfer_scope(src: usize, send_req: u64) -> String {
+    format!("xfer.{src}.{send_req}")
+}
+
+/// Register every engine invariant. Idempotent (first registration per
+/// name wins) and a no-op when the sanitizer is off, so each rank's
+/// engine calls it unconditionally at construction.
+pub fn register_all() {
+    san::register_invariant(credit_conservation());
+    san::register_invariant(chunk_monotonicity());
+    san::register_invariant(no_completion_after_fin());
+    san::register_invariant(staging_leak_freedom());
+    san::register_invariant(quiescence_at_finalize());
+}
+
+/// Credits never outrun the work they acknowledge: a receiver may not
+/// credit more chunks than it absorbed, and a sender may not accept more
+/// credits than it announced FINs for.
+fn credit_conservation() -> Invariant {
+    Invariant {
+        name: "credit-conservation",
+        online: true,
+        checkpoints: &[],
+        check: Box::new(|v: &ProtoView<'_>| {
+            let mut out = Vec::new();
+            for scope in v.scopes_with("credits_sent") {
+                let sent = v.gauge(scope, "credits_sent");
+                let absorbed = v.gauge(scope, "chunks_absorbed");
+                if sent > absorbed {
+                    out.push(format!(
+                        "{scope}: {sent} credit(s) sent for {absorbed} absorbed chunk(s)"
+                    ));
+                }
+            }
+            for scope in v.scopes_with("credits_recv") {
+                let recv = v.gauge(scope, "credits_recv");
+                let finned = v.gauge(scope, "chunks_finned");
+                if recv > finned {
+                    out.push(format!(
+                        "{scope}: {recv} credit(s) accepted for {finned} FIN(s) announced"
+                    ));
+                }
+            }
+            out
+        }),
+    }
+}
+
+/// Chunks are handed to the sink strictly in sequence: after absorbing
+/// `n` chunks the one just absorbed must be chunk `n - 1`.
+fn chunk_monotonicity() -> Invariant {
+    Invariant {
+        name: "chunk-monotonicity",
+        online: true,
+        checkpoints: &[],
+        check: Box::new(|v: &ProtoView<'_>| {
+            let mut out = Vec::new();
+            for scope in v.scopes_with("chunks_absorbed") {
+                let n = v.gauge(scope, "chunks_absorbed");
+                let last = v.gauge(scope, "last_chunk");
+                // The engine updates `last_chunk` then `chunks_absorbed` as
+                // two gauge writes, so between them an in-order feed shows
+                // `last == n`; both states of a correct feed are allowed.
+                if n > 0 && last != n - 1 && last != n {
+                    out.push(format!(
+                        "{scope}: absorbed chunk {last} out of sequence ({n} chunk(s) absorbed)"
+                    ));
+                }
+            }
+            out
+        }),
+    }
+}
+
+/// A staged receive completes exactly when every chunk has been absorbed
+/// — never early, and nothing is absorbed into it afterwards.
+fn no_completion_after_fin() -> Invariant {
+    Invariant {
+        name: "no-completion-after-fin",
+        online: true,
+        checkpoints: &[],
+        check: Box::new(|v: &ProtoView<'_>| {
+            let mut out = Vec::new();
+            for scope in v.scopes_with("done") {
+                if v.gauge(scope, "done") != 1 {
+                    continue;
+                }
+                let n = v.gauge(scope, "nchunks");
+                let absorbed = v.gauge(scope, "chunks_absorbed");
+                if absorbed != n {
+                    out.push(format!(
+                        "{scope}: completed with {absorbed}/{n} chunk(s) absorbed"
+                    ));
+                }
+            }
+            out
+        }),
+    }
+}
+
+/// Staging pools (vbufs, device tbufs) are empty when their rank
+/// finalizes, and job-wide at simulation exit.
+fn staging_leak_freedom() -> Invariant {
+    Invariant {
+        name: "staging-leak-freedom",
+        online: false,
+        checkpoints: &["finalize", "exit"],
+        check: Box::new(|v: &ProtoView<'_>| {
+            let mut out = Vec::new();
+            // At a finalize checkpoint only the finalizing rank's pools must
+            // be drained — its peers may legitimately be mid-transfer.
+            let prefix = (v.phase() == "finalize")
+                .then(|| format!("rank{}.", v.gauge("job", "finalizing_rank")));
+            for (name, outstanding, takes) in v.pools() {
+                if let Some(p) = &prefix {
+                    if !name.starts_with(p.as_str()) {
+                        continue;
+                    }
+                }
+                if outstanding != 0 {
+                    out.push(format!(
+                        "pool '{name}': {outstanding} buffer(s) outstanding after \
+                         {takes} take(s) at {}",
+                        v.phase()
+                    ));
+                }
+            }
+            out
+        }),
+    }
+}
+
+/// A rank reaching `MPI_Finalize` has reaped every request it posted.
+fn quiescence_at_finalize() -> Invariant {
+    Invariant {
+        name: "quiescence-at-finalize",
+        online: false,
+        checkpoints: &["finalize"],
+        check: Box::new(|v: &ProtoView<'_>| {
+            let fr = v.gauge("job", "finalizing_rank");
+            let live = v.gauge(&format!("rank{fr}"), "live_requests");
+            if live != 0 {
+                vec![format!(
+                    "rank {fr} entered finalize with {live} unreaped request(s)"
+                )]
+            } else {
+                Vec::new()
+            }
+        }),
+    }
+}

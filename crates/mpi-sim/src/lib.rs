@@ -42,6 +42,7 @@ mod comm;
 mod datatype;
 mod engine;
 pub mod flat;
+pub mod invariants;
 pub mod pack;
 pub mod plan;
 mod proto;
@@ -57,6 +58,6 @@ pub use engine::{RecvStatus, Request, SrcSel, TagSel, ANY_SOURCE, ANY_TAG};
 pub use ib_sim::{FaultSpec, Topology};
 pub use pack::CpuModel;
 pub use plan::{Plan, PlanCacheStats};
-pub use proto::{ChunkPolicy, ConfigError, MpiConfig, MpiError, RetryConfig};
+pub use proto::{packet_kind, ChunkPolicy, ConfigError, MpiConfig, MpiError, RetryConfig};
 pub use staging::{BufferStager, RecvSink, SendSource};
 pub use world::MpiWorld;

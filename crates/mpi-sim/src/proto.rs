@@ -116,6 +116,28 @@ pub(crate) enum MpiPacket {
     CreditDev { send_req: ReqId },
 }
 
+/// Classify an opaque control payload as one of this crate's packet kinds
+/// (`"Rts"`, `"Cts"`, `"Fin"`, ...), or `None` if it is not an MPI packet.
+/// This lets delivery schedulers (model checkers) label their decision
+/// points without the wire format itself becoming public API.
+pub fn packet_kind(payload: &(dyn std::any::Any + Send)) -> Option<&'static str> {
+    let p = payload.downcast_ref::<MpiPacket>()?;
+    Some(match p {
+        MpiPacket::Eager { .. } => "Eager",
+        MpiPacket::Rts { .. } => "Rts",
+        MpiPacket::Cts { .. } => "Cts",
+        MpiPacket::CtsDirect { .. } => "CtsDirect",
+        MpiPacket::Fin { .. } => "Fin",
+        MpiPacket::FinDirect { .. } => "FinDirect",
+        MpiPacket::Credit { .. } => "Credit",
+        MpiPacket::FinNack { .. } => "FinNack",
+        MpiPacket::DirectAbort { .. } => "DirectAbort",
+        MpiPacket::CtsDev { .. } => "CtsDev",
+        MpiPacket::FinDev { .. } => "FinDev",
+        MpiPacket::CreditDev { .. } => "CreditDev",
+    })
+}
+
 /// How the staging chunk (pipeline block) size is chosen per transfer.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChunkPolicy {
@@ -357,6 +379,25 @@ pub struct MpiConfig {
     /// finishes its RDMA write instead of returning it to the pool, so the
     /// sanitizer's pool reconciliation has a leak to find.
     pub fault_leak_vbuf: bool,
+    /// Fault injection (tests only): the receiver of a D2D device transfer
+    /// swallows its first `CreditDev` instead of sending it, stranding the
+    /// sender's packed tbuf — the credit-leak the sanitizer's device-pool
+    /// accounting must flag.
+    pub fault_drop_dev_credit: bool,
+    /// Fault injection (tests only): the sender applies twice the
+    /// configured shm eager limit toward co-located peers, shipping
+    /// oversized eager payloads the receiver-side protocol linter must
+    /// reject.
+    pub fault_shm_eager_oversize: bool,
+    /// Bug reintroduction (model-checker validation): skip the finalize
+    /// dissemination barrier, so a rank whose transfers completed exits
+    /// immediately and stops answering peers' retransmits — PR 3's
+    /// finalize-quiesce liveness bug.
+    pub bug_finalize_quiesce: bool,
+    /// Bug reintroduction (model-checker validation): a staged receive
+    /// whose CTS was deferred on a drained vbuf pool is never re-examined
+    /// when vbufs return — PR 3's deferred-CTS starvation bug.
+    pub bug_deferred_cts: bool,
     /// Processes per node: ranks `[k*ppn, (k+1)*ppn)` share node `k` (its
     /// HCA, shm channel and GPU). Must evenly divide the world size. The
     /// default, 1, is the classic one-rank-per-node layout and is
@@ -380,6 +421,10 @@ impl Default for MpiConfig {
             retry: RetryConfig::default(),
             reg_cache_entries: 1024,
             fault_leak_vbuf: false,
+            fault_drop_dev_credit: false,
+            fault_shm_eager_oversize: false,
+            bug_finalize_quiesce: false,
+            bug_deferred_cts: false,
             ppn: 1,
             shm_eager_limit: 32 << 10,
         }

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use ib_sim::{Fabric, FaultSpec, NetModel, ShmModel, Topology};
+use ib_sim::{DeliveryScheduler, Fabric, FaultSpec, NetModel, ShmModel, Topology};
 use sim_core::{Report, SanitizerMode, Sim, SimTime};
 
 use crate::comm::Comm;
@@ -22,6 +22,7 @@ pub struct MpiWorld {
     sanitizer: SanitizerMode,
     faults: Option<FaultSpec>,
     recorder: Option<sim_trace::Recorder>,
+    scheduler: Option<Arc<dyn DeliveryScheduler>>,
 }
 
 impl MpiWorld {
@@ -36,6 +37,7 @@ impl MpiWorld {
             sanitizer: SanitizerMode::Off,
             faults: None,
             recorder: None,
+            scheduler: None,
         }
     }
 
@@ -96,6 +98,14 @@ impl MpiWorld {
         self
     }
 
+    /// Hand control-packet delivery ordering to `s` (see
+    /// [`DeliveryScheduler`]) — the hook model checkers drive to explore
+    /// interleavings. Without this the fabric's FIFO order applies.
+    pub fn with_scheduler(mut self, s: Arc<dyn DeliveryScheduler>) -> Self {
+        self.scheduler = Some(s);
+        self
+    }
+
     /// Run `f` on every rank (host-only MPI; device buffers panic). Returns
     /// the virtual time when the last rank finished.
     pub fn run<F>(self, f: F) -> SimTime
@@ -108,6 +118,23 @@ impl MpiWorld {
     /// Like [`run`](MpiWorld::run), also returning the sanitizer reports
     /// collected during the job (empty when the sanitizer is off).
     pub fn run_with_reports<F>(self, f: F) -> (SimTime, Vec<Report>)
+    where
+        F: Fn(Comm) + Send + Sync + 'static,
+    {
+        let (end, reports) = self.try_run_with_reports(f);
+        match end {
+            Ok(t) => (t, reports),
+            Err(msg) => std::panic::panic_any(msg),
+        }
+    }
+
+    /// Like [`run_with_reports`](MpiWorld::run_with_reports), but a panic
+    /// anywhere in the job (protocol violation, sanitizer in `Panic` mode,
+    /// deadlock, `MPI_Wait` failure) is caught and returned as `Err` with
+    /// its message — together with every report collected up to that point.
+    /// This is how a model checker observes a schedule's verdict without
+    /// tearing down its own process.
+    pub fn try_run_with_reports<F>(self, f: F) -> (Result<SimTime, String>, Vec<Report>)
     where
         F: Fn(Comm) + Send + Sync + 'static,
     {
@@ -138,6 +165,9 @@ impl MpiWorld {
             .clone()
             .unwrap_or_else(sim_trace::Recorder::off);
         fabric.attach_recorder(&rec);
+        if let Some(s) = self.scheduler.clone() {
+            fabric.set_delivery_scheduler(s);
+        }
         let f = Arc::new(f);
         for rank in 0..self.n {
             let fabric = fabric.clone();
@@ -152,8 +182,21 @@ impl MpiWorld {
                 comm.finalize();
             });
         }
-        let end = sim.run();
+        let end = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()))
+            .map_err(panic_message);
         (end, sim.sanitizer_reports())
+    }
+}
+
+/// Render a caught panic payload as its message (panics carry `String` or
+/// `&'static str`; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
     }
 }
 

@@ -343,11 +343,18 @@ impl Sim {
             if st.live == 0 {
                 let now = st.now;
                 drop(st);
-                // Reconcile buffer-pool accounting at exit (simsan).
+                // Reconcile buffer-pool accounting at exit (simsan), then
+                // run the "exit" checkpoint of the declarative invariants.
                 let leaks = kernel.san.lock().reconcile_pools(now);
                 if let Some(leak) = leaks.first() {
                     if kernel.san.lock().mode() == SanitizerMode::Panic {
                         panic!("simsan: {leak}");
+                    }
+                }
+                let violations = kernel.san.lock().exit_invariants(now);
+                if let Some(v) = violations.first() {
+                    if kernel.san.lock().mode() == SanitizerMode::Panic {
+                        panic!("simsan: {v}");
                     }
                 }
                 return now;

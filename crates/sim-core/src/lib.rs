@@ -64,6 +64,6 @@ pub use kernel::{
     yield_now, ProcHandle, ProcId, Sim,
 };
 pub use mailbox::Mailbox;
-pub use san::{Report, ReportKind, SanitizerMode};
+pub use san::{Invariant, ProtoView, Report, ReportKind, SanitizerMode};
 pub use sync::Semaphore;
 pub use time::{SimDur, SimTime};

@@ -34,7 +34,7 @@
 //! records reports for later inspection (for benchmarks).
 
 use std::cell::Cell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -66,6 +66,9 @@ pub enum ReportKind {
     PoolLeak,
     /// All processes parked with no pending timer.
     Deadlock,
+    /// A registered declarative invariant (see [`register_invariant`]) does
+    /// not hold.
+    Invariant,
 }
 
 /// One sanitizer finding, carrying the virtual-time instant and the name of
@@ -200,6 +203,69 @@ struct PoolInfo {
     takes: u64,
 }
 
+/// When a registered [`Invariant`] is evaluated.
+///
+/// Online invariants run after every [`proto_event`] / [`proto_set`];
+/// checkpoint invariants run when some process calls
+/// [`invariant_checkpoint`] with a matching phase name, and at simulation
+/// exit for the reserved phase `"exit"`.
+pub struct Invariant {
+    /// Stable identifier; registration is idempotent per name, and reports
+    /// carry it as `invariant '<name>' violated`.
+    pub name: &'static str,
+    /// Evaluate after every protocol event (in addition to checkpoints).
+    pub online: bool,
+    /// Checkpoint phases this invariant runs at (e.g. `"finalize"`,
+    /// `"exit"`).
+    pub checkpoints: &'static [&'static str],
+    /// The predicate: inspect the [`ProtoView`] and return one message per
+    /// violation found (empty = invariant holds). Must be deterministic and
+    /// must not call back into the sanitizer.
+    #[allow(clippy::type_complexity)]
+    pub check: Box<dyn Fn(&ProtoView<'_>) -> Vec<String> + Send>,
+}
+
+/// Read-only view of the sanitizer's protocol state, handed to invariant
+/// predicates. Gauges are keyed `(scope, name)`; iteration is in sorted
+/// order so violation messages are byte-stable across runs.
+pub struct ProtoView<'a> {
+    gauges: &'a BTreeMap<(String, &'static str), i64>,
+    pools: &'a [PoolInfo],
+    phase: &'static str,
+}
+
+impl ProtoView<'_> {
+    /// Why the invariant is being evaluated: `"online"` after a protocol
+    /// event, or the checkpoint phase name (`"finalize"`, `"exit"`, ...).
+    pub fn phase(&self) -> &'static str {
+        self.phase
+    }
+    /// Current value of gauge `name` in `scope` (0 if never touched).
+    pub fn gauge(&self, scope: &str, name: &'static str) -> i64 {
+        self.gauges
+            .get(&(scope.to_string(), name))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All scopes holding gauge `name`, in sorted order.
+    pub fn scopes_with(&self, name: &str) -> Vec<&str> {
+        self.gauges
+            .iter()
+            .filter(|((_, n), _)| *n == name)
+            .map(|((s, _), _)| s.as_str())
+            .collect()
+    }
+
+    /// Registered pools as `(name, outstanding, takes)`, in registration
+    /// order.
+    pub fn pools(&self) -> impl Iterator<Item = (&str, i64, u64)> {
+        self.pools
+            .iter()
+            .map(|p| (p.name.as_str(), p.outstanding, p.takes))
+    }
+}
+
 /// Per-simulation sanitizer state (lives inside the kernel).
 pub(crate) struct SanData {
     mode: SanitizerMode,
@@ -209,6 +275,14 @@ pub(crate) struct SanData {
     pools: Vec<PoolInfo>,
     blocked: HashMap<usize, String>,
     reports: Vec<Report>,
+    /// Declarative-invariant state: protocol gauges keyed `(scope, name)`
+    /// (sorted so invariant evaluation order is deterministic), the
+    /// registered invariants, and the set of already-reported violations
+    /// (online invariants re-run on every event; each distinct violation is
+    /// reported once).
+    gauges: BTreeMap<(String, &'static str), i64>,
+    invariants: Vec<Invariant>,
+    inv_reported: HashSet<String>,
 }
 
 impl SanData {
@@ -221,6 +295,49 @@ impl SanData {
             pools: Vec::new(),
             blocked: HashMap::new(),
             reports: Vec::new(),
+            gauges: BTreeMap::new(),
+            invariants: Vec::new(),
+            inv_reported: HashSet::new(),
+        }
+    }
+
+    /// Run every invariant passing `filter` against the current view;
+    /// report each new violation. The invariant list is temporarily moved
+    /// out so predicates can borrow the gauge/pool state immutably.
+    fn eval_invariants(
+        &mut self,
+        now: SimTime,
+        process: &str,
+        phase: &'static str,
+        filter: impl Fn(&Invariant) -> bool,
+    ) {
+        if self.invariants.is_empty() {
+            return;
+        }
+        let invariants = std::mem::take(&mut self.invariants);
+        let mut found: Vec<(&'static str, String)> = Vec::new();
+        {
+            let view = ProtoView {
+                gauges: &self.gauges,
+                pools: &self.pools,
+                phase,
+            };
+            for inv in invariants.iter().filter(|i| filter(i)) {
+                for msg in (inv.check)(&view) {
+                    found.push((inv.name, msg));
+                }
+            }
+        }
+        self.invariants = invariants;
+        for (name, msg) in found {
+            if self.inv_reported.insert(format!("{name}: {msg}")) {
+                self.emit(
+                    now,
+                    process.to_string(),
+                    ReportKind::Invariant,
+                    format!("invariant '{name}' violated: {msg}"),
+                );
+            }
         }
     }
 
@@ -613,6 +730,58 @@ pub fn pool_put(pool: Option<PoolId>) {
     });
 }
 
+/// Register a declarative invariant. Idempotent per [`Invariant::name`]:
+/// the first registration wins (so every rank's engine can try). No-op
+/// when the sanitizer is off.
+pub fn register_invariant(inv: Invariant) {
+    if !enabled() {
+        return;
+    }
+    with_active_san!(|sd, _pid, _name, _now| {
+        if !sd.invariants.iter().any(|i| i.name == inv.name) {
+            sd.invariants.push(inv);
+        }
+    });
+}
+
+/// Add `delta` to protocol gauge `(scope, name)`, then evaluate every
+/// online invariant against the updated state. Violations are attributed
+/// to the calling process at the current virtual time; each distinct
+/// violation is reported once.
+pub fn proto_event(scope: &str, name: &'static str, delta: i64) {
+    if !enabled() {
+        return;
+    }
+    with_active_san!(|sd, _pid, pname, now| {
+        *sd.gauges.entry((scope.to_string(), name)).or_insert(0) += delta;
+        sd.eval_invariants(now, &pname, "online", |i| i.online);
+    });
+}
+
+/// Set protocol gauge `(scope, name)` to `value`, then evaluate online
+/// invariants (see [`proto_event`]).
+pub fn proto_set(scope: &str, name: &'static str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    with_active_san!(|sd, _pid, pname, now| {
+        sd.gauges.insert((scope.to_string(), name), value);
+        sd.eval_invariants(now, &pname, "online", |i| i.online);
+    });
+}
+
+/// Evaluate every invariant registered for checkpoint `phase` (e.g. a
+/// rank calling it with `"finalize"` once its requests are drained). The
+/// phase `"exit"` also runs automatically when `Sim::run` returns.
+pub fn invariant_checkpoint(phase: &'static str) {
+    if !enabled() {
+        return;
+    }
+    with_active_san!(|sd, _pid, pname, now| {
+        sd.eval_invariants(now, &pname, phase, |i| i.checkpoints.contains(&phase));
+    });
+}
+
 /// Report a protocol-level violation (rendezvous state machine, RDMA
 /// registration, flow control) attributed to the calling process.
 pub fn report_protocol(message: impl Into<String>) {
@@ -689,6 +858,47 @@ impl SanData {
             .collect();
         self.reports.extend(leaks.iter().cloned());
         leaks
+    }
+
+    /// Run the `"exit"` checkpoint invariants at simulation exit. Returns
+    /// the new violation reports (already recorded); the caller panics in
+    /// `Panic` mode, mirroring [`reconcile_pools`](Self::reconcile_pools).
+    pub(crate) fn exit_invariants(&mut self, now: SimTime) -> Vec<Report> {
+        if self.mode == SanitizerMode::Off || self.invariants.is_empty() {
+            return Vec::new();
+        }
+        let invariants = std::mem::take(&mut self.invariants);
+        let mut found: Vec<(&'static str, String)> = Vec::new();
+        {
+            let view = ProtoView {
+                gauges: &self.gauges,
+                pools: &self.pools,
+                phase: "exit",
+            };
+            for inv in invariants
+                .iter()
+                .filter(|i| i.checkpoints.contains(&"exit"))
+            {
+                for msg in (inv.check)(&view) {
+                    found.push((inv.name, msg));
+                }
+            }
+        }
+        self.invariants = invariants;
+        let mut out = Vec::new();
+        for (name, msg) in found {
+            if self.inv_reported.insert(format!("{name}: {msg}")) {
+                let r = Report {
+                    time: now,
+                    process: "kernel".to_string(),
+                    kind: ReportKind::Invariant,
+                    message: format!("invariant '{name}' violated: {msg}"),
+                };
+                self.reports.push(r.clone());
+                out.push(r);
+            }
+        }
+        out
     }
 
     /// Build the deadlock wait-for graph and record one report per parked

@@ -1,0 +1,37 @@
+//! Scratch probe for tuning exploration budgets (not shipped as a test).
+
+use simcheck::{explore, scenarios};
+
+fn main() {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    let all = scenarios::protocol_scenarios()
+        .into_iter()
+        .chain(scenarios::bug_scenarios());
+    for s in all {
+        if !names.is_empty() && !names.iter().any(|n| n == s.name) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let v = explore(&s);
+        let dt = t0.elapsed();
+        println!(
+            "{}: schedules={} branched={} pruned={} max_index={} truncated={} ({:.2?})",
+            v.scenario,
+            v.stats.schedules,
+            v.stats.branched,
+            v.stats.pruned,
+            v.stats.max_index,
+            v.stats.truncated,
+            dt
+        );
+        match &v.counterexample {
+            None => println!("  PASS (exhaustive within budget)"),
+            Some(c) => {
+                println!("  VIOLATION after {} runs", c.runs_to_find);
+                println!("  original : {}", c.original);
+                println!("  minimized: {}", c.schedule);
+                println!("  message  : {}", c.message.lines().next().unwrap_or(""));
+            }
+        }
+    }
+}

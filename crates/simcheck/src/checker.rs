@@ -1,0 +1,120 @@
+//! The checker-controlled [`DeliveryScheduler`]: answers the fabric's
+//! per-packet delivery questions from a [`Schedule`] and logs every
+//! decision point for the explorer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ib_sim::{CtrlAction, CtrlPoint, DeliveryScheduler};
+use sim_core::lock::Mutex;
+use sim_core::SimDur;
+
+use crate::schedule::{Action, Schedule};
+
+/// One decision point, as observed during a run.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// Position in the run's decision sequence (the schedule's index).
+    pub index: usize,
+    /// Sending rank.
+    pub src: usize,
+    /// Destination rank.
+    pub dst: usize,
+    /// Travelled the intra-node shared-memory channel (reliable — cannot
+    /// be dropped).
+    pub shm: bool,
+    /// Packet kind (`"Rts"`, `"Cts"`, `"Fin"`, ... — `"?"` if unknown).
+    pub kind: &'static str,
+    /// Fabric-modeled arrival instant, ns of virtual time.
+    pub arrival_ns: u64,
+    /// Another control packet to the same destination was still in flight
+    /// when this decision was taken. This is the partial-order-reduction
+    /// condition: only then can delaying this packet change the
+    /// destination's arrival *order* — otherwise FIFO delivery is the
+    /// canonical representative of every delivery-order interleaving.
+    pub concurrent: bool,
+    /// What the schedule chose here.
+    pub action: Action,
+}
+
+struct Inner {
+    schedule: Schedule,
+    next: usize,
+    log: Vec<Decision>,
+    /// Control packets currently in flight, per destination rank.
+    inflight: HashMap<usize, usize>,
+}
+
+/// A [`DeliveryScheduler`] that replays a [`Schedule`].
+///
+/// Build one per run — decision indices restart at zero only with a fresh
+/// checker. After the run, [`log`](CheckScheduler::log) returns the full
+/// decision sequence (the explorer's branch-point menu).
+pub struct CheckScheduler {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl CheckScheduler {
+    /// A checker that answers from `schedule` (unlisted decisions deliver
+    /// FIFO).
+    pub fn new(schedule: Schedule) -> Arc<CheckScheduler> {
+        Arc::new(CheckScheduler {
+            inner: Arc::new(Mutex::new(Inner {
+                schedule,
+                next: 0,
+                log: Vec::new(),
+                inflight: HashMap::new(),
+            })),
+        })
+    }
+
+    /// The decision log of the run driven through this checker.
+    pub fn log(&self) -> Vec<Decision> {
+        self.inner.lock().log.clone()
+    }
+}
+
+impl DeliveryScheduler for CheckScheduler {
+    fn on_ctrl(&self, point: &CtrlPoint<'_>) -> CtrlAction {
+        let mut g = self.inner.lock();
+        let index = g.next;
+        g.next += 1;
+        let concurrent = g.inflight.get(&point.dst).copied().unwrap_or(0) > 0;
+        let action = g.schedule.action_at(index);
+        let kind = mpi_sim::packet_kind(point.payload).unwrap_or("?");
+        g.log.push(Decision {
+            index,
+            src: point.src,
+            dst: point.dst,
+            shm: point.shm,
+            kind,
+            arrival_ns: point.arrival.as_nanos(),
+            concurrent,
+            action,
+        });
+        let (ret, lands_at) = match action {
+            Action::Deliver => (CtrlAction::Deliver, Some(point.arrival)),
+            Action::Delay(ns) => (
+                CtrlAction::Delay(ns),
+                Some(point.arrival + SimDur::from_nanos(ns)),
+            ),
+            Action::Drop => (CtrlAction::Drop, None),
+        };
+        if let Some(at) = lands_at {
+            *g.inflight.entry(point.dst).or_insert(0) += 1;
+            let inner = Arc::clone(&self.inner);
+            let dst = point.dst;
+            drop(g);
+            // Un-count the packet when it lands. The timer fires at an
+            // instant the mailbox delivery already occupies, so it adds no
+            // new event times and cannot perturb the simulation.
+            sim_core::schedule_at(at, move || {
+                let mut g = inner.lock();
+                if let Some(c) = g.inflight.get_mut(&dst) {
+                    *c = c.saturating_sub(1);
+                }
+            });
+        }
+        ret
+    }
+}

@@ -1,0 +1,300 @@
+//! The exploration driver: breadth-first enumeration of delivery
+//! schedules.
+//!
+//! Stateless model checking: every schedule is a complete deterministic
+//! re-run of the scenario under a [`CheckScheduler`](crate::CheckScheduler).
+//! The explorer starts from the empty (FIFO) schedule, reads the decision
+//! log the run produced, and branches — for each decision point past the
+//! schedule's last divergence it generates child schedules that delay or
+//! drop that packet. Requiring new divergences to come strictly after the
+//! last existing one makes every schedule reachable exactly once (the
+//! choice list is built left to right), so no visited-set is needed.
+//!
+//! Partial-order reduction: a `Delay` branch is generated only at decision
+//! points whose packet was *concurrent* — another control packet to the
+//! same destination was still in flight. If nothing can overtake the
+//! packet, delaying it only shifts timestamps without reordering anything,
+//! and the FIFO run already covers that equivalence class. `Drop` branches
+//! model packet loss and are generated for every wire (non-shm) control
+//! packet when the scenario allows drops.
+
+use sim_core::san::Report;
+use sim_trace::Recorder;
+
+use crate::checker::Decision;
+use crate::schedule::{Action, Schedule};
+
+/// Bounds on the exploration.
+#[derive(Copy, Clone, Debug)]
+pub struct Budget {
+    /// Maximum divergences (non-FIFO choices) per schedule.
+    pub max_divergences: usize,
+    /// Decision points at index >= this are never branched on.
+    pub max_depth: usize,
+    /// Hard cap on schedules run (safety net; exploration is exhaustive
+    /// within the other bounds if this is not hit).
+    pub max_schedules: usize,
+    /// Virtual-time delay injected by a `Delay` branch, in nanoseconds.
+    /// Chosen at retry-timeout scale so a delayed packet genuinely lands
+    /// after its concurrent rivals.
+    pub delay_ns: u64,
+    /// Generate `Drop` branches (requires a fault-tolerant scenario:
+    /// retry machinery armed, sanitizer collecting).
+    pub allow_drops: bool,
+}
+
+impl Budget {
+    /// The documented default: up to 2 divergences, 24 decision points
+    /// deep, delays at 150us (past one retry timeout).
+    pub fn default_bounds() -> Budget {
+        Budget {
+            max_divergences: 2,
+            max_depth: 24,
+            max_schedules: 4096,
+            delay_ns: 150_000,
+            allow_drops: true,
+        }
+    }
+
+    /// A smaller budget for CI smoke runs.
+    pub fn smoke() -> Budget {
+        Budget {
+            max_divergences: 1,
+            max_depth: 16,
+            max_schedules: 256,
+            delay_ns: 150_000,
+            allow_drops: true,
+        }
+    }
+}
+
+/// Everything one run produced.
+pub struct RunOutcome {
+    /// `Ok(end-of-simulation virtual time, ns)` or the panic message that
+    /// aborted the run (deadlock, protocol panic, failed wait, ...).
+    pub end: Result<u64, String>,
+    /// Sanitizer reports collected during the run.
+    pub reports: Vec<Report>,
+    /// The decision log: every control packet the checker ruled on.
+    pub log: Vec<Decision>,
+}
+
+impl RunOutcome {
+    /// The violation this run exhibited, if any: a panic message, or the
+    /// rendered sanitizer reports.
+    pub fn violation(&self) -> Option<String> {
+        match &self.end {
+            Err(msg) => Some(msg.clone()),
+            Ok(_) if !self.reports.is_empty() => Some(
+                self.reports
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            ),
+            Ok(_) => None,
+        }
+    }
+}
+
+/// A checkable workload: a name, exploration bounds, and a closure that
+/// runs the workload once under a given schedule.
+///
+/// The closure must build a **fresh** world per call — stateless model
+/// checking re-runs the scenario from scratch for every schedule. The
+/// [`Recorder`] parameter lets replay harnesses capture traces;
+/// exploration passes [`Recorder::off`].
+pub struct Scenario {
+    /// Short kebab-case name (used in schedule files and reports).
+    pub name: &'static str,
+    /// Exploration bounds for this scenario.
+    pub budget: Budget,
+    /// Run the workload once under `schedule`.
+    #[allow(clippy::type_complexity)]
+    pub run: Box<dyn Fn(&Schedule, &Recorder) -> RunOutcome + Send + Sync>,
+}
+
+impl Scenario {
+    /// Run this scenario once under `schedule` without tracing.
+    pub fn run_once(&self, schedule: &Schedule) -> RunOutcome {
+        (self.run)(schedule, &Recorder::off())
+    }
+}
+
+/// Exploration statistics.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Stats {
+    /// Schedules actually run.
+    pub schedules: usize,
+    /// Delay branches suppressed by partial-order reduction (the decision
+    /// point was within bounds but its packet had no concurrent rival).
+    pub pruned: usize,
+    /// Child schedules generated (each is run exactly once).
+    pub branched: usize,
+    /// Highest decision index observed in any run.
+    pub max_index: usize,
+    /// True if the `max_schedules` cap cut the search short.
+    pub truncated: bool,
+}
+
+/// A violating schedule, minimized and ready to replay.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The delta-minimized schedule (greedy: no single choice can be
+    /// removed without losing the violation).
+    pub schedule: Schedule,
+    /// The schedule as first found, before minimization.
+    pub original: Schedule,
+    /// The violation message the minimized schedule reproduces.
+    pub message: String,
+    /// Schedules run before the violation was first found.
+    pub runs_to_find: usize,
+}
+
+/// The result of exploring one scenario.
+pub struct Verdict {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Exploration statistics.
+    pub stats: Stats,
+    /// `Some` if any schedule violated an invariant; `None` means every
+    /// schedule within the budget passed.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl Verdict {
+    /// True if no schedule within the budget violated anything.
+    pub fn passed(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// Child schedules of `schedule` given the decision log of its run.
+///
+/// Branches only at indices strictly past the schedule's last divergence
+/// (canonical left-to-right construction: each schedule is generated from
+/// exactly one parent) and below `max_depth`. Returns the children plus
+/// the number of POR-pruned delay candidates.
+fn expand(schedule: &Schedule, log: &[Decision], budget: &Budget) -> (Vec<Schedule>, usize) {
+    let mut children = Vec::new();
+    let mut pruned = 0;
+    if schedule.divergences() >= budget.max_divergences {
+        return (children, pruned);
+    }
+    let first = schedule.last_index().map_or(0, |i| i + 1);
+    for d in log {
+        if d.index < first || d.index >= budget.max_depth {
+            continue;
+        }
+        if d.concurrent {
+            children.push(schedule.with(d.index, Action::Delay(budget.delay_ns)));
+        } else {
+            pruned += 1;
+        }
+        if budget.allow_drops && !d.shm {
+            children.push(schedule.with(d.index, Action::Drop));
+        }
+    }
+    (children, pruned)
+}
+
+/// Greedy delta minimization: repeatedly try removing each choice; keep
+/// any removal that still reproduces the violation. The result is
+/// 1-minimal — removing any single remaining choice loses the violation.
+fn minimize(scenario: &Scenario, found: &Schedule, stats: &mut Stats) -> (Schedule, String) {
+    let mut current = found.clone();
+    let mut message = scenario
+        .run_once(&current)
+        .violation()
+        .expect("minimize called on a non-violating schedule");
+    stats.schedules += 1;
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < current.divergences() {
+            let candidate = current.without_nth(i);
+            let outcome = scenario.run_once(&candidate);
+            stats.schedules += 1;
+            if let Some(msg) = outcome.violation() {
+                current = candidate;
+                message = msg;
+                improved = true;
+                // Do not advance i: the choice that shifted into slot i
+                // has not been tried yet.
+            } else {
+                i += 1;
+            }
+        }
+        if !improved {
+            return (current, message);
+        }
+    }
+}
+
+/// Silence panic output from simulation threads (names starting with
+/// `sim:`) for the rest of the process. Exploration treats panics as
+/// verdicts — a violating schedule aborts its run by design, and the
+/// default hook would print a backtrace for every such run. Panics still
+/// propagate; only the printing is suppressed. Idempotent.
+pub fn silence_expected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("sim:"));
+            if !quiet {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// Exhaustively explore `scenario` within its budget.
+///
+/// Runs the FIFO schedule first, then breadth-first over generated
+/// children — schedules with fewer divergences run before deeper ones,
+/// so the first violation found is already as shallow as the budget
+/// allows. Stops at the first violation and returns it delta-minimized;
+/// a `None` counterexample means every schedule within the bounds
+/// passed.
+pub fn explore(scenario: &Scenario) -> Verdict {
+    let mut stats = Stats::default();
+    let mut queue = std::collections::VecDeque::from([Schedule::empty()]);
+    let mut counterexample = None;
+
+    while let Some(schedule) = queue.pop_front() {
+        if stats.schedules >= scenario.budget.max_schedules {
+            stats.truncated = true;
+            break;
+        }
+        let outcome = scenario.run_once(&schedule);
+        stats.schedules += 1;
+        if let Some(d) = outcome.log.last() {
+            stats.max_index = stats.max_index.max(d.index);
+        }
+        if outcome.violation().is_some() {
+            let runs_to_find = stats.schedules;
+            let (minimized, message) = minimize(scenario, &schedule, &mut stats);
+            counterexample = Some(Counterexample {
+                schedule: minimized,
+                original: schedule,
+                message,
+                runs_to_find,
+            });
+            break;
+        }
+        let (children, pruned) = expand(&schedule, &outcome.log, &scenario.budget);
+        stats.pruned += pruned;
+        stats.branched += children.len();
+        queue.extend(children);
+    }
+
+    Verdict {
+        scenario: scenario.name,
+        stats,
+        counterexample,
+    }
+}

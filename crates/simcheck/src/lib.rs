@@ -1,0 +1,43 @@
+//! # simcheck — exhaustive control-plane model checking
+//!
+//! Enumerates control-packet delivery interleavings of the simulated MPI
+//! runtime and checks every run against the registered protocol
+//! invariants (see `mpi_sim::invariants`) plus the workload's own data
+//! verification.
+//!
+//! The pieces:
+//!
+//! * [`Schedule`] — a sparse choice-list (`decision index → deliver /
+//!   delay / drop`) that fully determines a run. Serializes to a
+//!   replayable text format.
+//! * [`CheckScheduler`] — an `ib_sim::DeliveryScheduler` that answers the
+//!   fabric's per-packet questions from a schedule and logs every
+//!   decision point.
+//! * [`explore`](explore()) — the breadth-first driver: runs the FIFO
+//!   schedule, branches on logged decision points (with partial-order
+//!   reduction: a delay branch only where a reordering is possible),
+//!   stops at the first violation and returns it delta-minimized.
+//! * [`scenarios`] — checkable workloads covering the staged, direct,
+//!   shm-eager and D2D protocols, plus two scenarios with PR 3's
+//!   liveness bugs reintroduced behind config toggles (the checker must
+//!   rediscover both).
+//!
+//! ```no_run
+//! use simcheck::{explore, scenarios};
+//!
+//! let verdict = explore(&scenarios::staged_2rank());
+//! assert!(verdict.passed(), "{:?}", verdict.counterexample);
+//! ```
+
+#![warn(missing_docs)]
+
+mod checker;
+mod explore;
+pub mod scenarios;
+mod schedule;
+
+pub use checker::{CheckScheduler, Decision};
+pub use explore::{
+    explore, silence_expected_panics, Budget, Counterexample, RunOutcome, Scenario, Stats, Verdict,
+};
+pub use schedule::{Action, Schedule};

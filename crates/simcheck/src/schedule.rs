@@ -1,0 +1,189 @@
+//! Schedules: sparse choice-lists over delivery decision points.
+//!
+//! Every control packet the fabric asks the checker about is one *decision
+//! point*, numbered in the order the questions are asked. Because the
+//! simulation is deterministic given the checker's answers, a schedule —
+//! the list of decision points where the checker deviated from FIFO
+//! delivery — fully determines a run. The empty schedule is the default
+//! FIFO execution; a counterexample is a schedule whose run violates an
+//! invariant, and it replays exactly from this representation.
+
+use std::fmt;
+
+/// What the checker does with one control packet.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Deliver at the fabric-modeled arrival instant (the FIFO default).
+    Deliver,
+    /// Deliver late by the given number of virtual nanoseconds, letting
+    /// packets behind it (to the same destination) overtake it.
+    Delay(u64),
+    /// Never deliver. Only valid for wire control packets on a
+    /// fault-tolerant fabric — the shared-memory channel is reliable by
+    /// construction and the fabric panics on an shm drop.
+    Drop,
+}
+
+/// A sparse choice-list: `(decision index, non-default action)` pairs,
+/// strictly increasing in index. Every unlisted decision is
+/// [`Action::Deliver`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule {
+    choices: Vec<(usize, Action)>,
+}
+
+impl Schedule {
+    /// The empty (FIFO) schedule.
+    pub fn empty() -> Schedule {
+        Schedule::default()
+    }
+
+    /// Build from `(index, action)` pairs (sorted by index internally).
+    pub fn from_choices(mut choices: Vec<(usize, Action)>) -> Schedule {
+        choices.sort_by_key(|&(i, _)| i);
+        Schedule { choices }
+    }
+
+    /// The choice list, sorted by decision index.
+    pub fn choices(&self) -> &[(usize, Action)] {
+        &self.choices
+    }
+
+    /// This schedule plus one more divergence at `idx`.
+    pub fn with(&self, idx: usize, action: Action) -> Schedule {
+        let mut c = self.choices.clone();
+        c.push((idx, action));
+        Schedule::from_choices(c)
+    }
+
+    /// The schedule with the `i`-th choice removed (delta minimization).
+    pub fn without_nth(&self, i: usize) -> Schedule {
+        let mut c = self.choices.clone();
+        c.remove(i);
+        Schedule { choices: c }
+    }
+
+    /// The action at decision `idx` ([`Action::Deliver`] if unlisted).
+    pub fn action_at(&self, idx: usize) -> Action {
+        self.choices
+            .iter()
+            .find(|&&(i, _)| i == idx)
+            .map_or(Action::Deliver, |&(_, a)| a)
+    }
+
+    /// Highest decision index with a non-default choice.
+    pub fn last_index(&self) -> Option<usize> {
+        self.choices.last().map(|&(i, _)| i)
+    }
+
+    /// Number of non-default choices.
+    pub fn divergences(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Serialize to the replayable text format:
+    ///
+    /// ```text
+    /// # simcheck schedule v1
+    /// # scenario: direct-2rank
+    /// 2 drop
+    /// 5 delay 100000
+    /// ```
+    pub fn to_text(&self, scenario: &str) -> String {
+        let mut out = String::from("# simcheck schedule v1\n");
+        out.push_str(&format!("# scenario: {scenario}\n"));
+        for &(idx, action) in &self.choices {
+            match action {
+                Action::Deliver => out.push_str(&format!("{idx} deliver\n")),
+                Action::Delay(ns) => out.push_str(&format!("{idx} delay {ns}\n")),
+                Action::Drop => out.push_str(&format!("{idx} drop\n")),
+            }
+        }
+        out
+    }
+
+    /// Parse the text format written by [`to_text`](Schedule::to_text)
+    /// (comment and blank lines are skipped).
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        let mut choices = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let idx: usize = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing index", lineno + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: bad index: {e}", lineno + 1))?;
+            let action = match parts.next() {
+                Some("deliver") => Action::Deliver,
+                Some("drop") => Action::Drop,
+                Some("delay") => {
+                    let ns: u64 = parts
+                        .next()
+                        .ok_or_else(|| format!("line {}: delay needs nanoseconds", lineno + 1))?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad delay: {e}", lineno + 1))?;
+                    Action::Delay(ns)
+                }
+                other => {
+                    return Err(format!("line {}: unknown action {other:?}", lineno + 1));
+                }
+            };
+            if action != Action::Deliver {
+                choices.push((idx, action));
+            }
+        }
+        Ok(Schedule::from_choices(choices))
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.choices.is_empty() {
+            return write!(f, "FIFO");
+        }
+        let parts: Vec<String> = self
+            .choices
+            .iter()
+            .map(|&(i, a)| match a {
+                Action::Deliver => format!("deliver#{i}"),
+                Action::Delay(ns) => format!("delay#{i}+{ns}ns"),
+                Action::Drop => format!("drop#{i}"),
+            })
+            .collect();
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trips() {
+        let s = Schedule::from_choices(vec![(5, Action::Delay(100_000)), (2, Action::Drop)]);
+        let text = s.to_text("unit");
+        let back = Schedule::parse(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.choices()[0], (2, Action::Drop));
+        assert_eq!(back.action_at(5), Action::Delay(100_000));
+        assert_eq!(back.action_at(3), Action::Deliver);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Schedule::parse("1 teleport").is_err());
+        assert!(Schedule::parse("x drop").is_err());
+        assert!(Schedule::parse("1 delay").is_err());
+    }
+
+    #[test]
+    fn display_names_fifo() {
+        assert_eq!(Schedule::empty().to_string(), "FIFO");
+        let s = Schedule::empty().with(3, Action::Drop);
+        assert_eq!(s.to_string(), "drop#3");
+    }
+}

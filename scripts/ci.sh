@@ -36,6 +36,14 @@ echo "==> fault campaign smoke (retry/recovery byte-identical guard)"
 cargo run --release -q -p bench --bin fault_campaign -- \
     --out /tmp/fault_campaign_smoke.json > /dev/null
 
+echo "==> model checking smoke (exhaustive protocol pass + seeded-bug rediscovery)"
+# The bin itself asserts that all protocol scenarios pass exhaustively
+# within the smoke budget and that both reintroduced liveness bugs are
+# found with minimized counterexamples.
+cargo run --release -q -p bench --bin modelcheck -- \
+    --smoke true --out /tmp/modelcheck_smoke.json > /dev/null
+[[ -s /tmp/modelcheck_smoke.json ]] || { echo "empty modelcheck report"; exit 1; }
+
 echo "==> trace report smoke (overlap/rdma-utilization guards + Chrome export)"
 # The bin itself asserts the overlap factor, rdma-lane utilization and
 # that the Chrome export parses back with >0 trace events.

@@ -14,6 +14,7 @@
 //! * [`mv2_gpu_nc`] — the paper's contribution: GPU-aware non-contiguous
 //!   datatype communication (offloaded packing + 5-stage pipeline)
 //! * [`stencil2d`] — SHOC Stencil2D application benchmark
+//! * [`simcheck`] — exhaustive control-plane model checking
 
 pub use gpu_sim;
 pub use halo3d;
@@ -24,4 +25,5 @@ pub use mv2_gpu_nc;
 pub use osu_micro;
 pub use sim_core;
 pub use sim_trace;
+pub use simcheck;
 pub use stencil2d;

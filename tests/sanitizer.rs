@@ -135,6 +135,121 @@ fn staged_transfer_without_fault_is_clean() {
     assert!(staged_transfer_reports(false).is_empty());
 }
 
+/// Seeded bug #2b: `MpiConfig::fault_drop_dev_credit` makes the receiver
+/// of a D2D device transfer swallow its first CREDIT-dev instead of
+/// sending it, stranding the sender's packed device tbuf. The sender's
+/// `dev_tbuf` pool accounting must flag the leak at exit. The sender polls
+/// its isend a bounded number of times and then abandons it — the credit
+/// will never come — so the job still reaches exit reconciliation.
+fn d2d_transfer_reports(fault: bool) -> Vec<Report> {
+    let cfg = MpiConfig {
+        fault_drop_dev_credit: fault,
+        ..MpiConfig::default()
+    };
+    let (_end, reports) = GpuCluster::new(2)
+        .mpi_config(cfg)
+        .ppn(2) // co-located: the D2D (shared-GPU) rendezvous path
+        .sanitizer(SanitizerMode::Collect)
+        .run_with_reports(|env| {
+            let x = VectorXfer::paper(64 << 10);
+            let dev = env.gpu.malloc(x.extent());
+            if env.comm.rank() == 0 {
+                fill_vector(&env.gpu, dev, &x, 9);
+                let req = env.comm.isend(dev, 1, &x.dtype(), 1, 0);
+                for _ in 0..64 {
+                    if env.comm.test(&req) {
+                        break;
+                    }
+                    sim_core::sleep(sim_core::SimDur::from_micros(20));
+                }
+                if env.comm.test(&req) {
+                    env.comm.wait(req); // reap (clean run)
+                }
+                // Faulted run: the credit never comes — abandon the
+                // request. The quiescence invariant flags that too.
+            } else {
+                env.comm.recv(dev, 1, &x.dtype(), 0, 0);
+            }
+        });
+    reports
+}
+
+#[test]
+fn dropped_dev_credit_leaks_tbuf() {
+    let reports = d2d_transfer_reports(true);
+    let leaks: Vec<&Report> = reports
+        .iter()
+        .filter(|r| r.kind == ReportKind::PoolLeak)
+        .collect();
+    assert!(
+        !leaks.is_empty(),
+        "expected a dev_tbuf pool-leak report, got: {reports:?}"
+    );
+    assert!(
+        leaks.iter().any(|r| r.message.contains("rank0.dev_tbuf")),
+        "leak report names the sender's device tbuf pool: {leaks:?}"
+    );
+}
+
+#[test]
+fn d2d_transfer_without_fault_is_clean() {
+    assert!(d2d_transfer_reports(false).is_empty());
+}
+
+/// Seeded bug #2c: `MpiConfig::fault_shm_eager_oversize` makes the sender
+/// apply twice the configured shm eager limit toward co-located peers, so
+/// a payload between the real limit and twice the limit ships eagerly.
+/// The receiver-side protocol linter must flag the oversized payload.
+fn shm_eager_reports(fault: bool) -> Vec<Report> {
+    use gpu_nc_repro::mpi_sim::{Datatype, MpiWorld};
+    let cfg = MpiConfig {
+        fault_shm_eager_oversize: fault,
+        ..MpiConfig::default()
+    };
+    let n = 40 << 10; // between shm_eager_limit (32 KiB) and 2x
+    let (_end, reports) = MpiWorld::new(2)
+        .with_config(cfg)
+        .with_ppn(2)
+        .with_sanitizer(SanitizerMode::Collect)
+        .run_with_reports(move |comm| {
+            let t = Datatype::byte();
+            t.commit();
+            if comm.rank() == 0 {
+                let buf = HostBuf::from_vec(vec![5u8; n]);
+                comm.send(buf.base(), n, &t, 1, 0);
+            } else {
+                let buf = HostBuf::alloc(n);
+                let st = comm.recv(buf.base(), n, &t, 0, 0);
+                assert_eq!(st.bytes, n);
+                assert_eq!(buf.read(0, n), vec![5u8; n], "payload still delivered");
+            }
+        });
+    reports
+}
+
+#[test]
+fn oversized_shm_eager_is_reported() {
+    let reports = shm_eager_reports(true);
+    let protocol: Vec<&Report> = reports
+        .iter()
+        .filter(|r| r.kind == ReportKind::Protocol)
+        .collect();
+    assert!(
+        !protocol.is_empty(),
+        "expected a protocol report, got: {reports:?}"
+    );
+    assert!(
+        protocol[0].message.contains("eager payload"),
+        "linter names the oversized payload: {}",
+        protocol[0].message
+    );
+}
+
+#[test]
+fn shm_eager_within_limit_is_clean() {
+    assert!(shm_eager_reports(false).is_empty());
+}
+
 /// Seeded bug #3: a park cycle. Two processes each wait on a completion
 /// only the other would complete. The kernel's hang panic must carry a
 /// wait-for graph naming each process and what it blocks on, and the
