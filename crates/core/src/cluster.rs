@@ -9,8 +9,12 @@ use gpu_sim::{CostModel, Gpu};
 use ib_sim::{DeliveryScheduler, Fabric, FaultSpec, NetModel, ShmModel, Topology};
 use mpi_sim::staging::BufferStager;
 use mpi_sim::{ChunkPolicy, Comm, MpiConfig};
-use sim_core::{Report, SanitizerMode, Sim, SimTime};
+use sim_core::{ExecMode, Report, SanitizerMode, Sim, SimTime, WakeEvent};
 use sim_trace::Recorder;
+
+/// Shared sink for a run's scheduling-grant trace (see
+/// [`GpuCluster::wake_trace`]).
+pub type WakeTraceSink = Arc<std::sync::Mutex<Vec<WakeEvent>>>;
 
 use crate::stager::GpuStager;
 
@@ -39,6 +43,8 @@ pub struct GpuCluster {
     fault_spec: Option<FaultSpec>,
     recorder: Option<Recorder>,
     scheduler: Option<Arc<dyn DeliveryScheduler>>,
+    exec: Option<ExecMode>,
+    wake_sink: Option<WakeTraceSink>,
 }
 
 impl GpuCluster {
@@ -57,7 +63,26 @@ impl GpuCluster {
             fault_spec: None,
             recorder: None,
             scheduler: None,
+            exec: None,
+            wake_sink: None,
         }
+    }
+
+    /// Select the process carrier explicitly (see [`ExecMode`]): fibers on
+    /// one kernel thread (`Event`, the default) or one OS thread per rank
+    /// (`Threads`). Virtual-time results are identical either way.
+    pub fn exec(mut self, mode: ExecMode) -> Self {
+        self.exec = Some(mode);
+        self
+    }
+
+    /// Record every scheduling grant of the run into `sink` (see
+    /// [`sim_core::WakeEvent`]). The trace is carrier-independent — runs
+    /// under [`ExecMode::Event`] and [`ExecMode::Threads`] must produce
+    /// identical traces, which the scale sweep's smoke mode asserts.
+    pub fn wake_trace(mut self, sink: WakeTraceSink) -> Self {
+        self.wake_sink = Some(sink);
+        self
     }
 
     /// Place `ppn` consecutive ranks per node (blocked mapping). The ranks
@@ -180,6 +205,12 @@ impl GpuCluster {
         F: Fn(&GpuRankEnv) + Send + Sync + 'static,
     {
         let sim = Sim::new();
+        if let Some(mode) = self.exec {
+            sim.set_exec_mode(mode);
+        }
+        if self.wake_sink.is_some() {
+            sim.record_wake_trace();
+        }
         sim.set_sanitizer(self.sanitizer);
         if let Err(e) = self.mpi.try_validate_topology(self.n) {
             panic!("MpiConfig: {e}");
@@ -204,6 +235,7 @@ impl GpuCluster {
         if let Some(s) = self.scheduler.clone() {
             fabric.set_delivery_scheduler(s);
         }
+        fabric.attach_event_pump(&sim);
         let f = Arc::new(f);
         let rec = self.recorder.clone().unwrap_or_default();
         fabric.attach_recorder(&rec);
@@ -214,6 +246,12 @@ impl GpuCluster {
             .map(|node| {
                 let gpu = Gpu::new(node as u32, self.gpu_cost.clone(), self.gpu_mem);
                 gpu.attach_recorder(&rec);
+                if self.wake_sink.is_some() {
+                    // Cross-check runs also observe GPU completions through
+                    // the component layer; the monitor wakes must replay
+                    // identically across carriers like everything else.
+                    gpu.attach_event_monitor(&sim);
+                }
                 gpu
             })
             .collect();
@@ -240,6 +278,9 @@ impl GpuCluster {
         }
         let end = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()))
             .map_err(panic_message);
+        if let Some(sink) = &self.wake_sink {
+            *sink.lock().unwrap() = sim.wake_trace();
+        }
         (end, sim.sanitizer_reports())
     }
 }

@@ -47,7 +47,7 @@ pub mod schemes;
 mod stager;
 pub mod timeline;
 
-pub use cluster::{GpuCluster, GpuRankEnv};
+pub use cluster::{GpuCluster, GpuRankEnv, WakeTraceSink};
 pub use gpu_pack::SegmentMap;
 pub use ib_sim::{FaultSpec, ShmModel, Topology};
 pub use pools::{Tbuf, TbufPool};

@@ -154,6 +154,32 @@ struct GpuInner {
     san_domain: u64,
     /// Trace lanes, one per engine, when a recorder is attached.
     trace: Mutex<Option<[sim_trace::Lane; ENGINES]>>,
+    /// Event monitor (see [`Gpu::attach_event_monitor`]): every scheduled
+    /// operation's completion also wakes this component. `None` (default)
+    /// skips the hook entirely.
+    monitor: Mutex<Option<MonitorHook>>,
+}
+
+/// An attached completion monitor: the component's waker plus the shared
+/// cell where its ticks record the latest completion instant seen.
+type MonitorHook = (sim_core::Waker, Arc<Mutex<Option<SimTime>>>);
+
+/// Stackless observer of a device's operation completions: woken (with
+/// coalescing) at each operation's finish instant, it records the latest
+/// completion it has seen. Purely observational — attaching it never moves
+/// an event.
+struct EngineMonitor {
+    last_seen: Arc<Mutex<Option<SimTime>>>,
+}
+
+impl sim_core::Component for EngineMonitor {
+    fn tick(&mut self, now: SimTime) -> Option<SimTime> {
+        let mut last = self.last_seen.lock();
+        if last.is_none_or(|t| t < now) {
+            *last = Some(now);
+        }
+        None
+    }
 }
 
 /// One simulated GPU. Clones are shallow handles to the same device.
@@ -189,6 +215,7 @@ impl Gpu {
                 counters: CallCounters::new(),
                 san_domain: san::new_queue_domain(),
                 trace: Mutex::new(None),
+                monitor: Mutex::new(None),
             }),
         };
         // Stream 0: used by the synchronous copy API.
@@ -225,6 +252,35 @@ impl Gpu {
         let lane = |name| rec.lane(&scope, name, sim_trace::LaneKind::GpuEngine);
         *self.inner.trace.lock() = Some([lane("h2d"), lane("d2h"), lane("d2d"), lane("compute")]);
         rec.register_counters(&scope, &self.inner.counters);
+    }
+
+    /// Register a stackless completion monitor on `sim`'s kernel: every
+    /// operation scheduled on this device wakes the component at its finish
+    /// instant (coalesced), turning stream/copy completions into component
+    /// wakes. Observational only — attaching it never changes the timing of
+    /// any operation, completion, or waiter. Returns the monitor's waker
+    /// (its tick count = distinct completion instants observed).
+    pub fn attach_event_monitor(&self, sim: &sim_core::Sim) -> sim_core::Waker {
+        let last_seen = Arc::new(Mutex::new(None));
+        let w = sim.add_component(
+            format!("gpu{}.events", self.inner.id),
+            EngineMonitor {
+                last_seen: Arc::clone(&last_seen),
+            },
+        );
+        *self.inner.monitor.lock() = Some((w.clone(), last_seen));
+        w
+    }
+
+    /// Latest completion instant the event monitor has observed (`None`
+    /// without [`attach_event_monitor`](Gpu::attach_event_monitor) or before
+    /// the first completion).
+    pub fn last_completion_seen(&self) -> Option<SimTime> {
+        self.inner
+            .monitor
+            .lock()
+            .as_ref()
+            .and_then(|(_, last)| *last.lock())
     }
 
     // --- memory management -------------------------------------------------
@@ -458,6 +514,9 @@ impl Gpu {
         let c = Completion::ready_between(start, end);
         if let Some(o) = op {
             c.attach_ops(&[o]);
+        }
+        if let Some((w, _)) = &*self.inner.monitor.lock() {
+            c.notify_component(w);
         }
         c
     }

@@ -21,9 +21,28 @@ use sim_core::lock::Mutex;
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Zero-filled backing storage that materializes on first write.
+///
+/// MPI-style workloads register large pools of bounce buffers at init and
+/// touch only a few of them; at 1k+ simulated ranks the eager `vec![0; len]`
+/// per buffer dominated wall-clock (tens of GB faulted, zeroed and unmapped
+/// per run). Reads of an unmaterialized buffer see zeros without
+/// allocating; the vector exists only once something is written.
+struct Storage {
+    len: usize,
+    vec: Option<Vec<u8>>,
+}
+
+impl Storage {
+    fn materialize(&mut self) -> &mut Vec<u8> {
+        let len = self.len;
+        self.vec.get_or_insert_with(|| vec![0u8; len])
+    }
+}
+
 struct Inner {
     id: u64,
-    data: Mutex<Vec<u8>>,
+    data: Mutex<Storage>,
     pinned: AtomicBool,
 }
 
@@ -40,9 +59,18 @@ impl fmt::Debug for HostBuf {
 }
 
 impl HostBuf {
-    /// Allocate a zero-filled buffer of `len` bytes.
+    /// Allocate a zero-filled buffer of `len` bytes. The backing memory is
+    /// not touched until the first write (see [`Storage`]), so large pools
+    /// of rarely-used staging buffers cost nothing but address-space
+    /// bookkeeping.
     pub fn alloc(len: usize) -> Self {
-        Self::from_vec(vec![0u8; len])
+        HostBuf {
+            inner: Arc::new(Inner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                data: Mutex::new(Storage { len, vec: None }),
+                pinned: AtomicBool::new(false),
+            }),
+        }
     }
 
     /// Wrap an existing byte vector.
@@ -50,7 +78,10 @@ impl HostBuf {
         HostBuf {
             inner: Arc::new(Inner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
-                data: Mutex::new(v),
+                data: Mutex::new(Storage {
+                    len: v.len(),
+                    vec: Some(v),
+                }),
                 pinned: AtomicBool::new(false),
             }),
         }
@@ -63,7 +94,13 @@ impl HostBuf {
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.inner.data.lock().len()
+        self.inner.data.lock().len
+    }
+
+    /// Whether the backing vector has been materialized by a write (for
+    /// diagnostics and the laziness regression test).
+    pub fn is_materialized(&self) -> bool {
+        self.inner.data.lock().vec.is_some()
     }
 
     /// True for zero-length buffers.
@@ -105,15 +142,19 @@ impl HostBuf {
         let data = self.inner.data.lock();
         let end = offset
             .checked_add(out.len())
-            .filter(|&e| e <= data.len())
+            .filter(|&e| e <= data.len)
             .unwrap_or_else(|| {
                 panic!(
                     "HostBuf::read_into: range {offset}..+{} out of bounds (len {})",
                     out.len(),
-                    data.len()
+                    data.len
                 )
             });
-        out.copy_from_slice(&data[offset..end]);
+        match &data.vec {
+            Some(v) => out.copy_from_slice(&v[offset..end]),
+            // Never written: still all zeros, no need to materialize.
+            None => out.fill(0),
+        }
     }
 
     /// Read `len` bytes starting at `offset`.
@@ -129,15 +170,15 @@ impl HostBuf {
         let mut data = self.inner.data.lock();
         let end = offset
             .checked_add(src.len())
-            .filter(|&e| e <= data.len())
+            .filter(|&e| e <= data.len)
             .unwrap_or_else(|| {
                 panic!(
                     "HostBuf::write: range {offset}..+{} out of bounds (len {})",
                     src.len(),
-                    data.len()
+                    data.len
                 )
             });
-        data[offset..end].copy_from_slice(src);
+        data.materialize()[offset..end].copy_from_slice(src);
     }
 
     /// Gather `height` rows of `width` bytes whose starts are `pitch` bytes
@@ -171,14 +212,19 @@ impl HostBuf {
         let data = self.inner.data.lock();
         let last_end = offset + (height - 1) * pitch + width;
         assert!(
-            last_end <= data.len(),
+            last_end <= data.len,
             "HostBuf::read_strided: {height} rows of {width}B at pitch {pitch} from {offset} \
              exceed buffer (len {})",
-            data.len()
+            data.len
         );
-        for (r, row) in out.chunks_exact_mut(width).enumerate() {
-            let s = offset + r * pitch;
-            row.copy_from_slice(&data[s..s + width]);
+        match &data.vec {
+            Some(v) => {
+                for (r, row) in out.chunks_exact_mut(width).enumerate() {
+                    let s = offset + r * pitch;
+                    row.copy_from_slice(&v[s..s + width]);
+                }
+            }
+            None => out.fill(0),
         }
     }
 
@@ -210,14 +256,15 @@ impl HostBuf {
         let mut data = self.inner.data.lock();
         let last_end = offset + (height - 1) * pitch + width;
         assert!(
-            last_end <= data.len(),
+            last_end <= data.len,
             "HostBuf::write_strided: {height} rows of {width}B at pitch {pitch} from {offset} \
              exceed buffer (len {})",
-            data.len()
+            data.len
         );
+        let v = data.materialize();
         for (r, row) in src.chunks_exact(width).enumerate() {
             let s = offset + r * pitch;
-            data[s..s + width].copy_from_slice(row);
+            v[s..s + width].copy_from_slice(row);
         }
     }
 
@@ -226,7 +273,7 @@ impl HostBuf {
     /// the whole buffer for the sanitizer.
     pub fn with_slice<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
         sim_core::san::on_host_access(self.inner.id, 0, self.len(), true);
-        f(&mut self.inner.data.lock())
+        f(self.inner.data.lock().materialize())
     }
 
     /// Byte-for-byte copy between host buffers (may be the same buffer as
@@ -236,14 +283,14 @@ impl HostBuf {
             let mut data = src.buf.inner.data.lock();
             let (s, d, l) = (src.offset, dst.offset, len);
             assert!(
-                s + l <= data.len() && d + l <= data.len(),
+                s + l <= data.len && d + l <= data.len,
                 "HostBuf::copy: out of bounds"
             );
             assert!(
                 s + l <= d || d + l <= s || l == 0,
                 "HostBuf::copy: overlapping ranges within one buffer"
             );
-            data.copy_within(s..s + l, d);
+            data.materialize().copy_within(s..s + l, d);
         } else {
             let tmp = src.buf.read(src.offset, len);
             dst.buf.write(dst.offset, &tmp);
@@ -358,6 +405,21 @@ mod tests {
         assert_eq!(b.len(), 16);
         assert!(!b.is_empty());
         assert!(HostBuf::alloc(0).is_empty());
+    }
+
+    #[test]
+    fn alloc_is_lazy_until_first_write() {
+        let b = HostBuf::alloc(1 << 20);
+        assert!(!b.is_materialized(), "fresh buffer must not allocate");
+        assert_eq!(b.read(1 << 19, 4), vec![0u8; 4]);
+        let mut out = vec![0xffu8; 8];
+        b.read_strided(0, 16, 4, 2, &mut out);
+        assert_eq!(out, vec![0u8; 8]);
+        assert!(!b.is_materialized(), "reads see zeros without allocating");
+        b.write(7, &[1]);
+        assert!(b.is_materialized());
+        assert_eq!(b.read(6, 3), vec![0, 1, 0]);
+        assert!(HostBuf::from_vec(vec![1, 2]).is_materialized());
     }
 
     #[test]

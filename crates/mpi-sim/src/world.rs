@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use ib_sim::{DeliveryScheduler, Fabric, FaultSpec, NetModel, ShmModel, Topology};
-use sim_core::{Report, SanitizerMode, Sim, SimTime};
+use sim_core::{ExecMode, Report, SanitizerMode, Sim, SimTime};
 
 use crate::comm::Comm;
 use crate::proto::MpiConfig;
@@ -23,6 +23,7 @@ pub struct MpiWorld {
     faults: Option<FaultSpec>,
     recorder: Option<sim_trace::Recorder>,
     scheduler: Option<Arc<dyn DeliveryScheduler>>,
+    exec: Option<ExecMode>,
 }
 
 impl MpiWorld {
@@ -38,7 +39,16 @@ impl MpiWorld {
             faults: None,
             recorder: None,
             scheduler: None,
+            exec: None,
         }
+    }
+
+    /// Select the process carrier explicitly (see [`ExecMode`]): fibers on
+    /// one kernel thread (`Event`, the default) or one OS thread per rank
+    /// (`Threads`). Virtual-time results are identical either way.
+    pub fn with_exec(mut self, mode: ExecMode) -> Self {
+        self.exec = Some(mode);
+        self
     }
 
     /// Place `ppn` consecutive ranks on each node (blocked mapping: ranks
@@ -139,6 +149,9 @@ impl MpiWorld {
         F: Fn(Comm) + Send + Sync + 'static,
     {
         let sim = Sim::new();
+        if let Some(mode) = self.exec {
+            sim.set_exec_mode(mode);
+        }
         sim.set_sanitizer(self.sanitizer);
         if let Err(e) = self.cfg.try_validate_topology(self.n) {
             panic!("MpiConfig: {e}");
@@ -160,6 +173,10 @@ impl MpiWorld {
             self.shm.clone(),
             self.faults.clone(),
         );
+        // Fabric delivery rides the event-driven pump: pending-heap entries
+        // drained by a stackless tick instead of one boxed closure per
+        // packet. Exact-wake discipline — virtual times are unchanged.
+        fabric.attach_event_pump(&sim);
         let rec = self
             .recorder
             .clone()

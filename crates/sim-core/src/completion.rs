@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use crate::lock::Mutex;
 
+use crate::component::Waker;
 use crate::kernel::{self, ProcHandle};
 use crate::san;
 use crate::time::SimTime;
@@ -26,6 +27,8 @@ struct CompState {
     error: bool,
     /// Processes parked waiting for a finish time to be assigned.
     waiters: Vec<ProcHandle>,
+    /// Stackless consumers: woken at the finish instant once it is known.
+    components: Vec<Waker>,
     /// Sanitizer: async operations this completion synchronizes with. A
     /// successful wait/poll acquires them for the caller.
     ops: Vec<san::OpId>,
@@ -54,6 +57,7 @@ impl Completion {
                 done_at: Some(t),
                 error: false,
                 waiters: Vec::new(),
+                components: Vec::new(),
                 ops: Vec::new(),
             })),
         }
@@ -97,11 +101,14 @@ impl Completion {
     /// Assign the finish time. Waiters parked on this completion are woken at
     /// `max(t, now)`. Panics if the completion already has a finish time.
     pub fn complete_at(&self, t: SimTime) {
-        let waiters = {
+        let (waiters, components) = {
             let st = &mut *self.inner.lock();
             assert!(st.done_at.is_none(), "Completion::complete_at called twice");
             st.done_at = Some(t);
-            std::mem::take(&mut st.waiters)
+            (
+                std::mem::take(&mut st.waiters),
+                std::mem::take(&mut st.components),
+            )
         };
         if !waiters.is_empty() {
             let wake_at = t.max(kernel::now());
@@ -112,6 +119,26 @@ impl Completion {
                     h.unpark();
                 }
             });
+        }
+        for w in components {
+            w.wake_at(t);
+        }
+    }
+
+    /// Subscribe a stackless component: it receives a coalesced wake at the
+    /// finish instant. If the finish time is already assigned the wake is
+    /// issued immediately (for that instant, which may be in the past — the
+    /// kernel clamps to now). Timing of waiters and pollers is unaffected.
+    pub fn notify_component(&self, w: &Waker) {
+        let done = {
+            let mut st = self.inner.lock();
+            if st.done_at.is_none() {
+                st.components.push(w.clone());
+            }
+            st.done_at
+        };
+        if let Some(t) = done {
+            w.wake_at(t);
         }
     }
 

@@ -32,10 +32,65 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 
+use crate::fiber::{self, Fiber};
 use crate::lock::{Condvar, Mutex};
 
 use crate::san::{Report, SanData, SanitizerMode};
 use crate::time::{SimDur, SimTime};
+
+/// How simulated processes are carried by the host.
+///
+/// Both modes make *identical* scheduling decisions — every `(virtual time,
+/// admission sequence)` pair is bit-identical — because the kernel's decision
+/// logic never consults the carrier. The difference is pure wall-clock cost
+/// and footprint.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Legacy mode: one OS thread per process, handed the virtual CPU
+    /// through a condvar grant protocol. Simple, but every scheduling
+    /// decision costs two OS-level round-trips and every rank costs a
+    /// thread, capping practical runs at tens of ranks.
+    Threads,
+    /// Event-driven mode: processes run as stackful fibers multiplexed on
+    /// the kernel's own OS thread, switched in and out directly by the run
+    /// loop. Thread count stays O(1) in the number of ranks and a context
+    /// switch is a register swap, enabling 1k+-rank simulations.
+    Event,
+}
+
+impl ExecMode {
+    /// The build/environment default: `Event` where fibers are supported,
+    /// overridable with `SIM_EXEC=threads|event`.
+    pub fn default_mode() -> ExecMode {
+        static MODE: std::sync::OnceLock<ExecMode> = std::sync::OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("SIM_EXEC").as_deref() {
+            Ok("threads") => ExecMode::Threads,
+            Ok("event") => ExecMode::Event,
+            _ => {
+                if fiber::supported() {
+                    ExecMode::Event
+                } else {
+                    ExecMode::Threads
+                }
+            }
+        })
+    }
+}
+
+/// Per-process stack budget in bytes (satellite of the 1k-rank work: the
+/// default 8 MiB OS stacks exhaust address space and RSS at scale).
+/// Override with `SIM_STACK_KB`.
+fn stack_bytes() -> usize {
+    static KB: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *KB.get_or_init(|| {
+        std::env::var("SIM_STACK_KB")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            // Debug frames are much fatter than release ones.
+            .unwrap_or(if cfg!(debug_assertions) { 1024 } else { 256 })
+            * 1024
+    })
+}
 
 /// Identifies a process within one simulation.
 #[derive(Copy, Clone, PartialEq, Eq, Hash)]
@@ -63,15 +118,38 @@ struct Proc {
     name: String,
     status: Status,
     /// Set by the kernel when this process may run; consumed by the process.
+    /// Thread carriers only.
     granted: bool,
     /// The process's private wakeup channel (paired with the kernel mutex).
+    /// Thread carriers only.
     cv: Arc<Condvar>,
+    /// Event-mode carrier; `None` for thread-carried processes. Dropped
+    /// (freeing the stack) once the process is Done.
+    fiber: Option<Box<Fiber>>,
 }
 
+/// A heap entry pointing at a timer slot. The action lives in the slot so
+/// cancellation can drop it immediately; the entry itself becomes a
+/// tombstone, skipped on pop by its stale generation.
 struct Timer {
     at: SimTime,
     seq: u64,
-    action: Box<dyn FnOnce() + Send>,
+    slot: usize,
+    gen: u64,
+}
+
+struct TimerSlot {
+    gen: u64,
+    action: Option<Box<dyn FnOnce() + Send>>,
+}
+
+/// Handle to a cancellable timer (see [`schedule_cancellable_at`]).
+/// Generation-stamped: cancelling after the timer fired (or cancelling
+/// twice) is a harmless no-op.
+#[derive(Clone, Debug)]
+pub struct TimerId {
+    slot: usize,
+    gen: u64,
 }
 
 impl PartialEq for Timer {
@@ -94,14 +172,37 @@ impl Ord for Timer {
 struct State {
     now: SimTime,
     seq: u64,
+    exec: ExecMode,
     procs: Vec<Proc>,
     /// Min-heap of `(admission seq, pid)`: FIFO among processes made runnable
     /// at the same virtual time.
     runnable: BinaryHeap<Reverse<(u64, usize)>>,
     timers: BinaryHeap<Reverse<Timer>>,
+    /// Slab of timer actions addressed by heap entries; generation stamps
+    /// let cancellation tombstone an entry without touching the heap.
+    timer_slots: Vec<TimerSlot>,
+    timer_free: Vec<usize>,
+    /// Armed (non-tombstoned) timers currently in the heap.
+    timers_live: usize,
     live: usize,
     aborted: bool,
     panic: Option<Box<dyn Any + Send>>,
+    /// When `Some`, every grant appends a [`WakeEvent`] — the cross-check
+    /// record proving the event kernel replays the thread kernel's schedule.
+    wake_trace: Option<Vec<WakeEvent>>,
+}
+
+/// One scheduling grant: the kernel handed the virtual CPU to a process.
+/// Two runs of the same program wake-trace-identical ⇒ every scheduling
+/// decision was identical (see [`Sim::record_wake_trace`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WakeEvent {
+    /// Admission sequence of the grant (run-queue entry).
+    pub seq: u64,
+    /// Virtual time of the grant.
+    pub at: SimTime,
+    /// Granted process.
+    pub pid: usize,
 }
 
 impl State {
@@ -122,6 +223,50 @@ impl State {
         p.status = Status::Runnable;
         self.runnable.push(Reverse((seq, pid.0)));
     }
+
+    fn push_timer(&mut self, at: SimTime, action: Box<dyn FnOnce() + Send>) -> TimerId {
+        let at = at.max(self.now);
+        let seq = self.next_seq();
+        let slot = match self.timer_free.pop() {
+            Some(s) => s,
+            None => {
+                self.timer_slots.push(TimerSlot {
+                    gen: 0,
+                    action: None,
+                });
+                self.timer_slots.len() - 1
+            }
+        };
+        let gen = self.timer_slots[slot].gen;
+        self.timer_slots[slot].action = Some(action);
+        self.timers.push(Reverse(Timer { at, seq, slot, gen }));
+        self.timers_live += 1;
+        TimerId { slot, gen }
+    }
+
+    /// Take the action of a popped heap entry, or `None` for a tombstone.
+    /// Live entries free their slot for reuse.
+    fn claim_timer(&mut self, t: &Timer) -> Option<Box<dyn FnOnce() + Send>> {
+        let s = &mut self.timer_slots[t.slot];
+        if s.gen != t.gen {
+            return None; // tombstone: cancelled (slot already recycled)
+        }
+        let action = s.action.take().expect("armed timer slot without action");
+        s.gen += 1;
+        self.timer_free.push(t.slot);
+        self.timers_live -= 1;
+        Some(action)
+    }
+
+    /// Drop tombstoned heap heads so `peek` sees the next *live* timer.
+    fn drop_dead_timers(&mut self) {
+        while let Some(Reverse(t)) = self.timers.peek() {
+            if self.timer_slots[t.slot].gen == t.gen {
+                return;
+            }
+            self.timers.pop();
+        }
+    }
 }
 
 pub(crate) struct Kernel {
@@ -131,6 +276,8 @@ pub(crate) struct Kernel {
     /// Sanitizer state (see [`crate::san`]). Lock order: never acquire this
     /// while holding `state`; acquiring `state` while holding `san` is fine.
     san: Mutex<SanData>,
+    /// Registry of stackless components (see [`crate::component`]).
+    pub(crate) components: Mutex<Vec<crate::component::Waker>>,
 }
 
 impl Drop for Kernel {
@@ -149,6 +296,11 @@ impl Kernel {
     pub(crate) fn name_and_now(&self, pid: ProcId) -> (String, SimTime) {
         let st = self.state.lock();
         (st.procs[pid.0].name.clone(), st.now)
+    }
+
+    /// Current virtual time (context-free; usable from timer actions).
+    pub(crate) fn current_time(&self) -> SimTime {
+        self.state.lock().now
     }
 }
 
@@ -171,13 +323,20 @@ struct Ctx {
 }
 
 fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
-    CTX.with(|c| {
+    // Clone the context out and release the RefCell borrow *before* running
+    // `f`: process code may yield inside `f`, and with fiber carriers the
+    // kernel must then be free to retarget this thread's CTX cell.
+    let ctx = CTX.with(|c| {
         let b = c.borrow();
         let ctx = b
             .as_ref()
             .expect("this sim-core operation must be called from inside a simulation process");
-        f(ctx)
-    })
+        Ctx {
+            kernel: Arc::clone(&ctx.kernel),
+            pid: ctx.pid,
+        }
+    });
+    f(&ctx)
 }
 
 /// True when the calling thread is a simulation process.
@@ -231,17 +390,85 @@ impl Sim {
                 state: Mutex::new(State {
                     now: SimTime::ZERO,
                     seq: 0,
+                    exec: ExecMode::default_mode(),
                     procs: Vec::new(),
                     runnable: BinaryHeap::new(),
                     timers: BinaryHeap::new(),
+                    timer_slots: Vec::new(),
+                    timer_free: Vec::new(),
+                    timers_live: 0,
                     live: 0,
                     aborted: false,
                     panic: None,
+                    wake_trace: None,
                 }),
                 kernel_cv: Condvar::new(),
                 san: Mutex::new(SanData::new()),
+                components: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// Register a stackless [`Component`](crate::component::Component) and
+    /// return the [`Waker`](crate::component::Waker) that schedules its
+    /// ticks. See [`crate::component`] for the execution and determinism
+    /// contract.
+    pub fn add_component(
+        &self,
+        name: impl Into<String>,
+        comp: impl crate::component::Component + 'static,
+    ) -> crate::component::Waker {
+        crate::component::register(Arc::clone(&self.kernel), name.into(), Box::new(comp))
+    }
+
+    /// Snapshot per-component wake statistics (registration order).
+    pub fn component_stats(&self) -> Vec<crate::component::ComponentStats> {
+        crate::component::stats(&self.kernel)
+    }
+
+    /// Select the process carrier (see [`ExecMode`]). Call before spawning;
+    /// processes already spawned keep their carrier. Falls back to
+    /// [`ExecMode::Threads`] when fibers are unsupported on this target.
+    pub fn set_exec_mode(&self, mode: ExecMode) {
+        let mode = if fiber::supported() {
+            mode
+        } else {
+            ExecMode::Threads
+        };
+        self.kernel.state.lock().exec = mode;
+    }
+
+    /// The carrier mode processes are spawned with.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.kernel.state.lock().exec
+    }
+
+    /// Number of armed timers currently in the heap (tombstoned entries
+    /// excluded) — the `timers_live` gauge. A progress engine that arms and
+    /// cancels one deadline per idle wait holds this flat instead of
+    /// accumulating dead entries until their deadlines.
+    pub fn timers_live(&self) -> usize {
+        self.kernel.state.lock().timers_live
+    }
+
+    /// Start recording one [`WakeEvent`] per scheduling grant. The trace is
+    /// carrier-independent: a run in [`ExecMode::Event`] and a run in
+    /// [`ExecMode::Threads`] of the same program produce identical traces —
+    /// the debug cross-check `rank_scale_sweep --smoke` and the
+    /// `event_identity` tests assert exactly this.
+    pub fn record_wake_trace(&self) {
+        self.kernel.state.lock().wake_trace = Some(Vec::new());
+    }
+
+    /// The grants recorded since [`record_wake_trace`](Sim::record_wake_trace)
+    /// (empty if recording was never enabled).
+    pub fn wake_trace(&self) -> Vec<WakeEvent> {
+        self.kernel
+            .state
+            .lock()
+            .wake_trace
+            .clone()
+            .unwrap_or_default()
     }
 
     /// Enable or disable the sanitizer (see [`crate::san`]). Call before
@@ -265,47 +492,76 @@ impl Sim {
         let kernel = Arc::clone(&self.kernel);
         let name = name.into();
         let pid;
+        let exec;
         {
             let mut st = kernel.state.lock();
             pid = ProcId(st.procs.len());
+            exec = st.exec;
             let seq = st.next_seq();
             st.procs.push(Proc {
                 name: name.clone(),
                 status: Status::Runnable,
                 granted: false,
                 cv: Arc::new(Condvar::new()),
+                fiber: None,
             });
             st.runnable.push(Reverse((seq, pid.0)));
             st.live += 1;
         }
         let tkernel = Arc::clone(&kernel);
-        thread::Builder::new()
-            .name(format!("sim:{name}"))
-            .spawn(move || {
-                CTX.with(|c| {
-                    *c.borrow_mut() = Some(Ctx {
-                        kernel: Arc::clone(&tkernel),
-                        pid,
-                    })
-                });
-                // Wait for the first grant before touching user code.
-                tkernel.wait_for_grant(pid);
-                let result = catch_unwind(AssertUnwindSafe(f));
-                let mut st = tkernel.state.lock();
-                st.procs[pid.0].status = Status::Done;
-                st.live -= 1;
-                if let Err(payload) = result {
-                    if !st.aborted {
-                        st.panic = Some(payload);
+        match exec {
+            ExecMode::Event => {
+                // Fiber carrier: the body runs on its own stack, switched in
+                // by the run loop (which also manages CTX). The first switch
+                // is the first grant, so no grant wait is needed here.
+                let body = move || {
+                    let result = catch_unwind(AssertUnwindSafe(f));
+                    let mut st = tkernel.state.lock();
+                    st.procs[pid.0].status = Status::Done;
+                    st.live -= 1;
+                    if let Err(payload) = result {
+                        if !st.aborted {
+                            st.panic = Some(payload);
+                        }
+                        // If aborted, the panic is the kernel's own shutdown
+                        // signal; swallow it.
                     }
-                    // If aborted, the panic is the kernel's own shutdown
-                    // signal; swallow it.
-                }
-                tkernel.kernel_cv.notify_one();
-                // Drop the context so the Arc<Kernel> cycle breaks promptly.
-                CTX.with(|c| *c.borrow_mut() = None);
-            })
-            .expect("failed to spawn simulation process thread");
+                };
+                let fb = Box::new(Fiber::new(stack_bytes(), Box::new(body)));
+                kernel.state.lock().procs[pid.0].fiber = Some(fb);
+            }
+            ExecMode::Threads => {
+                thread::Builder::new()
+                    .name(format!("sim:{name}"))
+                    .stack_size(stack_bytes().max(512 * 1024))
+                    .spawn(move || {
+                        CTX.with(|c| {
+                            *c.borrow_mut() = Some(Ctx {
+                                kernel: Arc::clone(&tkernel),
+                                pid,
+                            })
+                        });
+                        // Wait for the first grant before touching user code.
+                        tkernel.wait_for_grant(pid);
+                        let result = catch_unwind(AssertUnwindSafe(f));
+                        let mut st = tkernel.state.lock();
+                        st.procs[pid.0].status = Status::Done;
+                        st.live -= 1;
+                        if let Err(payload) = result {
+                            if !st.aborted {
+                                st.panic = Some(payload);
+                            }
+                            // If aborted, the panic is the kernel's own
+                            // shutdown signal; swallow it.
+                        }
+                        tkernel.kernel_cv.notify_one();
+                        // Drop the context so the Arc<Kernel> cycle breaks
+                        // promptly.
+                        CTX.with(|c| *c.borrow_mut() = None);
+                    })
+                    .expect("failed to spawn simulation process thread");
+            }
+        }
         ProcHandle { kernel, pid }
     }
 
@@ -338,6 +594,7 @@ impl Sim {
                     cv.notify_one();
                 }
                 drop(st);
+                kernel.abort_fibers();
                 resume_unwind(payload);
             }
             if st.live == 0 {
@@ -359,21 +616,57 @@ impl Sim {
                 }
                 return now;
             }
-            if let Some(Reverse((_, pid))) = st.runnable.pop() {
+            if let Some(Reverse((seq, pid))) = st.runnable.pop() {
+                let at = st.now;
+                if let Some(trace) = &mut st.wake_trace {
+                    trace.push(WakeEvent { seq, at, pid });
+                }
                 let p = &mut st.procs[pid];
                 debug_assert!(matches!(p.status, Status::Runnable));
                 p.status = Status::Running;
-                p.granted = true;
-                let cv = Arc::clone(&p.cv);
-                cv.notify_one();
-                // Wait until that process yields (status leaves Running) or
-                // records a panic.
-                while matches!(st.procs[pid].status, Status::Running) && st.panic.is_none() {
-                    kernel.kernel_cv.wait(&mut st);
+                if let Some(fb) = &mut p.fiber {
+                    // Event carrier: switch straight into the fiber on this
+                    // thread; it returns here when it yields or finishes.
+                    fb.started = true;
+                    let data = fb.data_ptr();
+                    let ctx_kernel = Arc::clone(kernel);
+                    drop(st);
+                    CTX.with(|c| {
+                        *c.borrow_mut() = Some(Ctx {
+                            kernel: ctx_kernel,
+                            pid: ProcId(pid),
+                        })
+                    });
+                    // SAFETY: kernel run loop, no locks held, fiber not
+                    // finished (it was in the runnable queue).
+                    unsafe { Fiber::switch_into(data) };
+                    CTX.with(|c| *c.borrow_mut() = None);
+                    st = kernel.state.lock();
+                    debug_assert!(
+                        !matches!(st.procs[pid].status, Status::Running),
+                        "fiber returned to kernel while still Running"
+                    );
+                    if matches!(st.procs[pid].status, Status::Done) {
+                        // Free the stack eagerly; 1k-rank runs would
+                        // otherwise hold every finished rank's stack alive.
+                        st.procs[pid].fiber = None;
+                    }
+                } else {
+                    p.granted = true;
+                    let cv = Arc::clone(&p.cv);
+                    cv.notify_one();
+                    // Wait until that process yields (status leaves Running)
+                    // or records a panic.
+                    while matches!(st.procs[pid].status, Status::Running) && st.panic.is_none() {
+                        kernel.kernel_cv.wait(&mut st);
+                    }
                 }
                 continue;
             }
-            // Nothing runnable: advance virtual time.
+            // Nothing runnable: advance virtual time. Tombstones of
+            // cancelled timers are discarded here so they neither fire nor
+            // drag the clock to a dead deadline.
+            st.drop_dead_timers();
             let Some(Reverse(head)) = st.timers.peek() else {
                 let parked_info: Vec<(usize, String, &'static str)> = st
                     .procs
@@ -392,6 +685,7 @@ impl Sim {
                 }
                 let now = st.now;
                 drop(st);
+                kernel.abort_fibers();
                 // With the sanitizer active, dump a wait-for graph naming
                 // each process and the primitive it is blocked on; otherwise
                 // fall back to the terse parked-process listing.
@@ -417,11 +711,14 @@ impl Sim {
             // the lock released (actions re-enter the kernel to wake procs).
             let mut due = Vec::new();
             while st.timers.peek().is_some_and(|Reverse(t)| t.at <= st.now) {
-                due.push(st.timers.pop().unwrap().0);
+                let t = st.timers.pop().unwrap().0;
+                if let Some(action) = st.claim_timer(&t) {
+                    due.push(action);
+                }
             }
             drop(st);
-            for t in due {
-                (t.action)();
+            for action in due {
+                action();
             }
             st = kernel.state.lock();
         }
@@ -443,10 +740,12 @@ impl Kernel {
         st.procs[pid.0].status = Status::Running;
     }
 
-    /// Yield the CPU: transition to `status`, wake the kernel, wait for the
-    /// next grant.
+    /// Yield the CPU: transition to `status`, return control to the kernel,
+    /// come back on the next grant. The state transitions (and their
+    /// sequence allocations) are identical for both carriers; only the
+    /// hand-off mechanism differs.
     fn yield_with(&self, pid: ProcId, to_runnable: bool, reason: &'static str) {
-        {
+        let fiber_data = {
             let mut st = self.state.lock();
             if to_runnable {
                 let seq = st.next_seq();
@@ -455,20 +754,90 @@ impl Kernel {
             } else {
                 st.procs[pid.0].status = Status::Parked { reason };
             }
-            self.kernel_cv.notify_one();
+            match &mut st.procs[pid.0].fiber {
+                Some(fb) => Some(fb.data_ptr()),
+                None => {
+                    self.kernel_cv.notify_one();
+                    None
+                }
+            }
+        };
+        match fiber_data {
+            Some(data) => {
+                fiber::yield_from(data);
+                // Resumed by the run loop (which already set us Running).
+                if self.state.lock().aborted {
+                    panic!("simulation aborted");
+                }
+            }
+            None => self.wait_for_grant(pid),
         }
-        self.wait_for_grant(pid);
+    }
+
+    /// Unwind every live fiber after an abort so their stacks run
+    /// destructors (mirroring the granted-thread panic path), and mark
+    /// never-started fibers finished so their closures are simply dropped.
+    fn abort_fibers(self: &Arc<Self>) {
+        loop {
+            let next = {
+                let mut st = self.state.lock();
+                let mut found = None;
+                for (i, p) in st.procs.iter_mut().enumerate() {
+                    if let Some(fb) = &mut p.fiber {
+                        if fb.finished || matches!(p.status, Status::Done) {
+                            continue;
+                        }
+                        if !fb.started {
+                            fb.finished = true;
+                            continue;
+                        }
+                        fb.finished = true;
+                        found = Some((i, fb.data_ptr()));
+                        break;
+                    }
+                }
+                found
+            };
+            let Some((pid, data)) = next else { return };
+            CTX.with(|c| {
+                *c.borrow_mut() = Some(Ctx {
+                    kernel: Arc::clone(self),
+                    pid: ProcId(pid),
+                })
+            });
+            // SAFETY: kernel thread, no locks held; the fiber resumes inside
+            // yield_with, sees `aborted`, panics and unwinds to Done.
+            unsafe { Fiber::switch_into(data) };
+            CTX.with(|c| *c.borrow_mut() = None);
+        }
     }
 
     pub(crate) fn schedule_at(&self, at: SimTime, action: impl FnOnce() + Send + 'static) {
+        self.state.lock().push_timer(at, Box::new(action));
+    }
+
+    pub(crate) fn schedule_cancellable_at(
+        &self,
+        at: SimTime,
+        action: impl FnOnce() + Send + 'static,
+    ) -> TimerId {
+        self.state.lock().push_timer(at, Box::new(action))
+    }
+
+    /// Cancel a pending timer: the action is dropped immediately and the
+    /// heap entry becomes a tombstone. Returns false if it already fired or
+    /// was already cancelled.
+    pub(crate) fn cancel_timer(&self, id: &TimerId) -> bool {
         let mut st = self.state.lock();
-        let at = at.max(st.now);
-        let seq = st.next_seq();
-        st.timers.push(Reverse(Timer {
-            at,
-            seq,
-            action: Box::new(action),
-        }));
+        let s = &mut st.timer_slots[id.slot];
+        if s.gen != id.gen {
+            return false;
+        }
+        s.action = None;
+        s.gen += 1;
+        st.timer_free.push(id.slot);
+        st.timers_live -= 1;
+        true
     }
 
     #[allow(dead_code)]
@@ -563,6 +932,26 @@ pub fn spawn(name: impl Into<String>, f: impl FnOnce() + Send + 'static) -> Proc
 /// process.
 pub fn schedule_at(at: SimTime, action: impl FnOnce() + Send + 'static) {
     with_ctx(|c| c.kernel.schedule_at(at, action));
+}
+
+/// Like [`schedule_at`], but returns a [`TimerId`] with which the timer can
+/// be cancelled before it fires (see [`cancel_timer`]).
+pub fn schedule_cancellable_at(at: SimTime, action: impl FnOnce() + Send + 'static) -> TimerId {
+    with_ctx(|c| c.kernel.schedule_cancellable_at(at, action))
+}
+
+/// Cancel a timer armed with [`schedule_cancellable_at`]: its action is
+/// dropped immediately and its heap entry becomes a generation-stamped
+/// tombstone that is skipped (never fired, never used as a time-advance
+/// target). Returns false if the timer already fired or was cancelled.
+pub fn cancel_timer(id: &TimerId) -> bool {
+    with_ctx(|c| c.kernel.cancel_timer(id))
+}
+
+/// The `timers_live` gauge: armed timers currently in the heap, excluding
+/// cancelled tombstones. See [`Sim::timers_live`].
+pub fn timers_live() -> usize {
+    with_ctx(|c| c.kernel.state.lock().timers_live)
 }
 
 #[cfg(test)]

@@ -49,6 +49,8 @@
 #![warn(missing_docs)]
 
 mod completion;
+pub mod component;
+mod fiber;
 pub mod instrument;
 mod kernel;
 pub mod lock;
@@ -58,12 +60,14 @@ mod sync;
 mod time;
 
 pub use completion::Completion;
+pub use component::{Component, ComponentStats, Waker};
 pub use instrument::CallCounters;
 pub use kernel::{
-    current_handle, current_pid, in_sim, now, park, schedule_at, sleep, sleep_until, spawn,
-    yield_now, ProcHandle, ProcId, Sim,
+    cancel_timer, current_handle, current_pid, in_sim, now, park, schedule_at,
+    schedule_cancellable_at, sleep, sleep_until, spawn, timers_live, yield_now, ExecMode,
+    ProcHandle, ProcId, Sim, TimerId, WakeEvent,
 };
-pub use mailbox::Mailbox;
+pub use mailbox::{DeliveryStamp, Mailbox};
 pub use san::{Invariant, ProtoView, Report, ReportKind, SanitizerMode};
 pub use sync::Semaphore;
 pub use time::{SimDur, SimTime};

@@ -231,20 +231,28 @@ fn minimize(scenario: &Scenario, found: &Schedule, stats: &mut Stats) -> (Schedu
     }
 }
 
-/// Silence panic output from simulation threads (names starting with
-/// `sim:`) for the rest of the process. Exploration treats panics as
-/// verdicts — a violating schedule aborts its run by design, and the
-/// default hook would print a backtrace for every such run. Panics still
-/// propagate; only the printing is suppressed. Idempotent.
+/// Silence panic output from simulation processes for the rest of the
+/// process. Exploration treats panics as verdicts — a violating schedule
+/// aborts its run by design, and the default hook would print a backtrace
+/// for every such run. Panics still propagate; only the printing is
+/// suppressed. Idempotent.
+///
+/// A simulated process is recognized by its simulation context
+/// ([`sim_core::in_sim`]), which covers both carriers: dedicated `sim:`
+/// threads in [`ExecMode::Threads`](sim_core::ExecMode) and fibers
+/// unwinding on the kernel thread in the event-driven mode. The thread-name
+/// check stays as a fallback for panics raised on a sim thread outside any
+/// process context (e.g. during carrier teardown).
 pub fn silence_expected_panics() {
     use std::sync::Once;
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let default_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            let quiet = std::thread::current()
-                .name()
-                .is_some_and(|n| n.starts_with("sim:"));
+            let quiet = sim_core::in_sim()
+                || std::thread::current()
+                    .name()
+                    .is_some_and(|n| n.starts_with("sim:"));
             if !quiet {
                 default_hook(info);
             }

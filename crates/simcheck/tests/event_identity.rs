@@ -1,0 +1,250 @@
+//! Cross-carrier identity: the event-driven kernel ([`ExecMode::Event`],
+//! fibers on one kernel thread) and the legacy all-threads kernel
+//! ([`ExecMode::Threads`], one OS thread per rank) must be two carriers
+//! of the *same* simulation. Every virtual time, every trace event, every
+//! model-checking decision — and the kernel's own scheduling-grant
+//! sequence — must be byte-identical between the two.
+//!
+//! The suite covers the four result families the repo commits:
+//! pipeline-style staged transfers (`BENCH_pipeline.json`), recorder
+//! traces (`trace_report.json`), fault-injection runs
+//! (`fault_campaign.json`) and model-check exploration
+//! (`modelcheck.json`).
+
+use std::sync::Arc;
+
+use hostmem::HostBuf;
+use mpi_sim::{ChunkPolicy, Datatype, MpiConfig, MpiWorld};
+use mv2_gpu_nc::baselines::{fill_vector, verify_vector, VectorXfer};
+use mv2_gpu_nc::{FaultSpec, GpuCluster, WakeTraceSink};
+use sim_core::lock::Mutex;
+use sim_core::{ExecMode, SanitizerMode, SimTime};
+use sim_trace::Recorder;
+use simcheck::{explore, Budget, CheckScheduler, RunOutcome, Scenario, Schedule};
+
+/// A staged (rendezvous-path) vector transfer between two GPU ranks:
+/// rank 0 fills and sends, rank 1 receives and verifies, both record
+/// per-iteration virtual latencies. Returns (per-iteration latencies in
+/// ns, virtual end-of-job time).
+fn staged_vector_run(
+    mode: ExecMode,
+    sink: Option<WakeTraceSink>,
+    faults: Option<FaultSpec>,
+    recorder: Option<Recorder>,
+) -> (Vec<u64>, SimTime) {
+    let lat: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let out = Arc::clone(&lat);
+    let mut cluster = GpuCluster::new(2).exec(mode);
+    if let Some(s) = sink {
+        cluster = cluster.wake_trace(s);
+    }
+    if let Some(f) = faults {
+        cluster = cluster.faults(f);
+    }
+    if let Some(r) = recorder {
+        cluster = cluster.recorder(r);
+    }
+    let end = cluster.run(move |env| {
+        let x = VectorXfer::paper(256 << 10);
+        let dt = x.dtype();
+        let dev = env.gpu.malloc(x.extent());
+        for it in 0..3u32 {
+            env.comm.barrier();
+            let t0 = sim_core::now();
+            if env.comm.rank() == 0 {
+                fill_vector(&env.gpu, dev, &x, it as u8);
+                env.comm.send(dev, 1, &dt, 1, it);
+            } else {
+                env.comm.recv(dev, 1, &dt, 0, it);
+                verify_vector(&env.gpu, dev, &x, it as u8);
+                out.lock().push((sim_core::now() - t0).as_nanos());
+            }
+        }
+        env.gpu.free(dev);
+    });
+    let v = lat.lock().clone();
+    (v, end)
+}
+
+/// Pipeline case: staged transfers produce identical per-iteration
+/// virtual latencies, end times and scheduling-grant traces across
+/// carriers.
+#[test]
+fn pipeline_transfer_identity() {
+    let ev_sink: WakeTraceSink = Arc::default();
+    let th_sink: WakeTraceSink = Arc::default();
+    let (ev_lat, ev_end) =
+        staged_vector_run(ExecMode::Event, Some(Arc::clone(&ev_sink)), None, None);
+    let (th_lat, th_end) =
+        staged_vector_run(ExecMode::Threads, Some(Arc::clone(&th_sink)), None, None);
+
+    assert_eq!(ev_lat, th_lat, "per-iteration latencies diverged");
+    assert_eq!(ev_end, th_end, "virtual end time diverged");
+    let ev = ev_sink.lock().unwrap();
+    let th = th_sink.lock().unwrap();
+    assert!(!ev.is_empty(), "no scheduling grants recorded");
+    assert_eq!(*ev, *th, "wake traces diverged across carriers");
+}
+
+/// Trace case: with a live recorder attached, both carriers emit the
+/// same lanes and the same event stream (spans, instants, gauges — all
+/// virtual-time stamped).
+#[test]
+fn trace_identity() {
+    let run = |mode| {
+        let rec = Recorder::new();
+        let (lat, end) = staged_vector_run(mode, None, None, Some(rec.clone()));
+        (lat, end, rec)
+    };
+    let (ev_lat, ev_end, ev_rec) = run(ExecMode::Event);
+    let (th_lat, th_end, th_rec) = run(ExecMode::Threads);
+
+    assert_eq!(ev_lat, th_lat, "latencies diverged");
+    assert_eq!(ev_end, th_end, "end time diverged");
+    assert_eq!(
+        format!("{:?}", ev_rec.lanes()),
+        format!("{:?}", th_rec.lanes()),
+        "lane registrations diverged"
+    );
+    let ev_events = ev_rec.events();
+    let th_events = th_rec.events();
+    assert!(!ev_events.is_empty(), "recorder captured nothing");
+    assert_eq!(ev_events.len(), th_events.len(), "event counts diverged");
+    for (i, (a, b)) in ev_events.iter().zip(th_events.iter()).enumerate() {
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "trace event {i} diverged"
+        );
+    }
+}
+
+/// Fault-injection case: seeded control-packet loss/delay and RDMA error
+/// CQEs drive the retry machinery; recovery must replay identically —
+/// same virtual times, same grant sequence, same delivered bytes (the
+/// run verifies data in-line).
+#[test]
+fn fault_injection_identity() {
+    let spec = FaultSpec {
+        ctrl_drop: 0.05,
+        ctrl_delay: 0.10,
+        delay_ns: 30_000,
+        rdma_error: 0.02,
+        ..FaultSpec::seeded(7)
+    };
+    let ev_sink: WakeTraceSink = Arc::default();
+    let th_sink: WakeTraceSink = Arc::default();
+    let (ev_lat, ev_end) = staged_vector_run(
+        ExecMode::Event,
+        Some(Arc::clone(&ev_sink)),
+        Some(spec.clone()),
+        None,
+    );
+    let (th_lat, th_end) = staged_vector_run(
+        ExecMode::Threads,
+        Some(Arc::clone(&th_sink)),
+        Some(spec),
+        None,
+    );
+
+    assert_eq!(ev_lat, th_lat, "faulty-run latencies diverged");
+    assert_eq!(ev_end, th_end, "faulty-run end time diverged");
+    let ev = ev_sink.lock().unwrap();
+    let th = th_sink.lock().unwrap();
+    assert_eq!(*ev, *th, "faulty-run wake traces diverged");
+}
+
+/// One model-check workload run under `mode`: a staged 64 KiB vector
+/// transfer over a checker-scheduled, retry-armed fabric (the same shape
+/// as `scenarios::staged_2rank`, with the carrier pinned explicitly).
+fn checked_staged_run(mode: ExecMode, schedule: &Schedule) -> RunOutcome {
+    let checker = CheckScheduler::new(schedule.clone());
+    let world = MpiWorld::new(2)
+        .with_exec(mode)
+        .with_config(MpiConfig {
+            chunk_size: 16 << 10,
+            policy: ChunkPolicy::Fixed,
+            ..MpiConfig::default()
+        })
+        .with_faults(FaultSpec::seeded(1))
+        .with_sanitizer(SanitizerMode::Collect)
+        .with_scheduler(checker.clone());
+    let (end, reports) = world.try_run_with_reports(|comm| {
+        let t = Datatype::vector(1 << 14, 1, 4, &Datatype::float());
+        t.commit();
+        if comm.rank() == 0 {
+            let buf = HostBuf::from_vec((0..(1 << 18)).map(|i| (i % 249) as u8).collect());
+            comm.send(buf.base(), 1, &t, 1, 3);
+        } else {
+            let buf = HostBuf::alloc(1 << 18);
+            let st = comm.recv(buf.base(), 1, &t, 0, 3);
+            assert_eq!(st.bytes, 64 << 10);
+            for r in [0usize, 1, 1000, 16383] {
+                let o = r * 16;
+                let expect: Vec<u8> = (o..o + 4).map(|i| (i % 249) as u8).collect();
+                assert_eq!(buf.read(o, 4), expect, "staged row {r} corrupted");
+            }
+        }
+    });
+    RunOutcome {
+        end: end.map(|t| t.as_nanos()),
+        reports,
+        log: checker.log(),
+    }
+}
+
+/// Modelcheck case: exploration is a pure function of the schedule, so
+/// the whole breadth-first search — schedule counts, POR pruning,
+/// branch fan-out, deepest decision index — must match across carriers,
+/// as must the FIFO run's decision log and end time.
+#[test]
+fn modelcheck_identity() {
+    // The FIFO (empty-schedule) run, compared decision-by-decision.
+    let fifo = Schedule::empty();
+    let ev = checked_staged_run(ExecMode::Event, &fifo);
+    let th = checked_staged_run(ExecMode::Threads, &fifo);
+    assert_eq!(ev.end, th.end, "FIFO end time diverged");
+    assert!(
+        ev.violation().is_none(),
+        "FIFO run violated: {ev:?}",
+        ev = ev.violation()
+    );
+    assert!(!ev.log.is_empty(), "checker ruled on no packets");
+    assert_eq!(ev.log.len(), th.log.len(), "decision counts diverged");
+    for (i, (a, b)) in ev.log.iter().zip(th.log.iter()).enumerate() {
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "decision {i} diverged across carriers"
+        );
+    }
+
+    // A bounded exploration from each carrier: identical search trees.
+    simcheck::silence_expected_panics();
+    let scenario = |mode: ExecMode| Scenario {
+        name: "event-identity-staged",
+        budget: Budget::smoke(),
+        run: Box::new(move |schedule, _rec| checked_staged_run(mode, schedule)),
+    };
+    let ev = explore(&scenario(ExecMode::Event));
+    let th = explore(&scenario(ExecMode::Threads));
+    assert!(ev.passed(), "event-carrier exploration found a violation");
+    assert!(th.passed(), "thread-carrier exploration found a violation");
+    assert_eq!(
+        ev.stats.schedules, th.stats.schedules,
+        "schedule counts diverged"
+    );
+    assert_eq!(ev.stats.pruned, th.stats.pruned, "POR pruning diverged");
+    assert_eq!(
+        ev.stats.branched, th.stats.branched,
+        "branch fan-out diverged"
+    );
+    assert_eq!(
+        ev.stats.max_index, th.stats.max_index,
+        "max decision index diverged"
+    );
+    assert!(
+        ev.stats.schedules > 1,
+        "exploration degenerate: one schedule"
+    );
+}

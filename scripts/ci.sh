@@ -53,4 +53,10 @@ cargo run --release -q -p bench --bin trace_report -- \
 [[ -s /tmp/trace_report_smoke.json ]] || { echo "empty trace report"; exit 1; }
 [[ -s /tmp/trace_smoke.chrome.json ]] || { echo "empty chrome trace"; exit 1; }
 
+echo "==> rank scale smoke (event/thread carrier wake-trace cross-check)"
+# The bin asserts an 8-rank halo3d run produces bit-identical scheduling
+# grants, virtual times and checksums under the event-driven kernel and
+# the legacy one-thread-per-rank carrier.
+cargo run --release -q -p bench --bin rank_scale_sweep -- --smoke true
+
 echo "CI OK"
