@@ -446,6 +446,17 @@ impl Nic {
         self.fabric.inner.topo.colocated(self.endpoint, other)
     }
 
+    /// The physical node hosting endpoint `other` (topology-aware layers —
+    /// hierarchical collectives — group peers by this).
+    pub fn node_of(&self, other: usize) -> usize {
+        self.fabric.inner.topo.node_of(other)
+    }
+
+    /// Number of physical nodes in the fabric.
+    pub fn num_nodes(&self) -> usize {
+        self.fabric.inner.topo.num_nodes()
+    }
+
     /// The mailbox where this endpoint's incoming packets land.
     pub fn mailbox(&self) -> &Mailbox<Packet> {
         &self.fabric.inner.mailboxes[self.endpoint]

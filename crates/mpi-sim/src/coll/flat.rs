@@ -1,0 +1,326 @@
+//! Single-level collective algorithms.
+//!
+//! Two families live here:
+//!
+//! * the **flat** algorithms — still topology-blind, but with sane
+//!   resource bounds and honest scaling: pairwise alltoall(v) with a
+//!   bounded in-flight window, ring allgather(v), binomial-tree reduce
+//!   with double-buffered child receives. These are the fallback when a
+//!   communicator has no co-located members, and the baseline the
+//!   hierarchical path must beat.
+//! * the **naive** algorithms — the original p2p loops (alltoall posting
+//!   2·P requests at once, reduce draining P−1 sources serially through
+//!   one scratch buffer). Kept verbatim as the `coll_sweep` control.
+
+use gpu_sim::Loc;
+use hostmem::HostBuf;
+
+use super::{
+    binomial_bcast_loc, binomial_reduce_bytes, byte_dt, coll_wait, combine_bytes,
+    deliver_from_host, stage_to_host, ReduceOp, ReqWindow,
+};
+use crate::comm::Comm;
+use crate::datatype::Datatype;
+use crate::engine::{SrcSel, TagSel};
+
+/// Binomial-tree broadcast from `root` — the seed algorithm, shared by
+/// every algorithm family.
+pub(super) fn bcast(
+    c: &Comm,
+    buf: &Loc,
+    count: usize,
+    dtype: &Datatype,
+    root: usize,
+    tag: u32,
+    ctx: u16,
+) {
+    let all: Vec<usize> = (0..c.size()).collect();
+    let mut eng = c.engine().lock();
+    binomial_bcast_loc(c, &mut eng, &all, root, buf, count, dtype, tag, ctx);
+}
+
+/// Linear gather: every rank sends its block to the root (the root's own
+/// block travels as a self-message).
+#[allow(clippy::too_many_arguments)]
+pub(super) fn gather(
+    c: &Comm,
+    sendbuf: &Loc,
+    recvbuf: &Loc,
+    count: usize,
+    dtype: &Datatype,
+    root: usize,
+    tag: u32,
+    ctx: u16,
+) {
+    let (rank, size) = (c.rank(), c.size());
+    let root_world = c.world_rank_of(root);
+    let mut eng = c.engine().lock();
+    let ext = dtype.extent();
+    assert!(ext > 0, "gather needs a positive-extent datatype");
+    let block = count * ext as usize;
+    let mut ids = vec![eng.isend(sendbuf.clone(), count, dtype, root_world, tag, ctx)];
+    if rank == root {
+        for i in 0..size {
+            ids.push(eng.irecv(
+                recvbuf.add(i * block),
+                count,
+                dtype,
+                SrcSel(Some(c.world_rank_of(i))),
+                TagSel(Some(tag)),
+                ctx,
+            ));
+        }
+    }
+    coll_wait(&mut eng, ids);
+}
+
+/// Linear scatter: the root ships block `i` to rank `i`.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn scatter(
+    c: &Comm,
+    sendbuf: &Loc,
+    recvbuf: &Loc,
+    count: usize,
+    dtype: &Datatype,
+    root: usize,
+    tag: u32,
+    ctx: u16,
+) {
+    let (rank, size) = (c.rank(), c.size());
+    let root_world = c.world_rank_of(root);
+    let mut eng = c.engine().lock();
+    let ext = dtype.extent();
+    assert!(ext > 0, "scatter needs a positive-extent datatype");
+    let block = count * ext as usize;
+    let mut ids = vec![eng.irecv(
+        recvbuf.clone(),
+        count,
+        dtype,
+        SrcSel(Some(root_world)),
+        TagSel(Some(tag)),
+        ctx,
+    )];
+    if rank == root {
+        for i in 0..size {
+            ids.push(eng.isend(
+                sendbuf.add(i * block),
+                count,
+                dtype,
+                c.world_rank_of(i),
+                tag,
+                ctx,
+            ));
+        }
+    }
+    coll_wait(&mut eng, ids);
+}
+
+/// Ring allgatherv: each rank forwards one block per step to its right
+/// neighbour, so every link carries exactly one block at a time and no
+/// rank is a funnel. The own block enters `recvbuf` through a loopback
+/// self-message (device-capable).
+#[allow(clippy::too_many_arguments)]
+pub(super) fn allgatherv(
+    c: &Comm,
+    sendbuf: &Loc,
+    scount: usize,
+    sdtype: &Datatype,
+    recvbuf: &Loc,
+    rcounts: &[usize],
+    rdispls: &[usize],
+    rdtype: &Datatype,
+    tag: u32,
+    ctx: u16,
+) {
+    let (me, n) = (c.rank(), c.size());
+    let me_w = c.world_rank_of(me);
+    let mut eng = c.engine().lock();
+    let s = eng.isend(sendbuf.clone(), scount, sdtype, me_w, tag, ctx);
+    let r = eng.irecv(
+        recvbuf.add(rdispls[me]),
+        rcounts[me],
+        rdtype,
+        SrcSel(Some(me_w)),
+        TagSel(Some(tag)),
+        ctx,
+    );
+    coll_wait(&mut eng, vec![s, r]);
+    if n == 1 {
+        return;
+    }
+    let right = c.world_rank_of((me + 1) % n);
+    let left = c.world_rank_of((me + n - 1) % n);
+    for step in 0..n - 1 {
+        let sb = (me + n - step) % n;
+        let rb = (me + n - step - 1) % n;
+        let t = tag + 1 + (step % 8192) as u32;
+        let rid = eng.irecv(
+            recvbuf.add(rdispls[rb]),
+            rcounts[rb],
+            rdtype,
+            SrcSel(Some(left)),
+            TagSel(Some(t)),
+            ctx,
+        );
+        let sid = eng.isend(recvbuf.add(rdispls[sb]), rcounts[sb], rdtype, right, t, ctx);
+        coll_wait(&mut eng, vec![rid, sid]);
+    }
+}
+
+/// Pairwise alltoallv: at step `r` every rank sends to `(me + r) % P` and
+/// receives from `(me − r) % P` — each link carries one exchange per step
+/// — with at most `coll.max_inflight` steps outstanding. Step 0 is the
+/// loopback self-exchange, so device buffers work unchanged.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn alltoallv(
+    c: &Comm,
+    sendbuf: &Loc,
+    scounts: &[usize],
+    sdispls: &[usize],
+    sdtype: &Datatype,
+    recvbuf: &Loc,
+    rcounts: &[usize],
+    rdispls: &[usize],
+    rdtype: &Datatype,
+    tag: u32,
+    ctx: u16,
+) {
+    let (me, n) = (c.rank(), c.size());
+    let w = c.coll_window();
+    let mut eng = c.engine().lock();
+    let mut win = ReqWindow::new(w);
+    for r in 0..n {
+        let sp = (me + r) % n;
+        let rp = (me + n - r) % n;
+        let t = tag + (r % 8192) as u32;
+        let rid = eng.irecv(
+            recvbuf.add(rdispls[rp]),
+            rcounts[rp],
+            rdtype,
+            SrcSel(Some(c.world_rank_of(rp))),
+            TagSel(Some(t)),
+            ctx,
+        );
+        let sid = eng.isend(
+            sendbuf.add(sdispls[sp]),
+            scounts[sp],
+            sdtype,
+            c.world_rank_of(sp),
+            t,
+            ctx,
+        );
+        win.push(&mut eng, vec![rid, sid]);
+    }
+    win.drain(&mut eng);
+}
+
+/// Binomial-tree reduce with double-buffered child receives: the next
+/// child's wire transfer is posted before the previous child's bytes are
+/// combined, so receive and combine overlap instead of serializing.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn reduce(
+    c: &Comm,
+    sendbuf: &Loc,
+    recvbuf: &Loc,
+    count: usize,
+    dtype: &Datatype,
+    op: ReduceOp,
+    root: usize,
+    tag: u32,
+    ctx: u16,
+) {
+    let me_w = c.world_rank_of(c.rank());
+    let all: Vec<usize> = (0..c.size()).collect();
+    let mut eng = c.engine().lock();
+    let mut acc = stage_to_host(&mut eng, me_w, sendbuf, count, dtype, tag, ctx);
+    binomial_reduce_bytes(c, &mut eng, &all, root, &mut acc, dtype, op, tag + 1, ctx);
+    if c.rank() == root {
+        deliver_from_host(&mut eng, me_w, &acc, recvbuf, count, dtype, tag + 2, ctx);
+    }
+}
+
+/// The seed alltoall: every transfer posted nonblocking at once — 2·P
+/// requests per rank, P² in flight fabric-wide. Kept as the `coll_sweep`
+/// control.
+pub(super) fn naive_alltoall(
+    c: &Comm,
+    sendbuf: &Loc,
+    recvbuf: &Loc,
+    count: usize,
+    dtype: &Datatype,
+    tag: u32,
+    ctx: u16,
+) {
+    let size = c.size();
+    let mut eng = c.engine().lock();
+    let ext = dtype.extent();
+    let block = count * ext as usize;
+    let mut ids = Vec::with_capacity(2 * size);
+    for peer in 0..size {
+        ids.push(eng.irecv(
+            recvbuf.add(peer * block),
+            count,
+            dtype,
+            SrcSel(Some(c.world_rank_of(peer))),
+            TagSel(Some(tag)),
+            ctx,
+        ));
+    }
+    for peer in 0..size {
+        ids.push(eng.isend(
+            sendbuf.add(peer * block),
+            count,
+            dtype,
+            c.world_rank_of(peer),
+            tag,
+            ctx,
+        ));
+    }
+    coll_wait(&mut eng, ids);
+}
+
+/// The seed reduce: the root drains all P−1 contributions one at a time
+/// through a single reused scratch buffer, serializing the whole
+/// collective. Kept as the `coll_sweep` control.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn naive_reduce(
+    c: &Comm,
+    sendbuf: &Loc,
+    recvbuf: &Loc,
+    count: usize,
+    dtype: &Datatype,
+    op: ReduceOp,
+    root: usize,
+    tag: u32,
+    ctx: u16,
+) {
+    let (rank, size) = (c.rank(), c.size());
+    let root_world = c.world_rank_of(root);
+    let me_w = c.world_rank_of(rank);
+    let byte = byte_dt();
+    let mut eng = c.engine().lock();
+    let bytes = count * dtype.size();
+    if rank != root {
+        let id = eng.isend(sendbuf.clone(), count, dtype, root_world, tag, ctx);
+        coll_wait(&mut eng, vec![id]);
+        return;
+    }
+    let mut acc = stage_to_host(&mut eng, me_w, sendbuf, count, dtype, tag + 1, ctx);
+    let scratch = HostBuf::alloc(bytes);
+    for src in 0..size {
+        if src == root {
+            continue;
+        }
+        let id = eng.irecv(
+            Loc::Host(scratch.base()),
+            bytes,
+            &byte,
+            SrcSel(Some(c.world_rank_of(src))),
+            TagSel(Some(tag)),
+            ctx,
+        );
+        coll_wait(&mut eng, vec![id]);
+        combine_bytes(op, dtype, &mut acc, &scratch.read(0, bytes));
+    }
+    deliver_from_host(&mut eng, me_w, &acc, recvbuf, count, dtype, tag + 2, ctx);
+}

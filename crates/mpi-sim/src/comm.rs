@@ -79,9 +79,12 @@ impl Comm {
         SrcSel(sel.0.map(|r| self.world_rank_of(r)))
     }
 
-    /// A fresh base tag for one collective (each may use up to 64 tags).
+    /// A fresh base tag for one collective. Each collective owns a window
+    /// of [`crate::coll::TAGS_PER_COLL`] tags: hierarchical algorithms
+    /// index phase tags by node id, so the window must cover
+    /// `phase_stride * phases` (see `coll::hier`).
     pub(crate) fn next_coll_tag(&self) -> u32 {
-        (self.coll_seq.fetch_add(1, Ordering::Relaxed) % (1 << 24)) * 64
+        (self.coll_seq.fetch_add(1, Ordering::Relaxed) % (1 << 18)) * crate::coll::TAGS_PER_COLL
     }
 
     /// Create the world communicator for `rank` of `size` on `nic`.
@@ -396,8 +399,8 @@ impl Comm {
         let base_buf = hostmem::HostBuf::alloc(8);
         let mine_buf = hostmem::HostBuf::from_vec(hostmem::scalars_to_bytes(&[my_next]));
         self.allreduce(
-            &mine_buf.base(),
-            &base_buf.base(),
+            mine_buf.base(),
+            base_buf.base(),
             1,
             &t,
             crate::coll::ReduceOp::Max,

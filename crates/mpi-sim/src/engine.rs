@@ -2428,6 +2428,12 @@ impl Engine {
         self.faulty
     }
 
+    /// The physical node hosting world rank `rank` (hierarchical
+    /// collectives group peers by this).
+    pub(crate) fn node_of(&self, rank: usize) -> usize {
+        self.nic.node_of(rank)
+    }
+
     /// Number of unreaped requests (sends + receives) this rank holds —
     /// zero once the application has waited on everything it posted.
     pub fn live_requests(&self) -> usize {

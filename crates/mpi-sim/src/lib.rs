@@ -58,6 +58,8 @@ pub use engine::{RecvStatus, Request, SrcSel, TagSel, ANY_SOURCE, ANY_TAG};
 pub use ib_sim::{FaultSpec, Topology};
 pub use pack::CpuModel;
 pub use plan::{Plan, PlanCacheStats};
-pub use proto::{packet_kind, ChunkPolicy, ConfigError, MpiConfig, MpiError, RetryConfig};
+pub use proto::{
+    packet_kind, ChunkPolicy, CollAlgo, CollConfig, ConfigError, MpiConfig, MpiError, RetryConfig,
+};
 pub use staging::{BufferStager, RecvSink, SendSource};
 pub use world::MpiWorld;

@@ -170,6 +170,55 @@ impl ChunkPolicy {
     }
 }
 
+/// Which family of collective algorithms a communicator uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CollAlgo {
+    /// The original p2p-loop algorithms: linear gather/scatter loops,
+    /// alltoall posting every request at once, allgather = gather + bcast,
+    /// reduce receiving P−1 contributions serially through one scratch
+    /// buffer. Kept as the honest control for `coll_sweep`.
+    Naive,
+    /// Single-level algorithms with bounded resource use: pairwise
+    /// (XOR-schedule) alltoall(v) with at most
+    /// [`CollConfig::max_inflight`] exchanges outstanding, ring
+    /// allgather(v), binomial-tree reduce with double-buffered scratch
+    /// overlapping receive and combine.
+    Flat,
+    /// Topology-aware node-leader trees: fan in/out over the shm channel
+    /// between co-located ranks, cross the wire once per node pair, and
+    /// pipeline pack → intra-node combine → wire per
+    /// [`CollConfig::pipeline_chunk`] segment. Falls back to [`Flat`]
+    /// (`CollAlgo::Flat`) on communicators where no node hosts two
+    /// members or all members share one node.
+    Hier,
+}
+
+/// Collective-algorithm tunables.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CollConfig {
+    /// Algorithm family (default [`CollAlgo::Hier`]).
+    pub algo: CollAlgo,
+    /// Maximum nonblocking exchanges a collective keeps in flight per rank
+    /// (pairwise alltoall windows, leader fan-in/out windows). Bounds the
+    /// fabric-wide request count that used to grow as P² in the naive
+    /// alltoall.
+    pub max_inflight: usize,
+    /// Segment size, bytes, for pipelined reductions (pack → intra-node
+    /// combine → wire per segment). Must be a positive multiple of 8 so
+    /// segment boundaries never split a primitive element.
+    pub pipeline_chunk: usize,
+}
+
+impl Default for CollConfig {
+    fn default() -> Self {
+        CollConfig {
+            algo: CollAlgo::Hier,
+            max_inflight: 4,
+            pipeline_chunk: 64 << 10,
+        }
+    }
+}
+
 /// Retry policy for rendezvous control traffic and failed RDMA chunks.
 /// Only consulted when the fabric injects faults — on a reliable fabric no
 /// timers are armed and the protocol runs exactly as if retries didn't
@@ -279,6 +328,13 @@ pub enum ConfigError {
         /// World size.
         nranks: usize,
     },
+    /// `coll.max_inflight == 0`.
+    ZeroCollInflight,
+    /// `coll.pipeline_chunk` is zero or not a multiple of 8.
+    BadCollChunk {
+        /// Configured segment size.
+        pipeline_chunk: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -346,6 +402,15 @@ impl std::fmt::Display for ConfigError {
                 "ppn ({ppn}) must evenly divide the world size ({nranks}) so every node \
                  hosts the same number of ranks"
             ),
+            ConfigError::ZeroCollInflight => write!(
+                f,
+                "coll.max_inflight must be >= 1 (a collective could never post a request)"
+            ),
+            ConfigError::BadCollChunk { pipeline_chunk } => write!(
+                f,
+                "coll.pipeline_chunk ({pipeline_chunk}) must be a positive multiple of 8 \
+                 so reduction segments never split a primitive element"
+            ),
         }
     }
 }
@@ -407,6 +472,8 @@ pub struct MpiConfig {
     /// shm channel has no wire or vbuf pressure, so its eager window can be
     /// (and defaults to) larger than [`eager_limit`](MpiConfig::eager_limit).
     pub shm_eager_limit: usize,
+    /// Collective-algorithm selection and tunables.
+    pub coll: CollConfig,
 }
 
 impl Default for MpiConfig {
@@ -427,6 +494,7 @@ impl Default for MpiConfig {
             bug_deferred_cts: false,
             ppn: 1,
             shm_eager_limit: 32 << 10,
+            coll: CollConfig::default(),
         }
     }
 }
@@ -503,6 +571,14 @@ impl MpiConfig {
             return Err(ConfigError::ShmEagerBelowEager {
                 shm_eager_limit: self.shm_eager_limit,
                 eager_limit: self.eager_limit,
+            });
+        }
+        if self.coll.max_inflight == 0 {
+            return Err(ConfigError::ZeroCollInflight);
+        }
+        if self.coll.pipeline_chunk == 0 || !self.coll.pipeline_chunk.is_multiple_of(8) {
+            return Err(ConfigError::BadCollChunk {
+                pipeline_chunk: self.coll.pipeline_chunk,
             });
         }
         Ok(())
@@ -718,6 +794,40 @@ mod tests {
             c.try_validate_topology(16).unwrap_err(),
             ConfigError::PpnDoesNotDivide { ppn: 3, nranks: 16 }
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "coll.max_inflight must be >= 1")]
+    fn zero_coll_inflight_is_rejected() {
+        MpiConfig {
+            coll: CollConfig {
+                max_inflight: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive multiple of 8")]
+    fn unaligned_coll_chunk_is_rejected() {
+        MpiConfig {
+            coll: CollConfig {
+                pipeline_chunk: 12,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn default_coll_config_is_hier() {
+        let c = MpiConfig::default();
+        assert_eq!(c.coll.algo, CollAlgo::Hier);
+        assert!(c.coll.max_inflight >= 1);
+        assert!(c.coll.pipeline_chunk.is_multiple_of(8));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! mismatch, so data corruption surfaces as a violation too.
 
 use hostmem::HostBuf;
-use mpi_sim::{ChunkPolicy, Datatype, FaultSpec, MpiConfig, MpiWorld};
+use mpi_sim::{ChunkPolicy, CollAlgo, Datatype, FaultSpec, MpiConfig, MpiWorld, Topology};
 use mv2_gpu_nc::baselines::{fill_vector, verify_vector, VectorXfer};
 use mv2_gpu_nc::GpuCluster;
 use sim_core::{SanitizerMode, SimDur};
@@ -282,6 +282,68 @@ pub fn deferred_cts(bug_deferred_cts: bool) -> Scenario {
     }
 }
 
+/// Three ranks on two nodes (`[0, 0, 1]`), one hierarchical gather to
+/// rank 0 — the node-leader **fan-in** under the checker. Rank 1's block
+/// reaches its co-located leader (rank 0) over the reliable shm channel
+/// (eager, no control packets), while rank 2 — its own node's leader —
+/// ships its aggregated block over the wire as a direct rendezvous
+/// (RTS → CTS-direct → RDMA write → FIN-direct), all of whose control
+/// packets the checker may drop or delay. The retry machinery must
+/// deliver the gather bit-exactly under every explored schedule.
+///
+/// Not part of [`protocol_scenarios`] — the committed `modelcheck.json`
+/// baseline predates the hierarchical collectives and must stay
+/// bit-identical; `tests/coll_check.rs` explores this one directly.
+pub fn hier_fanin_3rank() -> Scenario {
+    Scenario {
+        name: "hier-fanin-3rank",
+        budget: Budget::default_bounds(),
+        run: Box::new(|schedule, rec| {
+            let checker = CheckScheduler::new(schedule.clone());
+            let mut cfg = MpiConfig::default();
+            cfg.coll.algo = CollAlgo::Hier;
+            let world = MpiWorld::new(3)
+                .with_topology(Topology::from_map(vec![0, 0, 1]))
+                .with_config(cfg)
+                .with_faults(FaultSpec::seeded(ARM_SEED))
+                .with_sanitizer(SanitizerMode::Collect)
+                .with_recorder(rec.clone())
+                .with_scheduler(checker.clone());
+            let (end, reports) = world.try_run_with_reports(|comm| {
+                let byte = Datatype::byte();
+                byte.commit();
+                // 16 KiB per rank: past the 8 KiB inter-node eager limit
+                // (so the leader's wire leg is rendezvous) and inside the
+                // 32 KiB shm eager window (so the intra-node fan-in stays
+                // control-free).
+                let n = 16 << 10;
+                let me = comm.rank();
+                let send =
+                    HostBuf::from_vec((0..n).map(|i| ((i * 3 + me * 7) % 251) as u8).collect());
+                let recv = HostBuf::alloc(n * 3);
+                comm.gather(send.base(), recv.base(), n, &byte, 0);
+                if me == 0 {
+                    for r in 0..3usize {
+                        let block = recv.read(r * n, n);
+                        for i in [0usize, 1, n / 2, n - 1] {
+                            assert_eq!(
+                                block[i],
+                                ((i * 3 + r * 7) % 251) as u8,
+                                "gather block {r} byte {i} corrupted"
+                            );
+                        }
+                    }
+                }
+            });
+            RunOutcome {
+                end: end.map(|t| t.as_nanos()),
+                reports,
+                log: checker.log(),
+            }
+        }),
+    }
+}
+
 /// The four protocol scenarios that must pass exhaustively, in the order
 /// they are reported.
 pub fn protocol_scenarios() -> Vec<Scenario> {
@@ -311,5 +373,6 @@ pub fn by_name(name: &str) -> Option<Scenario> {
     protocol_scenarios()
         .into_iter()
         .chain(bug_scenarios())
+        .chain(std::iter::once(hier_fanin_3rank()))
         .find(|s| s.name == name)
 }

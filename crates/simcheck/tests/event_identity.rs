@@ -154,6 +154,95 @@ fn fault_injection_identity() {
     assert_eq!(*ev, *th, "faulty-run wake traces diverged");
 }
 
+/// One 256-rank hierarchical collective job under `mode`: a 64-node
+/// (ppn = 4) layout chains barrier → allreduce → alltoallv with the
+/// node-leader algorithms. Returns the virtual end time, every rank's
+/// received bytes, and the trace event stream.
+fn collective_256rank_run(mode: ExecMode) -> (SimTime, Vec<Vec<u8>>, Vec<String>) {
+    use std::collections::BTreeMap;
+
+    let n = 256usize;
+    let digests: Arc<Mutex<BTreeMap<usize, Vec<u8>>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = Arc::clone(&digests);
+    let rec = Recorder::new();
+    let mut cfg = MpiConfig {
+        ppn: 4,
+        ..MpiConfig::default()
+    };
+    cfg.coll.algo = mpi_sim::CollAlgo::Hier;
+    let end = MpiWorld::new(n)
+        .with_config(cfg)
+        .with_exec(mode)
+        .with_recorder(rec.clone())
+        .run(move |comm| {
+            let me = comm.rank();
+            let f32t = Datatype::float();
+            f32t.commit();
+            let term = |r: usize, k: usize| ((r * 13 + k * 7) % 17) as f32 - 8.0;
+            let mut digest: Vec<u8> = Vec::new();
+
+            comm.barrier();
+
+            // Allreduce: 256 f32, summed through the leader fan-in tree.
+            let rn = 256usize;
+            let vals: Vec<f32> = (0..rn).map(|k| term(me, k)).collect();
+            let send = HostBuf::from_vec(hostmem::scalars_to_bytes(&vals));
+            let recv = HostBuf::alloc(rn * 4);
+            comm.allreduce(send.base(), recv.base(), rn, &f32t, mpi_sim::ReduceOp::Sum);
+            let got = hostmem::bytes_to_scalars::<f32>(&recv.read(0, rn * 4));
+            let want: f32 = (0..n).map(|r| term(r, 0)).sum();
+            assert_eq!(got[0], want, "allreduce wrong on rank {me}");
+            digest.extend(recv.read(0, rn * 4));
+
+            // Alltoallv: 4 f32 per pair, leader-aggregated wire messages.
+            let cnt = 4usize;
+            let counts = vec![cnt; n];
+            let displs: Vec<usize> = (0..n).map(|j| j * cnt * 4).collect();
+            let tvals: Vec<f32> = (0..n * cnt).map(|k| term(me, k)).collect();
+            let tsend = HostBuf::from_vec(hostmem::scalars_to_bytes(&tvals));
+            let trecv = HostBuf::alloc(n * cnt * 4);
+            comm.alltoallv(
+                tsend.base(),
+                &counts,
+                &displs,
+                &f32t,
+                trecv.base(),
+                &counts,
+                &displs,
+                &f32t,
+            );
+            digest.extend(trecv.read(0, n * cnt * 4));
+
+            sink.lock().insert(me, digest);
+        });
+    let map = Arc::try_unwrap(digests)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|a| a.lock().clone());
+    assert_eq!(map.len(), n, "some rank never reported");
+    let events = rec.events().iter().map(|e| format!("{e:?}")).collect();
+    (end, map.into_values().collect(), events)
+}
+
+/// Collectives case at scale: a 256-rank hierarchical job must be two
+/// carriers of the same simulation — identical virtual end time,
+/// identical delivered bytes on every rank, identical trace streams.
+#[test]
+fn collective_identity_at_256_ranks() {
+    let (ev_end, ev_data, ev_events) = collective_256rank_run(ExecMode::Event);
+    let (th_end, th_data, th_events) = collective_256rank_run(ExecMode::Threads);
+    assert_eq!(ev_end, th_end, "256-rank collective end time diverged");
+    assert_eq!(ev_data, th_data, "256-rank collective data diverged");
+    assert!(!ev_events.is_empty(), "recorder captured nothing");
+    assert_eq!(
+        ev_events.len(),
+        th_events.len(),
+        "trace event counts diverged"
+    );
+    for (i, (a, b)) in ev_events.iter().zip(th_events.iter()).enumerate() {
+        assert_eq!(a, b, "trace event {i} diverged across carriers");
+    }
+}
+
 /// One model-check workload run under `mode`: a staged 64 KiB vector
 /// transfer over a checker-scheduled, retry-armed fabric (the same shape
 /// as `scenarios::staged_2rank`, with the carrier pinned explicitly).

@@ -1,0 +1,40 @@
+//! Data-parallel training: gradient `allreduce` every step.
+//!
+//! Every rank computes a local gradient, the gradients are summed with a
+//! (pipelined, node-leader) allreduce, and all ranks apply the identical
+//! update. Gradients are integer-valued `f32`, so the result is exact in
+//! any fold order: all three algorithm families must land on bit-identical
+//! weights, matching the serial reference.
+//!
+//! Run with: `cargo run --release --example gradient_allreduce`
+
+use gpu_nc_repro::coll_apps::{run_gradient, serial_gradient, GradParams, Mem};
+use gpu_nc_repro::mpi_sim::CollAlgo;
+
+fn main() {
+    let (params, steps, ranks, ppn) = (1 << 16, 4usize, 16usize, 4usize);
+    let want = serial_gradient(params, steps, ranks);
+
+    for (name, algo) in [
+        ("naive funnel ", CollAlgo::Naive),
+        ("flat binomial", CollAlgo::Flat),
+        ("hierarchical ", CollAlgo::Hier),
+    ] {
+        let out = run_gradient(GradParams {
+            params,
+            steps,
+            ranks,
+            ppn,
+            algo,
+            mem: Mem::Device,
+        });
+        for (i, w) in out.weights.iter().enumerate() {
+            assert_eq!(w.as_slice(), want.as_slice(), "rank {i} diverged");
+        }
+        println!(
+            "{name}: {steps} steps x {params} params over {ranks} ranks (ppn={ppn}, \
+             device) done at t={} — all ranks bit-identical to serial",
+            out.wall
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Distributed matrix transpose: `alltoallv` of strided-column datatypes.
+//!
+//! Each rank owns a block of rows of a global N×N matrix and ships the
+//! tile destined for rank `j` as **non-contiguous columns** described by a
+//! derived datatype — no manual packing anywhere. Run once with the flat
+//! pairwise exchange and once with the hierarchical (leader-based) path to
+//! see the virtual-time difference on a multi-rank-per-node layout.
+//!
+//! Run with: `cargo run --release --example transpose`
+
+use gpu_nc_repro::coll_apps::{run_transpose, serial_transpose, Mem, TransposeParams};
+use gpu_nc_repro::mpi_sim::CollAlgo;
+
+fn main() {
+    let (n, ranks, ppn) = (256usize, 16usize, 4usize);
+    let want = serial_transpose(n);
+    let b = n / ranks;
+
+    for (name, algo) in [
+        ("naive p2p loop", CollAlgo::Naive),
+        ("flat pairwise ", CollAlgo::Flat),
+        ("hierarchical  ", CollAlgo::Hier),
+    ] {
+        let out = run_transpose(TransposeParams {
+            n,
+            ranks,
+            ppn,
+            algo,
+            mem: Mem::Device,
+        });
+        for (i, block) in out.blocks.iter().enumerate() {
+            assert_eq!(
+                block.as_slice(),
+                &want[i * b * n..(i + 1) * b * n],
+                "rank {i} block mismatch"
+            );
+        }
+        println!(
+            "{name}: {n}x{n} f64 transpose across {ranks} ranks (ppn={ppn}, device) \
+             done at t={} — bit-exact vs serial",
+            out.wall
+        );
+    }
+}

@@ -59,4 +59,13 @@ echo "==> rank scale smoke (event/thread carrier wake-trace cross-check)"
 # the legacy one-thread-per-rank carrier.
 cargo run --release -q -p bench --bin rank_scale_sweep -- --smoke true
 
+echo "==> collective sweep smoke (hier vs flat vs naive regression guards)"
+# The bin itself asserts that at ppn >= 4 the hierarchical node-leader
+# path beats both the flat single-level algorithms and the naive p2p-loop
+# control on virtual time, and sheds HCA bytes onto the shm channel in
+# proportion to the intra-node traffic it absorbs.
+cargo run --release -q -p bench --bin coll_sweep -- \
+    --smoke true --out /tmp/BENCH_coll_smoke.json > /dev/null
+[[ -s /tmp/BENCH_coll_smoke.json ]] || { echo "empty coll sweep report"; exit 1; }
+
 echo "CI OK"

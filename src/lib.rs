@@ -14,8 +14,11 @@
 //! * [`mv2_gpu_nc`] — the paper's contribution: GPU-aware non-contiguous
 //!   datatype communication (offloaded packing + 5-stage pipeline)
 //! * [`stencil2d`] — SHOC Stencil2D application benchmark
+//! * [`coll_apps`] — collective-driven workloads (distributed transpose,
+//!   gradient allreduce) over the hierarchical datatype-aware collectives
 //! * [`simcheck`] — exhaustive control-plane model checking
 
+pub use coll_apps;
 pub use gpu_sim;
 pub use halo3d;
 pub use hostmem;
