@@ -1,0 +1,153 @@
+//! Seeded open-loop job arrivals: Poisson arrival instants over the
+//! virtual clock with a heavy-tailed job-size mix.
+//!
+//! The generator is pure — it runs *before* the simulation and produces a
+//! fixed [`JobPlan`] list, because every tenant of a multi-job fabric is
+//! declared up front ([`ib_sim::Fabric::multi_job`]). Open-loop means the
+//! instants never react to completions: when the cluster falls behind, the
+//! backlog (and the per-job slowdown tail) grows, which is exactly the
+//! overload signal the `job_mix` harness measures.
+
+use ib_sim::JobQos;
+use xorshift::XorShift64;
+
+use crate::workload::{JobKind, SizedJob};
+
+/// One planned job: what runs, when it arrives, and its QoS share.
+#[derive(Clone, Debug)]
+pub struct JobPlan {
+    /// The sized application body.
+    pub job: SizedJob,
+    /// Arrival instant, nanoseconds of virtual time from simulation start.
+    pub arrive_ns: u64,
+    /// The job's share of whatever hardware it is placed on.
+    pub qos: JobQos,
+}
+
+/// Arrival-process parameters.
+#[derive(Clone, Debug)]
+pub struct MixParams {
+    /// PRNG seed; same seed, same plan, bit for bit.
+    pub seed: u64,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Mean inter-arrival gap in microseconds of virtual time (Poisson
+    /// process: exponential gaps with this mean). Halving it doubles the
+    /// offered load.
+    pub mean_interarrival_us: f64,
+}
+
+/// A uniform draw in (0, 1) — never exactly 0, so `ln` stays finite.
+fn u01(rng: &mut XorShift64) -> f64 {
+    ((rng.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+/// Bounded-Pareto work multiplier in `1..=8` (alpha 1.5): most jobs draw
+/// 1-2, a heavy tail draws the full 8x.
+fn pareto_scale(rng: &mut XorShift64) -> u32 {
+    const ALPHA: f64 = 1.5;
+    const L: f64 = 1.0;
+    const H: f64 = 8.0;
+    let u = u01(rng);
+    let x = L / (1.0 - u * (1.0 - (L / H).powf(ALPHA))).powf(1.0 / ALPHA);
+    (x.round() as u32).clamp(1, 8)
+}
+
+/// Weighted kind mix: short latency-bound jobs dominate, the rank-8
+/// halo3d is the rare big tenant.
+fn pick_kind(rng: &mut XorShift64) -> JobKind {
+    // Cumulative percentage thresholds over JobKind::all() order.
+    const CUM: [u32; 5] = [15, 40, 60, 80, 100];
+    let roll = (rng.next_u64() % 100) as u32;
+    let idx = CUM.iter().position(|&c| roll < c).unwrap();
+    JobKind::all()[idx]
+}
+
+/// Generate the arrival plan: `p.jobs` jobs with exponential inter-arrival
+/// gaps, heavy-tailed scales and default (fair, uncapped) QoS. Callers
+/// overlay QoS weights afterwards when the experiment calls for skewed
+/// shares.
+pub fn generate(p: &MixParams) -> Vec<JobPlan> {
+    assert!(p.jobs > 0, "need at least one job");
+    assert!(
+        p.mean_interarrival_us > 0.0,
+        "mean inter-arrival must be positive"
+    );
+    let mut rng = XorShift64::new(p.seed);
+    let mut t_ns = 0.0f64;
+    (0..p.jobs)
+        .map(|_| {
+            t_ns += -u01(&mut rng).ln() * p.mean_interarrival_us * 1e3;
+            JobPlan {
+                job: SizedJob {
+                    kind: pick_kind(&mut rng),
+                    scale: pareto_scale(&mut rng),
+                },
+                arrive_ns: t_ns as u64,
+                qos: JobQos::default(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let p = MixParams {
+            seed: 42,
+            jobs: 50,
+            mean_interarrival_us: 200.0,
+        };
+        let a = generate(&p);
+        let b = generate(&p);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_scales_bounded() {
+        let plan = generate(&MixParams {
+            seed: 7,
+            jobs: 200,
+            mean_interarrival_us: 100.0,
+        });
+        let mut last = 0;
+        for p in &plan {
+            assert!(p.arrive_ns >= last);
+            last = p.arrive_ns;
+            assert!((1..=8).contains(&p.job.scale));
+        }
+        // The tail exists: some job drew a scale above the median bucket.
+        assert!(plan.iter().any(|p| p.job.scale >= 4), "no heavy tail drawn");
+        // Every kind shows up across 200 draws.
+        for kind in JobKind::all() {
+            assert!(
+                plan.iter().any(|p| p.job.kind == kind),
+                "{} never drawn",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn halving_the_gap_roughly_doubles_the_rate() {
+        let slow = generate(&MixParams {
+            seed: 3,
+            jobs: 100,
+            mean_interarrival_us: 400.0,
+        });
+        let fast = generate(&MixParams {
+            seed: 3,
+            jobs: 100,
+            mean_interarrival_us: 200.0,
+        });
+        let span = |v: &[JobPlan]| v.last().unwrap().arrive_ns as f64;
+        let ratio = span(&slow) / span(&fast);
+        assert!(
+            (1.8..=2.2).contains(&ratio),
+            "span ratio {ratio} not ~2 for halved gap"
+        );
+    }
+}

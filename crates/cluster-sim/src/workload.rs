@@ -1,0 +1,318 @@
+//! The job zoo: self-verifying MPI application bodies, each sized by a
+//! small heavy-tailed scale factor. Five families form the arrival mix;
+//! a sixth host-bandwidth [`JobKind::Stream`] serves as the HCA QoS
+//! probe.
+//!
+//! Every body runs against a [`GpuRankEnv`] exactly like a dedicated
+//! [`mv2_gpu_nc::GpuCluster`] job would, so the same code serves dedicated
+//! baseline runs and tenant runs on a shared fabric. Bodies verify their
+//! own numerics where that is cheap (the transpose is bit-exact against
+//! the serial reference, the gradient loop matches the serial training
+//! loop bit for bit), so a mixed campaign doubles as a correctness check
+//! of the staging pipeline under contention.
+
+use hostmem::{bytes_to_scalars, scalars_to_bytes, HostBuf};
+use ib_sim::Topology;
+use mpi_sim::{Datatype, ReduceOp};
+use mv2_gpu_nc::baselines::{fill_vector, verify_vector, VectorXfer};
+use mv2_gpu_nc::GpuRankEnv;
+
+use coll_apps::gradient::{local_grad, serial_gradient};
+use coll_apps::transpose::{element, serial_transpose};
+use gpu_sim::Loc;
+
+/// The application families: five mix tenants plus the host-bandwidth
+/// QoS probe.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// 3-D Jacobi with six-face subarray halo exchange (8 ranks, 2x2x2).
+    Halo3d,
+    /// SHOC Stencil2D with column-datatype halos (4 ranks, 2x2).
+    Stencil2d,
+    /// Distributed matrix transpose over `alltoallv` of strided columns
+    /// (4 ranks).
+    Transpose,
+    /// Data-parallel gradient allreduce (4 ranks).
+    Gradient,
+    /// OSU-style device-to-device ping-pong over the paper's vector
+    /// datatype (2 ranks).
+    Osu,
+    /// Host-to-host bandwidth stream (2 ranks): back-to-back 256 KiB
+    /// contiguous messages with no GPU staging, so the HCA — not the PCIe
+    /// copy engine — is the saturated resource. Not part of the arrival
+    /// mix; this is the instrument for HCA QoS experiments (GPU-staged
+    /// bodies rarely backlog a QDR link because the shared copy engine
+    /// paces their chunks below link rate).
+    Stream,
+}
+
+impl JobKind {
+    /// Short stable name (JSON keys, trace labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Halo3d => "halo3d",
+            JobKind::Stencil2d => "stencil2d",
+            JobKind::Transpose => "transpose",
+            JobKind::Gradient => "gradient",
+            JobKind::Osu => "osu",
+            JobKind::Stream => "stream",
+        }
+    }
+
+    /// Ranks this kind launches.
+    pub fn ranks(self) -> usize {
+        match self {
+            JobKind::Halo3d => 8,
+            JobKind::Stencil2d | JobKind::Transpose | JobKind::Gradient => 4,
+            JobKind::Osu | JobKind::Stream => 2,
+        }
+    }
+
+    /// The arrival generator's kind mix, in mix-weight order
+    /// ([`JobKind::Stream`] is deliberately absent — it exists as a QoS
+    /// probe, not a tenant family).
+    pub fn all() -> [JobKind; 5] {
+        [
+            JobKind::Halo3d,
+            JobKind::Stencil2d,
+            JobKind::Transpose,
+            JobKind::Gradient,
+            JobKind::Osu,
+        ]
+    }
+}
+
+/// One sized job: a kind plus its heavy-tailed scale factor (1..=8; the
+/// arrival generator draws it from a bounded Pareto, so most jobs are
+/// small and a few are ~8x the work).
+#[derive(Copy, Clone, Debug)]
+pub struct SizedJob {
+    /// Application family.
+    pub kind: JobKind,
+    /// Work multiplier in `1..=8` (iterations / problem size).
+    pub scale: u32,
+}
+
+impl SizedJob {
+    /// Ranks this job launches.
+    pub fn ranks(&self) -> usize {
+        self.kind.ranks()
+    }
+
+    /// The job's rank → node-slot topology (one rank per node slot; node
+    /// sharing across *jobs* is the scheduler's business, not the
+    /// topology's).
+    pub fn topo(&self) -> Topology {
+        Topology::one_per_node(self.ranks())
+    }
+
+    /// Run this job's body on one rank. Must be called once per rank of
+    /// [`SizedJob::ranks`], with `env.comm` sized accordingly.
+    pub fn run(&self, env: &GpuRankEnv) {
+        let s = self.scale as usize;
+        match self.kind {
+            JobKind::Halo3d => run_halo3d(env, s),
+            JobKind::Stencil2d => run_stencil(env, s),
+            JobKind::Transpose => run_transpose(env, s),
+            JobKind::Gradient => run_gradient(env, s),
+            JobKind::Osu => run_osu(env, s),
+            JobKind::Stream => run_stream(env, s),
+        }
+    }
+}
+
+/// 3-D Jacobi: `scale` iterations on a fixed 4^3 local block, MV2 variant
+/// (device buffers + subarray datatypes).
+fn run_halo3d(env: &GpuRankEnv, scale: usize) {
+    let p = halo3d::Halo3dParams {
+        grid: (2, 2, 2),
+        local: (4, 4, 4),
+        iters: scale,
+    };
+    let mut rank = halo3d::Halo3dRank::<f32>::new(env, p);
+    for _ in 0..p.iters {
+        rank.step(halo3d::Variant::Mv2);
+    }
+    rank.free();
+}
+
+/// SHOC Stencil2D: `scale` iterations on a 16x16 interior, MV2 variant.
+fn run_stencil(env: &GpuRankEnv, scale: usize) {
+    let p = stencil2d::StencilParams {
+        py: 2,
+        px: 2,
+        rows: 16,
+        cols: 16,
+        iters: scale,
+    };
+    let mut rank = stencil2d::StencilRank::<f32>::new(env, p);
+    for _ in 0..p.iters {
+        rank.step(stencil2d::Variant::Mv2);
+    }
+    rank.free();
+}
+
+/// Distributed N x N transpose over `alltoallv` of strided-column tiles on
+/// device buffers, bit-exact against [`serial_transpose`]. N = 16 * scale.
+fn run_transpose(env: &GpuRankEnv, scale: usize) {
+    let comm = &env.comm;
+    let (me, np) = (comm.rank(), comm.size());
+    let n = 16 * scale;
+    let b = n / np;
+    let row_bytes = n * 8;
+
+    let mine: Vec<f64> = (0..b)
+        .flat_map(|r| (0..n).map(move |k| element(n, me * b + r, k)))
+        .collect();
+    let send_host = HostBuf::from_vec(scalars_to_bytes(&mine));
+    let recv_host = HostBuf::alloc(b * row_bytes);
+    let d_send = env.gpu.malloc(b * row_bytes);
+    let d_recv = env.gpu.malloc(b * row_bytes);
+    env.gpu.memcpy(d_send, send_host.base(), b * row_bytes);
+
+    let f64t = Datatype::double();
+    f64t.commit();
+    let col = Datatype::hvector(b, 1, row_bytes as isize, &f64t);
+    let tile_cols: Vec<(usize, isize)> = (0..b).map(|c| (1, (c * 8) as isize)).collect();
+    let stile = Datatype::hindexed(&tile_cols, &col);
+    stile.commit();
+    let rtile = Datatype::hvector(b, b, row_bytes as isize, &f64t);
+    rtile.commit();
+
+    let counts = vec![1usize; np];
+    let displs: Vec<usize> = (0..np).map(|j| j * b * 8).collect();
+    comm.barrier();
+    comm.alltoallv(
+        Loc::Device(d_send),
+        &counts,
+        &displs,
+        &stile,
+        Loc::Device(d_recv),
+        &counts,
+        &displs,
+        &rtile,
+    );
+
+    env.gpu.memcpy(recv_host.base(), d_recv, b * row_bytes);
+    env.gpu.free(d_send);
+    env.gpu.free(d_recv);
+    let block = bytes_to_scalars::<f64>(&recv_host.read(0, b * row_bytes));
+    let want = serial_transpose(n);
+    assert_eq!(
+        block.as_slice(),
+        &want[me * b * n..(me + 1) * b * n],
+        "transpose rank {me} corrupted under contention (n = {n})"
+    );
+}
+
+/// Two training steps of a `512 * scale`-parameter gradient allreduce on
+/// device buffers, bit-exact against [`serial_gradient`].
+fn run_gradient(env: &GpuRankEnv, scale: usize) {
+    let comm = &env.comm;
+    let me = comm.rank();
+    let (params, steps) = (512 * scale, 2);
+    let bytes = params * 4;
+    let f32t = Datatype::float();
+    f32t.commit();
+
+    let grad_host = HostBuf::alloc(bytes);
+    let sum_host = HostBuf::alloc(bytes);
+    let d_grad = env.gpu.malloc(bytes);
+    let d_sum = env.gpu.malloc(bytes);
+
+    let mut w = vec![0f32; params];
+    comm.barrier();
+    for step in 0..steps {
+        let grad: Vec<f32> = (0..params).map(|k| local_grad(me, step, k)).collect();
+        grad_host.write(0, &scalars_to_bytes(&grad));
+        env.gpu.memcpy(d_grad, grad_host.base(), bytes);
+        comm.allreduce(
+            Loc::Device(d_grad),
+            Loc::Device(d_sum),
+            params,
+            &f32t,
+            ReduceOp::Sum,
+        );
+        env.gpu.memcpy(sum_host.base(), d_sum, bytes);
+        let summed = bytes_to_scalars::<f32>(&sum_host.read(0, bytes));
+        for (wk, g) in w.iter_mut().zip(&summed) {
+            *wk -= 0.125 * g;
+        }
+    }
+    env.gpu.free(d_grad);
+    env.gpu.free(d_sum);
+    assert_eq!(
+        w,
+        serial_gradient(params, steps, comm.size()),
+        "gradient rank {me} diverged under contention ({params} params)"
+    );
+}
+
+/// OSU-style ping-pong: four warm+timed round trips of the paper's vector
+/// datatype (`8 KiB * scale` of payload) between device buffers.
+fn run_osu(env: &GpuRankEnv, scale: usize) {
+    let comm = &env.comm;
+    let total = (8 << 10) * scale;
+    let x = VectorXfer::paper(total);
+    let dt = x.dtype();
+    let dev = env.gpu.malloc(x.extent());
+    let me = comm.rank();
+    if me == 0 {
+        fill_vector(&env.gpu, dev, &x, 29);
+    }
+    for it in 0..4u32 {
+        if me == 0 {
+            comm.send(dev, 1, &dt, 1, it);
+            comm.recv(dev, 1, &dt, 1, 1000 + it);
+        } else {
+            comm.recv(dev, 1, &dt, 0, it);
+            comm.send(dev, 1, &dt, 0, 1000 + it);
+        }
+    }
+    // Four full round trips only move the pattern back and forth; both
+    // sides must still hold rank 0's fill.
+    verify_vector(&env.gpu, dev, &x, 29);
+    env.gpu.free(dev);
+}
+
+/// Host-to-host bandwidth stream: rank 0 posts `2 * scale` back-to-back
+/// 256 KiB contiguous isends to rank 1, which verifies every payload byte.
+/// No GPU is touched, so the sends keep the sender's HCA transmit engine
+/// continuously backlogged — the workload QoS weights actually divide.
+fn run_stream(env: &GpuRankEnv, scale: usize) {
+    let comm = &env.comm;
+    let me = comm.rank();
+    let elems = 64 << 10; // 256 KiB of f32 per message
+    let msgs = 2 * scale;
+    let f32t = Datatype::float();
+    f32t.commit();
+    let payload = |m: usize| -> Vec<f32> { (0..elems).map(|k| (m * 131 + k) as f32).collect() };
+    if me == 0 {
+        let bufs: Vec<HostBuf> = (0..msgs)
+            .map(|m| HostBuf::from_vec(scalars_to_bytes(&payload(m))))
+            .collect();
+        let reqs: Vec<_> = bufs
+            .iter()
+            .enumerate()
+            .map(|(m, b)| comm.isend(b.base(), elems, &f32t, 1, m as u32))
+            .collect();
+        comm.waitall(reqs);
+    } else {
+        let bufs: Vec<HostBuf> = (0..msgs).map(|_| HostBuf::alloc(elems * 4)).collect();
+        let reqs: Vec<_> = bufs
+            .iter()
+            .enumerate()
+            .map(|(m, b)| comm.irecv(b.base(), elems, &f32t, 0, m as u32))
+            .collect();
+        comm.waitall(reqs);
+        for (m, b) in bufs.iter().enumerate() {
+            let got = bytes_to_scalars::<f32>(&b.read(0, elems * 4));
+            assert_eq!(
+                got,
+                payload(m),
+                "stream message {m} corrupted under contention"
+            );
+        }
+    }
+    comm.barrier();
+}

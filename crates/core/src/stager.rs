@@ -40,13 +40,12 @@ struct StageLanes {
 }
 
 impl StageLanes {
-    fn new(rec: &Recorder, rank: usize) -> Self {
-        let scope = format!("rank{rank}");
+    fn new(rec: &Recorder, scope: &str) -> Self {
         StageLanes {
-            pack: rec.lane(&scope, "pack", LaneKind::Stage),
-            d2h: rec.lane(&scope, "d2h", LaneKind::Stage),
-            h2d: rec.lane(&scope, "h2d", LaneKind::Stage),
-            unpack: rec.lane(&scope, "unpack", LaneKind::Stage),
+            pack: rec.lane(scope, "pack", LaneKind::Stage),
+            d2h: rec.lane(scope, "d2h", LaneKind::Stage),
+            h2d: rec.lane(scope, "h2d", LaneKind::Stage),
+            unpack: rec.lane(scope, "unpack", LaneKind::Stage),
         }
     }
 }
@@ -466,8 +465,15 @@ impl GpuStager {
     /// A stager for `rank`'s device, recording stage spans into `rec`
     /// (pass [`Recorder::off`] for an untraced stager).
     pub fn new(gpu: Gpu, rank: usize, rec: &Recorder) -> Self {
+        Self::with_scope(gpu, &format!("rank{rank}"), rec)
+    }
+
+    /// Like [`GpuStager::new`], but with an explicit lane scope — e.g.
+    /// `job2.rank0` — so each tenant of a shared fabric keeps its stage
+    /// spans in its own namespace.
+    pub fn with_scope(gpu: Gpu, scope: &str, rec: &Recorder) -> Self {
         let pool = Arc::new(TbufPool::new(gpu.clone()));
-        let lanes = StageLanes::new(rec, rank);
+        let lanes = StageLanes::new(rec, scope);
         GpuStager { gpu, pool, lanes }
     }
 

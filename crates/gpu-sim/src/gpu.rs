@@ -124,6 +124,14 @@ const ENG_D2H: usize = 1;
 const ENG_D2D: usize = 2;
 const ENG_COMPUTE: usize = 3;
 
+/// Queue-wait counter name per engine (see [`Gpu::queue_waits`]).
+const ENGINE_WAIT: [&str; ENGINES] = [
+    "queue_wait.h2d",
+    "queue_wait.d2h",
+    "queue_wait.d2d",
+    "queue_wait.compute",
+];
+
 fn engine_for(dir: CopyDir) -> usize {
     match dir {
         CopyDir::H2D => ENG_H2D,
@@ -150,6 +158,13 @@ struct GpuInner {
     mem: Mutex<DeviceMem>,
     sched: Mutex<Sched>,
     counters: CallCounters,
+    /// Engine queue-wait accounting: nanoseconds each operation waited on
+    /// a busy engine beyond its stream dependency (`queue_wait.{engine}`
+    /// plus the `queue_wait_ns` total). Kept separate from `counters` so
+    /// [`Gpu::attach_recorder`]'s metrics namespace is unchanged; sharing
+    /// layers (a multi-job cluster) read it via [`Gpu::queue_waits`] and
+    /// register it under their own scope.
+    queue_wait: CallCounters,
     /// Sanitizer queue domain for this device (unique per instance).
     san_domain: u64,
     /// Trace lanes, one per engine, when a recorder is attached.
@@ -213,6 +228,7 @@ impl Gpu {
                     stream_pending: Vec::new(),
                 }),
                 counters: CallCounters::new(),
+                queue_wait: CallCounters::new(),
                 san_domain: san::new_queue_domain(),
                 trace: Mutex::new(None),
                 monitor: Mutex::new(None),
@@ -241,6 +257,17 @@ impl Gpu {
     /// API call counters (for code-complexity instrumentation).
     pub fn counters(&self) -> &CallCounters {
         &self.inner.counters
+    }
+
+    /// Engine queue-wait accounting: total nanoseconds operations spent
+    /// waiting on a busy engine beyond their stream dependency, as
+    /// `queue_wait_ns` plus a per-engine `queue_wait.{h2d,d2h,d2d,compute}`
+    /// breakdown. On a device shared by several jobs this is the
+    /// contention a tenant actually felt; sharing layers register the set
+    /// under their own metrics scope. Not part of
+    /// [`Gpu::attach_recorder`]'s namespace.
+    pub fn queue_waits(&self) -> &CallCounters {
+        &self.inner.queue_wait
     }
 
     /// Attach a trace recorder: every scheduled operation emits a busy span
@@ -495,9 +522,17 @@ impl Gpu {
         let now = sim_core::now();
         let (start, end) = {
             let mut sched = self.inner.sched.lock();
-            let start = now
-                .max(sched.stream_end[stream.idx])
-                .max(sched.engine_free[engine]);
+            // `ready`: when the op could start were the engine free (its
+            // stream dependency); any further delay is queue wait on the
+            // engine — contention from other streams or, on a shared
+            // device, other jobs.
+            let ready = now.max(sched.stream_end[stream.idx]);
+            let start = ready.max(sched.engine_free[engine]);
+            let wait = (start - ready).as_nanos();
+            if wait > 0 {
+                self.inner.queue_wait.add(ENGINE_WAIT[engine], wait);
+                self.inner.queue_wait.add("queue_wait_ns", wait);
+            }
             let end = start + dur;
             sched.stream_end[stream.idx] = end;
             sched.engine_free[engine] = end;

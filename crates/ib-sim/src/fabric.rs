@@ -51,6 +51,7 @@ use sim_core::{Completion, Component, DeliveryStamp, Mailbox, Sim, SimDur, SimTi
 use sim_trace::{Lane, LaneKind, Recorder};
 
 use crate::fault::{FaultSpec, FaultState};
+use crate::job::{BindError, JobQos, JobSpec};
 use crate::model::{NetModel, ShmModel};
 use crate::scheduler::{CtrlAction, CtrlPoint, DeliveryScheduler};
 use crate::topology::Topology;
@@ -105,6 +106,11 @@ impl std::error::Error for RegError {}
 struct NodeHw {
     /// When this node's HCA transmit engine is next free.
     tx_free: SimTime,
+    /// Per-job horizon on this node's transmit engine: when job `j`'s last
+    /// operation leaves the engine. Drives the weighted-share arbitration
+    /// of a multi-job fabric (see [`Fabric::multi_job`]); a single-job
+    /// fabric never reads it.
+    job_tx_free: Vec<SimTime>,
     /// Registered memory regions (keyed for remote access).
     mrs: HashMap<MrKey, Mr>,
     /// Bytes currently pinned through this node's HCA (for the fault
@@ -116,6 +122,41 @@ struct NodeHw {
     shm_free: SimTime,
     /// Sanitizer: last operation posted to this node's shm copy engine.
     shm_last: Option<san::OpId>,
+}
+
+impl NodeHw {
+    fn new(njobs: usize) -> Self {
+        NodeHw {
+            tx_free: SimTime::ZERO,
+            job_tx_free: vec![SimTime::ZERO; njobs],
+            mrs: HashMap::new(),
+            pinned_bytes: 0,
+            tx_last: None,
+            shm_free: SimTime::ZERO,
+            shm_last: None,
+        }
+    }
+}
+
+/// One tenant of the fabric: its endpoint range, rank→slot topology, QoS
+/// knobs, trace label and (late-bound) slot→physical-node placement.
+struct JobState {
+    /// First global endpoint id of this job (its ranks are
+    /// `base..base + topo.num_ranks()`).
+    base: usize,
+    /// Ranks → job-local node slots.
+    topo: Topology,
+    /// The job's share of the hardware it is bound to.
+    qos: JobQos,
+    /// Scope prefix for lanes/pools/metrics (`""` for the implicit
+    /// single job).
+    label: String,
+    /// Job-local node slot → physical node, assigned by
+    /// [`Fabric::try_bind_job`]. `None` until the job is placed.
+    binding: Mutex<Option<Arc<Vec<usize>>>>,
+    /// Per-job fabric byte accounting (`hca.tx_bytes`, `shm.bytes`),
+    /// surfaced as `{label}fabric.*` metrics for labeled jobs.
+    counters: CallCounters,
 }
 
 /// Trace lanes of one node: HCA transmit engine and shm copy engine.
@@ -199,8 +240,13 @@ struct PumpState {
 struct FabricInner {
     model: NetModel,
     shm: ShmModel,
-    topo: Topology,
-    /// Per-node hardware (indexed by node id).
+    /// The fabric's tenants, in declaration order. A classic single-job
+    /// fabric is one entry with an empty label and an identity binding.
+    jobs: Vec<JobState>,
+    /// Physical nodes in the machine (every per-node table below has this
+    /// length).
+    num_phys: usize,
+    /// Per-node hardware (indexed by physical node id).
     nodes: Mutex<Vec<NodeHw>>,
     /// One mailbox per endpoint; outside the lock so receivers don't
     /// contend.
@@ -234,10 +280,17 @@ pub struct Fabric {
     inner: Arc<FabricInner>,
 }
 
-/// One endpoint's handle onto its node's HCA (and shm channel).
+/// One endpoint's handle onto its node's HCA (and shm channel). All rank
+/// and node ids a `Nic` exposes are *job-local*: a tenant of a multi-job
+/// fabric sees a dense `0..n` rank space and `0..k` node-slot space
+/// exactly like a job on a dedicated fabric, and the handle translates to
+/// global mailboxes and physical nodes internally.
 #[derive(Clone)]
 pub struct Nic {
     fabric: Fabric,
+    /// Owning job id (0 on a single-job fabric).
+    job: usize,
+    /// Job-local rank.
     endpoint: usize,
 }
 
@@ -261,38 +314,109 @@ impl Fabric {
     }
 
     /// Create a fabric for an explicit [`Topology`]: one mailbox per
-    /// endpoint, one HCA + shm copy engine per node.
+    /// endpoint, one HCA + shm copy engine per node. This is the classic
+    /// single-job fabric: one implicit tenant with default QoS, an empty
+    /// scope label and the identity slot→node binding.
     pub fn with_topology(
         topo: Topology,
         model: NetModel,
         shm: ShmModel,
         faults: Option<FaultSpec>,
     ) -> Self {
+        let num_phys = topo.num_nodes();
+        let job = JobState {
+            base: 0,
+            qos: JobQos::default(),
+            label: String::new(),
+            binding: Mutex::new(Some(Arc::new((0..num_phys).collect()))),
+            counters: CallCounters::new(),
+            topo,
+        };
+        Self::build(num_phys, vec![job], model, shm, faults)
+    }
+
+    /// Create a fabric shared by several concurrent jobs on `phys_nodes`
+    /// physical nodes. Every tenant is declared up front (endpoint ids and
+    /// QoS state are fixed for the fabric's lifetime); each job's
+    /// placement onto physical nodes is chosen later with
+    /// [`Fabric::try_bind_job`] and released with [`Fabric::unbind_job`],
+    /// so a scheduler can stream an arbitrary job sequence through a
+    /// bounded machine.
+    ///
+    /// **Arbitration model.** Each node's HCA transmit engine keeps one
+    /// horizon per job. An operation posted while the engine is idle
+    /// serializes at full link rate (work-conserving). While the engine is
+    /// backlogged, a job's operation serializes at the weighted share
+    /// `w_j / Σ w_k` over the jobs currently backlogged on that engine
+    /// (`JobQos::hca_weight`); an optional `JobQos::rate_cap` ceiling
+    /// applies in both states. A sole tenant therefore always runs at full
+    /// rate through the identical arithmetic path as a single-job fabric —
+    /// bit-identical virtual times, whatever its weight.
+    ///
+    /// The shm copy engine stays a plain per-node FIFO: intra-node copies
+    /// contend by ordering, not by weighted shares (kernel-assisted copies
+    /// have no QoS hardware to model).
+    pub fn multi_job(
+        phys_nodes: usize,
+        specs: Vec<JobSpec>,
+        model: NetModel,
+        shm: ShmModel,
+        faults: Option<FaultSpec>,
+    ) -> Self {
+        assert!(
+            !specs.is_empty(),
+            "a multi-job fabric needs at least one job"
+        );
+        let mut base = 0usize;
+        let jobs: Vec<JobState> = specs
+            .into_iter()
+            .map(|s| {
+                s.qos.validate();
+                assert!(
+                    s.topo.num_nodes() <= phys_nodes,
+                    "job '{}' wants {} node slots but the fabric has {phys_nodes} nodes",
+                    s.label,
+                    s.topo.num_nodes()
+                );
+                let js = JobState {
+                    base,
+                    topo: s.topo,
+                    qos: s.qos,
+                    label: s.label,
+                    binding: Mutex::new(None),
+                    counters: CallCounters::new(),
+                };
+                base += js.topo.num_ranks();
+                js
+            })
+            .collect();
+        Self::build(phys_nodes, jobs, model, shm, faults)
+    }
+
+    fn build(
+        num_phys: usize,
+        jobs: Vec<JobState>,
+        model: NetModel,
+        shm: ShmModel,
+        faults: Option<FaultSpec>,
+    ) -> Self {
+        let njobs = jobs.len();
+        let num_eps: usize = jobs.iter().map(|j| j.topo.num_ranks()).sum();
         Fabric {
             inner: Arc::new(FabricInner {
                 model,
                 shm,
-                nodes: Mutex::new(
-                    (0..topo.num_nodes())
-                        .map(|_| NodeHw {
-                            tx_free: SimTime::ZERO,
-                            mrs: HashMap::new(),
-                            pinned_bytes: 0,
-                            tx_last: None,
-                            shm_free: SimTime::ZERO,
-                            shm_last: None,
-                        })
-                        .collect(),
-                ),
-                mailboxes: (0..topo.num_ranks()).map(|_| Mailbox::new()).collect(),
+                num_phys,
+                nodes: Mutex::new((0..num_phys).map(|_| NodeHw::new(njobs)).collect()),
+                mailboxes: (0..num_eps).map(|_| Mailbox::new()).collect(),
                 next_key: AtomicU64::new(1),
                 san_domain: san::new_queue_domain(),
                 faults: faults.map(FaultState::new),
-                counters: (0..topo.num_nodes()).map(|_| CallCounters::new()).collect(),
+                counters: (0..num_phys).map(|_| CallCounters::new()).collect(),
                 trace: Mutex::new(None),
                 scheduler: Mutex::new(None),
                 pump: Mutex::new(None),
-                topo,
+                jobs,
             }),
         }
     }
@@ -362,30 +486,156 @@ impl Fabric {
 
     /// Number of physical nodes.
     pub fn num_nodes(&self) -> usize {
-        self.inner.topo.num_nodes()
+        self.inner.num_phys
     }
 
-    /// Number of endpoints (MPI ranks attached to the fabric).
+    /// Number of endpoints (MPI ranks attached to the fabric, summed over
+    /// all jobs).
     pub fn num_endpoints(&self) -> usize {
         self.inner.mailboxes.len()
     }
 
-    /// The ranks→nodes mapping this fabric was built with.
+    /// The first job's ranks→nodes mapping (the only one on a single-job
+    /// fabric; multi-job callers use [`Fabric::job_topology`]).
     pub fn topology(&self) -> &Topology {
-        &self.inner.topo
+        &self.inner.jobs[0].topo
     }
 
-    /// The attachment point of endpoint `endpoint`.
+    /// The attachment point of *global* endpoint `endpoint`. On a
+    /// single-job fabric global and job-local ids coincide; multi-job
+    /// callers usually want [`Fabric::job_nic`].
     pub fn nic(&self, endpoint: usize) -> Nic {
         assert!(
             endpoint < self.num_endpoints(),
             "no such endpoint {endpoint} (fabric has {} endpoints)",
             self.num_endpoints()
         );
+        let job = self.inner.jobs.partition_point(|j| j.base <= endpoint) - 1;
         Nic {
             fabric: self.clone(),
-            endpoint,
+            job,
+            endpoint: endpoint - self.inner.jobs[job].base,
         }
+    }
+
+    /// The attachment point of job `job`'s local rank `rank`.
+    pub fn job_nic(&self, job: usize, rank: usize) -> Nic {
+        let js = &self.inner.jobs[job];
+        assert!(
+            rank < js.topo.num_ranks(),
+            "no such rank {rank} in job {job} (job has {} ranks)",
+            js.topo.num_ranks()
+        );
+        Nic {
+            fabric: self.clone(),
+            job,
+            endpoint: rank,
+        }
+    }
+
+    /// Number of jobs sharing this fabric (1 for a classic fabric).
+    pub fn num_jobs(&self) -> usize {
+        self.inner.jobs.len()
+    }
+
+    /// Job `job`'s scope label (`""` for the implicit single job).
+    pub fn job_label(&self, job: usize) -> &str {
+        &self.inner.jobs[job].label
+    }
+
+    /// Job `job`'s QoS knobs.
+    pub fn job_qos(&self, job: usize) -> &JobQos {
+        &self.inner.jobs[job].qos
+    }
+
+    /// Job `job`'s rank→node-slot topology.
+    pub fn job_topology(&self, job: usize) -> &Topology {
+        &self.inner.jobs[job].topo
+    }
+
+    /// Bytes job `job` has serialized through HCA transmit engines so far.
+    pub fn job_hca_tx_bytes(&self, job: usize) -> u64 {
+        self.inner.jobs[job].counters.get("hca.tx_bytes")
+    }
+
+    /// Bytes job `job` has copied through shm channels so far.
+    pub fn job_shm_bytes(&self, job: usize) -> u64 {
+        self.inner.jobs[job].counters.get("shm.bytes")
+    }
+
+    /// Job `job`'s current slot→physical-node binding, if placed.
+    pub fn job_binding(&self, job: usize) -> Option<Vec<usize>> {
+        self.inner.jobs[job]
+            .binding
+            .lock()
+            .as_ref()
+            .map(|b| b.as_ref().clone())
+    }
+
+    /// Place job `job` onto the physical nodes `nodes` (one per job node
+    /// slot, in slot order). Refuses — with a typed [`BindError`] — a
+    /// second binding, an out-of-range or duplicated node, or a placement
+    /// that overlaps another bound job's nodes unless *both* jobs opted
+    /// into sharing (`JobQos::share_nodes`); the overlap refusal is what
+    /// keeps per-node HCA accounting from silently double-billing two
+    /// tenants that never agreed to share an adapter.
+    pub fn try_bind_job(&self, job: usize, nodes: &[usize]) -> Result<(), BindError> {
+        let jobs = &self.inner.jobs;
+        let js = &jobs[job];
+        if nodes.len() != js.topo.num_nodes() {
+            return Err(BindError::WrongCount {
+                job,
+                expected: js.topo.num_nodes(),
+                got: nodes.len(),
+            });
+        }
+        for (i, &n) in nodes.iter().enumerate() {
+            if n >= self.num_nodes() {
+                return Err(BindError::BadNode {
+                    node: n,
+                    num_nodes: self.num_nodes(),
+                });
+            }
+            if nodes[..i].contains(&n) {
+                return Err(BindError::DuplicateNode { node: n });
+            }
+        }
+        if js.binding.lock().is_some() {
+            return Err(BindError::AlreadyBound { job });
+        }
+        for (k, other) in jobs.iter().enumerate() {
+            if k == job {
+                continue;
+            }
+            let ob = other.binding.lock();
+            if let Some(b) = ob.as_ref() {
+                if let Some(&shared) = b.iter().find(|n| nodes.contains(n)) {
+                    if !(js.qos.share_nodes && other.qos.share_nodes) {
+                        return Err(BindError::NodeOverlap {
+                            job,
+                            other: k,
+                            node: shared,
+                        });
+                    }
+                }
+            }
+        }
+        *js.binding.lock() = Some(Arc::new(nodes.to_vec()));
+        Ok(())
+    }
+
+    /// [`Fabric::try_bind_job`], panicking on refusal (single-scheduler
+    /// callers that treat a bad placement as a bug).
+    pub fn bind_job(&self, job: usize, nodes: &[usize]) {
+        if let Err(e) = self.try_bind_job(job, nodes) {
+            panic!("bind_job: {e}");
+        }
+    }
+
+    /// Release job `job`'s node binding (the job has drained; its nodes
+    /// are free for the next arrival). The job's endpoints must be idle.
+    pub fn unbind_job(&self, job: usize) {
+        *self.inner.jobs[job].binding.lock() = None;
     }
 
     /// The network cost model.
@@ -425,41 +675,103 @@ impl Fabric {
                 }
             })
             .collect();
+        // Labeled tenants additionally surface their own byte totals as
+        // `{label}fabric.*` — the implicit single job (empty label) adds
+        // nothing, keeping the classic metrics namespace unchanged.
+        for j in &self.inner.jobs {
+            if !j.label.is_empty() {
+                rec.register_counters(&format!("{}fabric", j.label), &j.counters);
+            }
+        }
         *self.inner.trace.lock() = Some(lanes);
     }
 }
 
 impl Nic {
-    /// This endpoint's (rank's) id.
+    /// This endpoint's (rank's) id within its job.
     pub fn endpoint(&self) -> usize {
         self.endpoint
     }
 
-    /// The physical node hosting this endpoint.
+    /// The id of the job this endpoint belongs to (0 on a single-job
+    /// fabric).
+    pub fn job(&self) -> usize {
+        self.job
+    }
+
+    /// The scope prefix every trace lane, sanitizer pool and metrics key
+    /// of this endpoint's rank should carry (`""` on a single-job fabric,
+    /// so the classic namespace is reproduced byte for byte).
+    pub fn scope_prefix(&self) -> &str {
+        &self.fabric.inner.jobs[self.job].label
+    }
+
+    fn job_state(&self) -> &JobState {
+        &self.fabric.inner.jobs[self.job]
+    }
+
+    /// This job's slot→physical-node binding; panics if the scheduler has
+    /// not placed the job yet (an unbound job must not touch the fabric).
+    fn bound(&self) -> Arc<Vec<usize>> {
+        self.job_state().binding.lock().clone().unwrap_or_else(|| {
+            panic!(
+                "job {} is not bound to physical nodes (bind_job before any traffic)",
+                self.job
+            )
+        })
+    }
+
+    /// The physical node hosting this endpoint (internal: engines, MR
+    /// tables and pin accounting live per physical node).
+    fn phys_node(&self) -> usize {
+        self.bound()[self.job_state().topo.node_of(self.endpoint)]
+    }
+
+    /// The physical node hosting job-local endpoint `other`.
+    fn phys_node_of(&self, other: usize) -> usize {
+        self.bound()[self.job_state().topo.node_of(other)]
+    }
+
+    /// The global mailbox index of job-local endpoint `other`.
+    fn global_ep(&self, other: usize) -> usize {
+        self.job_state().base + other
+    }
+
+    /// The node slot (within this endpoint's job) hosting this endpoint.
+    /// On a single-job fabric the binding is the identity, so this is the
+    /// physical node. Resource-placement layers that need the physical
+    /// node on a shared fabric use [`Nic::physical_node`].
     pub fn node(&self) -> usize {
-        self.fabric.inner.topo.node_of(self.endpoint)
+        self.job_state().topo.node_of(self.endpoint)
     }
 
-    /// Whether `other` is an endpoint on the same physical node (true for
-    /// `other == self.endpoint()`).
+    /// The physical node this endpoint is currently bound to (for picking
+    /// shared per-node resources such as the node's GPU). Panics while the
+    /// job is unbound.
+    pub fn physical_node(&self) -> usize {
+        self.phys_node()
+    }
+
+    /// Whether `other` is an endpoint of the same job on the same node
+    /// (true for `other == self.endpoint()`).
     pub fn colocated(&self, other: usize) -> bool {
-        self.fabric.inner.topo.colocated(self.endpoint, other)
+        self.job_state().topo.colocated(self.endpoint, other)
     }
 
-    /// The physical node hosting endpoint `other` (topology-aware layers —
-    /// hierarchical collectives — group peers by this).
+    /// The node slot hosting job-local endpoint `other` (topology-aware
+    /// layers — hierarchical collectives — group peers by this).
     pub fn node_of(&self, other: usize) -> usize {
-        self.fabric.inner.topo.node_of(other)
+        self.job_state().topo.node_of(other)
     }
 
-    /// Number of physical nodes in the fabric.
+    /// Number of node slots in this endpoint's job.
     pub fn num_nodes(&self) -> usize {
-        self.fabric.inner.topo.num_nodes()
+        self.job_state().topo.num_nodes()
     }
 
     /// The mailbox where this endpoint's incoming packets land.
     pub fn mailbox(&self) -> &Mailbox<Packet> {
-        &self.fabric.inner.mailboxes[self.endpoint]
+        &self.fabric.inner.mailboxes[self.global_ep(self.endpoint)]
     }
 
     /// Sanitizer: register a work request on one of this node's engines
@@ -475,7 +787,7 @@ impl Nic {
         if !san::enabled() {
             return None;
         }
-        let node = self.node();
+        let node = self.phys_node();
         let preds = {
             let nodes = self.fabric.inner.nodes.lock();
             let last = if shm {
@@ -507,7 +819,7 @@ impl Nic {
             .trace
             .lock()
             .as_ref()
-            .map(|lanes| lanes[self.node()].hca.clone())
+            .map(|lanes| lanes[self.phys_node()].hca.clone())
     }
 
     /// The trace lane of this node's shm copy engine, if a recorder is
@@ -518,7 +830,7 @@ impl Nic {
             .trace
             .lock()
             .as_ref()
-            .map(|lanes| lanes[self.node()].shm.clone())
+            .map(|lanes| lanes[self.phys_node()].shm.clone())
     }
 
     /// Occupy the node's HCA transmit engine for `bytes` and return (engine
@@ -531,17 +843,61 @@ impl Nic {
         op: Option<san::OpId>,
     ) -> (SimTime, SimTime, SimTime) {
         let m = &self.fabric.inner.model;
-        let node = self.node();
+        let jobs = &self.fabric.inner.jobs;
+        let node = self.phys_node();
         let now = sim_core::now();
         let mut nodes = self.fabric.inner.nodes.lock();
-        let start = now.max(nodes[node].tx_free);
-        let tx_done = start + m.serialize_time(bytes);
-        nodes[node].tx_free = tx_done;
+        let (start, tx_done) = if jobs.len() == 1 && jobs[0].qos.rate_cap.is_none() {
+            // Single uncapped tenant: the original engine timeline,
+            // arithmetic-for-arithmetic.
+            let start = now.max(nodes[node].tx_free);
+            let tx_done = start + m.serialize_time(bytes);
+            nodes[node].tx_free = tx_done;
+            (start, tx_done)
+        } else {
+            // Weighted-share arbitration (see `Fabric::multi_job`): an
+            // idle engine serves at full rate; a backlogged one splits
+            // bandwidth by `hca_weight` among the jobs with work queued on
+            // it. `share == 1.0` keeps the exact integer duration, so a
+            // sole active tenant's times match the single-job path bit for
+            // bit regardless of its weight.
+            let q = &jobs[self.job].qos;
+            let hw = &mut nodes[node];
+            let start = now.max(hw.job_tx_free[self.job]);
+            let mut share = if hw.tx_free <= now {
+                1.0
+            } else {
+                let mut wsum = q.hca_weight as u64;
+                for (j, t) in hw.job_tx_free.iter().enumerate() {
+                    if j != self.job && *t > now {
+                        wsum += jobs[j].qos.hca_weight as u64;
+                    }
+                }
+                q.hca_weight as f64 / wsum as f64
+            };
+            if let Some(cap) = q.rate_cap {
+                share = share.min(cap);
+            }
+            let ser = m.serialize_time(bytes);
+            let dur = if share >= 1.0 {
+                ser
+            } else {
+                SimDur::from_nanos((ser.as_nanos() as f64 / share).round() as u64)
+            };
+            let tx_done = start + dur;
+            hw.job_tx_free[self.job] = tx_done;
+            hw.tx_free = hw.tx_free.max(tx_done);
+            (start, tx_done)
+        };
         if op.is_some() {
             nodes[node].tx_last = op;
         }
         drop(nodes);
         self.fabric.inner.counters[node].add("hca.tx_bytes", bytes as u64);
+        let js = self.job_state();
+        if !js.label.is_empty() {
+            js.counters.add("hca.tx_bytes", bytes as u64);
+        }
         if let Some(lane) = self.tx_lane() {
             lane.span(kind, start, tx_done);
         }
@@ -559,7 +915,7 @@ impl Nic {
         op: Option<san::OpId>,
     ) -> (SimTime, SimTime, SimTime) {
         let m = &self.fabric.inner.shm;
-        let node = self.node();
+        let node = self.phys_node();
         let now = sim_core::now();
         let mut nodes = self.fabric.inner.nodes.lock();
         let start = now.max(nodes[node].shm_free);
@@ -570,6 +926,10 @@ impl Nic {
         }
         drop(nodes);
         self.fabric.inner.counters[node].add("shm.bytes", bytes as u64);
+        let js = self.job_state();
+        if !js.label.is_empty() {
+            js.counters.add("shm.bytes", bytes as u64);
+        }
         if let Some(lane) = self.shm_lane() {
             lane.span(kind, start, copy_done);
         }
@@ -615,9 +975,9 @@ impl Nic {
         ctrl: bool,
     ) -> Completion {
         assert!(
-            dst < self.fabric.num_endpoints(),
-            "no such endpoint {dst} (fabric has {} endpoints)",
-            self.fabric.num_endpoints()
+            dst < self.job_state().topo.num_ranks(),
+            "no such endpoint {dst} (job has {} endpoints)",
+            self.job_state().topo.num_ranks()
         );
         if dst != self.endpoint && self.colocated(dst) {
             return self.shm_send(dst, wire_bytes, payload, ctrl);
@@ -652,7 +1012,7 @@ impl Nic {
         }
         if let Some(t) = deliver_at {
             self.fabric.deliver_packet_at(
-                dst,
+                self.global_ep(dst),
                 t,
                 Packet {
                     src: self.endpoint,
@@ -733,7 +1093,7 @@ impl Nic {
             visible
         };
         self.fabric.deliver_packet_at(
-            dst,
+            self.global_ep(dst),
             deliver_at,
             Packet {
                 src: self.endpoint,
@@ -776,7 +1136,7 @@ impl Nic {
             .as_ref()
             .and_then(|f| f.pin_limit())
         {
-            let pinned = self.fabric.inner.nodes.lock()[self.node()].pinned_bytes;
+            let pinned = self.fabric.inner.nodes.lock()[self.phys_node()].pinned_bytes;
             if pinned + buf.len() > limit {
                 instrument::global().record("fault.reg_fail");
                 if let Some(lane) = self.tx_lane() {
@@ -798,7 +1158,7 @@ impl Nic {
 
     fn register_finish(&self, buf: &HostBuf) -> MrKey {
         buf.pin();
-        let node = self.node();
+        let node = self.phys_node();
         let key = MrKey(self.fabric.inner.next_key.fetch_add(1, Ordering::Relaxed));
         let mut nodes = self.fabric.inner.nodes.lock();
         nodes[node].pinned_bytes += buf.len();
@@ -809,7 +1169,7 @@ impl Nic {
     /// Bytes this endpoint's node currently has pinned through its HCA
     /// (shared across co-located endpoints).
     pub fn pinned_bytes(&self) -> usize {
-        self.fabric.inner.nodes.lock()[self.node()].pinned_bytes
+        self.fabric.inner.nodes.lock()[self.phys_node()].pinned_bytes
     }
 
     /// Whether this NIC's fabric injects faults (see
@@ -823,7 +1183,7 @@ impl Nic {
     /// the key now faults. The bytes no longer count against the node's
     /// pin-limit footprint.
     pub fn deregister(&self, key: MrKey) {
-        let node = self.node();
+        let node = self.phys_node();
         let mut nodes = self.fabric.inner.nodes.lock();
         let removed = nodes[node].mrs.remove(&key);
         match removed {
@@ -844,7 +1204,7 @@ impl Nic {
         dst_offset: usize,
         len: usize,
     ) -> HostBuf {
-        let dst_node = self.fabric.inner.topo.node_of(dst);
+        let dst_node = self.phys_node_of(dst);
         let nodes = self.fabric.inner.nodes.lock();
         let Some(mr) = nodes[dst_node].mrs.get(&key) else {
             drop(nodes);
@@ -1423,5 +1783,207 @@ mod tests {
             });
         }
         sim.run();
+    }
+
+    // ---- multi-job fabric -------------------------------------------------
+
+    fn two_node_spec(id: usize) -> JobSpec {
+        JobSpec::labeled(id, Topology::one_per_node(2))
+    }
+
+    #[test]
+    fn bind_rejects_bad_placements_with_typed_errors() {
+        let f = Fabric::multi_job(
+            4,
+            vec![two_node_spec(0), two_node_spec(1)],
+            NetModel::qdr(),
+            ShmModel::westmere(),
+            None,
+        );
+        assert_eq!(
+            f.try_bind_job(0, &[0]),
+            Err(BindError::WrongCount {
+                job: 0,
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            f.try_bind_job(0, &[0, 9]),
+            Err(BindError::BadNode {
+                node: 9,
+                num_nodes: 4
+            })
+        );
+        assert_eq!(
+            f.try_bind_job(0, &[1, 1]),
+            Err(BindError::DuplicateNode { node: 1 })
+        );
+        f.bind_job(0, &[0, 1]);
+        assert_eq!(
+            f.try_bind_job(0, &[2, 3]),
+            Err(BindError::AlreadyBound { job: 0 })
+        );
+        // Overlapping a bound job without QoS sharing on both is refused...
+        assert_eq!(
+            f.try_bind_job(1, &[1, 2]),
+            Err(BindError::NodeOverlap {
+                job: 1,
+                other: 0,
+                node: 1
+            })
+        );
+        // ...a disjoint placement goes through, and unbinding frees the
+        // nodes for a different placement.
+        assert_eq!(f.try_bind_job(1, &[2, 3]), Ok(()));
+        assert_eq!(f.job_binding(1), Some(vec![2, 3]));
+        f.unbind_job(1);
+        assert_eq!(f.try_bind_job(1, &[3, 2]), Ok(()));
+    }
+
+    #[test]
+    fn overlap_allowed_when_both_jobs_opt_into_sharing() {
+        let mk = |id: usize| {
+            let mut s = two_node_spec(id);
+            s.qos.share_nodes = true;
+            s
+        };
+        let f = Fabric::multi_job(
+            2,
+            vec![mk(0), mk(1)],
+            NetModel::qdr(),
+            ShmModel::westmere(),
+            None,
+        );
+        f.bind_job(0, &[0, 1]);
+        assert_eq!(f.try_bind_job(1, &[0, 1]), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound to physical nodes")]
+    fn unbound_job_traffic_panics() {
+        let f = Fabric::multi_job(
+            2,
+            vec![two_node_spec(0)],
+            NetModel::qdr(),
+            ShmModel::westmere(),
+            None,
+        );
+        in_sim(move || {
+            f.job_nic(0, 0).send(1, 8, Box::new(0u8));
+        });
+    }
+
+    /// Arrival times of a three-message train from `tx` to `rx` (endpoint 1
+    /// of the same job), as raw virtual instants.
+    fn train_times(tx: Nic, rx: Nic) -> Vec<SimTime> {
+        let sim = Sim::new();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        sim.spawn("tx", move || {
+            for bytes in [1usize << 20, 4096, 1 << 16] {
+                tx.send(1, bytes, Box::new(bytes));
+            }
+        });
+        let sink = Arc::clone(&out);
+        sim.spawn("rx", move || {
+            for _ in 0..3 {
+                rx.mailbox().recv();
+                sink.lock().push(now());
+            }
+        });
+        sim.run();
+        let v = out.lock().clone();
+        v
+    }
+
+    #[test]
+    fn sole_tenant_on_shared_fabric_is_bit_identical_to_dedicated() {
+        let ded = Fabric::new(2, NetModel::qdr());
+        let dedicated = train_times(ded.nic(0), ded.nic(1));
+        // Same train on a 2-tenant fabric whose second job stays silent
+        // (and unbound): the arbitration path must reproduce the dedicated
+        // timeline exactly, whatever the active job's weight.
+        let mut spec = two_node_spec(0);
+        spec.qos.hca_weight = 7;
+        let shared = Fabric::multi_job(
+            2,
+            vec![spec, two_node_spec(1)],
+            NetModel::qdr(),
+            ShmModel::westmere(),
+            None,
+        );
+        shared.bind_job(0, &[0, 1]);
+        let tenant = train_times(shared.job_nic(0, 0), shared.job_nic(0, 1));
+        assert_eq!(dedicated, tenant, "sole tenant diverged from dedicated");
+    }
+
+    #[test]
+    fn weighted_share_shifts_contention_between_tenants() {
+        // Two co-located jobs blast the same HCA with eight 1 MiB messages
+        // each; the weight-4 job must drain well before the weight-1 job.
+        let mk = |id: usize, w: u32| {
+            let mut s = two_node_spec(id);
+            s.qos.share_nodes = true;
+            s.qos.hca_weight = w;
+            s
+        };
+        let f = Fabric::multi_job(
+            2,
+            vec![mk(0, 4), mk(1, 1)],
+            NetModel::qdr(),
+            ShmModel::westmere(),
+            None,
+        );
+        f.bind_job(0, &[0, 1]);
+        f.bind_job(1, &[0, 1]);
+        let sim = Sim::new();
+        let done = Arc::new(Mutex::new([None::<SimTime>; 2]));
+        for job in 0..2 {
+            let tx = f.job_nic(job, 0);
+            sim.spawn("tx", move || {
+                for i in 0..8 {
+                    tx.send(1, 1 << 20, Box::new(i));
+                }
+            });
+            let rx = f.job_nic(job, 1);
+            let d = Arc::clone(&done);
+            sim.spawn("rx", move || {
+                for _ in 0..8 {
+                    rx.mailbox().recv();
+                }
+                d.lock()[job] = Some(now());
+            });
+        }
+        sim.run();
+        let [heavy, light] = *done.lock();
+        let (heavy, light) = (heavy.unwrap(), light.unwrap());
+        assert!(
+            heavy < light,
+            "weight-4 job finished at {heavy}, weight-1 at {light}"
+        );
+        // Both jobs moved their full 8 MiB, billed to their own scopes and
+        // to the shared node counter.
+        assert_eq!(f.job_hca_tx_bytes(0), 8 << 20);
+        assert_eq!(f.job_hca_tx_bytes(1), 8 << 20);
+        assert_eq!(f.hca_tx_bytes(0), 16 << 20);
+    }
+
+    #[test]
+    fn rate_cap_throttles_even_an_idle_engine() {
+        let arrival = |cap: Option<f64>| {
+            let mut spec = two_node_spec(0);
+            spec.qos.rate_cap = cap;
+            let f = Fabric::multi_job(2, vec![spec], NetModel::qdr(), ShmModel::westmere(), None);
+            f.bind_job(0, &[0, 1]);
+            train_times(f.job_nic(0, 0), f.job_nic(0, 1))[0]
+        };
+        let full = arrival(None).as_micros_f64();
+        let capped = arrival(Some(0.25)).as_micros_f64();
+        // A quarter-rate cap stretches serialization ~4x even though the
+        // engine is otherwise idle (non-work-conserving ceiling).
+        assert!(
+            capped > 3.0 * full,
+            "cap 0.25 arrived at {capped} us vs {full} us uncapped"
+        );
     }
 }

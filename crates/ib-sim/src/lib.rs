@@ -35,12 +35,14 @@
 
 mod fabric;
 mod fault;
+mod job;
 mod model;
 pub mod scheduler;
 mod topology;
 
 pub use fabric::{Fabric, MrKey, Nic, Packet, RegError};
 pub use fault::FaultSpec;
+pub use job::{BindError, JobQos, JobSpec};
 pub use model::{NetModel, ShmModel};
 pub use scheduler::{CtrlAction, CtrlPoint, DeliveryScheduler, FifoScheduler};
 pub use topology::Topology;

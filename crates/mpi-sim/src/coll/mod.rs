@@ -526,12 +526,20 @@ impl Comm {
             // Finalize-time invariant checkpoint: this rank must be fully
             // quiesced (no unreaped requests, staging pools drained).
             let rank = eng.rank;
+            // Gauges are scoped by the job prefix (empty on a dedicated
+            // fabric), so concurrent jobs' finalize checkpoints stay
+            // independent: each job's invariant only inspects its own
+            // `{prefix}rank{r}` scopes.
             san::proto_set(
-                &format!("rank{rank}"),
+                &format!("{}rank{rank}", eng.prefix),
                 "live_requests",
                 eng.live_requests() as i64,
             );
-            san::proto_set("job", "finalizing_rank", rank as i64);
+            san::proto_set(
+                &format!("{}job", eng.prefix),
+                "finalizing_rank",
+                rank as i64,
+            );
             san::invariant_checkpoint("finalize");
             (eng.is_faulty(), eng.cfg.bug_finalize_quiesce)
         };

@@ -124,15 +124,14 @@ pub(crate) struct ProtoTrace {
 }
 
 impl ProtoTrace {
-    fn new(rec: &sim_trace::Recorder, rank: usize) -> Self {
-        let scope = format!("rank{rank}");
+    fn new(rec: &sim_trace::Recorder, scope: &str) -> Self {
         use sim_trace::LaneKind::{Gauge, Proto, Stage};
         ProtoTrace {
-            proto: rec.lane(&scope, "proto", Proto),
-            rdma: rec.lane(&scope, "rdma", Stage),
-            send_pool: rec.lane(&scope, "send_pool", Gauge),
-            recv_pool: rec.lane(&scope, "recv_pool", Gauge),
-            chunk_size: rec.lane(&scope, "chunk_size", Gauge),
+            proto: rec.lane(scope, "proto", Proto),
+            rdma: rec.lane(scope, "rdma", Stage),
+            send_pool: rec.lane(scope, "send_pool", Gauge),
+            recv_pool: rec.lane(scope, "recv_pool", Gauge),
+            chunk_size: rec.lane(scope, "chunk_size", Gauge),
         }
     }
 }
@@ -531,6 +530,12 @@ pub(crate) struct Engine {
     pub rank: usize,
     pub size: usize,
     pub nic: Nic,
+    /// Job scope prefix (from [`Nic::scope_prefix`]): `""` on a dedicated
+    /// fabric, `"job{k}."` for a tenant of a shared one. Prepended to
+    /// every trace scope, sanitizer pool/gauge scope and metrics prefix
+    /// this engine emits, so concurrent jobs never collide in one
+    /// process-wide registry.
+    pub prefix: String,
     pub cfg: MpiConfig,
     pub counters: CallCounters,
     /// Per-peer data path, chosen once from the fabric topology: shared
@@ -619,16 +624,23 @@ impl Engine {
         };
         let send_pool = mk_pool(cfg.pool_vbufs / 2);
         let recv_pool = mk_pool(cfg.pool_vbufs - cfg.pool_vbufs / 2);
-        let send_pool_id = san::pool_register(format!("rank{rank}.send_pool"));
-        let recv_pool_id = san::pool_register(format!("rank{rank}.recv_pool"));
-        let dev_tbuf_id = san::pool_register(format!("rank{rank}.dev_tbuf"));
+        // Scope everything the engine names after the job: on a dedicated
+        // fabric the prefix is empty and these are the classic
+        // `rank{r}.*` names; tenants of a shared fabric get
+        // `job{k}.rank{r}.*`, so two worlds in one process never collide
+        // in the sanitizer or the metrics registry.
+        let prefix = nic.scope_prefix().to_string();
+        let scope = format!("{prefix}rank{rank}");
+        let send_pool_id = san::pool_register(format!("{scope}.send_pool"));
+        let recv_pool_id = san::pool_register(format!("{scope}.recv_pool"));
+        let dev_tbuf_id = san::pool_register(format!("{scope}.dev_tbuf"));
         invariants::register_all();
         let tuner = ChunkTuner::new(&cfg);
         let faulty = nic.faults_enabled();
         let reg_cache = RegCache::new(cfg.reg_cache_entries);
         let counters = CallCounters::new();
-        rec.register_counters(&format!("rank{rank}"), &counters);
-        let trace = ProtoTrace::new(rec, rank);
+        rec.register_counters(&scope, &counters);
+        let trace = ProtoTrace::new(rec, &scope);
         let transports: Vec<Box<dyn Transport>> =
             (0..size).map(|dst| transport_for(&nic, dst)).collect();
         let colocated: Vec<bool> = (0..size)
@@ -638,6 +650,7 @@ impl Engine {
             rank,
             size,
             nic,
+            prefix,
             cfg,
             counters,
             transports,
@@ -1073,7 +1086,7 @@ impl Engine {
             env,
         );
         san::proto_set(
-            &invariants::xfer_scope(env.src, send_req),
+            &invariants::xfer_scope(&self.prefix, env.src, send_req),
             "nchunks",
             nchunks as i64,
         );
@@ -1640,7 +1653,7 @@ impl Engine {
                         if !s.free && s.occupant == Some(chunk_idx) {
                             s.free = true;
                             san::proto_event(
-                                &invariants::xfer_scope(self.rank, send_req),
+                                &invariants::xfer_scope(&self.prefix, self.rank, send_req),
                                 "credits_recv",
                                 1,
                             );
@@ -2017,7 +2030,7 @@ impl Engine {
                         );
                         ss.slots[slot].fin_sent = true;
                         san::proto_event(
-                            &invariants::xfer_scope(self.rank, id),
+                            &invariants::xfer_scope(&self.prefix, self.rank, id),
                             "chunks_finned",
                             1,
                         );
@@ -2083,7 +2096,7 @@ impl Engine {
                         );
                         ss.slots[done.slot].fin_sent = true;
                         san::proto_event(
-                            &invariants::xfer_scope(self.rank, id),
+                            &invariants::xfer_scope(&self.prefix, self.rank, id),
                             "chunks_finned",
                             1,
                         );
@@ -2321,7 +2334,7 @@ impl Engine {
             sr.next_chunk += 1;
             // Two gauge updates; the monotonicity invariant tolerates the
             // one-update intermediate state (see `invariants`).
-            let scope = invariants::xfer_scope(sr.src, sr.peer_send_req);
+            let scope = invariants::xfer_scope(&self.prefix, sr.src, sr.peer_send_req);
             san::proto_set(&scope, "last_chunk", chunk as i64);
             san::proto_event(&scope, "chunks_absorbed", 1);
             if let Some(t) = &mut sr.timer {
@@ -2344,7 +2357,7 @@ impl Engine {
                 }),
             );
             san::proto_event(
-                &invariants::xfer_scope(sr.src, sr.peer_send_req),
+                &invariants::xfer_scope(&self.prefix, sr.src, sr.peer_send_req),
                 "credits_sent",
                 1,
             );
@@ -2376,7 +2389,11 @@ impl Engine {
             };
             let (peer, send_req) = (sr.src, sr.peer_send_req);
             st.phase = RecvPhase::Done(status);
-            san::proto_set(&invariants::xfer_scope(peer, send_req), "done", 1);
+            san::proto_set(
+                &invariants::xfer_scope(&self.prefix, peer, send_req),
+                "done",
+                1,
+            );
             if self.faulty {
                 self.matched_rts.remove(&(peer, send_req));
                 self.done_rts.insert((peer, send_req), ());

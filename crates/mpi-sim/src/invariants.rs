@@ -23,14 +23,20 @@
 //! | `done`            | receiver | 1 once the staged receive completed      |
 //!
 //! Plus `("rank{r}", "live_requests")` and `("job", "finalizing_rank")`,
-//! set by `Comm::finalize` immediately before its checkpoint.
+//! set by `Comm::finalize` immediately before its checkpoint. Every scope
+//! above additionally carries the engine's job prefix (empty on a
+//! dedicated fabric, `job{k}.` for tenants of a shared one), so invariants
+//! iterate the `{prefix}job` scopes rather than assuming a single job.
 
 use sim_core::san::{self, Invariant, ProtoView};
 
-/// Gauge scope for one staged transfer, unique across the job: `src` is
-/// the sending rank and `send_req` that rank's request id.
-pub(crate) fn xfer_scope(src: usize, send_req: u64) -> String {
-    format!("xfer.{src}.{send_req}")
+/// Gauge scope for one staged transfer, unique across the process: `src`
+/// is the sending rank, `send_req` that rank's request id, and `prefix`
+/// the job scope (`""` on a dedicated fabric), which keeps concurrent
+/// jobs' transfers apart — job 0's `(src 1, req 5)` must not share gauges
+/// with job 1's.
+pub(crate) fn xfer_scope(prefix: &str, src: usize, send_req: u64) -> String {
+    format!("{prefix}xfer.{src}.{send_req}")
 }
 
 /// Register every engine invariant. Idempotent (first registration per
@@ -138,13 +144,27 @@ fn staging_leak_freedom() -> Invariant {
         checkpoints: &["finalize", "exit"],
         check: Box::new(|v: &ProtoView<'_>| {
             let mut out = Vec::new();
-            // At a finalize checkpoint only the finalizing rank's pools must
-            // be drained — its peers may legitimately be mid-transfer.
-            let prefix = (v.phase() == "finalize")
-                .then(|| format!("rank{}.", v.gauge("job", "finalizing_rank")));
+            // At a finalize checkpoint only the finalizing ranks' pools must
+            // be drained — their peers may legitimately be mid-transfer.
+            // With several jobs in one process there is one `{prefix}job`
+            // scope per job that has reached finalize; a stale entry from an
+            // already-finalized job is harmless to re-check (a finalized
+            // rank's pools stay drained).
+            let prefixes: Option<Vec<String>> = (v.phase() == "finalize").then(|| {
+                v.scopes_with("finalizing_rank")
+                    .into_iter()
+                    .filter_map(|s| {
+                        let job_prefix = s.strip_suffix("job")?;
+                        Some(format!(
+                            "{job_prefix}rank{}.",
+                            v.gauge(s, "finalizing_rank")
+                        ))
+                    })
+                    .collect()
+            });
             for (name, outstanding, takes) in v.pools() {
-                if let Some(p) = &prefix {
-                    if !name.starts_with(p.as_str()) {
+                if let Some(ps) = &prefixes {
+                    if !ps.iter().any(|p| name.starts_with(p.as_str())) {
                         continue;
                     }
                 }
@@ -168,15 +188,23 @@ fn quiescence_at_finalize() -> Invariant {
         online: false,
         checkpoints: &["finalize"],
         check: Box::new(|v: &ProtoView<'_>| {
-            let fr = v.gauge("job", "finalizing_rank");
-            let live = v.gauge(&format!("rank{fr}"), "live_requests");
-            if live != 0 {
-                vec![format!(
-                    "rank {fr} entered finalize with {live} unreaped request(s)"
-                )]
-            } else {
-                Vec::new()
+            // One `{prefix}job` scope per job that has reached finalize;
+            // re-checking a stale entry from an earlier job is harmless
+            // (a finalized rank has no live requests ever after).
+            let mut out = Vec::new();
+            for scope in v.scopes_with("finalizing_rank") {
+                let Some(job_prefix) = scope.strip_suffix("job") else {
+                    continue;
+                };
+                let fr = v.gauge(scope, "finalizing_rank");
+                let live = v.gauge(&format!("{job_prefix}rank{fr}"), "live_requests");
+                if live != 0 {
+                    out.push(format!(
+                        "{job_prefix}rank {fr} entered finalize with {live} unreaped request(s)"
+                    ));
+                }
             }
+            out
         }),
     }
 }

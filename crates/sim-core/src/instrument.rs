@@ -48,6 +48,13 @@ impl CallCounters {
         self.counts.lock().clear();
     }
 
+    /// Whether `other` is a clone of this counter set (shares the same
+    /// underlying counts). Registries use this to tell a harmless repeat
+    /// registration from a genuine name collision between two objects.
+    pub fn same_counters(&self, other: &CallCounters) -> bool {
+        Arc::ptr_eq(&self.counts, &other.counts)
+    }
+
     /// Difference `self - baseline`, per counter (useful for measuring one
     /// loop iteration: snapshot before, diff after).
     pub fn delta(&self, baseline: &BTreeMap<&'static str, u64>) -> BTreeMap<&'static str, u64> {

@@ -232,9 +232,22 @@ impl Recorder {
     /// [`metrics`](Self::metrics) call snapshots every counter in the run —
     /// per-GPU CUDA call counts, per-rank MPI/retry counters, the global
     /// plan-cache statistics — in one namespace.
+    ///
+    /// Idempotent for clones of an already-registered set. Registering a
+    /// *different* set under a taken prefix panics: that is two objects
+    /// fighting over one metrics name (typically two worlds in one process
+    /// both claiming `rank0`), and silently keeping the first would drop
+    /// the second's counters from every snapshot. Namespace per-job
+    /// registrations instead (e.g. a `job{k}.` scope prefix).
     pub fn register_counters(&self, prefix: &str, counters: &CallCounters) {
         let mut st = self.inner.state.lock();
-        if st.counters.iter().any(|(p, _)| p == prefix) {
+        if let Some((_, existing)) = st.counters.iter().find(|(p, _)| p == prefix) {
+            assert!(
+                existing.same_counters(counters),
+                "metrics-registry collision: prefix '{prefix}' is already \
+                 registered with a different counter set; give each job its \
+                 own namespace (e.g. 'job{{k}}.{prefix}')"
+            );
             return;
         }
         st.counters.push((prefix.to_string(), counters.clone()));

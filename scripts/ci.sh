@@ -68,4 +68,13 @@ cargo run --release -q -p bench --bin coll_sweep -- \
     --smoke true --out /tmp/BENCH_coll_smoke.json > /dev/null
 [[ -s /tmp/BENCH_coll_smoke.json ]] || { echo "empty coll sweep report"; exit 1; }
 
+echo "==> job mix smoke (multi-job QoS + sole-tenant identity guards)"
+# The bin asserts the sole-tenant bit-identity guard (dedicated fast path
+# vs multi-tenant arbitration at 100% share), the 4:1 HCA weight shift
+# against a 1:1 control, the overload tail ordering, and plan-cache /
+# autotuner stability across three campaigns of a seeded 6-job mix.
+cargo run --release -q -p bench --bin job_mix -- \
+    --smoke true --out /tmp/BENCH_jobmix_smoke.json > /dev/null
+[[ -s /tmp/BENCH_jobmix_smoke.json ]] || { echo "empty job mix report"; exit 1; }
+
 echo "CI OK"

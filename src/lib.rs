@@ -17,7 +17,10 @@
 //! * [`coll_apps`] — collective-driven workloads (distributed transpose,
 //!   gradient allreduce) over the hierarchical datatype-aware collectives
 //! * [`simcheck`] — exhaustive control-plane model checking
+//! * [`cluster_sim`] — multi-job shared-cluster campaigns: open-loop job
+//!   arrivals, node scheduling and per-job HCA QoS over one fabric
 
+pub use cluster_sim;
 pub use coll_apps;
 pub use gpu_sim;
 pub use halo3d;

@@ -101,9 +101,17 @@ fn pipeline_bench_times_match_committed_reference_with_tracing_on_and_off() {
             .and_then(JsonValue::as_f64)
             .unwrap();
 
-        for (label, rec) in [("on", Recorder::new()), ("off", Recorder::off())] {
-            let f = measure(fixed_cfg.clone(), bytes, iters, rec.clone());
-            let a = measure(adaptive_cfg.clone(), bytes, iters, rec);
+        // Each run gets its own Recorder: the metrics registry namespaces
+        // counters per fabric, so sharing one recorder across two fabrics
+        // would collide (and the registry now panics instead of silently
+        // dropping the second registration).
+        for label in ["on", "off"] {
+            let mk = || match label {
+                "on" => Recorder::new(),
+                _ => Recorder::off(),
+            };
+            let f = measure(fixed_cfg.clone(), bytes, iters, mk());
+            let a = measure(adaptive_cfg.clone(), bytes, iters, mk());
             assert_eq!(
                 *f.iter().min().unwrap() as f64 / 1e3,
                 fixed_best,
