@@ -71,6 +71,41 @@ pub struct Packet {
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct MrKey(u64);
 
+/// One strided run of a scatter/gather wire descriptor: `count` blocks of
+/// `len` bytes, the first at `offset`, successive blocks `stride` bytes
+/// apart. Offsets are absolute within the buffer (gather side) or memory
+/// region (scatter side) the entry addresses. The HCA's offload engine
+/// fetches one descriptor entry per run
+/// ([`NetModel::offload_entry_ns`](crate::NetModel::offload_entry_ns)),
+/// so a whole strided plane costs one fetch, not one per block.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SgEntry {
+    /// Byte offset of the first block.
+    pub offset: usize,
+    /// Bytes per block.
+    pub len: usize,
+    /// Distance between consecutive block starts, bytes.
+    pub stride: usize,
+    /// Number of blocks in the run.
+    pub count: usize,
+}
+
+impl SgEntry {
+    /// Payload bytes this run moves.
+    pub fn bytes(&self) -> usize {
+        self.len * self.count
+    }
+
+    /// Extent of the run in its buffer: first to last byte touched.
+    pub fn span(&self) -> usize {
+        if self.count == 0 {
+            0
+        } else {
+            (self.count - 1) * self.stride + self.len
+        }
+    }
+}
+
 struct Mr {
     buf: HostBuf,
 }
@@ -159,10 +194,12 @@ struct JobState {
     counters: CallCounters,
 }
 
-/// Trace lanes of one node: HCA transmit engine and shm copy engine.
+/// Trace lanes of one node: HCA transmit engine, shm copy engine and the
+/// HCA's scatter/gather offload engine.
 struct NodeLanes {
     hca: Lane,
     shm: Lane,
+    offload: Lane,
 }
 
 /// One timed delivery queued behind the event-driven pump: the packet, its
@@ -660,8 +697,9 @@ impl Fabric {
     }
 
     /// Attach a trace recorder: each node gets a `node{k}/hca_tx` lane
-    /// (HCA serialization spans and fault instants) and a `node{k}/shm`
-    /// lane (shm copy-engine spans), and its byte accumulators are
+    /// (HCA serialization spans and fault instants), a `node{k}/shm`
+    /// lane (shm copy-engine spans) and a `node{k}/offload` lane
+    /// (scatter/gather engine spans), and its byte accumulators are
     /// registered as `node{k}.*` metrics. Recording never changes timing —
     /// spans reuse the times the engines already computed.
     pub fn attach_recorder(&self, rec: &Recorder) {
@@ -672,6 +710,7 @@ impl Fabric {
                 NodeLanes {
                     hca: rec.lane(&scope, "hca_tx", LaneKind::Hca),
                     shm: rec.lane(&scope, "shm", LaneKind::Shm),
+                    offload: rec.lane(&scope, "offload", LaneKind::Hca),
                 }
             })
             .collect();
@@ -833,13 +872,28 @@ impl Nic {
             .map(|lanes| lanes[self.phys_node()].shm.clone())
     }
 
+    /// The trace lane of this node's scatter/gather offload engine, if a
+    /// recorder is attached.
+    fn offload_lane(&self) -> Option<Lane> {
+        self.fabric
+            .inner
+            .trace
+            .lock()
+            .as_ref()
+            .map(|lanes| lanes[self.phys_node()].offload.clone())
+    }
+
     /// Occupy the node's HCA transmit engine for `bytes` and return (engine
     /// occupancy start, engine release time, payload arrival time). `kind`
-    /// labels the serialization span on the engine's trace lane.
+    /// labels the serialization span on the engine's trace lane. `extra`
+    /// extends the engine occupancy beyond pure serialization (descriptor
+    /// fetches of an offload post); it scales with the QoS share like the
+    /// serialization itself and is `SimDur::ZERO` for plain sends.
     fn tx_schedule(
         &self,
         kind: &'static str,
         bytes: usize,
+        extra: SimDur,
         op: Option<san::OpId>,
     ) -> (SimTime, SimTime, SimTime) {
         let m = &self.fabric.inner.model;
@@ -851,7 +905,7 @@ impl Nic {
             // Single uncapped tenant: the original engine timeline,
             // arithmetic-for-arithmetic.
             let start = now.max(nodes[node].tx_free);
-            let tx_done = start + m.serialize_time(bytes);
+            let tx_done = start + m.serialize_time(bytes) + extra;
             nodes[node].tx_free = tx_done;
             (start, tx_done)
         } else {
@@ -878,7 +932,7 @@ impl Nic {
             if let Some(cap) = q.rate_cap {
                 share = share.min(cap);
             }
-            let ser = m.serialize_time(bytes);
+            let ser = m.serialize_time(bytes) + extra;
             let dur = if share >= 1.0 {
                 ser
             } else {
@@ -985,7 +1039,7 @@ impl Nic {
         self.post_overhead();
         let op = self.san_begin("nic_send", false, vec![], vec![]);
         let kind = if ctrl { "ctrl" } else { "send" };
-        let (start, _, arrival) = self.tx_schedule(kind, wire_bytes, op);
+        let (start, _, arrival) = self.tx_schedule(kind, wire_bytes, SimDur::ZERO, op);
         // Fault injection applies to control traffic only: the loss happens
         // past the sender's HCA (a switch dropping toward a hosed receive
         // queue), so the sender-side CQE still reports success either way.
@@ -1254,7 +1308,7 @@ impl Nic {
         if let Some(f) = &self.fabric.inner.faults {
             if f.rdma_error() {
                 instrument::global().record("fault.rdma_error");
-                let (start, _, arrival) = self.tx_schedule("rdma", len, None);
+                let (start, _, arrival) = self.tx_schedule("rdma", len, SimDur::ZERO, None);
                 if let Some(lane) = self.tx_lane() {
                     lane.instant("fault.rdma_error", arrival);
                 }
@@ -1287,7 +1341,143 @@ impl Nic {
             mr_buf.write(dst_offset, &data);
             op
         };
-        let (start, _, arrival) = self.tx_schedule("rdma", len, op);
+        let (start, _, arrival) = self.tx_schedule("rdma", len, SimDur::ZERO, op);
+        let c = Completion::ready_between(start, arrival);
+        if let Some(o) = op {
+            c.attach_ops(&[o]);
+        }
+        c
+    }
+
+    /// One-sided scatter/gather write: the HCA's offload engine walks the
+    /// `gather` descriptor over `src`'s buffer, streams the packed bytes to
+    /// `dst`, and the remote HCA walks `scatter` to place them into the
+    /// region named by `key` — no CPU pack/unpack on either side. Entry
+    /// offsets are absolute within `src`'s buffer (gather) and within the
+    /// remote MR (scatter).
+    ///
+    /// Cost model: one descriptor fetch per entry
+    /// ([`NetModel::offload_entry_ns`](crate::NetModel::offload_entry_ns))
+    /// plus DMA serialization of the payload, both charged against the
+    /// node's HCA transmit engine (and scaled by the job's QoS share like
+    /// any other transmit). With [`FaultSpec::desc_fetch_error`]
+    /// (crate::FaultSpec::desc_fetch_error) armed, a post can fail its
+    /// descriptor fetch: it occupies the engine, places no bytes and
+    /// completes with an error CQE — callers retry like a failed
+    /// [`Nic::rdma_write`].
+    ///
+    /// Panics (a simulated HCA protection fault) if the local source is not
+    /// pinned, the remote key is unknown, either descriptor runs out of
+    /// bounds, or the gather and scatter descriptors disagree on the total
+    /// byte count.
+    pub fn rdma_write_sg(
+        &self,
+        dst: usize,
+        key: MrKey,
+        src: &HostPtr,
+        gather: &[SgEntry],
+        scatter: &[SgEntry],
+    ) -> Completion {
+        if !src.buf().is_pinned() {
+            san::report_protocol(format!(
+                "SG write from unpinned local memory {:?}",
+                src.buf()
+            ));
+            panic!("SG write from unpinned local memory {:?}", src.buf());
+        }
+        let total: usize = gather.iter().map(|e| e.bytes()).sum();
+        let scatter_total: usize = scatter.iter().map(|e| e.bytes()).sum();
+        assert_eq!(
+            total, scatter_total,
+            "SG write descriptors disagree: gather {total} bytes, scatter {scatter_total}"
+        );
+        let entries = gather.len() + scatter.len();
+        let m = &self.fabric.inner.model;
+        let extra = SimDur::from_nanos(entries as u64 * m.offload_entry_ns);
+        self.post_overhead();
+        // Injected descriptor-fetch failure: the post occupies the engine
+        // (the HCA burned the fetches before aborting) but places no bytes
+        // and completes with an error CQE, exactly like a failed RDMA write.
+        if let Some(f) = &self.fabric.inner.faults {
+            if f.desc_fetch_error() {
+                instrument::global().record("fault.desc_fetch");
+                let (start, tx_done, arrival) = self.tx_schedule("offload", total, extra, None);
+                if let Some(lane) = self.offload_lane() {
+                    lane.span("sg_fault", start, tx_done);
+                    lane.instant("fault.desc_fetch", arrival);
+                }
+                return Completion::failed_between(start, arrival);
+            }
+        }
+        let src_len = src.buf().len();
+        for e in gather {
+            assert!(
+                e.offset + e.span() <= src_len,
+                "SG gather entry {e:?} out of bounds of local buffer (len {src_len})"
+            );
+        }
+        let extent = scatter
+            .iter()
+            .map(|e| e.offset + e.span())
+            .max()
+            .unwrap_or(0);
+        let mr_buf = self.resolve_mr("SG write", dst, key, 0, extent);
+        // Validate and copy eagerly, like `rdma_write`: remote visibility is
+        // ordered by the fabric because any notification of this write
+        // travels behind it on the same engine. Sanitizer ranges cover each
+        // run's full extent (holes included) — one range per descriptor
+        // entry, mirroring what the HCA's DMA engine may touch.
+        let op = {
+            let reads = gather
+                .iter()
+                .map(|e| san::MemRange {
+                    domain: san::MemDomain::Host {
+                        buf: src.buf().id(),
+                    },
+                    start: e.offset,
+                    len: e.span(),
+                })
+                .collect();
+            let writes = scatter
+                .iter()
+                .map(|e| san::MemRange {
+                    domain: san::MemDomain::Host { buf: mr_buf.id() },
+                    start: e.offset,
+                    len: e.span(),
+                })
+                .collect();
+            let data = {
+                let _san = san::suppress();
+                let mut data = Vec::with_capacity(total);
+                for e in gather {
+                    for b in 0..e.count {
+                        data.extend_from_slice(&src.buf().read(e.offset + b * e.stride, e.len));
+                    }
+                }
+                data
+            };
+            let op = self.san_begin("rdma_write_sg", false, reads, writes);
+            let _san = san::suppress();
+            let mut off = 0;
+            for e in scatter {
+                for b in 0..e.count {
+                    mr_buf.write(e.offset + b * e.stride, &data[off..off + e.len]);
+                    off += e.len;
+                }
+            }
+            op
+        };
+        let (start, tx_done, arrival) = self.tx_schedule("offload", total, extra, op);
+        let node = self.phys_node();
+        self.fabric.inner.counters[node].add("offload.bytes", total as u64);
+        self.fabric.inner.counters[node].add("offload.entries", entries as u64);
+        let js = self.job_state();
+        if !js.label.is_empty() {
+            js.counters.add("offload.bytes", total as u64);
+        }
+        if let Some(lane) = self.offload_lane() {
+            lane.span("sg", start, tx_done);
+        }
         let c = Completion::ready_between(start, arrival);
         if let Some(o) = op {
             c.attach_ops(&[o]);

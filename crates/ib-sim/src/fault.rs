@@ -18,7 +18,8 @@
 //! seeded, a fault campaign replays **bit-identically**: same seed, same
 //! drops, same timings. Every injected fault is counted through
 //! [`sim_core::instrument::global()`] (`fault.ctrl_drop`, `fault.ctrl_delay`,
-//! `fault.rdma_error`, `fault.reg_fail`) so campaigns are observable.
+//! `fault.rdma_error`, `fault.desc_fetch`, `fault.reg_fail`) so campaigns
+//! are observable.
 
 use sim_core::lock::Mutex;
 use xorshift::XorShift64;
@@ -54,6 +55,11 @@ pub struct FaultSpec {
     /// Probability that an RDMA write completes with an error CQE and
     /// places no data.
     pub rdma_error: f64,
+    /// Probability that a scatter/gather offload post fails while the HCA
+    /// fetches its wire descriptor from host memory: the op completes with
+    /// an error CQE ([`Completion::is_error`](sim_core::Completion::is_error))
+    /// and places no data, exactly like a failed RDMA write.
+    pub desc_fetch_error: f64,
     /// Per-node pin limit, bytes: [`Nic::try_register`](crate::Nic::try_register)
     /// fails when granting it would push the node's pinned footprint past
     /// this. `None` = unlimited.
@@ -70,6 +76,7 @@ impl FaultSpec {
             ctrl_delay: 0.0,
             delay_ns: 50_000,
             rdma_error: 0.0,
+            desc_fetch_error: 0.0,
             pin_limit_bytes: None,
         }
     }
@@ -112,6 +119,11 @@ impl FaultState {
     /// Should this RDMA write fail with an error CQE?
     pub(crate) fn rdma_error(&self) -> bool {
         self.roll(self.spec.rdma_error)
+    }
+
+    /// Should this scatter/gather offload post fail its descriptor fetch?
+    pub(crate) fn desc_fetch_error(&self) -> bool {
+        self.roll(self.spec.desc_fetch_error)
     }
 
     /// The per-node pin limit, if one is configured.

@@ -40,7 +40,7 @@ mod model;
 pub mod scheduler;
 mod topology;
 
-pub use fabric::{Fabric, MrKey, Nic, Packet, RegError};
+pub use fabric::{Fabric, MrKey, Nic, Packet, RegError, SgEntry};
 pub use fault::FaultSpec;
 pub use job::{BindError, JobQos, JobSpec};
 pub use model::{NetModel, ShmModel};

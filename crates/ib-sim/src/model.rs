@@ -19,6 +19,11 @@ pub struct NetModel {
     pub reg_base_ns: u64,
     /// Additional registration cost per 4 KiB page (ns).
     pub reg_per_page_ns: u64,
+    /// Per-entry descriptor-fetch latency of the scatter/gather offload
+    /// engine (ns): each entry of a posted wire descriptor costs one
+    /// DMA read of the descriptor ring from host memory before the HCA
+    /// can walk the strided run it describes.
+    pub offload_entry_ns: u64,
 }
 
 impl NetModel {
@@ -31,6 +36,7 @@ impl NetModel {
             ctrl_bytes: 64,
             reg_base_ns: 10_000,
             reg_per_page_ns: 150,
+            offload_entry_ns: 250,
         }
     }
 

@@ -39,18 +39,19 @@ use std::sync::Arc;
 
 use gpu_sim::Loc;
 use hostmem::{HostBuf, HostPtr};
-use ib_sim::{MrKey, Nic};
+use ib_sim::{MrKey, Nic, SgEntry};
 use sim_core::{instrument, san};
 use sim_core::{CallCounters, Completion, SimDur, SimTime};
 
 use crate::datatype::Datatype;
 use crate::flat::Layout;
 use crate::invariants;
+use crate::plan::{Canonical, WireDescriptor};
 use crate::proto::{
     ChunkPolicy, Envelope, MpiConfig, MpiError, MpiPacket, ReqId, RetryConfig, SlotDesc,
 };
+use crate::scheme::{DataScheme, SchemeSelector};
 use crate::staging::{BufferStager, HostRecvSink, HostSendSource, RecvSink, SendSource};
-use crate::transport::{transport_for, Transport};
 use crate::tuner::{settled_counter, ChunkTuner, LayoutClass, TuneKey};
 
 /// Source selector for receives.
@@ -353,6 +354,24 @@ struct StagedSend {
     timer: Option<RetryTimer>,
 }
 
+/// Offloaded scatter/gather transfer in flight: the HCA walks the wire
+/// descriptor on both sides, no CPU pack/unpack. The user-buffer
+/// registration is held (and released) through the reg cache.
+struct OffloadSend {
+    rdma: Completion,
+    /// The receiver's registered region.
+    peer_key: MrKey,
+    /// Base of the local user buffer (pin check + write re-issue).
+    ptr: HostPtr,
+    /// Local gather descriptor, kept for write re-issue.
+    gather: Vec<SgEntry>,
+    /// The receiver's scatter descriptor (from the CTS), kept likewise.
+    scatter: Vec<SgEntry>,
+    recv_req: ReqId,
+    fin_sent: bool,
+    attempts: u32,
+}
+
 /// Direct R-PUT in flight. The user-buffer registration is held (and
 /// released) through the reg cache, keyed by the buffer id.
 struct DirectSend {
@@ -371,6 +390,7 @@ enum SendPhase {
         timer: Option<RetryTimer>,
     },
     Direct(DirectSend),
+    Offload(OffloadSend),
     Staged(StagedSend),
     /// Device path (co-located ranks sharing one GPU): the FIN-dev is out,
     /// announcing the packed tbuf; waiting for the receiver's credit. The
@@ -399,6 +419,12 @@ struct SendState {
     /// Registration for the direct path failed: fall back to staged and
     /// stop advertising direct capability on RTS retransmits.
     direct_failed: bool,
+    /// Base pointer + lowered gather descriptor when the offload scheme is
+    /// enabled and this layout admits a bounded wire descriptor.
+    offload: Option<(HostPtr, WireDescriptor)>,
+    /// Registration for the offload path failed: fall back to staged and
+    /// stop advertising offload capability on RTS retransmits.
+    offload_failed: bool,
     phase: SendPhase,
 }
 
@@ -415,6 +441,10 @@ enum SendRecord {
         total: usize,
     },
     Direct {
+        dst: usize,
+        recv_req: ReqId,
+    },
+    Offload {
         dst: usize,
         recv_req: ReqId,
     },
@@ -464,6 +494,18 @@ enum RecvPhase {
         send_req: ReqId,
         timer: Option<RetryTimer>,
     },
+    /// Offload rendezvous: the CTS-offload carried our registration key and
+    /// scatter descriptor; waiting for the sender's FIN-offload (or an
+    /// abort back to the staged path).
+    WaitOffload {
+        my_key: MrKey,
+        /// The scatter descriptor granted in the CTS (kept for re-send).
+        scatter: Vec<SgEntry>,
+        env: Envelope,
+        total: usize,
+        send_req: ReqId,
+        timer: Option<RetryTimer>,
+    },
     Staged(StagedRecv, Envelope),
     /// Device path: CTS-dev sent, waiting for the sender's FIN-dev naming
     /// its packed device tbuf. No timer — intra-node control is reliable.
@@ -492,6 +534,9 @@ struct RecvState {
     sink: Box<dyn RecvSink>,
     /// Start of the user buffer when it is host-contiguous (direct path).
     direct_ptr: Option<HostPtr>,
+    /// Base pointer + lowered scatter descriptor when the offload scheme
+    /// is enabled and this layout admits a bounded wire descriptor.
+    offload: Option<(HostPtr, WireDescriptor)>,
     /// Layout bucket of the receive datatype (autotuner key component).
     layout_class: LayoutClass,
     phase: RecvPhase,
@@ -508,6 +553,7 @@ enum Unexpected {
         send_req: ReqId,
         direct_capable: bool,
         dev_gpu: Option<u32>,
+        offload_entries: Option<u32>,
     },
 }
 
@@ -538,12 +584,10 @@ pub(crate) struct Engine {
     pub prefix: String,
     pub cfg: MpiConfig,
     pub counters: CallCounters,
-    /// Per-peer data path, chosen once from the fabric topology: shared
-    /// memory toward co-located peers, RDMA toward everyone else (and for
-    /// self-sends). The protocol state machines never look inside.
-    transports: Vec<Box<dyn Transport>>,
-    /// `colocated[p]`: peer `p` is a *different* rank on this rank's node.
-    colocated: Vec<bool>,
+    /// The data-path scheme layer: per-peer transports, colocation, eager
+    /// thresholds and rendezvous scheme resolution, owned in one place.
+    /// The protocol state machines ask it what to do and never look inside.
+    scheme: SchemeSelector,
     stagers: Arc<Vec<Box<dyn BufferStager>>>,
     /// True when the fabric injects faults; every retry timer and
     /// duplicate-tolerance path is gated on this.
@@ -641,11 +685,7 @@ impl Engine {
         let counters = CallCounters::new();
         rec.register_counters(&scope, &counters);
         let trace = ProtoTrace::new(rec, &scope);
-        let transports: Vec<Box<dyn Transport>> =
-            (0..size).map(|dst| transport_for(&nic, dst)).collect();
-        let colocated: Vec<bool> = (0..size)
-            .map(|dst| dst != rank && nic.colocated(dst))
-            .collect();
+        let scheme = SchemeSelector::new(&nic, rank, size, &cfg);
         Engine {
             rank,
             size,
@@ -653,8 +693,7 @@ impl Engine {
             prefix,
             cfg,
             counters,
-            transports,
-            colocated,
+            scheme,
             stagers,
             faulty,
             next_req: 1,
@@ -710,16 +749,6 @@ impl Engine {
 
     fn retry_timer(&self) -> Option<RetryTimer> {
         self.faulty.then(|| RetryTimer::new(&self.cfg.retry))
-    }
-
-    /// Eager/rendezvous switchover toward `peer`: co-located peers use the
-    /// (usually larger) shared-memory limit, everyone else the wire limit.
-    fn eager_limit_for(&self, peer: usize) -> usize {
-        if self.colocated[peer] {
-            self.cfg.shm_eager_limit
-        } else {
-            self.cfg.eager_limit
-        }
     }
 
     fn make_source(&self, buf: &Loc, count: usize, dt: &Datatype) -> Box<dyn SendSource> {
@@ -813,16 +842,7 @@ impl Engine {
             tag,
         };
         let id = self.alloc_req();
-        // Fault injection: a sender that disagrees with its co-located peer
-        // about the shm eager limit (e.g. mismatched env tuning) pushes
-        // oversized payloads down the eager path; the receiver's linter
-        // check must flag them.
-        let eager_limit = if self.cfg.fault_shm_eager_oversize && self.colocated[dst] {
-            self.cfg.shm_eager_limit * 2
-        } else {
-            self.eager_limit_for(dst)
-        };
-        if total <= eager_limit {
+        if total <= self.scheme.send_eager_limit(dst) {
             let data = source.pack_eager();
             let wire = data.len() + 64;
             self.nic
@@ -837,6 +857,8 @@ impl Engine {
                     source,
                     direct_ptr: None,
                     direct_failed: false,
+                    offload: None,
+                    offload_failed: false,
                     phase: SendPhase::Done,
                 },
             );
@@ -844,11 +866,46 @@ impl Engine {
             let direct_ptr = Self::contiguous_host_ptr(&buf, count, dt);
             // Advertise the device path only toward a co-located peer: a
             // remote receiver can never read this GPU's memory directly.
-            let dev_gpu = if self.colocated[dst] {
+            let dev_gpu = if self.scheme.colocated(dst) {
                 source.device_gpu()
             } else {
                 None
             };
+            // Offload: lower the layout to a bounded gather descriptor the
+            // HCA can walk. Only attempted when the scheme layer enables it
+            // and the peer sits behind the RDMA transport — the default
+            // configuration takes zero plan lookups here.
+            let mut offload = None;
+            if self.scheme.offload_enabled() && self.scheme.offload_peer(dst) {
+                if let Loc::Host(p) = &buf {
+                    let plan = dt.flat().plan(count);
+                    if let Err(err) = self.cfg.try_validate_scheme(&Canonical::of(&plan)) {
+                        // Forced offload on a layout the HCA cannot walk:
+                        // surface the typed rejection through wait_result
+                        // before any wire traffic, instead of a deep-engine
+                        // panic later.
+                        note(&self.counters, &self.trace, "mpi.error");
+                        self.sends.insert(
+                            id,
+                            SendState {
+                                dst,
+                                total,
+                                env,
+                                dev_gpu,
+                                source,
+                                direct_ptr,
+                                direct_failed: false,
+                                offload: None,
+                                offload_failed: false,
+                                phase: SendPhase::Failed(MpiError::Rejected { err }),
+                            },
+                        );
+                        return id;
+                    }
+                    offload = WireDescriptor::lower(&plan, self.cfg.offload_entry_budget)
+                        .map(|d| (p.clone(), d));
+                }
+            }
             self.trace.proto.instant_now("rts");
             self.nic.send_ctrl(
                 dst,
@@ -858,6 +915,7 @@ impl Engine {
                     send_req: id,
                     direct_capable: direct_ptr.is_some(),
                     dev_gpu,
+                    offload_entries: offload.as_ref().map(|(_, d)| d.entries().len() as u32),
                 }),
             );
             self.sends.insert(
@@ -870,6 +928,8 @@ impl Engine {
                     source,
                     direct_ptr,
                     direct_failed: false,
+                    offload,
+                    offload_failed: false,
                     phase: SendPhase::WaitCts {
                         timer: self.retry_timer(),
                     },
@@ -895,7 +955,20 @@ impl Engine {
         let capacity = sink.total_bytes();
         let direct_ptr = Self::contiguous_host_ptr(&buf, count, dt);
         // Cheap after the sink pulled the plan into the cache.
-        let layout_class = LayoutClass::of(dt.flat().plan(count).layout());
+        let plan = dt.flat().plan(count);
+        let layout_class = LayoutClass::of(plan.layout());
+        // Offload: lower the layout to a bounded scatter descriptor. A
+        // receiver whose layout has none (or whose sink is not host memory)
+        // simply never grants the offload path — forced offload then falls
+        // back to the staged pipeline at resolution.
+        let mut offload = None;
+        if self.scheme.offload_enabled() {
+            if let Loc::Host(p) = &buf {
+                offload = WireDescriptor::lower(&plan, self.cfg.offload_entry_budget)
+                    .map(|d| (p.clone(), d));
+            }
+        }
+        drop(plan);
         let id = self.alloc_req();
         self.recvs.insert(
             id,
@@ -906,6 +979,7 @@ impl Engine {
                 capacity,
                 sink,
                 direct_ptr,
+                offload,
                 layout_class,
                 phase: RecvPhase::Unmatched,
             },
@@ -925,7 +999,16 @@ impl Engine {
                     send_req,
                     direct_capable,
                     dev_gpu,
-                } => self.match_rts(id, env, total, send_req, direct_capable, dev_gpu),
+                    offload_entries,
+                } => self.match_rts(
+                    id,
+                    env,
+                    total,
+                    send_req,
+                    direct_capable,
+                    dev_gpu,
+                    offload_entries,
+                ),
             }
         } else {
             self.posted.push(id);
@@ -957,6 +1040,7 @@ impl Engine {
         });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn match_rts(
         &mut self,
         recv_id: ReqId,
@@ -965,6 +1049,7 @@ impl Engine {
         send_req: ReqId,
         direct_capable: bool,
         dev_gpu: Option<u32>,
+        offload_entries: Option<u32>,
     ) {
         let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
         if total > st.capacity {
@@ -980,12 +1065,23 @@ impl Engine {
         if self.faulty {
             self.matched_rts.insert((env.src, send_req), recv_id);
         }
-        // Device rendezvous: both buffers live on the *same physical GPU*
-        // (the ranks share a node and its device). The sender packs into a
-        // device tbuf and this rank scatters straight from it — no host
-        // staging, no vbufs, no HCA.
-        if let Some(gpu) = dev_gpu {
-            if st.sink.device_gpu() == Some(gpu) {
+        // Feasibility of each rendezvous scheme, from what the RTS
+        // advertised and what this receive posted; the policy choice among
+        // the feasible ones belongs to the scheme layer.
+        let device_ok = dev_gpu.is_some_and(|gpu| st.sink.device_gpu() == Some(gpu));
+        let direct_ok = direct_capable && st.direct_ptr.is_some();
+        let offload_ok = self.scheme.offload_peer(env.src)
+            && offload_entries.is_some_and(|n| {
+                st.offload.as_ref().is_some_and(|(_, d)| {
+                    n as usize + d.entries().len() <= self.cfg.offload_entry_budget
+                })
+            });
+        match self.scheme.resolve(device_ok, direct_ok, offload_ok, total) {
+            // Device rendezvous: both buffers live on the *same physical
+            // GPU* (the ranks share a node and its device). The sender
+            // packs into a device tbuf and this rank scatters straight
+            // from it — no host staging, no vbufs, no HCA.
+            DataScheme::DeviceD2D => {
                 st.phase = RecvPhase::DevWait {
                     env,
                     total,
@@ -1001,9 +1097,11 @@ impl Engine {
                 );
                 return;
             }
-        }
-        if direct_capable {
-            if let Some(ptr) = st.direct_ptr.clone() {
+            DataScheme::Direct => {
+                let ptr = st
+                    .direct_ptr
+                    .clone()
+                    .expect("direct resolved without a ptr");
                 // R-PUT: register the user buffer (through the cache) and
                 // hand its key over. Registration can fail under a
                 // fault-injected pin limit; the transfer then degrades to
@@ -1042,6 +1140,51 @@ impl Engine {
                     }
                 }
             }
+            DataScheme::NicOffload => {
+                let (ptr, desc) = st
+                    .offload
+                    .as_ref()
+                    .expect("offload resolved without a desc");
+                let (ptr, base) = (ptr.clone(), ptr.offset());
+                // The received message may be shorter than the posted
+                // receive: clip the scatter walk to its packed prefix.
+                let scatter = desc.prefix(total).to_sg(base);
+                match self.reg_cache.acquire(
+                    &self.nic,
+                    &self.counters,
+                    &self.trace,
+                    &ptr.buf().clone(),
+                ) {
+                    Ok(key) => {
+                        let timer = self.retry_timer();
+                        let st = self.recvs.get_mut(&recv_id).expect("recv state missing");
+                        st.phase = RecvPhase::WaitOffload {
+                            my_key: key,
+                            scatter: scatter.clone(),
+                            env,
+                            total,
+                            send_req,
+                            timer,
+                        };
+                        self.trace.proto.instant_now("cts_offload");
+                        self.nic.send_ctrl(
+                            env.src,
+                            Box::new(MpiPacket::CtsOffload {
+                                send_req,
+                                recv_req: recv_id,
+                                key,
+                                scatter,
+                                total,
+                            }),
+                        );
+                        return;
+                    }
+                    Err(_) => {
+                        note(&self.counters, &self.trace, "fallback.offload_to_staged");
+                    }
+                }
+            }
+            DataScheme::Staged | DataScheme::ShmEager => {}
         }
         self.start_staged_recv(recv_id, env, total, send_req);
     }
@@ -1173,13 +1316,21 @@ impl Engine {
     }
 
     /// A duplicate RTS arrived for an already-matched receive: the response
-    /// (CTS or CTS-direct) was evidently lost — re-send it from the live
-    /// state. Grants are never duplicated; the same window travels again.
-    fn resend_response(&mut self, recv_id: ReqId, direct_capable: bool) {
+    /// (CTS, CTS-direct or CTS-offload) was evidently lost — re-send it
+    /// from the live state. Grants are never duplicated; the same window
+    /// travels again.
+    fn resend_response(
+        &mut self,
+        recv_id: ReqId,
+        direct_capable: bool,
+        offload_entries: Option<u32>,
+    ) {
         enum Action {
             None,
             FallBack,
+            FallBackOffload,
             CtsDirect(usize, MpiPacket),
+            CtsOffload(usize, MpiPacket),
             Cts(usize, MpiPacket),
         }
         let action = {
@@ -1217,6 +1368,32 @@ impl Engine {
                         Action::FallBack
                     }
                 }
+                RecvPhase::WaitOffload {
+                    my_key,
+                    scatter,
+                    env,
+                    total,
+                    send_req,
+                    ..
+                } => {
+                    if offload_entries.is_some() {
+                        Action::CtsOffload(
+                            env.src,
+                            MpiPacket::CtsOffload {
+                                send_req: *send_req,
+                                recv_req: recv_id,
+                                key: *my_key,
+                                scatter: scatter.clone(),
+                                total: *total,
+                            },
+                        )
+                    } else {
+                        // The sender stopped advertising the offload path
+                        // (its registration failed and our OffloadAbort
+                        // was lost): fall back to staged ourselves.
+                        Action::FallBackOffload
+                    }
+                }
                 RecvPhase::Staged(sr, _) if sr.cts_sent => {
                     let descs: Vec<SlotDesc> = sr
                         .slots
@@ -1244,8 +1421,13 @@ impl Engine {
         match action {
             Action::None => {}
             Action::FallBack => self.direct_to_staged(recv_id),
+            Action::FallBackOffload => self.offload_to_staged(recv_id),
             Action::CtsDirect(dst, pkt) => {
                 note(&self.counters, &self.trace, "retry.cts_direct");
+                self.nic.send_ctrl(dst, Box::new(pkt));
+            }
+            Action::CtsOffload(dst, pkt) => {
+                note(&self.counters, &self.trace, "retry.cts_offload");
                 self.nic.send_ctrl(dst, Box::new(pkt));
             }
             Action::Cts(dst, pkt) => {
@@ -1283,11 +1465,39 @@ impl Engine {
         self.start_staged_recv(recv_id, env, total, send_req);
     }
 
+    /// Offload transfer abandoned (sender could not register): release our
+    /// registration and fall back to the staged path.
+    fn offload_to_staged(&mut self, recv_id: ReqId) {
+        let buf_id;
+        let (env, total, send_req);
+        {
+            let Some(st) = self.recvs.get_mut(&recv_id) else {
+                return;
+            };
+            let RecvPhase::WaitOffload {
+                env: e,
+                total: t,
+                send_req: s,
+                ..
+            } = &st.phase
+            else {
+                return;
+            };
+            (env, total, send_req) = (*e, *t, *s);
+            buf_id = st.offload.as_ref().map(|(p, _)| p.buf().id());
+        }
+        if let Some(id) = buf_id {
+            self.reg_cache.release(id);
+        }
+        note(&self.counters, &self.trace, "fallback.offload_to_staged");
+        self.start_staged_recv(recv_id, env, total, send_req);
+    }
+
     fn handle_packet(&mut self, src: usize, pkt: MpiPacket) {
         sim_core::sleep(SimDur::from_nanos(self.cfg.cpu.handle_pkt_ns));
         match pkt {
             MpiPacket::Eager { env, data } => {
-                let limit = self.eager_limit_for(src);
+                let limit = self.scheme.eager_limit(src);
                 if data.len() > limit {
                     san::report_protocol(format!(
                         "eager payload of {} bytes exceeds the eager limit of {limit} bytes",
@@ -1306,6 +1516,7 @@ impl Engine {
                 send_req,
                 direct_capable,
                 dev_gpu,
+                offload_entries,
             } => {
                 if self.faulty {
                     // Retransmit tolerance: an RTS we have already seen must
@@ -1316,7 +1527,7 @@ impl Engine {
                     }
                     if let Some(&recv_id) = self.matched_rts.get(&(env.src, send_req)) {
                         note(&self.counters, &self.trace, "dup.rts");
-                        self.resend_response(recv_id, direct_capable);
+                        self.resend_response(recv_id, direct_capable, offload_entries);
                         return;
                     }
                     let queued = self.unexpected.iter().any(|u| {
@@ -1329,7 +1540,15 @@ impl Engine {
                     }
                 }
                 if let Some(recv_id) = self.find_posted(&env) {
-                    self.match_rts(recv_id, env, total, send_req, direct_capable, dev_gpu);
+                    self.match_rts(
+                        recv_id,
+                        env,
+                        total,
+                        send_req,
+                        direct_capable,
+                        dev_gpu,
+                        offload_entries,
+                    );
                 } else {
                     self.unexpected.push_back(Unexpected::Rts {
                         env,
@@ -1337,6 +1556,7 @@ impl Engine {
                         send_req,
                         direct_capable,
                         dev_gpu,
+                        offload_entries,
                     });
                 }
             }
@@ -1480,7 +1700,10 @@ impl Engine {
                     }
                     Ok(_) => {
                         let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
-                        let rdma = self.transports[st.dst].write(key, offset, &ptr, st.total);
+                        let rdma = self
+                            .scheme
+                            .transport(st.dst)
+                            .write(key, offset, &ptr, st.total);
                         // On a reliable fabric the FIN departs right behind
                         // the write (same engine, ordered); under faults it
                         // waits for the CQE so a failed write is never
@@ -1496,6 +1719,124 @@ impl Engine {
                             peer_off: offset,
                             recv_req,
                             ptr,
+                            fin_sent: fin_now,
+                            attempts: 1,
+                        });
+                    }
+                }
+            }
+            MpiPacket::CtsOffload {
+                send_req,
+                recv_req,
+                key,
+                scatter,
+                total,
+            } => {
+                let Some(st) = self.sends.get_mut(&send_req) else {
+                    if self.faulty {
+                        note(&self.counters, &self.trace, "dup.cts");
+                        // If the send finished and was reaped, the receiver
+                        // must have missed the FinOffload — re-announce.
+                        if let Some(&SendRecord::Offload { dst, recv_req }) =
+                            self.completed_sends.get(&send_req)
+                        {
+                            note(&self.counters, &self.trace, "retry.fin_offload");
+                            self.nic
+                                .send_ctrl(dst, Box::new(MpiPacket::FinOffload { recv_req }));
+                        }
+                        return;
+                    }
+                    san::report_protocol(format!(
+                        "offload CTS for unknown send request #{send_req} \
+                         (never posted or already reaped)"
+                    ));
+                    panic!("CTS for unknown send");
+                };
+                match &st.phase {
+                    SendPhase::WaitCts { .. } => {}
+                    SendPhase::Done if self.faulty => {
+                        // Completed but not yet reaped: re-announce.
+                        note(&self.counters, &self.trace, "dup.cts");
+                        note(&self.counters, &self.trace, "retry.fin_offload");
+                        let dst = st.dst;
+                        self.nic
+                            .send_ctrl(dst, Box::new(MpiPacket::FinOffload { recv_req }));
+                        return;
+                    }
+                    _ if self.faulty => {
+                        note(&self.counters, &self.trace, "dup.cts");
+                        return;
+                    }
+                    _ => {
+                        san::report_protocol(format!(
+                            "offload CTS for send request #{send_req} that is not awaiting \
+                             CTS (duplicate or out-of-order CTS)"
+                        ));
+                        panic!("CTS for a send not in WaitCts phase");
+                    }
+                }
+                if st.offload_failed {
+                    // Our registration failed before and the abort was
+                    // evidently lost: repeat it.
+                    note(&self.counters, &self.trace, "retry.offload_abort");
+                    if let SendPhase::WaitCts { timer: Some(t) } = &mut st.phase {
+                        t.feed();
+                    }
+                    let dst = st.dst;
+                    self.nic.send_ctrl(
+                        dst,
+                        Box::new(MpiPacket::OffloadAbort { recv_req, send_req }),
+                    );
+                    return;
+                }
+                let (ptr, desc) = st
+                    .offload
+                    .as_ref()
+                    .expect("offload CTS for a send that never advertised it");
+                let (ptr, gather) = (ptr.clone(), desc.to_sg(ptr.offset()));
+                assert_eq!(total, st.total, "offload CTS grants a different size");
+                let buf = ptr.buf().clone();
+                match self
+                    .reg_cache
+                    .acquire(&self.nic, &self.counters, &self.trace, &buf)
+                {
+                    Err(_) => {
+                        // Pin limit: abandon the offload; the receiver falls
+                        // back to granting a staged window.
+                        note(&self.counters, &self.trace, "fallback.offload_abort");
+                        let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
+                        st.offload_failed = true;
+                        if let SendPhase::WaitCts { timer: Some(t) } = &mut st.phase {
+                            t.feed();
+                        }
+                        let dst = st.dst;
+                        self.nic.send_ctrl(
+                            dst,
+                            Box::new(MpiPacket::OffloadAbort { recv_req, send_req }),
+                        );
+                    }
+                    Ok(_) => {
+                        let st = self.sends.get_mut(&send_req).expect("CTS for unknown send");
+                        let rdma = self
+                            .scheme
+                            .transport(st.dst)
+                            .write_sg(key, &ptr, &gather, &scatter);
+                        // On a reliable fabric the FIN departs right behind
+                        // the write (same engine, ordered); under faults it
+                        // waits for the CQE so a failed write is never
+                        // announced.
+                        let fin_now = !self.faulty;
+                        if fin_now {
+                            self.nic
+                                .send_ctrl(st.dst, Box::new(MpiPacket::FinOffload { recv_req }));
+                        }
+                        st.phase = SendPhase::Offload(OffloadSend {
+                            rdma,
+                            peer_key: key,
+                            ptr,
+                            gather,
+                            scatter,
+                            recv_req,
                             fin_sent: fin_now,
                             attempts: 1,
                         });
@@ -1632,6 +1973,50 @@ impl Engine {
                     self.done_rts.insert((env.src, send_req), ());
                 }
             }
+            MpiPacket::FinOffload { recv_req } => {
+                let Some(st) = self.recvs.get_mut(&recv_req) else {
+                    if self.faulty {
+                        note(&self.counters, &self.trace, "dup.fin_offload");
+                        return;
+                    }
+                    san::report_protocol(format!(
+                        "FIN-offload for unknown receive request #{recv_req}"
+                    ));
+                    panic!("FIN for unknown recv");
+                };
+                let RecvPhase::WaitOffload {
+                    env,
+                    total,
+                    send_req,
+                    ..
+                } = &st.phase
+                else {
+                    if self.faulty {
+                        note(&self.counters, &self.trace, "dup.fin_offload");
+                        return;
+                    }
+                    san::report_protocol(format!(
+                        "FIN-offload for receive request #{recv_req} that is not in the \
+                         offload rendezvous phase (protocol state machine violation)"
+                    ));
+                    panic!("FIN-offload for a receive not in offload phase")
+                };
+                let (env, total, send_req) = (*env, *total, *send_req);
+                let buf_id = st.offload.as_ref().map(|(p, _)| p.buf().id());
+                st.phase = RecvPhase::Done(RecvStatus {
+                    src: env.src,
+                    tag: env.tag,
+                    bytes: total,
+                });
+                // The registration stays cached but becomes evictable.
+                if let Some(id) = buf_id {
+                    self.reg_cache.release(id);
+                }
+                if self.faulty {
+                    self.matched_rts.remove(&(env.src, send_req));
+                    self.done_rts.insert((env.src, send_req), ());
+                }
+            }
             MpiPacket::Credit {
                 send_req,
                 slot,
@@ -1749,6 +2134,19 @@ impl Engine {
                 } else {
                     // Already fell back (duplicate abort) or finished.
                     note(&self.counters, &self.trace, "dup.direct_abort");
+                }
+            }
+            MpiPacket::OffloadAbort { recv_req, send_req } => {
+                let _ = send_req;
+                let falls_back = self
+                    .recvs
+                    .get(&recv_req)
+                    .is_some_and(|st| matches!(st.phase, RecvPhase::WaitOffload { .. }));
+                if falls_back {
+                    self.offload_to_staged(recv_req);
+                } else {
+                    // Already fell back (duplicate abort) or finished.
+                    note(&self.counters, &self.trace, "dup.offload_abort");
                 }
             }
             MpiPacket::CtsDev { send_req, recv_req } => {
@@ -1909,6 +2307,11 @@ impl Engine {
                         if t.bump(self.cfg.retry.max_retries) {
                             note(&self.counters, &self.trace, "retry.rts");
                             let direct_capable = st.direct_ptr.is_some() && !st.direct_failed;
+                            let offload_entries = if st.offload_failed {
+                                None
+                            } else {
+                                st.offload.as_ref().map(|(_, d)| d.entries().len() as u32)
+                            };
                             self.nic.send_ctrl(
                                 st.dst,
                                 Box::new(MpiPacket::Rts {
@@ -1917,6 +2320,7 @@ impl Engine {
                                     send_req: id,
                                     direct_capable,
                                     dev_gpu: st.dev_gpu,
+                                    offload_entries,
                                 }),
                             );
                         } else {
@@ -1941,13 +2345,17 @@ impl Engine {
                         } else {
                             d.attempts += 1;
                             note(&self.counters, &self.trace, "retry.rdma_direct");
-                            d.rdma = self.transports[st.dst]
+                            d.rdma = self
+                                .scheme
+                                .transport(st.dst)
                                 .write(d.peer_key, d.peer_off, &d.ptr, st.total);
                         }
                     } else {
-                        self.trace
-                            .rdma
-                            .comp_span(self.transports[st.dst].name(), None, &d.rdma);
+                        self.trace.rdma.comp_span(
+                            self.scheme.transport(st.dst).name(),
+                            None,
+                            &d.rdma,
+                        );
                         if !d.fin_sent {
                             self.nic.send_ctrl(
                                 st.dst,
@@ -1960,6 +2368,48 @@ impl Engine {
                         let rec = SendRecord::Direct {
                             dst: st.dst,
                             recv_req: d.recv_req,
+                        };
+                        st.phase = SendPhase::Done;
+                        self.reg_cache.release(buf_id);
+                        if self.faulty {
+                            self.completed_sends.insert(id, rec);
+                        }
+                    }
+                }
+            }
+            SendPhase::Offload(o) => {
+                if o.rdma.poll() {
+                    if o.rdma.is_error() {
+                        // A failed descriptor fetch surfaces as an error CQE
+                        // and retries exactly like a failed RDMA write.
+                        if o.attempts > self.cfg.retry.max_retries {
+                            failed = Some(MpiError::RetriesExhausted {
+                                op: "offload_sg",
+                                peer: st.dst,
+                                attempts: o.attempts,
+                            });
+                        } else {
+                            o.attempts += 1;
+                            note(&self.counters, &self.trace, "retry.offload_sg");
+                            o.rdma = self
+                                .scheme
+                                .transport(st.dst)
+                                .write_sg(o.peer_key, &o.ptr, &o.gather, &o.scatter);
+                        }
+                    } else {
+                        self.trace.rdma.comp_span("offload", None, &o.rdma);
+                        if !o.fin_sent {
+                            self.nic.send_ctrl(
+                                st.dst,
+                                Box::new(MpiPacket::FinOffload {
+                                    recv_req: o.recv_req,
+                                }),
+                            );
+                        }
+                        let buf_id = o.ptr.buf().id();
+                        let rec = SendRecord::Offload {
+                            dst: st.dst,
+                            recv_req: o.recv_req,
                         };
                         st.phase = SendPhase::Done;
                         self.reg_cache.release(buf_id);
@@ -2008,7 +2458,7 @@ impl Engine {
                     );
                     ss.slots[slot].free = false;
                     ss.slots[slot].occupant = Some(i);
-                    let comp = self.transports[ss.dst].write(
+                    let comp = self.scheme.transport(ss.dst).write(
                         ss.slots[slot].desc.key,
                         0,
                         &vbuf.buf.base(),
@@ -2069,7 +2519,7 @@ impl Engine {
                         }
                         c.attempts += 1;
                         note(&self.counters, &self.trace, "retry.chunk_rdma");
-                        c.comp = self.transports[ss.dst].write(
+                        c.comp = self.scheme.transport(ss.dst).write(
                             ss.slots[c.slot].desc.key,
                             0,
                             &c.vbuf.buf.base(),
@@ -2080,7 +2530,7 @@ impl Engine {
                     }
                     let done = ss.inflight.swap_remove(i);
                     self.trace.rdma.comp_span(
-                        self.transports[ss.dst].name(),
+                        self.scheme.transport(ss.dst).name(),
                         Some(done.chunk),
                         &done.comp,
                     );
@@ -2199,6 +2649,9 @@ impl Engine {
             SendPhase::Direct(d) => {
                 self.reg_cache.release(d.ptr.buf().id());
             }
+            SendPhase::Offload(o) => {
+                self.reg_cache.release(o.ptr.buf().id());
+            }
             _ => {}
         }
     }
@@ -2211,6 +2664,7 @@ impl Engine {
             return;
         };
         let buf_id = st.direct_ptr.as_ref().map(|p| p.buf().id());
+        let offload_buf_id = st.offload.as_ref().map(|(p, _)| p.buf().id());
         let old = std::mem::replace(&mut st.phase, RecvPhase::Failed(e));
         match old {
             RecvPhase::Staged(mut sr, _) => {
@@ -2224,6 +2678,13 @@ impl Engine {
             }
             RecvPhase::WaitDirect { env, send_req, .. } => {
                 if let Some(bid) = buf_id {
+                    self.reg_cache.release(bid);
+                }
+                self.matched_rts.remove(&(env.src, send_req));
+                self.done_rts.insert((env.src, send_req), ());
+            }
+            RecvPhase::WaitOffload { env, send_req, .. } => {
+                if let Some(bid) = offload_buf_id {
                     self.reg_cache.release(bid);
                 }
                 self.matched_rts.remove(&(env.src, send_req));
@@ -2275,6 +2736,42 @@ impl Engine {
                         peer: env.src,
                         attempts: t.attempts,
                     });
+                }
+            }
+        }
+        // Offload watchdog (faulty only): the CtsOffload or the FinOffload
+        // was lost — re-offer our scatter descriptor; a completed sender
+        // re-FINs.
+        if failed.is_none() {
+            if let RecvPhase::WaitOffload {
+                my_key,
+                scatter,
+                env,
+                total,
+                send_req,
+                timer: Some(t),
+            } = &mut st.phase
+            {
+                if t.expired() {
+                    if t.bump(self.cfg.retry.max_retries) {
+                        note(&self.counters, &self.trace, "retry.cts_offload");
+                        self.nic.send_ctrl(
+                            env.src,
+                            Box::new(MpiPacket::CtsOffload {
+                                send_req: *send_req,
+                                recv_req: id,
+                                key: *my_key,
+                                scatter: scatter.clone(),
+                                total: *total,
+                            }),
+                        );
+                    } else {
+                        failed = Some(MpiError::RetriesExhausted {
+                            op: "cts_offload",
+                            peer: env.src,
+                            attempts: t.attempts,
+                        });
+                    }
                 }
             }
         }
@@ -2540,6 +3037,7 @@ impl Engine {
             match &s.phase {
                 SendPhase::WaitCts { timer: Some(t) } => consider(Some(t.deadline)),
                 SendPhase::Direct(d) => consider(d.rdma.done_at()),
+                SendPhase::Offload(o) => consider(o.rdma.done_at()),
                 SendPhase::DevWaitCredit { pack } => consider(pack.done_at()),
                 SendPhase::Staged(ss) => {
                     for c in &ss.inflight {
@@ -2556,6 +3054,7 @@ impl Engine {
             consider(r.sink.next_event());
             match &r.phase {
                 RecvPhase::WaitDirect { timer: Some(t), .. } => consider(Some(t.deadline)),
+                RecvPhase::WaitOffload { timer: Some(t), .. } => consider(Some(t.deadline)),
                 RecvPhase::DevAbsorb { comp, .. } => consider(comp.done_at()),
                 RecvPhase::Staged(sr, _) => {
                     if let Some(t) = &sr.timer {

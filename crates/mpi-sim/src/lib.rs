@@ -10,10 +10,12 @@
 //!   strided layouts ([`flat::Layout::Strided2D`]);
 //! * **point-to-point** with tag/source matching (wildcards, non-overtaking
 //!   order, unexpected-message queue), blocking and nonblocking calls;
-//! * three data protocols: **eager**, **rendezvous direct** (R-PUT over
-//!   RDMA into a registered contiguous user buffer) and **rendezvous
+//! * four data protocols: **eager**, **rendezvous direct** (R-PUT over
+//!   RDMA into a registered contiguous user buffer), **rendezvous
 //!   staged** (chunked through registered vbufs with RTS / CTS / per-chunk
-//!   RDMA write + FIN / CREDIT flow control);
+//!   RDMA write + FIN / CREDIT flow control) and **rendezvous offload**
+//!   (the HCA walks a scatter/gather descriptor over both layouts — see
+//!   [`scheme`]);
 //! * a pluggable **staging layer** ([`BufferStager`]) so GPU-resident
 //!   buffers can be packed/unpacked by the device instead of the CPU;
 //! * `MPI_Barrier` (dissemination).
@@ -46,6 +48,7 @@ pub mod invariants;
 pub mod pack;
 pub mod plan;
 mod proto;
+pub mod scheme;
 pub mod staging;
 mod transport;
 mod tuner;
@@ -57,9 +60,10 @@ pub use datatype::{Datatype, SubarrayOrder};
 pub use engine::{RecvStatus, Request, SrcSel, TagSel, ANY_SOURCE, ANY_TAG};
 pub use ib_sim::{FaultSpec, Topology};
 pub use pack::CpuModel;
-pub use plan::{Plan, PlanCacheStats};
+pub use plan::{Canonical, Plan, PlanCacheStats, WireDescriptor, WireEntry};
 pub use proto::{
     packet_kind, ChunkPolicy, CollAlgo, CollConfig, ConfigError, MpiConfig, MpiError, RetryConfig,
 };
+pub use scheme::{DataScheme, SchemeSel};
 pub use staging::{BufferStager, RecvSink, SendSource};
 pub use world::MpiWorld;

@@ -113,6 +113,281 @@ impl Plan {
     }
 }
 
+/// TEMPI-style canonical form of a plan: the observation (PAPERS.md) that
+/// almost every derived datatype seen in practice collapses into at most
+/// two stride levels, so one small descriptor can drive an entire
+/// transfer. [`Canonical::of`] recovers the form from the expanded segment
+/// list — including two-level patterns the single-level [`Layout`]
+/// classifier files under [`Layout::Irregular`] (e.g. `count > 1` of a
+/// resized column type, or the rows-within-planes of a 3-D subarray).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Canonical {
+    /// One contiguous run at `offset`.
+    Contig {
+        /// Byte offset of the run, relative to the buffer pointer.
+        offset: isize,
+        /// Run length, bytes.
+        len: usize,
+    },
+    /// A single stride level: `count` blocks of `block` bytes, `stride`
+    /// bytes apart (an `MPI_Type_vector`).
+    Strided1D {
+        /// Offset of the first block, relative to the buffer pointer.
+        first: isize,
+        /// Bytes per block.
+        block: usize,
+        /// Distance between consecutive block starts, bytes.
+        stride: usize,
+        /// Number of blocks.
+        count: usize,
+    },
+    /// Two stride levels: `outer_count` groups, `outer_stride` apart, each
+    /// holding `count` blocks `stride` apart (rows within planes).
+    Strided2D {
+        /// Offset of the first block of the first group.
+        first: isize,
+        /// Bytes per block.
+        block: usize,
+        /// Distance between consecutive blocks within a group, bytes.
+        stride: usize,
+        /// Blocks per group.
+        count: usize,
+        /// Distance between consecutive group starts, bytes.
+        outer_stride: usize,
+        /// Number of groups.
+        outer_count: usize,
+    },
+    /// No bounded strided description exists (deep struct soup).
+    Irregular,
+}
+
+impl Canonical {
+    /// Classify a plan. Cheap for plans the [`Layout`] classifier already
+    /// solved; a single `O(segments)` scan for the two-level recovery.
+    pub fn of(plan: &Plan) -> Canonical {
+        match *plan.layout() {
+            Layout::Contiguous { offset, len } => Canonical::Contig { offset, len },
+            Layout::Strided2D {
+                first,
+                pitch,
+                width,
+                height,
+            } => Canonical::Strided1D {
+                first,
+                block: width,
+                stride: pitch,
+                count: height,
+            },
+            Layout::Irregular => two_level(plan.segments()),
+        }
+    }
+}
+
+/// Try to describe an `Irregular` segment list as two stride levels:
+/// equal-width blocks forming `g` groups of `r`, constant inner pitch,
+/// constant outer pitch. Group extents may interleave (a resized column
+/// type restarts below the previous column) — DMA order is the descriptor
+/// walk, not address order, so that's fine.
+fn two_level(segs: &[Segment]) -> Canonical {
+    let n = segs.len();
+    if n < 4 {
+        return Canonical::Irregular;
+    }
+    let w = segs[0].len;
+    if w == 0 || segs.iter().any(|s| s.len != w) {
+        return Canonical::Irregular;
+    }
+    let p = segs[1].offset - segs[0].offset;
+    if p <= 0 {
+        return Canonical::Irregular;
+    }
+    // Inner run length: the first break in the pitch-`p` arithmetic.
+    let r = (1..n)
+        .find(|&i| segs[i].offset - segs[i - 1].offset != p)
+        .unwrap_or(n);
+    if r < 2 || r == n || !n.is_multiple_of(r) {
+        return Canonical::Irregular;
+    }
+    let big = segs[r].offset - segs[0].offset;
+    if big <= 0 {
+        return Canonical::Irregular;
+    }
+    let g = n / r;
+    for k in 0..g {
+        if segs[k * r].offset - segs[0].offset != big * k as isize {
+            return Canonical::Irregular;
+        }
+        for i in 1..r {
+            if segs[k * r + i].offset - segs[k * r + i - 1].offset != p {
+                return Canonical::Irregular;
+            }
+        }
+    }
+    Canonical::Strided2D {
+        first: segs[0].offset,
+        block: w,
+        stride: p as usize,
+        count: r,
+        outer_stride: big as usize,
+        outer_count: g,
+    }
+}
+
+/// One strided run of a [`WireDescriptor`], relative to the message's
+/// buffer pointer (the engine rebases it into MR-absolute
+/// [`ib_sim::SgEntry`]s once the buffer is registered).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WireEntry {
+    /// Byte offset of the first block, relative to the buffer pointer.
+    pub offset: isize,
+    /// Bytes per block.
+    pub len: usize,
+    /// Distance between consecutive block starts, bytes.
+    pub stride: usize,
+    /// Number of blocks in the run.
+    pub count: usize,
+}
+
+impl WireEntry {
+    /// Payload bytes this run moves.
+    pub fn bytes(&self) -> usize {
+        self.len * self.count
+    }
+}
+
+/// A bounded scatter/gather descriptor lowered from a [`Canonical`] plan:
+/// the entry list a NIC offload engine walks instead of the CPU packing.
+/// Entries are in pack order — walking them block by block yields exactly
+/// the packed byte stream of the plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireDescriptor {
+    entries: Vec<WireEntry>,
+    total: usize,
+}
+
+impl WireDescriptor {
+    /// Lower a plan into a descriptor of at most `budget` entries: one
+    /// entry for `Contig`/`Strided1D`, one per group for `Strided2D`.
+    /// `None` if the plan is `Irregular`, empty, or needs more entries
+    /// than the HCA budget — callers fall back to the staged pipeline.
+    pub fn lower(plan: &Plan, budget: usize) -> Option<WireDescriptor> {
+        let total = plan.total();
+        if total == 0 {
+            return None;
+        }
+        let entries = match Canonical::of(plan) {
+            Canonical::Contig { offset, len } => vec![WireEntry {
+                offset,
+                len,
+                stride: len,
+                count: 1,
+            }],
+            Canonical::Strided1D {
+                first,
+                block,
+                stride,
+                count,
+            } => vec![WireEntry {
+                offset: first,
+                len: block,
+                stride,
+                count,
+            }],
+            Canonical::Strided2D {
+                first,
+                block,
+                stride,
+                count,
+                outer_stride,
+                outer_count,
+            } => (0..outer_count)
+                .map(|k| WireEntry {
+                    offset: first + (k * outer_stride) as isize,
+                    len: block,
+                    stride,
+                    count,
+                })
+                .collect(),
+            Canonical::Irregular => return None,
+        };
+        if entries.len() > budget {
+            return None;
+        }
+        Some(WireDescriptor { entries, total })
+    }
+
+    /// The entry list, in pack order.
+    pub fn entries(&self) -> &[WireEntry] {
+        &self.entries
+    }
+
+    /// Total payload bytes.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Clip to the first `bytes` of the packed stream — the receive-side
+    /// descriptor when the posted buffer is larger than the message.
+    /// Splitting mid-block may add one tail entry. Panics if `bytes`
+    /// exceeds the descriptor's total.
+    pub fn prefix(&self, bytes: usize) -> WireDescriptor {
+        assert!(
+            bytes <= self.total,
+            "prefix({bytes}) exceeds descriptor total {}",
+            self.total
+        );
+        let mut entries = Vec::new();
+        let mut rem = bytes;
+        for e in &self.entries {
+            if rem == 0 {
+                break;
+            }
+            if rem >= e.bytes() {
+                entries.push(*e);
+                rem -= e.bytes();
+                continue;
+            }
+            let k = rem / e.len;
+            if k > 0 {
+                entries.push(WireEntry { count: k, ..*e });
+            }
+            let tail = rem % e.len;
+            if tail > 0 {
+                entries.push(WireEntry {
+                    offset: e.offset + (k * e.stride) as isize,
+                    len: tail,
+                    stride: tail,
+                    count: 1,
+                });
+            }
+            rem = 0;
+        }
+        WireDescriptor {
+            entries,
+            total: bytes,
+        }
+    }
+
+    /// Rebase into MR-absolute [`ib_sim::SgEntry`]s: `base` is the buffer
+    /// offset of the message's pointer within the registered region.
+    /// Panics if an entry would land before the buffer start.
+    pub fn to_sg(&self, base: usize) -> Vec<ib_sim::SgEntry> {
+        self.entries
+            .iter()
+            .map(|e| {
+                let off = base as isize + e.offset;
+                assert!(off >= 0, "descriptor entry before buffer start");
+                ib_sim::SgEntry {
+                    offset: off as usize,
+                    len: e.len,
+                    stride: e.stride,
+                    count: e.count,
+                }
+            })
+            .collect()
+    }
+}
+
 /// Counters of one committed type's plan cache.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
@@ -261,5 +536,145 @@ mod tests {
         let c = cache.get_or_build(1, mk(1));
         assert_eq!(cache.stats().misses, before, "hot count 1 never evicted");
         assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn canonical_contig_and_vector() {
+        let c = Plan::from_segments(vec![seg(8, 32)]);
+        assert_eq!(Canonical::of(&c), Canonical::Contig { offset: 8, len: 32 });
+        let v = Plan::from_segments(vec![seg(0, 4), seg(16, 4), seg(32, 4)]);
+        assert_eq!(
+            Canonical::of(&v),
+            Canonical::Strided1D {
+                first: 0,
+                block: 4,
+                stride: 16,
+                count: 3
+            }
+        );
+    }
+
+    #[test]
+    fn canonical_recovers_two_levels_from_irregular() {
+        // Two planes of three rows: inner pitch 16, outer pitch 100 — the
+        // single-level classifier calls this Irregular.
+        let segs: Vec<Segment> = (0..2)
+            .flat_map(|pl| (0..3).map(move |r| seg(pl * 100 + r * 16, 8)))
+            .collect();
+        let p = Plan::from_segments(segs);
+        assert_eq!(p.layout(), &Layout::Irregular);
+        assert_eq!(
+            Canonical::of(&p),
+            Canonical::Strided2D {
+                first: 0,
+                block: 8,
+                stride: 16,
+                count: 3,
+                outer_stride: 100,
+                outer_count: 2
+            }
+        );
+        // Interleaved group extents (column restart) still canonicalize.
+        let segs: Vec<Segment> = (0..2)
+            .flat_map(|col| (0..4).map(move |r| seg(col * 4 + r * 24, 4)))
+            .collect();
+        let p = Plan::from_segments(segs);
+        assert_eq!(
+            Canonical::of(&p),
+            Canonical::Strided2D {
+                first: 0,
+                block: 4,
+                stride: 24,
+                count: 4,
+                outer_stride: 4,
+                outer_count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn canonical_rejects_soup() {
+        // Unequal widths.
+        let p = Plan::from_segments(vec![seg(0, 4), seg(8, 8), seg(24, 4), seg(32, 8)]);
+        assert_eq!(Canonical::of(&p), Canonical::Irregular);
+        // Broken outer pitch.
+        let p = Plan::from_segments(vec![
+            seg(0, 4),
+            seg(8, 4),
+            seg(100, 4),
+            seg(108, 4),
+            seg(190, 4),
+            seg(198, 4),
+        ]);
+        assert_eq!(Canonical::of(&p), Canonical::Irregular);
+    }
+
+    #[test]
+    fn descriptor_walk_matches_pack_order() {
+        let segs: Vec<Segment> = (0..2)
+            .flat_map(|pl| (0..3).map(move |r| seg(pl * 100 + r * 16, 8)))
+            .collect();
+        let p = Plan::from_segments(segs.clone());
+        let d = WireDescriptor::lower(&p, 16).expect("lowers");
+        assert_eq!(d.entries().len(), 2);
+        assert_eq!(d.total(), p.total());
+        // Walking entry blocks in order reproduces the segment list.
+        let mut walked = Vec::new();
+        for e in d.entries() {
+            for b in 0..e.count {
+                walked.push(seg(e.offset + (b * e.stride) as isize, e.len));
+            }
+        }
+        assert_eq!(walked, segs);
+        // Entry budget rejection.
+        assert!(WireDescriptor::lower(&p, 1).is_none());
+    }
+
+    #[test]
+    fn descriptor_prefix_clips_and_splits() {
+        let p = Plan::from_segments(vec![seg(0, 4), seg(16, 4), seg(32, 4)]);
+        let d = WireDescriptor::lower(&p, 8).unwrap();
+        // Whole blocks only.
+        let head = d.prefix(8);
+        assert_eq!(
+            head.entries(),
+            &[WireEntry {
+                offset: 0,
+                len: 4,
+                stride: 16,
+                count: 2
+            }]
+        );
+        // Mid-block split adds a tail entry.
+        let head = d.prefix(6);
+        assert_eq!(head.total(), 6);
+        assert_eq!(
+            head.entries(),
+            &[
+                WireEntry {
+                    offset: 0,
+                    len: 4,
+                    stride: 16,
+                    count: 1
+                },
+                WireEntry {
+                    offset: 16,
+                    len: 2,
+                    stride: 2,
+                    count: 1
+                }
+            ]
+        );
+        assert_eq!(d.prefix(0).entries().len(), 0);
+    }
+
+    #[test]
+    fn descriptor_rebases_to_sg() {
+        let p = Plan::from_segments(vec![seg(-8, 4), seg(8, 4)]);
+        let d = WireDescriptor::lower(&p, 8).unwrap();
+        let sg = d.to_sg(64);
+        assert_eq!(sg.len(), 1);
+        assert_eq!(sg[0].offset, 56);
+        assert_eq!(sg[0].bytes(), 8);
     }
 }

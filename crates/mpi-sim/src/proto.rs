@@ -1,18 +1,27 @@
 //! Wire protocol: packet formats and protocol configuration.
 //!
-//! Three data paths, selected per message (mirroring MVAPICH2):
+//! Four data paths, selected per message (see [`crate::scheme`]):
 //!
 //! * **Eager** — `total <= eager_limit`: the packed payload rides the
 //!   envelope. Completes locally at send time (buffered semantics).
 //! * **Rendezvous direct (R-PUT)** — both sides contiguous in host memory:
 //!   RTS → CTS carrying the receiver's registered user-buffer key → one
 //!   RDMA write → FIN.
-//! * **Rendezvous staged** — any non-contiguous or device-resident side:
-//!   RTS → CTS granting a window of registered staging buffers (vbufs) →
-//!   per chunk: stage (pack) / RDMA write / FIN / absorb (unpack) / CREDIT.
-//!   This is the path the paper's GPU pipeline plugs into.
+//! * **Rendezvous offload** — both sides host-resident and canonicalizable
+//!   (see [`crate::plan::Canonical`]): RTS advertising the sender's
+//!   descriptor entry count → CTS carrying the receiver's registered
+//!   user-buffer key and scatter descriptor → one scatter/gather RDMA post
+//!   walked by the NIC → FIN. No CPU pack/unpack on either side.
+//! * **Rendezvous staged** — everything else (device-resident or deep
+//!   struct layouts): RTS → CTS granting a window of registered staging
+//!   buffers (vbufs) → per chunk: stage (pack) / RDMA write / FIN / absorb
+//!   (unpack) / CREDIT. This is the path the paper's GPU pipeline plugs
+//!   into.
 
-use ib_sim::MrKey;
+use ib_sim::{MrKey, SgEntry};
+
+use crate::plan::Canonical;
+use crate::scheme::{DataScheme, SchemeSel};
 
 /// Request identifier, unique within one rank.
 pub(crate) type ReqId = u64;
@@ -52,6 +61,12 @@ pub(crate) enum MpiPacket {
         /// of that GPU. A receiver sinking into the same GPU answers with
         /// [`MpiPacket::CtsDev`] and the transfer stays on the device.
         dev_gpu: Option<u32>,
+        /// Set when the sender's layout lowers to a bounded scatter/gather
+        /// descriptor and its scheme selection allows NIC offload: the
+        /// gather entry count (the receiver checks the combined count
+        /// against its HCA budget). `None` = the sender cannot (or will
+        /// not) drive this transfer through the offload engine.
+        offload_entries: Option<u32>,
     },
     /// Clear To Send, staged path: a window of vbuf slots.
     Cts {
@@ -96,6 +111,22 @@ pub(crate) enum MpiPacket {
     /// buffer (pin limit), so it abandons the R-PUT; the receiver must fall
     /// back to granting a staged window.
     DirectAbort { recv_req: ReqId, send_req: ReqId },
+    /// Clear To Send, offload path: the receiver's registered user buffer
+    /// plus the scatter descriptor (MR-absolute, already clipped to the
+    /// message size) the sender's HCA should walk to place the bytes.
+    CtsOffload {
+        send_req: ReqId,
+        recv_req: ReqId,
+        key: MrKey,
+        scatter: Vec<SgEntry>,
+        total: usize,
+    },
+    /// Offload path: the single scatter/gather post has completed.
+    FinOffload { recv_req: ReqId },
+    /// Offload path, fault recovery: the sender could not register its user
+    /// buffer (pin limit), so it abandons the offload post; the receiver
+    /// must fall back to granting a staged window.
+    OffloadAbort { recv_req: ReqId, send_req: ReqId },
     /// Device path (co-located ranks sharing one GPU): the receiver sinks
     /// into the same GPU the sender advertised in `Rts::dev_gpu` — skip
     /// host staging entirely; the sender should pack into a device tbuf
@@ -132,6 +163,9 @@ pub fn packet_kind(payload: &(dyn std::any::Any + Send)) -> Option<&'static str>
         MpiPacket::Credit { .. } => "Credit",
         MpiPacket::FinNack { .. } => "FinNack",
         MpiPacket::DirectAbort { .. } => "DirectAbort",
+        MpiPacket::CtsOffload { .. } => "CtsOffload",
+        MpiPacket::FinOffload { .. } => "FinOffload",
+        MpiPacket::OffloadAbort { .. } => "OffloadAbort",
         MpiPacket::CtsDev { .. } => "CtsDev",
         MpiPacket::FinDev { .. } => "FinDev",
         MpiPacket::CreditDev { .. } => "CreditDev",
@@ -259,6 +293,14 @@ pub enum MpiError {
         /// Attempts made, including the first.
         attempts: u32,
     },
+    /// The request was rejected at post time: its layout cannot be served
+    /// by the configured scheme selection (e.g.
+    /// [`ConfigError::ForcedOffloadIrregular`]). The typed alternative to a
+    /// protocol panic deep in the engine.
+    Rejected {
+        /// The violated configuration invariant.
+        err: ConfigError,
+    },
 }
 
 impl std::fmt::Display for MpiError {
@@ -268,6 +310,7 @@ impl std::fmt::Display for MpiError {
                 f,
                 "rendezvous {op} to rank {peer} failed after {attempts} attempts (retries exhausted)"
             ),
+            MpiError::Rejected { err } => write!(f, "request rejected: {err}"),
         }
     }
 }
@@ -335,6 +378,13 @@ pub enum ConfigError {
         /// Configured segment size.
         pipeline_chunk: usize,
     },
+    /// `offload_entry_budget == 0`.
+    ZeroOffloadBudget,
+    /// [`SchemeSel::Force`]`(NicOffload)` combined with a layout that
+    /// canonicalizes to [`Canonical::Irregular`]: the HCA cannot walk a
+    /// deep struct layout, and forcing forbids the staged fallback.
+    /// Checked per message by [`MpiConfig::try_validate_scheme`].
+    ForcedOffloadIrregular,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -411,6 +461,16 @@ impl std::fmt::Display for ConfigError {
                 "coll.pipeline_chunk ({pipeline_chunk}) must be a positive multiple of 8 \
                  so reduction segments never split a primitive element"
             ),
+            ConfigError::ZeroOffloadBudget => write!(
+                f,
+                "offload_entry_budget must be >= 1 (the HCA could never hold a descriptor)"
+            ),
+            ConfigError::ForcedOffloadIrregular => write!(
+                f,
+                "SchemeSel::Force(NicOffload) cannot serve a layout that canonicalizes to \
+                 Irregular — the HCA cannot walk a deep struct descriptor; use SchemeSel::Auto \
+                 to fall back to the staged pipeline"
+            ),
         }
     }
 }
@@ -474,6 +534,18 @@ pub struct MpiConfig {
     pub shm_eager_limit: usize,
     /// Collective-algorithm selection and tunables.
     pub coll: CollConfig,
+    /// Rendezvous data-path selection (see [`crate::scheme`]). The default,
+    /// `Auto { offload: false }`, reproduces the classic
+    /// device → direct → staged decision bit for bit.
+    pub scheme: SchemeSel,
+    /// Largest combined (gather + scatter) entry count a wire descriptor
+    /// may have — the modeled HCA's descriptor memory. Transfers needing
+    /// more fall back to the staged pipeline.
+    pub offload_entry_budget: usize,
+    /// Smallest message [`SchemeSel::Auto`] routes through the offload
+    /// engine, bytes. Below this the descriptor fetches cost more than the
+    /// pack they save; forcing ignores the floor.
+    pub offload_min_bytes: usize,
 }
 
 impl Default for MpiConfig {
@@ -495,6 +567,9 @@ impl Default for MpiConfig {
             ppn: 1,
             shm_eager_limit: 32 << 10,
             coll: CollConfig::default(),
+            scheme: SchemeSel::default(),
+            offload_entry_budget: 256,
+            offload_min_bytes: 64 << 10,
         }
     }
 }
@@ -580,6 +655,22 @@ impl MpiConfig {
             return Err(ConfigError::BadCollChunk {
                 pipeline_chunk: self.coll.pipeline_chunk,
             });
+        }
+        if self.offload_entry_budget == 0 {
+            return Err(ConfigError::ZeroOffloadBudget);
+        }
+        Ok(())
+    }
+
+    /// Per-message scheme check: a forced NIC offload cannot serve a layout
+    /// that canonicalizes to [`Canonical::Irregular`]. The engine runs this
+    /// at post time and fails the request with a typed
+    /// [`MpiError::Rejected`] instead of panicking mid-rendezvous.
+    pub fn try_validate_scheme(&self, canonical: &Canonical) -> Result<(), ConfigError> {
+        if self.scheme == SchemeSel::Force(DataScheme::NicOffload)
+            && *canonical == Canonical::Irregular
+        {
+            return Err(ConfigError::ForcedOffloadIrregular);
         }
         Ok(())
     }

@@ -1,0 +1,283 @@
+//! The data-path scheme layer: which of the library's transfer schemes a
+//! given message uses, decided in one place.
+//!
+//! Historically the per-peer decision was smeared across the rendezvous
+//! state machine (`engine.rs`) and the transport constructor
+//! (`transport.rs`): eager limits here, colocation checks there, pin-limit
+//! fallbacks inline in match arms. [`SchemeSelector`] owns all of it — the
+//! engine's rendezvous states ask it which [`DataScheme`] serves a message
+//! and dispatch through the [`Transport`](crate::transport::Transport) it
+//! hands out; the selection policy itself is configured with
+//! [`SchemeSel`] on [`MpiConfig`].
+//!
+//! Selection order under [`SchemeSel::Auto`], most to least specialized:
+//!
+//! 1. **DeviceD2D** — both sides resident on one shared GPU: stay on the
+//!    device.
+//! 2. **Direct** — both sides contiguous host memory: one R-PUT.
+//! 3. **NicOffload** — both sides host-resident with layouts that lower to
+//!    bounded scatter/gather descriptors (see [`crate::plan::Canonical`]),
+//!    the message at least [`MpiConfig::offload_min_bytes`], and the
+//!    combined entry count within [`MpiConfig::offload_entry_budget`]: one
+//!    descriptor-driven post, no CPU pack/unpack. Off by default
+//!    (`Auto { offload: false }` keeps the classic decision bit-identical).
+//! 4. **Staged** — everything else: the paper's 5-stage pipeline.
+//!
+//! `ShmEager` is the odd one out: eager sends toward co-located peers are
+//! a *size* decision, not a rendezvous one, so it appears in
+//! [`DataScheme`] for forcing (which widens the co-located eager window)
+//! but never comes out of rendezvous resolution.
+
+use ib_sim::Nic;
+
+use crate::proto::MpiConfig;
+use crate::transport::{RdmaTransport, ShmTransport, Transport};
+
+/// The library's transfer schemes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DataScheme {
+    /// The paper's staged pipeline: pack → vbuf stage → RDMA chunk window →
+    /// unpack. Serves every layout and residency; the universal fallback.
+    Staged,
+    /// Contiguous-to-contiguous R-PUT: one RDMA write into the receiver's
+    /// registered user buffer.
+    Direct,
+    /// Co-located ranks sharing one GPU: pack into a device tbuf, peer
+    /// unpacks straight from it — bytes never leave the device.
+    DeviceD2D,
+    /// Eager payload through the node's shm channel (co-located peers).
+    /// A size-based path: forcing it widens the co-located eager window
+    /// instead of changing rendezvous behavior.
+    ShmEager,
+    /// The NIC walks a scatter/gather wire descriptor on both sides: no
+    /// CPU pack/unpack, one post, per-entry descriptor-fetch cost (see
+    /// [`ib_sim::Nic::rdma_write_sg`]).
+    NicOffload,
+}
+
+/// How the rendezvous scheme is chosen, in the style of
+/// [`ChunkPolicy`](crate::proto::ChunkPolicy).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SchemeSel {
+    /// Pick per message: device → direct → offload (if `offload` is set) →
+    /// staged. `Auto { offload: false }` — the default — reproduces the
+    /// classic decision bit for bit.
+    Auto {
+        /// Allow the NIC-offload scheme to compete. Off by default.
+        offload: bool,
+    },
+    /// Prefer one scheme wherever it is feasible, falling back to the
+    /// staged pipeline where it is not (a forced scheme can't conjure a
+    /// shared GPU or a contiguous buffer). `Force(NicOffload)` on a layout
+    /// with no bounded descriptor is rejected at post time with
+    /// [`ConfigError::ForcedOffloadIrregular`]
+    /// (crate::proto::ConfigError::ForcedOffloadIrregular).
+    Force(DataScheme),
+}
+
+impl Default for SchemeSel {
+    fn default() -> Self {
+        SchemeSel::Auto { offload: false }
+    }
+}
+
+/// Owns the per-peer data-path decision: transports, colocation, eager
+/// thresholds and rendezvous scheme resolution. Built once per engine from
+/// the fabric topology and the library configuration — the single source
+/// of truth the checks formerly duplicated across `engine.rs` and
+/// `transport.rs` collapsed into.
+pub(crate) struct SchemeSelector {
+    /// Per-peer data path, chosen once from the fabric topology: the shm
+    /// copy engine for distinct co-located peers, the HCA (including
+    /// self-send loopback) otherwise.
+    transports: Vec<Box<dyn Transport>>,
+    /// `colocated[p]`: peer `p` is a *different* rank on this rank's node.
+    colocated: Vec<bool>,
+    sel: SchemeSel,
+    eager_limit: usize,
+    shm_eager_limit: usize,
+    fault_shm_eager_oversize: bool,
+    offload_min_bytes: usize,
+}
+
+impl SchemeSelector {
+    /// Build the selector for `rank` of `size` on `nic`. Shared memory is
+    /// selected iff the peer is distinct and co-located; a rank's
+    /// self-sends keep the HCA loopback path so the ppn=1 topology stays
+    /// bit-identical to the pre-topology engine.
+    pub(crate) fn new(nic: &Nic, rank: usize, size: usize, cfg: &MpiConfig) -> SchemeSelector {
+        let colocated: Vec<bool> = (0..size).map(|p| p != rank && nic.colocated(p)).collect();
+        let transports = (0..size)
+            .map(|dst| -> Box<dyn Transport> {
+                if colocated[dst] {
+                    Box::new(ShmTransport::new(nic.clone(), dst))
+                } else {
+                    Box::new(RdmaTransport::new(nic.clone(), dst))
+                }
+            })
+            .collect();
+        SchemeSelector {
+            transports,
+            colocated,
+            sel: cfg.scheme,
+            eager_limit: cfg.eager_limit,
+            shm_eager_limit: cfg.shm_eager_limit,
+            fault_shm_eager_oversize: cfg.fault_shm_eager_oversize,
+            offload_min_bytes: cfg.offload_min_bytes,
+        }
+    }
+
+    /// Is `peer` a distinct rank on this rank's node?
+    pub(crate) fn colocated(&self, peer: usize) -> bool {
+        self.colocated[peer]
+    }
+
+    /// The data path toward `peer`.
+    pub(crate) fn transport(&self, peer: usize) -> &dyn Transport {
+        &*self.transports[peer]
+    }
+
+    /// The eager threshold toward `peer`: the shm channel has no wire or
+    /// vbuf pressure, so co-located peers get the larger window — and
+    /// `Force(ShmEager)` widens it to every message size.
+    pub(crate) fn eager_limit(&self, peer: usize) -> usize {
+        if self.colocated[peer] {
+            if self.sel == SchemeSel::Force(DataScheme::ShmEager) {
+                usize::MAX
+            } else {
+                self.shm_eager_limit
+            }
+        } else {
+            self.eager_limit
+        }
+    }
+
+    /// The sender-side eager threshold toward `peer`: like
+    /// [`eager_limit`](SchemeSelector::eager_limit), plus the
+    /// oversize-fault override that ships payloads the receiver-side
+    /// linter must reject.
+    pub(crate) fn send_eager_limit(&self, peer: usize) -> usize {
+        if self.fault_shm_eager_oversize && self.colocated[peer] {
+            self.shm_eager_limit * 2
+        } else {
+            self.eager_limit(peer)
+        }
+    }
+
+    /// May this configuration drive transfers through the offload engine
+    /// at all? (Gates the sender-side descriptor lowering and RTS
+    /// advertisement.)
+    pub(crate) fn offload_enabled(&self) -> bool {
+        matches!(self.sel, SchemeSel::Auto { offload: true })
+            || self.sel == SchemeSel::Force(DataScheme::NicOffload)
+    }
+
+    /// Can the offload engine reach `peer`? Descriptors are walked by the
+    /// HCA, so only peers served by the RDMA transport qualify — the shm
+    /// copy engine has no descriptor walker.
+    pub(crate) fn offload_peer(&self, peer: usize) -> bool {
+        !self.colocated[peer]
+    }
+
+    /// Resolve the rendezvous scheme for one matched message. The `_ok`
+    /// flags are feasibility (computed by the engine from what the RTS
+    /// advertised and what the receiver posted); resolution is pure
+    /// policy. Pin-limit failures during engagement still fall back to
+    /// staged afterwards — feasibility here is pre-registration.
+    pub(crate) fn resolve(
+        &self,
+        device_ok: bool,
+        direct_ok: bool,
+        offload_ok: bool,
+        total: usize,
+    ) -> DataScheme {
+        match self.sel {
+            SchemeSel::Force(DataScheme::DeviceD2D) if device_ok => DataScheme::DeviceD2D,
+            SchemeSel::Force(DataScheme::Direct) if direct_ok => DataScheme::Direct,
+            SchemeSel::Force(DataScheme::NicOffload) if offload_ok => DataScheme::NicOffload,
+            SchemeSel::Force(_) => DataScheme::Staged,
+            SchemeSel::Auto { offload } => {
+                if device_ok {
+                    DataScheme::DeviceD2D
+                } else if direct_ok {
+                    DataScheme::Direct
+                } else if offload && offload_ok && total >= self.offload_min_bytes {
+                    DataScheme::NicOffload
+                } else {
+                    DataScheme::Staged
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_sim::{Fabric, NetModel, ShmModel, Topology};
+
+    fn selector(sel: SchemeSel) -> SchemeSelector {
+        let topo = Topology::uniform(2, 2); // ranks 0,1 on node 0; 2,3 on node 1
+        let fabric = Fabric::with_topology(topo, NetModel::qdr(), ShmModel::westmere(), None);
+        let cfg = MpiConfig {
+            scheme: sel,
+            ..Default::default()
+        };
+        SchemeSelector::new(&fabric.nic(0), 0, 4, &cfg)
+    }
+
+    #[test]
+    fn transport_selection_follows_topology() {
+        let s = selector(SchemeSel::default());
+        assert_eq!(s.transport(0).name(), "rdma"); // self: loopback
+        assert_eq!(s.transport(1).name(), "shm"); // co-located
+        assert_eq!(s.transport(2).name(), "rdma"); // remote
+        assert_eq!(s.transport(3).name(), "rdma");
+        assert!(s.colocated(1) && !s.colocated(0) && !s.colocated(2));
+        assert!(s.offload_peer(2) && !s.offload_peer(1));
+    }
+
+    #[test]
+    fn eager_limits_follow_colocation() {
+        let s = selector(SchemeSel::default());
+        let cfg = MpiConfig::default();
+        assert_eq!(s.eager_limit(2), cfg.eager_limit);
+        assert_eq!(s.eager_limit(1), cfg.shm_eager_limit);
+        assert_eq!(s.send_eager_limit(1), cfg.shm_eager_limit);
+        let s = selector(SchemeSel::Force(DataScheme::ShmEager));
+        assert_eq!(s.eager_limit(1), usize::MAX);
+        assert_eq!(s.eager_limit(2), cfg.eager_limit, "remote peers unaffected");
+    }
+
+    #[test]
+    fn auto_resolution_order() {
+        let s = selector(SchemeSel::Auto { offload: true });
+        let min = MpiConfig::default().offload_min_bytes;
+        assert_eq!(s.resolve(true, true, true, min), DataScheme::DeviceD2D);
+        assert_eq!(s.resolve(false, true, true, min), DataScheme::Direct);
+        assert_eq!(s.resolve(false, false, true, min), DataScheme::NicOffload);
+        assert_eq!(
+            s.resolve(false, false, true, min - 1),
+            DataScheme::Staged,
+            "below the descriptor-fetch floor"
+        );
+        assert_eq!(s.resolve(false, false, false, min), DataScheme::Staged);
+        // Offload disabled (the default): never selected.
+        let s = selector(SchemeSel::default());
+        assert_eq!(s.resolve(false, false, true, min), DataScheme::Staged);
+        assert!(!s.offload_enabled());
+    }
+
+    #[test]
+    fn forcing_prefers_then_falls_back_staged() {
+        let s = selector(SchemeSel::Force(DataScheme::NicOffload));
+        assert!(s.offload_enabled());
+        assert_eq!(s.resolve(true, true, true, 0), DataScheme::NicOffload);
+        assert_eq!(s.resolve(true, true, false, 0), DataScheme::Staged);
+        let s = selector(SchemeSel::Force(DataScheme::Staged));
+        assert_eq!(s.resolve(true, true, true, usize::MAX), DataScheme::Staged);
+        let s = selector(SchemeSel::Force(DataScheme::Direct));
+        assert_eq!(s.resolve(true, true, true, 0), DataScheme::Direct);
+        assert_eq!(s.resolve(true, false, true, 0), DataScheme::Staged);
+    }
+}

@@ -10,7 +10,10 @@
 //! mismatch, so data corruption surfaces as a violation too.
 
 use hostmem::HostBuf;
-use mpi_sim::{ChunkPolicy, CollAlgo, Datatype, FaultSpec, MpiConfig, MpiWorld, Topology};
+use mpi_sim::{
+    ChunkPolicy, CollAlgo, DataScheme, Datatype, FaultSpec, MpiConfig, MpiWorld, SchemeSel,
+    Topology,
+};
 use mv2_gpu_nc::baselines::{fill_vector, verify_vector, VectorXfer};
 use mv2_gpu_nc::GpuCluster;
 use sim_core::{SanitizerMode, SimDur};
@@ -344,6 +347,54 @@ pub fn hier_fanin_3rank() -> Scenario {
     }
 }
 
+/// Two ranks, one NIC-offloaded rendezvous transfer of the staged-path
+/// vector (RTS advertising the gather descriptor → CTS-offload carrying
+/// the receiver's key and scatter descriptor → one scatter/gather RDMA
+/// post → FIN-offload). Every control packet crosses the wire, so the
+/// checker may drop or delay each of them; the retry machinery (RTS
+/// retransmit, CTS-offload watchdog, FIN re-announce from the completed-
+/// send record) must deliver the strided payload bit-exactly under every
+/// explored schedule.
+///
+/// Not part of [`protocol_scenarios`] — the committed `modelcheck.json`
+/// baseline predates the offload scheme and must stay bit-identical;
+/// `tests/schemes.rs` explores this one directly.
+pub fn offload_2rank() -> Scenario {
+    Scenario {
+        name: "offload-2rank",
+        budget: Budget::default_bounds(),
+        run: Box::new(|schedule, rec| {
+            let checker = CheckScheduler::new(schedule.clone());
+            let world = MpiWorld::new(2)
+                .with_config(MpiConfig {
+                    scheme: SchemeSel::Force(DataScheme::NicOffload),
+                    ..MpiConfig::default()
+                })
+                .with_faults(FaultSpec::seeded(ARM_SEED))
+                .with_sanitizer(SanitizerMode::Collect)
+                .with_recorder(rec.clone())
+                .with_scheduler(checker.clone());
+            let (end, reports) = world.try_run_with_reports(|comm| {
+                let t = staged_dtype();
+                if comm.rank() == 0 {
+                    let buf = HostBuf::from_vec((0..(1 << 18)).map(|i| (i % 249) as u8).collect());
+                    comm.send(buf.base(), 1, &t, 1, 3);
+                } else {
+                    let buf = HostBuf::alloc(1 << 18);
+                    let st = comm.recv(buf.base(), 1, &t, 0, 3);
+                    assert_eq!(st.bytes, 64 << 10);
+                    verify_staged_rows(&buf);
+                }
+            });
+            RunOutcome {
+                end: end.map(|t| t.as_nanos()),
+                reports,
+                log: checker.log(),
+            }
+        }),
+    }
+}
+
 /// The four protocol scenarios that must pass exhaustively, in the order
 /// they are reported.
 pub fn protocol_scenarios() -> Vec<Scenario> {
@@ -374,5 +425,6 @@ pub fn by_name(name: &str) -> Option<Scenario> {
         .into_iter()
         .chain(bug_scenarios())
         .chain(std::iter::once(hier_fanin_3rank()))
+        .chain(std::iter::once(offload_2rank()))
         .find(|s| s.name == name)
 }

@@ -68,6 +68,16 @@ cargo run --release -q -p bench --bin coll_sweep -- \
     --smoke true --out /tmp/BENCH_coll_smoke.json > /dev/null
 [[ -s /tmp/BENCH_coll_smoke.json ]] || { echo "empty coll sweep report"; exit 1; }
 
+echo "==> offload sweep smoke (scheme ablation + crossover/fallback guards)"
+# The bin asserts byte identity across staged/offload/auto on every
+# layout, that the NIC offload engine beats the staged pipeline on the
+# two-level strided layout at >= 256 KiB (crossover at or below it), and
+# that the Auto policy on irregular layouts replays Force(Staged)
+# event-for-event.
+cargo run --release -q -p bench --bin offload_sweep -- \
+    --iters 4 --out /tmp/BENCH_offload_smoke.json > /dev/null
+[[ -s /tmp/BENCH_offload_smoke.json ]] || { echo "empty offload sweep report"; exit 1; }
+
 echo "==> job mix smoke (multi-job QoS + sole-tenant identity guards)"
 # The bin asserts the sole-tenant bit-identity guard (dedicated fast path
 # vs multi-tenant arbitration at 100% share), the 4:1 HCA weight shift

@@ -329,6 +329,7 @@ fn exhausted_retries_surface_a_typed_error() {
             assert_eq!(peer, 1);
             assert_eq!(attempts, 4, "first transmission + max_retries");
         }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
     }
 }
 

@@ -132,6 +132,90 @@ fn pipeline_bench_times_match_committed_reference_with_tracing_on_and_off() {
 }
 
 #[test]
+fn explicit_default_scheme_replays_committed_baselines() {
+    // The scheme-layer refactor routes every send through SchemeSelector;
+    // spelling out its default (`Auto { offload: false }`) must replay the
+    // committed references event-for-event — first the pipeline latencies,
+    // then the halo3d placement benchmark's ppn=2 row.
+    use gpu_nc_repro::halo3d::{Halo3dParams, Halo3dRank, Variant};
+    use gpu_nc_repro::mpi_sim::SchemeSel;
+
+    let doc = committed_reference();
+    let iters = doc
+        .get("iters_per_size")
+        .and_then(JsonValue::as_f64)
+        .expect("iters_per_size") as u32;
+    let cfg = MpiConfig {
+        policy: ChunkPolicy::Fixed,
+        scheme: SchemeSel::Auto { offload: false },
+        ..MpiConfig::default()
+    };
+    for bytes in [64 << 10, 1 << 20] {
+        let row = row_for(&doc, bytes);
+        let fixed_best = row
+            .get("fixed_best_us")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        let f = measure(cfg.clone(), bytes, iters, Recorder::off());
+        assert_eq!(
+            *f.iter().min().unwrap() as f64 / 1e3,
+            fixed_best,
+            "{bytes} bytes: explicit default scheme diverged from reference"
+        );
+    }
+
+    // BENCH_ppn's ppn=2 blocked placement (mirror of `ppn_sweep`'s
+    // measurement loop; the bin keeps the authoritative copy).
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/BENCH_ppn.json"
+    ))
+    .expect("committed ppn reference missing");
+    let ppn_doc = parse(&text).expect("committed ppn reference must be valid JSON");
+    let blocked_ms = ppn_doc
+        .get("data")
+        .and_then(JsonValue::as_arr)
+        .expect("data array")
+        .iter()
+        .find(|r| r.get("ppn").and_then(JsonValue::as_f64) == Some(2.0))
+        .expect("no committed row for ppn 2")
+        .get("blocked_ms")
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+    let p = Halo3dParams {
+        grid: (2, 2, 4),
+        local: (96, 96, 48),
+        iters: 3,
+    };
+    let walls: Arc<Mutex<Vec<sim_core::SimDur>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&walls);
+    let cfg = MpiConfig {
+        scheme: SchemeSel::Auto { offload: false },
+        ..MpiConfig::default()
+    };
+    GpuCluster::new(p.nranks())
+        .mpi_config(cfg)
+        .ppn(2)
+        .run(move |env| {
+            let mut rk = Halo3dRank::<f32>::new(env, p);
+            env.comm.barrier();
+            let t0 = sim_core::now();
+            for _ in 0..p.iters {
+                rk.step(Variant::Mv2);
+            }
+            env.comm.barrier();
+            sink.lock().push(sim_core::now() - t0);
+            rk.free();
+        });
+    let wall = walls.lock().iter().copied().max().expect("no ranks ran");
+    assert_eq!(
+        wall.as_millis_f64(),
+        blocked_ms,
+        "explicit default scheme diverged from the committed ppn=2 placement row"
+    );
+}
+
+#[test]
 fn enabled_and_disabled_recorders_replay_identical_virtual_time() {
     // End-to-end virtual completion time of a whole traced cluster run,
     // recorder on vs off (broader than the per-iteration latencies above:
